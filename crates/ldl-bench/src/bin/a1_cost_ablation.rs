@@ -1,0 +1,63 @@
+//! A1 — cost-model ablation (the design choices DESIGN.md §7 flags).
+//!
+//! §6 of the paper: "even an inexact cost model can achieve this goal
+//! reasonably well" — the model's job is to separate good executions
+//! from bad, and its *constants* should mostly shift break-even points,
+//! not invert orderings. We sweep the two clique-costing constants
+//! (`magic_reach`, `counting_advantage`) and report which method the
+//! optimizer picks for bound/free same-generation queries, exposing the
+//! flip points.
+//!
+//! Run: `cargo run --release -p ldl-bench --bin a1_cost_ablation`
+
+use ldl_bench::table::Table;
+use ldl_bench::workload::same_generation;
+use ldl_core::parser::parse_query;
+use ldl_optimizer::{CostParams, OptConfig, Optimizer};
+use ldl_storage::Database;
+
+fn main() {
+    println!("A1: cost-parameter ablation — method choice vs constants\n");
+    let (program, leaf) = same_generation(2, 8);
+    let db = Database::from_program(&program);
+    let bound_q = parse_query(&format!("sg({leaf}, Y)?")).unwrap();
+    let free_q = parse_query("sg(X, Y)?").unwrap();
+
+    let mut t = Table::new(&[
+        "magic_reach",
+        "counting_advantage",
+        "bound-query method",
+        "free-query method",
+    ]);
+    for reach in [1.0, 20.0, 400.0, 100_000.0] {
+        for adv in [0.5, 0.7, 0.99, 1.5] {
+            let cfg = OptConfig {
+                assume_acyclic: true,
+                cost_params: CostParams {
+                    magic_reach: reach,
+                    counting_advantage: adv,
+                    ..CostParams::default()
+                },
+                ..OptConfig::default()
+            };
+            let opt = Optimizer::new(&program, &db, cfg);
+            let b = opt.optimize(&bound_q).unwrap();
+            let f = opt.optimize(&free_q).unwrap();
+            t.row(&[
+                format!("{reach}"),
+                format!("{adv}"),
+                format!("{:?}", b.method),
+                format!("{:?}", f.method),
+            ]);
+        }
+    }
+    println!("{t}");
+    println!(
+        "Expected shape: the free query never flips away from semi-naive;\n\
+         the bound query flips counting -> magic as the counting advantage\n\
+         passes 1.0, and magic/counting -> semi-naive only when magic_reach\n\
+         is cranked so high that binding propagation looks useless. The\n\
+         orderings themselves (naive worst, binding propagation best for\n\
+         selective queries) survive every setting — the paper's point."
+    );
+}

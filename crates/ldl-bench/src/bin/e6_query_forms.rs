@@ -1,0 +1,80 @@
+//! E6 — optimization is query-form-specific (§2).
+//!
+//! "The execution strategy chosen for a query P1(x, y)? may be
+//! inefficient for a query P1(c, y)? or an execution designed for
+//! P1(c, y)? may be unsafe for P1(x, y)?." We optimize the same
+//! predicate under different binding patterns and show: (a) the chosen
+//! join orders differ, (b) the chosen recursive methods differ, and
+//! (c) executing a query with the *other* form's plan costs measurably
+//! more (estimated and measured).
+//!
+//! Run: `cargo run --release -p ldl-bench --bin e6_query_forms`
+
+use ldl_bench::table::{fnum, Table};
+use ldl_bench::workload::same_generation;
+use ldl_core::parser::{parse_program, parse_query};
+use ldl_core::Pred;
+use ldl_eval::{evaluate_query, FixpointConfig, Method};
+use ldl_optimizer::opt::PredPlanKind;
+use ldl_optimizer::{OptConfig, Optimizer};
+use ldl_storage::{Database, Stats};
+use std::time::Instant;
+
+fn main() {
+    println!("E6: query-form-specific plans\n");
+
+    // (a) Nonrecursive: order flips with the binding.
+    let text = "q(X, Z) <- a(X, Y), b(Y, Z).";
+    let program = parse_program(text).unwrap();
+    let mut db = Database::new();
+    db.set_stats(Pred::new("a", 2), Stats::uniform(50_000.0, 2, 5_000.0));
+    db.set_stats(Pred::new("b", 2), Stats::uniform(50_000.0, 2, 5_000.0));
+    let opt = Optimizer::with_defaults(&program, &db);
+    let mut t = Table::new(&["query form", "chosen order", "est. cost"]);
+    for q in ["q(1, Z)?", "q(X, 1)?", "q(X, Z)?"] {
+        let o = opt.optimize(&parse_query(q).unwrap()).unwrap();
+        let order = match &o.plan.kind {
+            PredPlanKind::Union(rules) => format!("{:?}", rules[0].order),
+            _ => "-".into(),
+        };
+        t.row(&[q.to_string(), order, fnum(o.cost)]);
+    }
+    println!("join order follows the binding (rule: q(X,Z) <- a(X,Y), b(Y,Z)):");
+    println!("{t}");
+
+    // (b)+(c) Recursive: method flips with the binding; cross-use hurts.
+    let (sg, leaf) = same_generation(2, 9);
+    let sgdb = Database::from_program(&sg);
+    let opt = Optimizer::new(&sg, &sgdb, OptConfig { assume_acyclic: true, ..OptConfig::default() });
+    let bound_q = parse_query(&format!("sg({leaf}, Y)?")).unwrap();
+    let free_q = parse_query("sg(X, Y)?").unwrap();
+    let bound_plan = opt.optimize(&bound_q).unwrap();
+    let free_plan = opt.optimize(&free_q).unwrap();
+    println!(
+        "recursive sg: bound form chooses {:?}, free form chooses {:?}\n",
+        bound_plan.method, free_plan.method
+    );
+
+    let cfg = FixpointConfig { max_iterations: 200_000 };
+    let mut t = Table::new(&["execution", "tuples-derived", "ms"]);
+    let mut run = |label: &str, method: Method| {
+        let start = Instant::now();
+        let ans = evaluate_query(&sg, &sgdb, &bound_q, method, &cfg).unwrap();
+        t.row(&[
+            label.to_string(),
+            ans.metrics.tuples_derived.to_string(),
+            fnum(start.elapsed().as_secs_f64() * 1000.0),
+        ]);
+        ans.tuples.len()
+    };
+    let a = run("bound query, its own plan", bound_plan.method);
+    let b = run("bound query, free form's plan", free_plan.method);
+    assert_eq!(a, b, "both executions must agree on the answers");
+    println!("executing the bound query sg({leaf}, Y)? both ways:");
+    println!("{t}");
+    println!(
+        "Expected shape: the free form's plan (full fixpoint) derives the\n\
+         entire sg relation; the bound form's plan touches only the\n\
+         query's generation — orders of magnitude fewer derivations."
+    );
+}

@@ -1,0 +1,150 @@
+//! E7 — compile-time safety (§8).
+//!
+//! The optimizer must (a) discard unsafe orderings by pricing them at
+//! +∞ while still finding safe reorderings when they exist, (b) report
+//! a query unsafe when *no* ordering works — including the paper's own
+//! §8.3 example `p(x,y,z) <- x = 3, z = x + y`, which is finite but
+//! unprovable under any goal permutation — and (c) make safety
+//! query-form-specific (list length is safe only with the list bound).
+//!
+//! Run: `cargo run --release -p ldl-bench --bin e7_safety`
+
+use ldl_bench::table::Table;
+use ldl_core::parser::{parse_program, parse_query};
+use ldl_optimizer::{OptConfig, Optimizer};
+use ldl_storage::Database;
+
+struct Case {
+    name: &'static str,
+    program: &'static str,
+    query: &'static str,
+    expect_safe: bool,
+    note: &'static str,
+}
+
+const CASES: &[Case] = &[
+    Case {
+        name: "comparison reordered",
+        program: "n(1). n(5). n(9).\nbig(X) <- X > 3, n(X).",
+        query: "big(Y)?",
+        expect_safe: true,
+        note: "X > 3 unsafe first; optimizer reorders n(X) ahead",
+    },
+    Case {
+        name: "arith assignment reordered",
+        program: "n(1).\ndouble(X, Y) <- Y = X * 2, n(X).",
+        query: "double(A, B)?",
+        expect_safe: true,
+        note: "Y = X*2 runs after n(X) binds X",
+    },
+    Case {
+        name: "paper §8.3 example, free",
+        program: "p(X, Y, Z) <- X = 3, Z = X + Y.",
+        query: "p(A, B, C)?",
+        expect_safe: false,
+        note: "finite answer exists but no goal permutation computes it (needs flattening)",
+    },
+    Case {
+        name: "paper §8.3 example, Y bound",
+        program: "p(X, Y, Z) <- X = 3, Z = X + Y.",
+        query: "p(A, 6, C)?",
+        expect_safe: true,
+        note: "binding y=2x's value makes every equality EC",
+    },
+    Case {
+        name: "unbound head variable",
+        program: "pair(X, W) <- n(X).\nn(1).",
+        query: "pair(A, B)?",
+        expect_safe: false,
+        note: "W ranges over an infinite domain (lack of finite answer)",
+    },
+    Case {
+        name: "unbound head var, bound form",
+        program: "pair(X, W) <- n(X).\nn(1).",
+        query: "pair(A, 7)?",
+        expect_safe: true,
+        note: "the query form supplies W",
+    },
+    Case {
+        name: "generative recursion, free",
+        program: "zero(0).\ncnt(X) <- zero(X).\ncnt(Y) <- cnt(X), Y = X + 1.",
+        query: "cnt(N)?",
+        expect_safe: false,
+        note: "no well-founded order: fixpoint diverges",
+    },
+    Case {
+        name: "list length, list bound",
+        program: "len([], 0).\nlen([H | T], N) <- len(T, M), N = M + 1.",
+        query: "len([1, 2, 3], N)?",
+        expect_safe: true,
+        note: "argument 0 strictly decreases and is bound (well-founded)",
+    },
+    Case {
+        name: "list length, free",
+        program: "len([], 0).\nlen([H | T], N) <- len(T, M), N = M + 1.",
+        query: "len(L, N)?",
+        expect_safe: false,
+        note: "no binding to descend on: infinitely many lists",
+    },
+    Case {
+        name: "list append, inputs bound",
+        program: "app([], L, L).\napp([H | T], L, [H | R]) <- app(T, L, R).",
+        query: "app([1, 2], [3], Z)?",
+        expect_safe: true,
+        note: "first argument descends structurally",
+    },
+    Case {
+        name: "datalog tc, always safe",
+        program: "e(1, 2).\ntc(X, Y) <- e(X, Y).\ntc(X, Y) <- tc(X, Z), e(Z, Y).",
+        query: "tc(X, Y)?",
+        expect_safe: true,
+        note: "Datalog-finite clique: safe under every form",
+    },
+    Case {
+        name: "structure-growing recursion",
+        program: "seed(a).\nw(X) <- seed(X).\nw(f(X)) <- w(X).",
+        query: "w(T)?",
+        expect_safe: false,
+        note: "head builds f(X): Herbrand base unbounded",
+    },
+    Case {
+        name: "comparison never satisfiable-to-bind",
+        program: "q(X, Y) <- n(X), Y > X.",
+        query: "q(A, B)?",
+        expect_safe: false,
+        note: "Y > X is an infinite relation: Y never bound",
+    },
+];
+
+fn main() {
+    println!("E7: safety battery — optimizer verdicts vs expectations\n");
+    let mut t = Table::new(&["case", "expected", "verdict", "ok", "note"]);
+    let mut failures = 0;
+    for case in CASES {
+        let program = parse_program(case.program).unwrap();
+        let db = Database::from_program(&program);
+        let opt =
+            Optimizer::new(&program, &db, OptConfig { assume_acyclic: true, ..OptConfig::default() });
+        let query = parse_query(case.query).unwrap();
+        let verdict = opt.optimize(&query);
+        let safe = verdict.is_ok();
+        let ok = safe == case.expect_safe;
+        if !ok {
+            failures += 1;
+        }
+        t.row(&[
+            case.name.to_string(),
+            if case.expect_safe { "safe" } else { "UNSAFE" }.to_string(),
+            if safe { "safe" } else { "UNSAFE" }.to_string(),
+            if ok { "yes" } else { "** NO **" }.to_string(),
+            case.note.to_string(),
+        ]);
+    }
+    println!("{t}");
+    if failures == 0 {
+        println!("all {} verdicts match the paper's expectations", CASES.len());
+    } else {
+        println!("** {failures} verdict(s) diverge — investigate **");
+        std::process::exit(1);
+    }
+}

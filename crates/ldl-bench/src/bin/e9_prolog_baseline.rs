@@ -1,0 +1,113 @@
+//! E9 — the Prolog baseline (§1).
+//!
+//! The paper's opening argument: in Prolog "it is up to the programmer
+//! to make sure that this order leads to a safe and efficient
+//! execution", whereas LDL's optimizer assumes that responsibility at
+//! compile time. We run the same programs through a faithful SLD
+//! resolver (textual order, depth-first) and through the optimizer +
+//! fixpoint engine:
+//!
+//! 1. left-recursive transitive closure — Prolog loops (depth bound),
+//!    LDL evaluates it like any other clique;
+//! 2. a body written builtin-first — Prolog throws an instantiation
+//!    error, LDL reorders;
+//! 3. right-recursive TC (Prolog's happy path) — both terminate; the
+//!    work comparison shows SLD re-deriving shared subgoals that the
+//!    fixpoint methods memoize.
+//!
+//! Run: `cargo run --release -p ldl-bench --bin e9_prolog_baseline`
+
+use ldl_bench::table::{fnum, Table};
+use ldl_bench::workload::transitive_closure_chains;
+use ldl_core::parser::{parse_program, parse_query};
+use ldl_eval::sld::{solve_sld, SldConfig};
+use ldl_eval::{evaluate_query, FixpointConfig, Method};
+use ldl_optimizer::Optimizer;
+use ldl_storage::Database;
+use std::time::Instant;
+
+fn main() {
+    println!("E9: Prolog-style SLD (textual order) vs the LDL optimizer\n");
+
+    // 1. Left recursion.
+    println!("1) left-recursive tc: tc(X,Y) <- tc(X,Z), e(Z,Y).");
+    let left = r#"
+        e(1, 2). e(2, 3). e(3, 4). e(4, 5).
+        tc(X, Y) <- e(X, Y).
+        tc(X, Y) <- tc(X, Z), e(Z, Y).
+    "#;
+    let program = parse_program(left).unwrap();
+    let db = Database::from_program(&program);
+    let query = parse_query("tc(1, Y)?").unwrap();
+    let cfg = SldConfig { max_depth: 128, ..SldConfig::default() };
+    let (ans, stats) = solve_sld(&program, &db, &query, &cfg).unwrap();
+    println!(
+        "   prolog: {} answers, depth bound hit: {} (the classic loop)",
+        ans.len(),
+        stats.depth_exceeded
+    );
+    let fix = evaluate_query(&program, &db, &query, Method::Magic, &FixpointConfig::default())
+        .unwrap();
+    println!("   ldl:    {} answers, no divergence (fixpoint semantics)\n", fix.tuples.len());
+
+    // 2. Builtin-first body.
+    println!("2) body written builtin-first: big(Y,X) <- Y = X * 10, n(X).");
+    let bad = "n(1). n(2). n(3).\nbig(Y, X) <- Y = X * 10, n(X).";
+    let program = parse_program(bad).unwrap();
+    let db = Database::from_program(&program);
+    let query = parse_query("big(A, B)?").unwrap();
+    match solve_sld(&program, &db, &query, &SldConfig::default()) {
+        Err(e) => println!("   prolog: {e}"),
+        Ok(_) => println!("   prolog: unexpectedly succeeded"),
+    }
+    let opt = Optimizer::with_defaults(&program, &db);
+    let plan = opt.optimize(&query).unwrap();
+    let ans = plan.execute(&program, &db, &FixpointConfig::default()).unwrap();
+    println!(
+        "   ldl:    reordered the body, {} answers (the optimizer owns goal order)\n",
+        ans.tuples.len()
+    );
+
+    // 3. The happy path, measured.
+    println!("3) right-recursive tc on chains (Prolog's preferred shape):");
+    let mut t = Table::new(&[
+        "chains x len", "answers", "sld-resolutions", "sld-ms", "magic-derived", "magic-ms",
+    ]);
+    for (len, comps) in [(32usize, 4usize), (64, 8), (128, 8)] {
+        let (mut program, start) = transitive_closure_chains(len, comps);
+        // Rewrite tc right-recursive for SLD's benefit.
+        program.rules.clear();
+        let extra = parse_program(
+            "tc(X, Y) <- e(X, Y).\ntc(X, Y) <- e(X, Z), tc(Z, Y).\ne(0,0).",
+        )
+        .unwrap();
+        for r in extra.rules {
+            program.rules.push(r);
+        }
+        let db = Database::from_program(&program);
+        let query = parse_query(&format!("tc({start}, Y)?")).unwrap();
+        let t0 = Instant::now();
+        let (ans, stats) = solve_sld(&program, &db, &query, &SldConfig::default()).unwrap();
+        let sld_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        let t1 = Instant::now();
+        let fix =
+            evaluate_query(&program, &db, &query, Method::Magic, &FixpointConfig::default())
+                .unwrap();
+        let magic_ms = t1.elapsed().as_secs_f64() * 1000.0;
+        assert_eq!(ans.len(), fix.tuples.len(), "engines disagree");
+        t.row(&[
+            format!("{comps} x {len}"),
+            ans.len().to_string(),
+            stats.resolutions.to_string(),
+            fnum(sld_ms),
+            fix.metrics.tuples_derived.to_string(),
+            fnum(magic_ms),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "Expected shape: SLD re-derives shared suffixes exponentially often\n\
+         where the fixpoint memoizes; and only the optimizer survives the\n\
+         left-recursive formulation and the unordered body at all."
+    );
+}

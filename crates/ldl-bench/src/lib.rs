@@ -1,0 +1,13 @@
+//! # ldl-bench — workloads and experiment harness
+//!
+//! Generators for the randomized workloads behind the paper's
+//! quantitative claims (the [Vil 87] protocol of random queries over
+//! random database states, plus the recursive workloads its motivating
+//! examples use), a tiny fixed-width table printer, and one binary per
+//! experiment (`e1_kbz_quality` … `e8_cost_spectrum` — see DESIGN.md §4
+//! for the experiment index and EXPERIMENTS.md for recorded results).
+
+pub mod table;
+pub mod workload;
+
+pub use table::Table;

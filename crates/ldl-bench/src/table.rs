@@ -1,0 +1,120 @@
+//! Fixed-width text tables for experiment output.
+
+use std::fmt;
+
+/// A simple left-aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: vec![] }
+    }
+
+    /// Appends one row (must match the header count).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Convenience: row from displayable items.
+    pub fn rowd(&mut self, cells: &[&dyn fmt::Display]) -> &mut Self {
+        let v: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&v)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows exist.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..ncols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (c, cell) in cells.iter().enumerate() {
+                write!(f, " {cell:<w$} |", w = widths[c])?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{}|", "-".repeat(w + 2))?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float compactly (3 significant-ish digits).
+pub fn fnum(x: f64) -> String {
+    if !x.is_finite() {
+        return "inf".to_string();
+    }
+    if x == 0.0 {
+        return "0".to_string();
+    }
+    let a = x.abs();
+    if a >= 1000.0 {
+        format!("{x:.3e}")
+    } else if a >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["alpha".into(), "1".into()]);
+        t.row(&["b".into(), "100000".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()), "{s}");
+        assert!(s.contains("alpha"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn fnum_formats() {
+        assert_eq!(fnum(f64::INFINITY), "inf");
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(5.0), "5.000");
+        assert_eq!(fnum(42.5), "42.5");
+        assert!(fnum(123456.0).contains('e'));
+    }
+}

@@ -1,0 +1,296 @@
+//! Workload generators.
+//!
+//! Three families:
+//!
+//! * **Random conjunctive queries** — join graphs with random
+//!   cardinalities and selectivities in four shapes (chain, star, cycle,
+//!   random-connected), reproducing the random-query/random-database
+//!   protocol of [Vil 87] (experiments E1–E3, E8);
+//! * **Recursive datasets** — same-generation trees, transitive-closure
+//!   chains/DAGs, and bill-of-materials hierarchies, the workloads the
+//!   paper's recursion methods target (E5, E6, recursion benches);
+//! * **Layered rule bases** — AND/OR rule towers with shared
+//!   subpredicates for the NR-OPT memoization experiment (E4).
+
+use ldl_core::parser::parse_program;
+use ldl_core::{Pred, Program};
+use ldl_optimizer::JoinGraph;
+use ldl_storage::Database;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// Join-graph shapes for random conjunctive queries.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Shape {
+    /// R0 - R1 - ... - R(n-1).
+    Chain,
+    /// Hub R0 joined with every satellite.
+    Star,
+    /// Chain plus a closing edge (cyclic).
+    Cycle,
+    /// Random connected graph with ~1.5·n edges.
+    Random,
+}
+
+impl Shape {
+    /// All shapes.
+    pub const ALL: [Shape; 4] = [Shape::Chain, Shape::Star, Shape::Cycle, Shape::Random];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Shape::Chain => "chain",
+            Shape::Star => "star",
+            Shape::Cycle => "cycle",
+            Shape::Random => "random",
+        }
+    }
+}
+
+/// A random join graph: cardinalities 10¹–10⁵, selectivities 10⁻⁴–10⁻⁰·⁵.
+pub fn random_join_graph(shape: Shape, n: usize, seed: u64) -> JoinGraph {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cards: Vec<f64> = (0..n).map(|_| 10f64.powf(rng.gen_range(1.0..5.0)).round()).collect();
+    let mut g = JoinGraph::new(cards);
+    let sel = |rng: &mut StdRng| 10f64.powf(rng.gen_range(-4.0..-0.5));
+    match shape {
+        Shape::Chain => {
+            for i in 0..n - 1 {
+                let s = sel(&mut rng);
+                g.set_selectivity(i, i + 1, s);
+            }
+        }
+        Shape::Star => {
+            for i in 1..n {
+                let s = sel(&mut rng);
+                g.set_selectivity(0, i, s);
+            }
+        }
+        Shape::Cycle => {
+            for i in 0..n - 1 {
+                let s = sel(&mut rng);
+                g.set_selectivity(i, i + 1, s);
+            }
+            let s = sel(&mut rng);
+            g.set_selectivity(0, n - 1, s);
+        }
+        Shape::Random => {
+            // Random spanning tree, then extra edges up to ~1.5 n.
+            for i in 1..n {
+                let j = rng.gen_range(0..i);
+                let s = sel(&mut rng);
+                g.set_selectivity(i, j, s);
+            }
+            let extra = n / 2;
+            for _ in 0..extra {
+                let i = rng.gen_range(0..n);
+                let j = rng.gen_range(0..n);
+                if i != j {
+                    let s = sel(&mut rng);
+                    g.set_selectivity(i, j, s);
+                }
+            }
+        }
+    }
+    g
+}
+
+/// Same-generation dataset: a complete tree of the given branching and
+/// depth. `up(child, parent)` edges, `dn` their inverses, and
+/// `flat(root, root)`, so `sg(x, y)` holds exactly for nodes at equal
+/// depth (in particular every leaf pair). Returns the program (sg rules
+/// + facts) and the id of one leaf for bound queries.
+pub fn same_generation(branching: usize, depth: usize) -> (Program, i64) {
+    assert!(branching >= 1 && depth >= 1);
+    let mut text = String::new();
+    // Nodes numbered by BFS: root = 0.
+    let mut next_id: i64 = 1;
+    let mut level: Vec<i64> = vec![0];
+    for _ in 0..depth {
+        let mut next_level = Vec::new();
+        for &parent in &level {
+            for _ in 0..branching {
+                let c = next_id;
+                next_id += 1;
+                writeln!(text, "up({c}, {parent}).").unwrap();
+                writeln!(text, "dn({parent}, {c}).").unwrap();
+                next_level.push(c);
+            }
+        }
+        level = next_level;
+    }
+    writeln!(text, "flat(0, 0).").unwrap();
+    text.push_str(
+        "sg(X, Y) <- flat(X, Y).\n\
+         sg(X, Y) <- up(X, X1), sg(Y1, X1), dn(Y1, Y).\n",
+    );
+    let leaf = level[0];
+    (parse_program(&text).expect("generated sg program parses"), leaf)
+}
+
+/// Transitive-closure dataset: `components` disjoint chains of
+/// `chain_len` edges each. Querying inside one chain lets magic sets
+/// ignore the others. Returns the program and the first node id of the
+/// first chain.
+pub fn transitive_closure_chains(chain_len: usize, components: usize) -> (Program, i64) {
+    assert!(chain_len >= 1 && components >= 1);
+    let mut text = String::new();
+    for c in 0..components {
+        let base = (c * (chain_len + 1)) as i64;
+        for i in 0..chain_len {
+            writeln!(text, "e({}, {}).", base + i as i64, base + i as i64 + 1).unwrap();
+        }
+    }
+    text.push_str("tc(X, Y) <- e(X, Y).\ntc(X, Y) <- e(X, Z), tc(Z, Y).\n");
+    (parse_program(&text).expect("generated tc program parses"), 0)
+}
+
+/// Bill-of-materials: `roots` assemblies, each a tree of subparts with
+/// the given branching/depth; `contains(part, sub, qty)` base facts and
+/// a cost-rollup-free reachability program:
+/// `uses(P, S) <- contains(P, S, Q).  uses(P, S) <- contains(P, M, Q), uses(M, S).`
+pub fn bill_of_materials(roots: usize, branching: usize, depth: usize) -> (Program, i64) {
+    let mut text = String::new();
+    let mut next_id: i64 = 0;
+    for _ in 0..roots {
+        let root = next_id;
+        next_id += 1;
+        let mut level = vec![root];
+        for d in 0..depth {
+            let mut nl = Vec::new();
+            for &p in &level {
+                for b in 0..branching {
+                    let s = next_id;
+                    next_id += 1;
+                    let qty = 1 + ((d + b) % 4) as i64;
+                    writeln!(text, "contains({p}, {s}, {qty}).").unwrap();
+                    nl.push(s);
+                }
+            }
+            level = nl;
+        }
+    }
+    text.push_str(
+        "uses(P, S) <- contains(P, S, Q).\n\
+         uses(P, S) <- contains(P, M, Q), uses(M, S).\n",
+    );
+    (parse_program(&text).expect("generated BOM parses"), 0)
+}
+
+/// Layered nonrecursive rule base for the memoization experiment (E4):
+/// `width` predicates per layer, `depth` layers; every layer-`k`
+/// predicate references **all** layer-`k+1` predicates, so subtrees are
+/// massively shared. Returns the program and the root predicate.
+pub fn layered_rulebase(width: usize, depth: usize) -> (Program, Pred) {
+    assert!(width >= 1 && depth >= 1);
+    let mut text = String::new();
+    writeln!(text, "root(X) <- {}.", (0..width).map(|w| format!("p_0_{w}(X)")).collect::<Vec<_>>().join(", ")).unwrap();
+    for d in 0..depth {
+        for w in 0..width {
+            if d + 1 == depth {
+                writeln!(text, "p_{d}_{w}(X) <- base_{w}(X).").unwrap();
+            } else {
+                let body: Vec<String> =
+                    (0..width).map(|w2| format!("p_{}_{w2}(X)", d + 1)).collect();
+                writeln!(text, "p_{d}_{w}(X) <- {}.", body.join(", ")).unwrap();
+            }
+        }
+    }
+    (parse_program(&text).expect("generated layered program parses"), Pred::new("root", 1))
+}
+
+/// A database with synthetic statistics for every base predicate of a
+/// program (uniform cardinality/distincts drawn from the rng).
+pub fn synthetic_database(program: &Program, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    for p in program.base_preds() {
+        let card = 10f64.powf(rng.gen_range(1.0..4.0)).round();
+        let distinct = (card * rng.gen_range(0.1..1.0)).max(1.0);
+        db.set_stats(p, ldl_storage::Stats::uniform(card, p.arity, distinct));
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldl_eval::{evaluate_query, FixpointConfig, Method};
+
+    #[test]
+    fn shapes_produce_expected_edge_counts() {
+        let n = 6;
+        assert_eq!(random_join_graph(Shape::Chain, n, 1).edges().len(), n - 1);
+        assert_eq!(random_join_graph(Shape::Star, n, 1).edges().len(), n - 1);
+        assert_eq!(random_join_graph(Shape::Cycle, n, 1).edges().len(), n);
+        assert!(random_join_graph(Shape::Random, n, 1).edges().len() >= n - 1);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = random_join_graph(Shape::Random, 7, 99);
+        let b = random_join_graph(Shape::Random, 7, 99);
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn sg_tree_has_expected_size() {
+        let (p, leaf) = same_generation(2, 3);
+        // 2 + 4 + 8 = 14 up edges, 14 dn edges, 1 flat fact.
+        assert_eq!(p.facts.len(), 14 * 2 + 1);
+        assert_eq!(leaf, 7); // first leaf in BFS numbering
+    }
+
+    #[test]
+    fn sg_semantics_same_depth() {
+        let (p, leaf) = same_generation(2, 2);
+        let db = Database::from_program(&p);
+        let q = ldl_core::parser::parse_query(&format!("sg({leaf}, Y)?")).unwrap();
+        let ans = evaluate_query(&p, &db, &q, Method::SemiNaive, &FixpointConfig::default())
+            .unwrap()
+            .tuples;
+        // 4 leaves at depth 2: sg(leaf, each of them).
+        assert_eq!(ans.len(), 4);
+    }
+
+    #[test]
+    fn tc_chains_are_disjoint() {
+        let (p, start) = transitive_closure_chains(5, 3);
+        let db = Database::from_program(&p);
+        let q = ldl_core::parser::parse_query(&format!("tc({start}, Y)?")).unwrap();
+        let ans = evaluate_query(&p, &db, &q, Method::Magic, &FixpointConfig::default())
+            .unwrap()
+            .tuples;
+        assert_eq!(ans.len(), 5);
+    }
+
+    #[test]
+    fn bom_uses_reaches_all_descendants() {
+        let (p, root) = bill_of_materials(1, 2, 3);
+        let db = Database::from_program(&p);
+        let q = ldl_core::parser::parse_query(&format!("uses({root}, S)?")).unwrap();
+        let ans = evaluate_query(&p, &db, &q, Method::SemiNaive, &FixpointConfig::default())
+            .unwrap()
+            .tuples;
+        assert_eq!(ans.len(), 2 + 4 + 8);
+    }
+
+    #[test]
+    fn layered_rulebase_shape() {
+        let (p, root) = layered_rulebase(3, 3);
+        assert_eq!(root, Pred::new("root", 1));
+        // 1 root rule + 3 layers × 3 preds.
+        assert_eq!(p.rules.len(), 1 + 9);
+    }
+
+    #[test]
+    fn synthetic_database_covers_base_preds() {
+        let (p, _) = layered_rulebase(2, 2);
+        let db = synthetic_database(&p, 7);
+        for b in p.base_preds() {
+            assert!(db.stats(b).cardinality >= 10.0);
+        }
+    }
+}

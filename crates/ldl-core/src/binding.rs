@@ -1,0 +1,195 @@
+//! Binding patterns (adornments).
+//!
+//! A *query form* (§2 of the paper) is a predicate with each argument marked
+//! bound (`b`) or free (`f`); the optimizer is rerun for every distinct
+//! form, because the best (or the only safe) execution depends on it. The
+//! same bit pattern, attached to a literal during sideways information
+//! passing, is called an *adornment* (§7.3).
+
+use std::fmt;
+
+/// A bound/free pattern over the arguments of a predicate.
+///
+/// Stored as a bitmask (`bit i` set = argument `i` bound); supports
+/// predicates of up to 64 arguments, far beyond the paper's working
+/// assumption of `k < 5`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Adornment {
+    mask: u64,
+    arity: usize,
+}
+
+impl Adornment {
+    /// Maximum supported arity.
+    pub const MAX_ARITY: usize = 64;
+
+    /// All-free adornment for a predicate of the given arity.
+    pub fn all_free(arity: usize) -> Adornment {
+        assert!(arity <= Self::MAX_ARITY, "arity {arity} exceeds supported maximum");
+        Adornment { mask: 0, arity }
+    }
+
+    /// All-bound adornment.
+    pub fn all_bound(arity: usize) -> Adornment {
+        assert!(arity <= Self::MAX_ARITY);
+        let mask = if arity == 64 { u64::MAX } else { (1u64 << arity) - 1 };
+        Adornment { mask, arity }
+    }
+
+    /// Adornment from explicit per-argument flags.
+    pub fn from_flags(flags: &[bool]) -> Adornment {
+        assert!(flags.len() <= Self::MAX_ARITY);
+        let mut mask = 0u64;
+        for (i, &b) in flags.iter().enumerate() {
+            if b {
+                mask |= 1 << i;
+            }
+        }
+        Adornment { mask, arity: flags.len() }
+    }
+
+    /// Parses a `"bf"`-style string (`b` = bound, `f` = free).
+    pub fn parse(s: &str) -> Option<Adornment> {
+        if s.len() > Self::MAX_ARITY {
+            return None;
+        }
+        let mut mask = 0u64;
+        for (i, c) in s.chars().enumerate() {
+            match c {
+                'b' => mask |= 1 << i,
+                'f' => {}
+                _ => return None,
+            }
+        }
+        Some(Adornment { mask, arity: s.len() })
+    }
+
+    /// Number of arguments.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Is argument `i` bound?
+    pub fn is_bound(&self, i: usize) -> bool {
+        assert!(i < self.arity);
+        self.mask & (1 << i) != 0
+    }
+
+    /// Returns a copy with argument `i` marked bound.
+    pub fn bind(&self, i: usize) -> Adornment {
+        assert!(i < self.arity);
+        Adornment { mask: self.mask | (1 << i), arity: self.arity }
+    }
+
+    /// Number of bound arguments.
+    pub fn bound_count(&self) -> usize {
+        self.mask.count_ones() as usize
+    }
+
+    /// True if no argument is bound.
+    pub fn is_all_free(&self) -> bool {
+        self.mask == 0
+    }
+
+    /// True if every argument is bound.
+    pub fn is_all_bound(&self) -> bool {
+        self.bound_count() == self.arity
+    }
+
+    /// Indices of bound arguments, ascending.
+    pub fn bound_positions(&self) -> Vec<usize> {
+        (0..self.arity).filter(|&i| self.is_bound(i)).collect()
+    }
+
+    /// Indices of free arguments, ascending.
+    pub fn free_positions(&self) -> Vec<usize> {
+        (0..self.arity).filter(|&i| !self.is_bound(i)).collect()
+    }
+
+    /// Iterator over all `2^arity` adornments of a given arity (used by
+    /// NR-OPT's per-binding memo table bounds and by tests).
+    pub fn enumerate(arity: usize) -> impl Iterator<Item = Adornment> {
+        assert!(arity < 32, "enumerating adornments is only sensible for small arities");
+        (0..(1u64 << arity)).map(move |mask| Adornment { mask, arity })
+    }
+
+    /// True if `self` binds a superset of `other`'s bound arguments.
+    pub fn subsumes(&self, other: &Adornment) -> bool {
+        self.arity == other.arity && (self.mask & other.mask) == other.mask
+    }
+}
+
+impl fmt::Display for Adornment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.arity {
+            f.write_str(if self.is_bound(i) { "b" } else { "f" })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let a = Adornment::parse("bfb").unwrap();
+        assert_eq!(a.to_string(), "bfb");
+        assert!(a.is_bound(0));
+        assert!(!a.is_bound(1));
+        assert!(a.is_bound(2));
+        assert_eq!(a.bound_count(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Adornment::parse("bxf").is_none());
+    }
+
+    #[test]
+    fn all_free_all_bound() {
+        let f = Adornment::all_free(3);
+        assert!(f.is_all_free());
+        assert!(!f.is_all_bound());
+        let b = Adornment::all_bound(3);
+        assert!(b.is_all_bound());
+        assert_eq!(b.to_string(), "bbb");
+    }
+
+    #[test]
+    fn bind_is_monotone() {
+        let a = Adornment::all_free(2).bind(1);
+        assert_eq!(a.to_string(), "fb");
+        assert!(a.bind(1) == a);
+    }
+
+    #[test]
+    fn enumerate_counts() {
+        assert_eq!(Adornment::enumerate(3).count(), 8);
+        assert_eq!(Adornment::enumerate(0).count(), 1);
+    }
+
+    #[test]
+    fn positions() {
+        let a = Adornment::parse("bfbf").unwrap();
+        assert_eq!(a.bound_positions(), vec![0, 2]);
+        assert_eq!(a.free_positions(), vec![1, 3]);
+    }
+
+    #[test]
+    fn subsumption() {
+        let bb = Adornment::parse("bb").unwrap();
+        let bf = Adornment::parse("bf").unwrap();
+        let ff = Adornment::parse("ff").unwrap();
+        assert!(bb.subsumes(&bf));
+        assert!(bf.subsumes(&ff));
+        assert!(!bf.subsumes(&bb));
+        assert!(bb.subsumes(&bb));
+    }
+
+    #[test]
+    fn from_flags_matches_parse() {
+        assert_eq!(Adornment::from_flags(&[true, false]), Adornment::parse("bf").unwrap());
+    }
+}

@@ -1,0 +1,451 @@
+//! Predicate dependency graph, recursive cliques, stratification.
+//!
+//! §2 of the paper: `P ⇒ Q` when `P` appears in the body of a rule whose
+//! head is `Q` (closed transitively). Predicates with `P ⇒ P` are
+//! *recursive*; mutual recursion partitions recursive predicates into
+//! *recursive cliques* (the strongly connected components with a cycle),
+//! and a clique `C1` *follows* `C2` when a predicate of `C2` helps define
+//! `C1`. The optimizer contracts each clique to a single CC node (§4).
+//!
+//! Negated body literals are tracked so that programs using LDL's
+//! stratified negation [BN 87] can be checked: a negative edge inside a
+//! clique makes the program non-stratified and is rejected.
+
+use crate::error::{LdlError, Result};
+use crate::literal::Pred;
+use crate::program::Program;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// A recursive clique: a maximal set of mutually recursive predicates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Clique {
+    /// The mutually recursive predicates.
+    pub preds: BTreeSet<Pred>,
+    /// Indexes (into `Program::rules`) of the *recursive rules* — rules
+    /// whose head is in the clique and whose body mentions the clique.
+    pub recursive_rules: Vec<usize>,
+    /// Indexes of *exit rules* — head in the clique, body entirely
+    /// outside it (the base case of the fixpoint).
+    pub exit_rules: Vec<usize>,
+}
+
+impl Clique {
+    /// Every rule defining the clique, recursive first then exit.
+    pub fn all_rules(&self) -> Vec<usize> {
+        let mut v = self.recursive_rules.clone();
+        v.extend(&self.exit_rules);
+        v
+    }
+
+    /// True when every recursive rule contains exactly one occurrence of a
+    /// clique predicate in its body — *linear* recursion, the shape the
+    /// generalized counting method [SZ 86] requires.
+    pub fn is_linear(&self, program: &Program) -> bool {
+        self.recursive_rules.iter().all(|&i| {
+            let n = program.rules[i]
+                .body_atoms()
+                .filter(|a| self.preds.contains(&a.pred))
+                .count();
+            n == 1
+        })
+    }
+}
+
+/// The dependency graph of a program.
+#[derive(Clone, Debug)]
+pub struct DependencyGraph {
+    /// Derived predicates in a fixed order.
+    preds: Vec<Pred>,
+    index: HashMap<Pred, usize>,
+    /// `edges[i]` = derived predicates appearing in bodies of rules with
+    /// head `preds[i]`, each with a flag: `true` if some occurrence is
+    /// negated.
+    edges: Vec<BTreeMap<usize, bool>>,
+    cliques: Vec<Clique>,
+    /// `clique_of[i]` = index into `cliques` if `preds[i]` is recursive.
+    clique_of: Vec<Option<usize>>,
+    /// Derived predicates in a bottom-up evaluation order (dependencies
+    /// first); members of one clique are adjacent.
+    topo: Vec<Pred>,
+}
+
+impl DependencyGraph {
+    /// Builds the graph, finds SCCs (Tarjan), classifies cliques, and
+    /// computes a bottom-up order.
+    pub fn build(program: &Program) -> DependencyGraph {
+        let derived: Vec<Pred> = program.derived_preds().into_iter().collect();
+        let index: HashMap<Pred, usize> =
+            derived.iter().enumerate().map(|(i, p)| (*p, i)).collect();
+
+        let mut edges: Vec<BTreeMap<usize, bool>> = vec![BTreeMap::new(); derived.len()];
+        for rule in &program.rules {
+            let h = index[&rule.head.pred];
+            // Grouping heads behave like negation for stratification: the
+            // set is complete only once its sources are (a predicate may
+            // not collect a set of itself).
+            let grouping = rule.head.args.iter().any(|a| a.as_group().is_some());
+            for atom in rule.body_atoms() {
+                if let Some(&b) = index.get(&atom.pred) {
+                    let e = edges[h].entry(b).or_insert(false);
+                    *e = *e || atom.negated || grouping;
+                }
+            }
+        }
+
+        let sccs = tarjan(derived.len(), &edges);
+
+        let mut clique_of = vec![None; derived.len()];
+        let mut cliques = Vec::new();
+        for comp in &sccs {
+            let recursive = comp.len() > 1
+                || edges[comp[0]].contains_key(&comp[0]); // self loop
+            if !recursive {
+                continue;
+            }
+            let preds: BTreeSet<Pred> = comp.iter().map(|&i| derived[i]).collect();
+            let mut recursive_rules = Vec::new();
+            let mut exit_rules = Vec::new();
+            for (ri, rule) in program.rules.iter().enumerate() {
+                if !preds.contains(&rule.head.pred) {
+                    continue;
+                }
+                if rule.body_atoms().any(|a| preds.contains(&a.pred)) {
+                    recursive_rules.push(ri);
+                } else {
+                    exit_rules.push(ri);
+                }
+            }
+            let cid = cliques.len();
+            for &i in comp {
+                clique_of[i] = Some(cid);
+            }
+            cliques.push(Clique { preds, recursive_rules, exit_rules });
+        }
+
+        // Tarjan emits SCCs in reverse topological order of the
+        // condensation: a component is finished only after everything it
+        // reaches. Since our edges point head -> body (user -> used), a
+        // finished component has all its dependencies finished first, so
+        // the emission order IS the bottom-up order.
+        let topo: Vec<Pred> = sccs.iter().flat_map(|c| c.iter().map(|&i| derived[i])).collect();
+
+        DependencyGraph { preds: derived, index, edges, cliques, clique_of, topo }
+    }
+
+    /// The recursive cliques, in bottom-up order.
+    pub fn cliques(&self) -> &[Clique] {
+        &self.cliques
+    }
+
+    /// The clique containing `p`, if `p` is recursive.
+    pub fn clique_of(&self, p: Pred) -> Option<&Clique> {
+        let i = *self.index.get(&p)?;
+        self.clique_of[i].map(|c| &self.cliques[c])
+    }
+
+    /// Index of the clique containing `p`.
+    pub fn clique_id_of(&self, p: Pred) -> Option<usize> {
+        let i = *self.index.get(&p)?;
+        self.clique_of[i]
+    }
+
+    /// Is `p` recursive (`p ⇒ p`)?
+    pub fn is_recursive(&self, p: Pred) -> bool {
+        self.clique_of(p).is_some()
+    }
+
+    /// The paper's implication: does `p` (transitively) help define `q`?
+    pub fn implies(&self, p: Pred, q: Pred) -> bool {
+        let (Some(&pi), Some(&qi)) = (self.index.get(&p), self.index.get(&q)) else {
+            return false;
+        };
+        // DFS from q along body edges looking for p.
+        let mut seen = vec![false; self.preds.len()];
+        let mut stack = vec![qi];
+        while let Some(n) = stack.pop() {
+            for &m in self.edges[n].keys() {
+                if m == pi {
+                    return true;
+                }
+                if !seen[m] {
+                    seen[m] = true;
+                    stack.push(m);
+                }
+            }
+        }
+        false
+    }
+
+    /// Derived predicates in bottom-up (dependencies-first) order.
+    pub fn bottom_up_order(&self) -> &[Pred] {
+        &self.topo
+    }
+
+    /// Derived predicates `p` directly uses (its rule bodies' derived
+    /// predicates).
+    pub fn uses(&self, p: Pred) -> Vec<Pred> {
+        match self.index.get(&p) {
+            Some(&i) => self.edges[i].keys().map(|&j| self.preds[j]).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Checks stratified negation: no negated edge may connect two
+    /// predicates of the same clique (a predicate may not be defined,
+    /// even transitively, in terms of its own negation).
+    pub fn check_stratified(&self) -> Result<()> {
+        for (i, es) in self.edges.iter().enumerate() {
+            for (&j, &negated) in es {
+                if !negated {
+                    continue;
+                }
+                if let (Some(ci), Some(cj)) = (self.clique_of[i], self.clique_of[j]) {
+                    if ci == cj {
+                        return Err(LdlError::Validation(format!(
+                            "program is not stratified: {} depends negatively on {} inside a recursive clique",
+                            self.preds[i], self.preds[j]
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Iterative Tarjan SCC. Returns components in reverse topological order
+/// of the condensation (callees before callers for head->body edges).
+fn tarjan(n: usize, edges: &[BTreeMap<usize, bool>]) -> Vec<Vec<usize>> {
+    #[derive(Clone, Copy)]
+    struct NodeState {
+        index: i64,
+        lowlink: i64,
+        on_stack: bool,
+    }
+    let mut state = vec![NodeState { index: -1, lowlink: -1, on_stack: false }; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0i64;
+    let mut comps: Vec<Vec<usize>> = Vec::new();
+
+    // Explicit DFS stack: (node, iterator position over its successors).
+    for root in 0..n {
+        if state[root].index != -1 {
+            continue;
+        }
+        let mut call_stack: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+        let succs: Vec<usize> = edges[root].keys().copied().collect();
+        state[root] = NodeState { index: next_index, lowlink: next_index, on_stack: true };
+        next_index += 1;
+        stack.push(root);
+        call_stack.push((root, succs, 0));
+
+        while let Some((v, succs, mut k)) = call_stack.pop() {
+            let mut descended = false;
+            while k < succs.len() {
+                let w = succs[k];
+                k += 1;
+                if state[w].index == -1 {
+                    // Descend into w.
+                    state[w] = NodeState { index: next_index, lowlink: next_index, on_stack: true };
+                    next_index += 1;
+                    stack.push(w);
+                    let wsuccs: Vec<usize> = edges[w].keys().copied().collect();
+                    call_stack.push((v, succs, k));
+                    call_stack.push((w, wsuccs, 0));
+                    descended = true;
+                    break;
+                } else if state[w].on_stack {
+                    state[v].lowlink = state[v].lowlink.min(state[w].index);
+                }
+            }
+            if descended {
+                continue;
+            }
+            // v finished.
+            if state[v].lowlink == state[v].index {
+                let mut comp = Vec::new();
+                loop {
+                    let w = stack.pop().expect("tarjan stack underflow");
+                    state[w].on_stack = false;
+                    comp.push(w);
+                    if w == v {
+                        break;
+                    }
+                }
+                comp.sort_unstable();
+                comps.push(comp);
+            }
+            if let Some(&mut (parent, _, _)) = call_stack.last_mut() {
+                state[parent].lowlink = state[parent].lowlink.min(state[v].lowlink);
+            }
+        }
+    }
+    comps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn sg_clique_detected() {
+        let p = parse_program(
+            r#"
+            sg(X, Y) <- flat(X, Y).
+            sg(X, Y) <- up(X, X1), sg(Y1, X1), dn(Y1, Y).
+            "#,
+        )
+        .unwrap();
+        let g = DependencyGraph::build(&p);
+        assert_eq!(g.cliques().len(), 1);
+        let c = &g.cliques()[0];
+        assert!(c.preds.contains(&Pred::new("sg", 2)));
+        assert_eq!(c.recursive_rules, vec![1]);
+        assert_eq!(c.exit_rules, vec![0]);
+        assert!(c.is_linear(&p));
+        assert!(g.is_recursive(Pred::new("sg", 2)));
+    }
+
+    #[test]
+    fn mutual_recursion_one_clique() {
+        let p = parse_program(
+            r#"
+            even(X) <- zero(X).
+            even(X) <- succ(Y, X), odd(Y).
+            odd(X) <- succ(Y, X), even(Y).
+            "#,
+        )
+        .unwrap();
+        let g = DependencyGraph::build(&p);
+        assert_eq!(g.cliques().len(), 1);
+        let c = &g.cliques()[0];
+        assert_eq!(c.preds.len(), 2);
+        assert!(g.implies(Pred::new("even", 1), Pred::new("odd", 1)));
+        assert!(g.implies(Pred::new("odd", 1), Pred::new("even", 1)));
+    }
+
+    #[test]
+    fn nonrecursive_program_has_no_cliques() {
+        let p = parse_program(
+            r#"
+            grandparent(X, Z) <- parent(X, Y), parent(Y, Z).
+            ancestor2(X, Z) <- grandparent(X, Z).
+            "#,
+        )
+        .unwrap();
+        let g = DependencyGraph::build(&p);
+        assert!(g.cliques().is_empty());
+        assert!(!g.is_recursive(Pred::new("grandparent", 2)));
+    }
+
+    #[test]
+    fn bottom_up_order_respects_dependencies() {
+        let p = parse_program(
+            r#"
+            a(X) <- b(X), c(X).
+            b(X) <- base1(X).
+            c(X) <- b(X), base2(X).
+            "#,
+        )
+        .unwrap();
+        let g = DependencyGraph::build(&p);
+        let order = g.bottom_up_order();
+        let pos = |name: &str| {
+            order
+                .iter()
+                .position(|p| p.name.as_str() == name)
+                .unwrap_or_else(|| panic!("{name} missing from topo order"))
+        };
+        assert!(pos("b") < pos("a"));
+        assert!(pos("b") < pos("c"));
+        assert!(pos("c") < pos("a"));
+    }
+
+    #[test]
+    fn implies_is_transitive() {
+        let p = parse_program(
+            r#"
+            a(X) <- b(X).
+            b(X) <- c(X).
+            c(X) <- base(X).
+            "#,
+        )
+        .unwrap();
+        let g = DependencyGraph::build(&p);
+        assert!(g.implies(Pred::new("c", 1), Pred::new("a", 1)));
+        assert!(!g.implies(Pred::new("a", 1), Pred::new("c", 1)));
+    }
+
+    #[test]
+    fn two_separate_cliques_follow_order() {
+        let p = parse_program(
+            r#"
+            tc(X, Y) <- e(X, Y).
+            tc(X, Y) <- tc(X, Z), e(Z, Y).
+            reach2(X, Y) <- tc(X, Y).
+            reach2(X, Y) <- reach2(X, Z), f(Z, Y).
+            "#,
+        )
+        .unwrap();
+        let g = DependencyGraph::build(&p);
+        assert_eq!(g.cliques().len(), 2);
+        // tc's clique must come before reach2's in bottom-up order.
+        let order = g.bottom_up_order();
+        let pos = |n: &str| order.iter().position(|p| p.name.as_str() == n).unwrap();
+        assert!(pos("tc") < pos("reach2"));
+    }
+
+    #[test]
+    fn stratified_negation_accepted() {
+        let p = parse_program(
+            r#"
+            reach(X) <- source(X).
+            reach(X) <- reach(Y), edge(Y, X).
+            unreachable(X) <- node(X), ~reach(X).
+            "#,
+        )
+        .unwrap();
+        let g = DependencyGraph::build(&p);
+        assert!(g.check_stratified().is_ok());
+    }
+
+    #[test]
+    fn unstratified_negation_rejected() {
+        let p = parse_program(
+            r#"
+            win(X) <- move(X, Y), ~win(Y).
+            "#,
+        )
+        .unwrap();
+        let g = DependencyGraph::build(&p);
+        assert!(g.check_stratified().is_err());
+    }
+
+    #[test]
+    fn nonlinear_clique_detected() {
+        let p = parse_program(
+            r#"
+            tc(X, Y) <- e(X, Y).
+            tc(X, Y) <- tc(X, Z), tc(Z, Y).
+            "#,
+        )
+        .unwrap();
+        let g = DependencyGraph::build(&p);
+        assert!(!g.cliques()[0].is_linear(&p));
+    }
+
+    #[test]
+    fn uses_lists_direct_dependencies() {
+        let p = parse_program(
+            r#"
+            a(X) <- b(X), base(X).
+            b(X) <- base(X).
+            "#,
+        )
+        .unwrap();
+        let g = DependencyGraph::build(&p);
+        let u = g.uses(Pred::new("a", 1));
+        assert_eq!(u, vec![Pred::new("b", 1)]); // base preds are not derived
+    }
+}

@@ -1,0 +1,51 @@
+//! # ldl-core — the LDL language front end
+//!
+//! This crate implements the language layer of the LDL system described in
+//! *"Optimization in a Logic Based Language for Knowledge and Data Intensive
+//! Applications"* (Krishnamurthy & Zaniolo, EDBT 1988): Horn-clause rules
+//! over complex terms (function symbols, lists), a concrete-syntax parser,
+//! unification, binding patterns / adornments, sideways information passing
+//! (SIP), the predicate dependency graph with recursive-clique detection,
+//! and the program-adornment algorithm of §7.3 of the paper.
+//!
+//! Everything downstream — storage, evaluation, and the optimizer — is
+//! expressed in terms of the types defined here.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use ldl_core::parser::parse_program;
+//!
+//! let program = parse_program(
+//!     r#"
+//!     % the paper's same-generation rule base
+//!     sg(X, Y) <- flat(X, Y).
+//!     sg(X, Y) <- up(X, X1), sg(Y1, X1), dn(Y1, Y).
+//!     "#,
+//! )
+//! .unwrap();
+//! assert_eq!(program.rules.len(), 2);
+//! let graph = ldl_core::depgraph::DependencyGraph::build(&program);
+//! assert_eq!(graph.cliques().len(), 1); // sg is recursive
+//! ```
+
+pub mod adorn;
+pub mod binding;
+pub mod depgraph;
+pub mod error;
+pub mod literal;
+pub mod parser;
+pub mod program;
+pub mod rule;
+pub mod symbol;
+pub mod term;
+pub mod unfold;
+pub mod unify;
+
+pub use binding::Adornment;
+pub use error::{LdlError, Result};
+pub use literal::{Atom, BuiltinPred, CmpOp, Literal, Pred};
+pub use program::{Program, Query};
+pub use rule::Rule;
+pub use symbol::Symbol;
+pub use term::{Term, Value};

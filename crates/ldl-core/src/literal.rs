@@ -1,0 +1,362 @@
+//! Literals: predicate atoms and evaluable (built-in) predicates.
+//!
+//! A rule body is a conjunction of literals. An [`Atom`] references a base
+//! or derived predicate; a [`Literal::Builtin`] is one of the *evaluable
+//! predicates* of §8 of the paper — comparisons and arithmetic equalities —
+//! which are formally infinite relations and therefore the primary source
+//! of safety problems.
+
+use crate::symbol::Symbol;
+use crate::term::Term;
+use std::fmt;
+
+/// A predicate identity: name plus arity. `p/2` and `p/3` are distinct.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Pred {
+    /// Predicate name.
+    pub name: Symbol,
+    /// Number of arguments.
+    pub arity: usize,
+}
+
+impl Pred {
+    /// Predicate from a name string and arity.
+    pub fn new(name: &str, arity: usize) -> Pred {
+        Pred { name: Symbol::intern(name), arity }
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.arity)
+    }
+}
+
+/// An atomic formula `p(t1, ..., tn)`, possibly negated (`~p(...)`).
+///
+/// Negation is parsed and tracked for stratification analysis; the
+/// optimizer core (like the paper, which restricts itself to pure Horn
+/// clauses) only accepts stratified use of it.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Atom {
+    /// The predicate this atom refers to.
+    pub pred: Pred,
+    /// Argument terms; `args.len() == pred.arity`.
+    pub args: Vec<Term>,
+    /// True for a negated body literal `~p(...)`.
+    pub negated: bool,
+}
+
+impl Atom {
+    /// Positive atom `name(args...)`.
+    pub fn new(name: &str, args: Vec<Term>) -> Atom {
+        Atom { pred: Pred::new(name, args.len()), args, negated: false }
+    }
+
+    /// Negated atom `~name(args...)`.
+    pub fn negated(name: &str, args: Vec<Term>) -> Atom {
+        Atom { pred: Pred::new(name, args.len()), args, negated: true }
+    }
+
+    /// All variables of the atom in first-occurrence order.
+    pub fn vars(&self) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        for a in &self.args {
+            a.collect_vars(&mut out);
+        }
+        out
+    }
+
+    /// True if every argument is ground (a fact candidate).
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(Term::is_ground)
+    }
+
+    /// Rebuilds the atom mapping every variable through `f`.
+    pub fn map_vars(&self, f: &mut impl FnMut(Symbol) -> Term) -> Atom {
+        Atom {
+            pred: self.pred,
+            args: self.args.iter().map(|a| a.map_vars(f)).collect(),
+            negated: self.negated,
+        }
+    }
+
+    /// Same atom with a different predicate name (used by the adornment and
+    /// magic-set rewritings, which rename `p` to `p_bf`, `magic_p_bf`, ...).
+    pub fn renamed(&self, name: Symbol) -> Atom {
+        Atom { pred: Pred { name, arity: self.pred.arity }, args: self.args.clone(), negated: self.negated }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.negated {
+            write!(f, "~")?;
+        }
+        write!(f, "{}(", self.pred.name)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Comparison operator of an evaluable predicate.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CmpOp {
+    /// `=` — unification / arithmetic assignment.
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Concrete-syntax spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+
+    /// The comparison with operands swapped (`<` becomes `>`, ...).
+    pub fn flipped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// An evaluable predicate `lhs op rhs`.
+///
+/// Arithmetic expressions appear as compound terms whose functors are
+/// `+ - * / mod`; e.g. `Z = X + Y` is `Builtin { op: Eq, lhs: Z, rhs: +(X, Y) }`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct BuiltinPred {
+    /// The comparison operator.
+    pub op: CmpOp,
+    /// Left operand.
+    pub lhs: Term,
+    /// Right operand.
+    pub rhs: Term,
+}
+
+impl BuiltinPred {
+    /// Builds `lhs op rhs`.
+    pub fn new(op: CmpOp, lhs: Term, rhs: Term) -> BuiltinPred {
+        BuiltinPred { op, lhs, rhs }
+    }
+
+    /// All variables in first-occurrence order.
+    pub fn vars(&self) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        self.lhs.collect_vars(&mut out);
+        self.rhs.collect_vars(&mut out);
+        out
+    }
+
+    /// Rebuilds mapping every variable through `f`.
+    pub fn map_vars(&self, f: &mut impl FnMut(Symbol) -> Term) -> BuiltinPred {
+        BuiltinPred { op: self.op, lhs: self.lhs.map_vars(f), rhs: self.rhs.map_vars(f) }
+    }
+
+    /// Effective computability (§8.1): given the set of currently bound
+    /// variables, can this evaluable predicate be executed finitely?
+    ///
+    /// * comparisons other than `=`: every variable must be bound;
+    /// * `lhs = rhs`: EC as soon as one side is fully bound (the other side
+    ///   is then computed/unified); also EC when both sides are bound.
+    pub fn is_ec(&self, bound: &std::collections::HashSet<Symbol>) -> bool {
+        let all_bound = |t: &Term| t.vars().iter().all(|v| bound.contains(v));
+        match self.op {
+            CmpOp::Eq => all_bound(&self.lhs) || all_bound(&self.rhs),
+            _ => all_bound(&self.lhs) && all_bound(&self.rhs),
+        }
+    }
+
+    /// The variables this literal *binds* once executed with the given
+    /// bound set: for an EC equality, the variables of the unbound side;
+    /// comparisons bind nothing new.
+    pub fn binds(&self, bound: &std::collections::HashSet<Symbol>) -> Vec<Symbol> {
+        if self.op != CmpOp::Eq || !self.is_ec(bound) {
+            return Vec::new();
+        }
+        let all_bound = |t: &Term| t.vars().iter().all(|v| bound.contains(v));
+        let mut out = Vec::new();
+        if !all_bound(&self.lhs) {
+            self.lhs.collect_vars(&mut out);
+        }
+        if !all_bound(&self.rhs) {
+            self.rhs.collect_vars(&mut out);
+        }
+        out.retain(|v| !bound.contains(v));
+        out
+    }
+}
+
+impl fmt::Display for BuiltinPred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.lhs, self.op, self.rhs)
+    }
+}
+
+/// A body literal: either a predicate atom or an evaluable predicate.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Literal {
+    /// Base or derived predicate occurrence.
+    Atom(Atom),
+    /// Evaluable predicate (comparison / arithmetic).
+    Builtin(BuiltinPred),
+}
+
+impl Literal {
+    /// All variables in first-occurrence order.
+    pub fn vars(&self) -> Vec<Symbol> {
+        match self {
+            Literal::Atom(a) => a.vars(),
+            Literal::Builtin(b) => b.vars(),
+        }
+    }
+
+    /// The atom inside, if any.
+    pub fn as_atom(&self) -> Option<&Atom> {
+        match self {
+            Literal::Atom(a) => Some(a),
+            Literal::Builtin(_) => None,
+        }
+    }
+
+    /// The builtin inside, if any.
+    pub fn as_builtin(&self) -> Option<&BuiltinPred> {
+        match self {
+            Literal::Builtin(b) => Some(b),
+            Literal::Atom(_) => None,
+        }
+    }
+
+    /// True if this is an evaluable predicate.
+    pub fn is_builtin(&self) -> bool {
+        matches!(self, Literal::Builtin(_))
+    }
+
+    /// Rebuilds mapping every variable through `f`.
+    pub fn map_vars(&self, f: &mut impl FnMut(Symbol) -> Term) -> Literal {
+        match self {
+            Literal::Atom(a) => Literal::Atom(a.map_vars(f)),
+            Literal::Builtin(b) => Literal::Builtin(b.map_vars(f)),
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Atom(a) => write!(f, "{a}"),
+            Literal::Builtin(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn bound(names: &[&str]) -> HashSet<Symbol> {
+        names.iter().map(|n| Symbol::intern(n)).collect()
+    }
+
+    #[test]
+    fn comparison_needs_all_vars_bound() {
+        let b = BuiltinPred::new(CmpOp::Gt, Term::var("X"), Term::var("Y"));
+        assert!(!b.is_ec(&bound(&["X"])));
+        assert!(b.is_ec(&bound(&["X", "Y"])));
+    }
+
+    #[test]
+    fn equality_needs_one_side_bound() {
+        // Z = X + Y : EC once X and Y are bound, or once Z is bound.
+        let b = BuiltinPred::new(
+            CmpOp::Eq,
+            Term::var("Z"),
+            Term::compound("+", vec![Term::var("X"), Term::var("Y")]),
+        );
+        assert!(!b.is_ec(&bound(&["X"])));
+        assert!(b.is_ec(&bound(&["X", "Y"])));
+        assert!(b.is_ec(&bound(&["Z"])));
+    }
+
+    #[test]
+    fn equality_binds_the_unbound_side() {
+        let b = BuiltinPred::new(
+            CmpOp::Eq,
+            Term::var("Z"),
+            Term::compound("+", vec![Term::var("X"), Term::var("Y")]),
+        );
+        let newly = b.binds(&bound(&["X", "Y"]));
+        assert_eq!(newly, vec![Symbol::intern("Z")]);
+        // A bare comparison binds nothing.
+        let c = BuiltinPred::new(CmpOp::Lt, Term::var("X"), Term::var("Y"));
+        assert!(c.binds(&bound(&["X", "Y"])).is_empty());
+    }
+
+    #[test]
+    fn ground_equality_is_ec() {
+        let b = BuiltinPred::new(CmpOp::Eq, Term::var("X"), Term::int(3));
+        assert!(b.is_ec(&bound(&[])));
+        assert_eq!(b.binds(&bound(&[])), vec![Symbol::intern("X")]);
+    }
+
+    #[test]
+    fn atom_display_and_vars() {
+        let a = Atom::new("sg", vec![Term::var("X"), Term::var("Y")]);
+        assert_eq!(a.to_string(), "sg(X, Y)");
+        assert_eq!(a.pred.arity, 2);
+        assert_eq!(a.vars().len(), 2);
+    }
+
+    #[test]
+    fn negated_atom_display() {
+        let a = Atom::negated("broken", vec![Term::var("P")]);
+        assert_eq!(a.to_string(), "~broken(P)");
+    }
+
+    #[test]
+    fn cmp_flip() {
+        assert_eq!(CmpOp::Lt.flipped(), CmpOp::Gt);
+        assert_eq!(CmpOp::Le.flipped(), CmpOp::Ge);
+        assert_eq!(CmpOp::Eq.flipped(), CmpOp::Eq);
+    }
+
+    #[test]
+    fn pred_identity_includes_arity() {
+        assert_ne!(Pred::new("p", 2), Pred::new("p", 3));
+        assert_eq!(Pred::new("p", 2), Pred::new("p", 2));
+    }
+}

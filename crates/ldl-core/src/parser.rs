@@ -1,0 +1,673 @@
+//! Concrete-syntax parser for LDL programs.
+//!
+//! The accepted syntax follows the paper's examples:
+//!
+//! ```text
+//! % comments run to end of line
+//! up(1, 2).                                   % ground fact
+//! sg(X, Y) <- flat(X, Y).                     % rule ( :- also accepted)
+//! sg(X, Y) <- up(X, X1), sg(Y1, X1), dn(Y1, Y).
+//! p(X, Y, Z) <- X = 3, Z = X + Y.             % evaluable predicates
+//! len([], 0).
+//! len([H | T], N) <- len(T, M), N = M + 1.    % lists & arithmetic
+//! sg(1, Y)?                                   % query (ground arg = bound)
+//! ```
+//!
+//! Identifiers starting with an uppercase letter or `_` are variables;
+//! lowercase identifiers are symbolic constants, predicate or function
+//! names. Arithmetic (`+ - * / mod`) uses ordinary precedence and builds
+//! compound terms, which the evaluator interprets inside `=` literals.
+
+use crate::error::{LdlError, Result};
+use crate::literal::{Atom, BuiltinPred, CmpOp, Literal};
+use crate::program::{Program, Query};
+use crate::rule::Rule;
+use crate::term::Term;
+
+/// A parsed compilation unit: the rule base plus any queries in the text.
+#[derive(Clone, Debug, Default)]
+pub struct Source {
+    /// Rules and facts.
+    pub program: Program,
+    /// Queries (`goal?` statements), in source order.
+    pub queries: Vec<Query>,
+}
+
+/// Parses a full source text into rules, facts, and queries.
+pub fn parse_source(text: &str) -> Result<Source> {
+    Parser::new(text)?.source()
+}
+
+/// Parses a source text, discarding any queries. Also validates the program.
+pub fn parse_program(text: &str) -> Result<Program> {
+    let src = parse_source(text)?;
+    src.program.validate()?;
+    Ok(src.program)
+}
+
+/// Parses a single query such as `sg(1, Y)?` (the trailing `?` optional).
+pub fn parse_query(text: &str) -> Result<Query> {
+    let mut p = Parser::new(text)?;
+    let lit = p.literal()?;
+    let atom = match lit {
+        Literal::Atom(a) if !a.negated => a,
+        other => {
+            return Err(p.err(format!("query goal must be a positive atom, got {other}")))
+        }
+    };
+    if p.peek_is(&Tok::Question) {
+        p.bump();
+    }
+    p.expect_eof()?;
+    Ok(Query::new(atom))
+}
+
+/// Parses a single term (used by tests and examples).
+pub fn parse_term(text: &str) -> Result<Term> {
+    let mut p = Parser::new(text)?;
+    let t = p.expr()?;
+    p.expect_eof()?;
+    Ok(t)
+}
+
+#[derive(Clone, PartialEq, Debug)]
+enum Tok {
+    Ident(String), // lowercase: constants, predicate & function names
+    Var(String),   // uppercase / underscore: variables
+    Int(i64),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Dot,
+    Question,
+    Pipe,
+    Tilde,
+    Arrow, // <- or :-
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Eof,
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize, usize)>, // token, line, col
+    pos: usize,
+}
+
+impl Parser {
+    fn new(text: &str) -> Result<Parser> {
+        Ok(Parser { toks: lex(text)?, pos: 0 })
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].0
+    }
+
+    fn peek_is(&self, t: &Tok) -> bool {
+        self.peek() == t
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].0.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn here(&self) -> (usize, usize) {
+        let (_, l, c) = self.toks[self.pos];
+        (l, c)
+    }
+
+    fn err(&self, msg: String) -> LdlError {
+        let (line, col) = self.here();
+        LdlError::Parse { line, col, msg }
+    }
+
+    fn expect(&mut self, t: Tok, what: &str) -> Result<()> {
+        if self.peek() == &t {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if self.peek_is(&Tok::Eof) {
+            Ok(())
+        } else {
+            Err(self.err(format!("unexpected trailing input: {:?}", self.peek())))
+        }
+    }
+
+    fn source(&mut self) -> Result<Source> {
+        let mut src = Source::default();
+        while !self.peek_is(&Tok::Eof) {
+            self.statement(&mut src)?;
+        }
+        src.program.validate()?;
+        Ok(src)
+    }
+
+    fn statement(&mut self, src: &mut Source) -> Result<()> {
+        let first = self.literal()?;
+        match self.peek() {
+            Tok::Dot => {
+                self.bump();
+                let head = self.head_atom(first)?;
+                src.program.push(Rule::fact(head));
+                Ok(())
+            }
+            Tok::Question => {
+                self.bump();
+                match first {
+                    Literal::Atom(a) if !a.negated => src.queries.push(Query::new(a)),
+                    other => {
+                        return Err(self.err(format!("query goal must be a positive atom: {other}")))
+                    }
+                }
+                Ok(())
+            }
+            Tok::Arrow => {
+                self.bump();
+                let head = self.head_atom(first)?;
+                let mut body = vec![self.literal()?];
+                while self.peek_is(&Tok::Comma) {
+                    self.bump();
+                    body.push(self.literal()?);
+                }
+                self.expect(Tok::Dot, "'.'")?;
+                src.program.push(Rule::new(head, body));
+                Ok(())
+            }
+            other => Err(self.err(format!("expected '.', '?' or '<-', found {other:?}"))),
+        }
+    }
+
+    fn head_atom(&self, lit: Literal) -> Result<Atom> {
+        match lit {
+            Literal::Atom(a) if !a.negated => Ok(a),
+            other => Err(self.err(format!("rule head must be a positive atom, got {other}"))),
+        }
+    }
+
+    /// literal := '~' atom | expr (cmpop expr)?
+    fn literal(&mut self) -> Result<Literal> {
+        if self.peek_is(&Tok::Tilde) {
+            self.bump();
+            let t = self.expr()?;
+            let mut atom = self.term_to_atom(t)?;
+            atom.negated = true;
+            return Ok(Literal::Atom(atom));
+        }
+        let lhs = self.expr()?;
+        let op = match self.peek() {
+            Tok::Eq => Some(CmpOp::Eq),
+            Tok::Ne => Some(CmpOp::Ne),
+            Tok::Lt => Some(CmpOp::Lt),
+            Tok::Le => Some(CmpOp::Le),
+            Tok::Gt => Some(CmpOp::Gt),
+            Tok::Ge => Some(CmpOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.expr()?;
+            return Ok(Literal::Builtin(BuiltinPred::new(op, lhs, rhs)));
+        }
+        Ok(Literal::Atom(self.term_to_atom(lhs)?))
+    }
+
+    fn term_to_atom(&self, t: Term) -> Result<Atom> {
+        match t {
+            Term::Compound(name, args) => {
+                Ok(Atom { pred: crate::literal::Pred { name, arity: args.len() }, args, negated: false })
+            }
+            Term::Const(crate::term::Value::Sym(name)) => {
+                Ok(Atom { pred: crate::literal::Pred { name, arity: 0 }, args: vec![], negated: false })
+            }
+            other => Err(self.err(format!("expected an atom, got term {other}"))),
+        }
+    }
+
+    /// expr := mul (('+'|'-') mul)*
+    fn expr(&mut self) -> Result<Term> {
+        let mut lhs = self.mul()?;
+        loop {
+            let f = match self.peek() {
+                Tok::Plus => "+",
+                Tok::Minus => "-",
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul()?;
+            lhs = Term::compound(f, vec![lhs, rhs]);
+        }
+        Ok(lhs)
+    }
+
+    /// mul := primary (('*'|'/'|'mod') primary)*
+    fn mul(&mut self) -> Result<Term> {
+        let mut lhs = self.primary()?;
+        loop {
+            let f = match self.peek() {
+                Tok::Star => "*",
+                Tok::Slash => "/",
+                Tok::Ident(s) if s == "mod" => "mod",
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.primary()?;
+            lhs = Term::compound(f, vec![lhs, rhs]);
+        }
+        Ok(lhs)
+    }
+
+    /// primary := int | '-' int | var | ident ['(' expr,* ')'] | list | '(' expr ')'
+    fn primary(&mut self) -> Result<Term> {
+        match self.bump() {
+            Tok::Int(i) => Ok(Term::int(i)),
+            Tok::Minus => match self.bump() {
+                Tok::Int(i) => Ok(Term::int(-i)),
+                other => Err(self.err(format!("expected integer after unary '-', found {other:?}"))),
+            },
+            Tok::Var(name) => Ok(Term::var(&name)),
+            Tok::Ident(name) => {
+                if self.peek_is(&Tok::LParen) {
+                    self.bump();
+                    let mut args = vec![self.expr()?];
+                    while self.peek_is(&Tok::Comma) {
+                        self.bump();
+                        args.push(self.expr()?);
+                    }
+                    self.expect(Tok::RParen, "')'")?;
+                    Ok(Term::compound(&name, args))
+                } else {
+                    Ok(Term::sym(&name))
+                }
+            }
+            Tok::LBracket => {
+                if self.peek_is(&Tok::RBracket) {
+                    self.bump();
+                    return Ok(Term::list(vec![]));
+                }
+                let mut items = vec![self.expr()?];
+                while self.peek_is(&Tok::Comma) {
+                    self.bump();
+                    items.push(self.expr()?);
+                }
+                let tail = if self.peek_is(&Tok::Pipe) {
+                    self.bump();
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.expect(Tok::RBracket, "']'")?;
+                Ok(match tail {
+                    Some(t) => Term::list_with_tail(items, t),
+                    None => Term::list(items),
+                })
+            }
+            Tok::LBrace => {
+                // Set literal {t1, ..., tn}: must be ground (a pattern
+                // set would have ambiguous element order).
+                if self.peek_is(&Tok::RBrace) {
+                    self.bump();
+                    return Ok(Term::set(vec![]));
+                }
+                let mut items = vec![self.expr()?];
+                while self.peek_is(&Tok::Comma) {
+                    self.bump();
+                    items.push(self.expr()?);
+                }
+                self.expect(Tok::RBrace, "'}'")?;
+                if let Some(bad) = items.iter().find(|t| !t.is_ground()) {
+                    return Err(self.err(format!(
+                        "set literals must be ground; {bad} contains variables"
+                    )));
+                }
+                Ok(Term::set(items))
+            }
+            Tok::Lt => {
+                // Grouping marker <t> (legal only in rule heads; the
+                // program validator enforces placement).
+                let inner = self.expr()?;
+                self.expect(Tok::Gt, "'>'")?;
+                Ok(Term::group(inner))
+            }
+            Tok::LParen => {
+                let t = self.expr()?;
+                self.expect(Tok::RParen, "')'")?;
+                Ok(t)
+            }
+            other => Err(self.err(format!("expected a term, found {other:?}"))),
+        }
+    }
+}
+
+fn lex(text: &str) -> Result<Vec<(Tok, usize, usize)>> {
+    let mut toks = Vec::new();
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    let mut col = 1;
+    macro_rules! push {
+        ($t:expr, $l:expr, $c:expr) => {
+            toks.push(($t, $l, $c))
+        };
+    }
+    fn advance_n(chars: &[char], i: &mut usize, line: &mut usize, col: &mut usize, n: usize) {
+        for k in 0..n {
+            if chars[*i + k] == '\n' {
+                *line += 1;
+                *col = 1;
+            } else {
+                *col += 1;
+            }
+        }
+        *i += n;
+    }
+    while i < chars.len() {
+        let c = chars[i];
+        let (l0, c0) = (line, col);
+        let advance = |i: &mut usize, line: &mut usize, col: &mut usize, n: usize| {
+            advance_n(&chars, i, line, col, n)
+        };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => advance(&mut i, &mut line, &mut col, 1),
+            '%' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    advance(&mut i, &mut line, &mut col, 1);
+                }
+            }
+            '(' => {
+                push!(Tok::LParen, l0, c0);
+                advance(&mut i, &mut line, &mut col, 1);
+            }
+            ')' => {
+                push!(Tok::RParen, l0, c0);
+                advance(&mut i, &mut line, &mut col, 1);
+            }
+            '[' => {
+                push!(Tok::LBracket, l0, c0);
+                advance(&mut i, &mut line, &mut col, 1);
+            }
+            ']' => {
+                push!(Tok::RBracket, l0, c0);
+                advance(&mut i, &mut line, &mut col, 1);
+            }
+            '{' => {
+                push!(Tok::LBrace, l0, c0);
+                advance(&mut i, &mut line, &mut col, 1);
+            }
+            '}' => {
+                push!(Tok::RBrace, l0, c0);
+                advance(&mut i, &mut line, &mut col, 1);
+            }
+            ',' => {
+                push!(Tok::Comma, l0, c0);
+                advance(&mut i, &mut line, &mut col, 1);
+            }
+            '.' => {
+                push!(Tok::Dot, l0, c0);
+                advance(&mut i, &mut line, &mut col, 1);
+            }
+            '?' => {
+                push!(Tok::Question, l0, c0);
+                advance(&mut i, &mut line, &mut col, 1);
+            }
+            '|' => {
+                push!(Tok::Pipe, l0, c0);
+                advance(&mut i, &mut line, &mut col, 1);
+            }
+            '~' => {
+                push!(Tok::Tilde, l0, c0);
+                advance(&mut i, &mut line, &mut col, 1);
+            }
+            '+' => {
+                push!(Tok::Plus, l0, c0);
+                advance(&mut i, &mut line, &mut col, 1);
+            }
+            '*' => {
+                push!(Tok::Star, l0, c0);
+                advance(&mut i, &mut line, &mut col, 1);
+            }
+            '/' => {
+                push!(Tok::Slash, l0, c0);
+                advance(&mut i, &mut line, &mut col, 1);
+            }
+            '-' => {
+                push!(Tok::Minus, l0, c0);
+                advance(&mut i, &mut line, &mut col, 1);
+            }
+            '=' => {
+                push!(Tok::Eq, l0, c0);
+                advance(&mut i, &mut line, &mut col, 1);
+            }
+            '!' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    push!(Tok::Ne, l0, c0);
+                    advance(&mut i, &mut line, &mut col, 2);
+                } else {
+                    return Err(LdlError::Parse { line: l0, col: c0, msg: "lone '!'".into() });
+                }
+            }
+            '<' => {
+                if i + 1 < chars.len() && chars[i + 1] == '-' {
+                    push!(Tok::Arrow, l0, c0);
+                    advance(&mut i, &mut line, &mut col, 2);
+                } else if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    push!(Tok::Le, l0, c0);
+                    advance(&mut i, &mut line, &mut col, 2);
+                } else {
+                    push!(Tok::Lt, l0, c0);
+                    advance(&mut i, &mut line, &mut col, 1);
+                }
+            }
+            '>' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    push!(Tok::Ge, l0, c0);
+                    advance(&mut i, &mut line, &mut col, 2);
+                } else {
+                    push!(Tok::Gt, l0, c0);
+                    advance(&mut i, &mut line, &mut col, 1);
+                }
+            }
+            ':' => {
+                if i + 1 < chars.len() && chars[i + 1] == '-' {
+                    push!(Tok::Arrow, l0, c0);
+                    advance(&mut i, &mut line, &mut col, 2);
+                } else {
+                    return Err(LdlError::Parse { line: l0, col: c0, msg: "lone ':'".into() });
+                }
+            }
+            d if d.is_ascii_digit() => {
+                let mut j = i;
+                while j < chars.len() && chars[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let s: String = chars[i..j].iter().collect();
+                let v: i64 = s.parse().map_err(|_| LdlError::Parse {
+                    line: l0,
+                    col: c0,
+                    msg: format!("integer literal out of range: {s}"),
+                })?;
+                push!(Tok::Int(v), l0, c0);
+                { let n = j - i; advance(&mut i, &mut line, &mut col, n); }
+            }
+            a if a.is_ascii_alphabetic() || a == '_' => {
+                let mut j = i;
+                while j < chars.len() && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                let s: String = chars[i..j].iter().collect();
+                let tok = if a.is_ascii_uppercase() || a == '_' {
+                    Tok::Var(s)
+                } else {
+                    Tok::Ident(s)
+                };
+                push!(tok, l0, c0);
+                { let n = j - i; advance(&mut i, &mut line, &mut col, n); }
+            }
+            other => {
+                return Err(LdlError::Parse {
+                    line: l0,
+                    col: c0,
+                    msg: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    toks.push((Tok::Eof, line, col));
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::literal::Pred;
+
+    #[test]
+    fn parses_facts_and_rules() {
+        let p = parse_program(
+            r#"
+            up(1, 2).
+            up(2, 3).
+            sg(X, Y) <- flat(X, Y).
+            sg(X, Y) <- up(X, X1), sg(Y1, X1), dn(Y1, Y).
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.facts.len(), 2);
+        assert_eq!(p.rules.len(), 2);
+        assert_eq!(p.rules[1].body.len(), 3);
+    }
+
+    #[test]
+    fn prolog_arrow_accepted() {
+        let p = parse_program("p(X) :- q(X).").unwrap();
+        assert_eq!(p.rules.len(), 1);
+    }
+
+    #[test]
+    fn parses_queries() {
+        let s = parse_source("sg(1, Y)? sg(X, Y)?").unwrap();
+        assert_eq!(s.queries.len(), 2);
+        assert_eq!(s.queries[0].adornment().to_string(), "bf");
+        assert_eq!(s.queries[1].adornment().to_string(), "ff");
+    }
+
+    #[test]
+    fn parse_query_helper() {
+        let q = parse_query("anc(tom, X)?").unwrap();
+        assert_eq!(q.pred(), Pred::new("anc", 2));
+        assert_eq!(q.adornment().to_string(), "bf");
+    }
+
+    #[test]
+    fn parses_builtins_and_arith() {
+        let p = parse_program("p(X, Y, Z) <- X = 3, Z = X + Y, q(Y).").unwrap();
+        let r = &p.rules[0];
+        assert_eq!(r.body.len(), 3);
+        assert!(r.body[0].is_builtin());
+        let b = r.body[1].as_builtin().unwrap();
+        assert_eq!(b.to_string(), "Z = +(X, Y)");
+    }
+
+    #[test]
+    fn arith_precedence() {
+        let t = parse_term("1 + 2 * 3").unwrap();
+        assert_eq!(t.to_string(), "+(1, *(2, 3))");
+        let t2 = parse_term("(1 + 2) * 3").unwrap();
+        assert_eq!(t2.to_string(), "*(+(1, 2), 3)");
+    }
+
+    #[test]
+    fn parses_lists() {
+        let p = parse_program(
+            r#"
+            len([], 0).
+            len([H | T], N) <- len(T, M), N = M + 1.
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.facts.len(), 1);
+        assert_eq!(p.rules.len(), 1);
+        assert_eq!(p.rules[0].head.args[0].to_string(), "[H | T]");
+    }
+
+    #[test]
+    fn parses_full_lists() {
+        let t = parse_term("[1, 2, 3]").unwrap();
+        let (items, tail) = t.as_list().unwrap();
+        assert_eq!(items.len(), 3);
+        assert!(tail.is_none());
+    }
+
+    #[test]
+    fn parses_negation() {
+        let p = parse_source("ok(X) <- node(X), ~broken(X).").unwrap();
+        let a = p.program.rules[0].body[1].as_atom().unwrap();
+        assert!(a.negated);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let p = parse_program("% header\np(X) <- q(X). % trailing\n").unwrap();
+        assert_eq!(p.rules.len(), 1);
+    }
+
+    #[test]
+    fn negative_integers() {
+        let p = parse_program("t(-5).").unwrap();
+        assert_eq!(p.facts[0].args[0], Term::int(-5));
+    }
+
+    #[test]
+    fn error_has_position() {
+        let e = parse_program("p(X) <- q(X)").unwrap_err();
+        match e {
+            LdlError::Parse { line, .. } => assert_eq!(line, 1),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_builtin_head() {
+        assert!(parse_program("X = 3 <- p(X).").is_err());
+    }
+
+    #[test]
+    fn zero_arity_atoms() {
+        let p = parse_program("go <- p(X).").unwrap();
+        assert_eq!(p.rules[0].head.pred.arity, 0);
+    }
+
+    #[test]
+    fn compound_args_parse() {
+        let p = parse_program("part(bike, wheel(front, spokes(32))).").unwrap();
+        assert_eq!(
+            p.facts[0].args[1].to_string(),
+            "wheel(front, spokes(32))"
+        );
+    }
+
+    #[test]
+    fn mod_operator() {
+        let t = parse_term("X mod 2").unwrap();
+        assert_eq!(t.to_string(), "mod(X, 2)");
+    }
+}

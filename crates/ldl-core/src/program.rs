@@ -1,0 +1,300 @@
+//! Programs (rule bases) and query forms.
+//!
+//! A knowledge base (§2 of the paper) is a *rule base* plus a *database*.
+//! Here the [`Program`] holds the rules; ground facts written in the same
+//! source are carried along and later loaded into the storage catalog by
+//! `ldl-storage`. Predicates never appearing in a rule head are *base*
+//! predicates (the `Bi`'s of the paper); the rest are *derived* (`Pi`'s).
+
+use crate::binding::Adornment;
+use crate::error::{LdlError, Result};
+use crate::literal::{Atom, Pred};
+use crate::rule::Rule;
+use crate::term::Term;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A rule base together with its inline facts.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Program {
+    /// Proper rules (non-empty body), in source order.
+    pub rules: Vec<Rule>,
+    /// Ground facts, in source order.
+    pub facts: Vec<Atom>,
+}
+
+impl Program {
+    /// Empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Adds a rule (or records it as a fact when it is one).
+    pub fn push(&mut self, rule: Rule) {
+        if rule.is_fact() {
+            self.facts.push(rule.head);
+        } else {
+            self.rules.push(rule);
+        }
+    }
+
+    /// The set of predicates appearing in some rule head (derived).
+    pub fn derived_preds(&self) -> BTreeSet<Pred> {
+        self.rules.iter().map(|r| r.head.pred).collect()
+    }
+
+    /// The set of predicates appearing only in bodies or facts (base).
+    pub fn base_preds(&self) -> BTreeSet<Pred> {
+        let derived = self.derived_preds();
+        let mut base: BTreeSet<Pred> = self.facts.iter().map(|f| f.pred).collect();
+        for r in &self.rules {
+            for a in r.body_atoms() {
+                base.insert(a.pred);
+            }
+        }
+        base.retain(|p| !derived.contains(p));
+        base
+    }
+
+    /// All predicates mentioned anywhere.
+    pub fn all_preds(&self) -> BTreeSet<Pred> {
+        let mut s: BTreeSet<Pred> = self.derived_preds();
+        s.extend(self.base_preds());
+        s
+    }
+
+    /// Rules whose head is `pred`, in source order, with their indexes.
+    pub fn rules_for(&self, pred: Pred) -> Vec<(usize, &Rule)> {
+        self.rules
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.head.pred == pred)
+            .collect()
+    }
+
+    /// Facts grouped by predicate.
+    pub fn facts_by_pred(&self) -> BTreeMap<Pred, Vec<&Atom>> {
+        let mut m: BTreeMap<Pred, Vec<&Atom>> = BTreeMap::new();
+        for f in &self.facts {
+            m.entry(f.pred).or_default().push(f);
+        }
+        m
+    }
+
+    /// Semantic validation:
+    /// * negated head atoms are rejected;
+    /// * non-ground facts are rejected.
+    ///
+    /// Head variables missing from the body are *not* rejected here: in
+    /// LDL they are legal when the query form binds that argument (e.g.
+    /// `len([H | T], N) <- len(T, M), N = M + 1` decomposes a bound list).
+    /// Whether such a rule is safe is decided per query form by the
+    /// optimizer's safety analyzer; [`Program::range_restricted`] offers
+    /// the strict Datalog check for callers that want it up front.
+    pub fn validate(&self) -> Result<()> {
+        fn contains_group(t: &crate::term::Term) -> bool {
+            match t {
+                crate::term::Term::Compound(f, args) => {
+                    *f == crate::term::group_functor() || args.iter().any(contains_group)
+                }
+                _ => false,
+            }
+        }
+        let member = Pred::new("member", 2);
+        for (i, r) in self.rules.iter().enumerate() {
+            if r.head.negated {
+                return Err(LdlError::Validation(format!(
+                    "rule {i}: negated head {}",
+                    r.head
+                )));
+            }
+            if r.head.pred == member {
+                return Err(LdlError::Validation(format!(
+                    "rule {i}: member/2 is a reserved set predicate"
+                )));
+            }
+            // Grouping markers: only as top-level head arguments.
+            for arg in &r.head.args {
+                if arg.as_group().is_none() && contains_group(arg) {
+                    return Err(LdlError::Validation(format!(
+                        "rule {i}: grouping marker nested inside {arg}"
+                    )));
+                }
+            }
+            for lit in &r.body {
+                let terms: Vec<&crate::term::Term> = match lit {
+                    crate::literal::Literal::Atom(a) => a.args.iter().collect(),
+                    crate::literal::Literal::Builtin(b) => vec![&b.lhs, &b.rhs],
+                };
+                if terms.into_iter().any(contains_group) {
+                    return Err(LdlError::Validation(format!(
+                        "rule {i}: grouping markers are only legal in rule heads"
+                    )));
+                }
+            }
+        }
+        for f in &self.facts {
+            if f.pred == member {
+                return Err(LdlError::Validation(
+                    "member/2 is a reserved set predicate".into(),
+                ));
+            }
+            if !f.is_ground() {
+                return Err(LdlError::Validation(format!("non-ground fact {f}")));
+            }
+        }
+        Ok(())
+    }
+
+    /// The strict Datalog range-restriction check: every head variable of
+    /// every rule must occur in the body. Programs passing this are safe
+    /// under *every* query form (given safe builtin orderings); failing it
+    /// only means safety depends on the binding pattern.
+    pub fn range_restricted(&self) -> Result<()> {
+        for (i, r) in self.rules.iter().enumerate() {
+            let bad = r.unrestricted_head_vars();
+            if !bad.is_empty() {
+                let names: Vec<&str> = bad.iter().map(|s| s.as_str()).collect();
+                return Err(LdlError::Validation(format!(
+                    "rule {i} ({r}): head variable(s) {} do not occur in the body",
+                    names.join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for fact in &self.facts {
+            writeln!(f, "{fact}.")?;
+        }
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A query: a single goal atom, e.g. `sg(1, Y)?`.
+///
+/// The *query form* of §2 is recovered from the goal: argument positions
+/// holding ground terms are bound, the rest are free.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Query {
+    /// The goal atom.
+    pub goal: Atom,
+}
+
+impl Query {
+    /// Builds a query for a goal.
+    pub fn new(goal: Atom) -> Query {
+        Query { goal }
+    }
+
+    /// The predicate being queried.
+    pub fn pred(&self) -> Pred {
+        self.goal.pred
+    }
+
+    /// The binding pattern implied by the goal: ground argument = bound.
+    pub fn adornment(&self) -> Adornment {
+        let flags: Vec<bool> = self.goal.args.iter().map(Term::is_ground).collect();
+        Adornment::from_flags(&flags)
+    }
+
+    /// The ground terms at the bound positions, in position order.
+    pub fn bound_args(&self) -> Vec<(usize, &Term)> {
+        self.goal
+            .args
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ground())
+            .collect()
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}?", self.goal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::literal::Literal;
+
+    fn sg_program() -> Program {
+        let mut p = Program::new();
+        p.push(Rule::new(
+            Atom::new("sg", vec![Term::var("X"), Term::var("Y")]),
+            vec![Literal::Atom(Atom::new("flat", vec![Term::var("X"), Term::var("Y")]))],
+        ));
+        p.push(Rule::new(
+            Atom::new("sg", vec![Term::var("X"), Term::var("Y")]),
+            vec![
+                Literal::Atom(Atom::new("up", vec![Term::var("X"), Term::var("X1")])),
+                Literal::Atom(Atom::new("sg", vec![Term::var("Y1"), Term::var("X1")])),
+                Literal::Atom(Atom::new("dn", vec![Term::var("Y1"), Term::var("Y")])),
+            ],
+        ));
+        p.push(Rule::fact(Atom::new("up", vec![Term::int(1), Term::int(2)])));
+        p
+    }
+
+    #[test]
+    fn base_vs_derived() {
+        let p = sg_program();
+        let derived = p.derived_preds();
+        assert!(derived.contains(&Pred::new("sg", 2)));
+        let base = p.base_preds();
+        assert!(base.contains(&Pred::new("up", 2)));
+        assert!(base.contains(&Pred::new("dn", 2)));
+        assert!(base.contains(&Pred::new("flat", 2)));
+        assert!(!base.contains(&Pred::new("sg", 2)));
+    }
+
+    #[test]
+    fn facts_are_separated() {
+        let p = sg_program();
+        assert_eq!(p.facts.len(), 1);
+        assert_eq!(p.rules.len(), 2);
+    }
+
+    #[test]
+    fn range_restriction_catches_head_only_vars() {
+        let mut p = Program::new();
+        p.push(Rule::new(
+            Atom::new("p", vec![Term::var("X"), Term::var("Z")]),
+            vec![Literal::Atom(Atom::new("q", vec![Term::var("X")]))],
+        ));
+        // Loose validation accepts it (safety is query-form dependent)...
+        assert!(p.validate().is_ok());
+        // ...but the strict Datalog check flags it.
+        assert!(matches!(p.range_restricted(), Err(LdlError::Validation(_))));
+    }
+
+    #[test]
+    fn validation_accepts_sg() {
+        assert!(sg_program().validate().is_ok());
+    }
+
+    #[test]
+    fn query_adornment_from_constants() {
+        let q = Query::new(Atom::new("sg", vec![Term::int(1), Term::var("Y")]));
+        assert_eq!(q.adornment().to_string(), "bf");
+        let q2 = Query::new(Atom::new("sg", vec![Term::var("X"), Term::var("Y")]));
+        assert!(q2.adornment().is_all_free());
+    }
+
+    #[test]
+    fn rules_for_returns_in_order() {
+        let p = sg_program();
+        let rs = p.rules_for(Pred::new("sg", 2));
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[0].0, 0);
+        assert_eq!(rs[1].0, 1);
+    }
+}

@@ -1,0 +1,166 @@
+//! Rules.
+
+use crate::literal::{Atom, Literal};
+use crate::symbol::Symbol;
+use std::fmt;
+
+/// A Horn clause `head <- body`.
+///
+/// A rule with an empty body and a ground head is a *fact*. Rules are
+/// identified positionally within their [`crate::program::Program`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Rule {
+    /// The head atom (always positive).
+    pub head: Atom,
+    /// The conjunctive body, in source order.
+    pub body: Vec<Literal>,
+}
+
+impl Rule {
+    /// Builds a rule.
+    pub fn new(head: Atom, body: Vec<Literal>) -> Rule {
+        Rule { head, body }
+    }
+
+    /// Builds a fact (empty body).
+    pub fn fact(head: Atom) -> Rule {
+        Rule { head, body: Vec::new() }
+    }
+
+    /// True if the rule is a ground fact.
+    pub fn is_fact(&self) -> bool {
+        self.body.is_empty() && self.head.is_ground()
+    }
+
+    /// All variables of the rule (head first), first-occurrence order.
+    pub fn vars(&self) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        for a in &self.head.args {
+            a.collect_vars(&mut out);
+        }
+        for l in &self.body {
+            for v in l.vars() {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Variables appearing in the head but in no body literal. A non-fact
+    /// rule with such variables can never be safe (they range over an
+    /// infinite domain), so validation rejects them.
+    pub fn unrestricted_head_vars(&self) -> Vec<Symbol> {
+        let body_vars: Vec<Symbol> = self.body.iter().flat_map(|l| l.vars()).collect();
+        self.head
+            .vars()
+            .into_iter()
+            .filter(|v| !body_vars.contains(v))
+            .collect()
+    }
+
+    /// Rebuilds the rule mapping every variable through `f`.
+    pub fn map_vars(&self, f: &mut impl FnMut(Symbol) -> crate::term::Term) -> Rule {
+        Rule {
+            head: self.head.map_vars(f),
+            body: self.body.iter().map(|l| l.map_vars(f)).collect(),
+        }
+    }
+
+    /// Renames every variable with the suffix `_{n}` — standardization
+    /// apart, so two rule instances never share variables.
+    pub fn standardized(&self, n: usize) -> Rule {
+        self.map_vars(&mut |v| {
+            crate::term::Term::Var(Symbol::intern(&format!("{v}#{n}")))
+        })
+    }
+
+    /// The positive derived/base atoms of the body, in order.
+    pub fn body_atoms(&self) -> impl Iterator<Item = &Atom> {
+        self.body.iter().filter_map(|l| l.as_atom())
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.body.is_empty() {
+            return write!(f, "{}.", self.head);
+        }
+        write!(f, "{} <- ", self.head)?;
+        for (i, l) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, ".")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    #[test]
+    fn fact_detection() {
+        let f = Rule::fact(Atom::new("up", vec![Term::int(1), Term::int(2)]));
+        assert!(f.is_fact());
+        let r = Rule::new(
+            Atom::new("p", vec![Term::var("X")]),
+            vec![Literal::Atom(Atom::new("q", vec![Term::var("X")]))],
+        );
+        assert!(!r.is_fact());
+        // Non-ground head with empty body is not a fact.
+        let g = Rule::fact(Atom::new("p", vec![Term::var("X")]));
+        assert!(!g.is_fact());
+    }
+
+    #[test]
+    fn display_rule() {
+        let r = Rule::new(
+            Atom::new("sg", vec![Term::var("X"), Term::var("Y")]),
+            vec![
+                Literal::Atom(Atom::new("up", vec![Term::var("X"), Term::var("X1")])),
+                Literal::Atom(Atom::new("sg", vec![Term::var("Y1"), Term::var("X1")])),
+                Literal::Atom(Atom::new("dn", vec![Term::var("Y1"), Term::var("Y")])),
+            ],
+        );
+        assert_eq!(r.to_string(), "sg(X, Y) <- up(X, X1), sg(Y1, X1), dn(Y1, Y).");
+    }
+
+    #[test]
+    fn unrestricted_head_vars_found() {
+        let r = Rule::new(
+            Atom::new("p", vec![Term::var("X"), Term::var("Z")]),
+            vec![Literal::Atom(Atom::new("q", vec![Term::var("X")]))],
+        );
+        let bad = r.unrestricted_head_vars();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].as_str(), "Z");
+    }
+
+    #[test]
+    fn standardization_apart() {
+        let r = Rule::new(
+            Atom::new("p", vec![Term::var("X")]),
+            vec![Literal::Atom(Atom::new("q", vec![Term::var("X")]))],
+        );
+        let r1 = r.standardized(1);
+        let r2 = r.standardized(2);
+        let v1 = r1.vars();
+        let v2 = r2.vars();
+        assert!(v1.iter().all(|v| !v2.contains(v)));
+    }
+
+    #[test]
+    fn rule_vars_head_first() {
+        let r = Rule::new(
+            Atom::new("p", vec![Term::var("A")]),
+            vec![Literal::Atom(Atom::new("q", vec![Term::var("B"), Term::var("A")]))],
+        );
+        let names: Vec<&str> = r.vars().iter().map(|s| s.as_str()).collect();
+        assert_eq!(names, vec!["A", "B"]);
+    }
+}

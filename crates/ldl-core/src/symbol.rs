@@ -1,0 +1,143 @@
+//! Interned symbols.
+//!
+//! Predicate names, function symbols, constants and variable names are all
+//! interned into a process-global table so that the rest of the system can
+//! compare and hash them as plain `u32`s. Interning is append-only; symbols
+//! are never freed.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned string. Cheap to copy, compare, and hash.
+///
+/// Two `Symbol`s are equal iff they intern the same string. The underlying
+/// text is recovered with [`Symbol::as_str`] (which leaks nothing: the
+/// interner owns all strings for the life of the process). Ordering is
+/// *lexicographic* on the text, not on interner ids, so every ordered
+/// structure (set terms, sorted outputs) is deterministic regardless of
+/// interning order.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Symbol(u32);
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            return std::cmp::Ordering::Equal;
+        }
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+impl Interner {
+    fn new() -> Self {
+        Interner { map: HashMap::new(), strings: Vec::new() }
+    }
+
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.map.get(s) {
+            return id;
+        }
+        // Strings live for the process lifetime; leaking them lets us hand
+        // out `&'static str` without reference counting.
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = self.strings.len() as u32;
+        self.strings.push(leaked);
+        self.map.insert(leaked, id);
+        id
+    }
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| Mutex::new(Interner::new()))
+}
+
+impl Symbol {
+    /// Interns `s` and returns its symbol.
+    pub fn intern(s: &str) -> Symbol {
+        Symbol(interner().lock().expect("interner poisoned").intern(s))
+    }
+
+    /// The interned text.
+    pub fn as_str(self) -> &'static str {
+        interner().lock().expect("interner poisoned").strings[self.0 as usize]
+    }
+
+    /// Raw interner id (stable within a process run only).
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:?})", self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("foo");
+        let b = Symbol::intern("foo");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "foo");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let a = Symbol::intern("alpha_x");
+        let b = Symbol::intern("alpha_y");
+        assert_ne!(a, b);
+        assert_eq!(a.as_str(), "alpha_x");
+        assert_eq!(b.as_str(), "alpha_y");
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let a = Symbol::intern("hello_world");
+        assert_eq!(a.to_string(), "hello_world");
+    }
+
+    #[test]
+    fn from_str_matches_intern() {
+        let a: Symbol = "zork".into();
+        assert_eq!(a, Symbol::intern("zork"));
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(|| Symbol::intern("shared_symbol")))
+            .collect();
+        let ids: Vec<Symbol> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -1,0 +1,395 @@
+//! Terms and ground values.
+//!
+//! LDL terms go beyond the flat constants of relational systems: they
+//! include complex terms built from function symbols (hierarchies, lists,
+//! heterogeneous structures — §1 of the paper). A [`Term`] is a variable, a
+//! ground [`Value`], or a compound `f(t1, ..., tn)`; lists are sugar over
+//! the binary functor `'.'` and the constant `nil`.
+
+use crate::symbol::Symbol;
+use std::fmt;
+
+/// A ground scalar value.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Value {
+    /// 64-bit integer.
+    Int(i64),
+    /// Interned symbolic constant (`tom`, `nil`, ...).
+    Sym(Symbol),
+}
+
+impl Value {
+    /// Symbolic constant from a string.
+    pub fn sym(s: &str) -> Value {
+        Value::Sym(Symbol::intern(s))
+    }
+
+    /// The integer inside, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Sym(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Sym(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::sym(s)
+    }
+}
+
+/// The list-cell functor `'.'` used by list sugar `[H|T]`.
+pub fn cons_functor() -> Symbol {
+    Symbol::intern(".")
+}
+
+/// The empty-list constant `nil` (concrete syntax `[]`).
+pub fn nil_value() -> Value {
+    Value::sym("nil")
+}
+
+/// The reserved functor for set terms `{a, b, c}` ([TZ 86]: LDL treats
+/// sets as first-class complex terms). Set terms are kept sorted and
+/// deduplicated so that structural equality is set equality.
+pub fn set_functor() -> Symbol {
+    Symbol::intern("$set")
+}
+
+/// The reserved functor marking a *grouping* argument `<X>` in a rule
+/// head: the values of `X` per binding of the remaining head arguments
+/// are collected into one set term.
+pub fn group_functor() -> Symbol {
+    Symbol::intern("$group")
+}
+
+/// An LDL term.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Term {
+    /// A logic variable, named per rule (`X`, `Y1`, ...).
+    Var(Symbol),
+    /// A ground scalar.
+    Const(Value),
+    /// A complex term `f(t1, ..., tn)` with `n >= 1`.
+    Compound(Symbol, Vec<Term>),
+}
+
+impl Term {
+    /// Variable term from a name.
+    pub fn var(name: &str) -> Term {
+        Term::Var(Symbol::intern(name))
+    }
+
+    /// Integer constant term.
+    pub fn int(i: i64) -> Term {
+        Term::Const(Value::Int(i))
+    }
+
+    /// Symbolic constant term.
+    pub fn sym(s: &str) -> Term {
+        Term::Const(Value::sym(s))
+    }
+
+    /// Compound term `f(args...)`.
+    pub fn compound(functor: &str, args: Vec<Term>) -> Term {
+        Term::Compound(Symbol::intern(functor), args)
+    }
+
+    /// Builds a proper list term `[t1, ..., tn]` out of cons cells.
+    pub fn list(items: Vec<Term>) -> Term {
+        let mut tail = Term::Const(nil_value());
+        for item in items.into_iter().rev() {
+            tail = Term::Compound(cons_functor(), vec![item, tail]);
+        }
+        tail
+    }
+
+    /// A set term `{t1, ..., tn}`: sorted, deduplicated, so structural
+    /// equality coincides with set equality.
+    pub fn set(mut items: Vec<Term>) -> Term {
+        items.sort();
+        items.dedup();
+        Term::Compound(set_functor(), items)
+    }
+
+    /// The elements, if this is a set term.
+    pub fn as_set(&self) -> Option<&[Term]> {
+        match self {
+            Term::Compound(f, items) if *f == set_functor() => Some(items),
+            _ => None,
+        }
+    }
+
+    /// A grouping marker `<t>` (legal only in rule heads).
+    pub fn group(inner: Term) -> Term {
+        Term::Compound(group_functor(), vec![inner])
+    }
+
+    /// The grouped term, if this is a grouping marker.
+    pub fn as_group(&self) -> Option<&Term> {
+        match self {
+            Term::Compound(f, items) if *f == group_functor() && items.len() == 1 => {
+                Some(&items[0])
+            }
+            _ => None,
+        }
+    }
+
+    /// Partial list `[t1, ..., tn | rest]`.
+    pub fn list_with_tail(items: Vec<Term>, rest: Term) -> Term {
+        let mut tail = rest;
+        for item in items.into_iter().rev() {
+            tail = Term::Compound(cons_functor(), vec![item, tail]);
+        }
+        tail
+    }
+
+    /// True if the term contains no variables.
+    pub fn is_ground(&self) -> bool {
+        match self {
+            Term::Var(_) => false,
+            Term::Const(_) => true,
+            Term::Compound(_, args) => args.iter().all(Term::is_ground),
+        }
+    }
+
+    /// True if the term is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// Collects the variables occurring in the term, in first-occurrence
+    /// order, into `out` (duplicates are skipped).
+    pub fn collect_vars(&self, out: &mut Vec<Symbol>) {
+        match self {
+            Term::Var(v) => {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+            Term::Const(_) => {}
+            Term::Compound(_, args) => {
+                for a in args {
+                    a.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// The variables of the term in first-occurrence order.
+    pub fn vars(&self) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    /// Structural size: number of constant/variable/functor occurrences.
+    /// Used by the safety analyzer as a term norm (§8: well-founded orders).
+    pub fn size(&self) -> usize {
+        match self {
+            Term::Var(_) | Term::Const(_) => 1,
+            Term::Compound(_, args) => 1 + args.iter().map(Term::size).sum::<usize>(),
+        }
+    }
+
+    /// Maximum nesting depth (a constant or variable has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            Term::Var(_) | Term::Const(_) => 1,
+            Term::Compound(_, args) => {
+                1 + args.iter().map(Term::depth).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// Decodes a cons-cell chain back into `(items, tail)`. The tail is
+    /// `None` for a proper (nil-terminated) list.
+    pub fn as_list(&self) -> Option<(Vec<&Term>, Option<&Term>)> {
+        let cons = cons_functor();
+        let nil = nil_value();
+        let mut items = Vec::new();
+        let mut cur = self;
+        loop {
+            match cur {
+                Term::Compound(f, args) if *f == cons && args.len() == 2 => {
+                    items.push(&args[0]);
+                    cur = &args[1];
+                }
+                Term::Const(v) if *v == nil => return Some((items, None)),
+                Term::Var(_) if !items.is_empty() => return Some((items, Some(cur))),
+                _ if items.is_empty() => return None,
+                other => return Some((items, Some(other))),
+            }
+        }
+    }
+
+    /// Applies `f` to every variable, rebuilding the term. Used for
+    /// renaming (standardization apart) and substitution application.
+    pub fn map_vars(&self, f: &mut impl FnMut(Symbol) -> Term) -> Term {
+        match self {
+            Term::Var(v) => f(*v),
+            Term::Const(c) => Term::Const(*c),
+            Term::Compound(functor, args) => {
+                Term::Compound(*functor, args.iter().map(|a| a.map_vars(f)).collect())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(items) = self.as_set() {
+            write!(f, "{{")?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{item}")?;
+            }
+            return write!(f, "}}");
+        }
+        if let Some(inner) = self.as_group() {
+            return write!(f, "<{inner}>");
+        }
+        if let Some((items, tail)) = self.as_list() {
+            write!(f, "[")?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{item}")?;
+            }
+            if let Some(t) = tail {
+                write!(f, " | {t}")?;
+            }
+            return write!(f, "]");
+        }
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+            Term::Compound(functor, args) => {
+                write!(f, "{functor}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl From<Value> for Term {
+    fn from(v: Value) -> Term {
+        Term::Const(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_detection() {
+        assert!(Term::int(3).is_ground());
+        assert!(Term::sym("tom").is_ground());
+        assert!(!Term::var("X").is_ground());
+        assert!(!Term::compound("f", vec![Term::int(1), Term::var("X")]).is_ground());
+        assert!(Term::compound("f", vec![Term::int(1), Term::sym("a")]).is_ground());
+    }
+
+    #[test]
+    fn vars_in_first_occurrence_order() {
+        let t = Term::compound(
+            "f",
+            vec![Term::var("Y"), Term::compound("g", vec![Term::var("X"), Term::var("Y")])],
+        );
+        let names: Vec<&str> = t.vars().iter().map(|s| s.as_str()).collect();
+        assert_eq!(names, vec!["Y", "X"]);
+    }
+
+    #[test]
+    fn list_round_trip_display() {
+        let l = Term::list(vec![Term::int(1), Term::int(2), Term::int(3)]);
+        assert_eq!(l.to_string(), "[1, 2, 3]");
+        let (items, tail) = l.as_list().unwrap();
+        assert_eq!(items.len(), 3);
+        assert!(tail.is_none());
+    }
+
+    #[test]
+    fn partial_list_display() {
+        let l = Term::list_with_tail(vec![Term::int(1)], Term::var("T"));
+        assert_eq!(l.to_string(), "[1 | T]");
+        let (items, tail) = l.as_list().unwrap();
+        assert_eq!(items.len(), 1);
+        assert!(matches!(tail, Some(Term::Var(_))));
+    }
+
+    #[test]
+    fn empty_list_is_nil() {
+        let l = Term::list(vec![]);
+        assert_eq!(l, Term::Const(nil_value()));
+    }
+
+    #[test]
+    fn size_and_depth() {
+        let t = Term::compound("f", vec![Term::compound("g", vec![Term::int(1)]), Term::var("X")]);
+        assert_eq!(t.size(), 4);
+        assert_eq!(t.depth(), 3);
+        assert_eq!(Term::int(7).size(), 1);
+        assert_eq!(Term::int(7).depth(), 1);
+    }
+
+    #[test]
+    fn map_vars_renames() {
+        let t = Term::compound("f", vec![Term::var("X"), Term::int(2)]);
+        let renamed = t.map_vars(&mut |v| Term::Var(Symbol::intern(&format!("{v}_1"))));
+        assert_eq!(renamed.to_string(), "f(X_1, 2)");
+    }
+
+    #[test]
+    fn display_compound() {
+        let t = Term::compound("edge", vec![Term::sym("a"), Term::var("Y")]);
+        assert_eq!(t.to_string(), "edge(a, Y)");
+    }
+
+    #[test]
+    fn set_terms_normalize() {
+        let a = Term::set(vec![Term::int(3), Term::int(1), Term::int(3), Term::int(2)]);
+        let b = Term::set(vec![Term::int(1), Term::int(2), Term::int(3)]);
+        assert_eq!(a, b, "sets are order- and duplicate-insensitive");
+        assert_eq!(a.to_string(), "{1, 2, 3}");
+        assert_eq!(a.as_set().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn empty_set_displays() {
+        assert_eq!(Term::set(vec![]).to_string(), "{}");
+    }
+
+    #[test]
+    fn group_marker_round_trip() {
+        let g = Term::group(Term::var("P"));
+        assert_eq!(g.to_string(), "<P>");
+        assert_eq!(g.as_group(), Some(&Term::var("P")));
+        assert!(Term::var("P").as_group().is_none());
+    }
+}

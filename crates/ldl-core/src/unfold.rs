@@ -1,0 +1,333 @@
+//! Unfolding — the `FU` (flatten/unflatten) transformation of §5.
+//!
+//! Flattening distributes a join over a union: replacing a derived body
+//! literal by each of its definitions produces one rule per choice, with
+//! the definition's body spliced in place. The paper excludes `FU` from
+//! its first optimizer's search space as an "expedient decision", and
+//! §8.3 shows the cost: the query `p(x,y,z), y = 2*x` over
+//! `p(x,y,z) <- x = 3, z = x + y` is finite but unsafe under every goal
+//! permutation — *unless* `p` is flattened into the caller, after which
+//! the combined conjunct `{x = 3, z = x + y, y = 2*x}` has an obvious
+//! safe order. "An extension of the LDL optimizer to support flattening
+//! only requires adding another equivalence-preserving transformation" —
+//! this module is that extension, offered as an explicit pre-processing
+//! step.
+
+use crate::error::{LdlError, Result};
+use crate::literal::{Literal, Pred};
+use crate::program::Program;
+use crate::rule::Rule;
+use crate::unify::{mgu_atoms, Subst};
+use std::collections::BTreeSet;
+
+fn apply_literal(s: &Subst, lit: &Literal) -> Literal {
+    match lit {
+        Literal::Atom(a) => Literal::Atom(s.apply_atom(a)),
+        Literal::Builtin(b) => Literal::Builtin(crate::literal::BuiltinPred {
+            op: b.op,
+            lhs: s.apply(&b.lhs),
+            rhs: s.apply(&b.rhs),
+        }),
+    }
+}
+
+/// One definition of a predicate: a rule, or a fact (empty body).
+fn definitions(program: &Program, pred: Pred) -> Vec<Rule> {
+    let mut defs: Vec<Rule> =
+        program.rules_for(pred).into_iter().map(|(_, r)| r.clone()).collect();
+    for f in &program.facts {
+        if f.pred == pred {
+            defs.push(Rule::fact(f.clone()));
+        }
+    }
+    defs
+}
+
+/// Unfolds every *positive* occurrence of `pred` in the bodies of the
+/// program's rules, removing `pred`'s own rules afterwards (its facts
+/// stay, in case the predicate is queried directly).
+///
+/// Errors when `pred` is recursive (unfolding would not terminate), is
+/// not derived, or occurs negated (unfolding under negation changes
+/// semantics).
+pub fn unfold_pred(program: &Program, pred: Pred) -> Result<Program> {
+    // Rules or facts may define the predicate: a fact-only predicate
+    // unfolds to constant propagation.
+    let derived = program.derived_preds();
+    let has_facts = program.facts.iter().any(|f| f.pred == pred);
+    if !derived.contains(&pred) && !has_facts {
+        return Err(LdlError::Validation(format!(
+            "{pred} has no definitions (rules or facts) to unfold"
+        )));
+    }
+    let graph = crate::depgraph::DependencyGraph::build(program);
+    if graph.is_recursive(pred) {
+        return Err(LdlError::Validation(format!(
+            "{pred} is recursive; unfolding it would not terminate"
+        )));
+    }
+    for rule in &program.rules {
+        for a in rule.body.iter().filter_map(Literal::as_atom) {
+            if a.negated && a.pred == pred {
+                return Err(LdlError::Validation(format!(
+                    "{pred} occurs negated; unfolding under negation is unsound"
+                )));
+            }
+        }
+    }
+    let defs = definitions(program, pred);
+    let mut out = Program { rules: Vec::new(), facts: program.facts.clone() };
+    let mut counter = 0usize;
+    for rule in &program.rules {
+        if rule.head.pred == pred {
+            continue; // the definition itself disappears
+        }
+        for unfolded in unfold_rule(rule, pred, &defs, &mut counter) {
+            out.rules.push(unfolded);
+        }
+    }
+    Ok(out)
+}
+
+/// All ways of replacing every occurrence of `pred` in `rule` by one of
+/// its definitions (cross product over occurrences; empty when some
+/// occurrence matches no definition).
+fn unfold_rule(rule: &Rule, pred: Pred, defs: &[Rule], counter: &mut usize) -> Vec<Rule> {
+    let positions: Vec<usize> = rule
+        .body
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.as_atom().map(|a| !a.negated && a.pred == pred).unwrap_or(false))
+        .map(|(i, _)| i)
+        .collect();
+    if positions.is_empty() {
+        return vec![rule.clone()];
+    }
+    // Expand one occurrence at a time, re-scanning (simple and correct;
+    // positions never grow for a nonrecursive pred's definitions).
+    let mut results = Vec::new();
+    let occ = positions[0];
+    let call = rule.body[occ].as_atom().expect("occurrence is an atom").clone();
+    for def in defs {
+        *counter += 1;
+        let fresh = def.standardized(*counter);
+        let Some(s) = mgu_atoms(&call, &fresh.head) else { continue };
+        let mut body: Vec<Literal> = Vec::with_capacity(rule.body.len() - 1 + fresh.body.len());
+        for (i, lit) in rule.body.iter().enumerate() {
+            if i == occ {
+                body.extend(fresh.body.iter().map(|l| apply_literal(&s, l)));
+            } else {
+                body.push(apply_literal(&s, lit));
+            }
+        }
+        let new_rule = Rule::new(s.apply_atom(&rule.head), body);
+        // Recurse to expand any remaining occurrences.
+        results.extend(unfold_rule(&new_rule, pred, defs, counter));
+    }
+    results
+}
+
+/// Fully flattens the program with respect to `root`: repeatedly unfolds
+/// every nonrecursive derived predicate other than `root` that is still
+/// referenced, until only base predicates, builtins, and recursive
+/// predicates remain in rule bodies.
+pub fn flatten(program: &Program, root: Pred) -> Result<Program> {
+    let mut current = program.clone();
+    for _ in 0..current.all_preds().len() + 1 {
+        let graph = crate::depgraph::DependencyGraph::build(&current);
+        let derived = current.derived_preds();
+        let candidates: BTreeSet<Pred> = current
+            .rules
+            .iter()
+            .flat_map(|r| r.body_atoms())
+            .filter(|a| !a.negated)
+            .map(|a| a.pred)
+            .filter(|p| *p != root && derived.contains(p) && !graph.is_recursive(*p))
+            .collect();
+        let Some(&next) = candidates.iter().next() else {
+            return Ok(current);
+        };
+        current = unfold_pred(&current, next)?;
+    }
+    Err(LdlError::Validation("flattening did not converge".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn unfold_splices_definition_body() {
+        let p = parse_program(
+            r#"
+            q(X, Z) <- p(X, Y), b(Y, Z).
+            p(X, Y) <- c(X, W), d(W, Y).
+            "#,
+        )
+        .unwrap();
+        let u = unfold_pred(&p, Pred::new("p", 2)).unwrap();
+        assert_eq!(u.rules.len(), 1);
+        let r = &u.rules[0];
+        assert_eq!(r.head.pred.name.as_str(), "q");
+        assert_eq!(r.body.len(), 3); // c, d, b
+        let names: Vec<&str> = r
+            .body_atoms()
+            .map(|a| a.pred.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["c", "d", "b"]);
+    }
+
+    #[test]
+    fn unfold_multiplies_rules_over_union() {
+        // p has two definitions: the caller splits into two rules (the
+        // join distributes over the union — the paper's Figure 4-2).
+        let p = parse_program(
+            r#"
+            q(X) <- p(X), b(X).
+            p(X) <- c(X).
+            p(X) <- d(X).
+            "#,
+        )
+        .unwrap();
+        let u = unfold_pred(&p, Pred::new("p", 1)).unwrap();
+        assert_eq!(u.rules.len(), 2);
+    }
+
+    #[test]
+    fn unfold_handles_multiple_occurrences() {
+        let p = parse_program(
+            r#"
+            q(X, Y) <- p(X), p(Y).
+            p(X) <- c(X).
+            p(X) <- d(X).
+            "#,
+        )
+        .unwrap();
+        let u = unfold_pred(&p, Pred::new("p", 1)).unwrap();
+        assert_eq!(u.rules.len(), 4); // 2 x 2 choices
+    }
+
+    #[test]
+    fn unfold_unifies_constants() {
+        let p = parse_program(
+            r#"
+            q(Y) <- p(3, Y).
+            p(X, Y) <- e(X, Y).
+            p(9, z9) <- marker(9).
+            "#,
+        )
+        .unwrap();
+        let u = unfold_pred(&p, Pred::new("p", 2)).unwrap();
+        // The second definition's head p(9, z9) does not unify with
+        // p(3, Y): only one unfolded rule survives.
+        assert_eq!(u.rules.len(), 1);
+        assert_eq!(u.rules[0].body[0].as_atom().unwrap().args[0], crate::Term::int(3));
+    }
+
+    #[test]
+    fn unfold_facts_ground_the_rule() {
+        let p = parse_program(
+            r#"
+            q(Y) <- p(Y), b(Y).
+            p(1). p(2).
+            "#,
+        )
+        .unwrap();
+        let u = unfold_pred(&p, Pred::new("p", 1)).unwrap();
+        assert_eq!(u.rules.len(), 2);
+        assert_eq!(u.rules[0].to_string(), "q(1) <- b(1).");
+        assert_eq!(u.rules[1].to_string(), "q(2) <- b(2).");
+    }
+
+    #[test]
+    fn recursive_pred_rejected() {
+        let p = parse_program(
+            r#"
+            q(X) <- tc(X, X).
+            tc(X, Y) <- e(X, Y).
+            tc(X, Y) <- tc(X, Z), e(Z, Y).
+            "#,
+        )
+        .unwrap();
+        assert!(unfold_pred(&p, Pred::new("tc", 2)).is_err());
+    }
+
+    #[test]
+    fn negated_occurrence_rejected() {
+        let p = parse_program(
+            r#"
+            q(X) <- b(X), ~p(X).
+            p(X) <- c(X).
+            "#,
+        )
+        .unwrap();
+        assert!(unfold_pred(&p, Pred::new("p", 1)).is_err());
+    }
+
+    #[test]
+    fn flatten_reaches_base_predicates() {
+        let p = parse_program(
+            r#"
+            top(X) <- mid(X), b1(X).
+            mid(X) <- low(X), b2(X).
+            low(X) <- b3(X).
+            "#,
+        )
+        .unwrap();
+        let f = flatten(&p, Pred::new("top", 1)).unwrap();
+        assert_eq!(f.rules.len(), 1);
+        let names: Vec<&str> = f.rules[0].body_atoms().map(|a| a.pred.name.as_str()).collect();
+        assert_eq!(names, vec!["b3", "b2", "b1"]);
+    }
+
+    #[test]
+    fn flatten_stops_at_recursion() {
+        let p = parse_program(
+            r#"
+            top(X) <- mid(X).
+            mid(X) <- tc(X, X).
+            tc(X, Y) <- e(X, Y).
+            tc(X, Y) <- tc(X, Z), e(Z, Y).
+            "#,
+        )
+        .unwrap();
+        let f = flatten(&p, Pred::new("top", 1)).unwrap();
+        // mid unfolded, tc untouched.
+        let top_rules: Vec<&Rule> =
+            f.rules.iter().filter(|r| r.head.pred.name.as_str() == "top").collect();
+        assert_eq!(top_rules.len(), 1);
+        assert_eq!(top_rules[0].body_atoms().next().unwrap().pred.name.as_str(), "tc");
+        assert_eq!(f.rules.len(), 3);
+    }
+
+    #[test]
+    fn paper_8_3_flattening_rescue_shape() {
+        // q(X, Y, Z) <- p(X, Y, Z), Y = 2 * X   over
+        // p(X, Y, Z) <- X = 3, Z = X + Y.
+        // After unfolding p, the conjunct {X=3, Z=X+Y, Y=2*X} admits the
+        // safe order X=3; Y=2*X; Z=X+Y.
+        let p = parse_program(
+            r#"
+            q(X, Y, Z) <- p(X, Y, Z), Y = 2 * X.
+            p(X, Y, Z) <- X = 3, Z = X + Y.
+            "#,
+        )
+        .unwrap();
+        let u = unfold_pred(&p, Pred::new("p", 3)).unwrap();
+        assert_eq!(u.rules.len(), 1);
+        let rule = &u.rules[0];
+        assert_eq!(rule.body.len(), 3);
+        // A safe order now exists where none existed before.
+        use crate::binding::Adornment;
+        let before = &p.rules[0];
+        let after = rule;
+        let free = Adornment::all_free(3);
+        // (find_safe_order lives in ldl-optimizer; here we just verify the
+        // unfold produced pure builtins which that analysis accepts —
+        // the full round-trip is tested in the optimizer crate.)
+        assert!(after.body.iter().all(|l| l.is_builtin()));
+        assert!(!before.body.iter().all(|l| l.is_builtin()));
+        let _ = free;
+    }
+}

@@ -1,0 +1,341 @@
+//! Unification and substitutions.
+//!
+//! LDL's pattern-matching capability rests on syntactic unification of
+//! complex terms. The evaluator uses it to match tuples against rule
+//! heads with compound arguments, and the safety analyzer uses it when
+//! reasoning about term norms.
+
+use crate::literal::Atom;
+use crate::symbol::Symbol;
+use crate::term::Term;
+use std::collections::HashMap;
+
+/// A substitution: a finite map from variables to terms.
+///
+/// Bindings are kept in *triangular* form (a bound term may itself contain
+/// bound variables); [`Subst::resolve`] walks chains and
+/// [`Subst::apply`] produces fully substituted terms.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Subst {
+    map: HashMap<Symbol, Term>,
+}
+
+impl Subst {
+    /// Empty substitution.
+    pub fn new() -> Subst {
+        Subst::default()
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The binding of `v`, if any (one step, not chased).
+    pub fn get(&self, v: Symbol) -> Option<&Term> {
+        self.map.get(&v)
+    }
+
+    /// Binds `v` to `t`. Panics if `v` is already bound (a unifier never
+    /// rebinds — that would silently lose constraints).
+    pub fn bind(&mut self, v: Symbol, t: Term) {
+        let prev = self.map.insert(v, t);
+        debug_assert!(prev.is_none(), "variable {v} bound twice");
+    }
+
+    /// Chases variable-to-variable chains: the representative term of `t`
+    /// under this substitution, without descending into compounds.
+    pub fn resolve<'a>(&'a self, mut t: &'a Term) -> &'a Term {
+        while let Term::Var(v) = t {
+            match self.map.get(v) {
+                Some(next) => t = next,
+                None => break,
+            }
+        }
+        t
+    }
+
+    /// Fully applies the substitution to a term.
+    pub fn apply(&self, t: &Term) -> Term {
+        match self.resolve(t) {
+            Term::Var(v) => Term::Var(*v),
+            Term::Const(c) => Term::Const(*c),
+            Term::Compound(f, args) => {
+                Term::Compound(*f, args.iter().map(|a| self.apply(a)).collect())
+            }
+        }
+    }
+
+    /// Applies the substitution to every argument of an atom.
+    pub fn apply_atom(&self, a: &Atom) -> Atom {
+        Atom {
+            pred: a.pred,
+            args: a.args.iter().map(|t| self.apply(t)).collect(),
+            negated: a.negated,
+        }
+    }
+
+    /// Does `v` occur in `t` (after resolution)? The occurs check keeps
+    /// unification sound (no infinite terms).
+    fn occurs(&self, v: Symbol, t: &Term) -> bool {
+        match self.resolve(t) {
+            Term::Var(w) => *w == v,
+            Term::Const(_) => false,
+            Term::Compound(_, args) => args.iter().any(|a| self.occurs(v, a)),
+        }
+    }
+
+    /// Extends the substitution so that `a` and `b` unify. On failure the
+    /// substitution may be partially extended, so callers should clone
+    /// first if they need rollback (the evaluator does).
+    pub fn unify(&mut self, a: &Term, b: &Term) -> bool {
+        let ra = self.resolve(a).clone();
+        let rb = self.resolve(b).clone();
+        match (ra, rb) {
+            (Term::Var(x), Term::Var(y)) if x == y => true,
+            (Term::Var(x), t) | (t, Term::Var(x)) => {
+                if self.occurs(x, &t) {
+                    false
+                } else {
+                    self.bind(x, t);
+                    true
+                }
+            }
+            (Term::Const(c1), Term::Const(c2)) => c1 == c2,
+            (Term::Compound(f1, args1), Term::Compound(f2, args2)) => {
+                f1 == f2
+                    && args1.len() == args2.len()
+                    && args1.iter().zip(&args2).all(|(x, y)| self.unify(x, y))
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Anti-unification: the *least general generalization* (lgg) of two
+/// terms — the most specific term that subsumes both. Equal parts are
+/// kept; differing parts become variables, consistently (the same pair
+/// of subterms always maps to the same variable). §9 of the paper uses
+/// this to generalize common subexpressions: the lgg of `p(a, b, X)` and
+/// `p(a, Y, c)` is `p(a, G1, G2)`.
+pub struct Lgg {
+    table: HashMap<(Term, Term), Symbol>,
+    counter: usize,
+}
+
+impl Default for Lgg {
+    fn default() -> Self {
+        Lgg::new()
+    }
+}
+
+impl Lgg {
+    /// Fresh generalization context (variable names `G1`, `G2`, ...).
+    pub fn new() -> Lgg {
+        Lgg { table: HashMap::new(), counter: 0 }
+    }
+
+    /// The lgg of two terms under this context.
+    pub fn terms(&mut self, a: &Term, b: &Term) -> Term {
+        if a == b {
+            return a.clone();
+        }
+        if let (Term::Compound(f1, args1), Term::Compound(f2, args2)) = (a, b) {
+            if f1 == f2 && args1.len() == args2.len() {
+                return Term::Compound(
+                    *f1,
+                    args1.iter().zip(args2).map(|(x, y)| self.terms(x, y)).collect(),
+                );
+            }
+        }
+        let key = (a.clone(), b.clone());
+        if let Some(&v) = self.table.get(&key) {
+            return Term::Var(v);
+        }
+        self.counter += 1;
+        let v = Symbol::intern(&format!("G{}", self.counter));
+        self.table.insert(key, v);
+        Term::Var(v)
+    }
+
+    /// The lgg of two atoms (None when the predicates differ).
+    pub fn atoms(&mut self, a: &Atom, b: &Atom) -> Option<Atom> {
+        if a.pred != b.pred || a.negated != b.negated {
+            return None;
+        }
+        Some(Atom {
+            pred: a.pred,
+            args: a.args.iter().zip(&b.args).map(|(x, y)| self.terms(x, y)).collect(),
+            negated: a.negated,
+        })
+    }
+}
+
+/// One-shot lgg of two terms.
+pub fn lgg(a: &Term, b: &Term) -> Term {
+    Lgg::new().terms(a, b)
+}
+
+/// One-shot lgg of two atoms.
+pub fn lgg_atoms(a: &Atom, b: &Atom) -> Option<Atom> {
+    Lgg::new().atoms(a, b)
+}
+
+/// Most general unifier of two terms, if one exists.
+pub fn mgu(a: &Term, b: &Term) -> Option<Subst> {
+    let mut s = Subst::new();
+    if s.unify(a, b) {
+        Some(s)
+    } else {
+        None
+    }
+}
+
+/// Most general unifier of two atoms (same predicate, pairwise args).
+pub fn mgu_atoms(a: &Atom, b: &Atom) -> Option<Subst> {
+    if a.pred != b.pred {
+        return None;
+    }
+    let mut s = Subst::new();
+    for (x, y) in a.args.iter().zip(&b.args) {
+        if !s.unify(x, y) {
+            return None;
+        }
+    }
+    Some(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unify_var_with_const() {
+        let s = mgu(&Term::var("X"), &Term::int(3)).unwrap();
+        assert_eq!(s.apply(&Term::var("X")), Term::int(3));
+    }
+
+    #[test]
+    fn unify_compounds() {
+        let a = Term::compound("f", vec![Term::var("X"), Term::int(2)]);
+        let b = Term::compound("f", vec![Term::int(1), Term::var("Y")]);
+        let s = mgu(&a, &b).unwrap();
+        assert_eq!(s.apply(&a), s.apply(&b));
+        assert_eq!(s.apply(&a).to_string(), "f(1, 2)");
+    }
+
+    #[test]
+    fn functor_mismatch_fails() {
+        assert!(mgu(
+            &Term::compound("f", vec![Term::int(1)]),
+            &Term::compound("g", vec![Term::int(1)])
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn arity_mismatch_fails() {
+        assert!(mgu(
+            &Term::compound("f", vec![Term::int(1)]),
+            &Term::compound("f", vec![Term::int(1), Term::int(2)])
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn occurs_check_blocks_infinite_terms() {
+        let x = Term::var("X");
+        let fx = Term::compound("f", vec![Term::var("X")]);
+        assert!(mgu(&x, &fx).is_none());
+    }
+
+    #[test]
+    fn chained_variables_resolve() {
+        let mut s = Subst::new();
+        assert!(s.unify(&Term::var("X"), &Term::var("Y")));
+        assert!(s.unify(&Term::var("Y"), &Term::int(7)));
+        assert_eq!(s.apply(&Term::var("X")), Term::int(7));
+    }
+
+    #[test]
+    fn unify_lists() {
+        // [H | T] = [1, 2, 3]
+        let pat = Term::list_with_tail(vec![Term::var("H")], Term::var("T"));
+        let lst = Term::list(vec![Term::int(1), Term::int(2), Term::int(3)]);
+        let s = mgu(&pat, &lst).unwrap();
+        assert_eq!(s.apply(&Term::var("H")), Term::int(1));
+        assert_eq!(s.apply(&Term::var("T")).to_string(), "[2, 3]");
+    }
+
+    #[test]
+    fn atom_unification() {
+        let a = Atom::new("p", vec![Term::var("X"), Term::sym("a")]);
+        let b = Atom::new("p", vec![Term::int(1), Term::var("Y")]);
+        let s = mgu_atoms(&a, &b).unwrap();
+        assert_eq!(s.apply_atom(&a).to_string(), "p(1, a)");
+        let c = Atom::new("q", vec![Term::int(1), Term::var("Y")]);
+        assert!(mgu_atoms(&a, &c).is_none());
+    }
+
+    #[test]
+    fn lgg_paper_section_9_example() {
+        // lgg of P(a, b, X) and P(a, Y, c) keeps the shared constant a
+        // and generalizes the rest — the paper's "computing P(a,Y,X)
+        // once" candidate.
+        let a = Atom::new("p", vec![Term::sym("a"), Term::sym("b"), Term::var("X")]);
+        let b = Atom::new("p", vec![Term::sym("a"), Term::var("Y"), Term::sym("c")]);
+        let g = lgg_atoms(&a, &b).unwrap();
+        assert_eq!(g.args[0], Term::sym("a"));
+        assert!(g.args[1].is_var());
+        assert!(g.args[2].is_var());
+        // Both originals are instances of the generalization.
+        assert!(mgu_atoms(&g, &a).is_some());
+        assert!(mgu_atoms(&g, &b).is_some());
+    }
+
+    #[test]
+    fn lgg_is_consistent_across_repeats() {
+        // f(X, X) vs f(1, 1): same pair generalizes to the SAME variable.
+        let a = Term::compound("f", vec![Term::var("X"), Term::var("X")]);
+        let b = Term::compound("f", vec![Term::int(1), Term::int(1)]);
+        let g = lgg(&a, &b);
+        match g {
+            Term::Compound(_, args) => assert_eq!(args[0], args[1]),
+            other => panic!("expected compound, got {other}"),
+        }
+    }
+
+    #[test]
+    fn lgg_of_equal_terms_is_identity() {
+        let t = Term::compound("f", vec![Term::int(1), Term::var("X")]);
+        assert_eq!(lgg(&t, &t), t);
+    }
+
+    #[test]
+    fn lgg_descends_into_matching_structure() {
+        let a = Term::compound("f", vec![Term::compound("g", vec![Term::int(1)])]);
+        let b = Term::compound("f", vec![Term::compound("g", vec![Term::int(2)])]);
+        let g = lgg(&a, &b);
+        assert_eq!(g.to_string(), "f(g(G1))");
+    }
+
+    #[test]
+    fn lgg_mismatched_predicates_is_none() {
+        let a = Atom::new("p", vec![Term::int(1)]);
+        let b = Atom::new("q", vec![Term::int(1)]);
+        assert!(lgg_atoms(&a, &b).is_none());
+    }
+
+    #[test]
+    fn shared_variable_consistency() {
+        // p(X, X) with p(1, 2) must fail; with p(1, 1) must succeed.
+        let pat = Atom::new("p", vec![Term::var("X"), Term::var("X")]);
+        assert!(mgu_atoms(&pat, &Atom::new("p", vec![Term::int(1), Term::int(2)])).is_none());
+        assert!(mgu_atoms(&pat, &Atom::new("p", vec![Term::int(1), Term::int(1)])).is_some());
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the language layer: parser round-trips,
+//! adornment algebra, unification laws over arbitrary term shapes, and
+//! the greedy SIP's safety guarantee.
+
+use ldl_core::adorn::{GreedySip, SipStrategy};
+use ldl_core::binding::Adornment;
+use ldl_core::parser::{parse_program, parse_term};
+use ldl_core::unify::{lgg, mgu};
+use ldl_core::Term;
+use proptest::prelude::*;
+
+fn arb_ground_term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        (-1000i64..1000).prop_map(Term::int),
+        "[a-z][a-z0-9_]{0,6}".prop_map(|s| Term::sym(&s)),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            ("[a-z][a-z0-9_]{0,4}", proptest::collection::vec(inner.clone(), 1..4))
+                .prop_map(|(f, args)| Term::compound(&f, args)),
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Term::list),
+            proptest::collection::vec(inner, 0..4).prop_map(Term::set),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Any ground term displays to text that parses back to itself.
+    /// (Lists and sets have sugar; compounds use functional notation.)
+    #[test]
+    fn ground_term_display_round_trips(t in arb_ground_term()) {
+        let text = t.to_string();
+        let parsed = parse_term(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        prop_assert_eq!(parsed, t);
+    }
+
+    /// Facts round-trip through a whole program.
+    #[test]
+    fn fact_round_trips_through_program(args in proptest::collection::vec(arb_ground_term(), 1..4)) {
+        let fact = ldl_core::Atom::new("t", args);
+        let text = format!("{fact}.");
+        let p = parse_program(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        prop_assert_eq!(&p.facts[0], &fact);
+    }
+
+    /// Set terms are idempotent under re-normalization and insensitive
+    /// to input order/duplicates.
+    #[test]
+    fn set_normalization(items in proptest::collection::vec(arb_ground_term(), 0..6), seed in 0u64..100) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let a = Term::set(items.clone());
+        let mut shuffled = items.clone();
+        shuffled.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        shuffled.extend(items.clone()); // duplicates
+        let b = Term::set(shuffled);
+        prop_assert_eq!(a, b);
+    }
+
+    /// lgg generalizes: both inputs unify with the lgg.
+    #[test]
+    fn lgg_subsumes_both(a in arb_ground_term(), b in arb_ground_term()) {
+        let g = lgg(&a, &b);
+        prop_assert!(mgu(&g, &a).is_some(), "lgg {g} vs a {a}");
+        prop_assert!(mgu(&g, &b).is_some(), "lgg {g} vs b {b}");
+    }
+
+    /// Adornment bitmask algebra: bind() is monotone and idempotent,
+    /// subsumption is a partial order w.r.t. bound sets.
+    #[test]
+    fn adornment_algebra(arity in 1usize..12, i in 0usize..12, j in 0usize..12) {
+        let i = i % arity;
+        let j = j % arity;
+        let base = Adornment::all_free(arity);
+        let once = base.bind(i);
+        prop_assert!(once.is_bound(i));
+        prop_assert_eq!(once.bind(i), once);
+        let twice = once.bind(j);
+        prop_assert!(twice.subsumes(&once));
+        prop_assert!(twice.subsumes(&base));
+        prop_assert_eq!(twice.bound_count(), if i == j { 1 } else { 2 });
+        // Display/parse round trip.
+        prop_assert_eq!(Adornment::parse(&twice.to_string()).unwrap(), twice);
+    }
+
+    /// GreedySip always returns a permutation, for every head adornment.
+    #[test]
+    fn greedy_sip_total(nlits in 1usize..6, arity in 1usize..4, mask in 0u64..16) {
+        // Build a rule p(X0..X{arity-1}) <- q(X0), q(X1 mod arity), ...
+        let head_args: Vec<Term> = (0..arity).map(|i| Term::var(&format!("X{i}"))).collect();
+        let head = ldl_core::Atom::new("p", head_args);
+        let body: Vec<ldl_core::Literal> = (0..nlits)
+            .map(|i| {
+                ldl_core::Literal::Atom(ldl_core::Atom::new(
+                    "q",
+                    vec![Term::var(&format!("X{}", i % arity))],
+                ))
+            })
+            .collect();
+        let rule = ldl_core::Rule::new(head, body);
+        let flags: Vec<bool> = (0..arity).map(|i| mask & (1 << i) != 0).collect();
+        let ad = Adornment::from_flags(&flags);
+        let mut perm = GreedySip.permutation(0, &rule, ad);
+        perm.sort_unstable();
+        prop_assert_eq!(perm, (0..nlits).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,272 @@
+//! Evaluable predicates: arithmetic and comparisons.
+//!
+//! §8 of the paper: evaluable predicates are formally infinite relations
+//! (`x > y` is the set of all ordered pairs), executed by calls to
+//! built-in routines. They are only *effectively computable* under
+//! sufficient bindings; the optimizer guarantees those bindings occur, and
+//! this module implements the actual routines the execution uses.
+
+use ldl_core::unify::Subst;
+use ldl_core::{BuiltinPred, CmpOp, LdlError, Result, Symbol, Term, Value};
+
+/// Evaluates a ground arithmetic expression to a value.
+///
+/// Integers evaluate to themselves; `+ - * / mod` recurse; any symbolic
+/// constant is returned as-is (so `X = tom` works), but symbolic operands
+/// inside arithmetic are errors.
+pub fn eval_arith(t: &Term) -> Result<Value> {
+    match t {
+        Term::Const(v) => Ok(*v),
+        Term::Var(v) => Err(LdlError::Eval(format!("unbound variable {v} in arithmetic"))),
+        Term::Compound(f, args) => {
+            let op = f.as_str();
+            if args.len() != 2 || !matches!(op, "+" | "-" | "*" | "/" | "mod") {
+                return Err(LdlError::Eval(format!("not an arithmetic expression: {t}")));
+            }
+            let l = int_of(eval_arith(&args[0])?, t)?;
+            let r = int_of(eval_arith(&args[1])?, t)?;
+            let v = match op {
+                "+" => l.checked_add(r),
+                "-" => l.checked_sub(r),
+                "*" => l.checked_mul(r),
+                "/" => {
+                    if r == 0 {
+                        return Err(LdlError::Eval(format!("division by zero in {t}")));
+                    }
+                    l.checked_div(r)
+                }
+                "mod" => {
+                    if r == 0 {
+                        return Err(LdlError::Eval(format!("mod by zero in {t}")));
+                    }
+                    l.checked_rem(r)
+                }
+                _ => unreachable!(),
+            };
+            v.map(Value::Int)
+                .ok_or_else(|| LdlError::Eval(format!("integer overflow in {t}")))
+        }
+    }
+}
+
+fn int_of(v: Value, ctx: &Term) -> Result<i64> {
+    v.as_int()
+        .ok_or_else(|| LdlError::Eval(format!("non-integer operand in arithmetic: {ctx}")))
+}
+
+/// True when `t` looks like an arithmetic expression (so `=` should
+/// evaluate it rather than unify structurally).
+pub fn is_arith_expr(t: &Term) -> bool {
+    match t {
+        Term::Compound(f, args) if args.len() == 2 => {
+            matches!(f.as_str(), "+" | "-" | "*" | "/" | "mod")
+        }
+        _ => false,
+    }
+}
+
+/// Normalizes a term for `=`: if it is a ground arithmetic expression,
+/// reduce it to its value; otherwise return it unchanged.
+fn normalize(t: &Term) -> Result<Term> {
+    if is_arith_expr(t) && t.is_ground() {
+        Ok(Term::Const(eval_arith(t)?))
+    } else {
+        Ok(t.clone())
+    }
+}
+
+/// Executes `b` under the substitution `subst`.
+///
+/// Returns `Ok(Some(subst'))` when the builtin succeeds (possibly
+/// extending the substitution through `=`), `Ok(None)` when it fails as a
+/// filter, and `Err` when it is not effectively computable under the
+/// current bindings — a condition the optimizer's safety analysis is
+/// supposed to have ruled out, so the error names the literal.
+pub fn eval_builtin(b: &BuiltinPred, subst: &Subst) -> Result<Option<Subst>> {
+    let lhs = subst.apply(&b.lhs);
+    let rhs = subst.apply(&b.rhs);
+    match b.op {
+        CmpOp::Eq => {
+            let l = normalize(&lhs)?;
+            let r = normalize(&rhs)?;
+            if !l.is_ground() && !r.is_ground() {
+                return Err(LdlError::Eval(format!(
+                    "equality {b} not effectively computable: neither side ground"
+                )));
+            }
+            // One side ground: a ground arithmetic side is already reduced;
+            // a non-ground arithmetic side cannot be inverted.
+            if is_arith_expr(&l) || is_arith_expr(&r) {
+                return Err(LdlError::Eval(format!(
+                    "arithmetic expression with unbound variables in {b}"
+                )));
+            }
+            let mut s = subst.clone();
+            Ok(if s.unify(&l, &r) { Some(s) } else { None })
+        }
+        op => {
+            if !lhs.is_ground() || !rhs.is_ground() {
+                return Err(LdlError::Eval(format!(
+                    "comparison {b} not effectively computable: unbound operand"
+                )));
+            }
+            let l = eval_cmp_operand(&lhs)?;
+            let r = eval_cmp_operand(&rhs)?;
+            let holds = compare(op, &l, &r)?;
+            Ok(if holds { Some(subst.clone()) } else { None })
+        }
+    }
+}
+
+/// Operand of a comparison: arithmetic expressions reduce, other ground
+/// terms stand for themselves.
+fn eval_cmp_operand(t: &Term) -> Result<Term> {
+    if is_arith_expr(t) {
+        Ok(Term::Const(eval_arith(t)?))
+    } else {
+        Ok(t.clone())
+    }
+}
+
+fn compare(op: CmpOp, l: &Term, r: &Term) -> Result<bool> {
+    match op {
+        CmpOp::Eq => Ok(l == r),
+        CmpOp::Ne => Ok(l != r),
+        ordering => match (l, r) {
+            (Term::Const(Value::Int(a)), Term::Const(Value::Int(b))) => Ok(match ordering {
+                CmpOp::Lt => a < b,
+                CmpOp::Le => a <= b,
+                CmpOp::Gt => a > b,
+                CmpOp::Ge => a >= b,
+                _ => unreachable!(),
+            }),
+            // Symbolic constants order lexicographically (deterministic,
+            // handy for range predicates over names).
+            (Term::Const(Value::Sym(a)), Term::Const(Value::Sym(b))) => {
+                let (a, b) = (a.as_str(), b.as_str());
+                Ok(match ordering {
+                    CmpOp::Lt => a < b,
+                    CmpOp::Le => a <= b,
+                    CmpOp::Gt => a > b,
+                    CmpOp::Ge => a >= b,
+                    _ => unreachable!(),
+                })
+            }
+            _ => Err(LdlError::Eval(format!(
+                "cannot order {l} {} {r}: mixed or structured operands",
+                op.symbol()
+            ))),
+        },
+    }
+}
+
+/// The variables a builtin would newly bind, given already-bound vars —
+/// re-exported helper used by the adornment and safety code.
+pub fn builtin_binds(b: &BuiltinPred, bound: &std::collections::HashSet<Symbol>) -> Vec<Symbol> {
+    b.binds(bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldl_core::parser::parse_term;
+
+    fn b(op: CmpOp, l: &str, r: &str) -> BuiltinPred {
+        BuiltinPred::new(op, parse_term(l).unwrap(), parse_term(r).unwrap())
+    }
+
+    #[test]
+    fn arith_evaluates() {
+        assert_eq!(eval_arith(&parse_term("1 + 2 * 3").unwrap()).unwrap(), Value::Int(7));
+        assert_eq!(eval_arith(&parse_term("10 / 3").unwrap()).unwrap(), Value::Int(3));
+        assert_eq!(eval_arith(&parse_term("10 mod 3").unwrap()).unwrap(), Value::Int(1));
+        assert_eq!(eval_arith(&parse_term("2 - 5").unwrap()).unwrap(), Value::Int(-3));
+    }
+
+    #[test]
+    fn arith_errors() {
+        assert!(eval_arith(&parse_term("1 / 0").unwrap()).is_err());
+        assert!(eval_arith(&parse_term("X + 1").unwrap()).is_err());
+        assert!(eval_arith(&parse_term("tom + 1").unwrap()).is_err());
+    }
+
+    #[test]
+    fn eq_binds_variable() {
+        let lit = b(CmpOp::Eq, "X", "2 + 3");
+        let s = eval_builtin(&lit, &Subst::new()).unwrap().unwrap();
+        assert_eq!(s.apply(&Term::var("X")), Term::int(5));
+    }
+
+    #[test]
+    fn eq_as_filter() {
+        let lit = b(CmpOp::Eq, "3", "2 + 1");
+        assert!(eval_builtin(&lit, &Subst::new()).unwrap().is_some());
+        let lit2 = b(CmpOp::Eq, "3", "2 + 2");
+        assert!(eval_builtin(&lit2, &Subst::new()).unwrap().is_none());
+    }
+
+    #[test]
+    fn eq_structural_on_symbols() {
+        let lit = b(CmpOp::Eq, "X", "tom");
+        let s = eval_builtin(&lit, &Subst::new()).unwrap().unwrap();
+        assert_eq!(s.apply(&Term::var("X")), Term::sym("tom"));
+    }
+
+    #[test]
+    fn eq_both_unbound_is_not_ec() {
+        let lit = b(CmpOp::Eq, "X", "Y");
+        assert!(eval_builtin(&lit, &Subst::new()).is_err());
+    }
+
+    #[test]
+    fn eq_with_unbound_arith_is_not_ec() {
+        // X = Y + 1 with neither bound.
+        let lit = b(CmpOp::Eq, "X", "Y + 1");
+        assert!(eval_builtin(&lit, &Subst::new()).is_err());
+    }
+
+    #[test]
+    fn comparisons_filter() {
+        assert!(eval_builtin(&b(CmpOp::Lt, "1", "2"), &Subst::new()).unwrap().is_some());
+        assert!(eval_builtin(&b(CmpOp::Lt, "2", "2"), &Subst::new()).unwrap().is_none());
+        assert!(eval_builtin(&b(CmpOp::Ge, "2", "2"), &Subst::new()).unwrap().is_some());
+        assert!(eval_builtin(&b(CmpOp::Ne, "1", "2"), &Subst::new()).unwrap().is_some());
+    }
+
+    #[test]
+    fn comparison_with_unbound_errors() {
+        assert!(eval_builtin(&b(CmpOp::Gt, "X", "2"), &Subst::new()).is_err());
+    }
+
+    #[test]
+    fn comparison_evaluates_expressions() {
+        assert!(eval_builtin(&b(CmpOp::Gt, "2 * 3", "5"), &Subst::new()).unwrap().is_some());
+    }
+
+    #[test]
+    fn symbol_ordering_is_lexicographic() {
+        assert!(eval_builtin(&b(CmpOp::Lt, "abel", "cain"), &Subst::new()).unwrap().is_some());
+    }
+
+    #[test]
+    fn mixed_ordering_errors() {
+        assert!(eval_builtin(&b(CmpOp::Lt, "1", "tom"), &Subst::new()).is_err());
+    }
+
+    #[test]
+    fn eq_under_substitution() {
+        // Y = X + 1 with X bound to 4.
+        let lit = b(CmpOp::Eq, "Y", "X + 1");
+        let mut s = Subst::new();
+        s.bind(Symbol::intern("X"), Term::int(4));
+        let out = eval_builtin(&lit, &s).unwrap().unwrap();
+        assert_eq!(out.apply(&Term::var("Y")), Term::int(5));
+    }
+
+    #[test]
+    fn structural_eq_of_compounds() {
+        let lit = b(CmpOp::Eq, "f(X, 2)", "f(1, 2)");
+        let s = eval_builtin(&lit, &Subst::new()).unwrap().unwrap();
+        assert_eq!(s.apply(&Term::var("X")), Term::int(1));
+    }
+}

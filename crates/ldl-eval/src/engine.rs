@@ -1,0 +1,286 @@
+//! The query engine: program + database + query + method → answers.
+//!
+//! This is the execution back end the optimizer targets. The optimizer
+//! picks a method and a SIP (body permutations) per recursive clique;
+//! the engine applies the corresponding rewriting and runs the fixpoint.
+
+use crate::counting::{counting_rewrite, extract_answers};
+use crate::magic::magic_rewrite;
+use crate::metrics::Metrics;
+use crate::naive::{eval_program_naive, FixpointConfig};
+use crate::seminaive::eval_program_seminaive;
+use ldl_core::adorn::{adorn_program, AdornedProgram, GreedySip, SipStrategy};
+use ldl_core::unify::Subst;
+use ldl_core::{Atom, Program, Query, Result};
+use ldl_storage::{Database, Relation};
+
+/// The recursive methods of §7.3 (plus the naive baseline).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Method {
+    /// Full naive fixpoint of the original program.
+    Naive,
+    /// Semi-naive (differential) fixpoint of the original program.
+    SemiNaive,
+    /// Magic-set rewriting, then semi-naive.
+    Magic,
+    /// Generalized counting rewriting, then semi-naive (linear cliques,
+    /// acyclic data).
+    Counting,
+}
+
+impl Method {
+    /// Every method, for enumeration by the optimizer.
+    pub const ALL: [Method; 4] = [Method::Naive, Method::SemiNaive, Method::Magic, Method::Counting];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Naive => "naive",
+            Method::SemiNaive => "semi-naive",
+            Method::Magic => "magic",
+            Method::Counting => "counting",
+        }
+    }
+}
+
+/// Answers plus the work performed to produce them.
+#[derive(Clone, Debug)]
+pub struct QueryAnswer {
+    /// Tuples of the query predicate satisfying the goal.
+    pub tuples: Relation,
+    /// Evaluation work counters.
+    pub metrics: Metrics,
+}
+
+/// Keeps only the rows of `rel` that unify with the goal's arguments
+/// (handles repeated variables and compound patterns in the goal).
+pub fn filter_answers(rel: &Relation, goal: &Atom) -> Relation {
+    let mut out = Relation::new(rel.arity());
+    for row in rel.iter() {
+        let mut s = Subst::new();
+        if goal.args.iter().zip(&row.0).all(|(pat, val)| s.unify(pat, val)) {
+            out.insert(row.clone());
+        }
+    }
+    out
+}
+
+/// Evaluates `query` against `program`/`db` with `method`, adorning with
+/// the default greedy binding-aware SIP where a rewriting is involved.
+pub fn evaluate_query(
+    program: &Program,
+    db: &Database,
+    query: &Query,
+    method: Method,
+    cfg: &FixpointConfig,
+) -> Result<QueryAnswer> {
+    evaluate_query_sip(program, db, query, method, cfg, &GreedySip)
+}
+
+/// Like [`evaluate_query`], with an explicit SIP strategy (the optimizer
+/// passes the c-permutation it selected).
+pub fn evaluate_query_sip(
+    program: &Program,
+    db: &Database,
+    query: &Query,
+    method: Method,
+    cfg: &FixpointConfig,
+    sip: &dyn SipStrategy,
+) -> Result<QueryAnswer> {
+    match method {
+        Method::Naive | Method::SemiNaive => {
+            // Bottom-up evaluation runs rule bodies in their stored
+            // order; apply the SIP's all-free orders so the optimizer's
+            // safe orderings (builtins after their bindings) take effect.
+            let permuted = permute_program(program, sip);
+            let (derived, metrics) = if method == Method::Naive {
+                eval_program_naive(&permuted, db, cfg)?
+            } else {
+                eval_program_seminaive(&permuted, db, cfg)?
+            };
+            let rel = derived
+                .get(&query.pred())
+                .cloned()
+                .or_else(|| db.relation(query.pred()).cloned())
+                .unwrap_or_else(|| Relation::new(query.pred().arity));
+            Ok(QueryAnswer { tuples: filter_answers(&rel, &query.goal), metrics })
+        }
+        Method::Magic | Method::Counting => {
+            // A query on a base predicate needs no rewriting at all:
+            // filter the stored relation directly.
+            if !program.derived_preds().contains(&query.pred()) {
+                let rel = db
+                    .relation(query.pred())
+                    .cloned()
+                    .unwrap_or_else(|| Relation::new(query.pred().arity));
+                return Ok(QueryAnswer {
+                    tuples: filter_answers(&rel, &query.goal),
+                    metrics: Metrics::default(),
+                });
+            }
+            let adorned = adorn_program(program, query.pred(), query.adornment(), sip);
+            evaluate_adorned(&adorned, program, db, query, method, cfg)
+        }
+    }
+}
+
+/// Rewrites every rule body into the order the SIP chooses for an
+/// all-free head — the binding situation bottom-up evaluation presents.
+/// Semantics are unchanged (conjunction is commutative); only the
+/// executability of builtins and negation depends on the order.
+pub fn permute_program(program: &Program, sip: &dyn SipStrategy) -> Program {
+    let mut out = Program { rules: Vec::with_capacity(program.rules.len()), facts: program.facts.clone() };
+    for (ri, rule) in program.rules.iter().enumerate() {
+        let ad = ldl_core::Adornment::all_free(rule.head.pred.arity);
+        let perm = sip.permutation(ri, rule, ad);
+        debug_assert_eq!(perm.len(), rule.body.len());
+        let body = perm.iter().map(|&i| rule.body[i].clone()).collect();
+        out.rules.push(ldl_core::Rule::new(rule.head.clone(), body));
+    }
+    out
+}
+
+/// Evaluates a pre-adorned program (the optimizer adorns under each
+/// candidate c-permutation and calls this with the winner).
+pub fn evaluate_adorned(
+    adorned: &AdornedProgram,
+    program: &Program,
+    db: &Database,
+    query: &Query,
+    method: Method,
+    cfg: &FixpointConfig,
+) -> Result<QueryAnswer> {
+    match method {
+        Method::Magic => {
+            let magic = magic_rewrite(adorned, program, query)?;
+            let mut mdb = db.clone();
+            mdb.relation_mut(magic.seed_pred).insert(magic.seed.clone());
+            let (derived, metrics) = eval_program_seminaive(&magic.program, &mdb, cfg)?;
+            let rel = derived
+                .get(&magic.answer_pred)
+                .cloned()
+                .unwrap_or_else(|| Relation::new(query.pred().arity));
+            Ok(QueryAnswer { tuples: filter_answers(&rel, &query.goal), metrics })
+        }
+        Method::Counting => {
+            let counting = counting_rewrite(adorned, program, query)?;
+            let mut cdb = db.clone();
+            cdb.relation_mut(counting.seed_pred).insert(counting.seed.clone());
+            let (derived, metrics) = eval_program_seminaive(&counting.program, &cdb, cfg)?;
+            let rel = derived
+                .get(&counting.answer_pred)
+                .cloned()
+                .unwrap_or_else(|| Relation::new(counting.answer_pred.arity));
+            let ans = extract_answers(&rel, counting.query_arity);
+            Ok(QueryAnswer { tuples: filter_answers(&ans, &query.goal), metrics })
+        }
+        Method::Naive | Method::SemiNaive => {
+            evaluate_query(program, db, query, method, cfg)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldl_core::parser::{parse_program, parse_query};
+    use ldl_storage::Tuple;
+
+    const SG: &str = r#"
+        up(1, 10). up(2, 10). up(3, 20). up(10, 100). up(20, 100).
+        flat(100, 100). flat(10, 20).
+        dn(100, 10). dn(100, 20). dn(10, 1). dn(10, 2). dn(20, 3).
+        sg(X, Y) <- flat(X, Y).
+        sg(X, Y) <- up(X, X1), sg(Y1, X1), dn(Y1, Y).
+    "#;
+
+    fn answers(text: &str, q: &str, m: Method) -> Relation {
+        let program = parse_program(text).unwrap();
+        let db = Database::from_program(&program);
+        let query = parse_query(q).unwrap();
+        evaluate_query(&program, &db, &query, m, &FixpointConfig::default())
+            .unwrap()
+            .tuples
+    }
+
+    #[test]
+    fn all_methods_agree_on_sg_bound_query() {
+        let reference = answers(SG, "sg(1, Y)?", Method::Naive);
+        assert!(!reference.is_empty());
+        for m in [Method::SemiNaive, Method::Magic, Method::Counting] {
+            let got = answers(SG, "sg(1, Y)?", m);
+            assert_eq!(got, reference, "method {} disagrees", m.name());
+        }
+    }
+
+    #[test]
+    fn all_methods_agree_on_tc() {
+        let tc = r#"
+            e(1, 2). e(2, 3). e(3, 4). e(2, 5). e(7, 8).
+            tc(X, Y) <- e(X, Y).
+            tc(X, Y) <- e(X, Z), tc(Z, Y).
+        "#;
+        let reference = answers(tc, "tc(1, Y)?", Method::Naive);
+        assert_eq!(reference.len(), 4);
+        for m in [Method::SemiNaive, Method::Magic, Method::Counting] {
+            assert_eq!(answers(tc, "tc(1, Y)?", m), reference, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn ground_query_returns_single_tuple_or_empty() {
+        let yes = answers(SG, "sg(1, 2)?", Method::Magic);
+        assert_eq!(yes.len(), 1);
+        let no = answers(SG, "sg(1, 100)?", Method::Magic);
+        assert!(no.is_empty());
+    }
+
+    #[test]
+    fn repeated_variable_goal_filters() {
+        // sg(X, X): same-generation with itself.
+        let naive = answers(SG, "sg(X, X)?", Method::Naive);
+        for t in naive.iter() {
+            assert_eq!(t.get(0), t.get(1));
+        }
+    }
+
+    #[test]
+    fn query_on_base_predicate_works() {
+        let got = answers(SG, "up(1, Z)?", Method::SemiNaive);
+        assert_eq!(got.len(), 1);
+        assert!(got.contains(&Tuple::ints(&[1, 10])));
+    }
+
+    #[test]
+    fn base_predicate_query_under_every_method() {
+        for m in Method::ALL {
+            let got = answers(SG, "up(1, Z)?", m);
+            assert_eq!(got.len(), 1, "{}", m.name());
+            assert!(got.contains(&Tuple::ints(&[1, 10])));
+        }
+    }
+
+    #[test]
+    fn magic_metrics_beat_seminaive_on_selective_query() {
+        let mut text = String::new();
+        // Two disconnected chains; query touches only the first.
+        for i in 0..50 {
+            text.push_str(&format!("e({}, {}).\n", i, i + 1));
+            text.push_str(&format!("e({}, {}).\n", 1000 + i, 1000 + i + 1));
+        }
+        text.push_str("tc(X, Y) <- e(X, Y).\ntc(X, Y) <- e(X, Z), tc(Z, Y).\n");
+        let program = parse_program(&text).unwrap();
+        let db = Database::from_program(&program);
+        let query = parse_query("tc(49, Y)?").unwrap();
+        let cfg = FixpointConfig::default();
+        let semi = evaluate_query(&program, &db, &query, Method::SemiNaive, &cfg).unwrap();
+        let magic = evaluate_query(&program, &db, &query, Method::Magic, &cfg).unwrap();
+        assert_eq!(semi.tuples, magic.tuples);
+        assert!(
+            magic.metrics.tuples_derived < semi.metrics.tuples_derived / 10,
+            "magic {} vs semi-naive {}",
+            magic.metrics.tuples_derived,
+            semi.metrics.tuples_derived
+        );
+    }
+}

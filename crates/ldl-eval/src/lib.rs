@@ -1,0 +1,43 @@
+//! # ldl-eval — extended relational algebra with fixpoint methods
+//!
+//! The paper's target language is "a relational algebra extended with
+//! additional constructs to handle complex terms and fixpoint
+//! computations" (§4). This crate is that target:
+//!
+//! * [`builtins`] — evaluable predicates (comparisons, arithmetic) with
+//!   their effective-computability semantics (§8);
+//! * [`rule_eval`] — the tuple-at-a-time rule evaluator: a pipelined
+//!   nested-loop/index join over an explicit literal order (the SIP the
+//!   optimizer chose), with full unification for complex terms;
+//! * [`ops`] — materialized relational operators with exchangeable join
+//!   methods (nested-loop / hash / index — the `EL` transformation);
+//! * [`naive`] / [`seminaive`] — fixpoint computation of recursive
+//!   cliques, stratum by stratum;
+//! * [`magic`] — the magic-set rewriting of an adorned program [BMSU 85];
+//! * [`counting`] — the generalized counting rewriting [SZ 86] for
+//!   linear cliques;
+//! * [`materialized`] — the materialized counterpart of the pipelined
+//!   rule executor (the `MP` dimension of §4);
+//! * [`grouping`] — LDL's set collection (`<X>` heads) and the
+//!   `member/2` set predicate;
+//! * [`sld`] — a Prolog-style SLD resolver, the §1 baseline the
+//!   optimizer is contrasted with;
+//! * [`engine`] — one entry point tying program + database + query +
+//!   method together, with derivation metrics for the experiments.
+
+pub mod builtins;
+pub mod counting;
+pub mod engine;
+pub mod grouping;
+pub mod magic;
+pub mod materialized;
+pub mod metrics;
+pub mod naive;
+pub mod ops;
+pub mod rule_eval;
+pub mod seminaive;
+pub mod sld;
+
+pub use engine::{evaluate_query, Method, QueryAnswer};
+pub use metrics::Metrics;
+pub use naive::FixpointConfig;

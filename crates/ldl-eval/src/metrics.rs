@@ -1,0 +1,51 @@
+//! Evaluation metrics, used by the experiment harness.
+
+use std::fmt;
+
+/// Counters accumulated during one query evaluation. These are the
+/// quantities the paper's method comparisons are about: how much work a
+/// fixpoint method performs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Tuples newly derived (inserted for the first time).
+    pub tuples_derived: usize,
+    /// Tuples produced including duplicates (rule-firing output size).
+    pub tuples_produced: usize,
+    /// Fixpoint iterations executed across all cliques.
+    pub iterations: usize,
+    /// Individual rule evaluations.
+    pub rule_firings: usize,
+}
+
+impl Metrics {
+    /// Adds another metrics bundle into this one.
+    pub fn absorb(&mut self, other: Metrics) {
+        self.tuples_derived += other.tuples_derived;
+        self.tuples_produced += other.tuples_produced;
+        self.iterations += other.iterations;
+        self.rule_firings += other.rule_firings;
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "derived={} produced={} iterations={} firings={}",
+            self.tuples_derived, self.tuples_produced, self.iterations, self.rule_firings
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums() {
+        let mut a = Metrics { tuples_derived: 1, tuples_produced: 2, iterations: 3, rule_firings: 4 };
+        a.absorb(Metrics { tuples_derived: 10, tuples_produced: 20, iterations: 30, rule_firings: 40 });
+        assert_eq!(a.tuples_derived, 11);
+        assert_eq!(a.iterations, 33);
+    }
+}

@@ -1,0 +1,263 @@
+//! Naive bottom-up fixpoint evaluation.
+//!
+//! The baseline recursive method: evaluate strata bottom-up; within a
+//! recursive clique, re-fire *every* rule against the *full* current
+//! relations until nothing new appears. Correct, and maximally wasteful —
+//! every iteration rederives everything the previous iterations found,
+//! which is exactly why the paper's method set includes semi-naive and
+//! the binding-propagating methods (magic sets, counting).
+
+use crate::metrics::Metrics;
+use crate::rule_eval::{eval_rule, OverlaySource};
+use ldl_core::depgraph::DependencyGraph;
+use ldl_core::unify::Subst;
+use ldl_core::{LdlError, Pred, Program, Result};
+use ldl_storage::{Database, Relation};
+use std::collections::HashMap;
+
+/// Limits guarding non-terminating fixpoints (an unsafe execution shows
+/// up as an iteration-bound overflow at run time).
+#[derive(Clone, Copy, Debug)]
+pub struct FixpointConfig {
+    /// Maximum iterations per recursive clique before the evaluation is
+    /// declared divergent.
+    pub max_iterations: usize,
+}
+
+impl Default for FixpointConfig {
+    fn default() -> Self {
+        FixpointConfig { max_iterations: 100_000 }
+    }
+}
+
+/// Groups derived predicates into evaluation units, bottom-up: each
+/// recursive clique is one group, every other predicate is a singleton.
+pub(crate) fn evaluation_groups(program: &Program, graph: &DependencyGraph) -> Vec<Vec<Pred>> {
+    let mut groups: Vec<Vec<Pred>> = Vec::new();
+    let mut current_clique: Option<usize> = None;
+    for &p in graph.bottom_up_order() {
+        match graph.clique_id_of(p) {
+            Some(cid) => {
+                if current_clique == Some(cid) {
+                    groups.last_mut().expect("group exists").push(p);
+                } else {
+                    groups.push(vec![p]);
+                    current_clique = Some(cid);
+                }
+            }
+            None => {
+                groups.push(vec![p]);
+                current_clique = None;
+            }
+        }
+    }
+    let _ = program;
+    groups
+}
+
+/// Evaluates every derived predicate of `program` naively.
+pub fn eval_program_naive(
+    program: &Program,
+    db: &Database,
+    cfg: &FixpointConfig,
+) -> Result<(HashMap<Pred, Relation>, Metrics)> {
+    let graph = DependencyGraph::build(program);
+    graph.check_stratified()?;
+    // Facts may exist for derived predicates too (e.g. `reach(1).` next to
+    // recursive reach rules); seed the derived relations with them so the
+    // database copy is not shadowed.
+    let mut derived: HashMap<Pred, Relation> = program
+        .derived_preds()
+        .into_iter()
+        .map(|p| {
+            let rel = db.relation(p).cloned().unwrap_or_else(|| Relation::new(p.arity));
+            (p, rel)
+        })
+        .collect();
+    let mut metrics = Metrics::default();
+
+    for group in evaluation_groups(program, &graph) {
+        let recursive = group.iter().any(|&p| graph.is_recursive(p));
+        let rules: Vec<usize> = program
+            .rules
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| group.contains(&r.head.pred))
+            .map(|(i, _)| i)
+            .collect();
+        let mut iters = 0usize;
+        loop {
+            iters += 1;
+            if iters > cfg.max_iterations {
+                return Err(LdlError::Eval(format!(
+                    "naive fixpoint for {:?} exceeded {} iterations (divergent / unsafe)",
+                    group.iter().map(|p| p.to_string()).collect::<Vec<_>>(),
+                    cfg.max_iterations
+                )));
+            }
+            metrics.iterations += 1;
+            let mut new_tuples: Vec<(Pred, ldl_storage::Tuple)> = Vec::new();
+            for &ri in &rules {
+                let rule = &program.rules[ri];
+                let order: Vec<usize> = (0..rule.body.len()).collect();
+                let source = OverlaySource {
+                    base: |p: Pred| derived.get(&p).or_else(|| db.relation(p)),
+                    overlay: None,
+                };
+                metrics.rule_firings += 1;
+                let head_pred = rule.head.pred;
+                if crate::grouping::has_grouping(rule) {
+                    if recursive {
+                        return Err(LdlError::Eval(format!(
+                            "grouping head {} inside a recursive clique is not stratifiable",
+                            rule.head
+                        )));
+                    }
+                    let (tuples, stats) =
+                        crate::grouping::eval_grouping_rule(rule, &order, &source)?;
+                    metrics.tuples_produced += stats.produced;
+                    for t in tuples {
+                        new_tuples.push((head_pred, t));
+                    }
+                    continue;
+                }
+                let stats = eval_rule(rule, &order, &Subst::new(), &source, &mut |t| {
+                    new_tuples.push((head_pred, t));
+                })?;
+                metrics.tuples_produced += stats.produced;
+            }
+            let mut changed = false;
+            for (p, t) in new_tuples {
+                let rel = derived.get_mut(&p).expect("derived relation exists");
+                if rel.insert(t) {
+                    changed = true;
+                    metrics.tuples_derived += 1;
+                }
+            }
+            if !changed || !recursive {
+                break;
+            }
+        }
+    }
+    Ok((derived, metrics))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldl_core::parser::parse_program;
+    use ldl_storage::Tuple;
+
+    fn eval(text: &str) -> HashMap<Pred, Relation> {
+        let p = parse_program(text).unwrap();
+        let db = Database::from_program(&p);
+        eval_program_naive(&p, &db, &FixpointConfig::default()).unwrap().0
+    }
+
+    #[test]
+    fn transitive_closure() {
+        let d = eval(
+            r#"
+            e(1, 2). e(2, 3). e(3, 4).
+            tc(X, Y) <- e(X, Y).
+            tc(X, Y) <- tc(X, Z), e(Z, Y).
+            "#,
+        );
+        let tc = &d[&Pred::new("tc", 2)];
+        assert_eq!(tc.len(), 6);
+        assert!(tc.contains(&Tuple::ints(&[1, 4])));
+    }
+
+    #[test]
+    fn same_generation() {
+        // up/dn tree: 1 up to a, 2 up to a => 1 and 2 same generation.
+        let d = eval(
+            r#"
+            up(1, 10). up(2, 10). up(3, 20).
+            flat(10, 10). flat(10, 20).
+            dn(10, 1). dn(10, 2). dn(20, 3).
+            sg(X, Y) <- flat(X, Y).
+            sg(X, Y) <- up(X, X1), sg(Y1, X1), dn(Y1, Y).
+            "#,
+        );
+        let sg = &d[&Pred::new("sg", 2)];
+        // flat gives (10,10),(10,20); recursion: up(1,10), sg(Y1,10), dn(Y1,Y):
+        // sg(10,10) -> Y1=10 -> dn(10,{1,2}) => sg(1,1), sg(1,2); sg(10,20)?
+        // sg(Y1,X1)=sg(10,10): for X=1: up(1,10), sg(10,10), dn(10,Y) => sg(1,1), sg(1,2).
+        assert!(sg.contains(&Tuple::ints(&[1, 1])));
+        assert!(sg.contains(&Tuple::ints(&[1, 2])));
+        assert!(sg.contains(&Tuple::ints(&[2, 1])));
+    }
+
+    #[test]
+    fn stratified_negation_evaluates() {
+        let d = eval(
+            r#"
+            edge(1, 2). edge(2, 3).
+            node(1). node(2). node(3). node(4).
+            reach(1).
+            reach(X) <- reach(Y), edge(Y, X).
+            unreachable(X) <- node(X), ~reach(X).
+            "#,
+        );
+        let u = &d[&Pred::new("unreachable", 1)];
+        assert_eq!(u.len(), 1);
+        assert!(u.contains(&Tuple::ints(&[4])));
+    }
+
+    #[test]
+    fn mutual_recursion() {
+        let d = eval(
+            r#"
+            zero(0).
+            succ(0, 1). succ(1, 2). succ(2, 3). succ(3, 4).
+            even(X) <- zero(X).
+            even(X) <- succ(Y, X), odd(Y).
+            odd(X) <- succ(Y, X), even(Y).
+            "#,
+        );
+        let even = &d[&Pred::new("even", 1)];
+        let odd = &d[&Pred::new("odd", 1)];
+        assert!(even.contains(&Tuple::ints(&[0])));
+        assert!(even.contains(&Tuple::ints(&[2])));
+        assert!(even.contains(&Tuple::ints(&[4])));
+        assert!(odd.contains(&Tuple::ints(&[1])));
+        assert!(odd.contains(&Tuple::ints(&[3])));
+        assert_eq!(even.len(), 3);
+        assert_eq!(odd.len(), 2);
+    }
+
+    #[test]
+    fn arithmetic_in_recursion_terminates_with_filter() {
+        let d = eval(
+            r#"
+            start(0).
+            count(X) <- start(X).
+            count(Y) <- count(X), X < 5, Y = X + 1.
+            "#,
+        );
+        let c = &d[&Pred::new("count", 1)];
+        assert_eq!(c.len(), 6); // 0..=5
+    }
+
+    #[test]
+    fn divergent_fixpoint_hits_bound() {
+        let p = parse_program(
+            r#"
+            start(0).
+            inf(X) <- start(X).
+            inf(Y) <- inf(X), Y = X + 1.
+            "#,
+        )
+        .unwrap();
+        let db = Database::from_program(&p);
+        let r = eval_program_naive(&p, &db, &FixpointConfig { max_iterations: 50 });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn empty_base_relation_yields_empty_derived() {
+        let d = eval("tc(X, Y) <- e(X, Y).\ntc(X, Y) <- tc(X, Z), e(Z, Y).");
+        assert!(d[&Pred::new("tc", 2)].is_empty());
+    }
+}

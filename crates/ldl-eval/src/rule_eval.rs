@@ -1,0 +1,348 @@
+//! The tuple-at-a-time rule evaluator.
+//!
+//! Evaluates one rule body in an explicit literal order — the SIP chosen
+//! by the optimizer — by backtracking over substitutions. Each positive
+//! atom is solved against its relation, probing a hash index on the
+//! argument positions that are already ground (the pipelined index join
+//! of §4); remaining argument patterns unify tuple-by-tuple, which is what
+//! makes complex terms work. Builtins execute via [`crate::builtins`];
+//! negated atoms test set membership against a completed relation
+//! (stratified semantics).
+
+use crate::builtins::eval_builtin;
+use ldl_core::unify::Subst;
+use ldl_core::{LdlError, Literal, Pred, Result, Rule, Term};
+use ldl_storage::{Relation, Tuple};
+
+/// Supplies the relation to read for each body atom. Implementations
+/// distinguish base relations, completed derived relations, and — for
+/// semi-naive evaluation — the *delta* of one designated occurrence.
+pub trait RelSource {
+    /// Relation for the atom at original body position `lit_index` with
+    /// predicate `pred`. `None` means empty.
+    fn relation(&self, lit_index: usize, pred: Pred) -> Option<&Relation>;
+}
+
+/// A [`RelSource`] built from two lookups: a general per-predicate map
+/// and an override for one specific literal position (the delta slot).
+pub struct OverlaySource<'a, F>
+where
+    F: Fn(Pred) -> Option<&'a Relation>,
+{
+    /// General lookup.
+    pub base: F,
+    /// `(literal index, relation)` override, if any.
+    pub overlay: Option<(usize, &'a Relation)>,
+}
+
+impl<'a, F> RelSource for OverlaySource<'a, F>
+where
+    F: Fn(Pred) -> Option<&'a Relation>,
+{
+    fn relation(&self, lit_index: usize, pred: Pred) -> Option<&Relation> {
+        if let Some((i, rel)) = self.overlay {
+            if i == lit_index {
+                return Some(rel);
+            }
+        }
+        (self.base)(pred)
+    }
+}
+
+/// Result counters for one rule evaluation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FiringStats {
+    /// Substitutions that reached the head (tuples produced, pre-dedup).
+    pub produced: usize,
+}
+
+/// Evaluates `rule` with body literal order `order` (a permutation of
+/// `0..body.len()`), starting from `seed` (bindings implied by the
+/// pipeline, e.g. magic constants). Emits one ground head tuple per
+/// solution via `emit`.
+pub fn eval_rule(
+    rule: &Rule,
+    order: &[usize],
+    seed: &Subst,
+    source: &dyn RelSource,
+    emit: &mut dyn FnMut(Tuple),
+) -> Result<FiringStats> {
+    debug_assert_eq!(order.len(), rule.body.len());
+    let mut stats = FiringStats::default();
+    solve(rule, order, 0, seed.clone(), source, emit, &mut stats)?;
+    Ok(stats)
+}
+
+fn solve(
+    rule: &Rule,
+    order: &[usize],
+    k: usize,
+    subst: Subst,
+    source: &dyn RelSource,
+    emit: &mut dyn FnMut(Tuple),
+    stats: &mut FiringStats,
+) -> Result<()> {
+    if k == order.len() {
+        let head = subst.apply_atom(&rule.head);
+        if !head.is_ground() {
+            return Err(LdlError::Eval(format!(
+                "non-ground head {head} produced by rule {rule}; the ordering is unsafe"
+            )));
+        }
+        stats.produced += 1;
+        emit(Tuple::new(head.args));
+        return Ok(());
+    }
+    let li = order[k];
+    match &rule.body[li] {
+        Literal::Builtin(b) => {
+            if let Some(next) = eval_builtin(b, &subst)? {
+                solve(rule, order, k + 1, next, source, emit, stats)?;
+            }
+            Ok(())
+        }
+        Literal::Atom(a) if a.negated => {
+            let ga = subst.apply_atom(a);
+            if !ga.is_ground() {
+                return Err(LdlError::Eval(format!(
+                    "negated literal ~{} not ground at evaluation time",
+                    ga
+                )));
+            }
+            let present = source
+                .relation(li, a.pred)
+                .map(|r| r.contains(&Tuple::new(ga.args)))
+                .unwrap_or(false);
+            if !present {
+                solve(rule, order, k + 1, subst, source, emit, stats)?;
+            }
+            Ok(())
+        }
+        Literal::Atom(a) => {
+            // member(X, S): the reserved set predicate — enumerates (or
+            // tests) the elements of a bound set term.
+            if a.pred == Pred::new("member", 2) {
+                let set_term = subst.apply(&a.args[1]);
+                if !set_term.is_ground() {
+                    return Err(LdlError::Eval(format!(
+                        "member/2 reached with unbound set argument in {a}"
+                    )));
+                }
+                if let Some(items) = set_term.as_set() {
+                    for item in items {
+                        let mut s = subst.clone();
+                        if s.unify(&a.args[0], item) {
+                            solve(rule, order, k + 1, s, source, emit, stats)?;
+                        }
+                    }
+                }
+                return Ok(()); // non-set ground term: no elements
+            }
+            let Some(rel) = source.relation(li, a.pred) else {
+                return Ok(()); // empty relation: no solutions from here
+            };
+            // Ground argument positions (after substitution) become index
+            // key columns; the rest unify per row.
+            let inst: Vec<Term> = a.args.iter().map(|t| subst.apply(t)).collect();
+            let mut key_cols = Vec::new();
+            let mut key_vals = Vec::new();
+            for (i, t) in inst.iter().enumerate() {
+                if t.is_ground() {
+                    key_cols.push(i);
+                    key_vals.push(t.clone());
+                }
+            }
+            let try_row = |row: &Tuple,
+                           subst: &Subst,
+                           source: &dyn RelSource,
+                           emit: &mut dyn FnMut(Tuple),
+                           stats: &mut FiringStats|
+             -> Result<()> {
+                let mut s = subst.clone();
+                let ok = inst.iter().zip(&row.0).all(|(pat, val)| s.unify(pat, val));
+                if ok {
+                    solve(rule, order, k + 1, s, source, emit, stats)?;
+                }
+                Ok(())
+            };
+            if key_cols.is_empty() || key_cols.len() == inst.len() && rel.len() <= 8 {
+                // Full scan (no usable key, or trivial relation).
+                for row in rel.iter() {
+                    try_row(row, &subst, source, emit, stats)?;
+                }
+            } else {
+                let idx = rel.index_on(&key_cols);
+                for &rid in idx.probe(&key_vals) {
+                    try_row(rel.row(rid), &subst, source, emit, stats)?;
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldl_core::parser::{parse_program, parse_query};
+    use ldl_storage::Database;
+    use std::collections::HashMap;
+
+    fn run(
+        text: &str,
+        rule_idx: usize,
+        order: Vec<usize>,
+        derived: &HashMap<Pred, Relation>,
+    ) -> Vec<Tuple> {
+        let src = parse_program(text).unwrap();
+        let db = Database::from_program(&src);
+        let rule = &src.rules[rule_idx];
+        let source = OverlaySource {
+            base: |p: Pred| derived.get(&p).or_else(|| db.relation(p)),
+            overlay: None,
+        };
+        let mut out = Vec::new();
+        eval_rule(rule, &order, &Subst::new(), &source, &mut |t| out.push(t)).unwrap();
+        out
+    }
+
+    #[test]
+    fn single_join_produces_pairs() {
+        let out = run(
+            r#"
+            e(1, 2). e(2, 3).
+            p(X, Z) <- e(X, Y), e(Y, Z).
+            "#,
+            0,
+            vec![0, 1],
+            &HashMap::new(),
+        );
+        assert_eq!(out, vec![Tuple::ints(&[1, 3])]);
+    }
+
+    #[test]
+    fn order_does_not_change_result() {
+        let text = r#"
+            a(1). a(2). a(3).
+            b(2). b(3). b(4).
+            both(X) <- a(X), b(X).
+        "#;
+        let fwd = run(text, 0, vec![0, 1], &HashMap::new());
+        let mut rev = run(text, 0, vec![1, 0], &HashMap::new());
+        rev.sort_by_key(|t| format!("{t}"));
+        let mut fwd = fwd;
+        fwd.sort_by_key(|t| format!("{t}"));
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.len(), 2);
+    }
+
+    #[test]
+    fn builtins_execute_in_order() {
+        let out = run(
+            r#"
+            n(1). n(2). n(3).
+            big(X, Y) <- n(X), X > 1, Y = X * 10.
+            "#,
+            0,
+            vec![0, 1, 2],
+            &HashMap::new(),
+        );
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&Tuple::ints(&[2, 20])));
+        assert!(out.contains(&Tuple::ints(&[3, 30])));
+    }
+
+    #[test]
+    fn bad_order_is_runtime_error() {
+        // Evaluating Y = X * 10 before n(X) is not EC.
+        let src = parse_program(
+            r#"
+            n(1).
+            big(X, Y) <- n(X), Y = X * 10.
+            "#,
+        )
+        .unwrap();
+        let db = Database::from_program(&src);
+        let source = OverlaySource { base: |p: Pred| db.relation(p), overlay: None };
+        let mut out = Vec::new();
+        let r = eval_rule(&src.rules[0], &[1, 0], &Subst::new(), &source, &mut |t| out.push(t));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn negation_filters() {
+        let out = run(
+            r#"
+            node(1). node(2). node(3).
+            broken(2).
+            ok(X) <- node(X), ~broken(X).
+            "#,
+            0,
+            vec![0, 1],
+            &HashMap::new(),
+        );
+        assert_eq!(out.len(), 2);
+        assert!(!out.contains(&Tuple::ints(&[2])));
+    }
+
+    #[test]
+    fn complex_terms_unify_in_rules() {
+        let out = run(
+            r#"
+            part(bike, wheel(front, 32)). part(bike, frame(steel)).
+            spokes(B, N) <- part(B, wheel(P, N)).
+            "#,
+            0,
+            vec![0],
+            &HashMap::new(),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get(1), &Term::int(32));
+    }
+
+    #[test]
+    fn overlay_replaces_one_occurrence() {
+        let src = parse_program(
+            r#"
+            e(1, 2).
+            p(X, Z) <- e(X, Y), e(Y, Z).
+            "#,
+        )
+        .unwrap();
+        let db = Database::from_program(&src);
+        // Override the SECOND occurrence with {(2,9)}.
+        let delta = Relation::from_tuples(2, [Tuple::ints(&[2, 9])]);
+        let source = OverlaySource {
+            base: |p: Pred| db.relation(p),
+            overlay: Some((1, &delta)),
+        };
+        let mut out = Vec::new();
+        eval_rule(&src.rules[0], &[0, 1], &Subst::new(), &source, &mut |t| out.push(t)).unwrap();
+        assert_eq!(out, vec![Tuple::ints(&[1, 9])]);
+    }
+
+    #[test]
+    fn seed_binds_variables_like_a_pipeline() {
+        let src = parse_program(
+            r#"
+            e(1, 2). e(2, 3).
+            p(X, Y) <- e(X, Y).
+            "#,
+        )
+        .unwrap();
+        let db = Database::from_program(&src);
+        let source = OverlaySource { base: |p: Pred| db.relation(p), overlay: None };
+        let mut seed = Subst::new();
+        seed.bind(ldl_core::Symbol::intern("X"), Term::int(2));
+        let mut out = Vec::new();
+        eval_rule(&src.rules[0], &[0], &seed, &source, &mut |t| out.push(t)).unwrap();
+        assert_eq!(out, vec![Tuple::ints(&[2, 3])]);
+    }
+
+    #[test]
+    fn query_constants_via_seed() {
+        // Equivalent of answering p(1, Y)? by seeding X=1.
+        let q = parse_query("p(1, Y)?").unwrap();
+        assert_eq!(q.adornment().to_string(), "bf");
+    }
+}

@@ -1,0 +1,348 @@
+//! Prolog-style SLD resolution — the §1 baseline.
+//!
+//! "Prolog visits and expands the rule goals in a strictly
+//! lexicographical order; thus, it is up to the programmer to make sure
+//! that this order leads to a safe and efficient execution." This module
+//! is that execution model: top-down, depth-first resolution taking rule
+//! bodies in *textual* order, builtins evaluated when reached (throwing
+//! the equivalent of Prolog's instantiation error if unbound), negation
+//! as failure on ground goals.
+//!
+//! Its two classic failure modes are exactly what the LDL optimizer
+//! removes (experiment E9): left-recursive programs loop until the depth
+//! bound, and badly ordered bodies hit instantiation errors — while the
+//! same programs run fine through the fixpoint methods with
+//! optimizer-chosen orders.
+
+use crate::builtins::eval_builtin;
+use ldl_core::unify::Subst;
+use ldl_core::{Atom, LdlError, Literal, Program, Query, Result};
+use ldl_storage::{Database, Relation, Tuple};
+
+/// Resolution limits.
+#[derive(Clone, Copy, Debug)]
+pub struct SldConfig {
+    /// Maximum resolution depth before the search is cut (a cut branch
+    /// marks the result incomplete rather than failing the whole query).
+    /// The resolver recurses on the call stack, so this is clamped to
+    /// [`MAX_SUPPORTED_DEPTH`] internally.
+    pub max_depth: usize,
+    /// Stop after this many distinct answers (None = all).
+    pub max_answers: Option<usize>,
+    /// Hard cap on resolution steps (guards infinite *breadth*).
+    pub max_resolutions: usize,
+}
+
+impl Default for SldConfig {
+    fn default() -> Self {
+        SldConfig { max_depth: 512, max_answers: None, max_resolutions: 5_000_000 }
+    }
+}
+
+/// What happened during the search.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SldStats {
+    /// Rule/fact resolution steps performed.
+    pub resolutions: usize,
+    /// True when some branch hit the depth bound: the answer set may be
+    /// incomplete (Prolog would have looped here).
+    pub depth_exceeded: bool,
+}
+
+struct Solver<'a> {
+    program: &'a Program,
+    db: &'a Database,
+    cfg: SldConfig,
+    stats: SldStats,
+    answers: Relation,
+    goal_atom: Atom,
+    rename: usize,
+}
+
+enum Outcome {
+    Continue,
+    Done, // answer budget reached
+}
+
+impl<'a> Solver<'a> {
+    fn solve(&mut self, goals: &[Literal], subst: Subst, depth: usize) -> Result<Outcome> {
+        if self.stats.resolutions >= self.cfg.max_resolutions {
+            return Err(LdlError::Eval(format!(
+                "SLD resolution exceeded {} steps",
+                self.cfg.max_resolutions
+            )));
+        }
+        if depth >= self.cfg.max_depth {
+            self.stats.depth_exceeded = true;
+            return Ok(Outcome::Continue); // cut this branch
+        }
+        let Some((goal, rest)) = goals.split_first() else {
+            let ans = subst.apply_atom(&self.goal_atom);
+            if !ans.is_ground() {
+                return Err(LdlError::Eval(format!(
+                    "non-ground answer {ans}: the query denotes an infinite relation"
+                )));
+            }
+            self.answers.insert(Tuple::new(ans.args));
+            if let Some(maxn) = self.cfg.max_answers {
+                if self.answers.len() >= maxn {
+                    return Ok(Outcome::Done);
+                }
+            }
+            return Ok(Outcome::Continue);
+        };
+        match goal {
+            Literal::Builtin(b) => {
+                // Prolog evaluates when reached; unbound = instantiation
+                // error, surfaced as Err like the paper's unsafe orders.
+                match eval_builtin(b, &subst)? {
+                    Some(s2) => self.solve(rest, s2, depth + 1),
+                    None => Ok(Outcome::Continue),
+                }
+            }
+            Literal::Atom(a) if a.negated => {
+                let ga = subst.apply_atom(a);
+                if !ga.is_ground() {
+                    return Err(LdlError::Eval(format!(
+                        "negation as failure on non-ground goal ~{ga}"
+                    )));
+                }
+                let positive = Atom { negated: false, ..ga };
+                // Sub-search for one solution.
+                let mut sub = Solver {
+                    program: self.program,
+                    db: self.db,
+                    cfg: SldConfig { max_answers: Some(1), ..self.cfg },
+                    stats: SldStats::default(),
+                    answers: Relation::new(positive.pred.arity),
+                    goal_atom: positive.clone(),
+                    rename: self.rename + 1_000_000,
+                };
+                sub.solve(&[Literal::Atom(positive)], Subst::new(), depth + 1)?;
+                self.stats.resolutions += sub.stats.resolutions;
+                self.stats.depth_exceeded |= sub.stats.depth_exceeded;
+                if sub.answers.is_empty() {
+                    self.solve(rest, subst, depth + 1)
+                } else {
+                    Ok(Outcome::Continue)
+                }
+            }
+            Literal::Atom(a) => {
+                let a_inst = subst.apply_atom(a);
+                // Facts first (database), then rules, in order — Prolog's
+                // clause order.
+                let nrows = self.db.relation(a_inst.pred).map(|r| r.len()).unwrap_or(0);
+                for i in 0..nrows {
+                    // Re-borrow per row: the recursive call below needs
+                    // `&mut self`, so no relation borrow may live across it.
+                    let row = self
+                        .db
+                        .relation(a_inst.pred)
+                        .expect("relation existed above")
+                        .row(i as u32)
+                        .clone();
+                    self.stats.resolutions += 1;
+                    let mut s = subst.clone();
+                    if a_inst.args.iter().zip(&row.0).all(|(p, v)| s.unify(p, v)) {
+                        if let Outcome::Done = self.solve(rest, s, depth + 1)? {
+                            return Ok(Outcome::Done);
+                        }
+                    }
+                }
+                let rule_idxs: Vec<usize> = self
+                    .program
+                    .rules_for(a_inst.pred)
+                    .into_iter()
+                    .map(|(i, _)| i)
+                    .collect();
+                for ri in rule_idxs {
+                    self.stats.resolutions += 1;
+                    self.rename += 1;
+                    let fresh = self.program.rules[ri].standardized(self.rename);
+                    let mut s = subst.clone();
+                    let unifies = a_inst
+                        .args
+                        .iter()
+                        .zip(&fresh.head.args)
+                        .all(|(x, y)| s.unify(x, y));
+                    if !unifies {
+                        continue;
+                    }
+                    // Prepend the rule body (textual order!) to the goals.
+                    let mut new_goals: Vec<Literal> =
+                        Vec::with_capacity(fresh.body.len() + rest.len());
+                    new_goals.extend(fresh.body.iter().cloned());
+                    new_goals.extend(rest.iter().cloned());
+                    if let Outcome::Done = self.solve(&new_goals, s, depth + 1)? {
+                        return Ok(Outcome::Done);
+                    }
+                }
+                Ok(Outcome::Continue)
+            }
+        }
+    }
+}
+
+/// Answers `query` by SLD resolution over the program's textual rule and
+/// goal order. Returns the (possibly incomplete — check
+/// [`SldStats::depth_exceeded`]) answer set.
+/// Hard ceiling on [`SldConfig::max_depth`]: the resolver is a
+/// recursive-descent search, so depth costs call-stack frames. The
+/// search runs on a dedicated thread with a stack sized for this depth.
+pub const MAX_SUPPORTED_DEPTH: usize = 4096;
+
+/// Stack size for the search thread: generous headroom for
+/// [`MAX_SUPPORTED_DEPTH`] frames even in unoptimized builds.
+const SEARCH_STACK_BYTES: usize = 64 << 20;
+
+pub fn solve_sld(
+    program: &Program,
+    db: &Database,
+    query: &Query,
+    cfg: &SldConfig,
+) -> Result<(Relation, SldStats)> {
+    let cfg = SldConfig { max_depth: cfg.max_depth.min(MAX_SUPPORTED_DEPTH), ..*cfg };
+    std::thread::scope(|scope| {
+        std::thread::Builder::new()
+            .name("sld-search".into())
+            .stack_size(SEARCH_STACK_BYTES)
+            .spawn_scoped(scope, move || {
+                let mut solver = Solver {
+                    program,
+                    db,
+                    cfg,
+                    stats: SldStats::default(),
+                    answers: Relation::new(query.pred().arity),
+                    goal_atom: query.goal.clone(),
+                    rename: 0,
+                };
+                solver.solve(&[Literal::Atom(query.goal.clone())], Subst::new(), 0)?;
+                Ok((solver.answers, solver.stats))
+            })
+            .expect("spawn sld search thread")
+            .join()
+            .expect("sld search thread panicked")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{evaluate_query, FixpointConfig, Method};
+    use ldl_core::parser::{parse_program, parse_query};
+
+    fn run(text: &str, q: &str, cfg: &SldConfig) -> Result<(Relation, SldStats)> {
+        let program = parse_program(text).unwrap();
+        let db = Database::from_program(&program);
+        solve_sld(&program, &db, &parse_query(q).unwrap(), cfg)
+    }
+
+    const RIGHT_TC: &str = r#"
+        e(1, 2). e(2, 3). e(3, 4).
+        tc(X, Y) <- e(X, Y).
+        tc(X, Y) <- e(X, Z), tc(Z, Y).
+    "#;
+
+    const LEFT_TC: &str = r#"
+        e(1, 2). e(2, 3). e(3, 4).
+        tc(X, Y) <- e(X, Y).
+        tc(X, Y) <- tc(X, Z), e(Z, Y).
+    "#;
+
+    #[test]
+    fn right_recursive_tc_terminates() {
+        let (ans, stats) = run(RIGHT_TC, "tc(1, Y)?", &SldConfig::default()).unwrap();
+        assert_eq!(ans.len(), 3);
+        assert!(!stats.depth_exceeded);
+    }
+
+    #[test]
+    fn left_recursive_tc_hits_depth_bound() {
+        // Prolog's classic failure: tc(X,Y) <- tc(X,Z), e(Z,Y) loops.
+        let cfg = SldConfig { max_depth: 64, ..SldConfig::default() };
+        let (_, stats) = run(LEFT_TC, "tc(1, Y)?", &cfg).unwrap();
+        assert!(stats.depth_exceeded, "left recursion must exhaust the depth bound");
+        // The LDL engine evaluates the same program effortlessly.
+        let program = parse_program(LEFT_TC).unwrap();
+        let db = Database::from_program(&program);
+        let q = parse_query("tc(1, Y)?").unwrap();
+        let fix = evaluate_query(&program, &db, &q, Method::Magic, &FixpointConfig::default())
+            .unwrap();
+        assert_eq!(fix.tuples.len(), 3);
+    }
+
+    #[test]
+    fn textual_order_instantiation_error() {
+        // Builtin first in the body: Prolog throws; LDL reorders.
+        let text = "n(1). n(2).\nbig(Y, X) <- Y = X * 10, n(X).";
+        let err = run(text, "big(A, B)?", &SldConfig::default());
+        assert!(err.is_err(), "expected instantiation error");
+    }
+
+    #[test]
+    fn agrees_with_fixpoint_on_safe_programs() {
+        let text = r#"
+            p(1, a). p(2, b). q(a, x). q(b, y).
+            join2(X, Z) <- p(X, Y), q(Y, Z).
+        "#;
+        let (ans, _) = run(text, "join2(X, Z)?", &SldConfig::default()).unwrap();
+        let program = parse_program(text).unwrap();
+        let db = Database::from_program(&program);
+        let q = parse_query("join2(X, Z)?").unwrap();
+        let fix =
+            evaluate_query(&program, &db, &q, Method::SemiNaive, &FixpointConfig::default())
+                .unwrap();
+        assert_eq!(ans, fix.tuples);
+    }
+
+    #[test]
+    fn negation_as_failure_on_ground_goals() {
+        let text = r#"
+            node(1). node(2). node(3).
+            bad(2).
+            ok(X) <- node(X), ~bad(X).
+        "#;
+        let (ans, _) = run(text, "ok(X)?", &SldConfig::default()).unwrap();
+        assert_eq!(ans.len(), 2);
+        assert!(!ans.contains(&Tuple::ints(&[2])));
+    }
+
+    #[test]
+    fn unbound_negation_is_an_error() {
+        let text = "p(X) <- ~q(X).\nq(1).";
+        assert!(run(text, "p(A)?", &SldConfig::default()).is_err());
+    }
+
+    #[test]
+    fn answer_budget_stops_early() {
+        let cfg = SldConfig { max_answers: Some(1), ..SldConfig::default() };
+        let (ans, _) = run(RIGHT_TC, "tc(1, Y)?", &cfg).unwrap();
+        assert_eq!(ans.len(), 1);
+    }
+
+    #[test]
+    fn bound_query_does_less_work_than_free() {
+        let cfg = SldConfig::default();
+        let (_, bound) = run(RIGHT_TC, "tc(3, Y)?", &cfg).unwrap();
+        let (_, free) = run(RIGHT_TC, "tc(X, Y)?", &cfg).unwrap();
+        assert!(bound.resolutions < free.resolutions);
+    }
+
+    #[test]
+    fn arithmetic_in_correct_order_works() {
+        let text = "n(3).\ndouble(X, Y) <- n(X), Y = X * 2.";
+        let (ans, _) = run(text, "double(A, B)?", &SldConfig::default()).unwrap();
+        assert_eq!(ans.len(), 1);
+        assert!(ans.contains(&Tuple::ints(&[3, 6])));
+    }
+
+    #[test]
+    fn lists_work_top_down() {
+        // Top-down, list recursion is natural (this is where Prolog
+        // shines and bottom-up needs magic).
+        let text = "len([], 0).\nlen([H | T], N) <- len(T, M), N = M + 1.";
+        let (ans, _) = run(text, "len([9, 8, 7], N)?", &SldConfig::default()).unwrap();
+        assert_eq!(ans.len(), 1);
+        assert_eq!(ans.rows()[0].get(1), &ldl_core::Term::int(3));
+    }
+}

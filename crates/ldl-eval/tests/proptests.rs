@@ -1,0 +1,156 @@
+//! Property-based tests for the evaluator: executor equivalences
+//! (pipelined vs materialized, any order, any join method), fixpoint
+//! method agreement on random data, and SLD vs bottom-up agreement on
+//! terminating programs.
+
+use ldl_core::parser::{parse_program, parse_query};
+use ldl_core::unify::Subst;
+use ldl_core::Pred;
+use ldl_eval::materialized::eval_rule_materialized;
+use ldl_eval::ops::JoinMethod;
+use ldl_eval::rule_eval::{eval_rule, OverlaySource};
+use ldl_eval::sld::{solve_sld, SldConfig};
+use ldl_eval::{evaluate_query, FixpointConfig, Method};
+use ldl_storage::{Database, Relation, Tuple};
+use proptest::prelude::*;
+
+fn edges_text(edges: &[(i64, i64)], pred: &str) -> String {
+    let mut s = String::new();
+    for (a, b) in edges {
+        s.push_str(&format!("{pred}({a}, {b}).\n"));
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The pipelined and materialized executors agree on every order and
+    /// every join method, for random two-join rules.
+    #[test]
+    fn executors_agree(
+        e1 in proptest::collection::vec((0i64..8, 0i64..8), 1..20),
+        e2 in proptest::collection::vec((0i64..8, 0i64..8), 1..20),
+        order_pick in 0usize..2,
+        method_pick in 0usize..3,
+    ) {
+        let text = format!(
+            "{}{}q(X, Z) <- a(X, Y), b(Y, Z).",
+            edges_text(&e1, "a"),
+            edges_text(&e2, "b")
+        );
+        let program = parse_program(&text).unwrap();
+        let db = Database::from_program(&program);
+        let rule = &program.rules[0];
+        let order: Vec<usize> = if order_pick == 0 { vec![0, 1] } else { vec![1, 0] };
+        let method = JoinMethod::ALL[method_pick];
+        let source = OverlaySource { base: |p: Pred| db.relation(p), overlay: None };
+        let mat = eval_rule_materialized(rule, &order, method, &source).unwrap();
+        let mut pipe = Relation::new(2);
+        eval_rule(rule, &order, &Subst::new(), &source, &mut |t| {
+            pipe.insert(t);
+        })
+        .unwrap();
+        prop_assert_eq!(mat, pipe);
+    }
+
+    /// All four fixpoint methods agree on bound same-generation queries
+    /// over random forests (up is functional: each child one parent).
+    #[test]
+    fn methods_agree_on_random_sg(
+        parents in proptest::collection::vec(0usize..8, 1..16),
+        query_node in 0i64..24,
+    ) {
+        // Node i+1..n+1 gets parent `parents[i] % (i+1)` mapped into
+        // existing ids — guarantees acyclic, functional up.
+        let mut text = String::new();
+        for (i, &p) in parents.iter().enumerate() {
+            let child = (i + 1) as i64;
+            let parent = (p % (i + 1)) as i64;
+            text.push_str(&format!("up({child}, {parent}).\ndn({parent}, {child}).\n"));
+        }
+        text.push_str("flat(0, 0).\n");
+        text.push_str("sg(X, Y) <- flat(X, Y).\nsg(X, Y) <- up(X, X1), sg(Y1, X1), dn(Y1, Y).\n");
+        let program = parse_program(&text).unwrap();
+        let db = Database::from_program(&program);
+        let q = parse_query(&format!("sg({query_node}, Y)?")).unwrap();
+        let cfg = FixpointConfig { max_iterations: 10_000 };
+        let reference = evaluate_query(&program, &db, &q, Method::Naive, &cfg).unwrap().tuples;
+        for m in [Method::SemiNaive, Method::Magic, Method::Counting] {
+            let got = evaluate_query(&program, &db, &q, m, &cfg).unwrap().tuples;
+            prop_assert_eq!(&got, &reference, "{} disagrees", m.name());
+        }
+    }
+
+    /// SLD resolution agrees with bottom-up evaluation on terminating
+    /// (right-recursive, acyclic) programs.
+    #[test]
+    fn sld_agrees_with_fixpoint(
+        parents in proptest::collection::vec(0usize..6, 1..12),
+        start in 0i64..13,
+    ) {
+        let mut text = String::new();
+        for (i, &p) in parents.iter().enumerate() {
+            let child = (i + 1) as i64;
+            let parent = (p % (i + 1)) as i64;
+            text.push_str(&format!("e({parent}, {child}).\n"));
+        }
+        text.push_str("tc(X, Y) <- e(X, Y).\ntc(X, Y) <- e(X, Z), tc(Z, Y).\n");
+        let program = parse_program(&text).unwrap();
+        let db = Database::from_program(&program);
+        let q = parse_query(&format!("tc({start}, Y)?")).unwrap();
+        let (sld, stats) = solve_sld(&program, &db, &q, &SldConfig::default()).unwrap();
+        prop_assert!(!stats.depth_exceeded);
+        let fix = evaluate_query(&program, &db, &q, Method::SemiNaive, &FixpointConfig::default())
+            .unwrap()
+            .tuples;
+        prop_assert_eq!(sld, fix);
+    }
+
+    /// Grouping results are independent of fact order and method.
+    #[test]
+    fn grouping_is_deterministic(mut pairs in proptest::collection::vec((0i64..5, 0i64..10), 1..20), seed in 0u64..50) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let base = format!("{}g(K, <V>) <- e(K, V).", edges_text(&pairs, "e"));
+        pairs.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        let shuffled = format!("{}g(K, <V>) <- e(K, V).", edges_text(&pairs, "e"));
+        let q = parse_query("g(K, S)?").unwrap();
+        let cfg = FixpointConfig::default();
+        let run = |text: &str, m: Method| {
+            let program = parse_program(text).unwrap();
+            let db = Database::from_program(&program);
+            evaluate_query(&program, &db, &q, m, &cfg).unwrap().tuples
+        };
+        let a = run(&base, Method::SemiNaive);
+        let b = run(&shuffled, Method::SemiNaive);
+        let c = run(&base, Method::Naive);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &c);
+    }
+
+    /// Arithmetic evaluation agrees between executors and is
+    /// deterministic for random filter thresholds.
+    #[test]
+    fn arithmetic_filters_agree(ns in proptest::collection::vec(-30i64..30, 1..25), cut in -30i64..30) {
+        let mut text = String::new();
+        let mut expected = std::collections::BTreeSet::new();
+        for &n in &ns {
+            text.push_str(&format!("n({n}).\n"));
+            if n > cut {
+                expected.insert((n, n * 3));
+            }
+        }
+        text.push_str(&format!("big(X, Y) <- n(X), X > {cut}, Y = X * 3.\n"));
+        let program = parse_program(&text).unwrap();
+        let db = Database::from_program(&program);
+        let q = parse_query("big(A, B)?").unwrap();
+        let got = evaluate_query(&program, &db, &q, Method::SemiNaive, &FixpointConfig::default())
+            .unwrap()
+            .tuples;
+        prop_assert_eq!(got.len(), expected.len());
+        for (a, b) in expected {
+            prop_assert!(got.contains(&Tuple::ints(&[a, b])));
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! The cost model.
+//!
+//! §6 of the paper deliberately treats cost formulae as a black box: the
+//! model must (1) be monotonically increasing in operand sizes, (2)
+//! assign *infinite* cost to unsafe executions, and (3) differentiate
+//! good executions from bad ones — exact constants matter much less than
+//! orderings. [`CostParams`] collects every constant in one place so the
+//! ablation benches can vary them.
+
+use ldl_storage::Stats;
+use std::fmt;
+
+/// Cost of an unsafe (non-terminating) execution.
+pub const INFINITE_COST: f64 = f64::INFINITY;
+
+/// Tunable constants of the default cost model.
+#[derive(Clone, Debug)]
+pub struct CostParams {
+    /// CPU weight per tuple touched by a builtin or filter.
+    pub cpu_per_tuple: f64,
+    /// Selectivity assumed for an inequality filter (`X > c`, ...).
+    pub ineq_selectivity: f64,
+    /// Selectivity assumed for an equality filter between bound terms.
+    pub eq_selectivity: f64,
+    /// Selectivity assumed for a negated (ground) literal.
+    pub neg_selectivity: f64,
+    /// Estimated number of fixpoint iterations a recursive clique runs
+    /// (used to price naive re-derivation and clique growth).
+    pub fixpoint_depth: f64,
+    /// Multiplier expressing how much of a clique a bound query actually
+    /// reaches under magic sets (the "reachable fraction" amplifier on
+    /// top of the per-binding selectivity).
+    pub magic_reach: f64,
+    /// Relative advantage of counting over magic on linear cliques
+    /// (avoids the answer/binding re-join).
+    pub counting_advantage: f64,
+    /// Exponent used to guess per-column distinct counts of derived
+    /// relations from their cardinality.
+    pub derived_distinct_exp: f64,
+    /// Cap on any cardinality estimate (keeps arithmetic finite while
+    /// still dwarfing every realistic plan).
+    pub cardinality_cap: f64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            cpu_per_tuple: 0.01,
+            ineq_selectivity: 1.0 / 3.0,
+            eq_selectivity: 0.1,
+            neg_selectivity: 0.5,
+            fixpoint_depth: 10.0,
+            magic_reach: 20.0,
+            counting_advantage: 0.7,
+            derived_distinct_exp: 0.75,
+            cardinality_cap: 1e15,
+        }
+    }
+}
+
+/// Cost estimate for a (sub)plan serving one binding pattern.
+///
+/// `fanout` is the expected number of result tuples *per binding tuple*
+/// (for an all-free pattern this is simply the cardinality); `setup` is
+/// the one-time cost of materializing the restricted relation; `probe`
+/// is the per-binding cost of consuming it. `stats` approximates the
+/// result's column statistics for downstream selectivity estimation.
+#[derive(Clone, Debug)]
+pub struct PlanCost {
+    /// One-time materialization cost.
+    pub setup: f64,
+    /// Per-binding-tuple retrieval cost.
+    pub probe: f64,
+    /// Expected matching tuples per binding tuple.
+    pub fanout: f64,
+    /// Column statistics of the (unrestricted) result.
+    pub stats: Stats,
+}
+
+impl PlanCost {
+    /// An infinitely expensive (unsafe) plan.
+    pub fn unsafe_plan(arity: usize) -> PlanCost {
+        PlanCost {
+            setup: INFINITE_COST,
+            probe: INFINITE_COST,
+            fanout: INFINITE_COST,
+            stats: Stats::uniform(INFINITE_COST, arity, INFINITE_COST),
+        }
+    }
+
+    /// Is this plan unsafe (infinite cost anywhere)?
+    pub fn is_unsafe(&self) -> bool {
+        !self.setup.is_finite() || !self.probe.is_finite() || !self.fanout.is_finite()
+    }
+
+    /// Total cost of using the plan under `n` binding tuples.
+    pub fn total(&self, n: f64) -> f64 {
+        self.setup + n * self.probe
+    }
+}
+
+impl fmt::Display for PlanCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "setup={:.2} probe={:.3} fanout={:.3}", self.setup, self.probe, self.fanout)
+    }
+}
+
+/// The pluggable cost model interface. The default implementation
+/// ([`CostParams`]-driven) lives in [`crate::opt`]; experiments can
+/// substitute alternatives (the paper's flexibility requirement: "new
+/// ideas will be forthcoming that the design should be capable of
+/// incorporating").
+pub trait CostModel {
+    /// Cost/cardinality of scanning base-relation statistics `stats`
+    /// with `bound` of its columns bound.
+    fn base_access(&self, stats: &Stats, bound: &[usize]) -> PlanCost;
+
+    /// Combined cost of a union of rule results.
+    fn union_of(&self, parts: &[PlanCost], arity: usize) -> PlanCost;
+
+    /// The parameters in use.
+    fn params(&self) -> &CostParams;
+}
+
+/// Default System-R-flavoured cost model.
+#[derive(Clone, Debug, Default)]
+pub struct DefaultCostModel {
+    /// The constants.
+    pub params: CostParams,
+}
+
+impl DefaultCostModel {
+    /// Model with explicit parameters.
+    pub fn new(params: CostParams) -> DefaultCostModel {
+        DefaultCostModel { params }
+    }
+
+    /// Estimated distinct count for a derived relation column.
+    pub fn derived_distinct(&self, cardinality: f64) -> f64 {
+        cardinality.max(1.0).powf(self.params.derived_distinct_exp)
+    }
+}
+
+impl CostModel for DefaultCostModel {
+    fn base_access(&self, stats: &Stats, bound: &[usize]) -> PlanCost {
+        let mut sel = 1.0;
+        for &c in bound {
+            sel *= stats.eq_selectivity(c);
+        }
+        let fanout = (stats.cardinality * sel).max(0.0);
+        // Index probe: proportional to matches; full scan when unbound.
+        let probe = if bound.is_empty() {
+            stats.cardinality.max(1.0)
+        } else {
+            fanout.max(1.0)
+        };
+        PlanCost { setup: 0.0, probe, fanout, stats: stats.clone() }
+    }
+
+    fn union_of(&self, parts: &[PlanCost], arity: usize) -> PlanCost {
+        if parts.iter().any(PlanCost::is_unsafe) {
+            return PlanCost::unsafe_plan(arity);
+        }
+        let setup: f64 = parts.iter().map(|p| p.setup).sum();
+        let probe: f64 = parts.iter().map(|p| p.probe).sum();
+        let fanout: f64 = parts.iter().map(|p| p.fanout).sum();
+        let card: f64 = parts
+            .iter()
+            .map(|p| p.stats.cardinality)
+            .sum::<f64>()
+            .min(self.params.cardinality_cap);
+        let d = self.derived_distinct(card);
+        PlanCost { setup, probe, fanout, stats: Stats::uniform(card, arity, d) }
+    }
+
+    fn params(&self) -> &CostParams {
+        &self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_access_bound_is_cheaper() {
+        let m = DefaultCostModel::default();
+        let s = Stats::uniform(10_000.0, 2, 100.0);
+        let free = m.base_access(&s, &[]);
+        let bound = m.base_access(&s, &[0]);
+        assert!(bound.fanout < free.fanout);
+        assert!(bound.probe < free.probe);
+        assert_eq!(bound.fanout, 100.0); // 10_000 / 100
+    }
+
+    #[test]
+    fn two_bound_columns_compound_selectivity() {
+        let m = DefaultCostModel::default();
+        let s = Stats::uniform(10_000.0, 2, 100.0);
+        let b2 = m.base_access(&s, &[0, 1]);
+        assert!((b2.fanout - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unsafe_plan_propagates_through_union() {
+        let m = DefaultCostModel::default();
+        let ok = m.base_access(&Stats::uniform(10.0, 1, 10.0), &[]);
+        let bad = PlanCost::unsafe_plan(1);
+        let u = m.union_of(&[ok, bad], 1);
+        assert!(u.is_unsafe());
+    }
+
+    #[test]
+    fn union_sums_cardinalities() {
+        let m = DefaultCostModel::default();
+        let a = m.base_access(&Stats::uniform(10.0, 1, 10.0), &[]);
+        let b = m.base_access(&Stats::uniform(20.0, 1, 20.0), &[]);
+        let u = m.union_of(&[a, b], 1);
+        assert_eq!(u.stats.cardinality, 30.0);
+    }
+
+    #[test]
+    fn total_combines_setup_and_probes() {
+        let p = PlanCost { setup: 100.0, probe: 2.0, fanout: 1.0, stats: Stats::uniform(1.0, 1, 1.0) };
+        assert_eq!(p.total(10.0), 120.0);
+    }
+
+    #[test]
+    fn infinite_cost_is_infectious_in_total() {
+        let p = PlanCost::unsafe_plan(2);
+        assert!(p.total(1.0).is_infinite());
+        assert!(p.is_unsafe());
+    }
+}

@@ -1,0 +1,231 @@
+//! Common subexpression generalization (§9, future work implemented).
+//!
+//! The paper closes with: "let both goals P(a,b,X) and P(a,Y,c) occur in
+//! a query. Then it is conceivable that computing P(a,Y,X) once and
+//! restricting the result for each of the cases may be more efficient."
+//!
+//! This module finds such opportunities by *anti-unification*: pairs of
+//! same-predicate goals whose least general generalization (lgg) still
+//! carries restricting structure (constants or compound terms) become
+//! candidates. Applying a candidate introduces a shared predicate
+//! defined by the generalized goal and rewrites each occurrence into a
+//! call of it — the optimizer's per-binding memo then prices the shared
+//! computation once, and the evaluator materializes it once.
+
+use ldl_core::unify::{mgu_atoms, Lgg};
+use ldl_core::{Atom, LdlError, Literal, Pred, Program, Result, Symbol, Term};
+use std::collections::BTreeSet;
+
+/// A detected sharing opportunity.
+#[derive(Clone, Debug)]
+pub struct CseCandidate {
+    /// The predicate both goals query.
+    pub pred: Pred,
+    /// The generalized goal covering every occurrence.
+    pub generalized: Atom,
+    /// `(rule index, body literal index)` of each covered occurrence.
+    pub occurrences: Vec<(usize, usize)>,
+}
+
+impl CseCandidate {
+    /// Restricting positions: arguments of the generalization that are
+    /// not plain variables (the structure every occurrence shares).
+    pub fn restricting_args(&self) -> usize {
+        self.generalized.args.iter().filter(|t| !t.is_var()).count()
+    }
+}
+
+/// Scans the program for pairs of positive same-predicate goals (in any
+/// rule bodies) whose generalization retains at least one non-variable
+/// argument. Candidates are reported most-restricting first.
+pub fn find_candidates(program: &Program) -> Vec<CseCandidate> {
+    // Collect all positive occurrences of derived or base predicates.
+    let mut occ: Vec<(usize, usize, &Atom)> = Vec::new();
+    for (ri, rule) in program.rules.iter().enumerate() {
+        for (li, lit) in rule.body.iter().enumerate() {
+            if let Literal::Atom(a) = lit {
+                if !a.negated {
+                    occ.push((ri, li, a));
+                }
+            }
+        }
+    }
+    let mut out: Vec<CseCandidate> = Vec::new();
+    for i in 0..occ.len() {
+        for j in i + 1..occ.len() {
+            let (r1, l1, a1) = occ[i];
+            let (r2, l2, a2) = occ[j];
+            if (r1, l1) == (r2, l2) || a1.pred != a2.pred {
+                continue;
+            }
+            let Some(g) = Lgg::new().atoms(a1, a2) else { continue };
+            let restricting = g.args.iter().filter(|t| !t.is_var()).count();
+            if restricting == 0 {
+                continue; // all-free generalization shares nothing
+            }
+            // Identical goals are sharing opportunities too, but the
+            // optimizer's memo already covers them; prefer reporting
+            // strictly-generalizing pairs first.
+            out.push(CseCandidate {
+                pred: a1.pred,
+                generalized: g,
+                occurrences: vec![(r1, l1), (r2, l2)],
+            });
+        }
+    }
+    out.sort_by(|a, b| {
+        b.restricting_args()
+            .cmp(&a.restricting_args())
+            .then(a.occurrences.cmp(&b.occurrences))
+    });
+    out
+}
+
+/// Applies a candidate: adds
+/// `cse_<n>(V1..Vk) <- P(generalized args).` (the `Vi` being the
+/// generalization's variables) and replaces each occurrence
+/// `P(args) = generalized·θ` with `cse_<n>(θ(V1)..θ(Vk))`.
+pub fn apply(program: &Program, candidate: &CseCandidate, index: usize) -> Result<Program> {
+    let vars: Vec<Symbol> = candidate.generalized.vars();
+    let shared_pred = Pred {
+        name: Symbol::intern(&format!("cse_{index}_{}", candidate.pred.name)),
+        arity: vars.len(),
+    };
+    let mut out = program.clone();
+    // Defining rule.
+    let head = Atom {
+        pred: shared_pred,
+        args: vars.iter().map(|&v| Term::Var(v)).collect(),
+        negated: false,
+    };
+    out.rules.push(ldl_core::Rule::new(head, vec![Literal::Atom(candidate.generalized.clone())]));
+
+    // Rewrite occurrences.
+    let occs: BTreeSet<(usize, usize)> = candidate.occurrences.iter().copied().collect();
+    for &(ri, li) in &occs {
+        let rule = out
+            .rules
+            .get_mut(ri)
+            .ok_or_else(|| LdlError::Validation(format!("rule {ri} out of range")))?;
+        let Literal::Atom(a) = &rule.body[li] else {
+            return Err(LdlError::Validation(format!("literal {ri}/{li} is not an atom")));
+        };
+        // occurrence = generalized · θ (match, not unify: the occurrence
+        // must be an instance).
+        let theta = mgu_atoms(&candidate.generalized, a).ok_or_else(|| {
+            LdlError::Validation(format!(
+                "occurrence {a} is not an instance of {}",
+                candidate.generalized
+            ))
+        })?;
+        let new_args: Vec<Term> = vars.iter().map(|&v| theta.apply(&Term::Var(v))).collect();
+        rule.body[li] =
+            Literal::Atom(Atom { pred: shared_pred, args: new_args, negated: false });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldl_core::parser::{parse_program, parse_query};
+    use ldl_eval::{evaluate_query, FixpointConfig, Method};
+    use ldl_storage::Database;
+
+    #[test]
+    fn finds_paper_section_9_pair() {
+        let program = parse_program(
+            r#"
+            q(X, Y) <- p(a, b, X), p(a, Y, c).
+            p(A, B, C) <- e(A, B, C).
+            "#,
+        )
+        .unwrap();
+        let cands = find_candidates(&program);
+        let best = cands
+            .iter()
+            .find(|c| c.pred == Pred::new("p", 3))
+            .expect("p-pair candidate");
+        // Generalization keeps the shared first argument `a`.
+        assert_eq!(best.generalized.args[0], Term::sym("a"));
+        assert!(best.generalized.args[1].is_var());
+        assert!(best.generalized.args[2].is_var());
+        assert_eq!(best.restricting_args(), 1);
+    }
+
+    #[test]
+    fn no_candidates_without_shared_structure() {
+        let program = parse_program("q(X, Y) <- p(X), r(Y).").unwrap();
+        assert!(find_candidates(&program).is_empty());
+    }
+
+    #[test]
+    fn apply_preserves_semantics() {
+        let text = r#"
+            e(a, b, 1). e(a, b, 2). e(a, x, c). e(z, z, z).
+            p(A, B, C) <- e(A, B, C).
+            q(X, Y) <- p(a, b, X), p(a, Y, c).
+        "#;
+        let program = parse_program(text).unwrap();
+        let db = Database::from_program(&program);
+        let query = parse_query("q(X, Y)?").unwrap();
+        let cfg = FixpointConfig::default();
+        let before = evaluate_query(&program, &db, &query, Method::SemiNaive, &cfg)
+            .unwrap()
+            .tuples;
+        // q(X, Y): X from e(a,b,X) = {1, 2}; Y from e(a,Y,c) = {x}.
+        assert_eq!(before.len(), 2);
+
+        let cands = find_candidates(&program);
+        let cand = cands
+            .iter()
+            .find(|c| c.pred == Pred::new("p", 3) && c.occurrences.len() == 2)
+            .unwrap();
+        let rewritten = apply(&program, cand, 0).unwrap();
+        // One new rule; occurrences replaced.
+        assert_eq!(rewritten.rules.len(), program.rules.len() + 1);
+        let after = evaluate_query(&rewritten, &db, &query, Method::SemiNaive, &cfg)
+            .unwrap()
+            .tuples;
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn shared_computation_is_memoized_by_the_optimizer() {
+        // After CSE, both occurrences reference the SAME predicate with
+        // the SAME binding pattern: the optimizer's per-binding memo
+        // prices it once.
+        let text = r#"
+            p(A, B, C) <- e1(A, B), e2(B, C).
+            q(X, Y) <- p(a, b, X), p(a, Y, c).
+        "#;
+        let program = parse_program(text).unwrap();
+        let cand = find_candidates(&program)
+            .into_iter()
+            .find(|c| c.pred == Pred::new("p", 3))
+            .unwrap();
+        let rewritten = apply(&program, &cand, 0).unwrap();
+        let db = Database::new();
+        let opt = crate::opt::Optimizer::with_defaults(&rewritten, &db);
+        let plan = opt.optimize(&parse_query("q(X, Y)?").unwrap()).unwrap();
+        assert!(plan.cost.is_finite());
+        assert!(opt.stats().memo_hits >= 1, "{:?}", opt.stats());
+    }
+
+    #[test]
+    fn candidates_are_ranked_by_restriction() {
+        let program = parse_program(
+            r#"
+            q(X) <- p(a, b, X), p(a, b, X), r(a, X), r(Y, X).
+            p(A, B, C) <- e(A, B, C).
+            r(A, B) <- f(A, B).
+            "#,
+        )
+        .unwrap();
+        let cands = find_candidates(&program);
+        assert!(!cands.is_empty());
+        for w in cands.windows(2) {
+            assert!(w[0].restricting_args() >= w[1].restricting_args());
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Abstract conjunctive queries: the join-graph model.
+//!
+//! §7.1 of the paper discusses the generic search strategies on
+//! conjunctive queries, and the [Vil 87] experiments compare them on
+//! randomly generated queries over random database states. A
+//! [`JoinGraph`] is that abstraction: `n` relations with cardinalities
+//! and pairwise join selectivities. The cost of a (left-deep, pipelined)
+//! join order is the classic sum of intermediate result sizes — a cost
+//! function that satisfies the ASI property on tree queries, as required
+//! by the KBZ algorithm [KBZ 86].
+
+use std::collections::HashMap;
+
+/// A conjunctive query: relations + pairwise join selectivities.
+#[derive(Clone, Debug)]
+pub struct JoinGraph {
+    cards: Vec<f64>,
+    /// Selectivity for unordered pair (i, j), stored with i < j.
+    sel: HashMap<(usize, usize), f64>,
+}
+
+impl JoinGraph {
+    /// Graph with the given relation cardinalities and no join edges
+    /// (every join defaults to a cross product, selectivity 1).
+    pub fn new(cards: Vec<f64>) -> JoinGraph {
+        assert!(!cards.is_empty());
+        assert!(cards.iter().all(|&c| c.is_finite() && c >= 0.0));
+        JoinGraph { cards, sel: HashMap::new() }
+    }
+
+    /// Number of relations.
+    pub fn n(&self) -> usize {
+        self.cards.len()
+    }
+
+    /// Cardinality of relation `i`.
+    pub fn card(&self, i: usize) -> f64 {
+        self.cards[i]
+    }
+
+    /// Sets the join selectivity between `i` and `j` (symmetric).
+    pub fn set_selectivity(&mut self, i: usize, j: usize, s: f64) {
+        assert!(i != j && i < self.n() && j < self.n());
+        assert!((0.0..=1.0).contains(&s), "selectivity must be in [0,1]");
+        self.sel.insert((i.min(j), i.max(j)), s);
+    }
+
+    /// Join selectivity between `i` and `j` (1.0 when unrelated).
+    pub fn selectivity(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return 1.0;
+        }
+        *self.sel.get(&(i.min(j), i.max(j))).unwrap_or(&1.0)
+    }
+
+    /// All explicit edges `(i, j, selectivity)` with `i < j`.
+    pub fn edges(&self) -> Vec<(usize, usize, f64)> {
+        let mut v: Vec<(usize, usize, f64)> =
+            self.sel.iter().map(|(&(i, j), &s)| (i, j, s)).collect();
+        v.sort_by_key(|e| (e.0, e.1));
+        v
+    }
+
+    /// Cost of executing the join order `perm`: the sum of intermediate
+    /// result cardinalities after each join (C_out), plus the initial
+    /// scan of the first relation. Also returns the final cardinality.
+    pub fn sequence_cost_card(&self, perm: &[usize]) -> (f64, f64) {
+        assert_eq!(perm.len(), self.n(), "perm must order every relation");
+        let mut card = self.cards[perm[0]];
+        let mut cost = card;
+        for k in 1..perm.len() {
+            let r = perm[k];
+            let mut t = self.cards[r];
+            for &p in &perm[..k] {
+                t *= self.selectivity(p, r);
+            }
+            card *= t;
+            cost += card;
+        }
+        (cost, card)
+    }
+
+    /// Cost only (see [`JoinGraph::sequence_cost_card`]).
+    pub fn sequence_cost(&self, perm: &[usize]) -> f64 {
+        self.sequence_cost_card(perm).0
+    }
+
+    /// Final result cardinality — identical for every complete order.
+    pub fn result_cardinality(&self) -> f64 {
+        let perm: Vec<usize> = (0..self.n()).collect();
+        self.sequence_cost_card(&perm).1
+    }
+
+    /// Is the join graph (edges with selectivity < 1) connected and
+    /// acyclic, i.e. a tree? KBZ applies directly exactly then.
+    pub fn is_tree(&self) -> bool {
+        let n = self.n();
+        if n == 1 {
+            return true;
+        }
+        let edges = self.edges();
+        if edges.len() != n - 1 {
+            return false;
+        }
+        // Union-find connectivity.
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let r = find(parent, parent[x]);
+                parent[x] = r;
+            }
+            parent[x]
+        }
+        for (i, j, _) in edges {
+            let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+            if ri == rj {
+                return false; // cycle
+            }
+            parent[ri] = rj;
+        }
+        let root = find(&mut parent, 0);
+        (1..n).all(|i| find(&mut parent, i) == root)
+    }
+
+    /// A spanning tree of the join graph choosing the most selective
+    /// (smallest-selectivity) edges first — the standard heuristic for
+    /// applying KBZ to cyclic queries. Returns edges `(i, j, s)`.
+    /// Relations not connected by any edge are attached with selectivity
+    /// 1 (cross product).
+    pub fn spanning_tree(&self) -> Vec<(usize, usize, f64)> {
+        let n = self.n();
+        let mut edges = self.edges();
+        edges.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite selectivity"));
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let r = find(parent, parent[x]);
+                parent[x] = r;
+            }
+            parent[x]
+        }
+        let mut tree = Vec::with_capacity(n.saturating_sub(1));
+        for (i, j, s) in edges {
+            let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+            if ri != rj {
+                parent[ri] = rj;
+                tree.push((i, j, s));
+            }
+        }
+        // Attach any disconnected components with cross-product edges.
+        for i in 1..n {
+            let (r0, ri) = (find(&mut parent, 0), find(&mut parent, i));
+            if r0 != ri {
+                parent[ri] = r0;
+                tree.push((0, i, 1.0));
+            }
+        }
+        tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain3() -> JoinGraph {
+        // R0 -0.1- R1 -0.01- R2, cards 100, 1000, 10.
+        let mut g = JoinGraph::new(vec![100.0, 1000.0, 10.0]);
+        g.set_selectivity(0, 1, 0.1);
+        g.set_selectivity(1, 2, 0.01);
+        g
+    }
+
+    #[test]
+    fn sequence_cost_depends_on_order() {
+        let g = chain3();
+        let a = g.sequence_cost(&[0, 1, 2]);
+        let b = g.sequence_cost(&[1, 0, 2]);
+        let c = g.sequence_cost(&[2, 1, 0]);
+        assert_ne!(a, c);
+        assert!(a > 0.0 && b > 0.0 && c > 0.0);
+    }
+
+    #[test]
+    fn final_cardinality_is_order_independent() {
+        let g = chain3();
+        let (_, c1) = g.sequence_cost_card(&[0, 1, 2]);
+        let (_, c2) = g.sequence_cost_card(&[2, 0, 1]);
+        let (_, c3) = g.sequence_cost_card(&[1, 2, 0]);
+        assert!((c1 - c2).abs() < 1e-6);
+        assert!((c1 - c3).abs() < 1e-6);
+        // 100 * 1000 * 10 * 0.1 * 0.01 = 1000.
+        assert!((c1 - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_product_costs_more() {
+        // Disconnected relation joins as cross product.
+        let mut g = JoinGraph::new(vec![10.0, 10.0, 1000.0]);
+        g.set_selectivity(0, 1, 0.1);
+        let with_cross_first = g.sequence_cost(&[2, 0, 1]);
+        let with_cross_last = g.sequence_cost(&[0, 1, 2]);
+        assert!(with_cross_last < with_cross_first);
+    }
+
+    #[test]
+    fn tree_detection() {
+        assert!(chain3().is_tree());
+        let mut cyc = chain3();
+        cyc.set_selectivity(0, 2, 0.5);
+        assert!(!cyc.is_tree());
+        let disconnected = JoinGraph::new(vec![1.0, 2.0, 3.0]);
+        assert!(!disconnected.is_tree());
+        assert!(JoinGraph::new(vec![5.0]).is_tree());
+    }
+
+    #[test]
+    fn spanning_tree_prefers_selective_edges() {
+        let mut g = JoinGraph::new(vec![10.0, 10.0, 10.0]);
+        g.set_selectivity(0, 1, 0.5);
+        g.set_selectivity(1, 2, 0.1);
+        g.set_selectivity(0, 2, 0.9);
+        let t = g.spanning_tree();
+        assert_eq!(t.len(), 2);
+        assert!(t.iter().any(|&(i, j, _)| (i, j) == (1, 2)));
+        assert!(t.iter().any(|&(i, j, _)| (i, j) == (0, 1)));
+    }
+
+    #[test]
+    fn spanning_tree_connects_components() {
+        let g = JoinGraph::new(vec![1.0, 2.0, 3.0]);
+        let t = g.spanning_tree();
+        assert_eq!(t.len(), 2);
+        assert!(t.iter().all(|&(_, _, s)| s == 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "selectivity must be in")]
+    fn invalid_selectivity_rejected() {
+        let mut g = JoinGraph::new(vec![1.0, 1.0]);
+        g.set_selectivity(0, 1, 1.5);
+    }
+}

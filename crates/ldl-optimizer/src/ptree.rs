@@ -1,0 +1,381 @@
+//! Processing trees (§4, Figure 4-1).
+//!
+//! The execution model: a rooted graph whose AND nodes are joins, OR
+//! nodes unions, and leaves base relations. Recursive cliques are
+//! *contracted* into CC nodes — a single node standing for the atomic
+//! fixpoint computation of the whole clique — which makes the graph a
+//! DAG; replicating shared children turns it into a tree. Square nodes
+//! (here `[mat]`) materialize their result; triangle nodes (`<pipe>`)
+//! produce tuples lazily using the binding implied by the pipeline.
+//!
+//! The optimizer's decisions annotate the tree: body orders reorder AND
+//! children, the chosen fixpoint method labels each CC node.
+
+use crate::opt::{OptimizedQuery, PredPlanKind};
+use ldl_core::depgraph::DependencyGraph;
+use ldl_core::{Pred, Program};
+use ldl_eval::Method;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// What a node computes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TreeKind {
+    /// Base relation scan.
+    Leaf(Pred),
+    /// Join of the children (one rule body). `rule_index` points into
+    /// the program.
+    And {
+        /// Which rule this AND node implements.
+        rule_index: usize,
+        /// The head predicate.
+        pred: Pred,
+    },
+    /// Union of the children (all rules of one derived predicate).
+    Or(Pred),
+    /// Contracted recursive clique.
+    Cc {
+        /// The mutually recursive predicates contracted together.
+        preds: BTreeSet<Pred>,
+        /// Fixpoint method label (None before optimization).
+        method: Option<Method>,
+    },
+    /// Back-reference to a predicate already on the path (uncontracted
+    /// recursion renders as this instead of looping forever).
+    RecRef(Pred),
+}
+
+/// A processing tree node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProcessingTree {
+    /// Node semantics.
+    pub kind: TreeKind,
+    /// Materialized (square) or pipelined (triangle).
+    pub materialized: bool,
+    /// Children, in execution (left-to-right) order.
+    pub children: Vec<ProcessingTree>,
+}
+
+impl ProcessingTree {
+    /// Builds the *uncontracted* processing tree for `pred`: OR over its
+    /// rules, AND over each body, recursion rendered as [`TreeKind::RecRef`].
+    pub fn build(program: &Program, pred: Pred) -> ProcessingTree {
+        let mut path = Vec::new();
+        build_or(program, pred, &mut path)
+    }
+
+    /// Builds the *contracted* tree: every recursive clique collapses
+    /// into one CC node whose children are the clique's outside inputs
+    /// (Figure 4-1c).
+    pub fn build_contracted(program: &Program, pred: Pred) -> ProcessingTree {
+        let graph = DependencyGraph::build(program);
+        build_contracted_inner(program, &graph, pred)
+    }
+
+    /// Annotates a contracted tree with an optimized plan's decisions:
+    /// AND children reordered by the chosen body order, CC nodes labeled
+    /// with the chosen method, join children pipelined.
+    pub fn from_plan(program: &Program, optimized: &OptimizedQuery) -> ProcessingTree {
+        let mut tree = Self::build_contracted(program, optimized.query.pred());
+        annotate(&mut tree, program, optimized);
+        tree
+    }
+
+    /// Number of nodes.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(ProcessingTree::size).sum::<usize>()
+    }
+
+    /// Depth of the tree (a single node has depth 1).
+    pub fn depth(&self) -> usize {
+        1 + self.children.iter().map(ProcessingTree::depth).max().unwrap_or(0)
+    }
+
+    /// All CC nodes.
+    pub fn cc_nodes(&self) -> Vec<&ProcessingTree> {
+        let mut out = Vec::new();
+        self.walk(&mut |n| {
+            if matches!(n.kind, TreeKind::Cc { .. }) {
+                out.push(n);
+            }
+        });
+        out
+    }
+
+    fn walk<'a>(&'a self, f: &mut impl FnMut(&'a ProcessingTree)) {
+        f(self);
+        for c in &self.children {
+            c.walk(f);
+        }
+    }
+
+    fn fmt_indent(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        for _ in 0..indent {
+            write!(f, "  ")?;
+        }
+        let mode = if self.materialized { "[mat]" } else { "<pipe>" };
+        match &self.kind {
+            TreeKind::Leaf(p) => writeln!(f, "{mode} scan {p}")?,
+            TreeKind::And { rule_index, pred } => {
+                writeln!(f, "{mode} AND/join (rule {rule_index} of {pred})")?
+            }
+            TreeKind::Or(p) => writeln!(f, "{mode} OR/union {p}")?,
+            TreeKind::Cc { preds, method } => {
+                let names: Vec<String> = preds.iter().map(|p| p.to_string()).collect();
+                match method {
+                    Some(m) => writeln!(f, "{mode} CC {{{}}} via {}", names.join(", "), m.name())?,
+                    None => writeln!(f, "{mode} CC {{{}}}", names.join(", "))?,
+                }
+            }
+            TreeKind::RecRef(p) => writeln!(f, "{mode} rec-ref {p}")?,
+        }
+        for c in &self.children {
+            c.fmt_indent(f, indent + 1)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ProcessingTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indent(f, 0)
+    }
+}
+
+fn build_or(program: &Program, pred: Pred, path: &mut Vec<Pred>) -> ProcessingTree {
+    if path.contains(&pred) {
+        return ProcessingTree {
+            kind: TreeKind::RecRef(pred),
+            materialized: true,
+            children: vec![],
+        };
+    }
+    let rules = program.rules_for(pred);
+    if rules.is_empty() {
+        return ProcessingTree { kind: TreeKind::Leaf(pred), materialized: true, children: vec![] };
+    }
+    path.push(pred);
+    let children = rules
+        .into_iter()
+        .map(|(ri, rule)| {
+            let lits = rule
+                .body_atoms()
+                .map(|a| build_or(program, a.pred, path))
+                .collect();
+            ProcessingTree {
+                kind: TreeKind::And { rule_index: ri, pred },
+                materialized: true,
+                children: lits,
+            }
+        })
+        .collect();
+    path.pop();
+    ProcessingTree { kind: TreeKind::Or(pred), materialized: true, children }
+}
+
+fn build_contracted_inner(
+    program: &Program,
+    graph: &DependencyGraph,
+    pred: Pred,
+) -> ProcessingTree {
+    if let Some(clique) = graph.clique_of(pred) {
+        // Children: predicates used by clique rules from outside the clique.
+        let mut outside: BTreeSet<Pred> = BTreeSet::new();
+        for &ri in &clique.all_rules() {
+            for a in program.rules[ri].body_atoms() {
+                if !clique.preds.contains(&a.pred) {
+                    outside.insert(a.pred);
+                }
+            }
+        }
+        let children = outside
+            .into_iter()
+            .map(|p| build_contracted_inner(program, graph, p))
+            .collect();
+        return ProcessingTree {
+            kind: TreeKind::Cc { preds: clique.preds.clone(), method: None },
+            materialized: true,
+            children,
+        };
+    }
+    let rules = program.rules_for(pred);
+    if rules.is_empty() {
+        return ProcessingTree { kind: TreeKind::Leaf(pred), materialized: true, children: vec![] };
+    }
+    let children = rules
+        .into_iter()
+        .map(|(ri, rule)| {
+            let lits = rule
+                .body_atoms()
+                .map(|a| build_contracted_inner(program, graph, a.pred))
+                .collect();
+            ProcessingTree {
+                kind: TreeKind::And { rule_index: ri, pred },
+                materialized: true,
+                children: lits,
+            }
+        })
+        .collect();
+    ProcessingTree { kind: TreeKind::Or(pred), materialized: true, children }
+}
+
+fn annotate(tree: &mut ProcessingTree, program: &Program, optimized: &OptimizedQuery) {
+    match &mut tree.kind {
+        TreeKind::Cc { preds, method } => {
+            // Label every CC node on the path of the query's plan. Only
+            // the query predicate's clique has a recorded method; others
+            // default to semi-naive.
+            let m = match &optimized.plan.kind {
+                PredPlanKind::Clique { method: qm, .. }
+                    if preds.contains(&optimized.query.pred()) =>
+                {
+                    *qm
+                }
+                _ => Method::SemiNaive,
+            };
+            *method = Some(m);
+        }
+        TreeKind::And { rule_index, .. } => {
+            // Reorder join children by the chosen order, where recorded.
+            let order = optimized
+                .orders
+                .iter()
+                .find(|((ri, _), _)| ri == rule_index)
+                .map(|(_, o)| o.clone())
+                .or_else(|| optimized.clique_orders.get(rule_index).cloned());
+            if let Some(order) = order {
+                // `order` indexes *all* body literals; the tree only has
+                // atom children. Map atom positions through it.
+                let rule = &program.rules[*rule_index];
+                let atom_positions: Vec<usize> = rule
+                    .body
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, l)| l.as_atom().map(|a| !a.negated).unwrap_or(false))
+                    .map(|(i, _)| i)
+                    .collect();
+                if atom_positions.len() == tree.children.len() {
+                    let mut reordered = Vec::with_capacity(tree.children.len());
+                    for &li in &order {
+                        if let Some(pos) = atom_positions.iter().position(|&p| p == li) {
+                            reordered.push(tree.children[pos].clone());
+                        }
+                    }
+                    if reordered.len() == tree.children.len() {
+                        tree.children = reordered;
+                    }
+                }
+            }
+            // Pipeline everything after the first child (sideways
+            // information flows left to right).
+            for (i, c) in tree.children.iter_mut().enumerate() {
+                if i > 0 && matches!(c.kind, TreeKind::Leaf(_)) {
+                    c.materialized = false;
+                }
+            }
+        }
+        _ => {}
+    }
+    for c in &mut tree.children {
+        annotate(c, program, optimized);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opt::Optimizer;
+    use ldl_core::parser::{parse_program, parse_query};
+    use ldl_storage::Database;
+
+    const SG: &str = r#"
+        up(1, 10). flat(10, 10). dn(10, 1).
+        sg(X, Y) <- flat(X, Y).
+        sg(X, Y) <- up(X, X1), sg(Y1, X1), dn(Y1, Y).
+    "#;
+
+    #[test]
+    fn uncontracted_tree_has_recref() {
+        let p = parse_program(SG).unwrap();
+        let t = ProcessingTree::build(&p, Pred::new("sg", 2));
+        let rendered = t.to_string();
+        assert!(rendered.contains("rec-ref sg/2"), "{rendered}");
+        assert!(rendered.contains("OR/union sg/2"));
+        assert!(rendered.contains("scan up/2"));
+    }
+
+    #[test]
+    fn contracted_tree_has_cc_node() {
+        let p = parse_program(SG).unwrap();
+        let t = ProcessingTree::build_contracted(&p, Pred::new("sg", 2));
+        match &t.kind {
+            TreeKind::Cc { preds, method } => {
+                assert!(preds.contains(&Pred::new("sg", 2)));
+                assert!(method.is_none());
+            }
+            other => panic!("expected CC root, got {other:?}"),
+        }
+        // Children: the three outside base relations.
+        assert_eq!(t.children.len(), 3);
+        assert!(t.cc_nodes().len() == 1);
+    }
+
+    #[test]
+    fn contraction_makes_tree_acyclic_and_smaller() {
+        let p = parse_program(SG).unwrap();
+        let un = ProcessingTree::build(&p, Pred::new("sg", 2));
+        let con = ProcessingTree::build_contracted(&p, Pred::new("sg", 2));
+        assert!(con.depth() < un.depth());
+    }
+
+    #[test]
+    fn layered_cliques_contract_separately() {
+        let text = r#"
+            tc(X, Y) <- e(X, Y).
+            tc(X, Y) <- tc(X, Z), e(Z, Y).
+            above(X, Y) <- tc(X, Y), tag(Y).
+        "#;
+        let p = parse_program(text).unwrap();
+        let t = ProcessingTree::build_contracted(&p, Pred::new("above", 2));
+        assert!(matches!(t.kind, TreeKind::Or(_)));
+        assert_eq!(t.cc_nodes().len(), 1);
+    }
+
+    #[test]
+    fn plan_annotation_labels_method_and_reorders() {
+        let p = parse_program(SG).unwrap();
+        let db = Database::from_program(&p);
+        let opt = Optimizer::with_defaults(&p, &db);
+        let o = opt.optimize(&parse_query("sg(1, Y)?").unwrap()).unwrap();
+        let t = ProcessingTree::from_plan(&p, &o);
+        let cc = t.cc_nodes();
+        assert_eq!(cc.len(), 1);
+        match &cc[0].kind {
+            TreeKind::Cc { method, .. } => assert!(method.is_some()),
+            _ => unreachable!(),
+        }
+        let rendered = t.to_string();
+        assert!(rendered.contains("via"), "{rendered}");
+    }
+
+    #[test]
+    fn nonrecursive_plan_pipelines_inner_scans() {
+        let text = "q(X, Z) <- a(X, Y), b(Y, Z).\na(1,2). b(2,3).";
+        let p = parse_program(text).unwrap();
+        let db = Database::from_program(&p);
+        let opt = Optimizer::with_defaults(&p, &db);
+        let o = opt.optimize(&parse_query("q(1, Z)?").unwrap()).unwrap();
+        let t = ProcessingTree::from_plan(&p, &o);
+        let rendered = t.to_string();
+        assert!(rendered.contains("<pipe> scan"), "{rendered}");
+    }
+
+    #[test]
+    fn size_and_depth() {
+        let text = "q(X) <- a(X), b(X).";
+        let p = parse_program(text).unwrap();
+        let t = ProcessingTree::build(&p, Pred::new("q", 1));
+        assert_eq!(t.size(), 4); // or + and + 2 leaves
+        assert_eq!(t.depth(), 3);
+    }
+}

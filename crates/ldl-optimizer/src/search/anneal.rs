@@ -1,0 +1,274 @@
+//! Simulated annealing over join orders [IW 87].
+//!
+//! §7.1 of the paper characterizes the annealing process entirely by its
+//! neighbor relation: two orders are neighbors when they differ by one
+//! swap of two positions (the closure of that relation is the whole
+//! permutation space). The walk accepts uphill moves with probability
+//! `exp(-Δ/T)` under a geometric cooling schedule, so it degenerates to
+//! random descent as `T → 0`.
+
+use crate::joingraph::JoinGraph;
+use crate::search::SearchResult;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Annealing schedule parameters.
+#[derive(Clone, Debug)]
+pub struct AnnealParams {
+    /// Initial temperature as a fraction of the starting cost.
+    pub initial_temp_fraction: f64,
+    /// Geometric cooling factor per stage.
+    pub cooling: f64,
+    /// Moves attempted per temperature stage (scaled by n).
+    pub moves_per_stage: usize,
+    /// Stop when the temperature falls below this fraction of the
+    /// starting cost.
+    pub final_temp_fraction: f64,
+    /// Hard cap on cost evaluations.
+    pub max_probes: usize,
+}
+
+impl Default for AnnealParams {
+    fn default() -> Self {
+        AnnealParams {
+            initial_temp_fraction: 0.5,
+            cooling: 0.9,
+            moves_per_stage: 8,
+            final_temp_fraction: 1e-6,
+            max_probes: 20_000,
+        }
+    }
+}
+
+/// Runs simulated annealing with the swap-two neighbor relation.
+pub fn optimize_anneal(g: &JoinGraph, params: &AnnealParams, seed: u64) -> SearchResult {
+    let n = g.n();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut current: Vec<usize> = (0..n).collect();
+    // Random restart point: shuffle.
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        current.swap(i, j);
+    }
+    let mut cur_cost = g.sequence_cost(&current);
+    let mut best = current.clone();
+    let mut best_cost = cur_cost;
+    let mut probes = 1usize;
+
+    if n < 2 {
+        return SearchResult { order: current, cost: cur_cost, probes };
+    }
+
+    // Fit the geometric schedule to the probe budget: reserve a quarter
+    // of the budget for the final quench (greedy descent), spread the
+    // rest over stages of `moves_per_stage · n` moves, and choose the
+    // cooling factor that actually reaches the floor temperature within
+    // those stages (a fixed factor would truncate mid-schedule and
+    // return a half-annealed order).
+    let moves_per_stage = params.moves_per_stage * n;
+    let anneal_budget = params.max_probes * 3 / 4;
+    let stages = (anneal_budget / moves_per_stage).max(1);
+    let ratio = params.final_temp_fraction / params.initial_temp_fraction;
+    let fitted_cooling = ratio.powf(1.0 / stages as f64).min(params.cooling);
+    let mut temp = cur_cost.max(1.0) * params.initial_temp_fraction;
+    let floor = cur_cost.max(1.0) * params.final_temp_fraction;
+    while temp > floor && probes < anneal_budget {
+        for _ in 0..moves_per_stage {
+            if probes >= anneal_budget {
+                break;
+            }
+            let i = rng.gen_range(0..n);
+            let mut j = rng.gen_range(0..n - 1);
+            if j >= i {
+                j += 1;
+            }
+            current.swap(i, j);
+            let c = g.sequence_cost(&current);
+            probes += 1;
+            let accept = c <= cur_cost || {
+                let delta = c - cur_cost;
+                rng.gen::<f64>() < (-delta / temp).exp()
+            };
+            if accept {
+                cur_cost = c;
+                if c < best_cost {
+                    best_cost = c;
+                    best = current.clone();
+                }
+            } else {
+                current.swap(i, j); // undo
+            }
+        }
+        temp *= fitted_cooling;
+    }
+
+    // Quench: greedy pairwise-swap descent from the best state found.
+    current = best.clone();
+    cur_cost = best_cost;
+    let mut improved = true;
+    while improved && probes < params.max_probes {
+        improved = false;
+        'sweep: for i in 0..n {
+            for j in i + 1..n {
+                if probes >= params.max_probes {
+                    break 'sweep;
+                }
+                current.swap(i, j);
+                let c = g.sequence_cost(&current);
+                probes += 1;
+                if c < cur_cost {
+                    cur_cost = c;
+                    improved = true;
+                } else {
+                    current.swap(i, j);
+                }
+            }
+        }
+    }
+    if cur_cost < best_cost {
+        best_cost = cur_cost;
+        best = current;
+    }
+    SearchResult { order: best, cost: best_cost, probes }
+}
+
+/// Generic simulated annealing over an arbitrary state space, used by
+/// the integrated optimizer for rule orders and clique c-permutations
+/// (where the cost function involves recursive sub-plan lookups and an
+/// explicit [`JoinGraph`] does not exist). `neighbor` must return a new
+/// state differing by one elementary move; `cost` may return infinity
+/// for unsafe states.
+pub fn anneal_generic<S: Clone>(
+    initial: S,
+    mut neighbor: impl FnMut(&S, &mut StdRng) -> S,
+    mut cost: impl FnMut(&S) -> f64,
+    params: &AnnealParams,
+    seed: u64,
+) -> (S, f64, usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut current = initial;
+    let mut cur_cost = cost(&current);
+    let mut best = current.clone();
+    let mut best_cost = cur_cost;
+    let mut probes = 1usize;
+
+    let scale = if cur_cost.is_finite() { cur_cost.max(1.0) } else { 1e9 };
+    let mut temp = scale * params.initial_temp_fraction;
+    let floor = scale * params.final_temp_fraction;
+    while temp > floor && probes < params.max_probes {
+        for _ in 0..params.moves_per_stage {
+            if probes >= params.max_probes {
+                break;
+            }
+            let cand = neighbor(&current, &mut rng);
+            let c = cost(&cand);
+            probes += 1;
+            let accept = c <= cur_cost
+                || (c.is_finite() && rng.gen::<f64>() < (-(c - cur_cost) / temp).exp());
+            if accept {
+                current = cand;
+                cur_cost = c;
+                if c < best_cost {
+                    best_cost = c;
+                    best = current.clone();
+                }
+            }
+        }
+        temp *= params.cooling;
+    }
+    (best, best_cost, probes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::exhaustive::optimize_exhaustive;
+
+    fn random_graph(n: usize, seed: u64) -> JoinGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cards: Vec<f64> =
+            (0..n).map(|_| 10f64.powf(rng.gen_range(1.0..5.0)).round()).collect();
+        let mut g = JoinGraph::new(cards);
+        // Random connected chain plus extra edges.
+        for i in 1..n {
+            let j = rng.gen_range(0..i);
+            g.set_selectivity(i, j, 10f64.powf(rng.gen_range(-4.0..-0.5)));
+        }
+        g
+    }
+
+    #[test]
+    fn annealing_finds_near_optimal_orders() {
+        let mut within2 = 0;
+        let total = 20;
+        for seed in 0..total {
+            let g = random_graph(6, seed);
+            let ex = optimize_exhaustive(&g);
+            let an = optimize_anneal(&g, &AnnealParams::default(), seed + 1000);
+            assert!(an.cost >= ex.cost * (1.0 - 1e-9), "annealing can't beat optimal");
+            if an.cost <= 2.0 * ex.cost {
+                within2 += 1;
+            }
+        }
+        assert!(within2 >= (total as usize * 9) / 10, "only {within2}/{total} within 2x");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = random_graph(7, 42);
+        let a = optimize_anneal(&g, &AnnealParams::default(), 7);
+        let b = optimize_anneal(&g, &AnnealParams::default(), 7);
+        assert_eq!(a.order, b.order);
+        assert_eq!(a.cost, b.cost);
+    }
+
+    #[test]
+    fn probes_capped() {
+        let g = random_graph(9, 3);
+        let p = AnnealParams { max_probes: 500, ..AnnealParams::default() };
+        let r = optimize_anneal(&g, &p, 1);
+        assert!(r.probes <= 500);
+    }
+
+    #[test]
+    fn returns_valid_permutation() {
+        let g = random_graph(8, 5);
+        let r = optimize_anneal(&g, &AnnealParams::default(), 9);
+        let mut o = r.order.clone();
+        o.sort_unstable();
+        assert_eq!(o, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_relation_trivial() {
+        let g = JoinGraph::new(vec![3.0]);
+        let r = optimize_anneal(&g, &AnnealParams::default(), 0);
+        assert_eq!(r.order, vec![0]);
+    }
+
+    #[test]
+    fn generic_annealer_minimizes_simple_function() {
+        // Minimize |x - 17| over integers via +-1 moves.
+        let (best, cost, _) = anneal_generic(
+            100i64,
+            |x, rng| if rng.gen::<bool>() { x + 1 } else { x - 1 },
+            |x| (x - 17).abs() as f64,
+            &AnnealParams { max_probes: 50_000, ..AnnealParams::default() },
+            3,
+        );
+        assert_eq!(cost, 0.0, "best found: {best}");
+    }
+
+    #[test]
+    fn generic_annealer_escapes_infinite_start() {
+        // Start in an "unsafe" state (infinite cost); must still move.
+        let (_, cost, _) = anneal_generic(
+            -5i64,
+            |x, rng| if rng.gen::<bool>() { x + 1 } else { x - 1 },
+            |x| if *x < 0 { f64::INFINITY } else { *x as f64 },
+            &AnnealParams { max_probes: 20_000, ..AnnealParams::default() },
+            4,
+        );
+        assert!(cost.is_finite());
+    }
+}

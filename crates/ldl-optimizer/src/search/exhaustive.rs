@@ -1,0 +1,254 @@
+//! Exhaustive enumeration and Selinger dynamic programming [Sel 79].
+
+use crate::joingraph::JoinGraph;
+use crate::search::SearchResult;
+
+/// Enumerates all `n!` orders. Panics above 11 relations (the paper:
+/// "database systems must limit the queries to no more than 10 or 15
+/// joins" under this strategy).
+pub fn optimize_exhaustive(g: &JoinGraph) -> SearchResult {
+    let n = g.n();
+    assert!(n <= 11, "exhaustive enumeration beyond 11 relations is impractical");
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut best: Option<(f64, Vec<usize>)> = None;
+    let mut probes = 0usize;
+    permute(&mut perm, 0, &mut |p| {
+        probes += 1;
+        let c = g.sequence_cost(p);
+        match &best {
+            Some((bc, _)) if *bc <= c => {}
+            _ => best = Some((c, p.to_vec())),
+        }
+    });
+    let (cost, order) = best.expect("n >= 1");
+    SearchResult { order, cost, probes }
+}
+
+/// Heap-style recursive permutation visitor.
+fn permute(perm: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
+    if k == perm.len() {
+        visit(perm);
+        return;
+    }
+    for i in k..perm.len() {
+        perm.swap(k, i);
+        permute(perm, k + 1, visit);
+        perm.swap(k, i);
+    }
+}
+
+/// Selinger dynamic programming over subsets: O(n·2ⁿ) partial orders.
+///
+/// Exact for this cost function because the intermediate cardinality of a
+/// subset is order-independent (all selectivities between subset members
+/// apply exactly once).
+pub fn optimize_dp(g: &JoinGraph) -> SearchResult {
+    let n = g.n();
+    assert!(n <= 24, "DP beyond 24 relations exhausts memory");
+    let full: usize = if n == usize::BITS as usize { usize::MAX } else { (1 << n) - 1 };
+    // best[mask] = (cost, card, last) — reconstruct order via `last`.
+    let mut best: Vec<Option<(f64, f64, usize)>> = vec![None; full + 1];
+    let mut probes = 0usize;
+    for i in 0..n {
+        let c = g.card(i);
+        best[1 << i] = Some((c, c, i));
+        probes += 1;
+    }
+    for mask in 1..=full {
+        let Some((cost, card, _)) = best[mask] else { continue };
+        for next in 0..n {
+            if mask & (1 << next) != 0 {
+                continue;
+            }
+            probes += 1;
+            // t = card(next) * Π selectivities to subset members.
+            let mut t = g.card(next);
+            for p in 0..n {
+                if mask & (1 << p) != 0 {
+                    t *= g.selectivity(p, next);
+                }
+            }
+            let ncard = card * t;
+            let ncost = cost + ncard;
+            let nmask = mask | (1 << next);
+            match best[nmask] {
+                Some((c, _, _)) if c <= ncost => {}
+                _ => best[nmask] = Some((ncost, ncard, next)),
+            }
+        }
+    }
+    // Reconstruct.
+    let mut order = Vec::with_capacity(n);
+    let mut mask = full;
+    while mask != 0 {
+        let (_, _, last) = best[mask].expect("reachable subset");
+        order.push(last);
+        mask &= !(1 << last);
+    }
+    order.reverse();
+    let (cost, _, _) = best[full].expect("full subset");
+    SearchResult { order, cost, probes }
+}
+
+/// Selinger DP restricted to *connected* prefixes (no cross products
+/// unless the graph itself is disconnected) — the space System R and the
+/// KBZ algorithm actually search. On tree queries KBZ is provably
+/// optimal w.r.t. this space.
+pub fn optimize_dp_connected(g: &JoinGraph) -> SearchResult {
+    let n = g.n();
+    assert!(n <= 24, "DP beyond 24 relations exhausts memory");
+    let full: usize = (1usize << n) - 1;
+    let mut best: Vec<Option<(f64, f64, usize)>> = vec![None; full + 1];
+    let mut probes = 0usize;
+    for i in 0..n {
+        let c = g.card(i);
+        best[1 << i] = Some((c, c, i));
+        probes += 1;
+    }
+    let connected = |mask: usize, next: usize| -> bool {
+        (0..n).any(|p| mask & (1 << p) != 0 && g.selectivity(p, next) < 1.0)
+    };
+    for mask in 1..=full {
+        let Some((cost, card, _)) = best[mask] else { continue };
+        // Prefer connected extensions; fall back to any extension only if
+        // none exists (disconnected graphs must still complete).
+        let any_connected = (0..n).any(|x| mask & (1 << x) == 0 && connected(mask, x));
+        for next in 0..n {
+            if mask & (1 << next) != 0 {
+                continue;
+            }
+            if any_connected && !connected(mask, next) {
+                continue;
+            }
+            probes += 1;
+            let mut t = g.card(next);
+            for p in 0..n {
+                if mask & (1 << p) != 0 {
+                    t *= g.selectivity(p, next);
+                }
+            }
+            let ncard = card * t;
+            let ncost = cost + ncard;
+            let nmask = mask | (1 << next);
+            match best[nmask] {
+                Some((c, _, _)) if c <= ncost => {}
+                _ => best[nmask] = Some((ncost, ncard, next)),
+            }
+        }
+    }
+    let mut order = Vec::with_capacity(n);
+    let mut mask = full;
+    while mask != 0 {
+        let (_, _, last) = best[mask].expect("reachable subset");
+        order.push(last);
+        mask &= !(1 << last);
+    }
+    order.reverse();
+    let (cost, _, _) = best[full].expect("full subset");
+    SearchResult { order, cost, probes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star(n_sat: usize) -> JoinGraph {
+        // Hub relation 0 with satellites of varying size/selectivity.
+        let mut cards = vec![1000.0];
+        for i in 0..n_sat {
+            cards.push(10.0_f64.powi((i % 4) as i32 + 1));
+        }
+        let mut g = JoinGraph::new(cards);
+        for i in 0..n_sat {
+            g.set_selectivity(0, i + 1, 0.1 / (i + 1) as f64);
+        }
+        g
+    }
+
+    #[test]
+    fn dp_matches_exhaustive_on_small_graphs() {
+        for n_sat in 1..=5 {
+            let g = star(n_sat);
+            let ex = optimize_exhaustive(&g);
+            let dp = optimize_dp(&g);
+            assert!(
+                (ex.cost - dp.cost).abs() < 1e-6 * ex.cost.max(1.0),
+                "n_sat={n_sat}: exhaustive {} vs dp {}",
+                ex.cost,
+                dp.cost
+            );
+        }
+    }
+
+    #[test]
+    fn dp_uses_far_fewer_probes() {
+        let g = star(7); // 8 relations: 40320 permutations
+        let ex = optimize_exhaustive(&g);
+        let dp = optimize_dp(&g);
+        assert!(dp.probes < ex.probes / 10, "dp {} vs ex {}", dp.probes, ex.probes);
+        assert!((ex.cost - dp.cost).abs() < 1e-6 * ex.cost);
+    }
+
+    #[test]
+    fn exhaustive_probe_count_is_factorial() {
+        let g = star(3);
+        let ex = optimize_exhaustive(&g);
+        assert_eq!(ex.probes, 24); // 4!
+    }
+
+    #[test]
+    fn chain_query_optimal_order_starts_small() {
+        // tiny -0.01- huge -0.01- tiny: optimal orders start at an end.
+        let mut g = JoinGraph::new(vec![10.0, 100000.0, 10.0]);
+        g.set_selectivity(0, 1, 0.01);
+        g.set_selectivity(1, 2, 0.01);
+        let ex = optimize_exhaustive(&g);
+        assert_ne!(ex.order[0], 1, "must not scan the huge relation first");
+    }
+
+    #[test]
+    fn single_relation() {
+        let g = JoinGraph::new(vec![42.0]);
+        let ex = optimize_exhaustive(&g);
+        assert_eq!(ex.order, vec![0]);
+        assert_eq!(ex.cost, 42.0);
+        let dp = optimize_dp(&g);
+        assert_eq!(dp.order, vec![0]);
+    }
+
+    #[test]
+    fn dp_reconstruction_is_a_permutation() {
+        let g = star(6);
+        let dp = optimize_dp(&g);
+        let mut o = dp.order.clone();
+        o.sort_unstable();
+        assert_eq!(o, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn connected_dp_never_beats_full_dp() {
+        for n_sat in 2..=6 {
+            let g = star(n_sat);
+            let full = optimize_dp(&g);
+            let conn = optimize_dp_connected(&g);
+            assert!(conn.cost >= full.cost - 1e-9);
+        }
+    }
+
+    #[test]
+    fn connected_dp_avoids_cross_products_on_connected_graphs() {
+        let g = star(4);
+        let r = optimize_dp_connected(&g);
+        // Every prefix must touch the hub by its second element (the only
+        // way to stay connected in a star).
+        assert!(r.order[0] == 0 || r.order[1] == 0, "order {:?}", r.order);
+    }
+
+    #[test]
+    fn connected_dp_handles_disconnected_graphs() {
+        let g = JoinGraph::new(vec![10.0, 20.0, 30.0]);
+        let r = optimize_dp_connected(&g);
+        assert_eq!(r.order.len(), 3);
+        assert!(r.cost.is_finite());
+    }
+}

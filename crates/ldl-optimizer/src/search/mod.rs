@@ -1,0 +1,61 @@
+//! Search strategies over join orders (§7.1).
+//!
+//! Three generic strategies with one interface each:
+//!
+//! * [`exhaustive`] — full permutation enumeration and the Selinger
+//!   dynamic program (O(n·2ⁿ) time / O(2ⁿ) space) [Sel 79];
+//! * [`kbz`] — the quadratic-time algorithm of [KBZ 86] for acyclic
+//!   queries under ASI cost functions, with the spanning-tree heuristic
+//!   for cyclic queries;
+//! * [`anneal`] — simulated annealing [IW 87], characterized (as in the
+//!   paper) purely by its neighbor relation: swap two positions.
+
+pub mod anneal;
+pub mod exhaustive;
+pub mod kbz;
+
+/// Which strategy the integrated optimizer uses for conjunct ordering.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Strategy {
+    /// Enumerate all n! permutations.
+    Exhaustive,
+    /// Selinger dynamic programming over subsets.
+    DynamicProgramming,
+    /// KBZ quadratic algorithm (falls back to DP when inapplicable).
+    Kbz,
+    /// Simulated annealing.
+    Annealing,
+}
+
+impl Strategy {
+    /// Every strategy, for sweeps.
+    pub const ALL: [Strategy; 4] = [
+        Strategy::Exhaustive,
+        Strategy::DynamicProgramming,
+        Strategy::Kbz,
+        Strategy::Annealing,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Exhaustive => "exhaustive",
+            Strategy::DynamicProgramming => "dp",
+            Strategy::Kbz => "kbz",
+            Strategy::Annealing => "annealing",
+        }
+    }
+}
+
+/// Outcome of a search: the chosen order, its cost, and how many
+/// candidate orders were costed along the way (the work measure used by
+/// experiment E2/E3).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SearchResult {
+    /// Chosen join order.
+    pub order: Vec<usize>,
+    /// Its cost under the graph's cost function.
+    pub cost: f64,
+    /// Number of complete or partial orders evaluated.
+    pub probes: usize,
+}

@@ -1,0 +1,169 @@
+//! The database catalog: named base relations plus their statistics.
+
+use crate::relation::Relation;
+use crate::stats::Stats;
+use crate::tuple::Tuple;
+use ldl_core::{LdlError, Pred, Program, Result};
+use std::collections::HashMap;
+
+/// A named collection of base relations.
+///
+/// The evaluator reads relations; the optimizer reads statistics. For
+/// optimizer-only experiments a relation may have synthetic statistics
+/// and no data at all.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    relations: HashMap<Pred, Relation>,
+    stats_overrides: HashMap<Pred, Stats>,
+}
+
+impl Database {
+    /// Empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Loads every ground fact of a program into its base relation.
+    pub fn from_program(program: &Program) -> Database {
+        let mut db = Database::new();
+        db.load_facts(program);
+        db
+    }
+
+    /// Adds the program's facts to the existing relations.
+    pub fn load_facts(&mut self, program: &Program) {
+        for fact in &program.facts {
+            let rel = self
+                .relations
+                .entry(fact.pred)
+                .or_insert_with(|| Relation::new(fact.pred.arity));
+            rel.insert(Tuple::new(fact.args.clone()));
+        }
+    }
+
+    /// Installs (or replaces) a relation.
+    pub fn set_relation(&mut self, pred: Pred, rel: Relation) {
+        assert_eq!(pred.arity, rel.arity(), "relation arity must match predicate");
+        self.relations.insert(pred, rel);
+    }
+
+    /// The relation for `pred`, if present.
+    pub fn relation(&self, pred: Pred) -> Option<&Relation> {
+        self.relations.get(&pred)
+    }
+
+    /// The relation for `pred`, or an error naming it.
+    pub fn require(&self, pred: Pred) -> Result<&Relation> {
+        self.relations
+            .get(&pred)
+            .ok_or_else(|| LdlError::Eval(format!("no relation for base predicate {pred}")))
+    }
+
+    /// Mutable access, creating an empty relation if absent.
+    pub fn relation_mut(&mut self, pred: Pred) -> &mut Relation {
+        self.relations.entry(pred).or_insert_with(|| Relation::new(pred.arity))
+    }
+
+    /// Inserts one tuple into `pred`'s relation.
+    pub fn insert(&mut self, pred: Pred, t: Tuple) -> bool {
+        self.relation_mut(pred).insert(t)
+    }
+
+    /// Declares synthetic statistics for `pred` (used by optimizer-only
+    /// experiments; takes precedence over measured statistics).
+    pub fn set_stats(&mut self, pred: Pred, stats: Stats) {
+        assert_eq!(pred.arity, stats.arity(), "stats arity must match predicate");
+        self.stats_overrides.insert(pred, stats);
+    }
+
+    /// Statistics for `pred`: the synthetic override if any, else measured
+    /// from data, else a pessimistic default (1000 tuples, 100 distinct
+    /// per column) so that unknown relations never look free.
+    pub fn stats(&self, pred: Pred) -> Stats {
+        if let Some(s) = self.stats_overrides.get(&pred) {
+            return s.clone();
+        }
+        if let Some(r) = self.relations.get(&pred) {
+            return Stats::measure(r);
+        }
+        Stats::uniform(1000.0, pred.arity, 100.0)
+    }
+
+    /// All predicates with a relation or stats entry.
+    pub fn preds(&self) -> Vec<Pred> {
+        let mut v: Vec<Pred> = self.relations.keys().copied().collect();
+        for p in self.stats_overrides.keys() {
+            if !v.contains(p) {
+                v.push(*p);
+            }
+        }
+        v.sort();
+        v
+    }
+
+    /// Total number of stored tuples (across all relations).
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldl_core::parser::parse_program;
+
+    #[test]
+    fn loads_facts_by_predicate() {
+        let p = parse_program(
+            r#"
+            up(1, 2). up(2, 3).
+            dn(3, 4).
+            "#,
+        )
+        .unwrap();
+        let db = Database::from_program(&p);
+        assert_eq!(db.relation(Pred::new("up", 2)).unwrap().len(), 2);
+        assert_eq!(db.relation(Pred::new("dn", 2)).unwrap().len(), 1);
+        assert_eq!(db.total_tuples(), 3);
+    }
+
+    #[test]
+    fn duplicate_facts_deduplicated() {
+        let p = parse_program("e(1, 2). e(1, 2).").unwrap();
+        let db = Database::from_program(&p);
+        assert_eq!(db.relation(Pred::new("e", 2)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn stats_override_beats_measurement() {
+        let p = parse_program("e(1, 2).").unwrap();
+        let mut db = Database::from_program(&p);
+        let pred = Pred::new("e", 2);
+        assert_eq!(db.stats(pred).cardinality, 1.0);
+        db.set_stats(pred, Stats::uniform(5000.0, 2, 100.0));
+        assert_eq!(db.stats(pred).cardinality, 5000.0);
+    }
+
+    #[test]
+    fn missing_relation_gets_default_stats() {
+        let db = Database::new();
+        let s = db.stats(Pred::new("ghost", 3));
+        assert_eq!(s.cardinality, 1000.0);
+        assert_eq!(s.arity(), 3);
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let db = Database::new();
+        assert!(db.require(Pred::new("nope", 1)).is_err());
+    }
+
+    #[test]
+    fn complex_term_facts_load() {
+        let p = parse_program("part(bike, wheel(front)).").unwrap();
+        let db = Database::from_program(&p);
+        let r = db.relation(Pred::new("part", 2)).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.rows()[0].get(1).to_string(), "wheel(front)");
+    }
+}

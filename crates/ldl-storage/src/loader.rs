@@ -1,0 +1,136 @@
+//! Bulk loading and dumping of relations (TSV/CSV).
+//!
+//! LDL is aimed at *data intensive* applications: base relations
+//! normally arrive as files, not as inline facts. The loader reads
+//! delimiter-separated values — integers where a field parses as one,
+//! symbolic constants otherwise — and the dumper writes the same format
+//! back, so relations round-trip.
+
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use ldl_core::{LdlError, Pred, Result, Term, Value};
+use std::io::{BufRead, Write};
+
+/// Parses one field: integer if it parses as `i64`, symbol otherwise.
+fn parse_field(s: &str) -> Term {
+    match s.trim().parse::<i64>() {
+        Ok(i) => Term::Const(Value::Int(i)),
+        Err(_) => Term::Const(Value::sym(s.trim())),
+    }
+}
+
+/// Reads a relation from delimiter-separated text. Empty lines and lines
+/// starting with `#` are skipped; every data line must have exactly
+/// `arity` fields.
+pub fn read_relation(reader: impl BufRead, arity: usize, delimiter: char) -> Result<Relation> {
+    let mut rel = Relation::new(arity);
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| LdlError::Eval(format!("read error: {e}")))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(delimiter).collect();
+        if fields.len() != arity {
+            return Err(LdlError::Validation(format!(
+                "line {}: expected {arity} fields, found {}",
+                lineno + 1,
+                fields.len()
+            )));
+        }
+        rel.insert(Tuple::new(fields.into_iter().map(parse_field).collect()));
+    }
+    Ok(rel)
+}
+
+/// Writes a relation as delimiter-separated text (scalar columns only;
+/// compound terms are written in functional notation and will reload as
+/// symbols, so prefer facts-in-program for complex-term relations).
+pub fn write_relation(rel: &Relation, mut writer: impl Write, delimiter: char) -> Result<()> {
+    for row in rel.iter() {
+        let fields: Vec<String> = row.0.iter().map(|t| t.to_string()).collect();
+        writeln!(writer, "{}", fields.join(&delimiter.to_string()))
+            .map_err(|e| LdlError::Eval(format!("write error: {e}")))?;
+    }
+    Ok(())
+}
+
+impl crate::catalog::Database {
+    /// Loads a TSV file (tab-separated) into the relation for `pred`.
+    pub fn load_tsv(&mut self, pred: Pred, reader: impl BufRead) -> Result<usize> {
+        let rel = read_relation(reader, pred.arity, '\t')?;
+        let n = rel.len();
+        self.set_relation(pred, rel);
+        Ok(n)
+    }
+
+    /// Loads a CSV file (comma-separated) into the relation for `pred`.
+    pub fn load_csv(&mut self, pred: Pred, reader: impl BufRead) -> Result<usize> {
+        let rel = read_relation(reader, pred.arity, ',')?;
+        let n = rel.len();
+        self.set_relation(pred, rel);
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Database;
+    use std::io::Cursor;
+
+    #[test]
+    fn reads_ints_and_symbols() {
+        let data = "1\talice\n2\tbob\n";
+        let rel = read_relation(Cursor::new(data), 2, '\t').unwrap();
+        assert_eq!(rel.len(), 2);
+        assert!(rel.contains(&Tuple::new(vec![Term::int(1), Term::sym("alice")])));
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let data = "# header\n\n1,2\n\n# trailing\n3,4\n";
+        let rel = read_relation(Cursor::new(data), 2, ',').unwrap();
+        assert_eq!(rel.len(), 2);
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_error_with_line_number() {
+        let data = "1\t2\n1\t2\t3\n";
+        let err = read_relation(Cursor::new(data), 2, '\t').unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let data = "1,2\n1,2\n1,3\n";
+        let rel = read_relation(Cursor::new(data), 2, ',').unwrap();
+        assert_eq!(rel.len(), 2);
+    }
+
+    #[test]
+    fn round_trip() {
+        let data = "1\tx\n2\ty\n";
+        let rel = read_relation(Cursor::new(data), 2, '\t').unwrap();
+        let mut out = Vec::new();
+        write_relation(&rel, &mut out, '\t').unwrap();
+        let rel2 = read_relation(Cursor::new(out), 2, '\t').unwrap();
+        assert_eq!(rel, rel2);
+    }
+
+    #[test]
+    fn database_load_tsv() {
+        let mut db = Database::new();
+        let pred = Pred::new("edge", 2);
+        let n = db.load_tsv(pred, Cursor::new("1\t2\n2\t3\n")).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(db.relation(pred).unwrap().len(), 2);
+        assert_eq!(db.stats(pred).cardinality, 2.0);
+    }
+
+    #[test]
+    fn negative_integers_parse() {
+        let rel = read_relation(Cursor::new("-5,-10\n"), 2, ',').unwrap();
+        assert!(rel.contains(&Tuple::ints(&[-5, -10])));
+    }
+}

@@ -1,0 +1,288 @@
+//! Relations: duplicate-free tuple sets with hash indexes.
+
+use crate::tuple::Tuple;
+use ldl_core::Term;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A hash index over a snapshot of a relation: maps the values at
+/// `key_cols` to the row ids holding them.
+///
+/// Indexes are immutable snapshots. [`Relation`] caches one per column
+/// set and invalidates the cache on insertion, so probes after an update
+/// transparently rebuild.
+#[derive(Clone, Debug)]
+pub struct Index {
+    key_cols: Vec<usize>,
+    map: HashMap<Vec<Term>, Vec<u32>>,
+    /// Relation version this index was built against.
+    version: u64,
+}
+
+impl Index {
+    fn build(rows: &[Tuple], key_cols: &[usize], version: u64) -> Index {
+        let mut map: HashMap<Vec<Term>, Vec<u32>> = HashMap::new();
+        for (i, t) in rows.iter().enumerate() {
+            let key: Vec<Term> = key_cols.iter().map(|&c| t.get(c).clone()).collect();
+            map.entry(key).or_default().push(i as u32);
+        }
+        Index { key_cols: key_cols.to_vec(), map, version }
+    }
+
+    /// Row ids whose `key_cols` equal `key`.
+    pub fn probe(&self, key: &[Term]) -> &[u32] {
+        debug_assert_eq!(key.len(), self.key_cols.len());
+        self.map.get(key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// The indexed columns.
+    pub fn key_cols(&self) -> &[usize] {
+        &self.key_cols
+    }
+}
+
+/// A duplicate-free, insertion-ordered set of tuples of fixed arity.
+pub struct Relation {
+    arity: usize,
+    rows: Vec<Tuple>,
+    seen: HashMap<Tuple, u32>,
+    version: u64,
+    /// Lazily built indexes keyed by column set.
+    index_cache: Mutex<HashMap<Vec<usize>, Arc<Index>>>,
+}
+
+impl Relation {
+    /// Empty relation of the given arity.
+    pub fn new(arity: usize) -> Relation {
+        Relation {
+            arity,
+            rows: Vec::new(),
+            seen: HashMap::new(),
+            version: 0,
+            index_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Relation initialized from tuples (duplicates dropped).
+    pub fn from_tuples(arity: usize, tuples: impl IntoIterator<Item = Tuple>) -> Relation {
+        let mut r = Relation::new(arity);
+        for t in tuples {
+            r.insert(t);
+        }
+        r
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of (distinct) tuples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Inserts `t`, returning `true` if it was new. Invalidates cached
+    /// indexes (they rebuild on next probe).
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        assert_eq!(t.arity(), self.arity, "tuple arity mismatch");
+        if self.seen.contains_key(&t) {
+            return false;
+        }
+        let id = self.rows.len() as u32;
+        self.seen.insert(t.clone(), id);
+        self.rows.push(t);
+        self.version += 1;
+        true
+    }
+
+    /// Inserts every tuple, returning how many were new.
+    pub fn extend(&mut self, tuples: impl IntoIterator<Item = Tuple>) -> usize {
+        tuples.into_iter().filter(|t| self.insert(t.clone())).count()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.seen.contains_key(t)
+    }
+
+    /// The tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.rows.iter()
+    }
+
+    /// Tuple by row id (as returned by index probes).
+    pub fn row(&self, id: u32) -> &Tuple {
+        &self.rows[id as usize]
+    }
+
+    /// All rows as a slice.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// A (cached) hash index on `cols`. Rebuilt automatically if the
+    /// relation changed since the index was built.
+    pub fn index_on(&self, cols: &[usize]) -> Arc<Index> {
+        let mut cache = self.index_cache.lock();
+        match cache.get(cols) {
+            Some(idx) if idx.version == self.version => idx.clone(),
+            _ => {
+                let idx = Arc::new(Index::build(&self.rows, cols, self.version));
+                cache.insert(cols.to_vec(), idx.clone());
+                idx
+            }
+        }
+    }
+
+    /// Distinct values in column `c` (counted via a single-column index).
+    pub fn distinct_in_col(&self, c: usize) -> usize {
+        self.index_on(&[c]).distinct_keys()
+    }
+
+    /// Monotone version counter (bumped on every successful insert).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+}
+
+impl Clone for Relation {
+    fn clone(&self) -> Relation {
+        Relation {
+            arity: self.arity,
+            rows: self.rows.clone(),
+            seen: self.seen.clone(),
+            version: self.version,
+            index_cache: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Relation")
+            .field("arity", &self.arity)
+            .field("len", &self.rows.len())
+            .finish()
+    }
+}
+
+impl PartialEq for Relation {
+    /// Set equality (order-insensitive).
+    fn eq(&self, other: &Relation) -> bool {
+        self.arity == other.arity
+            && self.rows.len() == other.rows.len()
+            && self.rows.iter().all(|t| other.contains(t))
+    }
+}
+
+impl FromIterator<Tuple> for Relation {
+    /// Collects tuples; panics on an empty iterator (arity unknown) —
+    /// prefer [`Relation::from_tuples`] when emptiness is possible.
+    fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> Relation {
+        let mut it = iter.into_iter().peekable();
+        let arity = it.peek().expect("cannot infer arity of empty relation").arity();
+        Relation::from_tuples(arity, it)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut r = Relation::new(2);
+        assert!(r.insert(Tuple::ints(&[1, 2])));
+        assert!(!r.insert(Tuple::ints(&[1, 2])));
+        assert!(r.insert(Tuple::ints(&[1, 3])));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn iteration_preserves_insertion_order() {
+        let mut r = Relation::new(1);
+        for i in (0..10).rev() {
+            r.insert(Tuple::ints(&[i]));
+        }
+        let got: Vec<i64> = r
+            .iter()
+            .map(|t| t.get(0).clone())
+            .map(|t| match t {
+                ldl_core::Term::Const(ldl_core::Value::Int(i)) => i,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(got, (0..10).rev().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn index_probe_finds_rows() {
+        let mut r = Relation::new(2);
+        r.insert(Tuple::ints(&[1, 10]));
+        r.insert(Tuple::ints(&[1, 20]));
+        r.insert(Tuple::ints(&[2, 30]));
+        let idx = r.index_on(&[0]);
+        assert_eq!(idx.probe(&[Term::int(1)]).len(), 2);
+        assert_eq!(idx.probe(&[Term::int(2)]).len(), 1);
+        assert_eq!(idx.probe(&[Term::int(9)]).len(), 0);
+        assert_eq!(idx.distinct_keys(), 2);
+    }
+
+    #[test]
+    fn index_invalidated_on_insert() {
+        let mut r = Relation::new(1);
+        r.insert(Tuple::ints(&[1]));
+        let idx = r.index_on(&[0]);
+        assert_eq!(idx.probe(&[Term::int(2)]).len(), 0);
+        r.insert(Tuple::ints(&[2]));
+        let idx2 = r.index_on(&[0]);
+        assert_eq!(idx2.probe(&[Term::int(2)]).len(), 1);
+    }
+
+    #[test]
+    fn multi_column_index() {
+        let mut r = Relation::new(3);
+        r.insert(Tuple::ints(&[1, 2, 3]));
+        r.insert(Tuple::ints(&[1, 2, 4]));
+        r.insert(Tuple::ints(&[1, 5, 3]));
+        let idx = r.index_on(&[0, 1]);
+        assert_eq!(idx.probe(&[Term::int(1), Term::int(2)]).len(), 2);
+    }
+
+    #[test]
+    fn set_equality_ignores_order() {
+        let a = Relation::from_tuples(1, [Tuple::ints(&[1]), Tuple::ints(&[2])]);
+        let b = Relation::from_tuples(1, [Tuple::ints(&[2]), Tuple::ints(&[1])]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_in_col() {
+        let r = Relation::from_tuples(
+            2,
+            [Tuple::ints(&[1, 1]), Tuple::ints(&[1, 2]), Tuple::ints(&[2, 2])],
+        );
+        assert_eq!(r.distinct_in_col(0), 2);
+        assert_eq!(r.distinct_in_col(1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut r = Relation::new(2);
+        r.insert(Tuple::ints(&[1]));
+    }
+}

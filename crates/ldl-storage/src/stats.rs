@@ -1,0 +1,125 @@
+//! Database statistics.
+//!
+//! §6 of the paper treats cost formulae as a black box fed by "database
+//! statistics and various estimates". We keep the classic Selinger-style
+//! statistics: relation cardinality and per-column distinct-value counts,
+//! from which the optimizer derives selectivities. Statistics can be
+//! *measured* from a materialized relation or supplied *synthetically*
+//! (the [Vil 87]-style experiments sample random database states without
+//! materializing data).
+
+use crate::relation::Relation;
+
+/// Statistics for one relation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Stats {
+    /// Estimated number of tuples.
+    pub cardinality: f64,
+    /// Estimated distinct values per column; `distinct[i] <= cardinality`.
+    pub distinct: Vec<f64>,
+}
+
+impl Stats {
+    /// Measures exact statistics from a relation.
+    pub fn measure(rel: &Relation) -> Stats {
+        let n = rel.len() as f64;
+        let distinct = (0..rel.arity()).map(|c| rel.distinct_in_col(c) as f64).collect();
+        Stats { cardinality: n, distinct }
+    }
+
+    /// Synthetic statistics: `cardinality` tuples, each column with the
+    /// given distinct count (clamped to the cardinality).
+    pub fn synthetic(cardinality: f64, distinct: Vec<f64>) -> Stats {
+        let distinct = distinct
+            .into_iter()
+            .map(|d| d.min(cardinality).max(1.0))
+            .collect();
+        Stats { cardinality: cardinality.max(0.0), distinct }
+    }
+
+    /// Uniform synthetic statistics: every column has `d` distinct values.
+    pub fn uniform(cardinality: f64, arity: usize, d: f64) -> Stats {
+        Stats::synthetic(cardinality, vec![d; arity])
+    }
+
+    /// Number of columns covered.
+    pub fn arity(&self) -> usize {
+        self.distinct.len()
+    }
+
+    /// Selectivity of an equality predicate `col = constant` under the
+    /// uniform-distribution assumption: `1 / distinct[col]`.
+    pub fn eq_selectivity(&self, col: usize) -> f64 {
+        let d = self.distinct.get(col).copied().unwrap_or(1.0);
+        if d <= 0.0 {
+            1.0
+        } else {
+            (1.0 / d).min(1.0)
+        }
+    }
+
+    /// Join selectivity between `self.col` and `other.col2`:
+    /// `1 / max(d1, d2)` (System R).
+    pub fn join_selectivity(&self, col: usize, other: &Stats, col2: usize) -> f64 {
+        let d1 = self.distinct.get(col).copied().unwrap_or(1.0);
+        let d2 = other.distinct.get(col2).copied().unwrap_or(1.0);
+        let m = d1.max(d2).max(1.0);
+        (1.0 / m).min(1.0)
+    }
+
+    /// Statistics for the projection of this relation onto `cols`,
+    /// assuming independence: cardinality min(n, prod distinct).
+    pub fn project(&self, cols: &[usize]) -> Stats {
+        let distinct: Vec<f64> = cols
+            .iter()
+            .map(|&c| self.distinct.get(c).copied().unwrap_or(1.0))
+            .collect();
+        let prod: f64 = distinct.iter().product();
+        Stats { cardinality: self.cardinality.min(prod.max(1.0)), distinct }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Tuple;
+
+    #[test]
+    fn measure_counts_distincts() {
+        let r = Relation::from_tuples(
+            2,
+            [Tuple::ints(&[1, 1]), Tuple::ints(&[1, 2]), Tuple::ints(&[2, 3])],
+        );
+        let s = Stats::measure(&r);
+        assert_eq!(s.cardinality, 3.0);
+        assert_eq!(s.distinct, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn synthetic_clamps() {
+        let s = Stats::synthetic(10.0, vec![100.0, 0.0]);
+        assert_eq!(s.distinct, vec![10.0, 1.0]);
+    }
+
+    #[test]
+    fn eq_selectivity_is_inverse_distinct() {
+        let s = Stats::uniform(1000.0, 2, 50.0);
+        assert!((s.eq_selectivity(0) - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn join_selectivity_uses_max() {
+        let a = Stats::uniform(1000.0, 1, 10.0);
+        let b = Stats::uniform(500.0, 1, 40.0);
+        assert!((a.join_selectivity(0, &b, 0) - 1.0 / 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_caps_cardinality() {
+        let s = Stats::synthetic(1000.0, vec![5.0, 10.0]);
+        let p = s.project(&[0]);
+        assert_eq!(p.cardinality, 5.0);
+        let q = s.project(&[0, 1]);
+        assert_eq!(q.cardinality, 50.0);
+    }
+}

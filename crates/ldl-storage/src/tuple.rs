@@ -1,0 +1,101 @@
+//! Tuples: rows of ground terms.
+
+use ldl_core::{Term, Value};
+use std::fmt;
+
+/// A database row. Every component is a *ground* term — flat values in
+/// the relational case, arbitrary complex terms in general (LDL supports
+/// hierarchies and lists as first-class data, §1 of the paper).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Tuple(pub Vec<Term>);
+
+impl Tuple {
+    /// Builds a tuple, debug-asserting groundness.
+    pub fn new(items: Vec<Term>) -> Tuple {
+        debug_assert!(items.iter().all(Term::is_ground), "tuple components must be ground");
+        Tuple(items)
+    }
+
+    /// Convenience: a tuple of scalar values.
+    pub fn of_values(vals: Vec<Value>) -> Tuple {
+        Tuple(vals.into_iter().map(Term::Const).collect())
+    }
+
+    /// Convenience: a tuple of integers.
+    pub fn ints(vals: &[i64]) -> Tuple {
+        Tuple(vals.iter().map(|&i| Term::int(i)).collect())
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Component access.
+    pub fn get(&self, i: usize) -> &Term {
+        &self.0[i]
+    }
+
+    /// Projects the tuple onto the given columns (in the given order).
+    pub fn project(&self, cols: &[usize]) -> Tuple {
+        Tuple(cols.iter().map(|&c| self.0[c].clone()).collect())
+    }
+
+    /// Concatenates two tuples (join output).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = Vec::with_capacity(self.0.len() + other.0.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Tuple(v)
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, t) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Term>> for Tuple {
+    fn from(v: Vec<Term>) -> Tuple {
+        Tuple::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn project_reorders() {
+        let t = Tuple::ints(&[10, 20, 30]);
+        assert_eq!(t.project(&[2, 0]), Tuple::ints(&[30, 10]));
+    }
+
+    #[test]
+    fn concat_appends() {
+        let a = Tuple::ints(&[1]);
+        let b = Tuple::ints(&[2, 3]);
+        assert_eq!(a.concat(&b), Tuple::ints(&[1, 2, 3]));
+        assert_eq!(a.concat(&b).arity(), 3);
+    }
+
+    #[test]
+    fn display_format() {
+        let t = Tuple(vec![Term::int(1), Term::sym("a")]);
+        assert_eq!(t.to_string(), "(1, a)");
+    }
+
+    #[test]
+    fn complex_terms_allowed() {
+        let t = Tuple(vec![Term::compound("wheel", vec![Term::int(32)])]);
+        assert_eq!(t.get(0).to_string(), "wheel(32)");
+    }
+}

@@ -1,0 +1,75 @@
+//! A knowledge-intensive application: bill-of-materials explosion with
+//! complex terms. Parts carry structured descriptions (`spec(...)`
+//! compound terms), the recursion walks the containment hierarchy, and
+//! evaluable predicates filter on quantity — exercising complex-term
+//! unification, arithmetic, and binding-propagating recursion together.
+//!
+//! Run: `cargo run --example bill_of_materials`
+
+use ldl::core::parser::{parse_program, parse_query};
+use ldl::eval::FixpointConfig;
+use ldl::optimizer::{OptConfig, Optimizer};
+use ldl::storage::Database;
+
+fn main() {
+    let program = parse_program(
+        r#"
+        % contains(Assembly, Part, Quantity)
+        contains(bike, frame, 1).
+        contains(bike, wheel, 2).
+        contains(wheel, rim, 1).
+        contains(wheel, spoke, 32).
+        contains(wheel, hub, 1).
+        contains(hub, axle, 1).
+        contains(hub, bearing, 2).
+        contains(frame, tube, 4).
+
+        % part descriptions as complex terms
+        desc(frame, spec(steel, kg(3))).
+        desc(wheel, spec(alloy, kg(1))).
+        desc(rim,   spec(alloy, kg(1))).
+        desc(spoke, spec(steel, kg(0))).
+        desc(hub,   spec(steel, kg(1))).
+        desc(axle,  spec(steel, kg(0))).
+        desc(bearing, spec(steel, kg(0))).
+        desc(tube,  spec(steel, kg(1))).
+
+        % transitive containment with multiplied quantities
+        uses(A, P, Q) <- contains(A, P, Q).
+        uses(A, P, Q) <- contains(A, M, Q1), uses(M, P, Q2), Q = Q1 * Q2.
+
+        % all steel parts a given assembly needs more than one of
+        bulk_steel(A, P, Q) <- uses(A, P, Q), Q > 1, desc(P, spec(steel, W)).
+        "#,
+    )
+    .unwrap();
+    let db = Database::from_program(&program);
+
+    // How many of each part does a bike need, transitively? The
+    // quantity accumulator (Q = Q1 * Q2) makes the clique non-Datalog:
+    // the safety analyzer needs the acyclic-hierarchy assumption (a
+    // containment cycle would genuinely diverge).
+    let query = parse_query("uses(bike, P, Q)?").unwrap();
+    let optimizer = Optimizer::new(
+        &program,
+        &db,
+        OptConfig { assume_acyclic: true, ..OptConfig::default() },
+    );
+    let optimized = optimizer.optimize(&query).unwrap();
+    println!("plan for {query}: method {:?}\n", optimized.method);
+    let ans = optimized.execute(&program, &db, &FixpointConfig::default()).unwrap();
+    println!("bike explosion ({} part kinds):", ans.tuples.len());
+    for t in ans.tuples.iter() {
+        println!("  uses{t}");
+    }
+
+    // Steel parts used in bulk — note the complex-term pattern
+    // spec(steel, W) selecting on the FIRST field of the description.
+    let query2 = parse_query("bulk_steel(bike, P, Q)?").unwrap();
+    let optimized2 = optimizer.optimize(&query2).unwrap();
+    let ans2 = optimized2.execute(&program, &db, &FixpointConfig::default()).unwrap();
+    println!("\nbulk steel parts of bike:");
+    for t in ans2.tuples.iter() {
+        println!("  bulk_steel{t}");
+    }
+}

@@ -1,0 +1,60 @@
+//! A data-intensive application: flight reachability with costs and
+//! stratified negation. Shows recursion with arithmetic accumulation
+//! guarded by a comparison (the safety analyzer accepts it because the
+//! budget bound is part of the query form) and a negated derived
+//! predicate in a higher stratum.
+//!
+//! Run: `cargo run --example flights`
+
+use ldl::core::parser::{parse_program, parse_query};
+use ldl::eval::{evaluate_query, FixpointConfig, Method};
+use ldl::storage::Database;
+
+fn main() {
+    let program = parse_program(
+        r#"
+        % flight(From, To, Cost)
+        flight(sfo, ord, 150). flight(sfo, dfw, 120).
+        flight(ord, jfk, 90).  flight(dfw, jfk, 110).
+        flight(jfk, lhr, 450). flight(ord, bos, 80).
+        flight(bos, lhr, 400). flight(dfw, mia, 95).
+        city(sfo). city(ord). city(dfw). city(jfk).
+        city(lhr). city(bos). city(mia). city(anc).
+
+        % reachable within a budget: the comparison keeps the
+        % accumulating cost finite, so the fixpoint terminates.
+        trip(X, Y, C) <- flight(X, Y, C).
+        trip(X, Y, C) <- trip(X, Z, C1), flight(Z, Y, C2), C = C1 + C2, C < 700.
+
+        % destinations reachable from SFO on budget
+        dest(Y) <- trip(sfo, Y, C).
+
+        % cities NOT reachable from SFO on budget (stratified negation)
+        unreachable(Y) <- city(Y), ~dest(Y).
+        "#,
+    )
+    .unwrap();
+    let db = Database::from_program(&program);
+    let cfg = FixpointConfig::default();
+
+    let q = parse_query("trip(sfo, Y, C)?").unwrap();
+    let ans = evaluate_query(&program, &db, &q, Method::SemiNaive, &cfg).unwrap();
+    println!("trips from SFO under budget 700 ({}):", ans.tuples.len());
+    let mut rows: Vec<String> = ans.tuples.iter().map(|t| format!("  trip{t}")).collect();
+    rows.sort();
+    for r in rows {
+        println!("{r}");
+    }
+
+    let q2 = parse_query("unreachable(Y)?").unwrap();
+    let ans2 = evaluate_query(&program, &db, &q2, Method::SemiNaive, &cfg).unwrap();
+    println!("\nunreachable cities:");
+    for t in ans2.tuples.iter() {
+        println!("  unreachable{t}");
+    }
+
+    // Membership query, methods must agree.
+    let q3 = parse_query("trip(sfo, lhr, C)?").unwrap();
+    let semi = evaluate_query(&program, &db, &q3, Method::SemiNaive, &cfg).unwrap();
+    println!("\nways to reach LHR on budget: {}", semi.tuples.len());
+}

@@ -1,0 +1,65 @@
+//! LDL's set constructs (§1: "set operators and predicates [TZ 86]"):
+//! grouping heads collect sets, `member/2` consumes them, and set terms
+//! are first-class values that unify structurally.
+//!
+//! Run: `cargo run --example grouping_sets`
+
+use ldl::core::parser::{parse_program, parse_query};
+use ldl::eval::{evaluate_query, FixpointConfig, Method};
+use ldl::storage::Database;
+
+fn main() {
+    let program = parse_program(
+        r#"
+        % enrollment(Student, Course)
+        enrollment(ann, databases).   enrollment(ann, logic).
+        enrollment(bob, databases).   enrollment(bob, graphics).
+        enrollment(cara, logic).      enrollment(cara, databases).
+
+        % the set of courses per student (grouping head)
+        takes(S, <C>) <- enrollment(S, C).
+
+        % the set of students per course
+        roster(C, <S>) <- enrollment(S, C).
+
+        % pairs of students sharing at least one course
+        classmates(A, B) <- takes(A, SA), takes(B, SB),
+                            member(C, SA), member(C, SB), A != B.
+        "#,
+    )
+    .unwrap();
+    let db = Database::from_program(&program);
+    let cfg = FixpointConfig::default();
+
+    let q = parse_query("takes(S, Courses)?").unwrap();
+    let ans = evaluate_query(&program, &db, &q, Method::SemiNaive, &cfg).unwrap();
+    println!("course sets per student:");
+    let mut rows: Vec<String> = ans.tuples.iter().map(|t| format!("  takes{t}")).collect();
+    rows.sort();
+    for r in rows {
+        println!("{r}");
+    }
+
+    let q = parse_query("roster(databases, R)?").unwrap();
+    let ans = evaluate_query(&program, &db, &q, Method::SemiNaive, &cfg).unwrap();
+    println!("\ndatabases roster: {}", ans.tuples.rows()[0].get(1));
+
+    // Set terms normalize: query with elements in any order.
+    let q = parse_query("takes(S, {logic, databases})?").unwrap();
+    let ans = evaluate_query(&program, &db, &q, Method::SemiNaive, &cfg).unwrap();
+    println!("\nstudents taking exactly {{databases, logic}}:");
+    for t in ans.tuples.iter() {
+        println!("  {}", t.get(0));
+    }
+
+    let q = parse_query("classmates(ann, B)?").unwrap();
+    let ans = evaluate_query(&program, &db, &q, Method::SemiNaive, &cfg).unwrap();
+    println!("\nann's classmates:");
+    let mut rows: Vec<String> =
+        ans.tuples.iter().map(|t| format!("  {}", t.get(1))).collect();
+    rows.sort();
+    rows.dedup();
+    for r in rows {
+        println!("{r}");
+    }
+}

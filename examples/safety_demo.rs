@@ -1,0 +1,83 @@
+//! Safety as an extreme case of poor execution (§8).
+//!
+//! Shows the optimizer (a) silently reordering goals to rescue an
+//! unsafely-written rule, (b) rejecting the paper's §8.3 example under
+//! every permutation, and (c) flipping its verdict with the query form
+//! — list length is safe exactly when the list is bound.
+//!
+//! Run: `cargo run --example safety_demo`
+
+use ldl::core::parser::{parse_program, parse_query};
+use ldl::eval::FixpointConfig;
+use ldl::optimizer::opt::PredPlanKind;
+use ldl::optimizer::{OptConfig, Optimizer};
+use ldl::storage::Database;
+
+fn main() {
+    // (a) A rule written in an unsafe order: the comparison and the
+    // arithmetic come first. The optimizer reorders instead of failing.
+    let program = parse_program(
+        r#"
+        salary(alice, 120). salary(bob, 80). salary(carol, 95).
+        rich_bonus(P, B) <- B = S / 10, S > 90, salary(P, S).
+        "#,
+    )
+    .unwrap();
+    let db = Database::from_program(&program);
+    let optimizer = Optimizer::with_defaults(&program, &db);
+    let query = parse_query("rich_bonus(P, B)?").unwrap();
+    let o = optimizer.optimize(&query).unwrap();
+    if let PredPlanKind::Union(rules) = &o.plan.kind {
+        println!("rule written as:  B = S / 10, S > 90, salary(P, S)");
+        println!("optimizer chose order {:?} (salary first, then filter, then bonus)", rules[0].order);
+    }
+    let ans = o.execute(&program, &db, &FixpointConfig::default()).unwrap();
+    println!("answers:");
+    for t in ans.tuples.iter() {
+        println!("  rich_bonus{t}");
+    }
+
+    // (b) The paper's own limitation example: finite answer, but no goal
+    // permutation computes it (flattening would be required).
+    println!("\npaper §8.3: p(X, Y, Z) <- X = 3, Z = X + Y, query p(A, B, C)?");
+    let program2 = parse_program("p(X, Y, Z) <- X = 3, Z = X + Y.").unwrap();
+    let db2 = Database::new();
+    let opt2 = Optimizer::with_defaults(&program2, &db2);
+    match opt2.optimize(&parse_query("p(A, B, C)?").unwrap()) {
+        Err(e) => println!("  verdict: {e}"),
+        Ok(_) => println!("  unexpectedly accepted!"),
+    }
+    match opt2.optimize(&parse_query("p(A, 6, C)?").unwrap()) {
+        Ok(o) => println!("  but with Y bound: safe (cost {:.1})", o.cost),
+        Err(e) => println!("  unexpected rejection: {e}"),
+    }
+
+    // (c) Safety is query-form specific: list length.
+    println!("\nlist length: len([], 0).  len([H|T], N) <- len(T, M), N = M + 1.");
+    let program3 = parse_program(
+        "len([], 0).\nlen([H | T], N) <- len(T, M), N = M + 1.",
+    )
+    .unwrap();
+    let db3 = Database::from_program(&program3);
+    let opt3 = Optimizer::new(
+        &program3,
+        &db3,
+        OptConfig { assume_acyclic: true, ..OptConfig::default() },
+    );
+    match opt3.optimize(&parse_query("len(L, N)?").unwrap()) {
+        Err(e) => println!("  len(L, N)?          -> {e}"),
+        Ok(_) => println!("  len(L, N)?          -> unexpectedly accepted"),
+    }
+    let bound = parse_query("len([10, 20, 30, 40], N)?").unwrap();
+    match opt3.optimize(&bound) {
+        Ok(o) => {
+            let ans = o.execute(&program3, &db3, &FixpointConfig::default()).unwrap();
+            println!(
+                "  len([10,20,30,40], N)? -> safe via {:?}; answer rows: {:?}",
+                o.method,
+                ans.tuples.iter().map(|t| t.to_string()).collect::<Vec<_>>()
+            );
+        }
+        Err(e) => println!("  bound form unexpectedly rejected: {e}"),
+    }
+}

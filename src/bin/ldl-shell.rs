@@ -1,0 +1,436 @@
+//! `ldl-shell` — an interactive LDL console.
+//!
+//! ```text
+//! $ cargo run --bin ldl-shell [file.ldl ...]
+//! ldl> e(1, 2).  e(2, 3).
+//! ldl> tc(X, Y) <- e(X, Y).
+//! ldl> tc(X, Y) <- e(X, Z), tc(Z, Y).
+//! ldl> tc(1, Y)?
+//! tc(1, 2)
+//! tc(1, 3)
+//! 2 answers (method magic, est. cost 42.0, 0.3 ms)
+//! ldl> :explain tc(1, Y)?
+//! ...processing tree, method costs, chosen SIPs...
+//! ```
+//!
+//! Commands: `:help`, `:rules`, `:stats`, `:explain <goal>?`,
+//! `:strategy <exhaustive|dp|kbz|annealing>`, `:acyclic <on|off>`,
+//! `:load <file>`, `:reset`, `:quit`.
+
+use ldl::core::parser::{parse_query, parse_source};
+use ldl::core::{Program, Query};
+use ldl::eval::FixpointConfig;
+use ldl::optimizer::opt::PredPlanKind;
+use ldl::optimizer::{OptConfig, Optimizer, ProcessingTree, Strategy};
+use ldl::storage::Database;
+use std::io::{BufRead, Write};
+use std::time::Instant;
+
+/// The shell's mutable state: accumulated program + configuration.
+struct Shell {
+    program: Program,
+    cfg: OptConfig,
+}
+
+impl Shell {
+    fn new() -> Shell {
+        Shell { program: Program::new(), cfg: OptConfig::default() }
+    }
+
+    /// Handles one input line; returns the text to print.
+    fn handle(&mut self, line: &str) -> String {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') {
+            return String::new();
+        }
+        if let Some(cmd) = line.strip_prefix(':') {
+            return self.command(cmd);
+        }
+        if line.ends_with('?') {
+            // A lone `goal?` — but a line may also mix statements and
+            // queries, which parse_source handles below.
+            if let Ok(q) = parse_query(line) {
+                return self.run_query(&q, false);
+            }
+        }
+        // Otherwise: program text (possibly several statements).
+        match parse_source(line) {
+            Ok(src) => {
+                let nr = src.program.rules.len();
+                let nf = src.program.facts.len();
+                for r in src.program.rules {
+                    self.program.push(r);
+                }
+                for f in src.program.facts {
+                    self.program.push(ldl::Rule::fact(f));
+                }
+                let mut out = format!("added {nr} rule(s), {nf} fact(s)");
+                for q in src.queries {
+                    out.push('\n');
+                    out.push_str(&self.run_query(&q, false));
+                }
+                out
+            }
+            Err(e) => format!("error: {e}"),
+        }
+    }
+
+    fn command(&mut self, cmd: &str) -> String {
+        let mut parts = cmd.splitn(2, ' ');
+        let name = parts.next().unwrap_or("");
+        let arg = parts.next().unwrap_or("").trim();
+        match name {
+            "help" => "\
+commands:
+  <fact>. / <rule>.        add to the knowledge base
+  <goal>?                  optimize and run a query
+  :explain <goal>?         show the chosen plan without running it
+  :prolog <goal>?          answer by Prolog-style SLD (textual order)
+  :strategy <s>            exhaustive | dp | kbz | annealing
+  :acyclic <on|off>        assume base data acyclic (enables counting)
+  :rules                   list the current rule base
+  :stats                   per-relation cardinalities
+  :load <file>             load a .ldl file
+  :reset                   drop everything
+  :quit                    exit"
+                .to_string(),
+            "rules" => {
+                if self.program.rules.is_empty() && self.program.facts.is_empty() {
+                    "(empty)".to_string()
+                } else {
+                    format!("{}", self.program).trim_end().to_string()
+                }
+            }
+            "stats" => {
+                let db = Database::from_program(&self.program);
+                let mut lines: Vec<String> = db
+                    .preds()
+                    .into_iter()
+                    .map(|p| {
+                        let s = db.stats(p);
+                        format!("{p}: {} tuples", s.cardinality)
+                    })
+                    .collect();
+                lines.sort();
+                if lines.is_empty() {
+                    "(no relations)".to_string()
+                } else {
+                    lines.join("\n")
+                }
+            }
+            "strategy" => match arg {
+                "exhaustive" => {
+                    self.cfg.strategy = Strategy::Exhaustive;
+                    "strategy = exhaustive".into()
+                }
+                "dp" => {
+                    self.cfg.strategy = Strategy::DynamicProgramming;
+                    "strategy = dp".into()
+                }
+                "kbz" => {
+                    self.cfg.strategy = Strategy::Kbz;
+                    "strategy = kbz".into()
+                }
+                "annealing" => {
+                    self.cfg.strategy = Strategy::Annealing;
+                    "strategy = annealing".into()
+                }
+                other => format!("unknown strategy {other:?} (exhaustive|dp|kbz|annealing)"),
+            },
+            "acyclic" => match arg {
+                "on" => {
+                    self.cfg.assume_acyclic = true;
+                    "assume_acyclic = on (counting method enabled)".into()
+                }
+                "off" => {
+                    self.cfg.assume_acyclic = false;
+                    "assume_acyclic = off".into()
+                }
+                other => format!("expected on|off, got {other:?}"),
+            },
+            "explain" => match parse_query(arg) {
+                Ok(q) => self.run_query(&q, true),
+                Err(e) => format!("error: {e}"),
+            },
+            "prolog" => match parse_query(arg) {
+                Ok(q) => {
+                    let db = Database::from_program(&self.program);
+                    let cfg = ldl::eval::sld::SldConfig::default();
+                    match ldl::eval::sld::solve_sld(&self.program, &db, &q, &cfg) {
+                        Ok((ans, stats)) => {
+                            let mut rows: Vec<String> = ans
+                                .iter()
+                                .map(|t| format!("{}{}", q.pred().name, t))
+                                .collect();
+                            rows.sort();
+                            let mut out = rows.join("\n");
+                            if !out.is_empty() {
+                                out.push('\n');
+                            }
+                            out.push_str(&format!(
+                                "{} answer(s) via SLD ({} resolutions{})",
+                                ans.len(),
+                                stats.resolutions,
+                                if stats.depth_exceeded {
+                                    ", DEPTH BOUND HIT - answers may be incomplete"
+                                } else {
+                                    ""
+                                }
+                            ));
+                            out
+                        }
+                        Err(e) => format!("prolog error: {e}"),
+                    }
+                }
+                Err(e) => format!("error: {e}"),
+            },
+            "load" => match std::fs::read_to_string(arg) {
+                Ok(text) => match parse_source(&text) {
+                    Ok(src) => {
+                        let nr = src.program.rules.len();
+                        let nf = src.program.facts.len();
+                        for r in src.program.rules {
+                            self.program.push(r);
+                        }
+                        for f in src.program.facts {
+                            self.program.push(ldl::Rule::fact(f));
+                        }
+                        let mut out = format!("loaded {arg}: {nr} rule(s), {nf} fact(s)");
+                        for q in src.queries {
+                            out.push('\n');
+                            out.push_str(&self.run_query(&q, false));
+                        }
+                        out
+                    }
+                    Err(e) => format!("error in {arg}: {e}"),
+                },
+                Err(e) => format!("cannot read {arg}: {e}"),
+            },
+            "reset" => {
+                self.program = Program::new();
+                "knowledge base cleared".into()
+            }
+            "quit" | "q" | "exit" => "bye".into(),
+            other => format!("unknown command :{other} (try :help)"),
+        }
+    }
+
+    fn run_query(&self, query: &Query, explain_only: bool) -> String {
+        let db = Database::from_program(&self.program);
+        let optimizer = Optimizer::new(&self.program, &db, self.cfg.clone());
+        let started = Instant::now();
+        let plan = match optimizer.optimize(query) {
+            Ok(p) => p,
+            Err(e) => return format!("{e}"),
+        };
+        let opt_ms = started.elapsed().as_secs_f64() * 1000.0;
+        if explain_only {
+            let mut out = String::new();
+            out.push_str(&format!(
+                "query form:   {}.{}\n",
+                query.pred().name,
+                query.adornment()
+            ));
+            out.push_str(&format!("method:       {:?}\n", plan.method));
+            out.push_str(&format!(
+                "est. cost:    {:.1}   est. answers: {:.1}\n",
+                plan.cost, plan.estimated_answers
+            ));
+            if let PredPlanKind::Clique { method_costs, sips, full_size, .. } = &plan.plan.kind {
+                out.push_str(&format!("clique size estimate: {full_size:.0}\n"));
+                out.push_str("method costs:\n");
+                for (m, c) in method_costs {
+                    out.push_str(&format!("  {:<12} {:.1}\n", m.name(), c));
+                }
+                for (ri, order) in sips {
+                    out.push_str(&format!("  rule {ri} SIP order: {order:?}\n"));
+                }
+            }
+            if let PredPlanKind::Union(rules) = &plan.plan.kind {
+                for rp in rules {
+                    out.push_str(&format!(
+                        "  rule {} under {}: order {:?}, cost {:.1}\n",
+                        rp.rule_index, rp.head_adornment, rp.order, rp.cost
+                    ));
+                }
+            }
+            out.push_str("processing tree:\n");
+            out.push_str(&ProcessingTree::from_plan(&self.program, &plan).to_string());
+            out.push_str(&format!("(optimized in {opt_ms:.2} ms)"));
+            return out;
+        }
+        let run_started = Instant::now();
+        match plan.execute(&self.program, &db, &FixpointConfig::default()) {
+            Ok(ans) => {
+                let run_ms = run_started.elapsed().as_secs_f64() * 1000.0;
+                let mut rows: Vec<String> = ans
+                    .tuples
+                    .iter()
+                    .map(|t| format!("{}{}", query.pred().name, t))
+                    .collect();
+                rows.sort();
+                let mut out = rows.join("\n");
+                if !out.is_empty() {
+                    out.push('\n');
+                }
+                out.push_str(&format!(
+                    "{} answer(s)  (method {}, est. cost {:.1}, optimize {:.2} ms, run {:.2} ms)",
+                    ans.tuples.len(),
+                    plan.method.name(),
+                    plan.cost,
+                    opt_ms,
+                    run_ms
+                ));
+                out
+            }
+            Err(e) => format!("execution error: {e}"),
+        }
+    }
+}
+
+fn main() {
+    let mut shell = Shell::new();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    for file in &args {
+        let out = shell.command(&format!("load {file}"));
+        println!("{out}");
+    }
+    let stdin = std::io::stdin();
+    print!("ldl> ");
+    std::io::stdout().flush().ok();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let out = shell.handle(&line);
+        if !out.is_empty() {
+            println!("{out}");
+        }
+        if out == "bye" {
+            return;
+        }
+        print!("ldl> ");
+        std::io::stdout().flush().ok();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(shell: &mut Shell, lines: &[&str]) -> Vec<String> {
+        lines.iter().map(|l| shell.handle(l)).collect()
+    }
+
+    #[test]
+    fn add_facts_and_query() {
+        let mut s = Shell::new();
+        let out = feed(
+            &mut s,
+            &[
+                "e(1, 2). e(2, 3).",
+                "tc(X, Y) <- e(X, Y).",
+                "tc(X, Y) <- e(X, Z), tc(Z, Y).",
+                "tc(1, Y)?",
+            ],
+        );
+        assert!(out[0].contains("2 fact(s)"));
+        assert!(out[3].contains("tc(1, 2)"));
+        assert!(out[3].contains("tc(1, 3)"));
+        assert!(out[3].contains("2 answer(s)"));
+    }
+
+    #[test]
+    fn explain_shows_plan() {
+        let mut s = Shell::new();
+        feed(
+            &mut s,
+            &["e(1, 2).", "tc(X, Y) <- e(X, Y).", "tc(X, Y) <- e(X, Z), tc(Z, Y)."],
+        );
+        let out = s.handle(":explain tc(1, Y)?");
+        assert!(out.contains("method:"), "{out}");
+        assert!(out.contains("method costs:"), "{out}");
+        assert!(out.contains("CC {tc/2}"), "{out}");
+    }
+
+    #[test]
+    fn unsafe_query_reports_cleanly() {
+        let mut s = Shell::new();
+        s.handle("p(X, Y) <- q(X).");
+        s.handle("q(1).");
+        let out = s.handle("p(A, B)?");
+        assert!(out.contains("unsafe"), "{out}");
+    }
+
+    #[test]
+    fn strategy_and_acyclic_commands() {
+        let mut s = Shell::new();
+        assert!(s.handle(":strategy kbz").contains("kbz"));
+        assert!(s.handle(":strategy bogus").contains("unknown strategy"));
+        assert!(s.handle(":acyclic on").contains("counting"));
+        assert!(s.handle(":bogus").contains("unknown command"));
+    }
+
+    #[test]
+    fn rules_and_stats_listing() {
+        let mut s = Shell::new();
+        assert_eq!(s.handle(":rules"), "(empty)");
+        s.handle("e(1, 2).");
+        s.handle("p(X) <- e(X, Y).");
+        assert!(s.handle(":rules").contains("p(X) <- e(X, Y)."));
+        assert!(s.handle(":stats").contains("e/2: 1 tuples"));
+    }
+
+    #[test]
+    fn inline_queries_in_source() {
+        let mut s = Shell::new();
+        let out = s.handle("f(7). f(8). f(7)?");
+        assert!(out.contains("1 answer(s)"), "{out}");
+    }
+
+    #[test]
+    fn prolog_command_answers_and_warns() {
+        let mut s = Shell::new();
+        feed(
+            &mut s,
+            &["e(1, 2). e(2, 3).", "tc(X, Y) <- e(X, Y).", "tc(X, Y) <- e(X, Z), tc(Z, Y)."],
+        );
+        let out = s.handle(":prolog tc(1, Y)?");
+        assert!(out.contains("tc(1, 3)"), "{out}");
+        assert!(out.contains("via SLD"), "{out}");
+        // Left-recursive variant hits the depth bound.
+        s.handle(":reset");
+        feed(
+            &mut s,
+            &["e(1, 2).", "lt(X, Y) <- e(X, Y).", "lt(X, Y) <- lt(X, Z), e(Z, Y)."],
+        );
+        let out = s.handle(":prolog lt(1, Y)?");
+        assert!(out.contains("DEPTH BOUND"), "{out}");
+    }
+
+    #[test]
+    fn load_handles_comment_leading_files() {
+        let dir = std::env::temp_dir().join("ldl_shell_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("c.ldl");
+        std::fs::write(&file, "% comment first\nf(1). f(2).\n").unwrap();
+        let mut s = Shell::new();
+        let out = s.command(&format!("load {}", file.display()));
+        assert!(out.contains("2 fact(s)"), "{out}");
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut s = Shell::new();
+        s.handle("e(1, 2).");
+        s.handle(":reset");
+        assert_eq!(s.handle(":rules"), "(empty)");
+    }
+
+    #[test]
+    fn parse_errors_are_not_fatal() {
+        let mut s = Shell::new();
+        let out = s.handle("p(X <- q(X).");
+        assert!(out.contains("error"), "{out}");
+        // Shell still usable.
+        assert!(s.handle("f(1).").contains("1 fact(s)"));
+    }
+}

@@ -1,0 +1,24 @@
+//! # ldl — Optimization in a Logic Based Language (EDBT 1988), in Rust
+//!
+//! Facade crate re-exporting the whole LDL reproduction:
+//!
+//! * [`core`] — language front end (terms, rules, parser,
+//!   unification, adornment, dependency analysis);
+//! * [`storage`] — in-memory relations, indexes, statistics;
+//! * [`eval`] — extended relational algebra with fixpoint
+//!   methods (naive, semi-naive, magic sets, counting);
+//! * [`optimizer`] — the paper's contribution: cost-based,
+//!   safety-aware optimization of recursive Horn-clause queries with
+//!   exhaustive / KBZ-quadratic / simulated-annealing search.
+//!
+//! See `examples/quickstart.rs` for the five-minute tour.
+
+pub mod session;
+
+pub use ldl_core as core;
+pub use ldl_eval as eval;
+pub use ldl_optimizer as optimizer;
+pub use ldl_storage as storage;
+
+pub use ldl_core::{parser, Adornment, Atom, LdlError, Literal, Pred, Program, Query, Rule, Term, Value};
+pub use session::Session;

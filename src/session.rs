@@ -1,0 +1,243 @@
+//! The high-level session API: a knowledge base you add rules and facts
+//! to, then query. Each *query form* (predicate + binding pattern, §2 of
+//! the paper) is optimized once and the compiled plan cached — re-asking
+//! `anc(X, lisa)?` with a different constant reuses the `anc.fb` plan,
+//! while `anc(abe, Y)?` triggers a fresh `anc.bf` compilation. Any
+//! change to the rule base invalidates the cache (plans embed rule
+//! indexes and statistics).
+
+use ldl_core::parser::{parse_query, parse_source};
+use ldl_core::{LdlError, Program, Query, Result, Rule};
+use ldl_eval::engine::QueryAnswer;
+use ldl_eval::FixpointConfig;
+use ldl_optimizer::{OptConfig, OptimizedQuery, Optimizer, ProcessingTree};
+use ldl_storage::{Database, Relation};
+use std::collections::HashMap;
+
+/// A compiled-plan cache key: the query form.
+type FormKey = (ldl_core::Pred, ldl_core::Adornment);
+
+/// An LDL session: program + database + per-query-form plan cache.
+pub struct Session {
+    program: Program,
+    db: Database,
+    cfg: OptConfig,
+    fixpoint: FixpointConfig,
+    plans: HashMap<FormKey, OptimizedQuery>,
+    compilations: usize,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// Empty session with default configuration.
+    pub fn new() -> Session {
+        Session::with_config(OptConfig::default())
+    }
+
+    /// Session with an explicit optimizer configuration.
+    pub fn with_config(cfg: OptConfig) -> Session {
+        Session {
+            program: Program::new(),
+            db: Database::new(),
+            cfg,
+            fixpoint: FixpointConfig::default(),
+            plans: HashMap::new(),
+            compilations: 0,
+        }
+    }
+
+    /// Adds program text (rules, facts, but not queries) to the
+    /// knowledge base. Invalidates cached plans.
+    pub fn load(&mut self, text: &str) -> Result<()> {
+        let src = parse_source(text)?;
+        if !src.queries.is_empty() {
+            return Err(LdlError::Validation(
+                "load() accepts rules and facts; use query() for goals".into(),
+            ));
+        }
+        for r in src.program.rules {
+            self.program.push(r);
+        }
+        for f in src.program.facts {
+            self.db.insert(f.pred, ldl_storage::Tuple::new(f.args.clone()));
+            self.program.push(Rule::fact(f));
+        }
+        self.plans.clear();
+        Ok(())
+    }
+
+    /// Inserts one tuple directly into a base relation. Invalidates
+    /// cached plans (statistics changed).
+    pub fn insert(&mut self, pred: ldl_core::Pred, tuple: ldl_storage::Tuple) {
+        self.db.insert(pred, tuple);
+        self.plans.clear();
+    }
+
+    /// The current rule base.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The current database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// How many query forms have been compiled so far (cache misses).
+    pub fn compilations(&self) -> usize {
+        self.compilations
+    }
+
+    /// Sets the fixpoint iteration bound for subsequent executions.
+    pub fn set_fixpoint_config(&mut self, cfg: FixpointConfig) {
+        self.fixpoint = cfg;
+    }
+
+    fn plan_for(&mut self, query: &Query) -> Result<OptimizedQuery> {
+        let key = (query.pred(), query.adornment());
+        if let Some(plan) = self.plans.get(&key) {
+            // Same form: reuse the compiled plan, swapping in this
+            // query's constants (orders and method depend only on the
+            // form, not the constant values — §2).
+            let mut plan = plan.clone();
+            plan.query = query.clone();
+            return Ok(plan);
+        }
+        let optimizer = Optimizer::new(&self.program, &self.db, self.cfg.clone());
+        let plan = optimizer.optimize(query)?;
+        self.compilations += 1;
+        self.plans.insert(key, plan.clone());
+        Ok(plan)
+    }
+
+    /// Optimizes (or reuses a cached plan for the form) and executes.
+    pub fn query(&mut self, text: &str) -> Result<QueryAnswer> {
+        let query = parse_query(text)?;
+        let plan = self.plan_for(&query)?;
+        plan.execute(&self.program, &self.db, &self.fixpoint)
+    }
+
+    /// Like [`Session::query`] but returns only the answer relation.
+    pub fn answers(&mut self, text: &str) -> Result<Relation> {
+        Ok(self.query(text)?.tuples)
+    }
+
+    /// The compiled plan for a query, without executing it.
+    pub fn explain(&mut self, text: &str) -> Result<(OptimizedQuery, ProcessingTree)> {
+        let query = parse_query(text)?;
+        let plan = self.plan_for(&query)?;
+        let tree = ProcessingTree::from_plan(&self.program, &plan);
+        Ok((plan, tree))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ancestor_session() -> Session {
+        let mut s = Session::new();
+        s.load(
+            r#"
+            parent(abe, homer). parent(homer, bart). parent(homer, lisa).
+            anc(X, Y) <- parent(X, Y).
+            anc(X, Y) <- parent(X, Z), anc(Z, Y).
+            "#,
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn query_and_answers() {
+        let mut s = ancestor_session();
+        let ans = s.answers("anc(abe, Y)?").unwrap();
+        assert_eq!(ans.len(), 3);
+    }
+
+    #[test]
+    fn plans_are_cached_per_form() {
+        let mut s = ancestor_session();
+        s.query("anc(abe, Y)?").unwrap();
+        assert_eq!(s.compilations(), 1);
+        // Same form, different constant: no recompilation.
+        let ans = s.answers("anc(homer, Y)?").unwrap();
+        assert_eq!(s.compilations(), 1);
+        assert_eq!(ans.len(), 2);
+        // Different form: compiles again.
+        s.query("anc(X, lisa)?").unwrap();
+        assert_eq!(s.compilations(), 2);
+        s.query("anc(X, bart)?").unwrap();
+        assert_eq!(s.compilations(), 2);
+    }
+
+    #[test]
+    fn cached_plans_answer_correctly_for_new_constants() {
+        let mut s = ancestor_session();
+        let a1 = s.answers("anc(abe, Y)?").unwrap();
+        let a2 = s.answers("anc(homer, Y)?").unwrap();
+        assert_eq!(a1.len(), 3);
+        assert_eq!(a2.len(), 2);
+        assert!(a2.iter().all(|t| t.get(0) == &ldl_core::Term::sym("homer")));
+    }
+
+    #[test]
+    fn loading_invalidates_cache() {
+        let mut s = ancestor_session();
+        s.query("anc(abe, Y)?").unwrap();
+        assert_eq!(s.compilations(), 1);
+        s.load("parent(bart, junior).").unwrap();
+        let ans = s.answers("anc(abe, Y)?").unwrap();
+        assert_eq!(s.compilations(), 2, "cache must be invalidated");
+        assert_eq!(ans.len(), 4);
+    }
+
+    #[test]
+    fn unsafe_queries_error_per_form() {
+        let mut s = Session::new();
+        s.load("p(X, Y, Z) <- X = 3, Z = X + Y.").unwrap();
+        assert!(matches!(s.query("p(A, B, C)?"), Err(LdlError::Unsafe(_))));
+        // The bound form works.
+        let ans = s.answers("p(A, 6, C)?").unwrap();
+        assert_eq!(ans.len(), 1);
+        assert_eq!(ans.rows()[0].to_string(), "(3, 6, 9)");
+    }
+
+    #[test]
+    fn load_rejects_inline_queries() {
+        let mut s = Session::new();
+        assert!(s.load("p(1). p(X)?").is_err());
+    }
+
+    #[test]
+    fn explain_returns_plan_and_tree() {
+        let mut s = ancestor_session();
+        let (plan, tree) = s.explain("anc(abe, Y)?").unwrap();
+        assert!(plan.cost.is_finite());
+        assert!(tree.cc_nodes().len() == 1);
+    }
+
+    #[test]
+    fn direct_inserts_flow_into_queries() {
+        let mut s = Session::new();
+        s.load("big(X) <- n(X), X > 10.").unwrap();
+        s.insert(ldl_core::Pred::new("n", 1), ldl_storage::Tuple::ints(&[5]));
+        s.insert(ldl_core::Pred::new("n", 1), ldl_storage::Tuple::ints(&[50]));
+        let ans = s.answers("big(X)?").unwrap();
+        assert_eq!(ans.len(), 1);
+    }
+
+    #[test]
+    fn grouping_queries_work_through_session() {
+        let mut s = Session::new();
+        s.load("e(a, 1). e(a, 2). e(b, 3).\ng(K, <V>) <- e(K, V).").unwrap();
+        let ans = s.answers("g(a, S)?").unwrap();
+        assert_eq!(ans.len(), 1);
+        assert_eq!(ans.rows()[0].get(1).to_string(), "{1, 2}");
+    }
+}

@@ -1,0 +1,66 @@
+//! Drives the compiled `ldl-shell` binary end to end through a pipe.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn run_shell(input: &str) -> String {
+    let exe = env!("CARGO_BIN_EXE_ldl-shell");
+    let mut child = Command::new(exe)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("shell starts");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(input.as_bytes())
+        .expect("write input");
+    let out = child.wait_with_output().expect("shell exits");
+    assert!(out.status.success(), "shell exited with {:?}", out.status);
+    String::from_utf8(out.stdout).expect("utf8 output")
+}
+
+#[test]
+fn session_with_recursion_and_explain() {
+    let out = run_shell(
+        "e(1, 2). e(2, 3). e(3, 4).\n\
+         tc(X, Y) <- e(X, Y).\n\
+         tc(X, Y) <- e(X, Z), tc(Z, Y).\n\
+         tc(1, Y)?\n\
+         :explain tc(1, Y)?\n\
+         :quit\n",
+    );
+    assert!(out.contains("tc(1, 2)"), "{out}");
+    assert!(out.contains("tc(1, 4)"), "{out}");
+    assert!(out.contains("3 answer(s)"), "{out}");
+    assert!(out.contains("method costs:"), "{out}");
+    assert!(out.contains("bye"), "{out}");
+}
+
+#[test]
+fn unsafe_query_is_reported_not_crashed() {
+    let out = run_shell("p(X, Y) <- q(X).\nq(1).\np(A, B)?\n:quit\n");
+    assert!(out.contains("unsafe"), "{out}");
+    assert!(out.contains("bye"), "{out}");
+}
+
+#[test]
+fn loads_file_from_argv() {
+    let dir = std::env::temp_dir().join("ldl_shell_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("kb.ldl");
+    std::fs::write(&file, "f(10). f(20).\nbig(X) <- f(X), X > 15.\n").unwrap();
+    let exe = env!("CARGO_BIN_EXE_ldl-shell");
+    let mut child = Command::new(exe)
+        .arg(&file)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.as_mut().unwrap().write_all(b"big(X)?\n:quit\n").unwrap();
+    let out = String::from_utf8(child.wait_with_output().unwrap().stdout).unwrap();
+    assert!(out.contains("big(20)"), "{out}");
+    assert!(out.contains("1 answer(s)"), "{out}");
+}

@@ -1,0 +1,161 @@
+//! Edge cases across the whole pipeline: degenerate programs, unusual
+//! arities, unknown predicates, compound-term keys, and graceful errors.
+
+use ldl::core::parser::{parse_program, parse_query};
+use ldl::eval::{evaluate_query, FixpointConfig, Method};
+use ldl::optimizer::Optimizer;
+use ldl::storage::Database;
+
+#[test]
+fn query_on_unknown_predicate_is_empty_not_an_error() {
+    let program = parse_program("p(1).").unwrap();
+    let db = Database::from_program(&program);
+    let q = parse_query("ghost(X, Y)?").unwrap();
+    for m in Method::ALL {
+        let ans = evaluate_query(&program, &db, &q, m, &FixpointConfig::default()).unwrap();
+        assert!(ans.tuples.is_empty(), "{}", m.name());
+    }
+    // The optimizer also plans it (base-relation access with default stats).
+    let opt = Optimizer::with_defaults(&program, &db);
+    let plan = opt.optimize(&q).unwrap();
+    let ans = plan.execute(&program, &db, &FixpointConfig::default()).unwrap();
+    assert!(ans.tuples.is_empty());
+}
+
+#[test]
+fn empty_program_evaluates() {
+    let program = parse_program("").unwrap();
+    let db = Database::from_program(&program);
+    let q = parse_query("p(X)?").unwrap();
+    let ans =
+        evaluate_query(&program, &db, &q, Method::SemiNaive, &FixpointConfig::default()).unwrap();
+    assert!(ans.tuples.is_empty());
+}
+
+#[test]
+fn zero_arity_predicates_end_to_end() {
+    let text = "ready <- switch(on).\nswitch(on).";
+    let program = parse_program(text).unwrap();
+    let db = Database::from_program(&program);
+    let q = parse_query("ready?").unwrap();
+    let ans =
+        evaluate_query(&program, &db, &q, Method::SemiNaive, &FixpointConfig::default()).unwrap();
+    assert_eq!(ans.tuples.len(), 1);
+    let opt = Optimizer::with_defaults(&program, &db);
+    let plan = opt.optimize(&q).unwrap();
+    let ans2 = plan.execute(&program, &db, &FixpointConfig::default()).unwrap();
+    assert_eq!(ans2.tuples.len(), 1);
+}
+
+#[test]
+fn compound_term_keys_join_and_index() {
+    let text = r#"
+        owner(key(1, a), ann). owner(key(2, b), bob).
+        value(key(1, a), 100). value(key(2, b), 200).
+        worth(P, V) <- owner(K, P), value(K, V).
+    "#;
+    let program = parse_program(text).unwrap();
+    let db = Database::from_program(&program);
+    let q = parse_query("worth(ann, V)?").unwrap();
+    let ans =
+        evaluate_query(&program, &db, &q, Method::Magic, &FixpointConfig::default()).unwrap();
+    assert_eq!(ans.tuples.len(), 1);
+    assert_eq!(ans.tuples.rows()[0].get(1), &ldl::Term::int(100));
+}
+
+#[test]
+fn recursive_query_with_compound_constants() {
+    let text = r#"
+        e(pt(0), pt(1)). e(pt(1), pt(2)).
+        tc(X, Y) <- e(X, Y).
+        tc(X, Y) <- e(X, Z), tc(Z, Y).
+    "#;
+    let program = parse_program(text).unwrap();
+    let db = Database::from_program(&program);
+    let q = parse_query("tc(pt(0), Y)?").unwrap();
+    assert_eq!(q.adornment().to_string(), "bf");
+    for m in Method::ALL {
+        let ans = evaluate_query(&program, &db, &q, m, &FixpointConfig::default()).unwrap();
+        assert_eq!(ans.tuples.len(), 2, "{}", m.name());
+    }
+}
+
+#[test]
+fn duplicate_body_literals_are_harmless() {
+    let text = "p(X) <- q(X), q(X), q(X).\nq(1). q(2).";
+    let program = parse_program(text).unwrap();
+    let db = Database::from_program(&program);
+    let q = parse_query("p(X)?").unwrap();
+    let ans =
+        evaluate_query(&program, &db, &q, Method::SemiNaive, &FixpointConfig::default()).unwrap();
+    assert_eq!(ans.tuples.len(), 2);
+}
+
+#[test]
+fn non_ascii_input_fails_gracefully() {
+    let r = parse_program("p(λ).");
+    assert!(r.is_err());
+}
+
+#[test]
+fn deeply_nested_terms_round_trip() {
+    let mut t = String::from("0");
+    for _ in 0..60 {
+        t = format!("s({t})");
+    }
+    let text = format!("deep({t}).");
+    let program = parse_program(&text).unwrap();
+    assert_eq!(program.facts[0].args[0].depth(), 61);
+    assert_eq!(program.facts[0].args[0].to_string(), t);
+}
+
+#[test]
+fn self_join_same_relation_different_bindings() {
+    let text = r#"
+        parent(a, b). parent(b, c). parent(a, d).
+        sibling(X, Y) <- parent(P, X), parent(P, Y), X != Y.
+    "#;
+    let program = parse_program(text).unwrap();
+    let db = Database::from_program(&program);
+    let q = parse_query("sibling(b, Y)?").unwrap();
+    let ans =
+        evaluate_query(&program, &db, &q, Method::Magic, &FixpointConfig::default()).unwrap();
+    assert_eq!(ans.tuples.len(), 1);
+    assert_eq!(ans.tuples.rows()[0].get(1), &ldl::Term::sym("d"));
+}
+
+#[test]
+fn large_fanout_dedup_stays_exact() {
+    // Many derivation paths for the same tuple: dedup must hold counts.
+    let mut text = String::new();
+    for i in 0..20 {
+        text.push_str(&format!("a(0, {i}). b({i}, 99).\n"));
+    }
+    text.push_str("p(X, Z) <- a(X, Y), b(Y, Z).");
+    let program = parse_program(&text).unwrap();
+    let db = Database::from_program(&program);
+    let q = parse_query("p(0, Z)?").unwrap();
+    let ans =
+        evaluate_query(&program, &db, &q, Method::SemiNaive, &FixpointConfig::default()).unwrap();
+    assert_eq!(ans.tuples.len(), 1, "20 derivations, 1 distinct tuple");
+}
+
+#[test]
+fn query_constants_with_arithmetic_goal_rejected() {
+    // `p(X + 1)?` — a non-ground, non-variable goal argument: the goal
+    // pattern unifies structurally, matching nothing for scalar columns.
+    let program = parse_program("p(5).").unwrap();
+    let db = Database::from_program(&program);
+    let q = parse_query("p(X + 1)?").unwrap();
+    let ans =
+        evaluate_query(&program, &db, &q, Method::SemiNaive, &FixpointConfig::default()).unwrap();
+    assert!(ans.tuples.is_empty());
+}
+
+#[test]
+fn whitespace_and_comment_torture() {
+    let text = "%c1\n  p(  1 ,   2 )  .  % trailing\n\n\nq( X )<-p( X , Y ).%end";
+    let program = parse_program(text).unwrap();
+    assert_eq!(program.facts.len(), 1);
+    assert_eq!(program.rules.len(), 1);
+}

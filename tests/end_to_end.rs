@@ -1,0 +1,164 @@
+//! End-to-end integration: parse → optimize → execute across subsystems,
+//! checking that every fixpoint method and every optimized plan agrees
+//! with a reference evaluation.
+
+use ldl::core::parser::{parse_program, parse_query};
+use ldl::eval::{evaluate_query, FixpointConfig, Method};
+use ldl::optimizer::{OptConfig, Optimizer};
+use ldl::storage::Database;
+
+fn reference(text: &str, q: &str) -> ldl::storage::Relation {
+    let program = parse_program(text).unwrap();
+    let db = Database::from_program(&program);
+    let query = parse_query(q).unwrap();
+    evaluate_query(&program, &db, &query, Method::Naive, &FixpointConfig::default())
+        .unwrap()
+        .tuples
+}
+
+fn optimized(text: &str, q: &str, acyclic: bool) -> ldl::storage::Relation {
+    let program = parse_program(text).unwrap();
+    let db = Database::from_program(&program);
+    let query = parse_query(q).unwrap();
+    let opt = Optimizer::new(
+        &program,
+        &db,
+        OptConfig { assume_acyclic: acyclic, ..OptConfig::default() },
+    );
+    let plan = opt.optimize(&query).unwrap();
+    plan.execute(&program, &db, &FixpointConfig::default()).unwrap().tuples
+}
+
+const ANCESTOR: &str = r#"
+    parent(abe, homer). parent(mona, homer).
+    parent(homer, bart). parent(homer, lisa). parent(homer, maggie).
+    parent(marge, bart). parent(marge, lisa).
+    anc(X, Y) <- parent(X, Y).
+    anc(X, Y) <- parent(X, Z), anc(Z, Y).
+"#;
+
+#[test]
+fn ancestor_bound_query_all_paths_agree() {
+    let expect = reference(ANCESTOR, "anc(abe, Y)?");
+    assert_eq!(expect.len(), 4); // homer, bart, lisa, maggie
+    assert_eq!(optimized(ANCESTOR, "anc(abe, Y)?", false), expect);
+    assert_eq!(optimized(ANCESTOR, "anc(abe, Y)?", true), expect);
+}
+
+#[test]
+fn ancestor_reverse_binding() {
+    let expect = reference(ANCESTOR, "anc(X, lisa)?");
+    assert_eq!(expect.len(), 4); // homer, marge, abe, mona
+    assert_eq!(optimized(ANCESTOR, "anc(X, lisa)?", false), expect);
+}
+
+#[test]
+fn ancestor_free_query() {
+    let expect = reference(ANCESTOR, "anc(X, Y)?");
+    assert_eq!(optimized(ANCESTOR, "anc(X, Y)?", false), expect);
+}
+
+#[test]
+fn every_method_agrees_on_every_binding_of_sg() {
+    let sg = r#"
+        up(1, 10). up(2, 10). up(3, 20). up(10, 100). up(20, 100).
+        flat(100, 100).
+        dn(100, 10). dn(100, 20). dn(10, 1). dn(10, 2). dn(20, 3).
+        sg(X, Y) <- flat(X, Y).
+        sg(X, Y) <- up(X, X1), sg(Y1, X1), dn(Y1, Y).
+    "#;
+    let program = parse_program(sg).unwrap();
+    let db = Database::from_program(&program);
+    let cfg = FixpointConfig::default();
+    for q in ["sg(1, Y)?", "sg(X, 2)?", "sg(1, 2)?", "sg(X, Y)?"] {
+        let query = parse_query(q).unwrap();
+        let expect =
+            evaluate_query(&program, &db, &query, Method::Naive, &cfg).unwrap().tuples;
+        for m in [Method::SemiNaive, Method::Magic, Method::Counting] {
+            let got = evaluate_query(&program, &db, &query, m, &cfg).unwrap().tuples;
+            assert_eq!(got, expect, "{} on {}", m.name(), q);
+        }
+    }
+}
+
+#[test]
+fn multi_stratum_program_with_negation() {
+    let text = r#"
+        edge(1, 2). edge(2, 3). edge(4, 5).
+        node(1). node(2). node(3). node(4). node(5).
+        reach(1).
+        reach(Y) <- reach(X), edge(X, Y).
+        isolated(X) <- node(X), ~reach(X).
+    "#;
+    let expect = reference(text, "isolated(X)?");
+    assert_eq!(expect.len(), 2); // 4, 5
+    let got = optimized(text, "isolated(X)?", false);
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn nonrecursive_multiway_join_optimized_correctly() {
+    let text = r#"
+        r1(1, 2). r1(2, 3).
+        r2(2, 10). r2(3, 20).
+        r3(10, a). r3(20, b).
+        q(X, W) <- r1(X, Y), r2(Y, Z), r3(Z, W).
+    "#;
+    let expect = reference(text, "q(1, W)?");
+    assert_eq!(expect.len(), 1);
+    assert_eq!(optimized(text, "q(1, W)?", false), expect);
+}
+
+#[test]
+fn arithmetic_pipeline_through_optimizer() {
+    let text = r#"
+        price(apple, 10). price(pear, 20).
+        taxed(I, T) <- price(I, P), T = P * 2.
+        cheap(I) <- taxed(I, T), T < 30.
+    "#;
+    let expect = reference(text, "cheap(I)?");
+    assert_eq!(expect.len(), 1);
+    assert_eq!(optimized(text, "cheap(I)?", false), expect);
+}
+
+#[test]
+fn optimizer_handles_multiple_queries_reusing_memo() {
+    let program = parse_program(ANCESTOR).unwrap();
+    let db = Database::from_program(&program);
+    let opt = Optimizer::with_defaults(&program, &db);
+    let a = opt.optimize(&parse_query("anc(abe, Y)?").unwrap()).unwrap();
+    let b = opt.optimize(&parse_query("anc(X, lisa)?").unwrap()).unwrap();
+    let c = opt.optimize(&parse_query("anc(abe, Y)?").unwrap()).unwrap();
+    assert!(a.cost.is_finite() && b.cost.is_finite());
+    // The repeated form must be served from the memo (no new subtrees).
+    assert_eq!(a.cost, c.cost);
+    let cfg = FixpointConfig::default();
+    assert_eq!(
+        a.execute(&program, &db, &cfg).unwrap().tuples,
+        c.execute(&program, &db, &cfg).unwrap().tuples
+    );
+}
+
+#[test]
+fn deep_recursion_stays_correct() {
+    let mut text = String::new();
+    for i in 0..120 {
+        text.push_str(&format!("e({}, {}).\n", i, i + 1));
+    }
+    text.push_str("tc(X, Y) <- e(X, Y).\ntc(X, Y) <- e(X, Z), tc(Z, Y).\n");
+    let expect = reference(&text, "tc(0, Y)?");
+    assert_eq!(expect.len(), 120);
+    assert_eq!(optimized(&text, "tc(0, Y)?", false), expect);
+}
+
+#[test]
+fn complex_terms_flow_end_to_end() {
+    let text = r#"
+        owns(ann, car(toyota, 2019)). owns(bob, car(honda, 2021)).
+        owns(ann, bike(brompton)).
+        car_owner(P, Maker) <- owns(P, car(Maker, Yr)).
+    "#;
+    let expect = reference(text, "car_owner(P, M)?");
+    assert_eq!(expect.len(), 2);
+    assert_eq!(optimized(text, "car_owner(P, M)?", false), expect);
+}

@@ -1,0 +1,244 @@
+//! Property-based tests (proptest) over the core invariants:
+//! search-strategy dominance relations, cost-function invariants,
+//! unification laws, parser round-trips, and method agreement on random
+//! Datalog programs.
+
+use ldl::core::parser::{parse_program, parse_query};
+use ldl::core::unify::{mgu, Subst};
+use ldl::core::Term;
+use ldl::eval::{evaluate_query, FixpointConfig, Method};
+use ldl::optimizer::search::anneal::{optimize_anneal, AnnealParams};
+use ldl::optimizer::search::exhaustive::{optimize_dp, optimize_dp_connected, optimize_exhaustive};
+use ldl::optimizer::search::kbz::optimize_kbz;
+use ldl::optimizer::JoinGraph;
+use ldl::storage::Database;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Join-graph / search-strategy properties
+// ---------------------------------------------------------------------
+
+fn arb_join_graph(max_n: usize) -> impl Strategy<Value = JoinGraph> {
+    (2..=max_n)
+        .prop_flat_map(|n| {
+            let cards = proptest::collection::vec(1.0f64..1e5, n..=n);
+            let edges = proptest::collection::vec(
+                (0..n, 0..n, 1e-4f64..1.0),
+                0..(2 * n),
+            );
+            (Just(n), cards, edges)
+        })
+        .prop_map(|(n, cards, edges)| {
+            let mut g = JoinGraph::new(cards.iter().map(|c| c.round()).collect());
+            for (i, j, s) in edges {
+                if i != j {
+                    g.set_selectivity(i, j, s);
+                }
+                let _ = n;
+            }
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// DP equals exhaustive enumeration (both exact over all orders).
+    #[test]
+    fn dp_equals_exhaustive(g in arb_join_graph(6)) {
+        let ex = optimize_exhaustive(&g);
+        let dp = optimize_dp(&g);
+        prop_assert!((ex.cost - dp.cost).abs() <= 1e-9 * ex.cost.max(1.0),
+            "ex {} vs dp {}", ex.cost, dp.cost);
+    }
+
+    /// No strategy returns a cost below the true optimum, and every
+    /// strategy returns a valid permutation.
+    #[test]
+    fn strategies_dominate_optimum(g in arb_join_graph(7)) {
+        let opt = optimize_dp(&g).cost;
+        for r in [
+            optimize_kbz(&g),
+            optimize_dp_connected(&g),
+            optimize_anneal(&g, &AnnealParams { max_probes: 1500, ..AnnealParams::default() }, 1),
+        ] {
+            prop_assert!(r.cost >= opt * (1.0 - 1e-9));
+            let mut o = r.order.clone();
+            o.sort_unstable();
+            prop_assert_eq!(o, (0..g.n()).collect::<Vec<_>>());
+            // The reported cost matches re-evaluating the order.
+            prop_assert!((g.sequence_cost(&r.order) - r.cost).abs() <= 1e-9 * r.cost.max(1.0));
+        }
+    }
+
+    /// Final cardinality is permutation-invariant (logical equivalence of
+    /// all orders in the execution space).
+    #[test]
+    fn final_cardinality_is_order_invariant(g in arb_join_graph(6), seed in 0u64..1000) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let n = g.n();
+        let id: Vec<usize> = (0..n).collect();
+        let mut shuffled = id.clone();
+        shuffled.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        let (_, c1) = g.sequence_cost_card(&id);
+        let (_, c2) = g.sequence_cost_card(&shuffled);
+        prop_assert!((c1 - c2).abs() <= 1e-6 * c1.max(1.0));
+    }
+
+    /// Cost is monotone: scaling every cardinality up scales cost up.
+    #[test]
+    fn cost_monotone_in_cardinalities(g in arb_join_graph(5)) {
+        let id: Vec<usize> = (0..g.n()).collect();
+        let base = g.sequence_cost(&id);
+        let mut bigger = JoinGraph::new((0..g.n()).map(|i| g.card(i) * 2.0).collect());
+        for (i, j, s) in g.edges() {
+            bigger.set_selectivity(i, j, s);
+        }
+        prop_assert!(bigger.sequence_cost(&id) >= base);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Unification properties
+// ---------------------------------------------------------------------
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        (0i64..100).prop_map(Term::int),
+        (0u8..4).prop_map(|i| Term::var(["X", "Y", "Z", "W"][i as usize])),
+        (0u8..3).prop_map(|i| Term::sym(["a", "b", "c"][i as usize])),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        (0u8..2, proptest::collection::vec(inner, 1..3))
+            .prop_map(|(f, args)| Term::compound(["f", "g"][f as usize], args))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// mgu(a, b) unifies: applying it to both sides yields equal terms.
+    #[test]
+    fn mgu_actually_unifies(a in arb_term(), b in arb_term()) {
+        if let Some(s) = mgu(&a, &b) {
+            prop_assert_eq!(s.apply(&a), s.apply(&b));
+        }
+    }
+
+    /// Unification is symmetric in success.
+    #[test]
+    fn mgu_symmetric(a in arb_term(), b in arb_term()) {
+        prop_assert_eq!(mgu(&a, &b).is_some(), mgu(&b, &a).is_some());
+    }
+
+    /// A term always unifies with itself via the empty substitution.
+    #[test]
+    fn mgu_reflexive(a in arb_term()) {
+        let s = mgu(&a, &a);
+        prop_assert!(s.is_some());
+    }
+
+    /// Ground terms unify iff equal.
+    #[test]
+    fn ground_unification_is_equality(a in arb_term(), b in arb_term()) {
+        if a.is_ground() && b.is_ground() {
+            prop_assert_eq!(mgu(&a, &b).is_some(), a == b);
+        }
+    }
+
+    /// apply is idempotent once fully resolved.
+    #[test]
+    fn apply_idempotent(a in arb_term(), b in arb_term()) {
+        if let Some(s) = mgu(&a, &b) {
+            let once = s.apply(&a);
+            let twice = s.apply(&once);
+            prop_assert_eq!(once, twice);
+        }
+    }
+
+    /// The empty substitution is the identity.
+    #[test]
+    fn empty_subst_is_identity(a in arb_term()) {
+        prop_assert_eq!(Subst::new().apply(&a), a);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Program / evaluation properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Program display round-trips through the parser.
+    #[test]
+    fn program_display_round_trips(edges in proptest::collection::vec((0i64..20, 0i64..20), 1..30)) {
+        let mut text = String::new();
+        for (a, b) in &edges {
+            text.push_str(&format!("e({a}, {b}).\n"));
+        }
+        text.push_str("tc(X, Y) <- e(X, Y).\ntc(X, Y) <- tc(X, Z), e(Z, Y).\n");
+        let p1 = parse_program(&text).unwrap();
+        let p2 = parse_program(&p1.to_string()).unwrap();
+        prop_assert_eq!(p1, p2);
+    }
+
+    /// All four fixpoint methods agree on random edge sets for bound tc
+    /// queries (soundness + completeness of the rewritings).
+    #[test]
+    fn methods_agree_on_random_graphs(
+        edges in proptest::collection::vec((0i64..12, 0i64..12), 1..40),
+        start in 0i64..12,
+    ) {
+        let mut text = String::new();
+        for (a, b) in &edges {
+            text.push_str(&format!("e({a}, {b}).\n"));
+        }
+        text.push_str("tc(X, Y) <- e(X, Y).\ntc(X, Y) <- e(X, Z), tc(Z, Y).\n");
+        let program = parse_program(&text).unwrap();
+        let db = Database::from_program(&program);
+        let query = parse_query(&format!("tc({start}, Y)?")).unwrap();
+        let cfg = FixpointConfig::default();
+        let reference = evaluate_query(&program, &db, &query, Method::Naive, &cfg)
+            .unwrap()
+            .tuples;
+        // Magic must always agree. Counting diverges on cyclic data by
+        // design, so only compare when it terminates.
+        let magic = evaluate_query(&program, &db, &query, Method::Magic, &cfg).unwrap().tuples;
+        prop_assert_eq!(&magic, &reference);
+        let counting_cfg = FixpointConfig { max_iterations: 200 };
+        if let Ok(ans) = evaluate_query(&program, &db, &query, Method::Counting, &counting_cfg) {
+            prop_assert_eq!(&ans.tuples, &reference);
+        }
+        let semi = evaluate_query(&program, &db, &query, Method::SemiNaive, &cfg).unwrap().tuples;
+        prop_assert_eq!(&semi, &reference);
+    }
+
+    /// The optimizer never produces a plan whose execution disagrees
+    /// with naive evaluation, for any binding pattern of tc.
+    #[test]
+    fn optimized_plans_are_sound(
+        edges in proptest::collection::vec((0i64..10, 0i64..10), 1..25),
+        qx in 0i64..10,
+    ) {
+        let mut text = String::new();
+        for (a, b) in &edges {
+            text.push_str(&format!("e({a}, {b}).\n"));
+        }
+        text.push_str("tc(X, Y) <- e(X, Y).\ntc(X, Y) <- e(X, Z), tc(Z, Y).\n");
+        let program = parse_program(&text).unwrap();
+        let db = Database::from_program(&program);
+        let cfg = FixpointConfig::default();
+        for q in [format!("tc({qx}, Y)?"), "tc(X, Y)?".to_string()] {
+            let query = parse_query(&q).unwrap();
+            let reference = evaluate_query(&program, &db, &query, Method::Naive, &cfg)
+                .unwrap()
+                .tuples;
+            let opt = ldl::optimizer::Optimizer::with_defaults(&program, &db);
+            let plan = opt.optimize(&query).unwrap();
+            let got = plan.execute(&program, &db, &cfg).unwrap().tuples;
+            prop_assert_eq!(got, reference, "query {}", q);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! LDL's set constructs end to end: grouping heads (`<X>`), set-term
+//! literals, and the `member/2` set predicate, integrated with
+//! stratification, the optimizer, and the shell-level flow.
+
+use ldl::core::parser::{parse_program, parse_query};
+use ldl::core::{LdlError, Term};
+use ldl::eval::{evaluate_query, FixpointConfig, Method};
+use ldl::optimizer::Optimizer;
+use ldl::storage::Database;
+
+fn answers(text: &str, q: &str, m: Method) -> ldl::storage::Relation {
+    let program = parse_program(text).unwrap();
+    let db = Database::from_program(&program);
+    let query = parse_query(q).unwrap();
+    evaluate_query(&program, &db, &query, m, &FixpointConfig::default())
+        .unwrap()
+        .tuples
+}
+
+const BOM: &str = r#"
+    contains(bike, wheel). contains(bike, frame).
+    contains(car, wheel). contains(car, engine). contains(car, door).
+    parts(A, <P>) <- contains(A, P).
+"#;
+
+#[test]
+fn grouping_collects_sets_per_key() {
+    let got = answers(BOM, "parts(bike, S)?", Method::SemiNaive);
+    assert_eq!(got.len(), 1);
+    let set = got.rows()[0].get(1).as_set().unwrap();
+    assert_eq!(set.len(), 2);
+}
+
+#[test]
+fn set_literal_queries_match_structurally() {
+    // Set literals normalize, so order in the query does not matter.
+    let got = answers(BOM, "parts(A, {frame, wheel})?", Method::SemiNaive);
+    assert_eq!(got.len(), 1);
+    let got2 = answers(BOM, "parts(A, {wheel, frame})?", Method::SemiNaive);
+    assert_eq!(got, got2);
+    let none = answers(BOM, "parts(A, {wheel})?", Method::SemiNaive);
+    assert!(none.is_empty());
+}
+
+#[test]
+fn member_enumerates_collected_sets() {
+    let text = r#"
+        contains(bike, wheel). contains(bike, frame).
+        contains(car, wheel). contains(car, engine).
+        parts(A, <P>) <- contains(A, P).
+        shared(P) <- parts(bike, S1), parts(car, S2), member(P, S1), member(P, S2).
+    "#;
+    let got = answers(text, "shared(P)?", Method::SemiNaive);
+    assert_eq!(got.len(), 1);
+    assert_eq!(got.rows()[0].get(0), &Term::sym("wheel"));
+}
+
+#[test]
+fn member_tests_ground_membership() {
+    let text = "s({1, 2, 3}).\nhas(X) <- s(S), member(X, S).";
+    let got = answers(text, "has(X)?", Method::SemiNaive);
+    assert_eq!(got.len(), 3);
+    let yes = answers(text, "has(2)?", Method::SemiNaive);
+    assert_eq!(yes.len(), 1);
+    let no = answers(text, "has(9)?", Method::SemiNaive);
+    assert!(no.is_empty());
+}
+
+#[test]
+fn grouping_in_recursion_is_rejected() {
+    // A predicate collecting a set of itself is not stratifiable.
+    let text = r#"
+        e(1, 2).
+        s(X, <Y>) <- e(X, Y).
+        s(X, <Y>) <- s(X, S), member(Y, S).
+    "#;
+    let program = parse_program(text).unwrap();
+    let db = Database::from_program(&program);
+    let q = parse_query("s(1, S)?").unwrap();
+    let r = evaluate_query(&program, &db, &q, Method::SemiNaive, &FixpointConfig::default());
+    assert!(r.is_err(), "got {r:?}");
+}
+
+#[test]
+fn grouping_markers_rejected_in_bodies() {
+    let r = parse_program("q(X) <- p(<X>).");
+    assert!(matches!(r, Err(LdlError::Validation(_))));
+}
+
+#[test]
+fn member_is_reserved() {
+    let r = parse_program("member(X, S) <- anything(X, S).");
+    assert!(matches!(r, Err(LdlError::Validation(_))));
+}
+
+#[test]
+fn nonground_set_literals_rejected() {
+    let r = parse_program("q(S) <- p(X), S = {X, 1}.");
+    assert!(r.is_err());
+}
+
+#[test]
+fn optimizer_plans_and_executes_grouping_programs() {
+    let text = r#"
+        contains(bike, wheel). contains(bike, frame).
+        contains(car, wheel). contains(car, engine).
+        parts(A, <P>) <- contains(A, P).
+        big_assembly(A) <- parts(A, S), member(wheel, S).
+    "#;
+    let program = parse_program(text).unwrap();
+    let db = Database::from_program(&program);
+    let opt = Optimizer::with_defaults(&program, &db);
+    let query = parse_query("big_assembly(A)?").unwrap();
+    let plan = opt.optimize(&query).unwrap();
+    let ans = plan.execute(&program, &db, &FixpointConfig::default()).unwrap();
+    assert_eq!(ans.tuples.len(), 2); // bike and car both contain wheel
+}
+
+#[test]
+fn grouping_composes_with_negation() {
+    let text = r#"
+        contains(bike, wheel). contains(car, wheel). contains(car, engine).
+        special(engine).
+        plain(A, <P>) <- contains(A, P), ~special(P).
+    "#;
+    let got = answers(text, "plain(car, S)?", Method::Naive);
+    assert_eq!(got.len(), 1);
+    let set = got.rows()[0].get(1).as_set().unwrap();
+    assert_eq!(set.len(), 1); // only wheel
+}
+
+#[test]
+fn grouping_over_recursive_lower_stratum() {
+    // Group the transitive closure: reachset(X, <Y>) — the clique is a
+    // lower stratum, the grouping sits above it.
+    let text = r#"
+        e(1, 2). e(2, 3). e(5, 6).
+        tc(X, Y) <- e(X, Y).
+        tc(X, Y) <- e(X, Z), tc(Z, Y).
+        reachset(X, <Y>) <- tc(X, Y).
+    "#;
+    let got = answers(text, "reachset(1, S)?", Method::SemiNaive);
+    assert_eq!(got.len(), 1);
+    assert_eq!(got.rows()[0].get(1).to_string(), "{2, 3}");
+}

@@ -1,0 +1,172 @@
+//! Stress and failure-injection tests: resource bounds must surface as
+//! errors (never hangs), large synthesized rule bases must compile and
+//! run, and pathological shapes must stay polynomial where promised.
+
+use ldl::core::parser::{parse_program, parse_query};
+use ldl::eval::sld::{solve_sld, SldConfig};
+use ldl::eval::{evaluate_query, FixpointConfig, Method};
+use ldl::optimizer::{OptConfig, Optimizer, Strategy};
+use ldl::storage::Database;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+#[test]
+fn tiny_iteration_bound_errors_cleanly() {
+    let text = "e(1, 2). e(2, 3). e(3, 4). e(4, 5).\ntc(X, Y) <- e(X, Y).\ntc(X, Y) <- e(X, Z), tc(Z, Y).";
+    let program = parse_program(text).unwrap();
+    let db = Database::from_program(&program);
+    let q = parse_query("tc(1, Y)?").unwrap();
+    // A bound of 1 iteration cannot complete the chain: must be an error,
+    // not a wrong answer.
+    for m in [Method::Naive, Method::SemiNaive] {
+        let r = evaluate_query(&program, &db, &q, m, &FixpointConfig { max_iterations: 1 });
+        assert!(r.is_err(), "{} must report the bound", m.name());
+    }
+}
+
+#[test]
+fn sld_resolution_cap_errors_not_hangs() {
+    // Cyclic data + right recursion: SLD revisits states forever; the
+    // resolution cap must fire.
+    let text = "e(1, 2). e(2, 1).\ntc(X, Y) <- e(X, Y).\ntc(X, Y) <- e(X, Z), tc(Z, Y).";
+    let program = parse_program(text).unwrap();
+    let db = Database::from_program(&program);
+    let q = parse_query("tc(1, Y)?").unwrap();
+    let started = Instant::now();
+    let r = solve_sld(
+        &program,
+        &db,
+        &q,
+        &SldConfig { max_depth: 1 << 20, max_resolutions: 200_000, max_answers: None },
+    );
+    // Either the resolution cap fires (error) or the clamped depth bound
+    // cuts the search (incomplete result) — both are graceful, neither
+    // hangs nor overflows the stack.
+    match r {
+        Err(_) => {}
+        Ok((_, stats)) => assert!(stats.depth_exceeded),
+    }
+    assert!(started.elapsed().as_secs() < 10);
+}
+
+#[test]
+fn hundred_rule_program_optimizes_and_runs() {
+    // A 100-rule layered program with a recursive core.
+    let mut text = String::new();
+    for i in 0..25 {
+        writeln!(text, "e{i}({}, {}).", i, i + 1).unwrap();
+    }
+    writeln!(text, "link(X, Y) <- e0(X, Y).").unwrap();
+    for i in 1..25 {
+        writeln!(text, "link(X, Y) <- e{i}(X, Y).").unwrap();
+    }
+    writeln!(text, "tc(X, Y) <- link(X, Y).").unwrap();
+    writeln!(text, "tc(X, Y) <- link(X, Z), tc(Z, Y).").unwrap();
+    for i in 0..25 {
+        writeln!(text, "q{i}(X) <- tc({i}, X).").unwrap();
+    }
+    for i in 0..25 {
+        writeln!(text, "top{i}(X) <- q{i}(X), link(X, Y).").unwrap();
+    }
+    let program = parse_program(&text).unwrap();
+    assert!(program.rules.len() >= 100 - 25);
+    let db = Database::from_program(&program);
+    let opt = Optimizer::with_defaults(&program, &db);
+    let q = parse_query("top0(X)?").unwrap();
+    let started = Instant::now();
+    let plan = opt.optimize(&q).unwrap();
+    assert!(started.elapsed().as_secs() < 30, "optimization must stay fast");
+    let ans = plan.execute(&program, &db, &FixpointConfig::default()).unwrap();
+    assert!(!ans.tuples.is_empty());
+}
+
+#[test]
+fn wide_rule_falls_back_from_exhaustive() {
+    // 12 literals: exhaustive would need 479M orders; the configured
+    // fallback to DP must kick in and stay fast.
+    let mut body = Vec::new();
+    for i in 0..12 {
+        body.push(format!("r{i}(X{i}, X{})", i + 1));
+    }
+    let mut text = format!("wide(X0, X12) <- {}.\n", body.join(", "));
+    for i in 0..12 {
+        text.push_str(&format!("r{i}({i}, {}).\n", i + 1));
+    }
+    let program = parse_program(&text).unwrap();
+    let db = Database::from_program(&program);
+    let opt = Optimizer::new(
+        &program,
+        &db,
+        OptConfig { strategy: Strategy::Exhaustive, ..OptConfig::default() },
+    );
+    let q = parse_query("wide(0, Z)?").unwrap();
+    let started = Instant::now();
+    let plan = opt.optimize(&q).unwrap();
+    assert!(started.elapsed().as_secs() < 10);
+    let ans = plan.execute(&program, &db, &FixpointConfig::default()).unwrap();
+    assert_eq!(ans.tuples.len(), 1);
+}
+
+#[test]
+fn annealing_handles_wide_rules_too() {
+    let mut body = Vec::new();
+    for i in 0..14 {
+        body.push(format!("r{i}(X{i}, X{})", i + 1));
+    }
+    let mut text = format!("wide(X0, X14) <- {}.\n", body.join(", "));
+    for i in 0..14 {
+        text.push_str(&format!("r{i}({i}, {}).\n", i + 1));
+    }
+    let program = parse_program(&text).unwrap();
+    let db = Database::from_program(&program);
+    let opt = Optimizer::new(
+        &program,
+        &db,
+        OptConfig { strategy: Strategy::Annealing, ..OptConfig::default() },
+    );
+    let q = parse_query("wide(0, Z)?").unwrap();
+    let plan = opt.optimize(&q).unwrap();
+    assert!(plan.cost.is_finite());
+}
+
+#[test]
+fn deep_clique_c_permutation_space_switches_to_annealing() {
+    // Two recursive rules with 5 literals each: 5!·5! = 14400 c-perms,
+    // above the 4000 cap — the clique search must switch to annealing
+    // and still produce a safe plan.
+    let text = r#"
+        p(X, Y) <- b1(X, Y).
+        p(X, Y) <- b2(X, A), b3(A, B), p(B, C), b4(C, D), b5(D, Y).
+        p(X, Y) <- b5(X, A), b4(A, B), p(B, C), b3(C, D), b2(D, Y).
+        b1(1, 2). b2(1, 2). b3(2, 3). b4(3, 4). b5(4, 5).
+    "#;
+    let program = parse_program(text).unwrap();
+    let db = Database::from_program(&program);
+    let opt = Optimizer::with_defaults(&program, &db);
+    let q = parse_query("p(1, Y)?").unwrap();
+    let plan = opt.optimize(&q).unwrap();
+    assert!(plan.cost.is_finite());
+    // Annealing was used: probes well below the exhaustive 14400 x2.
+    assert!(plan.stats.cpermutations_probed < 14_400, "{:?}", plan.stats);
+    let ans = plan.execute(&program, &db, &FixpointConfig::default()).unwrap();
+    let reference =
+        evaluate_query(&program, &db, &q, Method::SemiNaive, &FixpointConfig::default()).unwrap();
+    assert_eq!(ans.tuples, reference.tuples);
+}
+
+#[test]
+fn ten_thousand_facts_load_and_query() {
+    let mut text = String::new();
+    for i in 0..10_000 {
+        writeln!(text, "e({}, {}).", i % 500, (i * 31) % 500).unwrap();
+    }
+    text.push_str("deg2(X, Z) <- e(X, Y), e(Y, Z).\n");
+    let program = parse_program(&text).unwrap();
+    let db = Database::from_program(&program);
+    let q = parse_query("deg2(7, Z)?").unwrap();
+    let started = Instant::now();
+    let ans =
+        evaluate_query(&program, &db, &q, Method::Magic, &FixpointConfig::default()).unwrap();
+    assert!(started.elapsed().as_secs() < 20);
+    assert!(!ans.tuples.is_empty());
+}
