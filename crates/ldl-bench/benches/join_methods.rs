@@ -1,53 +1,40 @@
-//! Criterion benches for the physical join methods (the `EL` label
-//! alphabet of §5) — grounds the cost model's method choices.
+//! Benches for the physical join methods (the `EL` label alphabet of
+//! §5) — grounds the cost model's method choices.
+//!
+//! Run: `cargo bench -p ldl-bench --bench join_methods`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ldl_eval::ops::{join, JoinMethod};
 use ldl_storage::{Relation, Tuple};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::hint::black_box;
+use ldl_support::bench::Harness;
+use ldl_support::SplitMix64;
 
 fn random_relation(n: usize, key_range: i64, seed: u64) -> Relation {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     Relation::from_tuples(
         2,
         (0..n).map(|_| Tuple::ints(&[rng.gen_range(0..key_range), rng.gen_range(0..key_range)])),
     )
 }
 
-fn bench_joins(c: &mut Criterion) {
-    let mut group = c.benchmark_group("join-methods");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("join_methods");
+    h.set_iters(2, 10);
     for n in [300usize, 1000, 3000] {
         let left = random_relation(n, n as i64, 1);
         let right = random_relation(n, n as i64, 2);
         for m in JoinMethod::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(m.name(), n),
-                &(&left, &right),
-                |b, (l, r)| b.iter(|| black_box(join(l, r, &[(1, 0)], m))),
-            );
+            h.bench("join-methods", &format!("{}/{n}", m.name()), || {
+                join(&left, &right, &[(1, 0)], m)
+            });
         }
     }
-    group.finish();
-}
-
-fn bench_selective_probe(c: &mut Criterion) {
     // Small outer, big inner: index join should dominate.
-    let mut group = c.benchmark_group("join-selective");
-    group.sample_size(10);
     let outer = random_relation(50, 100_000, 3);
     let inner = random_relation(50_000, 100_000, 4);
     for m in JoinMethod::ALL {
-        group.bench_with_input(
-            BenchmarkId::new(m.name(), "50x50k"),
-            &(&outer, &inner),
-            |b, (l, r)| b.iter(|| black_box(join(l, r, &[(1, 0)], m))),
-        );
+        h.bench("join-selective", &format!("{}/50x50k", m.name()), || {
+            join(&outer, &inner, &[(1, 0)], m)
+        });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_joins, bench_selective_probe);
-criterion_main!(benches);

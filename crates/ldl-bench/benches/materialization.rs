@@ -1,9 +1,10 @@
-//! Criterion bench for the `MP` dimension: the pipelined executor
-//! (index nested loops with sideways information passing) vs the
-//! materialized executor (full intermediate relations) on the same rule
-//! bodies, selective and non-selective.
+//! Bench for the `MP` dimension: the pipelined executor (index nested
+//! loops with sideways information passing) vs the materialized
+//! executor (full intermediate relations) on the same rule bodies,
+//! selective and non-selective.
+//!
+//! Run: `cargo bench -p ldl-bench --bench materialization`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ldl_core::parser::parse_program;
 use ldl_core::unify::Subst;
 use ldl_core::{Pred, Program};
@@ -11,8 +12,8 @@ use ldl_eval::materialized::eval_rule_materialized;
 use ldl_eval::ops::JoinMethod;
 use ldl_eval::rule_eval::{eval_rule, OverlaySource};
 use ldl_storage::{Database, Relation};
+use ldl_support::bench::Harness;
 use std::fmt::Write as _;
-use std::hint::black_box;
 
 fn chain_program(n_edges: usize) -> Program {
     let mut text = String::new();
@@ -27,49 +28,29 @@ fn chain_program(n_edges: usize) -> Program {
     parse_program(&text).unwrap()
 }
 
-fn bench_mp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pipeline-vs-materialize");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("materialization");
+    h.set_iters(2, 10);
     for n in [1000usize, 5000] {
         let program = chain_program(n);
         let db = Database::from_program(&program);
         for (label, rule_idx) in [("selective", 0usize), ("full-join", 1usize)] {
             let rule = program.rules[rule_idx].clone();
             let order: Vec<usize> = (0..rule.body.len()).collect();
-            group.bench_with_input(
-                BenchmarkId::new(format!("pipelined-{label}"), n),
-                &(&rule, &db),
-                |b, (rule, db)| {
-                    b.iter(|| {
-                        let source =
-                            OverlaySource { base: |p: Pred| db.relation(p), overlay: None };
-                        let mut out = Relation::new(rule.head.args.len());
-                        eval_rule(rule, &order, &Subst::new(), &source, &mut |t| {
-                            out.insert(t);
-                        })
-                        .unwrap();
-                        black_box(out)
-                    })
-                },
-            );
-            group.bench_with_input(
-                BenchmarkId::new(format!("materialized-{label}"), n),
-                &(&rule, &db),
-                |b, (rule, db)| {
-                    b.iter(|| {
-                        let source =
-                            OverlaySource { base: |p: Pred| db.relation(p), overlay: None };
-                        black_box(
-                            eval_rule_materialized(rule, &order, JoinMethod::Hash, &source)
-                                .unwrap(),
-                        )
-                    })
-                },
-            );
+            h.bench("pipeline-vs-materialize", &format!("pipelined-{label}/{n}"), || {
+                let source = OverlaySource { base: |p: Pred| db.relation(p), overlay: None };
+                let mut out = Relation::new(rule.head.args.len());
+                eval_rule(&rule, &order, &Subst::new(), &source, &mut |t| {
+                    out.insert(t);
+                })
+                .unwrap();
+                out
+            });
+            h.bench("pipeline-vs-materialize", &format!("materialized-{label}/{n}"), || {
+                let source = OverlaySource { base: |p: Pred| db.relation(p), overlay: None };
+                eval_rule_materialized(&rule, &order, JoinMethod::Hash, &source).unwrap()
+            });
         }
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_mp);
-criterion_main!(benches);

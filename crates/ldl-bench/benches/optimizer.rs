@@ -1,58 +1,40 @@
-//! Criterion bench for the integrated optimizer itself: how long does a
-//! full NR-OPT / OPT pass take on representative rule bases? The paper's
+//! Bench for the integrated optimizer itself: how long does a full
+//! NR-OPT / OPT pass take on representative rule bases? The paper's
 //! whole premise is that this compile-time cost is paid once per query
 //! form and amortized over executions.
+//!
+//! Run: `cargo bench -p ldl-bench --bench optimizer`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ldl_bench::workload::{layered_rulebase, same_generation, synthetic_database};
 use ldl_core::parser::parse_query;
 use ldl_optimizer::{OptConfig, Optimizer, Strategy};
 use ldl_storage::Database;
-use std::hint::black_box;
+use ldl_support::bench::Harness;
 
-fn bench_nropt(c: &mut Criterion) {
-    let mut group = c.benchmark_group("optimizer-nropt");
+fn main() {
+    let mut h = Harness::new("optimizer");
+    h.set_iters(2, 10);
     for (w, d) in [(2usize, 4usize), (3, 4), (2, 7)] {
         let (program, root) = layered_rulebase(w, d);
         let db = synthetic_database(&program, 7);
         let query = parse_query(&format!("{}(X)?", root.name)).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("dp-memo", format!("{w}x{d}")),
-            &(&program, &db, &query),
-            |b, (p, db, q)| {
-                b.iter(|| {
-                    let opt = Optimizer::with_defaults(p, db);
-                    black_box(opt.optimize(q).unwrap())
-                })
-            },
-        );
+        h.bench("optimizer-nropt", &format!("dp-memo/{w}x{d}"), || {
+            let opt = Optimizer::with_defaults(&program, &db);
+            opt.optimize(&query).unwrap()
+        });
     }
-    group.finish();
-}
-
-fn bench_opt_clique(c: &mut Criterion) {
-    let mut group = c.benchmark_group("optimizer-clique");
     let (program, leaf) = same_generation(2, 6);
     let db = Database::from_program(&program);
     let query = parse_query(&format!("sg({leaf}, Y)?")).unwrap();
     for s in [Strategy::Exhaustive, Strategy::DynamicProgramming, Strategy::Kbz] {
-        group.bench_with_input(
-            BenchmarkId::new(s.name(), "sg-bound"),
-            &(&program, &db, &query),
-            |b, (p, db, q)| {
-                b.iter(|| {
-                    let opt = Optimizer::new(
-                        p,
-                        db,
-                        OptConfig { strategy: s, assume_acyclic: true, ..OptConfig::default() },
-                    );
-                    black_box(opt.optimize(q).unwrap())
-                })
-            },
-        );
+        h.bench("optimizer-clique", &format!("{}/sg-bound", s.name()), || {
+            let opt = Optimizer::new(
+                &program,
+                &db,
+                OptConfig { strategy: s, assume_acyclic: true, ..OptConfig::default() },
+            );
+            opt.optimize(&query).unwrap()
+        });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_nropt, bench_opt_clique);
-criterion_main!(benches);

@@ -1,48 +1,36 @@
-//! Criterion benches for the fixpoint methods (§7.3) on bound recursive
-//! queries — the timing companion to experiment E5.
+//! Benches for the fixpoint methods (§7.3) on bound recursive queries
+//! — the timing companion to experiment E5.
+//!
+//! Run: `cargo bench -p ldl-bench --bench recursion`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ldl_bench::workload::{same_generation, transitive_closure_chains};
 use ldl_core::parser::parse_query;
 use ldl_eval::{evaluate_query, FixpointConfig, Method};
 use ldl_storage::Database;
-use std::hint::black_box;
+use ldl_support::bench::Harness;
 
-fn bench_sg(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sg-bound");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("recursion");
+    h.set_iters(1, 10);
     for depth in [6usize, 8] {
         let (program, leaf) = same_generation(2, depth);
         let db = Database::from_program(&program);
         let query = parse_query(&format!("sg({leaf}, Y)?")).unwrap();
         let cfg = FixpointConfig { max_iterations: 200_000 };
         for m in [Method::SemiNaive, Method::Magic, Method::Counting] {
-            group.bench_with_input(
-                BenchmarkId::new(m.name(), depth),
-                &(&program, &db, &query),
-                |b, (p, d, q)| b.iter(|| black_box(evaluate_query(p, d, q, m, &cfg).unwrap())),
-            );
+            h.bench("sg-bound", &format!("{}/{depth}", m.name()), || {
+                evaluate_query(&program, &db, &query, m, &cfg).unwrap()
+            });
         }
     }
-    group.finish();
-}
-
-fn bench_tc(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tc-bound");
-    group.sample_size(10);
     let (program, start) = transitive_closure_chains(64, 8);
     let db = Database::from_program(&program);
     let query = parse_query(&format!("tc({start}, Y)?")).unwrap();
     let cfg = FixpointConfig { max_iterations: 200_000 };
     for m in [Method::SemiNaive, Method::Magic, Method::Counting] {
-        group.bench_with_input(
-            BenchmarkId::new(m.name(), "8x64"),
-            &(&program, &db, &query),
-            |b, (p, d, q)| b.iter(|| black_box(evaluate_query(p, d, q, m, &cfg).unwrap())),
-        );
+        h.bench("tc-bound", &format!("{}/8x64", m.name()), || {
+            evaluate_query(&program, &db, &query, m, &cfg).unwrap()
+        });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_sg, bench_tc);
-criterion_main!(benches);

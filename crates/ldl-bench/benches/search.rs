@@ -1,53 +1,33 @@
-//! Criterion benches for the three search strategies (§7.1) across
-//! conjunct sizes — the timing companion to experiments E1–E3.
+//! Benches for the three search strategies (§7.1) across conjunct
+//! sizes — the timing companion to experiments E1–E3.
+//!
+//! Run: `cargo bench -p ldl-bench --bench search`
+//! (writes `BENCH_search.json`; see `ldl_support::bench` for env knobs).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ldl_bench::workload::{random_join_graph, Shape};
 use ldl_optimizer::search::anneal::{optimize_anneal, AnnealParams};
 use ldl_optimizer::search::exhaustive::{optimize_dp, optimize_dp_connected, optimize_exhaustive};
 use ldl_optimizer::search::kbz::optimize_kbz;
-use std::hint::black_box;
+use ldl_support::bench::Harness;
 
-fn bench_strategies(c: &mut Criterion) {
-    let mut group = c.benchmark_group("search");
+fn main() {
+    let mut h = Harness::new("search");
+    h.set_iters(2, 10);
     for n in [6usize, 8, 10] {
         let g = random_join_graph(Shape::Random, n, 0xBEEF ^ n as u64);
         if n <= 9 {
-            group.bench_with_input(BenchmarkId::new("exhaustive", n), &g, |b, g| {
-                b.iter(|| black_box(optimize_exhaustive(g)))
-            });
+            h.bench("search", &format!("exhaustive/{n}"), || optimize_exhaustive(&g));
         }
-        group.bench_with_input(BenchmarkId::new("dp", n), &g, |b, g| {
-            b.iter(|| black_box(optimize_dp(g)))
-        });
-        group.bench_with_input(BenchmarkId::new("dp-connected", n), &g, |b, g| {
-            b.iter(|| black_box(optimize_dp_connected(g)))
-        });
-        group.bench_with_input(BenchmarkId::new("kbz", n), &g, |b, g| {
-            b.iter(|| black_box(optimize_kbz(g)))
-        });
+        h.bench("search", &format!("dp/{n}"), || optimize_dp(&g));
+        h.bench("search", &format!("dp-connected/{n}"), || optimize_dp_connected(&g));
+        h.bench("search", &format!("kbz/{n}"), || optimize_kbz(&g));
         let params = AnnealParams { max_probes: 2000, ..AnnealParams::default() };
-        group.bench_with_input(BenchmarkId::new("anneal", n), &g, |b, g| {
-            b.iter(|| black_box(optimize_anneal(g, &params, 7)))
-        });
+        h.bench("search", &format!("anneal/{n}"), || optimize_anneal(&g, &params, 7));
     }
-    group.finish();
-}
-
-fn bench_large_kbz(c: &mut Criterion) {
-    let mut group = c.benchmark_group("search-large");
-    group.sample_size(20);
     for n in [16usize, 20] {
         let g = random_join_graph(Shape::Chain, n, 0xFACE ^ n as u64);
-        group.bench_with_input(BenchmarkId::new("kbz", n), &g, |b, g| {
-            b.iter(|| black_box(optimize_kbz(g)))
-        });
-        group.bench_with_input(BenchmarkId::new("dp", n), &g, |b, g| {
-            b.iter(|| black_box(optimize_dp(g)))
-        });
+        h.bench("search-large", &format!("kbz/{n}"), || optimize_kbz(&g));
+        h.bench("search-large", &format!("dp/{n}"), || optimize_dp(&g));
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_strategies, bench_large_kbz);
-criterion_main!(benches);

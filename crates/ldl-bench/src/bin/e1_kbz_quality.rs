@@ -68,11 +68,11 @@ fn main() {
         .iter()
         .flat_map(|&s| [4usize, 6, 8, 10].map(|n| (s, n)))
         .collect();
-    let results: Vec<(Shape, usize, Cell, Cell)> = crossbeam::thread::scope(|scope| {
+    let results: Vec<(Shape, usize, Cell, Cell)> = std::thread::scope(|scope| {
         let handles: Vec<_> = cells
             .iter()
             .map(|&(shape, n)| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut conn = Cell::new();
                     let mut full = Cell::new();
                     for s in 0..samples {
@@ -89,8 +89,7 @@ fn main() {
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("scope");
+    });
     for (shape, n, conn, full) in results {
         let pct = |k: usize| format!("{:.1}", 100.0 * k as f64 / samples as f64);
         t.row(&[

@@ -16,8 +16,7 @@ use ldl_core::parser::parse_program;
 use ldl_core::{Pred, Program};
 use ldl_optimizer::JoinGraph;
 use ldl_storage::Database;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ldl_support::SplitMix64;
 use std::fmt::Write as _;
 
 /// Join-graph shapes for random conjunctive queries.
@@ -51,10 +50,10 @@ impl Shape {
 /// A random join graph: cardinalities 10¹–10⁵, selectivities 10⁻⁴–10⁻⁰·⁵.
 pub fn random_join_graph(shape: Shape, n: usize, seed: u64) -> JoinGraph {
     assert!(n >= 2);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let cards: Vec<f64> = (0..n).map(|_| 10f64.powf(rng.gen_range(1.0..5.0)).round()).collect();
     let mut g = JoinGraph::new(cards);
-    let sel = |rng: &mut StdRng| 10f64.powf(rng.gen_range(-4.0..-0.5));
+    let sel = |rng: &mut SplitMix64| 10f64.powf(rng.gen_range(-4.0..-0.5));
     match shape {
         Shape::Chain => {
             for i in 0..n - 1 {
@@ -204,7 +203,7 @@ pub fn layered_rulebase(width: usize, depth: usize) -> (Program, Pred) {
 /// A database with synthetic statistics for every base predicate of a
 /// program (uniform cardinality/distincts drawn from the rng).
 pub fn synthetic_database(program: &Program, seed: u64) -> Database {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut db = Database::new();
     for p in program.base_preds() {
         let card = 10f64.powf(rng.gen_range(1.0..4.0)).round();

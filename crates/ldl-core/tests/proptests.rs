@@ -1,93 +1,140 @@
 //! Property-based tests for the language layer: parser round-trips,
 //! adornment algebra, unification laws over arbitrary term shapes, and
 //! the greedy SIP's safety guarantee.
+//!
+//! Runs on `ldl_support::prop`; replay any failure with the
+//! `LDL_PROP_SEED` value printed in the panic message.
 
 use ldl_core::adorn::{GreedySip, SipStrategy};
 use ldl_core::binding::Adornment;
 use ldl_core::parser::{parse_program, parse_term};
 use ldl_core::unify::{lgg, mgu};
 use ldl_core::Term;
-use proptest::prelude::*;
+use ldl_support::prop::{check, pairs, triples, u64s, usizes, vecs, Config, Gen};
+use ldl_support::{SliceRandom, SplitMix64};
 
-fn arb_ground_term() -> impl Strategy<Value = Term> {
-    let leaf = prop_oneof![
-        (-1000i64..1000).prop_map(Term::int),
-        "[a-z][a-z0-9_]{0,6}".prop_map(|s| Term::sym(&s)),
-    ];
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            ("[a-z][a-z0-9_]{0,4}", proptest::collection::vec(inner.clone(), 1..4))
-                .prop_map(|(f, args)| Term::compound(&f, args)),
-            proptest::collection::vec(inner.clone(), 0..4).prop_map(Term::list),
-            proptest::collection::vec(inner, 0..4).prop_map(Term::set),
-        ]
-    })
+fn cfg() -> Config {
+    Config::with_cases(96)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+fn ident(rng: &mut SplitMix64, extra: usize) -> String {
+    let mut s = String::new();
+    s.push((b'a' + rng.gen_range(0u32..26) as u8) as char);
+    for _ in 0..rng.gen_range(0..=extra) {
+        let c = match rng.gen_range(0u32..37) {
+            d @ 0..=25 => (b'a' + d as u8) as char,
+            d @ 26..=35 => (b'0' + (d - 26) as u8) as char,
+            _ => '_',
+        };
+        s.push(c);
+    }
+    s
+}
 
-    /// Any ground term displays to text that parses back to itself.
-    /// (Lists and sets have sugar; compounds use functional notation.)
-    #[test]
-    fn ground_term_display_round_trips(t in arb_ground_term()) {
+fn ground_term(rng: &mut SplitMix64, depth: u32) -> Term {
+    let variants = if depth == 0 { 2 } else { 5 };
+    match rng.gen_range(0u32..variants) {
+        0 => Term::int(rng.gen_range(-1000i64..1000)),
+        1 => Term::sym(&ident(rng, 6)),
+        2 => {
+            let f = ident(rng, 4);
+            let n = rng.gen_range(1usize..4);
+            Term::compound(&f, (0..n).map(|_| ground_term(rng, depth - 1)).collect())
+        }
+        3 => {
+            let n = rng.gen_range(0usize..4);
+            Term::list((0..n).map(|_| ground_term(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = rng.gen_range(0usize..4);
+            Term::set((0..n).map(|_| ground_term(rng, depth - 1)).collect())
+        }
+    }
+}
+
+fn ground_terms() -> Gen<Term> {
+    Gen::new(|rng| ground_term(rng, 3))
+}
+
+/// Any ground term displays to text that parses back to itself.
+/// (Lists and sets have sugar; compounds use functional notation.)
+#[test]
+fn ground_term_display_round_trips() {
+    check("ground_term_display_round_trips", &cfg(), &ground_terms(), |t| {
         let text = t.to_string();
         let parsed = parse_term(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
-        prop_assert_eq!(parsed, t);
-    }
+        assert_eq!(&parsed, t);
+    });
+}
 
-    /// Facts round-trip through a whole program.
-    #[test]
-    fn fact_round_trips_through_program(args in proptest::collection::vec(arb_ground_term(), 1..4)) {
-        let fact = ldl_core::Atom::new("t", args);
-        let text = format!("{fact}.");
-        let p = parse_program(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
-        prop_assert_eq!(&p.facts[0], &fact);
-    }
+/// Facts round-trip through a whole program.
+#[test]
+fn fact_round_trips_through_program() {
+    check(
+        "fact_round_trips_through_program",
+        &cfg(),
+        &vecs(ground_terms(), 1..4),
+        |args| {
+            let fact = ldl_core::Atom::new("t", args.clone());
+            let text = format!("{fact}.");
+            let p = parse_program(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(&p.facts[0], &fact);
+        },
+    );
+}
 
-    /// Set terms are idempotent under re-normalization and insensitive
-    /// to input order/duplicates.
-    #[test]
-    fn set_normalization(items in proptest::collection::vec(arb_ground_term(), 0..6), seed in 0u64..100) {
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
+/// Set terms are idempotent under re-normalization and insensitive to
+/// input order/duplicates.
+#[test]
+fn set_normalization() {
+    let gen = pairs(vecs(ground_terms(), 0..6), u64s(0..100));
+    check("set_normalization", &cfg(), &gen, |(items, seed)| {
         let a = Term::set(items.clone());
         let mut shuffled = items.clone();
-        shuffled.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        shuffled.shuffle(&mut SplitMix64::seed_from_u64(*seed));
         shuffled.extend(items.clone()); // duplicates
         let b = Term::set(shuffled);
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
+}
 
-    /// lgg generalizes: both inputs unify with the lgg.
-    #[test]
-    fn lgg_subsumes_both(a in arb_ground_term(), b in arb_ground_term()) {
-        let g = lgg(&a, &b);
-        prop_assert!(mgu(&g, &a).is_some(), "lgg {g} vs a {a}");
-        prop_assert!(mgu(&g, &b).is_some(), "lgg {g} vs b {b}");
-    }
+/// lgg generalizes: both inputs unify with the lgg.
+#[test]
+fn lgg_subsumes_both() {
+    let gen = pairs(ground_terms(), ground_terms());
+    check("lgg_subsumes_both", &cfg(), &gen, |(a, b)| {
+        let g = lgg(a, b);
+        assert!(mgu(&g, a).is_some(), "lgg {g} vs a {a}");
+        assert!(mgu(&g, b).is_some(), "lgg {g} vs b {b}");
+    });
+}
 
-    /// Adornment bitmask algebra: bind() is monotone and idempotent,
-    /// subsumption is a partial order w.r.t. bound sets.
-    #[test]
-    fn adornment_algebra(arity in 1usize..12, i in 0usize..12, j in 0usize..12) {
+/// Adornment bitmask algebra: bind() is monotone and idempotent,
+/// subsumption is a partial order w.r.t. bound sets.
+#[test]
+fn adornment_algebra() {
+    let gen = triples(usizes(1..12), usizes(0..12), usizes(0..12));
+    check("adornment_algebra", &cfg(), &gen, |&(arity, i, j)| {
         let i = i % arity;
         let j = j % arity;
         let base = Adornment::all_free(arity);
         let once = base.bind(i);
-        prop_assert!(once.is_bound(i));
-        prop_assert_eq!(once.bind(i), once);
+        assert!(once.is_bound(i));
+        assert_eq!(once.bind(i), once);
         let twice = once.bind(j);
-        prop_assert!(twice.subsumes(&once));
-        prop_assert!(twice.subsumes(&base));
-        prop_assert_eq!(twice.bound_count(), if i == j { 1 } else { 2 });
+        assert!(twice.subsumes(&once));
+        assert!(twice.subsumes(&base));
+        assert_eq!(twice.bound_count(), if i == j { 1 } else { 2 });
         // Display/parse round trip.
-        prop_assert_eq!(Adornment::parse(&twice.to_string()).unwrap(), twice);
-    }
+        assert_eq!(Adornment::parse(&twice.to_string()).unwrap(), twice);
+    });
+}
 
-    /// GreedySip always returns a permutation, for every head adornment.
-    #[test]
-    fn greedy_sip_total(nlits in 1usize..6, arity in 1usize..4, mask in 0u64..16) {
+/// GreedySip always returns a permutation, for every head adornment.
+#[test]
+fn greedy_sip_total() {
+    let gen = triples(usizes(1..6), usizes(1..4), u64s(0..16));
+    check("greedy_sip_total", &cfg(), &gen, |&(nlits, arity, mask)| {
         // Build a rule p(X0..X{arity-1}) <- q(X0), q(X1 mod arity), ...
         let head_args: Vec<Term> = (0..arity).map(|i| Term::var(&format!("X{i}"))).collect();
         let head = ldl_core::Atom::new("p", head_args);
@@ -104,6 +151,6 @@ proptest! {
         let ad = Adornment::from_flags(&flags);
         let mut perm = GreedySip.permutation(0, &rule, ad);
         perm.sort_unstable();
-        prop_assert_eq!(perm, (0..nlits).collect::<Vec<_>>());
-    }
+        assert_eq!(perm, (0..nlits).collect::<Vec<_>>());
+    });
 }

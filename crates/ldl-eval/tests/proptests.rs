@@ -2,6 +2,9 @@
 //! (pipelined vs materialized, any order, any join method), fixpoint
 //! method agreement on random data, and SLD vs bottom-up agreement on
 //! terminating programs.
+//!
+//! Runs on `ldl_support::prop`; replay any failure with the
+//! `LDL_PROP_SEED` value printed in the panic message.
 
 use ldl_core::parser::{parse_program, parse_query};
 use ldl_core::unify::Subst;
@@ -12,7 +15,12 @@ use ldl_eval::rule_eval::{eval_rule, OverlaySource};
 use ldl_eval::sld::{solve_sld, SldConfig};
 use ldl_eval::{evaluate_query, FixpointConfig, Method};
 use ldl_storage::{Database, Relation, Tuple};
-use proptest::prelude::*;
+use ldl_support::prop::{check, i64s, pairs, quads, u64s, usizes, vecs, Config, Gen};
+use ldl_support::{SliceRandom, SplitMix64};
+
+fn cfg() -> Config {
+    Config::with_cases(32)
+}
 
 fn edges_text(edges: &[(i64, i64)], pred: &str) -> String {
     let mut s = String::new();
@@ -22,28 +30,26 @@ fn edges_text(edges: &[(i64, i64)], pred: &str) -> String {
     s
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn edge_lists(node_range: i64, len: std::ops::Range<usize>) -> Gen<Vec<(i64, i64)>> {
+    vecs(pairs(i64s(0..node_range), i64s(0..node_range)), len)
+}
 
-    /// The pipelined and materialized executors agree on every order and
-    /// every join method, for random two-join rules.
-    #[test]
-    fn executors_agree(
-        e1 in proptest::collection::vec((0i64..8, 0i64..8), 1..20),
-        e2 in proptest::collection::vec((0i64..8, 0i64..8), 1..20),
-        order_pick in 0usize..2,
-        method_pick in 0usize..3,
-    ) {
+/// The pipelined and materialized executors agree on every order and
+/// every join method, for random two-join rules.
+#[test]
+fn executors_agree() {
+    let gen = quads(edge_lists(8, 1..20), edge_lists(8, 1..20), usizes(0..2), usizes(0..3));
+    check("executors_agree", &cfg(), &gen, |(e1, e2, order_pick, method_pick)| {
         let text = format!(
             "{}{}q(X, Z) <- a(X, Y), b(Y, Z).",
-            edges_text(&e1, "a"),
-            edges_text(&e2, "b")
+            edges_text(e1, "a"),
+            edges_text(e2, "b")
         );
         let program = parse_program(&text).unwrap();
         let db = Database::from_program(&program);
         let rule = &program.rules[0];
-        let order: Vec<usize> = if order_pick == 0 { vec![0, 1] } else { vec![1, 0] };
-        let method = JoinMethod::ALL[method_pick];
+        let order: Vec<usize> = if *order_pick == 0 { vec![0, 1] } else { vec![1, 0] };
+        let method = JoinMethod::ALL[*method_pick];
         let source = OverlaySource { base: |p: Pred| db.relation(p), overlay: None };
         let mat = eval_rule_materialized(rule, &order, method, &source).unwrap();
         let mut pipe = Relation::new(2);
@@ -51,16 +57,16 @@ proptest! {
             pipe.insert(t);
         })
         .unwrap();
-        prop_assert_eq!(mat, pipe);
-    }
+        assert_eq!(mat, pipe);
+    });
+}
 
-    /// All four fixpoint methods agree on bound same-generation queries
-    /// over random forests (up is functional: each child one parent).
-    #[test]
-    fn methods_agree_on_random_sg(
-        parents in proptest::collection::vec(0usize..8, 1..16),
-        query_node in 0i64..24,
-    ) {
+/// All four fixpoint methods agree on bound same-generation queries
+/// over random forests (up is functional: each child one parent).
+#[test]
+fn methods_agree_on_random_sg() {
+    let gen = pairs(vecs(usizes(0..8), 1..16), i64s(0..24));
+    check("methods_agree_on_random_sg", &cfg(), &gen, |(parents, query_node)| {
         // Node i+1..n+1 gets parent `parents[i] % (i+1)` mapped into
         // existing ids — guarantees acyclic, functional up.
         let mut text = String::new();
@@ -78,17 +84,17 @@ proptest! {
         let reference = evaluate_query(&program, &db, &q, Method::Naive, &cfg).unwrap().tuples;
         for m in [Method::SemiNaive, Method::Magic, Method::Counting] {
             let got = evaluate_query(&program, &db, &q, m, &cfg).unwrap().tuples;
-            prop_assert_eq!(&got, &reference, "{} disagrees", m.name());
+            assert_eq!(&got, &reference, "{} disagrees", m.name());
         }
-    }
+    });
+}
 
-    /// SLD resolution agrees with bottom-up evaluation on terminating
-    /// (right-recursive, acyclic) programs.
-    #[test]
-    fn sld_agrees_with_fixpoint(
-        parents in proptest::collection::vec(0usize..6, 1..12),
-        start in 0i64..13,
-    ) {
+/// SLD resolution agrees with bottom-up evaluation on terminating
+/// (right-recursive, acyclic) programs.
+#[test]
+fn sld_agrees_with_fixpoint() {
+    let gen = pairs(vecs(usizes(0..6), 1..12), i64s(0..13));
+    check("sld_agrees_with_fixpoint", &cfg(), &gen, |(parents, start)| {
         let mut text = String::new();
         for (i, &p) in parents.iter().enumerate() {
             let child = (i + 1) as i64;
@@ -100,21 +106,48 @@ proptest! {
         let db = Database::from_program(&program);
         let q = parse_query(&format!("tc({start}, Y)?")).unwrap();
         let (sld, stats) = solve_sld(&program, &db, &q, &SldConfig::default()).unwrap();
-        prop_assert!(!stats.depth_exceeded);
+        assert!(!stats.depth_exceeded);
         let fix = evaluate_query(&program, &db, &q, Method::SemiNaive, &FixpointConfig::default())
             .unwrap()
             .tuples;
-        prop_assert_eq!(sld, fix);
-    }
+        assert_eq!(sld, fix);
+    });
+}
 
-    /// Grouping results are independent of fact order and method.
-    #[test]
-    fn grouping_is_deterministic(mut pairs in proptest::collection::vec((0i64..5, 0i64..10), 1..20), seed in 0u64..50) {
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
-        let base = format!("{}g(K, <V>) <- e(K, V).", edges_text(&pairs, "e"));
-        pairs.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
-        let shuffled = format!("{}g(K, <V>) <- e(K, V).", edges_text(&pairs, "e"));
+/// Magic-sets evaluation agrees with seminaive on bound queries over
+/// arbitrary (possibly cyclic) edge sets — the rewriting restricts
+/// *work*, never *answers*.
+#[test]
+fn magic_agrees_with_seminaive_on_bound_queries() {
+    let gen = pairs(edge_lists(10, 1..30), i64s(0..10));
+    check(
+        "magic_agrees_with_seminaive_on_bound_queries",
+        &Config::with_cases(48),
+        &gen,
+        |(edges, start)| {
+            let mut text = edges_text(edges, "e");
+            text.push_str("tc(X, Y) <- e(X, Y).\ntc(X, Y) <- e(X, Z), tc(Z, Y).\n");
+            let program = parse_program(&text).unwrap();
+            let db = Database::from_program(&program);
+            let q = parse_query(&format!("tc({start}, Y)?")).unwrap();
+            let cfg = FixpointConfig::default();
+            let semi =
+                evaluate_query(&program, &db, &q, Method::SemiNaive, &cfg).unwrap().tuples;
+            let magic = evaluate_query(&program, &db, &q, Method::Magic, &cfg).unwrap().tuples;
+            assert_eq!(magic, semi);
+        },
+    );
+}
+
+/// Grouping results are independent of fact order and method.
+#[test]
+fn grouping_is_deterministic() {
+    let gen = pairs(vecs(pairs(i64s(0..5), i64s(0..10)), 1..20), u64s(0..50));
+    check("grouping_is_deterministic", &cfg(), &gen, |(pairs, seed)| {
+        let base = format!("{}g(K, <V>) <- e(K, V).", edges_text(pairs, "e"));
+        let mut shuffled_pairs = pairs.clone();
+        shuffled_pairs.shuffle(&mut SplitMix64::seed_from_u64(*seed));
+        let shuffled = format!("{}g(K, <V>) <- e(K, V).", edges_text(&shuffled_pairs, "e"));
         let q = parse_query("g(K, S)?").unwrap();
         let cfg = FixpointConfig::default();
         let run = |text: &str, m: Method| {
@@ -125,17 +158,21 @@ proptest! {
         let a = run(&base, Method::SemiNaive);
         let b = run(&shuffled, Method::SemiNaive);
         let c = run(&base, Method::Naive);
-        prop_assert_eq!(&a, &b);
-        prop_assert_eq!(&a, &c);
-    }
+        assert_eq!(&a, &b);
+        assert_eq!(&a, &c);
+    });
+}
 
-    /// Arithmetic evaluation agrees between executors and is
-    /// deterministic for random filter thresholds.
-    #[test]
-    fn arithmetic_filters_agree(ns in proptest::collection::vec(-30i64..30, 1..25), cut in -30i64..30) {
+/// Arithmetic evaluation agrees between executors and is deterministic
+/// for random filter thresholds.
+#[test]
+fn arithmetic_filters_agree() {
+    let gen = pairs(vecs(i64s(-30..30), 1..25), i64s(-30..30));
+    check("arithmetic_filters_agree", &cfg(), &gen, |(ns, cut)| {
+        let cut = *cut;
         let mut text = String::new();
         let mut expected = std::collections::BTreeSet::new();
-        for &n in &ns {
+        for &n in ns {
             text.push_str(&format!("n({n}).\n"));
             if n > cut {
                 expected.insert((n, n * 3));
@@ -148,9 +185,9 @@ proptest! {
         let got = evaluate_query(&program, &db, &q, Method::SemiNaive, &FixpointConfig::default())
             .unwrap()
             .tuples;
-        prop_assert_eq!(got.len(), expected.len());
+        assert_eq!(got.len(), expected.len());
         for (a, b) in expected {
-            prop_assert!(got.contains(&Tuple::ints(&[a, b])));
+            assert!(got.contains(&Tuple::ints(&[a, b])));
         }
-    }
+    });
 }

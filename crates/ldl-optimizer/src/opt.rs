@@ -25,7 +25,6 @@ use crate::cost::{CostModel, CostParams, DefaultCostModel, PlanCost, INFINITE_CO
 use crate::safety;
 use crate::search::anneal::{anneal_generic, AnnealParams};
 use crate::search::Strategy;
-use rand::Rng;
 use ldl_core::adorn::{adorn_atom, adorn_program, FixedSip, GreedySip, SipStrategy};
 use ldl_core::binding::Adornment;
 use ldl_core::depgraph::{Clique, DependencyGraph};

@@ -9,8 +9,7 @@
 
 use crate::joingraph::JoinGraph;
 use crate::search::SearchResult;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ldl_support::SplitMix64;
 
 /// Annealing schedule parameters.
 #[derive(Clone, Debug)]
@@ -43,7 +42,7 @@ impl Default for AnnealParams {
 /// Runs simulated annealing with the swap-two neighbor relation.
 pub fn optimize_anneal(g: &JoinGraph, params: &AnnealParams, seed: u64) -> SearchResult {
     let n = g.n();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut current: Vec<usize> = (0..n).collect();
     // Random restart point: shuffle.
     for i in (1..n).rev() {
@@ -140,12 +139,12 @@ pub fn optimize_anneal(g: &JoinGraph, params: &AnnealParams, seed: u64) -> Searc
 /// for unsafe states.
 pub fn anneal_generic<S: Clone>(
     initial: S,
-    mut neighbor: impl FnMut(&S, &mut StdRng) -> S,
+    mut neighbor: impl FnMut(&S, &mut SplitMix64) -> S,
     mut cost: impl FnMut(&S) -> f64,
     params: &AnnealParams,
     seed: u64,
 ) -> (S, f64, usize) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut current = initial;
     let mut cur_cost = cost(&current);
     let mut best = current.clone();
@@ -185,7 +184,7 @@ mod tests {
     use crate::search::exhaustive::optimize_exhaustive;
 
     fn random_graph(n: usize, seed: u64) -> JoinGraph {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::seed_from_u64(seed);
         let cards: Vec<f64> =
             (0..n).map(|_| 10f64.powf(rng.gen_range(1.0..5.0)).round()).collect();
         let mut g = JoinGraph::new(cards);

@@ -254,11 +254,10 @@ mod tests {
     #[test]
     fn kbz_matches_connected_dp_on_random_trees() {
         use crate::search::exhaustive::optimize_dp_connected;
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use ldl_support::SplitMix64;
         for seed in 0..60u64 {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let n = rng.gen_range(3..9);
+            let mut rng = SplitMix64::seed_from_u64(seed);
+            let n = rng.gen_range(3usize..9);
             let cards: Vec<f64> =
                 (0..n).map(|_| 10f64.powf(rng.gen_range(1.0..5.0)).round()).collect();
             let mut g = JoinGraph::new(cards);

@@ -2,10 +2,9 @@
 
 use crate::tuple::Tuple;
 use ldl_core::Term;
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A hash index over a snapshot of a relation: maps the values at
 /// `key_cols` to the row ids holding them.
@@ -136,7 +135,7 @@ impl Relation {
     /// A (cached) hash index on `cols`. Rebuilt automatically if the
     /// relation changed since the index was built.
     pub fn index_on(&self, cols: &[usize]) -> Arc<Index> {
-        let mut cache = self.index_cache.lock();
+        let mut cache = self.index_cache.lock().expect("index cache lock poisoned");
         match cache.get(cols) {
             Some(idx) if idx.version == self.version => idx.clone(),
             _ => {

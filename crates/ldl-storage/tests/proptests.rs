@@ -1,97 +1,112 @@
 //! Property-based tests for the storage layer: relation set semantics,
 //! index/scan agreement, statistics consistency, and loader round-trips.
+//!
+//! Runs on `ldl_support::prop`; replay any failure with the
+//! `LDL_PROP_SEED` value printed in the panic message.
 
 use ldl_core::Term;
 use ldl_storage::{loader, Relation, Stats, Tuple};
-use proptest::prelude::*;
+use ldl_support::prop::{check, i64s, pairs, vecs, Config, Gen};
 use std::io::Cursor;
 
-fn arb_tuples(arity: usize) -> impl Strategy<Value = Vec<Vec<i64>>> {
-    proptest::collection::vec(proptest::collection::vec(-20i64..20, arity..=arity), 0..60)
+fn cfg() -> Config {
+    Config::with_cases(64)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn tuple_lists(arity: usize) -> Gen<Vec<Vec<i64>>> {
+    vecs(vecs(i64s(-20..20), arity..arity + 1), 0..60)
+}
 
-    /// Relations behave as sets: length equals the number of distinct
-    /// tuples; contains agrees with membership; re-inserting changes
-    /// nothing.
-    #[test]
-    fn relation_set_semantics(rows in arb_tuples(2)) {
+/// Relations behave as sets: length equals the number of distinct
+/// tuples; contains agrees with membership; re-inserting changes
+/// nothing.
+#[test]
+fn relation_set_semantics() {
+    check("relation_set_semantics", &cfg(), &tuple_lists(2), |rows| {
         let mut rel = Relation::new(2);
-        for r in &rows {
+        for r in rows {
             rel.insert(Tuple::ints(r));
         }
         let mut distinct = rows.clone();
         distinct.sort();
         distinct.dedup();
-        prop_assert_eq!(rel.len(), distinct.len());
-        for r in &rows {
-            prop_assert!(rel.contains(&Tuple::ints(r)));
+        assert_eq!(rel.len(), distinct.len());
+        for r in rows {
+            assert!(rel.contains(&Tuple::ints(r)));
         }
         let before = rel.len();
-        for r in &rows {
+        for r in rows {
             rel.insert(Tuple::ints(r));
         }
-        prop_assert_eq!(rel.len(), before);
-    }
+        assert_eq!(rel.len(), before);
+    });
+}
 
-    /// Index probes return exactly the rows a scan would find.
-    #[test]
-    fn index_agrees_with_scan(rows in arb_tuples(2), key in -20i64..20) {
+/// Index probes return exactly the rows a scan would find.
+#[test]
+fn index_agrees_with_scan() {
+    let gen = pairs(tuple_lists(2), i64s(-20..20));
+    check("index_agrees_with_scan", &cfg(), &gen, |(rows, key)| {
+        let key = *key;
         let rel = Relation::from_tuples(2, rows.iter().map(|r| Tuple::ints(r)));
         let idx = rel.index_on(&[0]);
         let via_index: Vec<&Tuple> =
             idx.probe(&[Term::int(key)]).iter().map(|&i| rel.row(i)).collect();
         let via_scan: Vec<&Tuple> =
             rel.iter().filter(|t| t.get(0) == &Term::int(key)).collect();
-        prop_assert_eq!(via_index.len(), via_scan.len());
+        assert_eq!(via_index.len(), via_scan.len());
         for t in via_scan {
-            prop_assert!(via_index.contains(&t));
+            assert!(via_index.contains(&t));
         }
-    }
+    });
+}
 
-    /// Measured statistics are internally consistent: distinct counts
-    /// never exceed cardinality and are at least 1 for nonempty columns.
-    #[test]
-    fn stats_consistency(rows in arb_tuples(3)) {
+/// Measured statistics are internally consistent: distinct counts
+/// never exceed cardinality and are at least 1 for nonempty columns.
+#[test]
+fn stats_consistency() {
+    check("stats_consistency", &cfg(), &tuple_lists(3), |rows| {
         let rel = Relation::from_tuples(3, rows.iter().map(|r| Tuple::ints(r)));
         let s = Stats::measure(&rel);
-        prop_assert_eq!(s.cardinality as usize, rel.len());
+        assert_eq!(s.cardinality as usize, rel.len());
         for c in 0..3 {
-            prop_assert!(s.distinct[c] <= s.cardinality.max(0.0));
+            assert!(s.distinct[c] <= s.cardinality.max(0.0));
             if !rel.is_empty() {
-                prop_assert!(s.distinct[c] >= 1.0);
+                assert!(s.distinct[c] >= 1.0);
             }
             // Selectivity in (0, 1].
             let sel = s.eq_selectivity(c);
-            prop_assert!(sel > 0.0 && sel <= 1.0);
+            assert!(sel > 0.0 && sel <= 1.0);
         }
-    }
+    });
+}
 
-    /// TSV write → read is the identity on integer relations.
-    #[test]
-    fn loader_round_trip(rows in arb_tuples(2)) {
+/// TSV write → read is the identity on integer relations.
+#[test]
+fn loader_round_trip() {
+    check("loader_round_trip", &cfg(), &tuple_lists(2), |rows| {
         let rel = Relation::from_tuples(2, rows.iter().map(|r| Tuple::ints(r)));
         let mut buf = Vec::new();
         loader::write_relation(&rel, &mut buf, '\t').unwrap();
         let back = loader::read_relation(Cursor::new(buf), 2, '\t').unwrap();
-        prop_assert_eq!(rel, back);
-    }
+        assert_eq!(rel, back);
+    });
+}
 
-    /// Version counter increments exactly on novel inserts, so cached
-    /// indexes can rely on it for staleness detection.
-    #[test]
-    fn version_tracks_novel_inserts(rows in arb_tuples(1)) {
+/// Version counter increments exactly on novel inserts, so cached
+/// indexes can rely on it for staleness detection.
+#[test]
+fn version_tracks_novel_inserts() {
+    check("version_tracks_novel_inserts", &cfg(), &tuple_lists(1), |rows| {
         let mut rel = Relation::new(1);
         let mut expected = 0u64;
         let mut seen = std::collections::HashSet::new();
-        for r in &rows {
+        for r in rows {
             if seen.insert(r.clone()) {
                 expected += 1;
             }
             rel.insert(Tuple::ints(r));
-            prop_assert_eq!(rel.version(), expected);
+            assert_eq!(rel.version(), expected);
         }
-    }
+    });
 }

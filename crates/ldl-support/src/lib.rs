@@ -1,0 +1,26 @@
+//! # ldl-support — hermetic test & bench infrastructure
+//!
+//! The LDL workspace builds with **zero external dependencies**; this
+//! crate supplies the three pieces that used to come from crates.io:
+//!
+//! * [`rng`] — a deterministic [SplitMix64] PRNG with the small sampling
+//!   surface the optimizer needs (`gen_range`, `gen_bool`, `shuffle`,
+//!   seedable), replacing `rand`;
+//! * [`prop`] — a minimal property-testing harness (composable
+//!   generators, configurable case count, greedy shrinking, failure-seed
+//!   reporting), replacing `proptest`;
+//! * [`bench`] — a lightweight bench harness (warmup + N timed
+//!   iterations, median/p95, JSON output to `BENCH_*.json`), replacing
+//!   `criterion`.
+//!
+//! Everything is seeded and reproducible: the randomized search
+//! (simulated annealing, §7 of the paper) and the plan-space property
+//! suites replay bit-for-bit across runs and machines.
+//!
+//! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
+
+pub mod bench;
+pub mod prop;
+pub mod rng;
+
+pub use rng::{SliceRandom, SplitMix64};

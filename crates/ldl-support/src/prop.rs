@@ -1,0 +1,464 @@
+//! Minimal property-testing harness: composable generators, a
+//! configurable case count, greedy shrinking, and failure-seed
+//! reporting.
+//!
+//! A property is an ordinary closure that panics (via `assert!` and
+//! friends) on a counterexample. [`check`] drives it over `cases`
+//! generated inputs; on failure it greedily shrinks the input to a
+//! local minimum and panics with the seed needed to replay the exact
+//! run:
+//!
+//! ```
+//! use ldl_support::prop::{check, vecs, i64s, Config};
+//!
+//! let gen = vecs(i64s(-100..100), 0..20);
+//! check("sum-is-commutative", &Config::with_cases(64), &gen, |xs| {
+//!     let rev: i64 = xs.iter().rev().sum();
+//!     assert_eq!(xs.iter().sum::<i64>(), rev);
+//! });
+//! ```
+//!
+//! Environment overrides (for CI and for replaying failures):
+//! * `LDL_PROP_CASES` — overrides every `Config::cases`;
+//! * `LDL_PROP_SEED` — overrides every `Config::seed` (the failure
+//!   message prints the value to use).
+
+use crate::rng::SplitMix64;
+use std::fmt::Debug;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+
+/// Harness configuration for one [`check`] call.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of generated cases.
+    pub cases: u32,
+    /// Base seed; case `i` runs on a stream derived from `seed` and `i`.
+    pub seed: u64,
+    /// Cap on shrink-candidate evaluations after a failure.
+    pub max_shrink_steps: u32,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { cases: 64, seed: 0x01D1_5EED_5EED_5EED, max_shrink_steps: 2048 }
+    }
+}
+
+impl Config {
+    /// Default config with the given case count.
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases, ..Config::default() }
+    }
+
+    /// Same config with a different base seed.
+    pub fn seeded(mut self, seed: u64) -> Config {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A composable generator: produces values from a [`SplitMix64`] stream
+/// and proposes smaller candidates when shrinking a counterexample.
+pub struct Gen<T> {
+    gen: Rc<dyn Fn(&mut SplitMix64) -> T>,
+    shrink: Shrinker<T>,
+}
+
+/// Shrink function: proposes strictly "smaller" candidates for a
+/// failing value, nearest-first.
+type Shrinker<T> = Rc<dyn Fn(&T) -> Vec<T>>;
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Gen<T> {
+        Gen { gen: self.gen.clone(), shrink: self.shrink.clone() }
+    }
+}
+
+impl<T: 'static> Gen<T> {
+    /// Generator from a sampling function, with no shrinking.
+    pub fn new(f: impl Fn(&mut SplitMix64) -> T + 'static) -> Gen<T> {
+        Gen { gen: Rc::new(f), shrink: Rc::new(|_| Vec::new()) }
+    }
+
+    /// Attaches a shrinker: given a failing value, propose strictly
+    /// "smaller" candidates to try (nearest-first).
+    pub fn with_shrink(self, s: impl Fn(&T) -> Vec<T> + 'static) -> Gen<T> {
+        Gen { gen: self.gen, shrink: Rc::new(s) }
+    }
+
+    /// Samples one value.
+    pub fn generate(&self, rng: &mut SplitMix64) -> T {
+        (self.gen)(rng)
+    }
+
+    /// Shrink candidates for a failing value.
+    pub fn shrink(&self, v: &T) -> Vec<T> {
+        (self.shrink)(v)
+    }
+
+    /// Maps the generated value. Shrinking does not transport through
+    /// an arbitrary function; attach one with [`Gen::with_shrink`] if
+    /// the mapped domain has a useful ordering.
+    pub fn map<U: 'static>(self, f: impl Fn(T) -> U + 'static) -> Gen<U> {
+        let g = self.gen;
+        Gen::new(move |rng| f(g(rng)))
+    }
+}
+
+/// Generator that always yields a clone of `value`.
+pub fn constant<T: Clone + 'static>(value: T) -> Gen<T> {
+    Gen::new(move |_| value.clone())
+}
+
+/// Uniform `i64` in `[lo, hi)`, shrinking toward the in-range value
+/// closest to zero.
+pub fn i64s(range: std::ops::Range<i64>) -> Gen<i64> {
+    let (lo, hi) = (range.start, range.end);
+    Gen::new(move |rng| rng.gen_range(lo..hi)).with_shrink(move |&v| {
+        let target = 0.clamp(lo, hi - 1);
+        let mut out = vec![
+            target,
+            v - (v - target) / 2,
+            v - (v - target).signum(),
+        ];
+        out.dedup();
+        out.retain(|c| (lo..hi).contains(c) && *c != v);
+        out
+    })
+}
+
+/// Uniform `usize` in `[lo, hi)`, shrinking toward `lo`.
+pub fn usizes(range: std::ops::Range<usize>) -> Gen<usize> {
+    let (lo, hi) = (range.start, range.end);
+    Gen::new(move |rng| rng.gen_range(lo..hi)).with_shrink(move |&v| {
+        let mut out = Vec::new();
+        if v != lo {
+            out.push(lo);
+            out.push(lo + (v - lo) / 2);
+            out.push(v - 1);
+        }
+        out.dedup();
+        out.retain(|c| (lo..hi).contains(c) && *c != v);
+        out
+    })
+}
+
+/// Uniform `u64` in `[lo, hi)`, shrinking toward `lo`.
+pub fn u64s(range: std::ops::Range<u64>) -> Gen<u64> {
+    let (lo, hi) = (range.start, range.end);
+    Gen::new(move |rng| rng.gen_range(lo..hi)).with_shrink(move |&v| {
+        let mut out = Vec::new();
+        if v != lo {
+            out.push(lo);
+            out.push(lo + (v - lo) / 2);
+            out.push(v - 1);
+        }
+        out.dedup();
+        out.retain(|c| (lo..hi).contains(c) && *c != v);
+        out
+    })
+}
+
+/// Uniform `f64` in `[lo, hi)` (no shrinking — float counterexamples
+/// rarely simplify usefully).
+pub fn f64s(range: std::ops::Range<f64>) -> Gen<f64> {
+    let (lo, hi) = (range.start, range.end);
+    Gen::new(move |rng| rng.gen_range(lo..hi))
+}
+
+/// Uniform `bool`, shrinking `true` to `false`.
+pub fn bools() -> Gen<bool> {
+    Gen::new(|rng| rng.gen::<bool>())
+        .with_shrink(|&v| if v { vec![false] } else { Vec::new() })
+}
+
+/// Vector of `elem` with length drawn from `len` — shrinks by dropping
+/// the back half, dropping single elements, and shrinking elements.
+pub fn vecs<T: Clone + 'static>(elem: Gen<T>, len: std::ops::Range<usize>) -> Gen<Vec<T>> {
+    let (lo, hi) = (len.start, len.end);
+    let gen_elem = elem.clone();
+    Gen::new(move |rng| {
+        let n = rng.gen_range(lo..hi);
+        (0..n).map(|_| gen_elem.generate(rng)).collect()
+    })
+    .with_shrink(move |v: &Vec<T>| {
+        let mut out: Vec<Vec<T>> = Vec::new();
+        let n = v.len();
+        // Structural shrinks first: shorter vectors fail faster.
+        if n > lo {
+            out.push(v[..lo].to_vec());
+            if n / 2 > lo {
+                out.push(v[..n / 2].to_vec());
+            }
+            for i in 0..n {
+                let mut c = v.clone();
+                c.remove(i);
+                out.push(c);
+            }
+        }
+        // Then element-wise shrinks, one position at a time.
+        for i in 0..n {
+            for cand in elem.shrink(&v[i]) {
+                let mut c = v.clone();
+                c[i] = cand;
+                out.push(c);
+            }
+        }
+        out
+    })
+}
+
+/// Pair of independent generators; shrinks componentwise.
+pub fn pairs<A: Clone + 'static, B: Clone + 'static>(a: Gen<A>, b: Gen<B>) -> Gen<(A, B)> {
+    let (ga, gb) = (a.clone(), b.clone());
+    Gen::new(move |rng| (ga.generate(rng), gb.generate(rng))).with_shrink(move |(x, y)| {
+        let mut out = Vec::new();
+        for c in a.shrink(x) {
+            out.push((c, y.clone()));
+        }
+        for c in b.shrink(y) {
+            out.push((x.clone(), c));
+        }
+        out
+    })
+}
+
+/// Triple of independent generators; shrinks componentwise.
+pub fn triples<A: Clone + 'static, B: Clone + 'static, C: Clone + 'static>(
+    a: Gen<A>,
+    b: Gen<B>,
+    c: Gen<C>,
+) -> Gen<(A, B, C)> {
+    pairs(a, pairs(b, c)).map(|(x, (y, z))| (x, y, z))
+}
+
+/// Quadruple of independent generators; shrinks componentwise.
+pub fn quads<A: Clone + 'static, B: Clone + 'static, C: Clone + 'static, D: Clone + 'static>(
+    a: Gen<A>,
+    b: Gen<B>,
+    c: Gen<C>,
+    d: Gen<D>,
+) -> Gen<(A, B, C, D)> {
+    pairs(pairs(a, b), pairs(c, d)).map(|((x, y), (z, w))| (x, y, z, w))
+}
+
+/// Picks one of the given generators uniformly per case.
+pub fn one_of<T: 'static>(gens: Vec<Gen<T>>) -> Gen<T> {
+    assert!(!gens.is_empty(), "one_of: no generators");
+    Gen::new(move |rng| gens[rng.gen_range(0..gens.len())].generate(rng))
+}
+
+/// Lowercase identifier `[a-z][a-z0-9_]{0,extra}` — the shape LDL
+/// symbols and functors take.
+pub fn idents(extra: usize) -> Gen<String> {
+    Gen::new(move |rng| {
+        let mut s = String::new();
+        s.push((b'a' + rng.gen_range(0u32..26) as u8) as char);
+        let tail = rng.gen_range(0..=extra);
+        for _ in 0..tail {
+            let c = match rng.gen_range(0u32..37) {
+                d @ 0..=25 => (b'a' + d as u8) as char,
+                d @ 26..=35 => (b'0' + (d - 26) as u8) as char,
+                _ => '_',
+            };
+            s.push(c);
+        }
+        s
+    })
+    .with_shrink(|s: &String| if s.len() > 1 { vec![s[..1].to_string()] } else { Vec::new() })
+}
+
+/// Runs `prop` over `cfg.cases` generated inputs. On a failure the
+/// input is greedily shrunk and the harness panics with the base seed,
+/// the per-case seed, and the minimal counterexample, so the exact run
+/// replays with `LDL_PROP_SEED=<seed> cargo test <name>`.
+pub fn check<T: Debug + 'static>(name: &str, cfg: &Config, gen: &Gen<T>, prop: impl Fn(&T)) {
+    let cases = match std::env::var("LDL_PROP_CASES") {
+        Ok(v) => v.parse().unwrap_or(cfg.cases),
+        Err(_) => cfg.cases,
+    };
+    let seed = match std::env::var("LDL_PROP_SEED") {
+        Ok(v) => parse_seed(&v).unwrap_or(cfg.seed),
+        Err(_) => cfg.seed,
+    };
+    for case in 0..cases {
+        let case_seed = seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = SplitMix64::seed_from_u64(case_seed);
+        let value = gen.generate(&mut rng);
+        if let Some(msg) = failure_of(&prop, &value) {
+            let (min, min_msg, steps) =
+                shrink_to_minimal(gen, &prop, value, msg, cfg.max_shrink_steps);
+            panic!(
+                "[{name}] property falsified on case {case} of {cases} \
+                 (base seed {seed:#x}, case seed {case_seed:#x}); replay with \
+                 LDL_PROP_SEED={seed:#x}\n\
+                 minimal counterexample (after {steps} shrink steps): {min:#?}\n\
+                 failure: {min_msg}"
+            );
+        }
+    }
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Runs the property on one value, capturing a panic as the failure
+/// message.
+fn failure_of<T>(prop: &impl Fn(&T), value: &T) -> Option<String> {
+    match catch_unwind(AssertUnwindSafe(|| prop(value))) {
+        Ok(()) => None,
+        Err(e) => Some(panic_message(&e)),
+    }
+}
+
+fn panic_message(e: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Greedy shrinking: repeatedly move to the first shrink candidate that
+/// still fails, until no candidate fails or the step budget runs out.
+fn shrink_to_minimal<T: Debug + 'static>(
+    gen: &Gen<T>,
+    prop: &impl Fn(&T),
+    mut current: T,
+    mut message: String,
+    max_steps: u32,
+) -> (T, String, u32) {
+    let mut steps = 0u32;
+    'outer: while steps < max_steps {
+        for candidate in gen.shrink(&current) {
+            steps += 1;
+            if steps >= max_steps {
+                break 'outer;
+            }
+            if let Some(msg) = failure_of(prop, &candidate) {
+                current = candidate;
+                message = msg;
+                continue 'outer;
+            }
+        }
+        break; // local minimum: no candidate fails
+    }
+    (current, message, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let count = Cell::new(0u32);
+        check("tautology", &Config::with_cases(50), &i64s(-10..10), |_| {
+            count.set(count.get() + 1);
+        });
+        assert_eq!(count.get(), 50);
+    }
+
+    #[test]
+    fn failing_property_panics_with_seed() {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            check("always-false", &Config::with_cases(10), &i64s(0..100), |_| {
+                panic!("nope");
+            });
+        }));
+        let msg = panic_message(&r.unwrap_err());
+        assert!(msg.contains("LDL_PROP_SEED="), "no replay seed in: {msg}");
+        assert!(msg.contains("always-false"), "no test name in: {msg}");
+    }
+
+    #[test]
+    fn shrinking_finds_boundary() {
+        // Fails for v >= 57: greedy shrink must land exactly on 57.
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            check("ge-57", &Config::with_cases(200), &i64s(0..1000), |&v| {
+                assert!(v < 57);
+            });
+        }));
+        let msg = panic_message(&r.unwrap_err());
+        assert!(msg.contains("counterexample"), "msg: {msg}");
+        assert!(msg.contains("57"), "did not shrink to 57: {msg}");
+    }
+
+    #[test]
+    fn vec_shrinking_minimizes_length() {
+        // Fails when the vec contains any negative number; the minimal
+        // counterexample is a single element.
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            check(
+                "no-negatives",
+                &Config::with_cases(100),
+                &vecs(i64s(-50..50), 0..20),
+                |xs| assert!(xs.iter().all(|&x| x >= 0)),
+            );
+        }));
+        let msg = panic_message(&r.unwrap_err());
+        // The minimal vec renders as a single-element debug list.
+        assert!(msg.contains("counterexample"), "msg: {msg}");
+        assert!(
+            msg.contains("[\n    -1,\n]") || msg.contains("[-1]"),
+            "did not shrink to [-1]: {msg}"
+        );
+    }
+
+    #[test]
+    fn fixed_seed_reproduces_values() {
+        let collect = |seed: u64| {
+            let mut out = Vec::new();
+            let gen = vecs(i64s(0..1000), 0..8);
+            let mut rng = SplitMix64::seed_from_u64(seed);
+            for _ in 0..10 {
+                out.push(gen.generate(&mut rng));
+            }
+            out
+        };
+        assert_eq!(collect(99), collect(99));
+        assert_ne!(collect(99), collect(100));
+    }
+
+    #[test]
+    fn pairs_shrink_componentwise() {
+        let g = pairs(i64s(0..100), i64s(0..100));
+        let shrunk = g.shrink(&(10, 20));
+        assert!(shrunk.iter().any(|&(a, b)| a < 10 && b == 20));
+        assert!(shrunk.iter().any(|&(a, b)| a == 10 && b < 20));
+    }
+
+    #[test]
+    fn one_of_samples_every_branch() {
+        let g = one_of(vec![constant(1), constant(2), constant(3)]);
+        let mut rng = SplitMix64::seed_from_u64(5);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[(g.generate(&mut rng) - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn idents_are_valid() {
+        let g = idents(6);
+        let mut rng = SplitMix64::seed_from_u64(3);
+        for _ in 0..200 {
+            let s = g.generate(&mut rng);
+            let mut chars = s.chars();
+            assert!(chars.next().unwrap().is_ascii_lowercase());
+            assert!(chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+            assert!(s.len() <= 7);
+        }
+    }
+}

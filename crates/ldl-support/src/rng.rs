@@ -1,0 +1,295 @@
+//! Deterministic PRNG: SplitMix64 with the sampling surface the
+//! optimizer and harnesses need.
+//!
+//! SplitMix64 is a 64-bit finalizer-based generator: one add and three
+//! xor-shift-multiply rounds per output, passes BigCrush, and — unlike
+//! `rand`'s `StdRng` — is guaranteed stable across versions because it
+//! lives in this repository. Every randomized component of the
+//! workspace (annealing, workload generation, property tests) threads a
+//! seed into [`SplitMix64::seed_from_u64`], so runs replay exactly.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A seedable, deterministic 64-bit PRNG (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed. Identical seeds yield
+    /// identical streams, forever.
+    pub fn seed_from_u64(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Unbiased uniform draw from `[0, span)` via rejection sampling.
+    fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        let limit = u64::MAX - u64::MAX % span;
+        loop {
+            let v = self.next_u64();
+            if v < limit {
+                return v % span;
+            }
+        }
+    }
+
+    /// A uniform value of `T` (`bool`, `f64`, `u64`).
+    pub fn gen<T: FromRng>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// Uniform draw from a half-open or inclusive range. Panics on an
+    /// empty range.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// A statistically independent generator split off this one (for
+    /// handing substreams to parallel workers).
+    pub fn fork(&mut self) -> SplitMix64 {
+        SplitMix64::seed_from_u64(self.next_u64())
+    }
+}
+
+/// Types [`SplitMix64::gen`] can produce.
+pub trait FromRng {
+    /// Draws one uniform value.
+    fn from_rng(rng: &mut SplitMix64) -> Self;
+}
+
+impl FromRng for u64 {
+    fn from_rng(rng: &mut SplitMix64) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl FromRng for f64 {
+    fn from_rng(rng: &mut SplitMix64) -> f64 {
+        rng.next_f64()
+    }
+}
+
+impl FromRng for bool {
+    fn from_rng(rng: &mut SplitMix64) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges [`SplitMix64::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The element type of the range.
+    type Output;
+    /// Draws one uniform value from the range.
+    fn sample(self, rng: &mut SplitMix64) -> Self::Output;
+}
+
+macro_rules! int_sample_range {
+    ($t:ty) => {
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut SplitMix64) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range {self:?}");
+                let span = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut SplitMix64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range {lo}..={hi}");
+                let span = hi.wrapping_sub(lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span + 1) as $t)
+            }
+        }
+    };
+}
+
+int_sample_range!(usize);
+int_sample_range!(u64);
+int_sample_range!(u32);
+int_sample_range!(i64);
+int_sample_range!(i32);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut SplitMix64) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range {self:?}");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+/// Slice extensions mirroring `rand::seq::SliceRandom`, so call sites
+/// read `xs.shuffle(&mut rng)`.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+    /// Fisher–Yates shuffle in place.
+    fn shuffle(&mut self, rng: &mut SplitMix64);
+    /// A uniformly chosen element, or `None` when empty.
+    fn choose(&self, rng: &mut SplitMix64) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle(&mut self, rng: &mut SplitMix64) {
+        rng.shuffle(self);
+    }
+
+    fn choose(&self, rng: &mut SplitMix64) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = SplitMix64::seed_from_u64(42);
+        let mut b = SplitMix64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn known_answer_vector() {
+        // First outputs of SplitMix64 with seed 1234567, from the
+        // reference implementation (prng.di.unimi.it/splitmix64.c).
+        let mut r = SplitMix64::seed_from_u64(1234567);
+        assert_eq!(r.next_u64(), 6457827717110365317);
+        assert_eq!(r.next_u64(), 3203168211198807973);
+        assert_eq!(r.next_u64(), 9817491932198370423);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::seed_from_u64(1);
+        let mut b = SplitMix64::seed_from_u64(2);
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = SplitMix64::seed_from_u64(7);
+        for _ in 0..2000 {
+            let v = r.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let v = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+            let v = r.gen_range(0usize..=4);
+            assert!(v <= 4);
+            let f = r.gen_range(-2.5f64..1.5);
+            assert!((-2.5..1.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut r = SplitMix64::seed_from_u64(11);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[r.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = SplitMix64::seed_from_u64(9);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            sum += f;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut r = SplitMix64::seed_from_u64(13);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits {hits}");
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.1)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SplitMix64::seed_from_u64(17);
+        let mut xs: Vec<usize> = (0..50).collect();
+        xs.shuffle(&mut r);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, (0..50).collect::<Vec<_>>(), "50 elements left in place");
+    }
+
+    #[test]
+    fn choose_returns_member() {
+        let mut r = SplitMix64::seed_from_u64(19);
+        let xs = [10, 20, 30];
+        for _ in 0..20 {
+            assert!(xs.contains(xs.choose(&mut r).unwrap()));
+        }
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut r).is_none());
+    }
+
+    #[test]
+    fn fork_produces_independent_stream() {
+        let mut a = SplitMix64::seed_from_u64(23);
+        let mut b = a.fork();
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        SplitMix64::seed_from_u64(0).gen_range(5usize..5);
+    }
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI battery for the ldl-opt workspace. Exits nonzero on the first
+# failure. Runs fully offline — the workspace has no external
+# dependencies, so --offline only asserts that property.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release (tier-1)"
+cargo build --release --offline
+
+echo "==> cargo test -q (tier-1, root package)"
+cargo test -q --offline
+
+echo "==> cargo test --workspace (all crates: unit + integration + property)"
+cargo test -q --offline --workspace
+
+echo "==> cargo build --workspace --all-targets (benches + experiment bins)"
+cargo build --offline --workspace --all-targets
+
+if cargo clippy --offline --version >/dev/null 2>&1; then
+    echo "==> cargo clippy --workspace --all-targets"
+    cargo clippy --offline --workspace --all-targets -- -D warnings
+else
+    echo "==> clippy not installed; skipping lint pass"
+fi
+
+echo "CI battery passed."

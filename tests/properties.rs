@@ -1,7 +1,9 @@
-//! Property-based tests (proptest) over the core invariants:
-//! search-strategy dominance relations, cost-function invariants,
-//! unification laws, parser round-trips, and method agreement on random
-//! Datalog programs.
+//! Property-based tests over the core invariants: search-strategy
+//! dominance relations, cost-function invariants, unification laws,
+//! parser round-trips, and method agreement on random Datalog programs.
+//!
+//! Runs on `ldl_support::prop`; replay any failure with the
+//! `LDL_PROP_SEED` value printed in the panic message.
 
 use ldl::core::parser::{parse_program, parse_query};
 use ldl::core::unify::{mgu, Subst};
@@ -12,187 +14,232 @@ use ldl::optimizer::search::exhaustive::{optimize_dp, optimize_dp_connected, opt
 use ldl::optimizer::search::kbz::optimize_kbz;
 use ldl::optimizer::JoinGraph;
 use ldl::storage::Database;
-use proptest::prelude::*;
+use ldl_support::prop::{check, i64s, pairs, u64s, vecs, Config, Gen};
+use ldl_support::{SliceRandom, SplitMix64};
 
 // ---------------------------------------------------------------------
 // Join-graph / search-strategy properties
 // ---------------------------------------------------------------------
 
-fn arb_join_graph(max_n: usize) -> impl Strategy<Value = JoinGraph> {
-    (2..=max_n)
-        .prop_flat_map(|n| {
-            let cards = proptest::collection::vec(1.0f64..1e5, n..=n);
-            let edges = proptest::collection::vec(
-                (0..n, 0..n, 1e-4f64..1.0),
-                0..(2 * n),
-            );
-            (Just(n), cards, edges)
-        })
-        .prop_map(|(n, cards, edges)| {
-            let mut g = JoinGraph::new(cards.iter().map(|c| c.round()).collect());
-            for (i, j, s) in edges {
-                if i != j {
-                    g.set_selectivity(i, j, s);
-                }
-                let _ = n;
-            }
-            g
-        })
+/// Raw join-graph description: (n, cardinalities, (i, j, selectivity)
+/// edges). Kept as plain data so failures print a readable
+/// counterexample; [`build_graph`] assembles the real structure.
+type RawGraph = (usize, Vec<f64>, Vec<(usize, usize, f64)>);
+
+fn raw_graphs(max_n: usize) -> Gen<RawGraph> {
+    Gen::new(move |rng| {
+        let n = rng.gen_range(2usize..max_n + 1);
+        let cards: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..1e5)).collect();
+        let n_edges = rng.gen_range(0usize..2 * n);
+        let edges: Vec<(usize, usize, f64)> = (0..n_edges)
+            .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n), rng.gen_range(1e-4..1.0)))
+            .collect();
+        (n, cards, edges)
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn build_graph(raw: &RawGraph) -> JoinGraph {
+    let (_, cards, edges) = raw;
+    let mut g = JoinGraph::new(cards.iter().map(|c| c.round()).collect());
+    for &(i, j, s) in edges {
+        if i != j {
+            g.set_selectivity(i, j, s);
+        }
+    }
+    g
+}
 
-    /// DP equals exhaustive enumeration (both exact over all orders).
-    #[test]
-    fn dp_equals_exhaustive(g in arb_join_graph(6)) {
+/// DP equals exhaustive enumeration (both exact over all orders).
+#[test]
+fn dp_equals_exhaustive() {
+    check("dp_equals_exhaustive", &Config::with_cases(64), &raw_graphs(6), |raw| {
+        let g = build_graph(raw);
         let ex = optimize_exhaustive(&g);
         let dp = optimize_dp(&g);
-        prop_assert!((ex.cost - dp.cost).abs() <= 1e-9 * ex.cost.max(1.0),
-            "ex {} vs dp {}", ex.cost, dp.cost);
-    }
+        assert!(
+            (ex.cost - dp.cost).abs() <= 1e-9 * ex.cost.max(1.0),
+            "ex {} vs dp {}",
+            ex.cost,
+            dp.cost
+        );
+    });
+}
 
-    /// No strategy returns a cost below the true optimum, and every
-    /// strategy returns a valid permutation.
-    #[test]
-    fn strategies_dominate_optimum(g in arb_join_graph(7)) {
+/// No strategy returns a cost below the true optimum, and every
+/// strategy returns a valid permutation.
+#[test]
+fn strategies_dominate_optimum() {
+    check("strategies_dominate_optimum", &Config::with_cases(64), &raw_graphs(7), |raw| {
+        let g = build_graph(raw);
         let opt = optimize_dp(&g).cost;
         for r in [
             optimize_kbz(&g),
             optimize_dp_connected(&g),
             optimize_anneal(&g, &AnnealParams { max_probes: 1500, ..AnnealParams::default() }, 1),
         ] {
-            prop_assert!(r.cost >= opt * (1.0 - 1e-9));
+            assert!(r.cost >= opt * (1.0 - 1e-9));
             let mut o = r.order.clone();
             o.sort_unstable();
-            prop_assert_eq!(o, (0..g.n()).collect::<Vec<_>>());
+            assert_eq!(o, (0..g.n()).collect::<Vec<_>>());
             // The reported cost matches re-evaluating the order.
-            prop_assert!((g.sequence_cost(&r.order) - r.cost).abs() <= 1e-9 * r.cost.max(1.0));
+            assert!((g.sequence_cost(&r.order) - r.cost).abs() <= 1e-9 * r.cost.max(1.0));
         }
-    }
+    });
+}
 
-    /// Final cardinality is permutation-invariant (logical equivalence of
-    /// all orders in the execution space).
-    #[test]
-    fn final_cardinality_is_order_invariant(g in arb_join_graph(6), seed in 0u64..1000) {
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
+/// Final cardinality is permutation-invariant (logical equivalence of
+/// all orders in the execution space).
+#[test]
+fn final_cardinality_is_order_invariant() {
+    let gen = pairs(raw_graphs(6), u64s(0..1000));
+    check("final_cardinality_is_order_invariant", &Config::with_cases(64), &gen, |(raw, seed)| {
+        let g = build_graph(raw);
         let n = g.n();
         let id: Vec<usize> = (0..n).collect();
         let mut shuffled = id.clone();
-        shuffled.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        shuffled.shuffle(&mut SplitMix64::seed_from_u64(*seed));
         let (_, c1) = g.sequence_cost_card(&id);
         let (_, c2) = g.sequence_cost_card(&shuffled);
-        prop_assert!((c1 - c2).abs() <= 1e-6 * c1.max(1.0));
-    }
+        assert!((c1 - c2).abs() <= 1e-6 * c1.max(1.0));
+    });
+}
 
-    /// Cost is monotone: scaling every cardinality up scales cost up.
-    #[test]
-    fn cost_monotone_in_cardinalities(g in arb_join_graph(5)) {
+/// Cost is monotone: scaling every cardinality up scales cost up.
+#[test]
+fn cost_monotone_in_cardinalities() {
+    check("cost_monotone_in_cardinalities", &Config::with_cases(64), &raw_graphs(5), |raw| {
+        let g = build_graph(raw);
         let id: Vec<usize> = (0..g.n()).collect();
         let base = g.sequence_cost(&id);
         let mut bigger = JoinGraph::new((0..g.n()).map(|i| g.card(i) * 2.0).collect());
         for (i, j, s) in g.edges() {
             bigger.set_selectivity(i, j, s);
         }
-        prop_assert!(bigger.sequence_cost(&id) >= base);
-    }
+        assert!(bigger.sequence_cost(&id) >= base);
+    });
 }
 
 // ---------------------------------------------------------------------
 // Unification properties
 // ---------------------------------------------------------------------
 
-fn arb_term() -> impl Strategy<Value = Term> {
-    let leaf = prop_oneof![
-        (0i64..100).prop_map(Term::int),
-        (0u8..4).prop_map(|i| Term::var(["X", "Y", "Z", "W"][i as usize])),
-        (0u8..3).prop_map(|i| Term::sym(["a", "b", "c"][i as usize])),
-    ];
-    leaf.prop_recursive(3, 16, 3, |inner| {
-        (0u8..2, proptest::collection::vec(inner, 1..3))
-            .prop_map(|(f, args)| Term::compound(["f", "g"][f as usize], args))
-    })
+fn small_term(rng: &mut SplitMix64, depth: u32) -> Term {
+    let variants = if depth == 0 { 3 } else { 4 };
+    match rng.gen_range(0u32..variants) {
+        0 => Term::int(rng.gen_range(0i64..100)),
+        1 => Term::var(["X", "Y", "Z", "W"][rng.gen_range(0usize..4)]),
+        2 => Term::sym(["a", "b", "c"][rng.gen_range(0usize..3)]),
+        _ => {
+            let f = ["f", "g"][rng.gen_range(0usize..2)];
+            let n = rng.gen_range(1usize..3);
+            Term::compound(f, (0..n).map(|_| small_term(rng, depth - 1)).collect())
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn terms() -> Gen<Term> {
+    Gen::new(|rng| small_term(rng, 3))
+}
 
-    /// mgu(a, b) unifies: applying it to both sides yields equal terms.
-    #[test]
-    fn mgu_actually_unifies(a in arb_term(), b in arb_term()) {
-        if let Some(s) = mgu(&a, &b) {
-            prop_assert_eq!(s.apply(&a), s.apply(&b));
+fn term_pairs() -> Gen<(Term, Term)> {
+    pairs(terms(), terms())
+}
+
+fn unify_cfg() -> Config {
+    Config::with_cases(128)
+}
+
+/// mgu(a, b) unifies: applying it to both sides yields equal terms.
+#[test]
+fn mgu_actually_unifies() {
+    check("mgu_actually_unifies", &unify_cfg(), &term_pairs(), |(a, b)| {
+        if let Some(s) = mgu(a, b) {
+            assert_eq!(s.apply(a), s.apply(b));
         }
-    }
+    });
+}
 
-    /// Unification is symmetric in success.
-    #[test]
-    fn mgu_symmetric(a in arb_term(), b in arb_term()) {
-        prop_assert_eq!(mgu(&a, &b).is_some(), mgu(&b, &a).is_some());
-    }
+/// Unification is symmetric in success.
+#[test]
+fn mgu_symmetric() {
+    check("mgu_symmetric", &unify_cfg(), &term_pairs(), |(a, b)| {
+        assert_eq!(mgu(a, b).is_some(), mgu(b, a).is_some());
+    });
+}
 
-    /// A term always unifies with itself via the empty substitution.
-    #[test]
-    fn mgu_reflexive(a in arb_term()) {
-        let s = mgu(&a, &a);
-        prop_assert!(s.is_some());
-    }
+/// A term always unifies with itself via the empty substitution.
+#[test]
+fn mgu_reflexive() {
+    check("mgu_reflexive", &unify_cfg(), &terms(), |a| {
+        assert!(mgu(a, a).is_some());
+    });
+}
 
-    /// Ground terms unify iff equal.
-    #[test]
-    fn ground_unification_is_equality(a in arb_term(), b in arb_term()) {
+/// Ground terms unify iff equal.
+#[test]
+fn ground_unification_is_equality() {
+    check("ground_unification_is_equality", &unify_cfg(), &term_pairs(), |(a, b)| {
         if a.is_ground() && b.is_ground() {
-            prop_assert_eq!(mgu(&a, &b).is_some(), a == b);
+            assert_eq!(mgu(a, b).is_some(), a == b);
         }
-    }
+    });
+}
 
-    /// apply is idempotent once fully resolved.
-    #[test]
-    fn apply_idempotent(a in arb_term(), b in arb_term()) {
-        if let Some(s) = mgu(&a, &b) {
-            let once = s.apply(&a);
+/// apply is idempotent once fully resolved.
+#[test]
+fn apply_idempotent() {
+    check("apply_idempotent", &unify_cfg(), &term_pairs(), |(a, b)| {
+        if let Some(s) = mgu(a, b) {
+            let once = s.apply(a);
             let twice = s.apply(&once);
-            prop_assert_eq!(once, twice);
+            assert_eq!(once, twice);
         }
-    }
+    });
+}
 
-    /// The empty substitution is the identity.
-    #[test]
-    fn empty_subst_is_identity(a in arb_term()) {
-        prop_assert_eq!(Subst::new().apply(&a), a);
-    }
+/// The empty substitution is the identity.
+#[test]
+fn empty_subst_is_identity() {
+    check("empty_subst_is_identity", &unify_cfg(), &terms(), |a| {
+        assert_eq!(&Subst::new().apply(a), a);
+    });
 }
 
 // ---------------------------------------------------------------------
 // Program / evaluation properties
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn edge_lists(node_range: i64, len: std::ops::Range<usize>) -> Gen<Vec<(i64, i64)>> {
+    vecs(pairs(i64s(0..node_range), i64s(0..node_range)), len)
+}
 
-    /// Program display round-trips through the parser.
-    #[test]
-    fn program_display_round_trips(edges in proptest::collection::vec((0i64..20, 0i64..20), 1..30)) {
+fn eval_cfg() -> Config {
+    Config::with_cases(24)
+}
+
+/// Program display round-trips through the parser.
+#[test]
+fn program_display_round_trips() {
+    check("program_display_round_trips", &eval_cfg(), &edge_lists(20, 1..30), |edges| {
         let mut text = String::new();
-        for (a, b) in &edges {
+        for (a, b) in edges {
             text.push_str(&format!("e({a}, {b}).\n"));
         }
         text.push_str("tc(X, Y) <- e(X, Y).\ntc(X, Y) <- tc(X, Z), e(Z, Y).\n");
         let p1 = parse_program(&text).unwrap();
         let p2 = parse_program(&p1.to_string()).unwrap();
-        prop_assert_eq!(p1, p2);
-    }
+        assert_eq!(p1, p2);
+    });
+}
 
-    /// All four fixpoint methods agree on random edge sets for bound tc
-    /// queries (soundness + completeness of the rewritings).
-    #[test]
-    fn methods_agree_on_random_graphs(
-        edges in proptest::collection::vec((0i64..12, 0i64..12), 1..40),
-        start in 0i64..12,
-    ) {
+/// All four fixpoint methods agree on random edge sets for bound tc
+/// queries (soundness + completeness of the rewritings).
+#[test]
+fn methods_agree_on_random_graphs() {
+    let gen = pairs(edge_lists(12, 1..40), i64s(0..12));
+    check("methods_agree_on_random_graphs", &eval_cfg(), &gen, |(edges, start)| {
         let mut text = String::new();
-        for (a, b) in &edges {
+        for (a, b) in edges {
             text.push_str(&format!("e({a}, {b}).\n"));
         }
         text.push_str("tc(X, Y) <- e(X, Y).\ntc(X, Y) <- e(X, Z), tc(Z, Y).\n");
@@ -206,24 +253,25 @@ proptest! {
         // Magic must always agree. Counting diverges on cyclic data by
         // design, so only compare when it terminates.
         let magic = evaluate_query(&program, &db, &query, Method::Magic, &cfg).unwrap().tuples;
-        prop_assert_eq!(&magic, &reference);
+        assert_eq!(&magic, &reference);
         let counting_cfg = FixpointConfig { max_iterations: 200 };
         if let Ok(ans) = evaluate_query(&program, &db, &query, Method::Counting, &counting_cfg) {
-            prop_assert_eq!(&ans.tuples, &reference);
+            assert_eq!(&ans.tuples, &reference);
         }
-        let semi = evaluate_query(&program, &db, &query, Method::SemiNaive, &cfg).unwrap().tuples;
-        prop_assert_eq!(&semi, &reference);
-    }
+        let semi =
+            evaluate_query(&program, &db, &query, Method::SemiNaive, &cfg).unwrap().tuples;
+        assert_eq!(&semi, &reference);
+    });
+}
 
-    /// The optimizer never produces a plan whose execution disagrees
-    /// with naive evaluation, for any binding pattern of tc.
-    #[test]
-    fn optimized_plans_are_sound(
-        edges in proptest::collection::vec((0i64..10, 0i64..10), 1..25),
-        qx in 0i64..10,
-    ) {
+/// The optimizer never produces a plan whose execution disagrees with
+/// naive evaluation, for any binding pattern of tc.
+#[test]
+fn optimized_plans_are_sound() {
+    let gen = pairs(edge_lists(10, 1..25), i64s(0..10));
+    check("optimized_plans_are_sound", &eval_cfg(), &gen, |(edges, qx)| {
         let mut text = String::new();
-        for (a, b) in &edges {
+        for (a, b) in edges {
             text.push_str(&format!("e({a}, {b}).\n"));
         }
         text.push_str("tc(X, Y) <- e(X, Y).\ntc(X, Y) <- e(X, Z), tc(Z, Y).\n");
@@ -238,7 +286,7 @@ proptest! {
             let opt = ldl::optimizer::Optimizer::with_defaults(&program, &db);
             let plan = opt.optimize(&query).unwrap();
             let got = plan.execute(&program, &db, &cfg).unwrap().tuples;
-            prop_assert_eq!(got, reference, "query {}", q);
+            assert_eq!(got, reference, "query {}", q);
         }
-    }
+    });
 }
