@@ -38,7 +38,7 @@ fn main() {
             let rule = program.rules[rule_idx].clone();
             let order: Vec<usize> = (0..rule.body.len()).collect();
             h.bench("pipeline-vs-materialize", &format!("pipelined-{label}/{n}"), || {
-                let source = OverlaySource { base: |p: Pred| db.relation(p), overlay: None };
+                let source = OverlaySource { base: |p: Pred| db.relation(p), overlay: None, restrict: None };
                 let mut out = Relation::new(rule.head.args.len());
                 eval_rule(&rule, &order, &Subst::new(), &source, &mut |t| {
                     out.insert(t);
@@ -47,7 +47,7 @@ fn main() {
                 out
             });
             h.bench("pipeline-vs-materialize", &format!("materialized-{label}/{n}"), || {
-                let source = OverlaySource { base: |p: Pred| db.relation(p), overlay: None };
+                let source = OverlaySource { base: |p: Pred| db.relation(p), overlay: None, restrict: None };
                 eval_rule_materialized(&rule, &order, JoinMethod::Hash, &source).unwrap()
             });
         }

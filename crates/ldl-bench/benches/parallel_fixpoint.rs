@@ -1,0 +1,85 @@
+//! Serial-vs-parallel scaling of the semi-naive fixpoint.
+//!
+//! Runs the full (unbound) semi-naive evaluation of the recursive
+//! workloads at 1, 2, and 4 worker threads and records the timings to
+//! `BENCH_parallel_fixpoint.json`. Every label embeds a digest of the
+//! complete result — all derived relations in insertion order plus the
+//! metrics — so any nondeterminism across thread counts is visible in
+//! the JSON (and asserted here): the speedup must come with bit-for-bit
+//! identical answers.
+//!
+//! Knobs: `LDL_PARFIX_SCALE=full` for the larger workloads,
+//! `LDL_BENCH_ITERS`, `LDL_BENCH_JSON_DIR` as usual. The recorded
+//! `meta/cores=N` label documents the machine's available parallelism —
+//! on a single-core host the parallel runs measure overhead, not
+//! speedup.
+
+use ldl_bench::workload::{same_generation, transitive_closure_chains};
+use ldl_core::{Pred, Program};
+use ldl_eval::seminaive::eval_program_seminaive;
+use ldl_eval::FixpointConfig;
+use ldl_storage::Database;
+use ldl_support::bench::Harness;
+
+/// FNV-1a over the evaluation result: relations (predicates sorted for
+/// a canonical traversal, rows in insertion order) and metrics.
+fn digest(program: &Program, db: &Database, cfg: &FixpointConfig) -> u64 {
+    let (derived, metrics) = eval_program_seminaive(program, db, cfg).unwrap();
+    let mut preds: Vec<Pred> = derived.keys().copied().collect();
+    preds.sort_by_key(|p| (p.to_string(), p.arity));
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut eat = |s: &str| {
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    for p in preds {
+        eat(&format!("{p}:"));
+        for row in derived[&p].rows() {
+            eat(&format!("{row};"));
+        }
+    }
+    eat(&format!("{metrics}"));
+    h
+}
+
+fn main() {
+    let full = std::env::var("LDL_PARFIX_SCALE").as_deref() == Ok("full");
+    let (tc_len, tc_comps, sg_depth) = if full { (160, 10, 10) } else { (64, 6, 8) };
+
+    let mut h = Harness::new("parallel_fixpoint");
+    h.set_iters(1, 5);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    h.bench("meta", &format!("cores={cores}"), || cores);
+
+    let workloads = [
+        (format!("tc/{tc_comps}x{tc_len}"), transitive_closure_chains(tc_len, tc_comps).0),
+        (format!("sg/2^{sg_depth}"), same_generation(2, sg_depth).0),
+    ];
+    for (name, program) in &workloads {
+        let db = Database::from_program(program);
+        let mut digests: Vec<(String, u64)> = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let cfg = FixpointConfig::default().with_threads(threads);
+            let d = digest(program, &db, &cfg);
+            digests.push((format!("{threads} threads"), d));
+            h.bench(name, &format!("threads={threads} digest={d:016x}"), || {
+                eval_program_seminaive(program, &db, &cfg).unwrap()
+            });
+        }
+        // The default picks up `LDL_EVAL_THREADS` / the core count —
+        // this is the record CI diffs across environment settings.
+        let cfg = FixpointConfig::default();
+        let d = digest(program, &db, &cfg);
+        digests.push((format!("default ({} threads)", cfg.threads), d));
+        h.bench(name, &format!("threads=default digest={d:016x}"), || {
+            eval_program_seminaive(program, &db, &cfg).unwrap()
+        });
+        let reference = digests[0].1;
+        for (which, d) in &digests {
+            assert_eq!(*d, reference, "{name}: digest at {which} differs from serial");
+        }
+    }
+    h.finish();
+}

@@ -16,7 +16,7 @@ fn main() {
         let (program, leaf) = same_generation(2, depth);
         let db = Database::from_program(&program);
         let query = parse_query(&format!("sg({leaf}, Y)?")).unwrap();
-        let cfg = FixpointConfig { max_iterations: 200_000 };
+        let cfg = FixpointConfig::with_max_iterations(200_000);
         for m in [Method::SemiNaive, Method::Magic, Method::Counting] {
             h.bench("sg-bound", &format!("{}/{depth}", m.name()), || {
                 evaluate_query(&program, &db, &query, m, &cfg).unwrap()
@@ -26,7 +26,7 @@ fn main() {
     let (program, start) = transitive_closure_chains(64, 8);
     let db = Database::from_program(&program);
     let query = parse_query(&format!("tc({start}, Y)?")).unwrap();
-    let cfg = FixpointConfig { max_iterations: 200_000 };
+    let cfg = FixpointConfig::with_max_iterations(200_000);
     for m in [Method::SemiNaive, Method::Magic, Method::Counting] {
         h.bench("tc-bound", &format!("{}/8x64", m.name()), || {
             evaluate_query(&program, &db, &query, m, &cfg).unwrap()

@@ -31,7 +31,7 @@ fn run(
     db.relation_mut(magic.seed_pred).insert(magic.seed.clone());
     let start = Instant::now();
     let (derived, metrics) =
-        eval_program_seminaive(&magic.program, &db, &FixpointConfig { max_iterations: 100_000 })
+        eval_program_seminaive(&magic.program, &db, &FixpointConfig::with_max_iterations(100_000))
             .unwrap();
     let ms = start.elapsed().as_secs_f64() * 1000.0;
     let answers = derived.get(&magic.answer_pred).map(|r| r.len()).unwrap_or(0);

@@ -21,7 +21,7 @@ fn run_methods(title: &str, program: &Program, qtext: &str, max_iterations: usiz
     println!("{title} — query {qtext}");
     let db = Database::from_program(program);
     let query = parse_query(qtext).unwrap();
-    let cfg = FixpointConfig { max_iterations };
+    let cfg = FixpointConfig::with_max_iterations(max_iterations);
     let mut t = Table::new(&["method", "answers", "tuples-derived", "tuples-produced", "iterations", "ms"]);
     let mut reference: Option<usize> = None;
     for m in Method::ALL {

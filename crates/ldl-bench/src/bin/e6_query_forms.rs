@@ -55,7 +55,7 @@ fn main() {
         bound_plan.method, free_plan.method
     );
 
-    let cfg = FixpointConfig { max_iterations: 200_000 };
+    let cfg = FixpointConfig::with_max_iterations(200_000);
     let mut t = Table::new(&["execution", "tuples-derived", "ms"]);
     let mut run = |label: &str, method: Method| {
         let start = Instant::now();

@@ -1,0 +1,91 @@
+//! Cross-thread-count determinism on the paper's recursive workloads.
+//!
+//! The parallel round executor promises results *identical* to serial
+//! execution — same tuples, same insertion order, same [`Metrics`] —
+//! at any thread count. The evaluator property tests check that on
+//! random edge sets; here we pin it on the benchmark workloads
+//! (same-generation trees, transitive-closure chains) and on the
+//! rewriting methods (magic, counting) whose rewritten programs also
+//! run through the semi-naive fixpoint.
+
+use ldl_bench::workload::{same_generation, transitive_closure_chains};
+use ldl_core::parser::parse_query;
+use ldl_core::Program;
+use ldl_eval::naive::eval_program_naive;
+use ldl_eval::seminaive::eval_program_seminaive;
+use ldl_eval::{evaluate_query, FixpointConfig, Metrics, Method};
+use ldl_storage::{Database, Relation};
+use std::collections::HashMap;
+
+type Eval = fn(&Program, &Database, &FixpointConfig) -> ldl_core::Result<(HashMap<ldl_core::Pred, Relation>, Metrics)>;
+
+fn assert_thread_invariant(program: &Program, eval: Eval, what: &str) {
+    let db = Database::from_program(program);
+    let (serial_rel, serial_m) = eval(program, &db, &FixpointConfig::serial()).unwrap();
+    for threads in [2, 4] {
+        let cfg = FixpointConfig::default().with_threads(threads);
+        let (rel, m) = eval(program, &db, &cfg).unwrap();
+        assert_eq!(m, serial_m, "{what}: metrics diverge at {threads} threads");
+        assert_eq!(rel.len(), serial_rel.len());
+        for (p, serial) in &serial_rel {
+            assert_eq!(
+                rel[p].rows(),
+                serial.rows(),
+                "{what}: row order of {p} diverges at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn seminaive_is_thread_invariant_on_tc_chains() {
+    let (program, _) = transitive_closure_chains(64, 4);
+    assert_thread_invariant(&program, eval_program_seminaive, "semi-naive tc");
+}
+
+#[test]
+fn seminaive_is_thread_invariant_on_same_generation() {
+    let (program, _) = same_generation(2, 7);
+    assert_thread_invariant(&program, eval_program_seminaive, "semi-naive sg");
+}
+
+#[test]
+fn naive_is_thread_invariant_on_recursive_workloads() {
+    let (tc, _) = transitive_closure_chains(32, 2);
+    assert_thread_invariant(&tc, eval_program_naive, "naive tc");
+    let (sg, _) = same_generation(2, 5);
+    assert_thread_invariant(&sg, eval_program_naive, "naive sg");
+}
+
+/// The rewriting methods evaluate their rewritten programs through the
+/// same semi-naive fixpoint, so `threads` flows through them too.
+#[test]
+fn rewriting_methods_are_thread_invariant() {
+    let (sg, leaf) = same_generation(2, 6);
+    let sg_q = parse_query(&format!("sg({leaf}, Y)?")).unwrap();
+    let (tc, start) = transitive_closure_chains(48, 3);
+    let tc_q = parse_query(&format!("tc({start}, Y)?")).unwrap();
+    for (program, query, what) in [(&sg, &sg_q, "sg"), (&tc, &tc_q, "tc")] {
+        let db = Database::from_program(program);
+        for method in [Method::Magic, Method::Counting] {
+            let serial =
+                evaluate_query(program, &db, query, method, &FixpointConfig::serial()).unwrap();
+            for threads in [2, 4] {
+                let cfg = FixpointConfig::default().with_threads(threads);
+                let got = evaluate_query(program, &db, query, method, &cfg).unwrap();
+                assert_eq!(
+                    got.tuples.rows(),
+                    serial.tuples.rows(),
+                    "{what}/{}: answers diverge at {threads} threads",
+                    method.name()
+                );
+                assert_eq!(
+                    got.metrics,
+                    serial.metrics,
+                    "{what}/{}: metrics diverge at {threads} threads",
+                    method.name()
+                );
+            }
+        }
+    }
+}

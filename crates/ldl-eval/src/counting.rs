@@ -245,7 +245,7 @@ mod tests {
         let mut db = Database::from_program(&program);
         db.relation_mut(counting.seed_pred).insert(counting.seed.clone());
         let (derived, metrics) =
-            eval_program_seminaive(&counting.program, &db, &FixpointConfig { max_iterations: 500 })?;
+            eval_program_seminaive(&counting.program, &db, &FixpointConfig::with_max_iterations(500))?;
         let ans = extract_answers(&derived[&counting.answer_pred], counting.query_arity);
         Ok((ans, metrics))
     }

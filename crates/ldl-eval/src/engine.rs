@@ -3,6 +3,12 @@
 //! This is the execution back end the optimizer targets. The optimizer
 //! picks a method and a SIP (body permutations) per recursive clique;
 //! the engine applies the corresponding rewriting and runs the fixpoint.
+//!
+//! Every method executes its rounds on the parallel round executor
+//! (`crate::parallel`) — magic and counting evaluate their rewritten
+//! programs through the semi-naive fixpoint, so
+//! [`FixpointConfig::threads`] applies to all four methods, with
+//! answers and [`Metrics`] identical at any thread count.
 
 use crate::counting::{counting_rewrite, extract_answers};
 use crate::magic::magic_rewrite;

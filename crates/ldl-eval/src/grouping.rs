@@ -93,7 +93,7 @@ mod tests {
         let db = Database::from_program(&program);
         let rule = &program.rules[rule_idx];
         let order: Vec<usize> = (0..rule.body.len()).collect();
-        let source = OverlaySource { base: |p: Pred| db.relation(p), overlay: None };
+        let source = OverlaySource { base: |p: Pred| db.relation(p), overlay: None, restrict: None };
         let (mut out, _) = eval_grouping_rule(rule, &order, &source).unwrap();
         out.sort_by_key(|t| t.to_string());
         out

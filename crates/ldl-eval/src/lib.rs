@@ -12,7 +12,9 @@
 //! * [`ops`] — materialized relational operators with exchangeable join
 //!   methods (nested-loop / hash / index — the `EL` transformation);
 //! * [`naive`] / [`seminaive`] — fixpoint computation of recursive
-//!   cliques, stratum by stratum;
+//!   cliques, stratum by stratum, with rounds executed in parallel on
+//!   scoped worker threads (deterministic: results and metrics are
+//!   identical to serial execution at any thread count);
 //! * [`magic`] — the magic-set rewriting of an adorned program [BMSU 85];
 //! * [`counting`] — the generalized counting rewriting [SZ 86] for
 //!   linear cliques;
@@ -34,6 +36,7 @@ pub mod materialized;
 pub mod metrics;
 pub mod naive;
 pub mod ops;
+mod parallel;
 pub mod rule_eval;
 pub mod seminaive;
 pub mod sld;

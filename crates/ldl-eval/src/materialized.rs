@@ -197,7 +197,7 @@ mod tests {
         let program = parse_program(text).unwrap();
         let db = Database::from_program(&program);
         let rule = &program.rules[rule_idx];
-        let source = OverlaySource { base: |p: Pred| db.relation(p), overlay: None };
+        let source = OverlaySource { base: |p: Pred| db.relation(p), overlay: None, restrict: None };
         let mat = eval_rule_materialized(rule, order, JoinMethod::Hash, &source).unwrap();
         let mut pipe = Relation::new(rule.head.args.len());
         eval_rule(rule, order, &Subst::new(), &source, &mut |t| {
@@ -273,7 +273,7 @@ mod tests {
         let program = parse_program(text).unwrap();
         let db = Database::from_program(&program);
         let rule = &program.rules[0];
-        let source = OverlaySource { base: |p: Pred| db.relation(p), overlay: None };
+        let source = OverlaySource { base: |p: Pred| db.relation(p), overlay: None, restrict: None };
         let results: Vec<Relation> = JoinMethod::ALL
             .iter()
             .map(|&m| eval_rule_materialized(rule, &[0, 1], m, &source).unwrap())
@@ -307,7 +307,7 @@ mod tests {
         let program = parse_program(text).unwrap();
         let db = Database::from_program(&program);
         let rule = &program.rules[0];
-        let source = OverlaySource { base: |p: Pred| db.relation(p), overlay: None };
+        let source = OverlaySource { base: |p: Pred| db.relation(p), overlay: None, restrict: None };
         let r1 = eval_rule_materialized(rule, &[0, 1, 2], JoinMethod::Hash, &source).unwrap();
         let r2 = eval_rule_materialized(rule, &[2, 1, 0], JoinMethod::Hash, &source).unwrap();
         let r3 = eval_rule_materialized(rule, &[1, 2, 0], JoinMethod::Index, &source).unwrap();
@@ -325,7 +325,7 @@ mod tests {
         let program = parse_program(text).unwrap();
         let db = Database::from_program(&program);
         let rule = &program.rules[0];
-        let source = OverlaySource { base: |p: Pred| db.relation(p), overlay: None };
+        let source = OverlaySource { base: |p: Pred| db.relation(p), overlay: None, restrict: None };
         assert!(eval_rule_materialized(rule, &[1, 0], JoinMethod::Hash, &source).is_err());
     }
 

@@ -19,6 +19,11 @@ pub struct Metrics {
 
 impl Metrics {
     /// Adds another metrics bundle into this one.
+    ///
+    /// This is also the merge step of the parallel round executor
+    /// (`crate::parallel`): worker threads accumulate into private
+    /// `Metrics` values, which the round absorbs in deterministic job
+    /// order, so parallel totals are identical to serial ones.
     pub fn absorb(&mut self, other: Metrics) {
         self.tuples_derived += other.tuples_derived;
         self.tuples_produced += other.tuples_produced;

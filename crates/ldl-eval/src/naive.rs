@@ -8,25 +8,51 @@
 //! the binding-propagating methods (magic sets, counting).
 
 use crate::metrics::Metrics;
-use crate::rule_eval::{eval_rule, OverlaySource};
+use crate::parallel::{run_round, Firing};
 use ldl_core::depgraph::DependencyGraph;
-use ldl_core::unify::Subst;
 use ldl_core::{LdlError, Pred, Program, Result};
 use ldl_storage::{Database, Relation};
 use std::collections::HashMap;
 
-/// Limits guarding non-terminating fixpoints (an unsafe execution shows
-/// up as an iteration-bound overflow at run time).
+/// Runtime knobs of the fixpoint evaluators: the iteration bound
+/// guarding non-terminating fixpoints (an unsafe execution shows up as
+/// an iteration-bound overflow at run time) and the worker-thread count
+/// for round-level parallelism.
 #[derive(Clone, Copy, Debug)]
 pub struct FixpointConfig {
     /// Maximum iterations per recursive clique before the evaluation is
     /// declared divergent.
     pub max_iterations: usize,
+    /// Worker threads per fixpoint round (`1` = serial). Results and
+    /// metrics are identical at any value; see `crate::parallel`.
+    /// Defaults to `LDL_EVAL_THREADS` or the machine's parallelism.
+    pub threads: usize,
 }
 
 impl Default for FixpointConfig {
     fn default() -> Self {
-        FixpointConfig { max_iterations: 100_000 }
+        FixpointConfig {
+            max_iterations: 100_000,
+            threads: ldl_support::par::default_threads(),
+        }
+    }
+}
+
+impl FixpointConfig {
+    /// Default configuration with an explicit iteration bound.
+    pub fn with_max_iterations(max_iterations: usize) -> FixpointConfig {
+        FixpointConfig { max_iterations, ..FixpointConfig::default() }
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1).
+    pub fn with_threads(mut self, threads: usize) -> FixpointConfig {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Default configuration forced to single-threaded execution.
+    pub fn serial() -> FixpointConfig {
+        FixpointConfig::default().with_threads(1)
     }
 }
 
@@ -85,6 +111,18 @@ pub fn eval_program_naive(
             .filter(|(_, r)| group.contains(&r.head.pred))
             .map(|(i, _)| i)
             .collect();
+        if recursive {
+            if let Some(&ri) =
+                rules.iter().find(|&&ri| crate::grouping::has_grouping(&program.rules[ri]))
+            {
+                return Err(LdlError::Eval(format!(
+                    "grouping head {} inside a recursive clique is not stratifiable",
+                    program.rules[ri].head
+                )));
+            }
+        }
+        let firings: Vec<Firing> =
+            rules.iter().map(|&ri| Firing { rule_index: ri, overlay: None }).collect();
         let mut iters = 0usize;
         loop {
             iters += 1;
@@ -96,36 +134,14 @@ pub fn eval_program_naive(
                 )));
             }
             metrics.iterations += 1;
-            let mut new_tuples: Vec<(Pred, ldl_storage::Tuple)> = Vec::new();
-            for &ri in &rules {
-                let rule = &program.rules[ri];
-                let order: Vec<usize> = (0..rule.body.len()).collect();
-                let source = OverlaySource {
-                    base: |p: Pred| derived.get(&p).or_else(|| db.relation(p)),
-                    overlay: None,
-                };
-                metrics.rule_firings += 1;
-                let head_pred = rule.head.pred;
-                if crate::grouping::has_grouping(rule) {
-                    if recursive {
-                        return Err(LdlError::Eval(format!(
-                            "grouping head {} inside a recursive clique is not stratifiable",
-                            rule.head
-                        )));
-                    }
-                    let (tuples, stats) =
-                        crate::grouping::eval_grouping_rule(rule, &order, &source)?;
-                    metrics.tuples_produced += stats.produced;
-                    for t in tuples {
-                        new_tuples.push((head_pred, t));
-                    }
-                    continue;
-                }
-                let stats = eval_rule(rule, &order, &Subst::new(), &source, &mut |t| {
-                    new_tuples.push((head_pred, t));
-                })?;
-                metrics.tuples_produced += stats.produced;
-            }
+            // Relations are frozen for the round: every firing reads the
+            // same state, so the firings run on worker threads and merge
+            // in rule order — exactly the serial insertion order.
+            let (new_tuples, round_metrics) = {
+                let base = |p: Pred| derived.get(&p).or_else(|| db.relation(p));
+                run_round(program, &firings, &base, cfg.threads)?
+            };
+            metrics.absorb(round_metrics);
             let mut changed = false;
             for (p, t) in new_tuples {
                 let rel = derived.get_mut(&p).expect("derived relation exists");
@@ -251,7 +267,7 @@ mod tests {
         )
         .unwrap();
         let db = Database::from_program(&p);
-        let r = eval_program_naive(&p, &db, &FixpointConfig { max_iterations: 50 });
+        let r = eval_program_naive(&p, &db, &FixpointConfig::with_max_iterations(50));
         assert!(r.is_err());
     }
 

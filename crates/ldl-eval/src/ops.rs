@@ -8,7 +8,7 @@
 //! by the join-method benchmarks and give the optimizer's cost model its
 //! ground truth.
 
-use ldl_core::{CmpOp, Term, Value};
+use ldl_core::{CmpOp, LdlError, Result, Term, Value};
 use ldl_storage::{Relation, Tuple};
 
 /// Physical join algorithms (the `EL` label alphabet for joins).
@@ -106,28 +106,52 @@ impl ColPredicate {
         ColPredicate { col, op: CmpOp::Eq, value }
     }
 
-    /// Does the tuple satisfy the predicate? Ordering comparisons on
-    /// non-integers are false (the safety layer prevents them upstream).
+    /// Does the tuple satisfy the predicate?
+    ///
+    /// This is deliberately *three-valued collapsed to false*: an
+    /// ordering comparison (`<`, `<=`, `>`, `>=`) between values that
+    /// have no order — a symbol against an integer, a complex term —
+    /// is neither true nor false, and `matches` reports it as `false`,
+    /// silently dropping the row. That matches the pipelined builtins'
+    /// behavior for the type-correct programs the safety layer admits,
+    /// but it cannot distinguish "ordered and smaller" from "not
+    /// ordered at all". Strict call sites (anything surfacing results
+    /// directly to a user) should use [`ColPredicate::check_matches`] /
+    /// [`select_strict`], which turn the undefined comparison into a
+    /// typed [`LdlError::Eval`] instead.
     pub fn matches(&self, t: &Tuple) -> bool {
+        self.check_matches(t).unwrap_or(false)
+    }
+
+    /// Strict variant of [`ColPredicate::matches`]: `Ok(bool)` for
+    /// defined comparisons, [`LdlError::Eval`] when an ordering operator
+    /// meets a pair of values with no order (instead of silently
+    /// collapsing the undefined comparison to `false`).
+    pub fn check_matches(&self, t: &Tuple) -> Result<bool> {
         let v = t.get(self.col);
         match self.op {
-            CmpOp::Eq => v == &self.value,
-            CmpOp::Ne => v != &self.value,
+            CmpOp::Eq => Ok(v == &self.value),
+            CmpOp::Ne => Ok(v != &self.value),
             ord => match (v, &self.value) {
-                (Term::Const(Value::Int(a)), Term::Const(Value::Int(b))) => match ord {
+                (Term::Const(Value::Int(a)), Term::Const(Value::Int(b))) => Ok(match ord {
                     CmpOp::Lt => a < b,
                     CmpOp::Le => a <= b,
                     CmpOp::Gt => a > b,
                     CmpOp::Ge => a >= b,
                     _ => unreachable!(),
-                },
-                _ => false,
+                }),
+                _ => Err(LdlError::Eval(format!(
+                    "ordering comparison {} {} {} between unordered values",
+                    v, self.op, self.value
+                ))),
             },
         }
     }
 }
 
-/// Selection: rows satisfying every predicate.
+/// Selection: rows satisfying every predicate. Rows where an ordering
+/// comparison is undefined are dropped (see [`ColPredicate::matches`]);
+/// use [`select_strict`] to surface those as errors instead.
 pub fn select(rel: &Relation, preds: &[ColPredicate]) -> Relation {
     let mut out = Relation::new(rel.arity());
     for t in rel.iter() {
@@ -136,6 +160,22 @@ pub fn select(rel: &Relation, preds: &[ColPredicate]) -> Relation {
         }
     }
     out
+}
+
+/// Strict selection: like [`select`], but an ordering comparison over
+/// unordered values is an [`LdlError::Eval`] rather than a silently
+/// dropped row.
+pub fn select_strict(rel: &Relation, preds: &[ColPredicate]) -> Result<Relation> {
+    let mut out = Relation::new(rel.arity());
+    'rows: for t in rel.iter() {
+        for p in preds {
+            if !p.check_matches(t)? {
+                continue 'rows;
+            }
+        }
+        out.insert(t.clone());
+    }
+    Ok(out)
 }
 
 /// Projection onto `cols` (duplicates removed by construction).
@@ -220,10 +260,31 @@ mod tests {
         assert_eq!(union(&a, &b).len(), 3);
     }
 
+    /// Pins the documented three-valued collapse: lenient `select`
+    /// silently drops the row with the undefined comparison...
     #[test]
     fn select_ordering_on_symbols_is_false() {
         let r = Relation::from_tuples(1, [Tuple(vec![Term::sym("a")])]);
         let s = select(&r, &[ColPredicate { col: 0, op: CmpOp::Lt, value: Term::int(5) }]);
         assert!(s.is_empty());
+    }
+
+    /// ...while the strict path reports it as a typed evaluation error,
+    /// and still agrees with `select` when every comparison is defined.
+    #[test]
+    fn select_strict_errors_on_unordered_comparison() {
+        let r = Relation::from_tuples(1, [Tuple(vec![Term::sym("a")])]);
+        let p = [ColPredicate { col: 0, op: CmpOp::Lt, value: Term::int(5) }];
+        match select_strict(&r, &p) {
+            Err(LdlError::Eval(msg)) => assert!(msg.contains("unordered"), "msg: {msg}"),
+            other => panic!("expected Eval error, got {other:?}"),
+        }
+        // Equality between mixed types stays defined (and false).
+        let eq = [ColPredicate::eq(0, Term::int(5))];
+        assert!(select_strict(&r, &eq).unwrap().is_empty());
+        // On ordered data the strict path equals the lenient one.
+        let ints = edges(&[(1, 10), (2, 20), (3, 30)]);
+        let gt = [ColPredicate { col: 1, op: CmpOp::Gt, value: Term::int(15) }];
+        assert_eq!(select_strict(&ints, &gt).unwrap(), select(&ints, &gt));
     }
 }

@@ -1,0 +1,188 @@
+//! Parallel execution of one fixpoint round.
+//!
+//! Both fixpoint evaluators reduce a round to a list of *firings* —
+//! rule evaluations against relations that are frozen for the duration
+//! of the round (naive: every clique rule against the full relations;
+//! semi-naive: every recursive-rule/delta-occurrence pair). Firings
+//! within a round are therefore independent, and [`run_round`] fans
+//! them out over scoped workers ([`ldl_support::par`]), each writing
+//! into a private tuple buffer that is merged in deterministic
+//! (rule-index, occurrence-index, chunk-index) order.
+//!
+//! A clique with few rules (transitive closure has one recursive rule
+//! with one delta occurrence) would get nothing from firing-level
+//! parallelism alone, so each firing is additionally *partitioned*: the
+//! first positive body atom's relation is split into contiguous row
+//! chunks, one job per chunk, installed through the `restrict` slot of
+//! [`OverlaySource`]. Builtins and negated literals ahead of that atom
+//! are filters (at most one continuation each), so partitioning the
+//! first *enumerating* literal partitions the firing's solutions into
+//! contiguous runs — concatenating the chunk buffers in chunk order
+//! reproduces the serial emission order exactly. The merged tuple
+//! stream and the merged [`Metrics`] are bit-for-bit identical to
+//! serial execution at any thread count.
+//!
+//! `member/2` also enumerates (the elements of a set term, not a
+//! relation), so a firing whose first enumerating literal is `member`
+//! falls back to a single job, as do grouping rules (their aggregation
+//! must see every solution).
+
+use crate::metrics::Metrics;
+use crate::rule_eval::{eval_rule, OverlaySource};
+use ldl_core::unify::Subst;
+use ldl_core::{Literal, Pred, Program, Result, Rule};
+use ldl_storage::{Relation, Tuple};
+use ldl_support::par::scoped_map;
+
+/// One schedulable rule evaluation: rule `rule_index` of the program,
+/// with an optional semi-naive delta overlay at one body position.
+pub(crate) struct Firing<'a> {
+    /// Index into `program.rules`.
+    pub rule_index: usize,
+    /// `(body position, delta relation)` for differential firings.
+    pub overlay: Option<(usize, &'a Relation)>,
+}
+
+/// Don't bother cutting chunks smaller than this: the per-chunk
+/// relation build (tuple clones + dedup map) must stay negligible next
+/// to the join work it parallelizes.
+const MIN_CHUNK_ROWS: usize = 16;
+
+/// One worker job: a firing, optionally restricted to a row chunk.
+struct JobSpec {
+    /// Index into the firing list.
+    firing: usize,
+    /// `(body position, chunk-store index)` restriction for a
+    /// non-delta occurrence.
+    restrict: Option<(usize, usize)>,
+    /// Chunk-store index replacing the delta overlay (used when the
+    /// partitioned occurrence *is* the delta occurrence).
+    overlay_chunk: Option<usize>,
+    /// True on the first chunk of each firing: exactly one job per
+    /// firing contributes the `rule_firings` count, matching serial.
+    count_firing: bool,
+}
+
+/// Executes every firing of one round on up to `threads` workers and
+/// returns the produced `(head predicate, tuple)` stream in serial
+/// emission order plus the round's metrics contribution. `base` is the
+/// frozen per-predicate lookup (completed strata + current clique
+/// relations); the caller inserts the merged stream afterwards, so
+/// workers never write shared state.
+pub(crate) fn run_round<'a>(
+    program: &'a Program,
+    firings: &[Firing<'a>],
+    base: &(dyn Fn(Pred) -> Option<&'a Relation> + Sync),
+    threads: usize,
+) -> Result<(Vec<(Pred, Tuple)>, Metrics)> {
+    // Plan jobs: cut row chunks up front so workers share them by
+    // reference. Chunk relations live in `chunks`, specs index into it.
+    let mut chunks: Vec<Relation> = Vec::new();
+    let mut specs: Vec<JobSpec> = Vec::new();
+    for (fi, firing) in firings.iter().enumerate() {
+        let rule = &program.rules[firing.rule_index];
+        let axis = if threads > 1 && !crate::grouping::has_grouping(rule) {
+            chunk_axis(rule, firing.overlay, base)
+        } else {
+            None
+        };
+        let whole = JobSpec { firing: fi, restrict: None, overlay_chunk: None, count_firing: true };
+        match axis {
+            Some((pos, rel)) => {
+                let n = rel.len();
+                let parts = threads.min(n / MIN_CHUNK_ROWS).max(1);
+                if parts <= 1 {
+                    specs.push(whole);
+                    continue;
+                }
+                let per = n.div_ceil(parts);
+                let is_delta_pos = matches!(firing.overlay, Some((j, _)) if j == pos);
+                for (k, lo) in (0..n).step_by(per).enumerate() {
+                    let hi = (lo + per).min(n);
+                    let chunk =
+                        Relation::from_tuples(rel.arity(), rel.rows()[lo..hi].iter().cloned());
+                    let ci = chunks.len();
+                    chunks.push(chunk);
+                    specs.push(JobSpec {
+                        firing: fi,
+                        restrict: (!is_delta_pos).then_some((pos, ci)),
+                        overlay_chunk: is_delta_pos.then_some(ci),
+                        count_firing: k == 0,
+                    });
+                }
+            }
+            None => specs.push(whole),
+        }
+    }
+
+    let chunks = &chunks;
+    let results = scoped_map(threads, specs.len(), |i| -> Result<(Vec<(Pred, Tuple)>, Metrics)> {
+        let spec = &specs[i];
+        let firing = &firings[spec.firing];
+        let rule = &program.rules[firing.rule_index];
+        let order: Vec<usize> = (0..rule.body.len()).collect();
+        let overlay = match (firing.overlay, spec.overlay_chunk) {
+            (Some((j, _)), Some(ci)) => Some((j, &chunks[ci])),
+            (other, _) => other,
+        };
+        let restrict = spec.restrict.map(|(pos, ci)| (pos, &chunks[ci]));
+        let source = OverlaySource { base: |p: Pred| base(p), overlay, restrict };
+        let head_pred = rule.head.pred;
+        let mut out: Vec<(Pred, Tuple)> = Vec::new();
+        let mut m = Metrics::default();
+        if crate::grouping::has_grouping(rule) {
+            let (tuples, st) = crate::grouping::eval_grouping_rule(rule, &order, &source)?;
+            m.tuples_produced = st.produced;
+            out.extend(tuples.into_iter().map(|t| (head_pred, t)));
+        } else {
+            let st = eval_rule(rule, &order, &Subst::new(), &source, &mut |t| {
+                out.push((head_pred, t));
+            })?;
+            m.tuples_produced = st.produced;
+        }
+        if spec.count_firing {
+            m.rule_firings = 1;
+        }
+        Ok((out, m))
+    });
+
+    // Ordered merge: job order == (firing, chunk) order == serial order.
+    let mut merged: Vec<(Pred, Tuple)> = Vec::new();
+    let mut metrics = Metrics::default();
+    for res in results {
+        let (tuples, m) = res?;
+        metrics.absorb(m);
+        merged.extend(tuples);
+    }
+    Ok((merged, metrics))
+}
+
+/// Picks the body occurrence to partition: the first literal that
+/// *enumerates* (a positive, non-`member` atom), provided its relation
+/// is big enough to be worth cutting. Builtins and negated literals are
+/// filters and may safely precede the partition point; anything that
+/// multiplies solutions before it would break the serial emission
+/// order, so `member/2` first means "do not partition".
+fn chunk_axis<'a>(
+    rule: &Rule,
+    overlay: Option<(usize, &'a Relation)>,
+    base: &(dyn Fn(Pred) -> Option<&'a Relation> + Sync),
+) -> Option<(usize, &'a Relation)> {
+    for (i, lit) in rule.body.iter().enumerate() {
+        match lit {
+            Literal::Builtin(_) => continue,
+            Literal::Atom(a) if a.negated => continue,
+            Literal::Atom(a) => {
+                if a.pred == Pred::new("member", 2) {
+                    return None;
+                }
+                let rel = match overlay {
+                    Some((j, d)) if j == i => Some(d),
+                    _ => base(a.pred),
+                };
+                return rel.filter(|r| r.len() >= 2 * MIN_CHUNK_ROWS).map(|r| (i, r));
+            }
+        }
+    }
+    None
+}

@@ -23,8 +23,15 @@ pub trait RelSource {
     fn relation(&self, lit_index: usize, pred: Pred) -> Option<&Relation>;
 }
 
-/// A [`RelSource`] built from two lookups: a general per-predicate map
-/// and an override for one specific literal position (the delta slot).
+/// A [`RelSource`] built from three lookups: a general per-predicate
+/// map, an override for one specific literal position (the delta slot),
+/// and a second positional override used by the parallel evaluator to
+/// restrict one occurrence to a *chunk* of its relation's rows.
+///
+/// `restrict` wins over `overlay` at its position; the two are only
+/// ever aimed at different positions (when the partitioned occurrence
+/// *is* the delta occurrence, the chunk is cut from the delta and
+/// installed as the `overlay` itself).
 pub struct OverlaySource<'a, F>
 where
     F: Fn(Pred) -> Option<&'a Relation>,
@@ -33,6 +40,8 @@ where
     pub base: F,
     /// `(literal index, relation)` override, if any.
     pub overlay: Option<(usize, &'a Relation)>,
+    /// `(literal index, row-chunk relation)` override, if any.
+    pub restrict: Option<(usize, &'a Relation)>,
 }
 
 impl<'a, F> RelSource for OverlaySource<'a, F>
@@ -40,6 +49,11 @@ where
     F: Fn(Pred) -> Option<&'a Relation>,
 {
     fn relation(&self, lit_index: usize, pred: Pred) -> Option<&Relation> {
+        if let Some((i, rel)) = self.restrict {
+            if i == lit_index {
+                return Some(rel);
+            }
+        }
         if let Some((i, rel)) = self.overlay {
             if i == lit_index {
                 return Some(rel);
@@ -200,6 +214,7 @@ mod tests {
         let source = OverlaySource {
             base: |p: Pred| derived.get(&p).or_else(|| db.relation(p)),
             overlay: None,
+            restrict: None,
         };
         let mut out = Vec::new();
         eval_rule(rule, &order, &Subst::new(), &source, &mut |t| out.push(t)).unwrap();
@@ -263,7 +278,7 @@ mod tests {
         )
         .unwrap();
         let db = Database::from_program(&src);
-        let source = OverlaySource { base: |p: Pred| db.relation(p), overlay: None };
+        let source = OverlaySource { base: |p: Pred| db.relation(p), overlay: None, restrict: None };
         let mut out = Vec::new();
         let r = eval_rule(&src.rules[0], &[1, 0], &Subst::new(), &source, &mut |t| out.push(t));
         assert!(r.is_err());
@@ -315,6 +330,7 @@ mod tests {
         let source = OverlaySource {
             base: |p: Pred| db.relation(p),
             overlay: Some((1, &delta)),
+            restrict: None,
         };
         let mut out = Vec::new();
         eval_rule(&src.rules[0], &[0, 1], &Subst::new(), &source, &mut |t| out.push(t)).unwrap();
@@ -331,7 +347,7 @@ mod tests {
         )
         .unwrap();
         let db = Database::from_program(&src);
-        let source = OverlaySource { base: |p: Pred| db.relation(p), overlay: None };
+        let source = OverlaySource { base: |p: Pred| db.relation(p), overlay: None, restrict: None };
         let mut seed = Subst::new();
         seed.bind(ldl_core::Symbol::intern("X"), Term::int(2));
         let mut out = Vec::new();

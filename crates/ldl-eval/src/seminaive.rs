@@ -9,11 +9,10 @@
 
 use crate::metrics::Metrics;
 use crate::naive::{evaluation_groups, FixpointConfig};
-use crate::rule_eval::{eval_rule, OverlaySource};
+use crate::parallel::{run_round, Firing};
 use ldl_core::depgraph::DependencyGraph;
-use ldl_core::unify::Subst;
 use ldl_core::{LdlError, Pred, Program, Result};
-use ldl_storage::{Database, Relation, Tuple};
+use ldl_storage::{Database, Relation};
 use std::collections::HashMap;
 
 /// Evaluates every derived predicate of `program` semi-naively.
@@ -48,33 +47,20 @@ pub fn eval_program_seminaive(
             .collect();
 
         if !recursive {
-            // Single pass; bodies only reference completed strata.
-            for &ri in &group_rules {
-                let rule = &program.rules[ri];
-                let order: Vec<usize> = (0..rule.body.len()).collect();
-                let mut out: Vec<Tuple> = Vec::new();
-                {
-                    let source = OverlaySource {
-                        base: |p: Pred| derived.get(&p).or_else(|| db.relation(p)),
-                        overlay: None,
-                    };
-                    metrics.rule_firings += 1;
-                    if crate::grouping::has_grouping(rule) {
-                        let (tuples, st) =
-                            crate::grouping::eval_grouping_rule(rule, &order, &source)?;
-                        metrics.tuples_produced += st.produced;
-                        out.extend(tuples);
-                    } else {
-                        let st =
-                            eval_rule(rule, &order, &Subst::new(), &source, &mut |t| out.push(t))?;
-                        metrics.tuples_produced += st.produced;
-                    }
-                }
-                let head = rule.head.pred;
-                for t in out {
-                    if derived.get_mut(&head).expect("relation").insert(t) {
-                        metrics.tuples_derived += 1;
-                    }
+            // Single pass; bodies only reference completed strata, so
+            // the group's rules are independent and run as one round.
+            let (out, round_metrics) = {
+                let firings: Vec<Firing> = group_rules
+                    .iter()
+                    .map(|&ri| Firing { rule_index: ri, overlay: None })
+                    .collect();
+                let base = |p: Pred| derived.get(&p).or_else(|| db.relation(p));
+                run_round(program, &firings, &base, cfg.threads)?
+            };
+            metrics.absorb(round_metrics);
+            for (p, t) in out {
+                if derived.get_mut(&p).expect("relation").insert(t) {
+                    metrics.tuples_derived += 1;
                 }
             }
             metrics.iterations += 1;
@@ -100,25 +86,17 @@ pub fn eval_program_seminaive(
         // exit rules, both evaluated against completed strata.
         let mut delta: HashMap<Pred, Relation> =
             group.iter().map(|&p| (p, derived[&p].clone())).collect();
-        for &ri in &exit {
-            let rule = &program.rules[ri];
-            let order: Vec<usize> = (0..rule.body.len()).collect();
-            let mut out: Vec<Tuple> = Vec::new();
-            {
-                let source = OverlaySource {
-                    base: |p: Pred| derived.get(&p).or_else(|| db.relation(p)),
-                    overlay: None,
-                };
-                metrics.rule_firings += 1;
-                let st = eval_rule(rule, &order, &Subst::new(), &source, &mut |t| out.push(t))?;
-                metrics.tuples_produced += st.produced;
-            }
-            let head = rule.head.pred;
-            for t in out {
-                if derived.get_mut(&head).expect("relation").insert(t.clone()) {
-                    metrics.tuples_derived += 1;
-                    delta.get_mut(&head).expect("delta relation").insert(t);
-                }
+        let (out, round_metrics) = {
+            let firings: Vec<Firing> =
+                exit.iter().map(|&ri| Firing { rule_index: ri, overlay: None }).collect();
+            let base = |p: Pred| derived.get(&p).or_else(|| db.relation(p));
+            run_round(program, &firings, &base, cfg.threads)?
+        };
+        metrics.absorb(round_metrics);
+        for (p, t) in out {
+            if derived.get_mut(&p).expect("relation").insert(t.clone()) {
+                metrics.tuples_derived += 1;
+                delta.get_mut(&p).expect("delta relation").insert(t);
             }
         }
         metrics.iterations += 1;
@@ -135,39 +113,32 @@ pub fn eval_program_seminaive(
                 )));
             }
             metrics.iterations += 1;
-            let mut produced: Vec<(Pred, Tuple)> = Vec::new();
-            for &ri in &rec {
-                let rule = &program.rules[ri];
-                let order: Vec<usize> = (0..rule.body.len()).collect();
-                // One firing per clique-predicate occurrence, that
-                // occurrence reading the delta.
-                let occ: Vec<usize> = rule
-                    .body
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, l)| {
-                        l.as_atom().map(|a| !a.negated && in_group(a.pred)).unwrap_or(false)
-                    })
-                    .map(|(i, _)| i)
-                    .collect();
-                for &j in &occ {
-                    let dpred = rule.body[j].as_atom().expect("atom occurrence").pred;
-                    let drel = &delta[&dpred];
-                    if drel.is_empty() {
-                        continue;
+            // One firing per clique-predicate occurrence of each
+            // recursive rule, that occurrence reading the delta. The
+            // firings are independent (they read the frozen `derived` +
+            // `delta` state), so the round fans out over workers and
+            // merges in (rule, occurrence) order — the serial order.
+            let (produced, round_metrics) = {
+                let mut firings: Vec<Firing> = Vec::new();
+                for &ri in &rec {
+                    let rule = &program.rules[ri];
+                    for (j, l) in rule.body.iter().enumerate() {
+                        let delta_occ = l
+                            .as_atom()
+                            .filter(|a| !a.negated && in_group(a.pred))
+                            .map(|a| &delta[&a.pred]);
+                        match delta_occ {
+                            Some(drel) if !drel.is_empty() => {
+                                firings.push(Firing { rule_index: ri, overlay: Some((j, drel)) });
+                            }
+                            _ => {}
+                        }
                     }
-                    let head_pred = rule.head.pred;
-                    let source = OverlaySource {
-                        base: |p: Pred| derived.get(&p).or_else(|| db.relation(p)),
-                        overlay: Some((j, drel)),
-                    };
-                    metrics.rule_firings += 1;
-                    let st = eval_rule(rule, &order, &Subst::new(), &source, &mut |t| {
-                        produced.push((head_pred, t));
-                    })?;
-                    metrics.tuples_produced += st.produced;
                 }
-            }
+                let base = |p: Pred| derived.get(&p).or_else(|| db.relation(p));
+                run_round(program, &firings, &base, cfg.threads)?
+            };
+            metrics.absorb(round_metrics);
             let mut next_delta: HashMap<Pred, Relation> =
                 group.iter().map(|&p| (p, Relation::new(p.arity))).collect();
             for (p, t) in produced {

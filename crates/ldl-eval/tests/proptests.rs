@@ -50,7 +50,7 @@ fn executors_agree() {
         let rule = &program.rules[0];
         let order: Vec<usize> = if *order_pick == 0 { vec![0, 1] } else { vec![1, 0] };
         let method = JoinMethod::ALL[*method_pick];
-        let source = OverlaySource { base: |p: Pred| db.relation(p), overlay: None };
+        let source = OverlaySource { base: |p: Pred| db.relation(p), overlay: None, restrict: None };
         let mat = eval_rule_materialized(rule, &order, method, &source).unwrap();
         let mut pipe = Relation::new(2);
         eval_rule(rule, &order, &Subst::new(), &source, &mut |t| {
@@ -80,7 +80,7 @@ fn methods_agree_on_random_sg() {
         let program = parse_program(&text).unwrap();
         let db = Database::from_program(&program);
         let q = parse_query(&format!("sg({query_node}, Y)?")).unwrap();
-        let cfg = FixpointConfig { max_iterations: 10_000 };
+        let cfg = FixpointConfig::with_max_iterations(10_000);
         let reference = evaluate_query(&program, &db, &q, Method::Naive, &cfg).unwrap().tuples;
         for m in [Method::SemiNaive, Method::Magic, Method::Counting] {
             let got = evaluate_query(&program, &db, &q, m, &cfg).unwrap().tuples;
@@ -137,6 +137,47 @@ fn magic_agrees_with_seminaive_on_bound_queries() {
             assert_eq!(magic, semi);
         },
     );
+}
+
+/// Parallel fixpoint rounds are bit-for-bit deterministic: at 2 and 4
+/// worker threads, both evaluators produce the same relations — the
+/// same tuples in the same *insertion order* — and identical [`Metrics`]
+/// as single-threaded execution, on arbitrary (cyclic) edge sets.
+#[test]
+fn parallel_fixpoint_is_bit_identical_to_serial() {
+    use ldl_eval::naive::eval_program_naive;
+    use ldl_eval::seminaive::eval_program_seminaive;
+    let gen = edge_lists(12, 1..60);
+    check("parallel_fixpoint_is_bit_identical_to_serial", &cfg(), &gen, |edges| {
+        let mut text = edges_text(edges, "e");
+        text.push_str("tc(X, Y) <- e(X, Y).\ntc(X, Y) <- tc(X, Z), e(Z, Y).\n");
+        let program = parse_program(&text).unwrap();
+        let db = Database::from_program(&program);
+        let serial = FixpointConfig::serial();
+        let (semi_rel, semi_m) = eval_program_seminaive(&program, &db, &serial).unwrap();
+        let (naive_rel, naive_m) = eval_program_naive(&program, &db, &serial).unwrap();
+        for threads in [2, 4] {
+            let par = FixpointConfig::default().with_threads(threads);
+            let (rel, m) = eval_program_seminaive(&program, &db, &par).unwrap();
+            assert_eq!(m, semi_m, "semi-naive metrics diverge at {threads} threads");
+            for (p, serial_rel) in &semi_rel {
+                assert_eq!(
+                    rel[p].rows(),
+                    serial_rel.rows(),
+                    "semi-naive row order for {p} diverges at {threads} threads"
+                );
+            }
+            let (rel, m) = eval_program_naive(&program, &db, &par).unwrap();
+            assert_eq!(m, naive_m, "naive metrics diverge at {threads} threads");
+            for (p, serial_rel) in &naive_rel {
+                assert_eq!(
+                    rel[p].rows(),
+                    serial_rel.rows(),
+                    "naive row order for {p} diverges at {threads} threads"
+                );
+            }
+        }
+    });
 }
 
 /// Grouping results are independent of fact order and method.

@@ -88,9 +88,15 @@ impl PlanCost {
         }
     }
 
-    /// Is this plan unsafe (infinite cost anywhere)?
+    /// Is this plan unsafe (infinite cost anywhere)? Non-finite result
+    /// *statistics* count too: stats are inputs to downstream
+    /// selectivity arithmetic, and `1/∞ = 0` would otherwise let an
+    /// unsafe subplan cost out as free in a later `base_access`.
     pub fn is_unsafe(&self) -> bool {
-        !self.setup.is_finite() || !self.probe.is_finite() || !self.fanout.is_finite()
+        !self.setup.is_finite()
+            || !self.probe.is_finite()
+            || !self.fanout.is_finite()
+            || !self.stats.is_finite()
     }
 
     /// Total cost of using the plan under `n` binding tuples.
@@ -143,6 +149,13 @@ impl DefaultCostModel {
 
 impl CostModel for DefaultCostModel {
     fn base_access(&self, stats: &Stats, bound: &[usize]) -> PlanCost {
+        // Non-finite stats describe an unsafe subplan; they must stay
+        // infectious. Without this guard, `eq_selectivity = 1/∞ = 0`
+        // makes `fanout = (∞ × 0).max(0.0) = NaN.max(0.0) = 0.0` — the
+        // infinite relation prices as *free*.
+        if !stats.is_finite() {
+            return PlanCost::unsafe_plan(stats.arity());
+        }
         let mut sel = 1.0;
         for &c in bound {
             sel *= stats.eq_selectivity(c);
@@ -230,5 +243,44 @@ mod tests {
         let p = PlanCost::unsafe_plan(2);
         assert!(p.total(1.0).is_infinite());
         assert!(p.is_unsafe());
+    }
+
+    /// Regression (cost model): the statistics of an unsafe plan must
+    /// never produce a finite `PlanCost` downstream — through
+    /// `base_access` (bound and free), `union_of`, or `Stats::project`.
+    /// Before the fix, `eq_selectivity = 1/∞ = 0` gave
+    /// `fanout = NaN.max(0.0) = 0.0`: the unsafe subplan cost out free.
+    #[test]
+    fn unsafe_stats_never_cost_finite_downstream() {
+        let m = DefaultCostModel::default();
+        for arity in [1, 2, 3] {
+            let stats = PlanCost::unsafe_plan(arity).stats;
+            assert!(!stats.is_finite());
+
+            let bound = m.base_access(&stats, &[0]);
+            assert!(bound.is_unsafe(), "bound access went finite: {bound}");
+            assert_ne!(bound.fanout, 0.0, "infinite relation priced as free");
+            let free = m.base_access(&stats, &[]);
+            assert!(free.is_unsafe(), "free access went finite: {free}");
+
+            let ok = m.base_access(&Stats::uniform(10.0, arity, 5.0), &[]);
+            let u = m.union_of(&[ok, bound], arity);
+            assert!(u.is_unsafe(), "union laundered unsafe stats");
+            assert!(!u.stats.is_finite());
+
+            let projected = stats.project(&[0]);
+            assert!(!projected.is_finite(), "projection re-finited unsafe stats");
+            assert!(m.base_access(&projected, &[0]).is_unsafe());
+        }
+    }
+
+    /// NaN inputs (e.g. `∞ × 0` upstream) are as infectious as `∞`.
+    #[test]
+    fn nan_stats_are_unsafe_too() {
+        let m = DefaultCostModel::default();
+        let s = Stats::uniform(f64::NAN, 2, f64::NAN);
+        assert!(!s.is_finite());
+        assert!(m.base_access(&s, &[0]).is_unsafe());
+        assert!(m.base_access(&s, &[]).is_unsafe());
     }
 }

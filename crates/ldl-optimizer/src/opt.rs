@@ -1449,7 +1449,7 @@ mod tests {
         let query = parse_query("tc(1, Y)?").unwrap();
         let plan = opt.optimize(&query).unwrap();
         assert_eq!(plan.method, Method::Counting);
-        let cfg = FixpointConfig { max_iterations: 100 };
+        let cfg = FixpointConfig::with_max_iterations(100);
         let ans = plan.execute(&program, &db, &cfg).unwrap();
         assert_eq!(ans.tuples.len(), 3); // 1->1, 1->2, 1->3
     }
@@ -1476,7 +1476,7 @@ mod tests {
         let query = parse_query("rev([1, 2, 3], R)?").unwrap();
         let plan = opt.optimize(&query).unwrap();
         assert_eq!(plan.method, Method::Magic, "got {:?}", plan.method);
-        let ans = plan.execute(&program, &db, &FixpointConfig { max_iterations: 500 }).unwrap();
+        let ans = plan.execute(&program, &db, &FixpointConfig::with_max_iterations(500)).unwrap();
         assert_eq!(ans.tuples.len(), 1);
         assert_eq!(ans.tuples.rows()[0].get(1).to_string(), "[3, 2, 1]");
     }

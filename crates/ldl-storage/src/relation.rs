@@ -159,12 +159,18 @@ impl Relation {
 
 impl Clone for Relation {
     fn clone(&self) -> Relation {
+        // Indexes are immutable snapshots keyed by `version`, so the
+        // clone can share them via `Arc`: a cloned relation serves
+        // cached probes without rebuilding, and its own inserts bump
+        // `version` which invalidates the shared entries for the clone
+        // only (the original keeps serving them at its version).
+        let cache = self.index_cache.lock().expect("index cache lock poisoned").clone();
         Relation {
             arity: self.arity,
             rows: self.rows.clone(),
             seen: self.seen.clone(),
             version: self.version,
-            index_cache: Mutex::new(HashMap::new()),
+            index_cache: Mutex::new(cache),
         }
     }
 }
@@ -283,5 +289,31 @@ mod tests {
     fn arity_mismatch_panics() {
         let mut r = Relation::new(2);
         r.insert(Tuple::ints(&[1]));
+    }
+
+    #[test]
+    fn clone_serves_prebuilt_index_without_rebuilding() {
+        let mut r = Relation::new(2);
+        r.insert(Tuple::ints(&[1, 10]));
+        r.insert(Tuple::ints(&[2, 20]));
+        let idx = r.index_on(&[0]);
+        let c = r.clone();
+        // The clone answers from the same snapshot, not a rebuild.
+        assert!(Arc::ptr_eq(&idx, &c.index_on(&[0])));
+        assert_eq!(c.index_on(&[0]).probe(&[Term::int(2)]).len(), 1);
+    }
+
+    #[test]
+    fn clone_invalidates_shared_index_after_insert() {
+        let mut r = Relation::new(1);
+        r.insert(Tuple::ints(&[1]));
+        let idx = r.index_on(&[0]);
+        let mut c = r.clone();
+        c.insert(Tuple::ints(&[2]));
+        let idx2 = c.index_on(&[0]);
+        assert!(!Arc::ptr_eq(&idx, &idx2));
+        assert_eq!(idx2.probe(&[Term::int(2)]).len(), 1);
+        // The original still serves its own (valid) snapshot.
+        assert!(Arc::ptr_eq(&idx, &r.index_on(&[0])));
     }
 }

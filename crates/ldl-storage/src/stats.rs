@@ -29,7 +29,17 @@ impl Stats {
 
     /// Synthetic statistics: `cardinality` tuples, each column with the
     /// given distinct count (clamped to the cardinality).
+    ///
+    /// Non-finite inputs are *infectious*: any `∞` or `NaN` (the stats
+    /// of an unsafe plan) yields uniformly infinite statistics instead
+    /// of being laundered into finite values by the clamps — `NaN.max`
+    /// and `NaN.min` silently return the other operand, which is
+    /// exactly how an unsafe subplan used to cost out as free.
     pub fn synthetic(cardinality: f64, distinct: Vec<f64>) -> Stats {
+        if !cardinality.is_finite() || distinct.iter().any(|d| !d.is_finite()) {
+            let n = distinct.len();
+            return Stats { cardinality: f64::INFINITY, distinct: vec![f64::INFINITY; n] };
+        }
         let distinct = distinct
             .into_iter()
             .map(|d| d.min(cardinality).max(1.0))
@@ -45,6 +55,14 @@ impl Stats {
     /// Number of columns covered.
     pub fn arity(&self) -> usize {
         self.distinct.len()
+    }
+
+    /// Are all statistics finite? False for the `∞`/`NaN` statistics of
+    /// an unsafe plan; cost models must treat such stats as unsafe
+    /// rather than deriving selectivities from them (`1/∞ = 0` turns an
+    /// infinite plan free downstream).
+    pub fn is_finite(&self) -> bool {
+        self.cardinality.is_finite() && self.distinct.iter().all(|d| d.is_finite())
     }
 
     /// Selectivity of an equality predicate `col = constant` under the
@@ -112,6 +130,26 @@ mod tests {
         let a = Stats::uniform(1000.0, 1, 10.0);
         let b = Stats::uniform(500.0, 1, 40.0);
         assert!((a.join_selectivity(0, &b, 0) - 1.0 / 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_synthetic_stats_stay_non_finite() {
+        for bad in [f64::INFINITY, f64::NAN] {
+            let s = Stats::synthetic(bad, vec![10.0, 20.0]);
+            assert!(!s.is_finite());
+            assert!(s.cardinality.is_infinite());
+            let t = Stats::synthetic(100.0, vec![bad, 5.0]);
+            assert!(!t.is_finite(), "distinct {bad} laundered to finite");
+        }
+        // Projection cannot re-finite them either.
+        let u = Stats::uniform(f64::INFINITY, 3, f64::INFINITY);
+        assert!(!u.project(&[0, 2]).is_finite());
+    }
+
+    #[test]
+    fn finite_stats_report_finite() {
+        assert!(Stats::uniform(1000.0, 2, 50.0).is_finite());
+        assert!(Stats::measure(&Relation::new(2)).is_finite());
     }
 
     #[test]

@@ -9,9 +9,12 @@
 //! * [`prop`] — a minimal property-testing harness (composable
 //!   generators, configurable case count, greedy shrinking, failure-seed
 //!   reporting), replacing `proptest`;
-//! * [`bench`] — a lightweight bench harness (warmup + N timed
+//! * [`mod@bench`] — a lightweight bench harness (warmup + N timed
 //!   iterations, median/p95, JSON output to `BENCH_*.json`), replacing
-//!   `criterion`.
+//!   `criterion`;
+//! * [`par`] — a scoped worker-pool helper (`std::thread::scope` +
+//!   atomic work-stealing, results returned in job order), replacing
+//!   `rayon`-style fan-out for the parallel fixpoint evaluators.
 //!
 //! Everything is seeded and reproducible: the randomized search
 //! (simulated annealing, §7 of the paper) and the plan-space property
@@ -20,6 +23,7 @@
 //! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
 
 pub mod bench;
+pub mod par;
 pub mod prop;
 pub mod rng;
 

@@ -1,0 +1,126 @@
+//! Scoped worker-pool helper.
+//!
+//! The fixpoint evaluators fan one round's rule firings out over
+//! `std::thread::scope` workers. This module supplies the one primitive
+//! they need: run `jobs` closures on up to `threads` workers and hand
+//! the results back **in job order**, so callers can merge worker
+//! output deterministically regardless of scheduling. Workers pull job
+//! indices from a shared atomic counter (self-balancing: a slow job
+//! does not idle the other workers), and a panic inside any job is
+//! re-raised on the caller's thread with its original payload.
+//!
+//! No threads outlive a call and no state persists between calls — the
+//! pool is scoped, not global, which keeps the workspace free of
+//! shutdown logic and extra dependencies.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default worker count for parallel evaluation: the `LDL_EVAL_THREADS`
+/// environment variable when set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`] (1 if unknown).
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("LDL_EVAL_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `f(0), f(1), …, f(jobs - 1)` on up to `threads` scoped workers
+/// and returns the results indexed by job, i.e. exactly what the serial
+/// `(0..jobs).map(f).collect()` returns. With `threads <= 1` (or fewer
+/// than two jobs) it *is* that serial loop — no threads are spawned.
+pub fn scoped_map<T, F>(threads: usize, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs == 0 {
+        return Vec::new();
+    }
+    let workers = threads.min(jobs);
+    if workers <= 1 {
+        return (0..jobs).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let batches: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    });
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(jobs);
+    slots.resize_with(jobs, || None);
+    for batch in batches {
+        for (i, v) in batch {
+            slots[i] = Some(v);
+        }
+    }
+    slots.into_iter().map(|o| o.expect("every job index was claimed exactly once")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        for threads in [1, 2, 4, 8] {
+            let out = scoped_map(threads, 100, |i| i * 3);
+            assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let counters: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        scoped_map(4, 64, |i| counters[i].fetch_add(1, Ordering::SeqCst));
+        assert!(counters.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn zero_jobs_yield_empty() {
+        let out: Vec<u8> = scoped_map(4, 0, |_| unreachable!("no jobs to run"));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_panic_propagates_with_payload() {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            scoped_map(3, 10, |i| {
+                if i == 7 {
+                    panic!("job seven failed");
+                }
+                i
+            });
+        }));
+        let e = r.unwrap_err();
+        let msg = e.downcast_ref::<&str>().copied().unwrap_or("");
+        assert!(msg.contains("job seven failed"), "payload lost: {msg:?}");
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

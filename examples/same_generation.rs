@@ -50,7 +50,7 @@ fn main() {
 
     // Ground truth: run the bound query under every method.
     let query = parse_query(&format!("sg({leaf}, Y)?")).unwrap();
-    let cfg = FixpointConfig { max_iterations: 200_000 };
+    let cfg = FixpointConfig::with_max_iterations(200_000);
     println!("{:<12} {:>8} {:>16} {:>10}", "method", "answers", "tuples-derived", "ms");
     for m in Method::ALL {
         let start = Instant::now();

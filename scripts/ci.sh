@@ -14,8 +14,31 @@ cargo test -q --offline
 echo "==> cargo test --workspace (all crates: unit + integration + property)"
 cargo test -q --offline --workspace
 
+echo "==> cargo test --workspace under LDL_EVAL_THREADS=1 (forced-serial fixpoint)"
+LDL_EVAL_THREADS=1 cargo test -q --offline --workspace
+
+echo "==> cargo test --workspace under LDL_EVAL_THREADS=4 (forced-parallel fixpoint)"
+LDL_EVAL_THREADS=4 cargo test -q --offline --workspace
+
 echo "==> cargo build --workspace --all-targets (benches + experiment bins)"
 cargo build --offline --workspace --all-targets
+
+# Parallel fixpoint determinism: the scaling bench embeds a digest of
+# the full evaluation result in every record label; the answer digests
+# of a forced-serial and a forced-parallel run must be identical.
+echo "==> parallel fixpoint answer-digest diff (LDL_EVAL_THREADS=1 vs 4)"
+digest_dir="$(mktemp -d)"
+trap 'rm -rf "$digest_dir"' EXIT
+LDL_BENCH_ITERS=1 LDL_BENCH_JSON_DIR="$digest_dir/serial" \
+    LDL_EVAL_THREADS=1 cargo bench -q --offline -p ldl-bench --bench parallel_fixpoint >/dev/null
+LDL_BENCH_ITERS=1 LDL_BENCH_JSON_DIR="$digest_dir/parallel" \
+    LDL_EVAL_THREADS=4 cargo bench -q --offline -p ldl-bench --bench parallel_fixpoint >/dev/null
+for d in serial parallel; do
+    grep -o 'digest=[0-9a-f]*' "$digest_dir/$d/BENCH_parallel_fixpoint.json" | sort -u \
+        > "$digest_dir/$d.digests"
+done
+diff "$digest_dir/serial.digests" "$digest_dir/parallel.digests"
+echo "    digests identical: $(wc -l < "$digest_dir/serial.digests") workload(s) × thread counts"
 
 if cargo clippy --offline --version >/dev/null 2>&1; then
     echo "==> cargo clippy --workspace --all-targets"

@@ -254,7 +254,7 @@ fn methods_agree_on_random_graphs() {
         // design, so only compare when it terminates.
         let magic = evaluate_query(&program, &db, &query, Method::Magic, &cfg).unwrap().tuples;
         assert_eq!(&magic, &reference);
-        let counting_cfg = FixpointConfig { max_iterations: 200 };
+        let counting_cfg = FixpointConfig::with_max_iterations(200);
         if let Ok(ans) = evaluate_query(&program, &db, &query, Method::Counting, &counting_cfg) {
             assert_eq!(&ans.tuples, &reference);
         }

@@ -19,7 +19,7 @@ fn tiny_iteration_bound_errors_cleanly() {
     // A bound of 1 iteration cannot complete the chain: must be an error,
     // not a wrong answer.
     for m in [Method::Naive, Method::SemiNaive] {
-        let r = evaluate_query(&program, &db, &q, m, &FixpointConfig { max_iterations: 1 });
+        let r = evaluate_query(&program, &db, &q, m, &FixpointConfig::with_max_iterations(1));
         assert!(r.is_err(), "{} must report the bound", m.name());
     }
 }
