@@ -1,0 +1,123 @@
+//! Acceptance test for the automatic index-selection subsystem.
+//!
+//! One `#[test]` function on purpose: the index work counters
+//! (`ldl_storage::relation::counters`) are process-global, and exact
+//! delta assertions only hold when nothing else runs concurrently —
+//! a single-test integration binary is its own process.
+//!
+//! Checks, on the recursive benchmark workloads (A2 same-generation,
+//! E5-style transitive closure) and a nested-signature program:
+//!
+//! 1. the chain-cover selection emits *fewer* indexes than the ad-hoc
+//!    per-signature count whenever signatures nest, and never more;
+//! 2. selected mode builds one ordered index per (relation version,
+//!    selected order) — strictly fewer builds than hash mode pays for
+//!    the same probes when signatures share a chain;
+//! 3. answers and [`Metrics`] are bit-for-bit identical across the
+//!    three access-path policies, through the raw fixpoint and through
+//!    the engine's magic rewriting.
+
+use ldl_bench::workload::{same_generation, transitive_closure_chains};
+use ldl_core::parser::{parse_program, parse_query};
+use ldl_core::Pred;
+use ldl_eval::seminaive::eval_program_seminaive;
+use ldl_eval::{evaluate_query, AccessPaths, FixpointConfig, Method};
+use ldl_index::IndexCatalog;
+use ldl_storage::{Database, IndexCounters};
+
+fn fixpoint_cfg(paths: AccessPaths) -> FixpointConfig {
+    FixpointConfig::serial().with_access_paths(paths)
+}
+
+#[test]
+fn index_selection_acceptance() {
+    // --- 1. Chain-cover minimality on a nested-signature program. ---
+    // p is probed on {0} (first rule) and on {0,1} (second rule): two
+    // signatures, one chain, ONE selected order [0, 1].
+    let mut nested = String::new();
+    for i in 0..12i64 {
+        nested.push_str(&format!("a({i}).\nb({i}).\n"));
+        nested.push_str(&format!("p({i}, {}).\np({i}, {}).\n", i + 1, i + 2));
+    }
+    nested.push_str("q1(X, Z) <- a(X), p(X, Z).\nq2(X, Y) <- a(X), b(Y), p(X, Y).\n");
+    let nested_prog = parse_program(&nested).unwrap();
+    let catalog = IndexCatalog::build(&nested_prog);
+    let p = Pred::new("p", 2);
+    assert_eq!(catalog.orders(p), &[vec![0, 1]], "one lex order serves both signatures");
+    assert!(
+        catalog.total_orders() < catalog.total_signatures(),
+        "selection ({}) must beat per-signature indexing ({})",
+        catalog.total_orders(),
+        catalog.total_signatures()
+    );
+
+    // --- 2. Build counts: selected mode shares, hash mode cannot. ---
+    let db = Database::from_program(&nested_prog);
+    let before = IndexCounters::snapshot();
+    let (hash_rel, hash_m) =
+        eval_program_seminaive(&nested_prog, &db, &fixpoint_cfg(AccessPaths::HashOnDemand))
+            .unwrap();
+    let hash_work = before.delta_since();
+    let before = IndexCounters::snapshot();
+    let (sel_rel, sel_m) =
+        eval_program_seminaive(&nested_prog, &db, &fixpoint_cfg(AccessPaths::Selected)).unwrap();
+    let sel_work = before.delta_since();
+    assert_eq!(sel_rel.len(), hash_rel.len());
+    for (pred, rel) in &hash_rel {
+        assert_eq!(sel_rel[pred].rows(), rel.rows(), "{pred}: rows diverge across modes");
+    }
+    assert_eq!(sel_m, hash_m, "metrics diverge across access modes");
+    assert_eq!(
+        sel_work.ordered_builds, 1,
+        "both signatures must share one ordered build, got {sel_work:?}"
+    );
+    assert_eq!(
+        hash_work.hash_builds, 2,
+        "hash mode pays one build per distinct key set, got {hash_work:?}"
+    );
+    assert!(sel_work.ordered_builds < hash_work.hash_builds);
+    assert!(sel_work.ordered_probes > 0, "selected mode must actually probe: {sel_work:?}");
+    assert_eq!(sel_work.hash_builds, 0, "no hash fallback expected here: {sel_work:?}");
+
+    // --- 3. Recursive workloads: distinct builds per relation version,
+    //        identical answers and metrics across all three policies. ---
+    let (sg, _) = same_generation(2, 8);
+    let (tc, _) = transitive_closure_chains(64, 4);
+    for (program, what) in [(&sg, "sg"), (&tc, "tc")] {
+        let db = Database::from_program(program);
+        let before = IndexCounters::snapshot();
+        let (ref_rel, ref_m) =
+            eval_program_seminaive(program, &db, &fixpoint_cfg(AccessPaths::Selected)).unwrap();
+        let sel_work = before.delta_since();
+        assert!(sel_work.ordered_builds > 0, "{what}: no ordered builds: {sel_work:?}");
+        assert!(sel_work.ordered_probes > 0, "{what}: no ordered probes: {sel_work:?}");
+        let selected_orders = IndexCatalog::build(program).total_orders() as u64;
+        assert!(
+            sel_work.ordered_builds >= selected_orders,
+            "{what}: recursion must rebuild per relation version \
+             ({} builds for {selected_orders} selected orders)",
+            sel_work.ordered_builds
+        );
+        for paths in [AccessPaths::HashOnDemand, AccessPaths::ForceScan] {
+            let (rel, m) = eval_program_seminaive(program, &db, &fixpoint_cfg(paths)).unwrap();
+            assert_eq!(m, ref_m, "{what}: metrics diverge under {paths:?}");
+            for (pred, r) in &ref_rel {
+                assert_eq!(rel[pred].rows(), r.rows(), "{what}/{pred}: rows diverge vs {paths:?}");
+            }
+        }
+    }
+
+    // --- 4. Engine-level: magic-rewritten bound query, all policies. ---
+    let (sg, leaf) = same_generation(2, 8);
+    let db = Database::from_program(&sg);
+    let query = parse_query(&format!("sg({leaf}, Y)?")).unwrap();
+    let reference =
+        evaluate_query(&sg, &db, &query, Method::Magic, &fixpoint_cfg(AccessPaths::ForceScan))
+            .unwrap();
+    assert!(!reference.tuples.is_empty());
+    for paths in [AccessPaths::Selected, AccessPaths::HashOnDemand] {
+        let got = evaluate_query(&sg, &db, &query, Method::Magic, &fixpoint_cfg(paths)).unwrap();
+        assert_eq!(got.tuples.rows(), reference.tuples.rows(), "answers diverge under {paths:?}");
+        assert_eq!(got.metrics, reference.metrics, "metrics diverge under {paths:?}");
+    }
+}

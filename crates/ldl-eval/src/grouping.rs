@@ -8,11 +8,11 @@
 //! edges negative), so a predicate can never collect a set of itself.
 //! `member(X, S)` enumerates or tests elements of a bound set.
 
-use crate::rule_eval::{eval_rule, FiringStats, RelSource};
+use crate::rule_eval::{eval_rule_with, AccessPlan, FiringStats, RelSource};
 use ldl_core::unify::Subst;
 use ldl_core::{Atom, Result, Rule, Term};
 use ldl_storage::Tuple;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Does the rule's head contain a grouping marker?
 pub fn has_grouping(rule: &Rule) -> bool {
@@ -28,6 +28,17 @@ pub fn eval_grouping_rule(
     rule: &Rule,
     order: &[usize],
     source: &dyn RelSource,
+) -> Result<(Vec<Tuple>, FiringStats)> {
+    eval_grouping_rule_with(rule, order, source, AccessPlan::HashOnDemand)
+}
+
+/// [`eval_grouping_rule`] with an explicit access plan for the body's
+/// probe sites.
+pub fn eval_grouping_rule_with(
+    rule: &Rule,
+    order: &[usize],
+    source: &dyn RelSource,
+    plan: AccessPlan<'_>,
 ) -> Result<(Vec<Tuple>, FiringStats)> {
     debug_assert!(has_grouping(rule));
     // Inner rule: grouping markers unwrapped, head otherwise unchanged.
@@ -53,10 +64,13 @@ pub fn eval_grouping_rule(
         .collect();
 
     let mut rows: Vec<Tuple> = Vec::new();
-    let stats = eval_rule(&inner, order, &Subst::new(), source, &mut |t| rows.push(t))?;
+    let stats =
+        eval_rule_with(&inner, order, &Subst::new(), source, plan, &mut |t| rows.push(t))?;
 
-    // Group.
-    let mut groups: HashMap<Vec<Term>, Vec<BTreeSet<Term>>> = HashMap::new();
+    // Group. Keys are kept sorted so the output tuple order is a
+    // function of the solution set alone — not of a hash seed — keeping
+    // grouping rounds deterministic like every other firing.
+    let mut groups: BTreeMap<Vec<Term>, Vec<BTreeSet<Term>>> = BTreeMap::new();
     for row in rows {
         let key: Vec<Term> = key_positions.iter().map(|&i| row.get(i).clone()).collect();
         let entry = groups

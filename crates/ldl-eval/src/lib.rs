@@ -43,4 +43,5 @@ pub mod sld;
 
 pub use engine::{evaluate_query, Method, QueryAnswer};
 pub use metrics::Metrics;
-pub use naive::FixpointConfig;
+pub use naive::{AccessPaths, FixpointConfig};
+pub use rule_eval::AccessPlan;

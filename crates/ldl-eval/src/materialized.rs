@@ -15,10 +15,10 @@
 //! compare their costs.
 
 use crate::builtins::eval_builtin;
-use crate::ops::{join, JoinMethod};
+use crate::ops::{join, ColPredicate, JoinMethod};
 use crate::rule_eval::RelSource;
 use ldl_core::unify::Subst;
-use ldl_core::{LdlError, Literal, Result, Rule, Symbol, Term};
+use ldl_core::{BuiltinPred, LdlError, Literal, Result, Rule, Symbol, Term};
 use ldl_storage::{Relation, Tuple};
 
 /// Intermediate result: a relation whose columns are named by variables.
@@ -53,16 +53,58 @@ fn materialize_atom(
     Intermediate { rel: out, schema: vars }
 }
 
+/// A builtin comparison that can run as a relational selection: one
+/// side a variable already materialized as a column, the other a plain
+/// constant (no arithmetic to evaluate).
+fn pushdown_predicate(b: &BuiltinPred, acc: &Intermediate) -> Option<ColPredicate> {
+    let (v, value, op) = match (&b.lhs, &b.rhs) {
+        (Term::Var(v), c @ Term::Const(_)) => (*v, c.clone(), b.op),
+        (c @ Term::Const(_), Term::Var(v)) => (*v, c.clone(), b.op.flipped()),
+        _ => return None,
+    };
+    acc.col_of(v).map(|col| ColPredicate { col, op, value })
+}
+
 /// Executes `rule`'s body fully materialized, in the order `order`, with
 /// the given join method, returning the deduplicated head relation.
 ///
 /// Errors mirror the pipelined executor: non-EC builtins, unbound
 /// negation, or unbound head variables mean the order is unsafe.
+///
+/// Column-vs-constant comparison filters run through the *lenient*
+/// [`crate::ops::select`]: an ordering comparison over unordered values
+/// silently drops the row, where the pipelined executor's per-row
+/// builtin raises a typed error. Use [`eval_rule_materialized_cfg`]
+/// with [`crate::FixpointConfig::strict_select`] set to route those
+/// filters through [`crate::ops::select_strict`] and restore agreement
+/// on ill-typed data.
 pub fn eval_rule_materialized(
     rule: &Rule,
     order: &[usize],
     method: JoinMethod,
     source: &dyn RelSource,
+) -> Result<Relation> {
+    eval_rule_materialized_inner(rule, order, method, source, false)
+}
+
+/// [`eval_rule_materialized`] honoring the engine configuration's
+/// selection strictness (see [`crate::FixpointConfig::strict_select`]).
+pub fn eval_rule_materialized_cfg(
+    rule: &Rule,
+    order: &[usize],
+    method: JoinMethod,
+    source: &dyn RelSource,
+    cfg: &crate::FixpointConfig,
+) -> Result<Relation> {
+    eval_rule_materialized_inner(rule, order, method, source, cfg.strict_select)
+}
+
+fn eval_rule_materialized_inner(
+    rule: &Rule,
+    order: &[usize],
+    method: JoinMethod,
+    source: &dyn RelSource,
+    strict: bool,
 ) -> Result<Relation> {
     debug_assert_eq!(order.len(), rule.body.len());
     // Start from a unit relation (one empty tuple): joins extend it.
@@ -127,6 +169,18 @@ pub fn eval_rule_materialized(
                 acc = Intermediate { rel: out, schema: acc.schema };
             }
             Literal::Builtin(b) => {
+                // Column-vs-constant comparisons are relational
+                // selections; the strict flag picks which select runs.
+                if let Some(pred) = pushdown_predicate(b, &acc) {
+                    let preds = std::slice::from_ref(&pred);
+                    let selected = if strict {
+                        crate::ops::select_strict(&acc.rel, preds)?
+                    } else {
+                        crate::ops::select(&acc.rel, preds)
+                    };
+                    acc = Intermediate { rel: selected, schema: acc.schema };
+                    continue;
+                }
                 // Apply per row: filters drop rows, `=` may add a column.
                 let new_vars: Vec<Symbol> = b
                     .vars()

@@ -9,15 +9,36 @@
 
 use crate::metrics::Metrics;
 use crate::parallel::{run_round, Firing};
+use crate::rule_eval::AccessPlan;
 use ldl_core::depgraph::DependencyGraph;
 use ldl_core::{LdlError, Pred, Program, Result};
+use ldl_index::IndexCatalog;
 use ldl_storage::{Database, Relation};
 use std::collections::HashMap;
 
+/// Which access paths the fixpoint evaluators give their probe sites
+/// (the owned counterpart of [`AccessPlan`], which borrows a catalog).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AccessPaths {
+    /// Solve the minimum chain cover over the program's search
+    /// signatures once per evaluation and probe the selected ordered
+    /// indexes, falling back to on-demand hashes for anything the
+    /// catalog does not serve. The default.
+    #[default]
+    Selected,
+    /// On-demand hash indexes only (the pre-selection behavior).
+    HashOnDemand,
+    /// Full scans only — the baseline the equivalence tests compare
+    /// both probing modes against.
+    ForceScan,
+}
+
 /// Runtime knobs of the fixpoint evaluators: the iteration bound
 /// guarding non-terminating fixpoints (an unsafe execution shows up as
-/// an iteration-bound overflow at run time) and the worker-thread count
-/// for round-level parallelism.
+/// an iteration-bound overflow at run time), the worker-thread count
+/// for round-level parallelism, and the access-path / strictness
+/// policies. Answers and metrics are identical across every setting of
+/// `threads` and `access_paths`.
 #[derive(Clone, Copy, Debug)]
 pub struct FixpointConfig {
     /// Maximum iterations per recursive clique before the evaluation is
@@ -27,6 +48,13 @@ pub struct FixpointConfig {
     /// metrics are identical at any value; see `crate::parallel`.
     /// Defaults to `LDL_EVAL_THREADS` or the machine's parallelism.
     pub threads: usize,
+    /// Access-path policy for probe sites (see [`AccessPaths`]).
+    pub access_paths: AccessPaths,
+    /// Route materialized selections through `ops::select_strict`, so an
+    /// ordering comparison over unordered values is a typed error
+    /// instead of a silently dropped row. Default `false`: the lenient
+    /// `ops::select` collapse is the documented materialized behavior.
+    pub strict_select: bool,
 }
 
 impl Default for FixpointConfig {
@@ -34,6 +62,8 @@ impl Default for FixpointConfig {
         FixpointConfig {
             max_iterations: 100_000,
             threads: ldl_support::par::default_threads(),
+            access_paths: AccessPaths::default(),
+            strict_select: false,
         }
     }
 }
@@ -50,9 +80,39 @@ impl FixpointConfig {
         self
     }
 
+    /// Sets the access-path policy.
+    pub fn with_access_paths(mut self, access_paths: AccessPaths) -> FixpointConfig {
+        self.access_paths = access_paths;
+        self
+    }
+
+    /// Sets the strict-selection flag (see [`FixpointConfig::strict_select`]).
+    pub fn with_strict_select(mut self, strict: bool) -> FixpointConfig {
+        self.strict_select = strict;
+        self
+    }
+
     /// Default configuration forced to single-threaded execution.
     pub fn serial() -> FixpointConfig {
         FixpointConfig::default().with_threads(1)
+    }
+
+    /// The selected-index catalog for `program` under this policy:
+    /// `Some` only in [`AccessPaths::Selected`] mode. Callers hold the
+    /// catalog and borrow it into an [`AccessPlan`] via
+    /// [`FixpointConfig::plan`].
+    pub(crate) fn catalog(&self, program: &Program) -> Option<IndexCatalog> {
+        (self.access_paths == AccessPaths::Selected).then(|| IndexCatalog::build(program))
+    }
+
+    /// The borrow-level access plan for a catalog built by
+    /// [`FixpointConfig::catalog`].
+    pub(crate) fn plan<'a>(&self, catalog: &'a Option<IndexCatalog>) -> AccessPlan<'a> {
+        match (self.access_paths, catalog) {
+            (AccessPaths::Selected, Some(cat)) => AccessPlan::Selected(cat),
+            (AccessPaths::ForceScan, _) => AccessPlan::ForceScan,
+            _ => AccessPlan::HashOnDemand,
+        }
     }
 }
 
@@ -101,6 +161,8 @@ pub fn eval_program_naive(
         })
         .collect();
     let mut metrics = Metrics::default();
+    // One chain-cover solve per evaluation; every round borrows it.
+    let catalog = cfg.catalog(program);
 
     for group in evaluation_groups(program, &graph) {
         let recursive = group.iter().any(|&p| graph.is_recursive(p));
@@ -139,7 +201,7 @@ pub fn eval_program_naive(
             // in rule order — exactly the serial insertion order.
             let (new_tuples, round_metrics) = {
                 let base = |p: Pred| derived.get(&p).or_else(|| db.relation(p));
-                run_round(program, &firings, &base, cfg.threads)?
+                run_round(program, &firings, &base, cfg.threads, cfg.plan(&catalog))?
             };
             metrics.absorb(round_metrics);
             let mut changed = false;

@@ -28,7 +28,7 @@
 //! must see every solution).
 
 use crate::metrics::Metrics;
-use crate::rule_eval::{eval_rule, OverlaySource};
+use crate::rule_eval::{eval_rule_with, AccessPlan, OverlaySource};
 use ldl_core::unify::Subst;
 use ldl_core::{Literal, Pred, Program, Result, Rule};
 use ldl_storage::{Relation, Tuple};
@@ -74,6 +74,7 @@ pub(crate) fn run_round<'a>(
     firings: &[Firing<'a>],
     base: &(dyn Fn(Pred) -> Option<&'a Relation> + Sync),
     threads: usize,
+    plan: AccessPlan<'_>,
 ) -> Result<(Vec<(Pred, Tuple)>, Metrics)> {
     // Plan jobs: cut row chunks up front so workers share them by
     // reference. Chunk relations live in `chunks`, specs index into it.
@@ -131,11 +132,12 @@ pub(crate) fn run_round<'a>(
         let mut out: Vec<(Pred, Tuple)> = Vec::new();
         let mut m = Metrics::default();
         if crate::grouping::has_grouping(rule) {
-            let (tuples, st) = crate::grouping::eval_grouping_rule(rule, &order, &source)?;
+            let (tuples, st) =
+                crate::grouping::eval_grouping_rule_with(rule, &order, &source, plan)?;
             m.tuples_produced = st.produced;
             out.extend(tuples.into_iter().map(|t| (head_pred, t)));
         } else {
-            let st = eval_rule(rule, &order, &Subst::new(), &source, &mut |t| {
+            let st = eval_rule_with(rule, &order, &Subst::new(), &source, plan, &mut |t| {
                 out.push((head_pred, t));
             })?;
             m.tuples_produced = st.produced;

@@ -12,7 +12,28 @@
 use crate::builtins::eval_builtin;
 use ldl_core::unify::Subst;
 use ldl_core::{LdlError, Literal, Pred, Result, Rule, Term};
+use ldl_index::IndexCatalog;
 use ldl_storage::{Relation, Tuple};
+
+/// How positive-atom probe sites pick their access path.
+///
+/// The three modes produce identical solution streams (ordered probes
+/// return row ids ascending, the same order hash probes and scans
+/// enumerate), so answers and [`crate::Metrics`] are bit-for-bit equal
+/// across modes — only the index work differs.
+#[derive(Clone, Copy, Debug, Default)]
+pub enum AccessPlan<'a> {
+    /// Build a hash index per distinct key-column set on demand (the
+    /// pre-selection behavior).
+    #[default]
+    HashOnDemand,
+    /// Consult a selected-index catalog first: a bound-column set served
+    /// by one of the catalog's lexicographic orders probes that shared
+    /// ordered index; anything else falls back to an on-demand hash.
+    Selected(&'a IndexCatalog),
+    /// Never probe — always scan. The determinism baseline.
+    ForceScan,
+}
 
 /// Supplies the relation to read for each body atom. Implementations
 /// distinguish base relations, completed derived relations, and — for
@@ -81,18 +102,32 @@ pub fn eval_rule(
     source: &dyn RelSource,
     emit: &mut dyn FnMut(Tuple),
 ) -> Result<FiringStats> {
+    eval_rule_with(rule, order, seed, source, AccessPlan::HashOnDemand, emit)
+}
+
+/// [`eval_rule`] with an explicit access plan for its probe sites.
+pub fn eval_rule_with(
+    rule: &Rule,
+    order: &[usize],
+    seed: &Subst,
+    source: &dyn RelSource,
+    plan: AccessPlan<'_>,
+    emit: &mut dyn FnMut(Tuple),
+) -> Result<FiringStats> {
     debug_assert_eq!(order.len(), rule.body.len());
     let mut stats = FiringStats::default();
-    solve(rule, order, 0, seed.clone(), source, emit, &mut stats)?;
+    solve(rule, order, 0, seed.clone(), source, plan, emit, &mut stats)?;
     Ok(stats)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn solve(
     rule: &Rule,
     order: &[usize],
     k: usize,
     subst: Subst,
     source: &dyn RelSource,
+    plan: AccessPlan<'_>,
     emit: &mut dyn FnMut(Tuple),
     stats: &mut FiringStats,
 ) -> Result<()> {
@@ -111,7 +146,7 @@ fn solve(
     match &rule.body[li] {
         Literal::Builtin(b) => {
             if let Some(next) = eval_builtin(b, &subst)? {
-                solve(rule, order, k + 1, next, source, emit, stats)?;
+                solve(rule, order, k + 1, next, source, plan, emit, stats)?;
             }
             Ok(())
         }
@@ -128,7 +163,7 @@ fn solve(
                 .map(|r| r.contains(&Tuple::new(ga.args)))
                 .unwrap_or(false);
             if !present {
-                solve(rule, order, k + 1, subst, source, emit, stats)?;
+                solve(rule, order, k + 1, subst, source, plan, emit, stats)?;
             }
             Ok(())
         }
@@ -146,7 +181,7 @@ fn solve(
                     for item in items {
                         let mut s = subst.clone();
                         if s.unify(&a.args[0], item) {
-                            solve(rule, order, k + 1, s, source, emit, stats)?;
+                            solve(rule, order, k + 1, s, source, plan, emit, stats)?;
                         }
                     }
                 }
@@ -175,19 +210,41 @@ fn solve(
                 let mut s = subst.clone();
                 let ok = inst.iter().zip(&row.0).all(|(pat, val)| s.unify(pat, val));
                 if ok {
-                    solve(rule, order, k + 1, s, source, emit, stats)?;
+                    solve(rule, order, k + 1, s, source, plan, emit, stats)?;
                 }
                 Ok(())
             };
-            if key_cols.is_empty() || key_cols.len() == inst.len() && rel.len() <= 8 {
-                // Full scan (no usable key, or trivial relation).
+            let scan = key_cols.is_empty()
+                || key_cols.len() == inst.len() && rel.len() <= 8
+                || matches!(plan, AccessPlan::ForceScan);
+            if scan {
+                // Full scan (no usable key, trivial relation, or forced).
                 for row in rel.iter() {
                     try_row(row, &subst, source, emit, stats)?;
                 }
             } else {
-                let idx = rel.index_on(&key_cols);
-                for &rid in idx.probe(&key_vals) {
-                    try_row(rel.row(rid), &subst, source, emit, stats)?;
+                // Selected mode: a catalog order serving `key_cols` as a
+                // prefix probes the shared ordered index; its row ids come
+                // back ascending — the same order a hash probe yields — so
+                // the solution stream is identical either way.
+                let selected = match plan {
+                    AccessPlan::Selected(cat) => cat.lookup(a.pred, &key_cols),
+                    _ => None,
+                };
+                if let Some(order_cols) = selected {
+                    let oi = rel.ordered_index_on(order_cols);
+                    let key: Vec<Term> = order_cols[..key_cols.len()]
+                        .iter()
+                        .map(|c| key_vals[key_cols.binary_search(c).expect("prefix column")].clone())
+                        .collect();
+                    for rid in oi.probe_prefix(rel.rows(), &key) {
+                        try_row(rel.row(rid), &subst, source, emit, stats)?;
+                    }
+                } else {
+                    let idx = rel.index_on(&key_cols);
+                    for &rid in idx.probe(&key_vals) {
+                        try_row(rel.row(rid), &subst, source, emit, stats)?;
+                    }
                 }
             }
             Ok(())

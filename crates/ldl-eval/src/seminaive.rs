@@ -34,6 +34,8 @@ pub fn eval_program_seminaive(
         })
         .collect();
     let mut metrics = Metrics::default();
+    // One chain-cover solve per evaluation; every round borrows it.
+    let catalog = cfg.catalog(program);
 
     for group in evaluation_groups(program, &graph) {
         let in_group = |p: Pred| group.contains(&p);
@@ -55,7 +57,7 @@ pub fn eval_program_seminaive(
                     .map(|&ri| Firing { rule_index: ri, overlay: None })
                     .collect();
                 let base = |p: Pred| derived.get(&p).or_else(|| db.relation(p));
-                run_round(program, &firings, &base, cfg.threads)?
+                run_round(program, &firings, &base, cfg.threads, cfg.plan(&catalog))?
             };
             metrics.absorb(round_metrics);
             for (p, t) in out {
@@ -90,7 +92,7 @@ pub fn eval_program_seminaive(
             let firings: Vec<Firing> =
                 exit.iter().map(|&ri| Firing { rule_index: ri, overlay: None }).collect();
             let base = |p: Pred| derived.get(&p).or_else(|| db.relation(p));
-            run_round(program, &firings, &base, cfg.threads)?
+            run_round(program, &firings, &base, cfg.threads, cfg.plan(&catalog))?
         };
         metrics.absorb(round_metrics);
         for (p, t) in out {
@@ -136,7 +138,7 @@ pub fn eval_program_seminaive(
                     }
                 }
                 let base = |p: Pred| derived.get(&p).or_else(|| db.relation(p));
-                run_round(program, &firings, &base, cfg.threads)?
+                run_round(program, &firings, &base, cfg.threads, cfg.plan(&catalog))?
             };
             metrics.absorb(round_metrics);
             let mut next_delta: HashMap<Pred, Relation> =

@@ -1,0 +1,143 @@
+//! The index catalog: selected lexicographic orders per predicate.
+//!
+//! Built once per program (collect → chain-cover → lower each chain to
+//! one order), then consulted by the executor at every probe site: the
+//! runtime's bound-column set maps to the order serving it as a prefix,
+//! or to `None` (fall back to an on-demand hash index). Lookups for
+//! collected signatures are O(1); a signature the collector never saw
+//! (over-approximation holes are possible in principle, not observed)
+//! falls back to a prefix scan over the predicate's orders.
+
+use crate::collect::{collect_signatures, SignatureMap};
+use crate::cover::{chain_to_order, min_chain_cover};
+use ldl_core::{Pred, Program};
+use std::collections::HashMap;
+
+/// The selected ordered indexes of one program.
+#[derive(Clone, Debug, Default)]
+pub struct IndexCatalog {
+    /// Selected column orders per predicate (one per chain).
+    orders: HashMap<Pred, Vec<Vec<usize>>>,
+    /// Collected signature → index into `orders[pred]`.
+    by_signature: HashMap<(Pred, Vec<usize>), usize>,
+}
+
+impl IndexCatalog {
+    /// Collects the program's search signatures and solves the minimum
+    /// chain cover per predicate.
+    pub fn build(program: &Program) -> IndexCatalog {
+        IndexCatalog::from_signatures(&collect_signatures(program))
+    }
+
+    /// Catalog from an explicit signature map (exposed for tests and
+    /// for callers that collect from an adorned program).
+    pub fn from_signatures(map: &SignatureMap) -> IndexCatalog {
+        let mut catalog = IndexCatalog::default();
+        for (&pred, sig_set) in map {
+            let sigs: Vec<Vec<usize>> = sig_set.iter().cloned().collect();
+            let chains = min_chain_cover(&sigs);
+            let mut orders = Vec::with_capacity(chains.len());
+            for chain in &chains {
+                let oi = orders.len();
+                orders.push(chain_to_order(chain));
+                for sig in chain {
+                    catalog.by_signature.insert((pred, sig.clone()), oi);
+                }
+            }
+            catalog.orders.insert(pred, orders);
+        }
+        catalog
+    }
+
+    /// The selected orders for `pred` (empty slice when none).
+    pub fn orders(&self, pred: Pred) -> &[Vec<usize>] {
+        self.orders.get(&pred).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// The order serving the bound-column set `key_cols` (sorted
+    /// ascending) as a prefix, if any.
+    pub fn lookup(&self, pred: Pred, key_cols: &[usize]) -> Option<&[usize]> {
+        if let Some(&oi) = self.by_signature.get(&(pred, key_cols.to_vec())) {
+            return Some(&self.orders[&pred][oi]);
+        }
+        // Uncollected signature: any order whose first |key_cols|
+        // columns are exactly that set still serves it.
+        self.orders.get(&pred).and_then(|orders| {
+            orders
+                .iter()
+                .find(|o| {
+                    o.len() >= key_cols.len() && {
+                        let mut prefix = o[..key_cols.len()].to_vec();
+                        prefix.sort_unstable();
+                        prefix == key_cols
+                    }
+                })
+                .map(|o| o.as_slice())
+        })
+    }
+
+    /// Total number of selected orders across all predicates.
+    pub fn total_orders(&self) -> usize {
+        self.orders.values().map(|v| v.len()).sum()
+    }
+
+    /// Number of distinct collected signatures across all predicates.
+    pub fn total_signatures(&self) -> usize {
+        self.by_signature.len()
+    }
+
+    /// Predicates with at least one selected order.
+    pub fn preds(&self) -> impl Iterator<Item = Pred> + '_ {
+        self.orders.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldl_core::parser::parse_program;
+
+    #[test]
+    fn tc_catalog_has_one_order_for_tc() {
+        let p = parse_program("tc(X, Y) <- e(X, Y).\ntc(X, Y) <- e(X, Z), tc(Z, Y).").unwrap();
+        let c = IndexCatalog::build(&p);
+        assert_eq!(c.orders(Pred::new("tc", 2)), &[vec![0]]);
+        assert!(c.orders(Pred::new("e", 2)).is_empty());
+        assert_eq!(c.lookup(Pred::new("tc", 2), &[0]), Some(&[0usize][..]));
+        assert_eq!(c.lookup(Pred::new("tc", 2), &[1]), None);
+    }
+
+    #[test]
+    fn nested_signatures_share_one_order() {
+        // p probed on {0} in one rule and {0,1} in another: one chain,
+        // one order [0, 1], both lookups hit it.
+        let text = "a(X, Z) <- f(X), p(X, Z).\n\
+                    b(X, Y) <- f(X), g(Y), p(X, Y).";
+        let prog = parse_program(text).unwrap();
+        let c = IndexCatalog::build(&prog);
+        let p = Pred::new("p", 2);
+        assert_eq!(c.orders(p).len(), 1);
+        assert_eq!(c.lookup(p, &[0]), Some(&[0usize, 1][..]));
+        assert_eq!(c.lookup(p, &[0, 1]), Some(&[0usize, 1][..]));
+        assert_eq!(c.total_signatures(), 2); // p:{0} and p:{0,1}; f and g are reached free
+    }
+
+    #[test]
+    fn uncollected_signature_falls_back_to_prefix_scan() {
+        let p = parse_program("a(X, Z) <- f(X), p(X, Z).").unwrap();
+        let c = IndexCatalog::build(&p);
+        // {0} was collected; a hypothetical longer key {0,1} was not,
+        // but order [0] cannot serve it — lookup must miss...
+        assert_eq!(c.lookup(Pred::new("p", 2), &[0, 1]), None);
+        // ...while the recorded prefix hits.
+        assert!(c.lookup(Pred::new("p", 2), &[0]).is_some());
+    }
+
+    #[test]
+    fn unknown_pred_is_empty() {
+        let c = IndexCatalog::default();
+        assert!(c.orders(Pred::new("nope", 3)).is_empty());
+        assert!(c.lookup(Pred::new("nope", 3), &[0]).is_none());
+        assert_eq!(c.total_orders(), 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Access-pattern collection.
+//!
+//! A *search signature* of a predicate is the set of argument positions
+//! that are ground when the pipelined executor reaches an occurrence of
+//! that predicate: exactly the `key_cols` the executor computes at its
+//! probe site. The collector replays the executor's binding discipline
+//! statically, literal by literal in the stored body order (the order
+//! the engine evaluates after SIP permutation):
+//!
+//! * a **positive atom** contributes a signature — the positions whose
+//!   argument terms are ground under the current bound-variable set
+//!   (constants count) — and then binds all of its variables;
+//! * a **builtin** binds whatever [`ldl_core::BuiltinPred::binds`] says
+//!   (the unbound side of an EC equality; comparisons bind nothing);
+//! * a **negated atom** is a membership test, not an index probe: it
+//!   contributes no signature and binds nothing;
+//! * **`member/2`** enumerates a set term, not a relation: no signature,
+//!   but its element pattern's variables become bound.
+//!
+//! Rules always start from an empty substitution bottom-up (magic /
+//! counting constants live in seed *relations*, not seeds), so the
+//! collected signatures are exactly the key sets the executor can
+//! request — a superset in general (the executor may scan instead of
+//! probing tiny relations), never a miss.
+
+use ldl_core::adorn::AdornedProgram;
+use ldl_core::{Literal, Pred, Program, Symbol};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+/// The signatures of one program: per predicate, every bound-column set
+/// (each sorted ascending, nonempty) some rule occurrence will search.
+pub type SignatureMap = BTreeMap<Pred, BTreeSet<Vec<usize>>>;
+
+/// Collects the search signatures of every positive atom occurrence in
+/// `program`'s rule bodies, walking bodies in stored order.
+pub fn collect_signatures(program: &Program) -> SignatureMap {
+    let mut map = SignatureMap::new();
+    let member = Pred::new("member", 2);
+    for rule in &program.rules {
+        let mut bound: HashSet<Symbol> = HashSet::new();
+        for lit in &rule.body {
+            match lit {
+                Literal::Builtin(b) => {
+                    for v in b.binds(&bound) {
+                        bound.insert(v);
+                    }
+                }
+                Literal::Atom(a) if a.negated => {}
+                Literal::Atom(a) if a.pred == member => {
+                    // member(X, S) unifies X against the set elements.
+                    for v in a.vars() {
+                        bound.insert(v);
+                    }
+                }
+                Literal::Atom(a) => {
+                    let sig: Vec<usize> = a
+                        .args
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| t.vars().iter().all(|v| bound.contains(v)))
+                        .map(|(i, _)| i)
+                        .collect();
+                    if !sig.is_empty() {
+                        map.entry(a.pred).or_default().insert(sig);
+                    }
+                    for v in a.vars() {
+                        bound.insert(v);
+                    }
+                }
+            }
+        }
+    }
+    map
+}
+
+/// Collects signatures from an adorned program (the optimizer's view):
+/// the adorned rules are lowered to a plain program — the same lowering
+/// the magic/counting rewritings start from — and walked as above, so
+/// the adornment-renamed predicates (`sg_bf`, ...) each get their own
+/// signature sets.
+pub fn collect_adorned_signatures(adorned: &AdornedProgram) -> SignatureMap {
+    collect_signatures(&adorned.to_program())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldl_core::parser::parse_program;
+
+    fn sigs(text: &str, pred: &str, arity: usize) -> Vec<Vec<usize>> {
+        let p = parse_program(text).unwrap();
+        collect_signatures(&p)
+            .get(&Pred::new(pred, arity))
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn linear_tc_probes_first_column_of_the_edge() {
+        // tc(X,Y) <- e(X,Z), tc(Z,Y): e is reached free (no signature),
+        // tc is reached with Z bound -> signature {0}.
+        let text = "tc(X, Y) <- e(X, Y).\ntc(X, Y) <- e(X, Z), tc(Z, Y).";
+        assert!(sigs(text, "e", 2).is_empty());
+        assert_eq!(sigs(text, "tc", 2), vec![vec![0]]);
+    }
+
+    #[test]
+    fn sg_probes_up_and_dn() {
+        let text = "sg(X, Y) <- flat(X, Y).\n\
+                    sg(X, Y) <- up(X, X1), sg(Y1, X1), dn(Y1, Y).";
+        // up is first: free. sg sees X1 bound at position 1. dn sees Y1
+        // bound at position 0.
+        assert!(sigs(text, "up", 2).is_empty());
+        assert_eq!(sigs(text, "sg", 2), vec![vec![1]]);
+        assert_eq!(sigs(text, "dn", 2), vec![vec![0]]);
+    }
+
+    #[test]
+    fn constants_are_bound_positions() {
+        let text = "p(X) <- e(1, X).";
+        assert_eq!(sigs(text, "e", 2), vec![vec![0]]);
+    }
+
+    #[test]
+    fn repeated_predicate_accumulates_signatures() {
+        let text = "p(X, Z) <- e(X, Y), e(Y, Z).\nq(A, B) <- f(A), e(A, B).";
+        // Occurrence 2 of rule 1 sees Y bound at position 0; the second
+        // rule sees A bound at position 0 too -> one distinct signature.
+        assert_eq!(sigs(text, "e", 2), vec![vec![0]]);
+    }
+
+    #[test]
+    fn builtin_equality_binds_its_output() {
+        // After Y = X + 1, Y is bound, so g is probed on both columns.
+        let text = "p(X, Y) <- f(X), Y = X + 1, g(X, Y).";
+        assert_eq!(sigs(text, "g", 2), vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn comparisons_bind_nothing() {
+        let text = "p(X, Y) <- f(X), X < Y, g(X, Y).";
+        // Y is still free at g despite appearing in the comparison.
+        assert_eq!(sigs(text, "g", 2), vec![vec![0]]);
+    }
+
+    #[test]
+    fn negated_atoms_contribute_no_signature() {
+        let text = "p(X) <- f(X), ~g(X).";
+        assert!(sigs(text, "g", 1).is_empty());
+    }
+
+    #[test]
+    fn member_binds_but_contributes_nothing() {
+        let text = "p(X) <- s(S), member(X, S), f(X).";
+        assert!(sigs(text, "member", 2).is_empty());
+        assert_eq!(sigs(text, "f", 1), vec![vec![0]]);
+    }
+
+    #[test]
+    fn compound_terms_need_every_variable_bound() {
+        // wheel(S, N) at position 1 is ground only once S and N are.
+        let text = "p(B) <- size(N), style(S), part(B, wheel(S, N)).";
+        assert_eq!(sigs(text, "part", 2), vec![vec![1]]);
+    }
+}

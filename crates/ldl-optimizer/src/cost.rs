@@ -111,6 +111,25 @@ impl fmt::Display for PlanCost {
     }
 }
 
+/// The physical access path a predicate occurrence will use at run
+/// time, as classified against the selected-index catalog (see
+/// `ldl_index`). Distinguishing these lets the model price *index
+/// reuse*: a selected ordered index is built once per relation version
+/// no matter how many signatures share it, whereas each distinct
+/// on-demand hash key set pays its own build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessPath {
+    /// No usable key: enumerate every tuple.
+    FullScan,
+    /// On-demand hash index on exactly the bound columns.
+    HashProbe,
+    /// Prefix probe of a selected lexicographic index (binary search).
+    OrderedPrefix,
+    /// Range probe of a selected lexicographic index (prefix equality
+    /// plus inequality bounds on the next column).
+    Range,
+}
+
 /// The pluggable cost model interface. The default implementation
 /// ([`CostParams`]-driven) lives in [`crate::opt`]; experiments can
 /// substitute alternatives (the paper's flexibility requirement: "new
@@ -120,6 +139,14 @@ pub trait CostModel {
     /// Cost/cardinality of scanning base-relation statistics `stats`
     /// with `bound` of its columns bound.
     fn base_access(&self, stats: &Stats, bound: &[usize]) -> PlanCost;
+
+    /// Like [`CostModel::base_access`], with the physical access path
+    /// known. The default forwards to `base_access`, so models that do
+    /// not distinguish paths keep their existing behavior.
+    fn indexed_access(&self, stats: &Stats, bound: &[usize], path: AccessPath) -> PlanCost {
+        let _ = path;
+        self.base_access(stats, bound)
+    }
 
     /// Combined cost of a union of rule results.
     fn union_of(&self, parts: &[PlanCost], arity: usize) -> PlanCost;
@@ -168,6 +195,41 @@ impl CostModel for DefaultCostModel {
             fanout.max(1.0)
         };
         PlanCost { setup: 0.0, probe, fanout, stats: stats.clone() }
+    }
+
+    fn indexed_access(&self, stats: &Stats, bound: &[usize], path: AccessPath) -> PlanCost {
+        // Same infection guard as `base_access`.
+        if !stats.is_finite() {
+            return PlanCost::unsafe_plan(stats.arity());
+        }
+        let card = stats.cardinality;
+        let mut sel = 1.0;
+        for &c in bound {
+            sel *= stats.eq_selectivity(c);
+        }
+        let fanout = (card * sel).max(0.0);
+        let (setup, probe) = match path {
+            AccessPath::FullScan => (0.0, card.max(1.0)),
+            // Each distinct hash key set pays its own O(card) build.
+            AccessPath::HashProbe => (self.params.cpu_per_tuple * card, fanout.max(1.0)),
+            // A selected order is built once per relation version no
+            // matter how many signatures probe it; the solver already
+            // charged that build to the catalog, so a plan using it pays
+            // only the binary search.
+            AccessPath::OrderedPrefix => {
+                (0.0, self.params.cpu_per_tuple * card.max(2.0).log2() + fanout.max(1.0))
+            }
+            AccessPath::Range => {
+                let range_fanout = (fanout * self.params.ineq_selectivity).max(0.0);
+                (0.0, self.params.cpu_per_tuple * card.max(2.0).log2() + range_fanout.max(1.0))
+            }
+        };
+        let fanout = if path == AccessPath::Range {
+            (fanout * self.params.ineq_selectivity).max(0.0)
+        } else {
+            fanout
+        };
+        PlanCost { setup, probe, fanout, stats: stats.clone() }
     }
 
     fn union_of(&self, parts: &[PlanCost], arity: usize) -> PlanCost {
@@ -271,6 +333,60 @@ mod tests {
             let projected = stats.project(&[0]);
             assert!(!projected.is_finite(), "projection re-finited unsafe stats");
             assert!(m.base_access(&projected, &[0]).is_unsafe());
+        }
+    }
+
+    /// Two signatures sharing one selected ordered index must beat two
+    /// on-demand hash builds: the ordered path amortizes its build into
+    /// the catalog (setup 0 here), the hash path pays O(card) per
+    /// distinct key set.
+    #[test]
+    fn shared_ordered_index_beats_per_signature_hashes() {
+        let m = DefaultCostModel::default();
+        let s = Stats::uniform(10_000.0, 3, 100.0);
+        let n = 50.0; // binding tuples per probe site
+        let hash_total: f64 = [vec![0usize], vec![0, 1]]
+            .iter()
+            .map(|cols| m.indexed_access(&s, cols, AccessPath::HashProbe).total(n))
+            .sum();
+        let ordered_total: f64 = [vec![0usize], vec![0, 1]]
+            .iter()
+            .map(|cols| m.indexed_access(&s, cols, AccessPath::OrderedPrefix).total(n))
+            .sum();
+        assert!(
+            ordered_total < hash_total,
+            "ordered {ordered_total} should beat hash {hash_total}"
+        );
+    }
+
+    #[test]
+    fn indexed_access_paths_are_ordered_sensibly() {
+        let m = DefaultCostModel::default();
+        let s = Stats::uniform(10_000.0, 2, 100.0);
+        let scan = m.indexed_access(&s, &[], AccessPath::FullScan);
+        let hash = m.indexed_access(&s, &[0], AccessPath::HashProbe);
+        let ordered = m.indexed_access(&s, &[0], AccessPath::OrderedPrefix);
+        let range = m.indexed_access(&s, &[0], AccessPath::Range);
+        // A probe is cheaper per binding than a scan; the ordered probe
+        // adds only a log factor over the hash probe but no setup.
+        assert!(hash.probe < scan.probe);
+        assert!(ordered.setup == 0.0 && hash.setup > 0.0);
+        assert!(ordered.probe < hash.probe + 1.0);
+        // Range restricts the fanout by the inequality selectivity.
+        assert!(range.fanout < ordered.fanout);
+        // Default path classification forwards to base_access.
+        let base = m.base_access(&s, &[0]);
+        assert_eq!(base.fanout, ordered.fanout);
+    }
+
+    #[test]
+    fn indexed_access_keeps_unsafe_stats_infectious() {
+        let m = DefaultCostModel::default();
+        let stats = PlanCost::unsafe_plan(2).stats;
+        for path in
+            [AccessPath::FullScan, AccessPath::HashProbe, AccessPath::OrderedPrefix, AccessPath::Range]
+        {
+            assert!(m.indexed_access(&stats, &[0], path).is_unsafe(), "{path:?} went finite");
         }
     }
 

@@ -28,7 +28,7 @@ pub mod ptree;
 pub mod safety;
 pub mod search;
 
-pub use cost::{CostModel, CostParams, PlanCost};
+pub use cost::{AccessPath, CostModel, CostParams, PlanCost};
 pub use joingraph::JoinGraph;
 pub use opt::{OptConfig, OptStats, OptimizedQuery, Optimizer};
 pub use ptree::ProcessingTree;

@@ -21,7 +21,7 @@
 //!   [`Optimizer::optimize`] reports the query unsafe, exactly as §8.2
 //!   prescribes.
 
-use crate::cost::{CostModel, CostParams, DefaultCostModel, PlanCost, INFINITE_COST};
+use crate::cost::{AccessPath, CostModel, CostParams, DefaultCostModel, PlanCost, INFINITE_COST};
 use crate::safety;
 use crate::search::anneal::{anneal_generic, AnnealParams};
 use crate::search::Strategy;
@@ -32,6 +32,7 @@ use ldl_core::{LdlError, Literal, Pred, Program, Query, Result, Rule, Symbol};
 use ldl_eval::engine::{evaluate_query_sip, QueryAnswer};
 use ldl_eval::naive::FixpointConfig;
 use ldl_eval::Method;
+use ldl_index::IndexCatalog;
 use ldl_storage::{Database, Stats};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -246,6 +247,9 @@ pub struct Optimizer<'a> {
     /// being costed (breaks the estimation cycle).
     overlay: RefCell<HashMap<Pred, f64>>, // pred -> provisional full size
     stats: RefCell<OptStats>,
+    /// Selected-index catalog, when the caller wants base accesses
+    /// priced per physical path ([`AccessPath`]) instead of uniformly.
+    index_catalog: Option<IndexCatalog>,
 }
 
 impl<'a> Optimizer<'a> {
@@ -262,12 +266,29 @@ impl<'a> Optimizer<'a> {
             memo: RefCell::new(HashMap::new()),
             overlay: RefCell::new(HashMap::new()),
             stats: RefCell::new(OptStats::default()),
+            index_catalog: None,
         }
     }
 
     /// Optimizer with default configuration.
     pub fn with_defaults(program: &'a Program, db: &'a Database) -> Optimizer<'a> {
         Optimizer::new(program, db, OptConfig::default())
+    }
+
+    /// Attaches an explicit selected-index catalog: base accesses are
+    /// then priced per physical path — ordered-prefix probes for bound
+    /// sets the catalog serves, on-demand hash probes otherwise.
+    pub fn with_index_catalog(mut self, catalog: IndexCatalog) -> Optimizer<'a> {
+        self.index_catalog = Some(catalog);
+        self
+    }
+
+    /// [`Optimizer::with_index_catalog`] with the catalog solved from
+    /// the program's own search signatures (the executor's default
+    /// `AccessPaths::Selected` policy).
+    pub fn with_selected_indexes(self) -> Optimizer<'a> {
+        let catalog = IndexCatalog::build(self.program);
+        self.with_index_catalog(catalog)
     }
 
     /// Work counters accumulated so far.
@@ -361,7 +382,20 @@ impl<'a> Optimizer<'a> {
         let derived = self.program.derived_preds();
         if !derived.contains(&pred) {
             let stats = self.db.stats(pred);
-            let cost = self.model.base_access(&stats, &ad.bound_positions());
+            let bound = ad.bound_positions();
+            let cost = match &self.index_catalog {
+                Some(cat) => {
+                    let path = if bound.is_empty() {
+                        AccessPath::FullScan
+                    } else if cat.lookup(pred, &bound).is_some() {
+                        AccessPath::OrderedPrefix
+                    } else {
+                        AccessPath::HashProbe
+                    };
+                    self.model.indexed_access(&stats, &bound, path)
+                }
+                None => self.model.base_access(&stats, &bound),
+            };
             return PredPlan { pred, adornment: ad, cost, kind: PredPlanKind::Base };
         }
         if let Some(cid) = self.graph.clique_id_of(pred) {
@@ -1131,6 +1165,31 @@ mod tests {
         let o = optimize(SG, "sg(1, Y)?").unwrap();
         assert!(matches!(o.method, Method::Magic | Method::Counting));
         assert!(o.cost.is_finite());
+    }
+
+    /// The index-aware optimizer agrees with the default on the chosen
+    /// method and produces identical answers; its base-access pricing
+    /// reflects the catalog (a served bound set probes an ordered index
+    /// with zero setup, everything stays finite).
+    #[test]
+    fn index_catalog_hook_prices_and_executes() {
+        let program = parse_program(SG).unwrap();
+        let db = Database::from_program(&program);
+        let query = parse_query("sg(1, Y)?").unwrap();
+        let plain = Optimizer::with_defaults(&program, &db).optimize(&query).unwrap();
+        let opt = Optimizer::with_defaults(&program, &db).with_selected_indexes();
+        let indexed = opt.optimize(&query).unwrap();
+        assert!(indexed.cost.is_finite());
+        assert_eq!(indexed.method, plain.method);
+        let cfg = FixpointConfig::default();
+        let a = plain.execute(&program, &db, &cfg).unwrap();
+        let b = indexed.execute(&program, &db, &cfg).unwrap();
+        assert_eq!(a.tuples, b.tuples);
+        assert_eq!(a.metrics, b.metrics);
+        // Catalog-served base accesses pay no per-plan setup: the dn
+        // predicate is probed on column 0 in the recursive rule.
+        let dn = opt.optimize_pred(Pred::new("dn", 2), Adornment::parse("bf").unwrap());
+        assert_eq!(dn.cost.setup, 0.0);
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub mod stats;
 pub mod tuple;
 
 pub use catalog::Database;
-pub use relation::{Index, Relation};
+pub use relation::counters::IndexCounters;
+pub use relation::{Index, OrderedIndex, Relation};
 pub use stats::Stats;
 pub use tuple::Tuple;

@@ -1,10 +1,64 @@
-//! Relations: duplicate-free tuple sets with hash indexes.
+//! Relations: duplicate-free tuple sets with hash and ordered indexes.
 
 use crate::tuple::Tuple;
 use ldl_core::Term;
+use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Arc, Mutex};
+
+/// Process-wide index work counters, the observable the index-selection
+/// experiments measure: how many index structures were built (per kind)
+/// and how many probes they served. Monotone; relative measurement uses
+/// [`IndexCounters::snapshot`] + [`IndexCounters::delta_since`].
+/// Counters are global — tests asserting exact deltas must run in their
+/// own process (a single-test integration binary), since concurrently
+/// running tests share them.
+pub mod counters {
+    use super::{AtomicOrdering, AtomicU64};
+
+    pub(super) static HASH_BUILDS: AtomicU64 = AtomicU64::new(0);
+    pub(super) static ORDERED_BUILDS: AtomicU64 = AtomicU64::new(0);
+    pub(super) static HASH_PROBES: AtomicU64 = AtomicU64::new(0);
+    pub(super) static ORDERED_PROBES: AtomicU64 = AtomicU64::new(0);
+
+    /// A snapshot of the index work counters.
+    #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+    pub struct IndexCounters {
+        /// Hash indexes built ([`super::Relation::index_on`] misses).
+        pub hash_builds: u64,
+        /// Ordered indexes built ([`super::Relation::ordered_index_on`] misses).
+        pub ordered_builds: u64,
+        /// Probes served by hash indexes.
+        pub hash_probes: u64,
+        /// Prefix/range probes served by ordered indexes.
+        pub ordered_probes: u64,
+    }
+
+    impl IndexCounters {
+        /// Current counter values.
+        pub fn snapshot() -> IndexCounters {
+            IndexCounters {
+                hash_builds: HASH_BUILDS.load(AtomicOrdering::Relaxed),
+                ordered_builds: ORDERED_BUILDS.load(AtomicOrdering::Relaxed),
+                hash_probes: HASH_PROBES.load(AtomicOrdering::Relaxed),
+                ordered_probes: ORDERED_PROBES.load(AtomicOrdering::Relaxed),
+            }
+        }
+
+        /// Work performed since `self` was snapshot.
+        pub fn delta_since(&self) -> IndexCounters {
+            let now = IndexCounters::snapshot();
+            IndexCounters {
+                hash_builds: now.hash_builds - self.hash_builds,
+                ordered_builds: now.ordered_builds - self.ordered_builds,
+                hash_probes: now.hash_probes - self.hash_probes,
+                ordered_probes: now.ordered_probes - self.ordered_probes,
+            }
+        }
+    }
+}
 
 /// A hash index over a snapshot of a relation: maps the values at
 /// `key_cols` to the row ids holding them.
@@ -22,6 +76,7 @@ pub struct Index {
 
 impl Index {
     fn build(rows: &[Tuple], key_cols: &[usize], version: u64) -> Index {
+        counters::HASH_BUILDS.fetch_add(1, AtomicOrdering::Relaxed);
         let mut map: HashMap<Vec<Term>, Vec<u32>> = HashMap::new();
         for (i, t) in rows.iter().enumerate() {
             let key: Vec<Term> = key_cols.iter().map(|&c| t.get(c).clone()).collect();
@@ -30,9 +85,10 @@ impl Index {
         Index { key_cols: key_cols.to_vec(), map, version }
     }
 
-    /// Row ids whose `key_cols` equal `key`.
+    /// Row ids whose `key_cols` equal `key`, ascending (insertion order).
     pub fn probe(&self, key: &[Term]) -> &[u32] {
         debug_assert_eq!(key.len(), self.key_cols.len());
+        counters::HASH_PROBES.fetch_add(1, AtomicOrdering::Relaxed);
         self.map.get(key).map(|v| v.as_slice()).unwrap_or(&[])
     }
 
@@ -47,6 +103,121 @@ impl Index {
     }
 }
 
+/// An ordered index over a snapshot of a relation: a permutation of the
+/// row ids sorted lexicographically by the values at `cols` (ties broken
+/// by row id). One ordered index serves *every* bound-column set that is
+/// a prefix of `cols` via binary-searched prefix probes — this is what
+/// lets a minimum-chain-cover index selection (see the `ldl-index`
+/// crate) replace one hash index per search signature with one ordered
+/// index per chain.
+///
+/// Like [`Index`], ordered indexes are immutable snapshots keyed by the
+/// relation version and cached by [`Relation::ordered_index_on`].
+#[derive(Clone, Debug)]
+pub struct OrderedIndex {
+    cols: Vec<usize>,
+    /// Row ids sorted by (values at `cols`, row id).
+    perm: Vec<u32>,
+    /// Relation version this index was built against.
+    version: u64,
+}
+
+impl OrderedIndex {
+    fn build(rows: &[Tuple], cols: &[usize], version: u64) -> OrderedIndex {
+        counters::ORDERED_BUILDS.fetch_add(1, AtomicOrdering::Relaxed);
+        let mut perm: Vec<u32> = (0..rows.len() as u32).collect();
+        perm.sort_unstable_by(|&a, &b| {
+            let (ra, rb) = (&rows[a as usize], &rows[b as usize]);
+            for &c in cols {
+                match ra.get(c).cmp(rb.get(c)) {
+                    Ordering::Equal => {}
+                    other => return other,
+                }
+            }
+            a.cmp(&b)
+        });
+        OrderedIndex { cols: cols.to_vec(), perm, version }
+    }
+
+    /// The indexed column order.
+    pub fn cols(&self) -> &[usize] {
+        &self.cols
+    }
+
+    /// Compares the first `key.len()` indexed columns of `row` against
+    /// `key` lexicographically.
+    fn cmp_prefix(&self, row: &Tuple, key: &[Term]) -> Ordering {
+        for (&c, k) in self.cols.iter().zip(key) {
+            match row.get(c).cmp(k) {
+                Ordering::Equal => {}
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// The contiguous run of `perm` whose first `key.len()` indexed
+    /// columns equal `key` (binary search, O(log n) comparisons).
+    fn equal_run(&self, rows: &[Tuple], key: &[Term]) -> std::ops::Range<usize> {
+        debug_assert!(key.len() <= self.cols.len());
+        let lo = self
+            .perm
+            .partition_point(|&rid| self.cmp_prefix(&rows[rid as usize], key) == Ordering::Less);
+        let hi = self
+            .perm
+            .partition_point(|&rid| self.cmp_prefix(&rows[rid as usize], key) != Ordering::Greater);
+        lo..hi
+    }
+
+    /// Row ids whose first `key.len()` indexed columns equal `key`,
+    /// returned **ascending** — the same emission order a hash-index
+    /// probe or a full scan yields, which is what keeps the evaluator's
+    /// bit-for-bit determinism contract access-path independent.
+    pub fn probe_prefix(&self, rows: &[Tuple], key: &[Term]) -> Vec<u32> {
+        counters::ORDERED_PROBES.fetch_add(1, AtomicOrdering::Relaxed);
+        let run = self.equal_run(rows, key);
+        let mut out = self.perm[run].to_vec();
+        out.sort_unstable();
+        out
+    }
+
+    /// Range probe: row ids whose first `prefix.len()` indexed columns
+    /// equal `prefix` and whose *next* indexed column lies in
+    /// `[low, high]` (each bound optional, inclusive). Returned
+    /// ascending, like [`OrderedIndex::probe_prefix`].
+    pub fn probe_range(
+        &self,
+        rows: &[Tuple],
+        prefix: &[Term],
+        low: Option<&Term>,
+        high: Option<&Term>,
+    ) -> Vec<u32> {
+        counters::ORDERED_PROBES.fetch_add(1, AtomicOrdering::Relaxed);
+        debug_assert!(prefix.len() < self.cols.len());
+        let run = self.equal_run(rows, prefix);
+        let next_col = self.cols[prefix.len()];
+        let lo = match low {
+            Some(l) => {
+                run.start
+                    + self.perm[run.clone()]
+                        .partition_point(|&rid| rows[rid as usize].get(next_col) < l)
+            }
+            None => run.start,
+        };
+        let hi = match high {
+            Some(h) => {
+                run.start
+                    + self.perm[run.clone()]
+                        .partition_point(|&rid| rows[rid as usize].get(next_col) <= h)
+            }
+            None => run.end,
+        };
+        let mut out = self.perm[lo..hi.max(lo)].to_vec();
+        out.sort_unstable();
+        out
+    }
+}
+
 /// A duplicate-free, insertion-ordered set of tuples of fixed arity.
 pub struct Relation {
     arity: usize,
@@ -55,6 +226,8 @@ pub struct Relation {
     version: u64,
     /// Lazily built indexes keyed by column set.
     index_cache: Mutex<HashMap<Vec<usize>, Arc<Index>>>,
+    /// Lazily built ordered indexes keyed by column order.
+    ordered_cache: Mutex<HashMap<Vec<usize>, Arc<OrderedIndex>>>,
 }
 
 impl Relation {
@@ -66,6 +239,7 @@ impl Relation {
             seen: HashMap::new(),
             version: 0,
             index_cache: Mutex::new(HashMap::new()),
+            ordered_cache: Mutex::new(HashMap::new()),
         }
     }
 
@@ -146,6 +320,22 @@ impl Relation {
         }
     }
 
+    /// A (cached) ordered index on the column order `cols`. Rebuilt
+    /// automatically if the relation changed since the index was built.
+    /// Unlike [`Relation::index_on`], the cache key is an ordered
+    /// *sequence*: `[0, 1]` and `[1, 0]` are different indexes.
+    pub fn ordered_index_on(&self, cols: &[usize]) -> Arc<OrderedIndex> {
+        let mut cache = self.ordered_cache.lock().expect("ordered cache lock poisoned");
+        match cache.get(cols) {
+            Some(idx) if idx.version == self.version => idx.clone(),
+            _ => {
+                let idx = Arc::new(OrderedIndex::build(&self.rows, cols, self.version));
+                cache.insert(cols.to_vec(), idx.clone());
+                idx
+            }
+        }
+    }
+
     /// Distinct values in column `c` (counted via a single-column index).
     pub fn distinct_in_col(&self, c: usize) -> usize {
         self.index_on(&[c]).distinct_keys()
@@ -165,12 +355,14 @@ impl Clone for Relation {
         // `version` which invalidates the shared entries for the clone
         // only (the original keeps serving them at its version).
         let cache = self.index_cache.lock().expect("index cache lock poisoned").clone();
+        let ordered = self.ordered_cache.lock().expect("ordered cache lock poisoned").clone();
         Relation {
             arity: self.arity,
             rows: self.rows.clone(),
             seen: self.seen.clone(),
             version: self.version,
             index_cache: Mutex::new(cache),
+            ordered_cache: Mutex::new(ordered),
         }
     }
 }
@@ -289,6 +481,54 @@ mod tests {
     fn arity_mismatch_panics() {
         let mut r = Relation::new(2);
         r.insert(Tuple::ints(&[1]));
+    }
+
+    #[test]
+    fn ordered_prefix_probe_matches_hash_probe() {
+        let mut r = Relation::new(3);
+        r.insert(Tuple::ints(&[2, 1, 9]));
+        r.insert(Tuple::ints(&[1, 5, 8]));
+        r.insert(Tuple::ints(&[1, 2, 7]));
+        r.insert(Tuple::ints(&[1, 2, 6]));
+        let oi = r.ordered_index_on(&[0, 1]);
+        // Full-key probe agrees with the hash index, rids ascending.
+        let hash: Vec<u32> = r.index_on(&[0, 1]).probe(&[Term::int(1), Term::int(2)]).to_vec();
+        assert_eq!(oi.probe_prefix(r.rows(), &[Term::int(1), Term::int(2)]), hash);
+        assert_eq!(hash, vec![2, 3]);
+        // Prefix probe: all three rows with first column 1, ascending.
+        assert_eq!(oi.probe_prefix(r.rows(), &[Term::int(1)]), vec![1, 2, 3]);
+        assert!(oi.probe_prefix(r.rows(), &[Term::int(9)]).is_empty());
+    }
+
+    #[test]
+    fn ordered_range_probe() {
+        let mut r = Relation::new(2);
+        for (a, b) in [(1, 10), (1, 20), (1, 30), (2, 5)] {
+            r.insert(Tuple::ints(&[a, b]));
+        }
+        let oi = r.ordered_index_on(&[0, 1]);
+        let lo = Term::int(15);
+        let hi = Term::int(30);
+        assert_eq!(
+            oi.probe_range(r.rows(), &[Term::int(1)], Some(&lo), Some(&hi)),
+            vec![1, 2]
+        );
+        assert_eq!(oi.probe_range(r.rows(), &[Term::int(1)], Some(&lo), None), vec![1, 2]);
+        assert_eq!(oi.probe_range(r.rows(), &[Term::int(1)], None, Some(&lo)), vec![0]);
+        assert!(oi.probe_range(r.rows(), &[Term::int(2)], Some(&lo), Some(&hi)).is_empty());
+    }
+
+    #[test]
+    fn ordered_index_invalidated_on_insert_and_shared_by_clone() {
+        let mut r = Relation::new(1);
+        r.insert(Tuple::ints(&[1]));
+        let oi = r.ordered_index_on(&[0]);
+        let c = r.clone();
+        assert!(Arc::ptr_eq(&oi, &c.ordered_index_on(&[0])));
+        r.insert(Tuple::ints(&[0]));
+        let oi2 = r.ordered_index_on(&[0]);
+        assert!(!Arc::ptr_eq(&oi, &oi2));
+        assert_eq!(oi2.probe_prefix(r.rows(), &[Term::int(0)]), vec![1]);
     }
 
     #[test]

@@ -40,11 +40,25 @@ done
 diff "$digest_dir/serial.digests" "$digest_dir/parallel.digests"
 echo "    digests identical: $(wc -l < "$digest_dir/serial.digests") workload(s) × thread counts"
 
-if cargo clippy --offline --version >/dev/null 2>&1; then
-    echo "==> cargo clippy --workspace --all-targets"
-    cargo clippy --offline --workspace --all-targets -- -D warnings
-else
-    echo "==> clippy not installed; skipping lint pass"
+# Index-selection determinism: the index bench runs the recursive
+# workloads under all three access-path policies (selected ordered
+# indexes / on-demand hashes / forced scans) and embeds the answer
+# digest in every record label; one digest per workload means the
+# selected indexes changed nothing but the access cost.
+echo "==> index selection answer-digest diff (selected vs hash vs scan)"
+LDL_BENCH_ITERS=1 LDL_BENCH_JSON_DIR="$digest_dir/idxsel" \
+    cargo bench -q --offline -p ldl-bench --bench index_selection >/dev/null
+workloads=$(grep -o '"group": *"[^"]*"' "$digest_dir/idxsel/BENCH_index_selection.json" \
+    | sort -u | wc -l)
+unique=$(grep -o 'digest=[0-9a-f]*' "$digest_dir/idxsel/BENCH_index_selection.json" \
+    | sort -u | wc -l)
+if [ "$unique" -ne "$workloads" ]; then
+    echo "    FAIL: $unique distinct digests across $workloads workload(s)"
+    exit 1
 fi
+echo "    digests identical: $workloads workload(s) × 3 access policies"
+
+echo "==> cargo clippy --workspace --all-targets"
+cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "CI battery passed."
