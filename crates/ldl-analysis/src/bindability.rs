@@ -1,0 +1,118 @@
+//! Variable bindability saturation.
+//!
+//! The safety analyzer (ldl-core's `safety` module) answers "is there a
+//! safe order?"; diagnostics need more: *which* variable is unbound at
+//! *which* literal when there is none. This module runs the same greedy
+//! saturation as `safety::find_safe_order` but to exhaustion, returning
+//! the maximal bindable variable set and the residue of literals that can
+//! never execute. Greedy completeness (executing an executable literal
+//! only grows the bound set) makes the residue order-independent: a
+//! literal in the residue is unexecutable under **every** body order.
+
+use ldl_core::binding::Adornment;
+use ldl_core::{Literal, Pred, Rule, Symbol};
+use std::collections::HashSet;
+
+/// Result of saturating one rule body under a head adornment.
+pub struct Bindability {
+    /// Every variable bindable by some body order (head-bound vars
+    /// included).
+    pub bound: HashSet<Symbol>,
+    /// Body literal indexes (into `rule.body`) that no order can make
+    /// effectively computable, in source order.
+    pub stuck: Vec<usize>,
+}
+
+/// Is `lit` executable given the currently bound variables? Mirrors the
+/// conditions of `safety::find_safe_order`.
+fn executable(lit: &Literal, bound: &HashSet<Symbol>) -> bool {
+    match lit {
+        Literal::Builtin(b) => b.is_ec(bound),
+        Literal::Atom(a) if a.negated => a.vars().iter().all(|v| bound.contains(v)),
+        Literal::Atom(a) if a.pred == Pred::new("member", 2) => {
+            a.args[1].vars().iter().all(|v| bound.contains(v))
+        }
+        Literal::Atom(_) => true,
+    }
+}
+
+/// Saturates the bound-variable set of `rule` under `head_adornment`.
+pub fn saturate(rule: &Rule, head_adornment: Adornment) -> Bindability {
+    let mut bound: HashSet<Symbol> = HashSet::new();
+    for (i, arg) in rule.head.args.iter().enumerate() {
+        if head_adornment.is_bound(i) {
+            for v in arg.vars() {
+                bound.insert(v);
+            }
+        }
+    }
+    let mut remaining: Vec<usize> = (0..rule.body.len()).collect();
+    while let Some(pos) = remaining
+        .iter()
+        .position(|&i| executable(&rule.body[i], &bound))
+    {
+        let i = remaining.remove(pos);
+        match &rule.body[i] {
+            Literal::Builtin(b) => {
+                for v in b.binds(&bound) {
+                    bound.insert(v);
+                }
+            }
+            Literal::Atom(a) if !a.negated => {
+                for v in a.vars() {
+                    bound.insert(v);
+                }
+            }
+            _ => {}
+        }
+    }
+    Bindability {
+        bound,
+        stuck: remaining,
+    }
+}
+
+/// The variables of `lit` that are not in `bound`, in occurrence order.
+pub fn unbound_vars(lit: &Literal, bound: &HashSet<Symbol>) -> Vec<Symbol> {
+    lit.vars()
+        .into_iter()
+        .filter(|v| !bound.contains(v))
+        .collect()
+}
+
+/// Formats a variable list for a message: `X` / `X and Y` / `X, Y and Z`.
+pub fn var_list(vars: &[Symbol]) -> String {
+    let names: Vec<&str> = vars.iter().map(|v| v.as_str()).collect();
+    match names.len() {
+        0 => String::new(),
+        1 => names[0].to_string(),
+        _ => format!(
+            "{} and {}",
+            names[..names.len() - 1].join(", "),
+            names[names.len() - 1]
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldl_core::parser::parse_program;
+
+    #[test]
+    fn residue_is_the_unexecutable_literals() {
+        let p = parse_program("p(X) <- n(X), X > Y.").unwrap();
+        let b = saturate(&p.rules[0], Adornment::all_bound(1));
+        assert_eq!(b.stuck.len(), 1);
+        let unbound = unbound_vars(&p.rules[0].body[b.stuck[0]], &b.bound);
+        assert_eq!(var_list(&unbound), "Y");
+    }
+
+    #[test]
+    fn saturation_chains_through_equalities() {
+        let p = parse_program("p(A, D) <- B = A + 1, C = B + 1, D = C + 1, q(A).").unwrap();
+        let b = saturate(&p.rules[0], Adornment::all_free(2));
+        assert!(b.stuck.is_empty());
+        assert!(p.rules[0].head.vars().iter().all(|v| b.bound.contains(v)));
+    }
+}

@@ -1,0 +1,214 @@
+//! Definition/usage checks: inconsistent arities (LDL101), used but
+//! never defined (LDL102), defined but unreachable from any query
+//! (LDL103).
+
+use crate::diag::{Diagnostic, Report};
+use ldl_core::depgraph::DependencyGraph;
+use ldl_core::{Pred, Program, Query, Span};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One predicate occurrence in source order.
+struct Occurrence {
+    pred: Pred,
+    span: Span,
+    defines: bool, // rule head or fact (vs. body use)
+}
+
+fn occurrences(program: &Program) -> Vec<Occurrence> {
+    let mut out = Vec::new();
+    for rule in &program.rules {
+        out.push(Occurrence {
+            pred: rule.head.pred,
+            span: rule.head.span,
+            defines: true,
+        });
+        for atom in rule.body.iter().filter_map(|l| l.as_atom()) {
+            out.push(Occurrence {
+                pred: atom.pred,
+                span: atom.span,
+                defines: false,
+            });
+        }
+    }
+    for fact in &program.facts {
+        out.push(Occurrence {
+            pred: fact.pred,
+            span: fact.span,
+            defines: true,
+        });
+    }
+    out
+}
+
+/// Runs the definition/usage pass. `queries` feed the reachability
+/// check; with no queries, LDL103 stays silent (nothing to reach from).
+pub fn check(program: &Program, graph: &DependencyGraph, queries: &[Query]) -> Report {
+    let mut report = Report::new();
+    let occs = occurrences(program);
+    let member = Pred::new("member", 2);
+
+    // LDL101 — one name, several arities. Flag the first occurrence of
+    // each arity after the first seen.
+    let mut arities: BTreeMap<&str, BTreeMap<usize, Span>> = BTreeMap::new();
+    for o in &occs {
+        arities
+            .entry(o.pred.name.as_str())
+            .or_default()
+            .entry(o.pred.arity)
+            .or_insert(o.span);
+    }
+    for (name, by_arity) in &arities {
+        if by_arity.len() < 2 {
+            continue;
+        }
+        let list = by_arity
+            .keys()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+            .join(" and ");
+        // Report at every arity's first site except the most-used one,
+        // so the caret lands on the likely typo.
+        let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
+        for o in occs.iter().filter(|o| o.pred.name.as_str() == *name) {
+            *counts.entry(o.pred.arity).or_default() += 1;
+        }
+        let majority = *counts.iter().max_by_key(|(_, &c)| c).expect("nonempty").0;
+        for (&arity, &span) in by_arity {
+            if arity == majority {
+                continue;
+            }
+            report.push(
+                Diagnostic::warning(
+                    "LDL101",
+                    span,
+                    format!(
+                        "predicate {name} is used with inconsistent arities ({list}); \
+                         {name}/{arity} and {name}/{majority} are distinct predicates"
+                    ),
+                )
+                .with_note("predicates are identified by name AND arity; this is usually a typo"),
+            );
+        }
+    }
+
+    // LDL102 — used in a body, defined nowhere.
+    let defined: BTreeSet<Pred> = occs.iter().filter(|o| o.defines).map(|o| o.pred).collect();
+    let mut reported: BTreeSet<Pred> = BTreeSet::new();
+    for o in &occs {
+        if o.defines || o.pred == member || defined.contains(&o.pred) {
+            continue;
+        }
+        if reported.insert(o.pred) {
+            report.push(
+                Diagnostic::warning(
+                    "LDL102",
+                    o.span,
+                    format!(
+                        "predicate {} is used but never defined; it is treated as an \
+                         empty relation",
+                        o.pred
+                    ),
+                )
+                .with_note("every rule body referencing it produces no tuples"),
+            );
+        }
+    }
+
+    // LDL103 — derived predicate unreachable from every query goal.
+    if !queries.is_empty() {
+        let qpreds: BTreeSet<Pred> = queries.iter().map(Query::pred).collect();
+        for pred in program.derived_preds() {
+            let reachable =
+                qpreds.contains(&pred) || qpreds.iter().any(|&q| graph.implies(pred, q));
+            if reachable {
+                continue;
+            }
+            let span = program
+                .rules_for(pred)
+                .first()
+                .map(|(_, r)| r.head.span)
+                .unwrap_or_default();
+            let goals = qpreds
+                .iter()
+                .map(|p| p.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            report.push(
+                Diagnostic::warning(
+                    "LDL103",
+                    span,
+                    format!("predicate {pred} is defined but unreachable from any query"),
+                )
+                .with_note(format!("queried: {goals}")),
+            );
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldl_core::parser::parse_source;
+
+    fn run(text: &str) -> Report {
+        let src = parse_source(text).unwrap();
+        let g = DependencyGraph::build(&src.program);
+        check(&src.program, &g, &src.queries).finish()
+    }
+
+    #[test]
+    fn arity_clash_is_ldl101_at_minority_site() {
+        let r = run("e(1, 2).\ne(2, 3).\npath(X, Y) <- e(X, Y).\npath(X, Y) <- e(X).");
+        let d101: Vec<_> = r
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "LDL101")
+            .collect();
+        assert_eq!(d101.len(), 1, "{r:?}");
+        assert!(d101[0]
+            .message
+            .contains("e is used with inconsistent arities"));
+        assert_eq!((d101[0].span.line, d101[0].span.col), (4, 15));
+    }
+
+    #[test]
+    fn undefined_pred_is_ldl102() {
+        let r = run("p(X) <- q(X), missing(X).\nq(1).");
+        assert_eq!(r.diagnostics.len(), 1);
+        let d = &r.diagnostics[0];
+        assert_eq!(d.code, "LDL102");
+        assert_eq!(d.severity, crate::diag::Severity::Warning);
+        assert!(d.message.contains("missing"), "{}", d.message);
+        assert_eq!(
+            (d.span.line, d.span.col, d.span.end_line, d.span.end_col),
+            (1, 15, 1, 25)
+        );
+    }
+
+    #[test]
+    fn member_is_not_undefined() {
+        let r = run("p(X) <- s(X, L), member(X, L).\ns(1, [1]).");
+        assert!(r.diagnostics.is_empty(), "{r:?}");
+    }
+
+    #[test]
+    fn unreachable_pred_is_ldl103_only_with_queries() {
+        let text = "a(X) <- b(X).\nb(1).\norphan(X) <- b(X).\n";
+        let with_query = run(&format!("{text}a(X)?\n"));
+        let d: Vec<_> = with_query
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "LDL103")
+            .collect();
+        assert_eq!(d.len(), 1, "{with_query:?}");
+        assert!(d[0].message.contains("orphan"));
+        assert_eq!((d[0].span.line, d[0].span.col), (3, 1));
+
+        let without = run(text);
+        assert!(
+            without.diagnostics.iter().all(|d| d.code != "LDL103"),
+            "{without:?}"
+        );
+    }
+}

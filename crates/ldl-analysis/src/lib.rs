@@ -1,0 +1,181 @@
+//! # ldl-analysis — whole-program static analysis for LDL
+//!
+//! Runs over a parsed [`Program`] *before* optimization and evaluation,
+//! producing span-carrying [`Diagnostic`]s with stable codes. The
+//! analyses reuse the compiler's own machinery (the EC/finite-answer
+//! safety analysis of `ldl_core::safety`, the dependency graph, the
+//! adornment algorithm), so a clean report genuinely predicts that the
+//! optimizer will not reject the program later.
+//!
+//! ## Diagnostic codes
+//!
+//! Errors (`LDL0xx`) mean the program or query form cannot execute:
+//!
+//! | code   | meaning |
+//! |--------|---------|
+//! | LDL000 | parse error (emitted by front ends such as `ldl-shell --check`) |
+//! | LDL001 | a builtin (or `member/2`) has a variable no body order can bind |
+//! | LDL002 | a negated literal has a variable no body order can bind |
+//! | LDL003 | the query's binding pattern cannot satisfy EC safety under any permutation |
+//! | LDL004 | negation inside a recursive clique (not stratified), with cycle witness |
+//!
+//! Warnings (`LDL1xx`) flag suspicious but executable constructs:
+//!
+//! | code   | meaning |
+//! |--------|---------|
+//! | LDL101 | one predicate name used with inconsistent arities |
+//! | LDL102 | predicate used but never defined (empty relation) |
+//! | LDL103 | predicate defined but unreachable from any query |
+//! | LDL104 | singleton variable (single occurrence in its rule) |
+//! | LDL105 | head variable appearing only in negated body literals |
+//! | LDL106 | duplicate rule |
+//! | LDL107 | duplicate literal within one body |
+//! | LDL108 | contradictory body (e.g. `X = 1, X = 2`; always-false comparison) |
+//! | LDL109 | disconnected join graph — cartesian product |
+//! | LDL110 | rule safe only under query forms that bind certain arguments |
+//! | LDL111 | no termination proof for a recursive clique |
+//!
+//! ## Entry points
+//!
+//! * [`analyze_program`] — program-level passes only.
+//! * [`analyze_source`] — program passes plus per-query feasibility and
+//!   query-reachability for a parsed [`Source`] (what `ldl check` runs).
+//! * [`analyze_query`] — program passes plus feasibility of one query
+//!   form (what the evaluation engine runs before planning).
+//!
+//! ```
+//! use ldl_analysis::{analyze_source, AnalysisOptions};
+//! use ldl_core::parser::parse_source;
+//!
+//! let src = parse_source("big(X) <- n(X), X > Y.\nn(1).\nbig(B)?").unwrap();
+//! let report = analyze_source(&src, &AnalysisOptions::default());
+//! assert!(report.has_errors());
+//! assert_eq!(report.errors().next().unwrap().code, "LDL001");
+//! ```
+
+mod bindability;
+mod defuse;
+pub mod diag;
+mod lints;
+mod query;
+mod safety_pass;
+mod strat;
+
+pub use diag::{Diagnostic, Report, Severity};
+
+use ldl_core::depgraph::DependencyGraph;
+use ldl_core::parser::Source;
+use ldl_core::{Program, Query};
+
+/// Code for parse failures, reserved here so every LDL diagnostic code
+/// lives in one crate; the parser itself reports `LdlError::Parse`.
+pub const PARSE_ERROR_CODE: &str = "LDL000";
+
+/// Analyzer configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct AnalysisOptions {
+    /// Admit base-driven accumulator recursion as terminating (the
+    /// acyclic-database assumption that also licenses the counting
+    /// method). On by default: LDL111 is a warning either way, and the
+    /// permissive setting matches what a tuned evaluation can handle.
+    pub assume_acyclic: bool,
+    /// Run the style lints (LDL104–LDL109). On by default; the
+    /// evaluation engine turns them off — only executability matters
+    /// there.
+    pub lints: bool,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> AnalysisOptions {
+        AnalysisOptions {
+            assume_acyclic: true,
+            lints: true,
+        }
+    }
+}
+
+fn run_all(program: &Program, queries: &[Query], opts: &AnalysisOptions) -> Report {
+    let graph = DependencyGraph::build(program);
+    let mut report = safety_pass::check(program, &graph, opts.assume_acyclic);
+    report.merge(strat::check(program, &graph));
+    report.merge(defuse::check(program, &graph, queries));
+    if opts.lints {
+        report.merge(lints::check(program));
+    }
+    for q in queries {
+        report.merge(query::check(program, &graph, q, opts.assume_acyclic));
+    }
+    report.finish()
+}
+
+/// Program-level analysis: safety, stratification, definition/usage,
+/// lints. No query context (LDL003/LDL103 stay silent).
+pub fn analyze_program(program: &Program, opts: &AnalysisOptions) -> Report {
+    run_all(program, &[], opts)
+}
+
+/// Full analysis of a parsed source: program passes plus per-query
+/// adornment feasibility and reachability-from-query.
+pub fn analyze_source(source: &Source, opts: &AnalysisOptions) -> Report {
+    run_all(&source.program, &source.queries, opts)
+}
+
+/// Program passes plus feasibility of one query form. This is the
+/// engine's pre-planning hook. It deliberately analyzes the *whole*
+/// program, not just the rules reachable from the query: the default
+/// bottom-up methods evaluate every rule, so a defect anywhere would
+/// surface as a runtime evaluation error — the gate reports it up front
+/// with a witness instead.
+pub fn analyze_query(program: &Program, query: &Query, opts: &AnalysisOptions) -> Report {
+    run_all(program, std::slice::from_ref(query), opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldl_core::parser::parse_source;
+
+    #[test]
+    fn clean_program_with_query_is_clean() {
+        let src = parse_source(
+            "sg(X, Y) <- flat(X, Y).\nsg(X, Y) <- up(X, X1), sg(Y1, X1), dn(Y1, Y).\n\
+             up(1, 2). dn(2, 3). flat(2, 2).\nsg(1, A)?",
+        )
+        .unwrap();
+        let r = analyze_source(&src, &AnalysisOptions::default());
+        assert!(r.diagnostics.is_empty(), "{r:?}");
+    }
+
+    #[test]
+    fn engine_options_disable_lints_not_errors() {
+        let src = parse_source("p(X) <- q(X, Lint), X = 1, X = 2.\nq(1, 1).").unwrap();
+        let full = analyze_source(&src, &AnalysisOptions::default());
+        assert!(full.diagnostics.iter().any(|d| d.code == "LDL104"));
+        assert!(full.diagnostics.iter().any(|d| d.code == "LDL108"));
+        let quiet = analyze_source(
+            &src,
+            &AnalysisOptions {
+                lints: false,
+                ..Default::default()
+            },
+        );
+        assert!(quiet.diagnostics.is_empty(), "{quiet:?}");
+    }
+
+    #[test]
+    fn every_pass_reports_through_one_report() {
+        // One program tripping several passes at once.
+        let src = parse_source(
+            "big(X) <- n(X), X > Y.\n\
+             win(X) <- move(X, Z), ~win(Z).\n\
+             n(1). move(1, 2).\n",
+        )
+        .unwrap();
+        let r = analyze_source(&src, &AnalysisOptions::default());
+        let codes: Vec<_> = r.diagnostics.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&"LDL001"), "{codes:?}");
+        assert!(codes.contains(&"LDL004"), "{codes:?}");
+        assert!(codes.contains(&"LDL104"), "{codes:?}");
+        assert!(r.has_errors());
+    }
+}

@@ -1,0 +1,321 @@
+//! Style and plausibility lints (LDL104–LDL109). All warnings: each
+//! flags a construct that executes but almost never means what was
+//! written.
+
+use crate::diag::{Diagnostic, Report};
+use ldl_core::{CmpOp, Literal, Program, Rule, Symbol, Term};
+use std::collections::BTreeMap;
+
+/// Runs every lint over `program`.
+pub fn check(program: &Program) -> Report {
+    let mut report = Report::new();
+    for rule in &program.rules {
+        singleton_vars(rule, &mut report);
+        negation_only_vars(rule, &mut report);
+        duplicate_literals(rule, &mut report);
+        contradictory_body(rule, &mut report);
+        cartesian_product(rule, &mut report);
+    }
+    duplicate_rules(program, &mut report);
+    report
+}
+
+/// LDL104 — a variable occurring exactly once in a rule joins nothing
+/// and constrains nothing; usually a typo. `_`-prefixed names opt out.
+fn singleton_vars(rule: &Rule, report: &mut Report) {
+    let mut count: BTreeMap<Symbol, usize> = BTreeMap::new();
+    let mut occurrences = rule.head.vars();
+    for lit in &rule.body {
+        occurrences.extend(lit.vars());
+    }
+    for v in &occurrences {
+        *count.entry(*v).or_default() += 1;
+    }
+    for (v, n) in count {
+        if n != 1 || v.as_str().starts_with('_') {
+            continue;
+        }
+        // Point at the literal (or head) containing the only occurrence.
+        let span = rule
+            .body
+            .iter()
+            .find(|l| l.vars().contains(&v))
+            .map(|l| l.span())
+            .unwrap_or(rule.head.span);
+        report.push(
+            Diagnostic::warning(
+                "LDL104",
+                span,
+                format!("variable {v} occurs only once in this rule"),
+            )
+            .with_note(format!("in rule: {rule}"))
+            .with_note(format!(
+                "rename it {}{v} if the single occurrence is intended",
+                '_'
+            )),
+        );
+    }
+}
+
+/// LDL105 — a variable shared between the head and *only* negated body
+/// literals: the negation checks it, nothing generates it, so the rule
+/// depends entirely on the query form supplying a value.
+fn negation_only_vars(rule: &Rule, report: &mut Report) {
+    let head_vars = rule.head.vars();
+    for v in &head_vars {
+        let mut in_negated = None;
+        let mut in_positive = false;
+        for lit in &rule.body {
+            let has = lit.vars().contains(v);
+            if !has {
+                continue;
+            }
+            match lit {
+                Literal::Atom(a) if a.negated => in_negated = Some(lit.span()),
+                _ => in_positive = true,
+            }
+        }
+        if let (Some(span), false) = (in_negated, in_positive) {
+            report.push(
+                Diagnostic::warning(
+                    "LDL105",
+                    span,
+                    format!(
+                        "variable {v} appears only in negated literals (and the head); \
+                         no body literal can bind it"
+                    ),
+                )
+                .with_note(format!("in rule: {rule}")),
+            );
+        }
+    }
+}
+
+/// LDL106 — the same rule written twice (spans ignored by rule
+/// equality, so formatting differences do not mask the duplicate).
+fn duplicate_rules(program: &Program, report: &mut Report) {
+    for (i, rule) in program.rules.iter().enumerate() {
+        if let Some(first) = program.rules[..i].iter().find(|r| *r == rule) {
+            report.push(
+                Diagnostic::warning(
+                    "LDL106",
+                    rule.span,
+                    format!("duplicate rule: `{rule}` is already defined"),
+                )
+                .with_note(format!("first definition at {}", first.span)),
+            );
+        }
+    }
+}
+
+/// LDL107 — the same literal twice in one body: a no-op join.
+fn duplicate_literals(rule: &Rule, report: &mut Report) {
+    for (i, lit) in rule.body.iter().enumerate() {
+        if rule.body[..i].contains(lit) {
+            report.push(
+                Diagnostic::warning(
+                    "LDL107",
+                    lit.span(),
+                    format!("duplicate literal `{lit}` in rule body"),
+                )
+                .with_note(format!("in rule: {rule}")),
+            );
+        }
+    }
+}
+
+/// LDL108 — equalities that can never hold together: `X = 1, X = 2`,
+/// a ground `1 = 2`, or a reflexive `T ~= T`.
+fn contradictory_body(rule: &Rule, report: &mut Report) {
+    let mut bindings: BTreeMap<Symbol, (Term, ldl_core::Span)> = BTreeMap::new();
+    for lit in &rule.body {
+        let Literal::Builtin(b) = lit else { continue };
+        match b.op {
+            CmpOp::Eq => {
+                if b.lhs.is_ground() && b.rhs.is_ground() && b.lhs != b.rhs {
+                    report.push(
+                        Diagnostic::warning(
+                            "LDL108",
+                            lit.span(),
+                            format!("`{b}` compares distinct ground terms: always false"),
+                        )
+                        .with_note(format!("in rule: {rule}")),
+                    );
+                    continue;
+                }
+                let (var, val) = match (&b.lhs, &b.rhs) {
+                    (Term::Var(v), t) if t.is_ground() => (*v, t),
+                    (t, Term::Var(v)) if t.is_ground() => (*v, t),
+                    _ => continue,
+                };
+                match bindings.get(&var).cloned() {
+                    Some((prev, prev_span)) if prev != *val => {
+                        report.push(
+                            Diagnostic::warning(
+                                "LDL108",
+                                lit.span(),
+                                format!(
+                                    "body can never succeed: {var} = {prev} and {var} = {val} \
+                                     are contradictory"
+                                ),
+                            )
+                            .with_note(format!("first binding at {prev_span}"))
+                            .with_note(format!("in rule: {rule}")),
+                        );
+                    }
+                    Some(_) => {}
+                    None => {
+                        bindings.insert(var, (val.clone(), lit.span()));
+                    }
+                }
+            }
+            CmpOp::Ne if b.lhs == b.rhs => {
+                report.push(
+                    Diagnostic::warning(
+                        "LDL108",
+                        lit.span(),
+                        format!("`{b}` compares a term with itself: always false"),
+                    )
+                    .with_note(format!("in rule: {rule}")),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// LDL109 — the positive relation atoms of the body split into groups
+/// sharing no variable (directly or through builtins/negations): their
+/// join is a cartesian product.
+fn cartesian_product(rule: &Rule, report: &mut Report) {
+    let n = rule.body.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let root = find(parent, parent[i]);
+            parent[i] = root;
+        }
+        parent[i]
+    }
+    let mut by_var: BTreeMap<Symbol, usize> = BTreeMap::new();
+    for (i, lit) in rule.body.iter().enumerate() {
+        for v in lit.vars() {
+            match by_var.get(&v) {
+                Some(&j) => {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    parent[ri] = rj;
+                }
+                None => {
+                    by_var.insert(v, i);
+                }
+            }
+        }
+    }
+    // Components counted over positive, non-ground relation atoms only:
+    // ground atoms and pure builtins are guards/filters, not join inputs.
+    let mut groups: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    for (i, lit) in rule.body.iter().enumerate() {
+        let Literal::Atom(a) = lit else { continue };
+        if a.negated || a.vars().is_empty() {
+            continue;
+        }
+        let root = find(&mut parent, i);
+        groups.entry(root).or_default().push(a.pred.to_string());
+    }
+    if groups.len() >= 2 {
+        let parts = groups
+            .values()
+            .map(|g| format!("{{{}}}", g.join(", ")))
+            .collect::<Vec<_>>();
+        report.push(
+            Diagnostic::warning(
+                "LDL109",
+                rule.span,
+                format!(
+                    "body joins {} without any shared variable: cartesian product",
+                    parts.join(" and ")
+                ),
+            )
+            .with_note(
+                "the result size is the product of the operand sizes; add a join variable \
+                 or split the rule if the cross product is intended",
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldl_core::parser::parse_program;
+
+    fn run(text: &str) -> Report {
+        check(&parse_program(text).unwrap()).finish()
+    }
+
+    fn codes(r: &Report) -> Vec<&'static str> {
+        r.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn singleton_var_is_ldl104_and_underscore_opts_out() {
+        let r = run("p(X) <- q(X, Stray).");
+        assert_eq!(codes(&r), vec!["LDL104"]);
+        assert!(r.diagnostics[0].message.contains("Stray"));
+        assert_eq!(
+            (r.diagnostics[0].span.line, r.diagnostics[0].span.col),
+            (1, 9)
+        );
+        let quiet = run("p(X) <- q(X, _Stray).");
+        assert!(quiet.diagnostics.is_empty(), "{quiet:?}");
+    }
+
+    #[test]
+    fn negation_only_head_var_is_ldl105() {
+        let r = run("p(X, Y) <- q(X), ~r(Y).");
+        assert!(codes(&r).contains(&"LDL105"), "{r:?}");
+    }
+
+    #[test]
+    fn duplicate_rule_is_ldl106_with_cross_reference() {
+        let r = run("p(X) <- q(X).\np(X) <- q(X).");
+        assert_eq!(codes(&r), vec!["LDL106"]);
+        let d = &r.diagnostics[0];
+        assert_eq!((d.span.line, d.span.col), (2, 1));
+        assert!(d.notes[0].contains("1:1"), "{:?}", d.notes);
+    }
+
+    #[test]
+    fn duplicate_literal_is_ldl107() {
+        let r = run("p(X) <- q(X), q(X).");
+        assert_eq!(codes(&r), vec!["LDL107"]);
+        assert_eq!(
+            (r.diagnostics[0].span.line, r.diagnostics[0].span.col),
+            (1, 15)
+        );
+    }
+
+    #[test]
+    fn contradictory_equalities_are_ldl108() {
+        let r = run("p(X) <- q(X), X = 1, X = 2.");
+        assert_eq!(codes(&r), vec!["LDL108"]);
+        assert!(r.diagnostics[0].message.contains("contradictory"));
+        assert_eq!(
+            (r.diagnostics[0].span.line, r.diagnostics[0].span.col),
+            (1, 22)
+        );
+        let gf = run("p(X) <- q(X), 1 = 2.");
+        assert_eq!(codes(&gf), vec!["LDL108"]);
+        assert!(gf.diagnostics[0].message.contains("always false"));
+    }
+
+    #[test]
+    fn disconnected_join_is_ldl109() {
+        let r = run("pair(X, Y) <- a(X), b(Y).");
+        assert_eq!(codes(&r), vec!["LDL109"]);
+        assert!(r.diagnostics[0].message.contains("cartesian product"));
+        // A builtin bridging the two sides connects the join graph.
+        let ok = run("pair(X, Y) <- a(X), b(Y), X < Y.");
+        assert!(ok.diagnostics.is_empty(), "{ok:?}");
+    }
+}

@@ -1,0 +1,210 @@
+//! Per-query analysis: adornment feasibility (LDL003).
+//!
+//! A query form fixes the adornment of the queried predicate. If one of
+//! its rules cannot satisfy effective computability under that adornment
+//! — no body permutation works — the query is unsafe and the optimizer
+//! would only discover it deep inside OPT as an infinite-cost plan.
+//! Diagnosing it here yields a witness naming the variable and the
+//! literal instead of a bare "no safe execution exists".
+//!
+//! Deeper predicates are *screened*, not rejected: the adornments that
+//! reach them depend on the body orders the optimizer picks, so a
+//! SIP-derived infeasibility is reported as an LDL110 warning (the
+//! optimizer may still find a safe order through a different SIP).
+
+use crate::bindability::{saturate, unbound_vars, var_list};
+use crate::diag::{Diagnostic, Report};
+use ldl_core::adorn::{adorn_program, GreedySip};
+use ldl_core::depgraph::DependencyGraph;
+use ldl_core::safety;
+use ldl_core::{Program, Query};
+
+/// Analyzes one query form against `program`.
+pub fn check(
+    program: &Program,
+    graph: &DependencyGraph,
+    query: &Query,
+    assume_acyclic: bool,
+) -> Report {
+    let mut report = Report::new();
+    let pred = query.pred();
+    let ad = query.adornment();
+    let qspan = query.goal.span;
+
+    if !program.all_preds().contains(&pred) {
+        report.push(
+            Diagnostic::warning(
+                "LDL102",
+                qspan,
+                format!("queried predicate {pred} is never defined; the query has no answers"),
+            )
+            .with_note("check the predicate name and arity"),
+        );
+        return report;
+    }
+
+    // The queried predicate's own rules run under exactly `ad`: an
+    // infeasible rule is a definite error.
+    for (_, rule) in program.rules_for(pred) {
+        if safety::find_safe_order(rule, ad).is_some() {
+            continue;
+        }
+        let b = saturate(rule, ad);
+        let mut witnesses = Vec::new();
+        for &li in &b.stuck {
+            let lit = &rule.body[li];
+            let vars = var_list(&unbound_vars(lit, &b.bound));
+            witnesses.push(format!(
+                "variable(s) {vars} are unbound when `{lit}` is reached, under any body order"
+            ));
+        }
+        let free_head: Vec<_> = rule
+            .head
+            .vars()
+            .into_iter()
+            .filter(|v| !b.bound.contains(v))
+            .collect();
+        if !free_head.is_empty() {
+            witnesses.push(format!(
+                "head variable(s) {} stay unbound through the whole body: the answer \
+                 set would be infinite",
+                var_list(&free_head)
+            ));
+        }
+        let mut d = Diagnostic::error(
+            "LDL003",
+            if qspan.is_none() { rule.span } else { qspan },
+            format!("query form {pred}.{ad} is unsafe: {}", witnesses.join("; ")),
+        )
+        .with_note(format!("in rule: {rule}"));
+        if !ad.is_all_bound() {
+            d = d.with_note("a query form binding more arguments may be safe");
+        }
+        report.push(d);
+    }
+    if report.has_errors() {
+        return report;
+    }
+
+    // Screen the rest of the adorned program (SIP-derived adornments).
+    let adorned = adorn_program(program, pred, ad, &GreedySip);
+    for ar in &adorned.rules {
+        if ar.head.pred == pred && ar.head.adornment == ad {
+            continue; // already checked exactly above
+        }
+        let rule = &program.rules[ar.rule_index];
+        if safety::find_safe_order(rule, ar.head.adornment).is_some() {
+            continue;
+        }
+        report.push(
+            Diagnostic::warning(
+                "LDL110",
+                rule.span,
+                format!(
+                    "under query {query}, rule for {} is reached with binding pattern \
+                     {} for which the default SIP finds no safe order",
+                    ar.head.pred, ar.head
+                ),
+            )
+            .with_note(format!("in rule: {rule}"))
+            .with_note("the optimizer may still find a safe order through a different SIP"),
+        );
+    }
+
+    // Termination screening for every clique entered by this query form.
+    for clique in graph.cliques() {
+        let entries = adorned
+            .adorned_preds
+            .iter()
+            .filter(|ap| clique.preds.contains(&ap.pred))
+            .collect::<Vec<_>>();
+        for ap in entries {
+            if let Err(reason) =
+                safety::clique_terminates(program, clique, ap.adornment, true, assume_acyclic)
+            {
+                let span = clique
+                    .recursive_rules
+                    .first()
+                    .map(|&ri| program.rules[ri].span)
+                    .unwrap_or_default();
+                report.push(
+                    Diagnostic::warning(
+                        "LDL111",
+                        span,
+                        format!(
+                            "under query {query}, no termination proof for recursive \
+                             clique entered as {ap}: {reason}"
+                        ),
+                    )
+                    .with_note("evaluation bounds the fixpoint with a max-iterations guard"),
+                );
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldl_core::parser::{parse_program, parse_query};
+
+    fn run(program: &str, query: &str) -> Report {
+        let p = parse_program(program).unwrap();
+        let g = DependencyGraph::build(&p);
+        check(&p, &g, &parse_query(query).unwrap(), true).finish()
+    }
+
+    #[test]
+    fn free_query_on_binding_dependent_rule_is_ldl003() {
+        let r = run("p(X, Y) <- q(X).\nq(1).", "p(A, B)?");
+        assert!(r.has_errors(), "{r:?}");
+        let d = r.errors().next().unwrap();
+        assert_eq!(d.code, "LDL003");
+        assert!(d.message.contains("unsafe"), "{}", d.message);
+        assert!(d.message.contains('Y'), "{}", d.message);
+    }
+
+    #[test]
+    fn bound_query_on_same_rule_is_clean() {
+        let r = run("p(X, Y) <- q(X).\nq(1).", "p(A, 5)?");
+        assert!(!r.has_errors(), "{r:?}");
+    }
+
+    #[test]
+    fn paper_8_3_query_forms() {
+        let prog = "p(X, Y, Z) <- X = 3, Z = X + Y.";
+        let free = run(prog, "p(A, B, C)?");
+        assert!(free.has_errors(), "{free:?}");
+        assert!(free.errors().next().unwrap().message.contains("+(X, Y)"));
+        let bound_y = run(prog, "p(A, 2, C)?");
+        assert!(!bound_y.has_errors(), "{bound_y:?}");
+    }
+
+    #[test]
+    fn undefined_query_pred_is_ldl102() {
+        let r = run("q(1).", "nosuch(X)?");
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].code, "LDL102");
+    }
+
+    #[test]
+    fn list_recursion_is_error_free_only_when_bound() {
+        let prog = "len([], 0).\nlen([H | T], N) <- len(T, M), N = M + 1.";
+        // All-free form: H is never bound — an infinite answer set.
+        let r = run(prog, "len(L, N)?");
+        assert!(r.has_errors(), "{r:?}");
+        assert_eq!(r.errors().next().unwrap().code, "LDL003");
+        // Bound list: safe and provably terminating — fully clean.
+        let ok = run(prog, "len([1, 2], N)?");
+        assert!(ok.diagnostics.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn nonterminating_arith_clique_warns_ldl111() {
+        let prog = "cnt(X) <- zero(X).\ncnt(Y) <- cnt(X), Y = X + 1.\nzero(0).";
+        let r = run(prog, "cnt(C)?");
+        assert!(r.diagnostics.iter().any(|d| d.code == "LDL111"), "{r:?}");
+        assert!(!r.has_errors(), "{r:?}");
+    }
+}

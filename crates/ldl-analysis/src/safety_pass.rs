@@ -1,0 +1,276 @@
+//! Safety front end: per-rule EC/finite-answer checks (LDL001, LDL002,
+//! LDL110) and clique-termination screening (LDL111).
+//!
+//! The severity split follows executability, not style:
+//!
+//! * A rule that cannot execute under **any** binding pattern — some
+//!   builtin or negated literal has a variable that no body order can
+//!   bind even when every head argument is bound — is an *error*
+//!   (LDL001/LDL002). The paper's §8.3 example `p(X,Y,Z) <- X = 3,
+//!   Z = X + Y` is the canonical case.
+//! * A rule that is safe under some binding patterns but not the
+//!   all-free one is a *warning* (LDL110): in LDL such rules are legal
+//!   and the per-query analysis (LDL003) rejects the forms that break.
+//! * A recursive clique without a provable well-founded order is a
+//!   *warning* (LDL111): the sufficient conditions are incomplete
+//!   (safe-but-unprovable programs exist, §8.3) and evaluation still
+//!   guards with a max-iterations bound.
+
+use crate::bindability::{saturate, unbound_vars, var_list};
+use crate::diag::{Diagnostic, Report};
+use ldl_core::binding::Adornment;
+use ldl_core::depgraph::DependencyGraph;
+use ldl_core::safety;
+use ldl_core::{Literal, Program, Rule};
+
+/// Runs the safety pass over every rule and clique of `program`.
+pub fn check(program: &Program, graph: &DependencyGraph, assume_acyclic: bool) -> Report {
+    let mut report = Report::new();
+    for rule in &program.rules {
+        check_rule(rule, &mut report);
+    }
+    for clique in graph.cliques() {
+        check_clique(program, clique, assume_acyclic, &mut report);
+    }
+    report
+}
+
+fn check_rule(rule: &Rule, report: &mut Report) {
+    // Errors: unexecutable even with every head argument bound.
+    let arity = rule.head.args.len();
+    let all_bound = saturate(rule, Adornment::all_bound(arity));
+    for &li in &all_bound.stuck {
+        let lit = &rule.body[li];
+        let unbound = unbound_vars(lit, &all_bound.bound);
+        let vars = var_list(&unbound);
+        let plural = if unbound.len() == 1 {
+            "variable"
+        } else {
+            "variables"
+        };
+        match lit {
+            Literal::Builtin(_) => {
+                report.push(
+                    Diagnostic::error(
+                        "LDL001",
+                        lit.span(),
+                        format!(
+                            "{plural} {vars} {} unbound when `{lit}` is reached, under any body order",
+                            is_are(unbound.len())
+                        ),
+                    )
+                    .with_note(format!("in rule: {rule}"))
+                    .with_note(
+                        "evaluable predicates need their inputs bound by earlier literals; \
+                         no reordering of this body binds them",
+                    ),
+                );
+            }
+            Literal::Atom(a) if a.negated => {
+                report.push(
+                    Diagnostic::error(
+                        "LDL002",
+                        lit.span(),
+                        format!(
+                            "{plural} {vars} {} unbound when `{lit}` is reached, under any body order",
+                            is_are(unbound.len())
+                        ),
+                    )
+                    .with_note(format!("in rule: {rule}"))
+                    .with_note(
+                        "a negated literal only checks tuples, it never generates bindings",
+                    ),
+                );
+            }
+            Literal::Atom(_) => {
+                // member/2 with an unbound set argument.
+                report.push(
+                    Diagnostic::error(
+                        "LDL001",
+                        lit.span(),
+                        format!("the set argument of `{lit}` is never bound, under any body order"),
+                    )
+                    .with_note(format!("in rule: {rule}")),
+                );
+            }
+        }
+    }
+    if !all_bound.stuck.is_empty() {
+        return; // the all-free check would only repeat the same findings
+    }
+
+    // Warning: executable, but only when the query form binds something.
+    let all_free = saturate(rule, Adornment::all_free(arity));
+    let mut reasons = Vec::new();
+    for &li in &all_free.stuck {
+        let lit = &rule.body[li];
+        let vars = var_list(&unbound_vars(lit, &all_free.bound));
+        reasons.push(format!("{vars} unbound at `{lit}`"));
+    }
+    let free_head: Vec<_> = rule
+        .head
+        .vars()
+        .into_iter()
+        .filter(|v| !all_free.bound.contains(v))
+        .collect();
+    if !free_head.is_empty() {
+        reasons.push(format!(
+            "head {} {} never bound by the body",
+            if free_head.len() == 1 {
+                "variable"
+            } else {
+                "variables"
+            },
+            var_list(&free_head)
+        ));
+    }
+    if !reasons.is_empty() {
+        report.push(
+            Diagnostic::warning(
+                "LDL110",
+                rule.span,
+                format!(
+                    "rule is only safe when the query form supplies bindings: under the \
+                     all-free form, {}",
+                    reasons.join("; ")
+                ),
+            )
+            .with_note(format!("in rule: {rule}"))
+            .with_note(
+                "queries that bind the offending arguments are accepted; the all-free \
+                 query form will be rejected (LDL003)",
+            ),
+        );
+    }
+}
+
+fn is_are(n: usize) -> &'static str {
+    if n == 1 {
+        "is"
+    } else {
+        "are"
+    }
+}
+
+fn check_clique(
+    program: &Program,
+    clique: &ldl_core::depgraph::Clique,
+    assume_acyclic: bool,
+    report: &mut Report,
+) {
+    let arity = clique.preds.iter().next().map(|p| p.arity).unwrap_or(0);
+    // Most permissive screening: bindings propagate (magic/counting) and
+    // every argument is bound. A failure here means no query form and no
+    // method admits a termination proof.
+    let verdict = safety::clique_terminates(
+        program,
+        clique,
+        Adornment::all_bound(arity),
+        true,
+        assume_acyclic,
+    );
+    if let Err(reason) = verdict {
+        let preds = clique
+            .preds
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let span = clique
+            .recursive_rules
+            .first()
+            .map(|&ri| program.rules[ri].span)
+            .unwrap_or_default();
+        report.push(
+            Diagnostic::warning(
+                "LDL111",
+                span,
+                format!("termination of recursive clique {{{preds}}} is unprovable: {reason}"),
+            )
+            .with_note(
+                "evaluation still bounds the fixpoint with a max-iterations guard; to prove \
+                 termination make the recursion Datalog-finite, base-driven, or structurally \
+                 decreasing on a query-bound argument",
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldl_core::parser::parse_program;
+
+    fn run(text: &str) -> Report {
+        let p = parse_program(text).unwrap();
+        let g = DependencyGraph::build(&p);
+        check(&p, &g, true).finish()
+    }
+
+    #[test]
+    fn never_bindable_builtin_var_is_ldl001() {
+        // `Y` occurs only inside `X > Y`: unbindable under any order and
+        // any head adornment (comparisons never generate bindings).
+        let r = run("big(X) <- n(X), X > Y.");
+        assert_eq!(r.diagnostics.len(), 1);
+        let d = &r.diagnostics[0];
+        assert_eq!(d.code, "LDL001");
+        assert_eq!(d.severity, crate::diag::Severity::Error);
+        assert!(
+            d.message.contains('Y') && d.message.contains("X > Y"),
+            "{}",
+            d.message
+        );
+        assert_eq!(
+            (d.span.line, d.span.col, d.span.end_line, d.span.end_col),
+            (1, 17, 1, 22)
+        );
+    }
+
+    #[test]
+    fn paper_8_3_example_is_binding_dependent() {
+        // §8.3: `p(X, Y, Z) <- X = 3, Z = X + Y` — unsafe for the
+        // all-free query form, safe when the query binds Y. Program
+        // level that is a warning; the query analysis upgrades it.
+        let r = run("p(X, Y, Z) <- X = 3, Z = X + Y.");
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].code, "LDL110");
+    }
+
+    #[test]
+    fn negation_only_var_is_ldl002() {
+        let r = run("p(X) <- q(X), ~r(X, W).");
+        assert_eq!(r.diagnostics.len(), 1);
+        let d = &r.diagnostics[0];
+        assert_eq!(d.code, "LDL002");
+        assert_eq!(d.severity, crate::diag::Severity::Error);
+        assert!(d.message.contains('W'), "{}", d.message);
+        assert_eq!(
+            (d.span.line, d.span.col, d.span.end_line, d.span.end_col),
+            (1, 15, 1, 23)
+        );
+    }
+
+    #[test]
+    fn binding_dependent_rule_is_ldl110_warning() {
+        let r = run("p(X, Y) <- q(X).");
+        assert_eq!(r.diagnostics.len(), 1);
+        let d = &r.diagnostics[0];
+        assert_eq!(d.code, "LDL110");
+        assert_eq!(d.severity, crate::diag::Severity::Warning);
+        assert!(d.message.contains('Y'), "{}", d.message);
+    }
+
+    #[test]
+    fn arithmetic_recursion_is_ldl111_warning() {
+        let r = run("cnt(X) <- zero(X).\ncnt(Y) <- cnt(X), Y = X + 1.");
+        assert!(r.diagnostics.iter().any(|d| d.code == "LDL111"), "{r:?}");
+        assert!(!r.has_errors());
+    }
+
+    #[test]
+    fn clean_programs_are_clean() {
+        let r = run("sg(X, Y) <- flat(X, Y).\nsg(X, Y) <- up(X, X1), sg(Y1, X1), dn(Y1, Y).");
+        assert!(r.diagnostics.is_empty(), "{r:?}");
+    }
+}

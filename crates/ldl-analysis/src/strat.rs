@@ -1,0 +1,109 @@
+//! Stratification check (LDL004) with an explicit negative-cycle
+//! witness.
+//!
+//! `depgraph::check_stratified` reports only the two endpoint predicates
+//! of the offending edge; here the full dependency cycle is reconstructed
+//! ([`DependencyGraph::negative_cycle_witness`]) and the diagnostic
+//! points at the negated body literal that closes it.
+
+use crate::diag::{Diagnostic, Report};
+use ldl_core::depgraph::DependencyGraph;
+use ldl_core::{Program, Span};
+
+/// Emits LDL004 when the program is not stratified.
+pub fn check(program: &Program, graph: &DependencyGraph) -> Report {
+    let mut report = Report::new();
+    let Some(cycle) = graph.negative_cycle_witness() else {
+        return report;
+    };
+    // The witness starts with the negative edge cycle[0] -~-> cycle[1];
+    // point the diagnostic at a negated literal realizing it.
+    let mut span = Span::NONE;
+    'outer: for rule in &program.rules {
+        if rule.head.pred != cycle[0] {
+            continue;
+        }
+        for lit in &rule.body {
+            if let ldl_core::Literal::Atom(a) = lit {
+                if a.negated && a.pred == cycle[1] {
+                    span = lit.span();
+                    break 'outer;
+                }
+            }
+        }
+    }
+    let path = cycle
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            if i == 0 {
+                format!("{p} -[~]->")
+            } else if i + 1 < cycle.len() {
+                format!(" {p} ->")
+            } else {
+                format!(" {p}")
+            }
+        })
+        .collect::<String>();
+    report.push(
+        Diagnostic::error(
+            "LDL004",
+            span,
+            format!(
+                "program is not stratified: {} is defined, through this negation, in terms \
+                 of itself",
+                cycle[0]
+            ),
+        )
+        .with_note(format!("negative dependency cycle: {path}"))
+        .with_note(
+            "stratified negation requires every negated predicate to be fully computable \
+             before its negation is used; break the cycle or remove the negation",
+        ),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldl_core::parser::parse_program;
+
+    fn run(text: &str) -> Report {
+        let p = parse_program(text).unwrap();
+        let g = DependencyGraph::build(&p);
+        check(&p, &g).finish()
+    }
+
+    #[test]
+    fn self_negation_is_ldl004_with_witness() {
+        let r = run("win(X) <- move(X, Y), ~win(Y).");
+        assert_eq!(r.diagnostics.len(), 1);
+        let d = &r.diagnostics[0];
+        assert_eq!(d.code, "LDL004");
+        assert_eq!(d.severity, crate::diag::Severity::Error);
+        assert!(d.notes[0].contains("win/1 -[~]-> win/1"), "{:?}", d.notes);
+        // Span points at `~win(Y)`.
+        assert_eq!(
+            (d.span.line, d.span.col, d.span.end_line, d.span.end_col),
+            (1, 23, 1, 30)
+        );
+    }
+
+    #[test]
+    fn mutual_negative_cycle_names_all_preds() {
+        let r = run("p(X) <- q(X).\nq(X) <- a(X), ~p(X).");
+        assert_eq!(r.diagnostics.len(), 1);
+        let note = &r.diagnostics[0].notes[0];
+        assert!(note.contains('p') && note.contains('q'), "{note}");
+    }
+
+    #[test]
+    fn stratified_negation_is_clean() {
+        let r = run(
+            "reach(X) <- source(X).\nreach(X) <- reach(Y), edge(Y, X).\n\
+             unreachable(X) <- node(X), ~reach(X).",
+        );
+        assert!(r.diagnostics.is_empty(), "{r:?}");
+    }
+}

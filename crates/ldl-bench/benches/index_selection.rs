@@ -64,7 +64,10 @@ fn main() {
     h.set_iters(1, 5);
 
     let workloads = [
-        (format!("tc/{tc_comps}x{tc_len}"), transitive_closure_chains(tc_len, tc_comps).0),
+        (
+            format!("tc/{tc_comps}x{tc_len}"),
+            transitive_closure_chains(tc_len, tc_comps).0,
+        ),
         (format!("sg/2^{sg_depth}"), same_generation(2, sg_depth).0),
     ];
     for (name, program) in &workloads {
@@ -82,7 +85,11 @@ fn main() {
         );
 
         let mut digests: Vec<(&'static str, u64)> = Vec::new();
-        for paths in [AccessPaths::Selected, AccessPaths::HashOnDemand, AccessPaths::ForceScan] {
+        for paths in [
+            AccessPaths::Selected,
+            AccessPaths::HashOnDemand,
+            AccessPaths::ForceScan,
+        ] {
             let cfg = FixpointConfig::serial().with_access_paths(paths);
             let d = digest(program, &db, &cfg);
             digests.push((policy_name(paths), d));
@@ -102,13 +109,18 @@ fn main() {
                 ),
                 IndexCounters::snapshot,
             );
-            h.bench(name, &format!("paths={} digest={d:016x}", policy_name(paths)), || {
-                eval_program_seminaive(program, &db, &cfg).unwrap()
-            });
+            h.bench(
+                name,
+                &format!("paths={} digest={d:016x}", policy_name(paths)),
+                || eval_program_seminaive(program, &db, &cfg).unwrap(),
+            );
         }
         let reference = digests[0].1;
         for (which, d) in &digests {
-            assert_eq!(*d, reference, "{name}: digest under {which} differs from selected");
+            assert_eq!(
+                *d, reference,
+                "{name}: digest under {which} differs from selected"
+            );
         }
     }
     h.finish();

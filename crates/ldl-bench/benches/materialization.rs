@@ -37,19 +37,35 @@ fn main() {
         for (label, rule_idx) in [("selective", 0usize), ("full-join", 1usize)] {
             let rule = program.rules[rule_idx].clone();
             let order: Vec<usize> = (0..rule.body.len()).collect();
-            h.bench("pipeline-vs-materialize", &format!("pipelined-{label}/{n}"), || {
-                let source = OverlaySource { base: |p: Pred| db.relation(p), overlay: None, restrict: None };
-                let mut out = Relation::new(rule.head.args.len());
-                eval_rule(&rule, &order, &Subst::new(), &source, &mut |t| {
-                    out.insert(t);
-                })
-                .unwrap();
-                out
-            });
-            h.bench("pipeline-vs-materialize", &format!("materialized-{label}/{n}"), || {
-                let source = OverlaySource { base: |p: Pred| db.relation(p), overlay: None, restrict: None };
-                eval_rule_materialized(&rule, &order, JoinMethod::Hash, &source).unwrap()
-            });
+            h.bench(
+                "pipeline-vs-materialize",
+                &format!("pipelined-{label}/{n}"),
+                || {
+                    let source = OverlaySource {
+                        base: |p: Pred| db.relation(p),
+                        overlay: None,
+                        restrict: None,
+                    };
+                    let mut out = Relation::new(rule.head.args.len());
+                    eval_rule(&rule, &order, &Subst::new(), &source, &mut |t| {
+                        out.insert(t);
+                    })
+                    .unwrap();
+                    out
+                },
+            );
+            h.bench(
+                "pipeline-vs-materialize",
+                &format!("materialized-{label}/{n}"),
+                || {
+                    let source = OverlaySource {
+                        base: |p: Pred| db.relation(p),
+                        overlay: None,
+                        restrict: None,
+                    };
+                    eval_rule_materialized(&rule, &order, JoinMethod::Hash, &source).unwrap()
+                },
+            );
         }
     }
     h.finish();

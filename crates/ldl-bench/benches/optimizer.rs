@@ -26,15 +26,27 @@ fn main() {
     let (program, leaf) = same_generation(2, 6);
     let db = Database::from_program(&program);
     let query = parse_query(&format!("sg({leaf}, Y)?")).unwrap();
-    for s in [Strategy::Exhaustive, Strategy::DynamicProgramming, Strategy::Kbz] {
-        h.bench("optimizer-clique", &format!("{}/sg-bound", s.name()), || {
-            let opt = Optimizer::new(
-                &program,
-                &db,
-                OptConfig { strategy: s, assume_acyclic: true, ..OptConfig::default() },
-            );
-            opt.optimize(&query).unwrap()
-        });
+    for s in [
+        Strategy::Exhaustive,
+        Strategy::DynamicProgramming,
+        Strategy::Kbz,
+    ] {
+        h.bench(
+            "optimizer-clique",
+            &format!("{}/sg-bound", s.name()),
+            || {
+                let opt = Optimizer::new(
+                    &program,
+                    &db,
+                    OptConfig {
+                        strategy: s,
+                        assume_acyclic: true,
+                        ..OptConfig::default()
+                    },
+                );
+                opt.optimize(&query).unwrap()
+            },
+        );
     }
     h.finish();
 }

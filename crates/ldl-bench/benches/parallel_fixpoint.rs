@@ -50,11 +50,16 @@ fn main() {
 
     let mut h = Harness::new("parallel_fixpoint");
     h.set_iters(1, 5);
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     h.bench("meta", &format!("cores={cores}"), || cores);
 
     let workloads = [
-        (format!("tc/{tc_comps}x{tc_len}"), transitive_closure_chains(tc_len, tc_comps).0),
+        (
+            format!("tc/{tc_comps}x{tc_len}"),
+            transitive_closure_chains(tc_len, tc_comps).0,
+        ),
         (format!("sg/2^{sg_depth}"), same_generation(2, sg_depth).0),
     ];
     for (name, program) in &workloads {
@@ -78,7 +83,10 @@ fn main() {
         });
         let reference = digests[0].1;
         for (which, d) in &digests {
-            assert_eq!(*d, reference, "{name}: digest at {which} differs from serial");
+            assert_eq!(
+                *d, reference,
+                "{name}: digest at {which} differs from serial"
+            );
         }
     }
     h.finish();

@@ -16,13 +16,22 @@ fn main() {
     for n in [6usize, 8, 10] {
         let g = random_join_graph(Shape::Random, n, 0xBEEF ^ n as u64);
         if n <= 9 {
-            h.bench("search", &format!("exhaustive/{n}"), || optimize_exhaustive(&g));
+            h.bench("search", &format!("exhaustive/{n}"), || {
+                optimize_exhaustive(&g)
+            });
         }
         h.bench("search", &format!("dp/{n}"), || optimize_dp(&g));
-        h.bench("search", &format!("dp-connected/{n}"), || optimize_dp_connected(&g));
+        h.bench("search", &format!("dp-connected/{n}"), || {
+            optimize_dp_connected(&g)
+        });
         h.bench("search", &format!("kbz/{n}"), || optimize_kbz(&g));
-        let params = AnnealParams { max_probes: 2000, ..AnnealParams::default() };
-        h.bench("search", &format!("anneal/{n}"), || optimize_anneal(&g, &params, 7));
+        let params = AnnealParams {
+            max_probes: 2000,
+            ..AnnealParams::default()
+        };
+        h.bench("search", &format!("anneal/{n}"), || {
+            optimize_anneal(&g, &params, 7)
+        });
     }
     for n in [16usize, 20] {
         let g = random_join_graph(Shape::Chain, n, 0xFACE ^ n as u64);

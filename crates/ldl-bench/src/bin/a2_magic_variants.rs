@@ -21,20 +21,21 @@ use ldl_storage::Database;
 use std::fmt::Write as _;
 use std::time::Instant;
 
-fn run(
-    magic: &MagicProgram,
-    program: &Program,
-    label: &str,
-    t: &mut Table,
-) {
+fn run(magic: &MagicProgram, program: &Program, label: &str, t: &mut Table) {
     let mut db = Database::from_program(program);
     db.relation_mut(magic.seed_pred).insert(magic.seed.clone());
     let start = Instant::now();
-    let (derived, metrics) =
-        eval_program_seminaive(&magic.program, &db, &FixpointConfig::with_max_iterations(100_000))
-            .unwrap();
+    let (derived, metrics) = eval_program_seminaive(
+        &magic.program,
+        &db,
+        &FixpointConfig::with_max_iterations(100_000),
+    )
+    .unwrap();
     let ms = start.elapsed().as_secs_f64() * 1000.0;
-    let answers = derived.get(&magic.answer_pred).map(|r| r.len()).unwrap_or(0);
+    let answers = derived
+        .get(&magic.answer_pred)
+        .map(|r| r.len())
+        .unwrap_or(0);
     t.row(&[
         label.to_string(),
         magic.program.rules.len().to_string(),
@@ -61,7 +62,11 @@ fn main() {
     println!("A2: plain vs supplementary magic-set rewriting\n");
 
     let (sg, leaf) = same_generation(2, 9);
-    compare("same-generation, binary tree depth 9", &sg, &format!("sg({leaf}, Y)?"));
+    compare(
+        "same-generation, binary tree depth 9",
+        &sg,
+        &format!("sg({leaf}, Y)?"),
+    );
 
     // A rule with a long prefix shared by two derived literals — the
     // case supplementary magic was designed for.
@@ -76,7 +81,11 @@ fn main() {
          two(X, Y) <- f(X, A), f(A, B), hop(B, M), hop(M, Y).\n",
     );
     let program = parse_program(&text).unwrap();
-    compare("shared 2-literal prefix before two recursive calls", &program, "two(0, Y)?");
+    compare(
+        "shared 2-literal prefix before two recursive calls",
+        &program,
+        "two(0, Y)?",
+    );
 
     println!(
         "Expected shape: identical answers; supplementary adds sup_* rules\n\

@@ -30,7 +30,13 @@ struct Cell {
 
 impl Cell {
     fn new() -> Cell {
-        Cell { optimal: 0, within2: 0, within3: 0, worst: 1.0, log_sum: 0.0 }
+        Cell {
+            optimal: 0,
+            within2: 0,
+            within3: 0,
+            worst: 1.0,
+            log_sum: 0.0,
+        }
     }
 
     fn add(&mut self, ratio: f64) {
@@ -88,7 +94,10 @@ fn main() {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
     for (shape, n, conn, full) in results {
         let pct = |k: usize| format!("{:.1}", 100.0 * k as f64 / samples as f64);

@@ -18,7 +18,13 @@ fn main() {
     println!("E2: simulated annealing (swap-two neighbor) vs optimal");
     println!("({samples} random-shape samples per size)\n");
     let mut t = Table::new(&[
-        "n", "space(n!)", "avg-probes", "probes/space", "optimal%", "within2x%", "geomean-ratio",
+        "n",
+        "space(n!)",
+        "avg-probes",
+        "probes/space",
+        "optimal%",
+        "within2x%",
+        "geomean-ratio",
     ]);
     for n in [5usize, 7, 9, 11] {
         let space: f64 = (1..=n).map(|i| i as f64).product();
@@ -29,10 +35,17 @@ fn main() {
         for s in 0..samples {
             let g = random_join_graph(Shape::Random, n, (n as u64) << 20 | s);
             let best = optimize_dp(&g);
-            let params = AnnealParams { max_probes: 4000, ..AnnealParams::default() };
+            let params = AnnealParams {
+                max_probes: 4000,
+                ..AnnealParams::default()
+            };
             let an = optimize_anneal(&g, &params, s ^ 0xA11EA);
             probes_total += an.probes;
-            let ratio = if best.cost > 0.0 { an.cost / best.cost } else { 1.0 };
+            let ratio = if best.cost > 0.0 {
+                an.cost / best.cost
+            } else {
+                1.0
+            };
             if ratio <= 1.0 + 1e-9 {
                 optimal += 1;
             }

@@ -30,8 +30,9 @@ fn main() {
         "anneal-probes",
     ]);
     for n in [4usize, 6, 8, 9, 10, 11, 14, 18] {
-        let graphs: Vec<_> =
-            (0..reps).map(|s| random_join_graph(Shape::Random, n, (n as u64) << 8 | s)).collect();
+        let graphs: Vec<_> = (0..reps)
+            .map(|s| random_join_graph(Shape::Random, n, (n as u64) << 8 | s))
+            .collect();
 
         let (ex_us, ex_probes) = if n <= 10 {
             let start = Instant::now();
@@ -68,7 +69,10 @@ fn main() {
         };
 
         let (an_us, an_probes) = {
-            let params = AnnealParams { max_probes: 4000, ..AnnealParams::default() };
+            let params = AnnealParams {
+                max_probes: 4000,
+                ..AnnealParams::default()
+            };
             let start = Instant::now();
             let mut probes = 0;
             for (i, g) in graphs.iter().enumerate() {
@@ -80,7 +84,16 @@ fn main() {
             )
         };
 
-        t.row(&[n.to_string(), ex_us, ex_probes, dp_us, dp_probes, kbz_us, an_us, an_probes]);
+        t.row(&[
+            n.to_string(),
+            ex_us,
+            ex_probes,
+            dp_us,
+            dp_probes,
+            kbz_us,
+            an_us,
+            an_probes,
+        ]);
     }
     println!("{t}");
     println!(

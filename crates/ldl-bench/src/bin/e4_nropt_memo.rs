@@ -34,7 +34,10 @@ fn main() {
         let query = parse_query(&format!("{}(X)?", root.name)).unwrap();
 
         let run = |memo: bool| {
-            let cfg = OptConfig { memo_enabled: memo, ..OptConfig::default() };
+            let cfg = OptConfig {
+                memo_enabled: memo,
+                ..OptConfig::default()
+            };
             let opt = Optimizer::new(&program, &db, cfg);
             let start = Instant::now();
             opt.optimize(&query).expect("layered program is safe");

@@ -22,7 +22,14 @@ fn run_methods(title: &str, program: &Program, qtext: &str, max_iterations: usiz
     let db = Database::from_program(program);
     let query = parse_query(qtext).unwrap();
     let cfg = FixpointConfig::with_max_iterations(max_iterations);
-    let mut t = Table::new(&["method", "answers", "tuples-derived", "tuples-produced", "iterations", "ms"]);
+    let mut t = Table::new(&[
+        "method",
+        "answers",
+        "tuples-derived",
+        "tuples-produced",
+        "iterations",
+        "ms",
+    ]);
     let mut reference: Option<usize> = None;
     for m in Method::ALL {
         let start = Instant::now();
@@ -64,7 +71,10 @@ fn main() {
     for depth in [6usize, 8, 10] {
         let (program, leaf) = same_generation(2, depth);
         run_methods(
-            &format!("same-generation, binary tree depth {depth} ({} facts)", program.facts.len()),
+            &format!(
+                "same-generation, binary tree depth {depth} ({} facts)",
+                program.facts.len()
+            ),
             &program,
             &format!("sg({leaf}, Y)?"),
             200_000,

@@ -45,7 +45,14 @@ fn main() {
     // (b)+(c) Recursive: method flips with the binding; cross-use hurts.
     let (sg, leaf) = same_generation(2, 9);
     let sgdb = Database::from_program(&sg);
-    let opt = Optimizer::new(&sg, &sgdb, OptConfig { assume_acyclic: true, ..OptConfig::default() });
+    let opt = Optimizer::new(
+        &sg,
+        &sgdb,
+        OptConfig {
+            assume_acyclic: true,
+            ..OptConfig::default()
+        },
+    );
     let bound_q = parse_query(&format!("sg({leaf}, Y)?")).unwrap();
     let free_q = parse_query("sg(X, Y)?").unwrap();
     let bound_plan = opt.optimize(&bound_q).unwrap();

@@ -123,8 +123,14 @@ fn main() {
     for case in CASES {
         let program = parse_program(case.program).unwrap();
         let db = Database::from_program(&program);
-        let opt =
-            Optimizer::new(&program, &db, OptConfig { assume_acyclic: true, ..OptConfig::default() });
+        let opt = Optimizer::new(
+            &program,
+            &db,
+            OptConfig {
+                assume_acyclic: true,
+                ..OptConfig::default()
+            },
+        );
         let query = parse_query(case.query).unwrap();
         let verdict = opt.optimize(&query);
         let safe = verdict.is_ok();
@@ -142,7 +148,10 @@ fn main() {
     }
     println!("{t}");
     if failures == 0 {
-        println!("all {} verdicts match the paper's expectations", CASES.len());
+        println!(
+            "all {} verdicts match the paper's expectations",
+            CASES.len()
+        );
     } else {
         println!("** {failures} verdict(s) diverge — investigate **");
         std::process::exit(1);

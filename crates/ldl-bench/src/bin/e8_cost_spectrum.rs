@@ -18,7 +18,7 @@ use ldl_core::Pred;
 use ldl_optimizer::search::anneal::{optimize_anneal, AnnealParams};
 use ldl_optimizer::search::exhaustive::optimize_dp;
 use ldl_optimizer::search::kbz::optimize_kbz;
-use ldl_optimizer::{Optimizer, OptConfig, Strategy};
+use ldl_optimizer::{OptConfig, Optimizer, Strategy};
 use ldl_storage::{Database, Stats};
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -70,7 +70,10 @@ fn main() {
     let opt = Optimizer::new(
         &program,
         &db,
-        OptConfig { strategy: Strategy::Exhaustive, ..OptConfig::default() },
+        OptConfig {
+            strategy: Strategy::Exhaustive,
+            ..OptConfig::default()
+        },
     );
     let query = parse_query("q(1, Z)?").unwrap();
     let rule = &program.rules[0];
@@ -88,7 +91,14 @@ fn main() {
     });
     finite.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let chosen = opt.optimize(&query).unwrap();
-    let mut t = Table::new(&["orders", "unsafe", "min", "max", "max/min", "optimizer-pick/min"]);
+    let mut t = Table::new(&[
+        "orders",
+        "unsafe",
+        "min",
+        "max",
+        "max/min",
+        "optimizer-pick/min",
+    ]);
     t.row(&[
         (finite.len() + unsafe_orders).to_string(),
         unsafe_orders.to_string(),

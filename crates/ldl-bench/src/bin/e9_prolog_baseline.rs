@@ -39,16 +39,28 @@ fn main() {
     let program = parse_program(left).unwrap();
     let db = Database::from_program(&program);
     let query = parse_query("tc(1, Y)?").unwrap();
-    let cfg = SldConfig { max_depth: 128, ..SldConfig::default() };
+    let cfg = SldConfig {
+        max_depth: 128,
+        ..SldConfig::default()
+    };
     let (ans, stats) = solve_sld(&program, &db, &query, &cfg).unwrap();
     println!(
         "   prolog: {} answers, depth bound hit: {} (the classic loop)",
         ans.len(),
         stats.depth_exceeded
     );
-    let fix = evaluate_query(&program, &db, &query, Method::Magic, &FixpointConfig::default())
-        .unwrap();
-    println!("   ldl:    {} answers, no divergence (fixpoint semantics)\n", fix.tuples.len());
+    let fix = evaluate_query(
+        &program,
+        &db,
+        &query,
+        Method::Magic,
+        &FixpointConfig::default(),
+    )
+    .unwrap();
+    println!(
+        "   ldl:    {} answers, no divergence (fixpoint semantics)\n",
+        fix.tuples.len()
+    );
 
     // 2. Builtin-first body.
     println!("2) body written builtin-first: big(Y,X) <- Y = X * 10, n(X).");
@@ -62,7 +74,9 @@ fn main() {
     }
     let opt = Optimizer::with_defaults(&program, &db);
     let plan = opt.optimize(&query).unwrap();
-    let ans = plan.execute(&program, &db, &FixpointConfig::default()).unwrap();
+    let ans = plan
+        .execute(&program, &db, &FixpointConfig::default())
+        .unwrap();
     println!(
         "   ldl:    reordered the body, {} answers (the optimizer owns goal order)\n",
         ans.tuples.len()
@@ -71,16 +85,19 @@ fn main() {
     // 3. The happy path, measured.
     println!("3) right-recursive tc on chains (Prolog's preferred shape):");
     let mut t = Table::new(&[
-        "chains x len", "answers", "sld-resolutions", "sld-ms", "magic-derived", "magic-ms",
+        "chains x len",
+        "answers",
+        "sld-resolutions",
+        "sld-ms",
+        "magic-derived",
+        "magic-ms",
     ]);
     for (len, comps) in [(32usize, 4usize), (64, 8), (128, 8)] {
         let (mut program, start) = transitive_closure_chains(len, comps);
         // Rewrite tc right-recursive for SLD's benefit.
         program.rules.clear();
-        let extra = parse_program(
-            "tc(X, Y) <- e(X, Y).\ntc(X, Y) <- e(X, Z), tc(Z, Y).\ne(0,0).",
-        )
-        .unwrap();
+        let extra =
+            parse_program("tc(X, Y) <- e(X, Y).\ntc(X, Y) <- e(X, Z), tc(Z, Y).\ne(0,0).").unwrap();
         for r in extra.rules {
             program.rules.push(r);
         }
@@ -90,9 +107,14 @@ fn main() {
         let (ans, stats) = solve_sld(&program, &db, &query, &SldConfig::default()).unwrap();
         let sld_ms = t0.elapsed().as_secs_f64() * 1000.0;
         let t1 = Instant::now();
-        let fix =
-            evaluate_query(&program, &db, &query, Method::Magic, &FixpointConfig::default())
-                .unwrap();
+        let fix = evaluate_query(
+            &program,
+            &db,
+            &query,
+            Method::Magic,
+            &FixpointConfig::default(),
+        )
+        .unwrap();
         let magic_ms = t1.elapsed().as_secs_f64() * 1000.0;
         assert_eq!(ans.len(), fix.tuples.len(), "engines disagree");
         t.row(&[

@@ -12,7 +12,10 @@ pub struct Table {
 impl Table {
     /// Table with the given column headers.
     pub fn new(headers: &[&str]) -> Table {
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: vec![] }
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: vec![],
+        }
     }
 
     /// Appends one row (must match the header count).

@@ -51,7 +51,9 @@ impl Shape {
 pub fn random_join_graph(shape: Shape, n: usize, seed: u64) -> JoinGraph {
     assert!(n >= 2);
     let mut rng = SplitMix64::seed_from_u64(seed);
-    let cards: Vec<f64> = (0..n).map(|_| 10f64.powf(rng.gen_range(1.0..5.0)).round()).collect();
+    let cards: Vec<f64> = (0..n)
+        .map(|_| 10f64.powf(rng.gen_range(1.0..5.0)).round())
+        .collect();
     let mut g = JoinGraph::new(cards);
     let sel = |rng: &mut SplitMix64| 10f64.powf(rng.gen_range(-4.0..-0.5));
     match shape {
@@ -126,7 +128,10 @@ pub fn same_generation(branching: usize, depth: usize) -> (Program, i64) {
          sg(X, Y) <- up(X, X1), sg(Y1, X1), dn(Y1, Y).\n",
     );
     let leaf = level[0];
-    (parse_program(&text).expect("generated sg program parses"), leaf)
+    (
+        parse_program(&text).expect("generated sg program parses"),
+        leaf,
+    )
 }
 
 /// Transitive-closure dataset: `components` disjoint chains of
@@ -143,7 +148,10 @@ pub fn transitive_closure_chains(chain_len: usize, components: usize) -> (Progra
         }
     }
     text.push_str("tc(X, Y) <- e(X, Y).\ntc(X, Y) <- e(X, Z), tc(Z, Y).\n");
-    (parse_program(&text).expect("generated tc program parses"), 0)
+    (
+        parse_program(&text).expect("generated tc program parses"),
+        0,
+    )
 }
 
 /// Bill-of-materials: `roots` assemblies, each a tree of subparts with
@@ -185,19 +193,31 @@ pub fn bill_of_materials(roots: usize, branching: usize, depth: usize) -> (Progr
 pub fn layered_rulebase(width: usize, depth: usize) -> (Program, Pred) {
     assert!(width >= 1 && depth >= 1);
     let mut text = String::new();
-    writeln!(text, "root(X) <- {}.", (0..width).map(|w| format!("p_0_{w}(X)")).collect::<Vec<_>>().join(", ")).unwrap();
+    writeln!(
+        text,
+        "root(X) <- {}.",
+        (0..width)
+            .map(|w| format!("p_0_{w}(X)"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    )
+    .unwrap();
     for d in 0..depth {
         for w in 0..width {
             if d + 1 == depth {
                 writeln!(text, "p_{d}_{w}(X) <- base_{w}(X).").unwrap();
             } else {
-                let body: Vec<String> =
-                    (0..width).map(|w2| format!("p_{}_{w2}(X)", d + 1)).collect();
+                let body: Vec<String> = (0..width)
+                    .map(|w2| format!("p_{}_{w2}(X)", d + 1))
+                    .collect();
                 writeln!(text, "p_{d}_{w}(X) <- {}.", body.join(", ")).unwrap();
             }
         }
     }
-    (parse_program(&text).expect("generated layered program parses"), Pred::new("root", 1))
+    (
+        parse_program(&text).expect("generated layered program parses"),
+        Pred::new("root", 1),
+    )
 }
 
 /// A database with synthetic statistics for every base predicate of a

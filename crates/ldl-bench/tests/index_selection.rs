@@ -43,7 +43,11 @@ fn index_selection_acceptance() {
     let nested_prog = parse_program(&nested).unwrap();
     let catalog = IndexCatalog::build(&nested_prog);
     let p = Pred::new("p", 2);
-    assert_eq!(catalog.orders(p), &[vec![0, 1]], "one lex order serves both signatures");
+    assert_eq!(
+        catalog.orders(p),
+        &[vec![0, 1]],
+        "one lex order serves both signatures"
+    );
     assert!(
         catalog.total_orders() < catalog.total_signatures(),
         "selection ({}) must beat per-signature indexing ({})",
@@ -64,7 +68,11 @@ fn index_selection_acceptance() {
     let sel_work = before.delta_since();
     assert_eq!(sel_rel.len(), hash_rel.len());
     for (pred, rel) in &hash_rel {
-        assert_eq!(sel_rel[pred].rows(), rel.rows(), "{pred}: rows diverge across modes");
+        assert_eq!(
+            sel_rel[pred].rows(),
+            rel.rows(),
+            "{pred}: rows diverge across modes"
+        );
     }
     assert_eq!(sel_m, hash_m, "metrics diverge across access modes");
     assert_eq!(
@@ -76,8 +84,14 @@ fn index_selection_acceptance() {
         "hash mode pays one build per distinct key set, got {hash_work:?}"
     );
     assert!(sel_work.ordered_builds < hash_work.hash_builds);
-    assert!(sel_work.ordered_probes > 0, "selected mode must actually probe: {sel_work:?}");
-    assert_eq!(sel_work.hash_builds, 0, "no hash fallback expected here: {sel_work:?}");
+    assert!(
+        sel_work.ordered_probes > 0,
+        "selected mode must actually probe: {sel_work:?}"
+    );
+    assert_eq!(
+        sel_work.hash_builds, 0,
+        "no hash fallback expected here: {sel_work:?}"
+    );
 
     // --- 3. Recursive workloads: distinct builds per relation version,
     //        identical answers and metrics across all three policies. ---
@@ -89,8 +103,14 @@ fn index_selection_acceptance() {
         let (ref_rel, ref_m) =
             eval_program_seminaive(program, &db, &fixpoint_cfg(AccessPaths::Selected)).unwrap();
         let sel_work = before.delta_since();
-        assert!(sel_work.ordered_builds > 0, "{what}: no ordered builds: {sel_work:?}");
-        assert!(sel_work.ordered_probes > 0, "{what}: no ordered probes: {sel_work:?}");
+        assert!(
+            sel_work.ordered_builds > 0,
+            "{what}: no ordered builds: {sel_work:?}"
+        );
+        assert!(
+            sel_work.ordered_probes > 0,
+            "{what}: no ordered probes: {sel_work:?}"
+        );
         let selected_orders = IndexCatalog::build(program).total_orders() as u64;
         assert!(
             sel_work.ordered_builds >= selected_orders,
@@ -102,7 +122,11 @@ fn index_selection_acceptance() {
             let (rel, m) = eval_program_seminaive(program, &db, &fixpoint_cfg(paths)).unwrap();
             assert_eq!(m, ref_m, "{what}: metrics diverge under {paths:?}");
             for (pred, r) in &ref_rel {
-                assert_eq!(rel[pred].rows(), r.rows(), "{what}/{pred}: rows diverge vs {paths:?}");
+                assert_eq!(
+                    rel[pred].rows(),
+                    r.rows(),
+                    "{what}/{pred}: rows diverge vs {paths:?}"
+                );
             }
         }
     }
@@ -111,13 +135,25 @@ fn index_selection_acceptance() {
     let (sg, leaf) = same_generation(2, 8);
     let db = Database::from_program(&sg);
     let query = parse_query(&format!("sg({leaf}, Y)?")).unwrap();
-    let reference =
-        evaluate_query(&sg, &db, &query, Method::Magic, &fixpoint_cfg(AccessPaths::ForceScan))
-            .unwrap();
+    let reference = evaluate_query(
+        &sg,
+        &db,
+        &query,
+        Method::Magic,
+        &fixpoint_cfg(AccessPaths::ForceScan),
+    )
+    .unwrap();
     assert!(!reference.tuples.is_empty());
     for paths in [AccessPaths::Selected, AccessPaths::HashOnDemand] {
         let got = evaluate_query(&sg, &db, &query, Method::Magic, &fixpoint_cfg(paths)).unwrap();
-        assert_eq!(got.tuples.rows(), reference.tuples.rows(), "answers diverge under {paths:?}");
-        assert_eq!(got.metrics, reference.metrics, "metrics diverge under {paths:?}");
+        assert_eq!(
+            got.tuples.rows(),
+            reference.tuples.rows(),
+            "answers diverge under {paths:?}"
+        );
+        assert_eq!(
+            got.metrics, reference.metrics,
+            "metrics diverge under {paths:?}"
+        );
     }
 }

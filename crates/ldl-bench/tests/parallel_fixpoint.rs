@@ -13,11 +13,15 @@ use ldl_core::parser::parse_query;
 use ldl_core::Program;
 use ldl_eval::naive::eval_program_naive;
 use ldl_eval::seminaive::eval_program_seminaive;
-use ldl_eval::{evaluate_query, FixpointConfig, Metrics, Method};
+use ldl_eval::{evaluate_query, FixpointConfig, Method, Metrics};
 use ldl_storage::{Database, Relation};
 use std::collections::HashMap;
 
-type Eval = fn(&Program, &Database, &FixpointConfig) -> ldl_core::Result<(HashMap<ldl_core::Pred, Relation>, Metrics)>;
+type Eval = fn(
+    &Program,
+    &Database,
+    &FixpointConfig,
+) -> ldl_core::Result<(HashMap<ldl_core::Pred, Relation>, Metrics)>;
 
 fn assert_thread_invariant(program: &Program, eval: Eval, what: &str) {
     let db = Database::from_program(program);

@@ -35,7 +35,11 @@ pub struct AdornedPred {
 impl AdornedPred {
     /// Builds `pred.adornment`.
     pub fn new(pred: Pred, adornment: Adornment) -> AdornedPred {
-        assert_eq!(pred.arity, adornment.arity(), "adornment arity mismatch for {pred}");
+        assert_eq!(
+            pred.arity,
+            adornment.arity(),
+            "adornment arity mismatch for {pred}"
+        );
         AdornedPred { pred, adornment }
     }
 
@@ -155,7 +159,12 @@ impl SipStrategy for LeftToRight {
 pub struct GreedySip;
 
 impl SipStrategy for GreedySip {
-    fn permutation(&self, _rule_index: usize, rule: &Rule, head_adornment: Adornment) -> Vec<usize> {
+    fn permutation(
+        &self,
+        _rule_index: usize,
+        rule: &Rule,
+        head_adornment: Adornment,
+    ) -> Vec<usize> {
         let mut bound: HashSet<Symbol> = HashSet::new();
         for (i, arg) in rule.head.args.iter().enumerate() {
             if head_adornment.is_bound(i) {
@@ -371,7 +380,11 @@ pub fn adorn_program(
         }
     }
 
-    AdornedProgram { query: start, rules, adorned_preds: marked }
+    AdornedProgram {
+        query: start,
+        rules,
+        adorned_preds: marked,
+    }
 }
 
 impl AdornedProgram {
@@ -436,8 +449,7 @@ mod tests {
             Adornment::parse("bf").unwrap(),
             &LeftToRight,
         );
-        let recursive: Vec<&AdornedRule> =
-            ap.rules.iter().filter(|r| r.body.len() == 3).collect();
+        let recursive: Vec<&AdornedRule> = ap.rules.iter().filter(|r| r.body.len() == 3).collect();
         // Two adorned versions arise: sg.bf and sg.fb.
         assert!(ap.adorned_preds.contains(&AdornedPred::new(
             Pred::new("sg", 2),
@@ -518,7 +530,8 @@ mod tests {
 
     #[test]
     fn builtin_eq_extends_bindings() {
-        let p = parse_program("p(X, Y) <- q(X), Y = X + 1, r(Y).\nq(X) <- b(X).\nr(X) <- c(X).").unwrap();
+        let p = parse_program("p(X, Y) <- q(X), Y = X + 1, r(Y).\nq(X) <- b(X).\nr(X) <- c(X).")
+            .unwrap();
         let ap = adorn_program(&p, Pred::new("p", 2), Adornment::all_free(2), &LeftToRight);
         let r_ad = ap
             .adorned_preds
@@ -540,7 +553,10 @@ mod tests {
 
     #[test]
     fn greedy_sip_schedules_ec_builtins_early() {
-        let p = parse_program("p(X, Z) <- q(X, Y), Z = Y + 1, r(Z).\nq(A,B) <- b1(A,B).\nr(A) <- b2(A).").unwrap();
+        let p = parse_program(
+            "p(X, Z) <- q(X, Y), Z = Y + 1, r(Z).\nq(A,B) <- b1(A,B).\nr(A) <- b2(A).",
+        )
+        .unwrap();
         let perm = GreedySip.permutation(0, &p.rules[0], Adornment::parse("bf").unwrap());
         // q first (bound arg), then the equality, then r.
         assert_eq!(perm, vec![0, 1, 2]);
@@ -583,8 +599,11 @@ mod tests {
         );
         let flat = ap.to_program();
         // Heads renamed sg_bf / sg_fb; base preds up/dn/flat unchanged.
-        let heads: BTreeSet<&str> =
-            flat.rules.iter().map(|r| r.head.pred.name.as_str()).collect();
+        let heads: BTreeSet<&str> = flat
+            .rules
+            .iter()
+            .map(|r| r.head.pred.name.as_str())
+            .collect();
         assert!(heads.contains("sg_bf"));
         assert!(heads.contains("sg_fb"));
         for r in &flat.rules {
@@ -601,7 +620,12 @@ mod tests {
     #[test]
     fn base_query_produces_empty_adorned_program() {
         let p = sg();
-        let ap = adorn_program(&p, Pred::new("up", 2), Adornment::parse("bf").unwrap(), &LeftToRight);
+        let ap = adorn_program(
+            &p,
+            Pred::new("up", 2),
+            Adornment::parse("bf").unwrap(),
+            &LeftToRight,
+        );
         assert!(ap.rules.is_empty());
     }
 
@@ -611,11 +635,13 @@ mod tests {
         let ap = adorn_program(&p, Pred::new("sg", 2), Adornment::all_free(2), &LeftToRight);
         // sg.ff's recursive occurrence: after up(X,X1) binds X,X1 the
         // recursive sg(Y1,X1) is fb.
-        assert!(ap
-            .adorned_preds
-            .contains(&AdornedPred::new(Pred::new("sg", 2), Adornment::parse("ff").unwrap())));
-        assert!(ap
-            .adorned_preds
-            .contains(&AdornedPred::new(Pred::new("sg", 2), Adornment::parse("fb").unwrap())));
+        assert!(ap.adorned_preds.contains(&AdornedPred::new(
+            Pred::new("sg", 2),
+            Adornment::parse("ff").unwrap()
+        )));
+        assert!(ap.adorned_preds.contains(&AdornedPred::new(
+            Pred::new("sg", 2),
+            Adornment::parse("fb").unwrap()
+        )));
     }
 }

@@ -25,14 +25,21 @@ impl Adornment {
 
     /// All-free adornment for a predicate of the given arity.
     pub fn all_free(arity: usize) -> Adornment {
-        assert!(arity <= Self::MAX_ARITY, "arity {arity} exceeds supported maximum");
+        assert!(
+            arity <= Self::MAX_ARITY,
+            "arity {arity} exceeds supported maximum"
+        );
         Adornment { mask: 0, arity }
     }
 
     /// All-bound adornment.
     pub fn all_bound(arity: usize) -> Adornment {
         assert!(arity <= Self::MAX_ARITY);
-        let mask = if arity == 64 { u64::MAX } else { (1u64 << arity) - 1 };
+        let mask = if arity == 64 {
+            u64::MAX
+        } else {
+            (1u64 << arity) - 1
+        };
         Adornment { mask, arity }
     }
 
@@ -45,7 +52,10 @@ impl Adornment {
                 mask |= 1 << i;
             }
         }
-        Adornment { mask, arity: flags.len() }
+        Adornment {
+            mask,
+            arity: flags.len(),
+        }
     }
 
     /// Parses a `"bf"`-style string (`b` = bound, `f` = free).
@@ -61,7 +71,10 @@ impl Adornment {
                 _ => return None,
             }
         }
-        Some(Adornment { mask, arity: s.len() })
+        Some(Adornment {
+            mask,
+            arity: s.len(),
+        })
     }
 
     /// Number of arguments.
@@ -78,7 +91,10 @@ impl Adornment {
     /// Returns a copy with argument `i` marked bound.
     pub fn bind(&self, i: usize) -> Adornment {
         assert!(i < self.arity);
-        Adornment { mask: self.mask | (1 << i), arity: self.arity }
+        Adornment {
+            mask: self.mask | (1 << i),
+            arity: self.arity,
+        }
     }
 
     /// Number of bound arguments.
@@ -109,7 +125,10 @@ impl Adornment {
     /// Iterator over all `2^arity` adornments of a given arity (used by
     /// NR-OPT's per-binding memo table bounds and by tests).
     pub fn enumerate(arity: usize) -> impl Iterator<Item = Adornment> {
-        assert!(arity < 32, "enumerating adornments is only sensible for small arities");
+        assert!(
+            arity < 32,
+            "enumerating adornments is only sensible for small arities"
+        );
         (0..(1u64 << arity)).map(move |mask| Adornment { mask, arity })
     }
 
@@ -190,6 +209,9 @@ mod tests {
 
     #[test]
     fn from_flags_matches_parse() {
-        assert_eq!(Adornment::from_flags(&[true, false]), Adornment::parse("bf").unwrap());
+        assert_eq!(
+            Adornment::from_flags(&[true, false]),
+            Adornment::parse("bf").unwrap()
+        );
     }
 }

@@ -97,8 +97,7 @@ impl DependencyGraph {
         let mut clique_of = vec![None; derived.len()];
         let mut cliques = Vec::new();
         for comp in &sccs {
-            let recursive = comp.len() > 1
-                || edges[comp[0]].contains_key(&comp[0]); // self loop
+            let recursive = comp.len() > 1 || edges[comp[0]].contains_key(&comp[0]); // self loop
             if !recursive {
                 continue;
             }
@@ -119,7 +118,11 @@ impl DependencyGraph {
             for &i in comp {
                 clique_of[i] = Some(cid);
             }
-            cliques.push(Clique { preds, recursive_rules, exit_rules });
+            cliques.push(Clique {
+                preds,
+                recursive_rules,
+                exit_rules,
+            });
         }
 
         // Tarjan emits SCCs in reverse topological order of the
@@ -127,9 +130,19 @@ impl DependencyGraph {
         // reaches. Since our edges point head -> body (user -> used), a
         // finished component has all its dependencies finished first, so
         // the emission order IS the bottom-up order.
-        let topo: Vec<Pred> = sccs.iter().flat_map(|c| c.iter().map(|&i| derived[i])).collect();
+        let topo: Vec<Pred> = sccs
+            .iter()
+            .flat_map(|c| c.iter().map(|&i| derived[i]))
+            .collect();
 
-        DependencyGraph { preds: derived, index, edges, cliques, clique_of, topo }
+        DependencyGraph {
+            preds: derived,
+            index,
+            edges,
+            cliques,
+            clique_of,
+            topo,
+        }
     }
 
     /// The recursive cliques, in bottom-up order.
@@ -211,6 +224,62 @@ impl DependencyGraph {
         }
         Ok(())
     }
+
+    /// A witness for non-stratification, if any: a dependency cycle
+    /// `p0 ⇒ p1 ⇒ … ⇒ pk = p0` whose **first** edge (`p0` uses `p1`) is
+    /// through a negation. Returns `None` exactly when
+    /// [`DependencyGraph::check_stratified`] succeeds.
+    pub fn negative_cycle_witness(&self) -> Option<Vec<Pred>> {
+        for (i, es) in self.edges.iter().enumerate() {
+            for (&j, &negated) in es {
+                if !negated {
+                    continue;
+                }
+                let (Some(ci), Some(cj)) = (self.clique_of[i], self.clique_of[j]) else {
+                    continue;
+                };
+                if ci != cj {
+                    continue;
+                }
+                if i == j {
+                    return Some(vec![self.preds[i], self.preds[i]]);
+                }
+                // BFS from j back to i inside the clique; the SCC
+                // guarantees such a path exists.
+                let mut prev: Vec<Option<usize>> = vec![None; self.preds.len()];
+                let mut seen = vec![false; self.preds.len()];
+                seen[j] = true;
+                let mut queue = std::collections::VecDeque::from([j]);
+                'bfs: while let Some(n) = queue.pop_front() {
+                    for &m in self.edges[n].keys() {
+                        if self.clique_of[m] != Some(ci) || seen[m] {
+                            continue;
+                        }
+                        seen[m] = true;
+                        prev[m] = Some(n);
+                        if m == i {
+                            break 'bfs;
+                        }
+                        queue.push_back(m);
+                    }
+                }
+                debug_assert!(seen[i], "negated edge inside an SCC must close a cycle");
+                let mut back = vec![i];
+                while let Some(p) = prev[*back.last().expect("nonempty")] {
+                    back.push(p);
+                    if p == j {
+                        break;
+                    }
+                }
+                // back = [i, …, j]; the witness starts at i, takes the
+                // negative edge to j, then follows back-reversed to i.
+                let mut cycle = vec![self.preds[i]];
+                cycle.extend(back.iter().rev().map(|&n| self.preds[n]));
+                return Some(cycle);
+            }
+        }
+        None
+    }
 }
 
 /// Iterative Tarjan SCC. Returns components in reverse topological order
@@ -222,7 +291,14 @@ fn tarjan(n: usize, edges: &[BTreeMap<usize, bool>]) -> Vec<Vec<usize>> {
         lowlink: i64,
         on_stack: bool,
     }
-    let mut state = vec![NodeState { index: -1, lowlink: -1, on_stack: false }; n];
+    let mut state = vec![
+        NodeState {
+            index: -1,
+            lowlink: -1,
+            on_stack: false
+        };
+        n
+    ];
     let mut stack: Vec<usize> = Vec::new();
     let mut next_index = 0i64;
     let mut comps: Vec<Vec<usize>> = Vec::new();
@@ -234,7 +310,11 @@ fn tarjan(n: usize, edges: &[BTreeMap<usize, bool>]) -> Vec<Vec<usize>> {
         }
         let mut call_stack: Vec<(usize, Vec<usize>, usize)> = Vec::new();
         let succs: Vec<usize> = edges[root].keys().copied().collect();
-        state[root] = NodeState { index: next_index, lowlink: next_index, on_stack: true };
+        state[root] = NodeState {
+            index: next_index,
+            lowlink: next_index,
+            on_stack: true,
+        };
         next_index += 1;
         stack.push(root);
         call_stack.push((root, succs, 0));
@@ -246,7 +326,11 @@ fn tarjan(n: usize, edges: &[BTreeMap<usize, bool>]) -> Vec<Vec<usize>> {
                 k += 1;
                 if state[w].index == -1 {
                     // Descend into w.
-                    state[w] = NodeState { index: next_index, lowlink: next_index, on_stack: true };
+                    state[w] = NodeState {
+                        index: next_index,
+                        lowlink: next_index,
+                        on_stack: true,
+                    };
                     next_index += 1;
                     stack.push(w);
                     let wsuccs: Vec<usize> = edges[w].keys().copied().collect();
@@ -420,6 +504,32 @@ mod tests {
         .unwrap();
         let g = DependencyGraph::build(&p);
         assert!(g.check_stratified().is_err());
+    }
+
+    #[test]
+    fn negative_cycle_witness_reported() {
+        // Direct self-negation: the witness is the one-step cycle.
+        let p = parse_program("win(X) <- move(X, Y), ~win(Y).").unwrap();
+        let g = DependencyGraph::build(&p);
+        let w = g.negative_cycle_witness().unwrap();
+        assert_eq!(w, vec![Pred::new("win", 1), Pred::new("win", 1)]);
+
+        // Negation through a mutual cycle: p uses ~q only via q's
+        // definition in terms of p.
+        let p2 = parse_program("p(X) <- q(X).\nq(X) <- a(X), ~p(X).").unwrap();
+        let g2 = DependencyGraph::build(&p2);
+        let w2 = g2.negative_cycle_witness().unwrap();
+        assert_eq!(w2.first(), w2.last());
+        assert!(w2.contains(&Pred::new("p", 1)) && w2.contains(&Pred::new("q", 1)));
+
+        // Stratified programs have no witness.
+        let ok = parse_program(
+            "reach(X) <- source(X).\nreach(X) <- reach(Y), edge(Y, X).\nunreachable(X) <- node(X), ~reach(X).",
+        )
+        .unwrap();
+        assert!(DependencyGraph::build(&ok)
+            .negative_cycle_witness()
+            .is_none());
     }
 
     #[test]

@@ -49,8 +49,14 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        let e = LdlError::Parse { line: 3, col: 7, msg: "expected ')'".into() };
+        let e = LdlError::Parse {
+            line: 3,
+            col: 7,
+            msg: "expected ')'".into(),
+        };
         assert_eq!(e.to_string(), "parse error at 3:7: expected ')'");
-        assert!(LdlError::Unsafe("no safe ordering".into()).to_string().contains("unsafe"));
+        assert!(LdlError::Unsafe("no safe ordering".into())
+            .to_string()
+            .contains("unsafe"));
     }
 }

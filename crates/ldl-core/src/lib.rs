@@ -37,6 +37,8 @@ pub mod literal;
 pub mod parser;
 pub mod program;
 pub mod rule;
+pub mod safety;
+pub mod span;
 pub mod symbol;
 pub mod term;
 pub mod unfold;
@@ -47,5 +49,6 @@ pub use error::{LdlError, Result};
 pub use literal::{Atom, BuiltinPred, CmpOp, Literal, Pred};
 pub use program::{Program, Query};
 pub use rule::Rule;
+pub use span::Span;
 pub use symbol::Symbol;
 pub use term::{Term, Value};

@@ -6,9 +6,11 @@
 //! which are formally infinite relations and therefore the primary source
 //! of safety problems.
 
+use crate::span::Span;
 use crate::symbol::Symbol;
 use crate::term::Term;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// A predicate identity: name plus arity. `p/2` and `p/3` are distinct.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
@@ -22,7 +24,10 @@ pub struct Pred {
 impl Pred {
     /// Predicate from a name string and arity.
     pub fn new(name: &str, arity: usize) -> Pred {
-        Pred { name: Symbol::intern(name), arity }
+        Pred {
+            name: Symbol::intern(name),
+            arity,
+        }
     }
 }
 
@@ -37,7 +42,7 @@ impl fmt::Display for Pred {
 /// Negation is parsed and tracked for stratification analysis; the
 /// optimizer core (like the paper, which restricts itself to pure Horn
 /// clauses) only accepts stratified use of it.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Debug)]
 pub struct Atom {
     /// The predicate this atom refers to.
     pub pred: Pred,
@@ -45,17 +50,54 @@ pub struct Atom {
     pub args: Vec<Term>,
     /// True for a negated body literal `~p(...)`.
     pub negated: bool,
+    /// Source location (parser-built atoms only; [`Span::NONE`]
+    /// otherwise). Excluded from equality and hashing.
+    pub span: Span,
+}
+
+/// Equality ignores [`Atom::span`]: a rewritten or programmatic atom
+/// compares equal to its parsed twin.
+impl PartialEq for Atom {
+    fn eq(&self, other: &Atom) -> bool {
+        self.pred == other.pred && self.args == other.args && self.negated == other.negated
+    }
+}
+
+impl Eq for Atom {}
+
+impl Hash for Atom {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.pred.hash(state);
+        self.args.hash(state);
+        self.negated.hash(state);
+    }
 }
 
 impl Atom {
     /// Positive atom `name(args...)`.
     pub fn new(name: &str, args: Vec<Term>) -> Atom {
-        Atom { pred: Pred::new(name, args.len()), args, negated: false }
+        Atom {
+            pred: Pred::new(name, args.len()),
+            args,
+            negated: false,
+            span: Span::NONE,
+        }
     }
 
     /// Negated atom `~name(args...)`.
     pub fn negated(name: &str, args: Vec<Term>) -> Atom {
-        Atom { pred: Pred::new(name, args.len()), args, negated: true }
+        Atom {
+            pred: Pred::new(name, args.len()),
+            args,
+            negated: true,
+            span: Span::NONE,
+        }
+    }
+
+    /// The same atom relocated to `span`.
+    pub fn at(mut self, span: Span) -> Atom {
+        self.span = span;
+        self
     }
 
     /// All variables of the atom in first-occurrence order.
@@ -78,13 +120,22 @@ impl Atom {
             pred: self.pred,
             args: self.args.iter().map(|a| a.map_vars(f)).collect(),
             negated: self.negated,
+            span: self.span,
         }
     }
 
     /// Same atom with a different predicate name (used by the adornment and
     /// magic-set rewritings, which rename `p` to `p_bf`, `magic_p_bf`, ...).
     pub fn renamed(&self, name: Symbol) -> Atom {
-        Atom { pred: Pred { name, arity: self.pred.arity }, args: self.args.clone(), negated: self.negated }
+        Atom {
+            pred: Pred {
+                name,
+                arity: self.pred.arity,
+            },
+            args: self.args.clone(),
+            negated: self.negated,
+            span: self.span,
+        }
     }
 }
 
@@ -157,7 +208,7 @@ impl fmt::Display for CmpOp {
 ///
 /// Arithmetic expressions appear as compound terms whose functors are
 /// `+ - * / mod`; e.g. `Z = X + Y` is `Builtin { op: Eq, lhs: Z, rhs: +(X, Y) }`.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Debug)]
 pub struct BuiltinPred {
     /// The comparison operator.
     pub op: CmpOp,
@@ -165,12 +216,43 @@ pub struct BuiltinPred {
     pub lhs: Term,
     /// Right operand.
     pub rhs: Term,
+    /// Source location (parser-built literals only; [`Span::NONE`]
+    /// otherwise). Excluded from equality and hashing.
+    pub span: Span,
+}
+
+/// Equality ignores [`BuiltinPred::span`], like [`Atom`]'s.
+impl PartialEq for BuiltinPred {
+    fn eq(&self, other: &BuiltinPred) -> bool {
+        self.op == other.op && self.lhs == other.lhs && self.rhs == other.rhs
+    }
+}
+
+impl Eq for BuiltinPred {}
+
+impl Hash for BuiltinPred {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.op.hash(state);
+        self.lhs.hash(state);
+        self.rhs.hash(state);
+    }
 }
 
 impl BuiltinPred {
     /// Builds `lhs op rhs`.
     pub fn new(op: CmpOp, lhs: Term, rhs: Term) -> BuiltinPred {
-        BuiltinPred { op, lhs, rhs }
+        BuiltinPred {
+            op,
+            lhs,
+            rhs,
+            span: Span::NONE,
+        }
+    }
+
+    /// The same literal relocated to `span`.
+    pub fn at(mut self, span: Span) -> BuiltinPred {
+        self.span = span;
+        self
     }
 
     /// All variables in first-occurrence order.
@@ -183,7 +265,12 @@ impl BuiltinPred {
 
     /// Rebuilds mapping every variable through `f`.
     pub fn map_vars(&self, f: &mut impl FnMut(Symbol) -> Term) -> BuiltinPred {
-        BuiltinPred { op: self.op, lhs: self.lhs.map_vars(f), rhs: self.rhs.map_vars(f) }
+        BuiltinPred {
+            op: self.op,
+            lhs: self.lhs.map_vars(f),
+            rhs: self.rhs.map_vars(f),
+            span: self.span,
+        }
     }
 
     /// Effective computability (§8.1): given the set of currently bound
@@ -263,6 +350,15 @@ impl Literal {
     /// True if this is an evaluable predicate.
     pub fn is_builtin(&self) -> bool {
         matches!(self, Literal::Builtin(_))
+    }
+
+    /// The literal's source span ([`Span::NONE`] when built
+    /// programmatically).
+    pub fn span(&self) -> Span {
+        match self {
+            Literal::Atom(a) => a.span,
+            Literal::Builtin(b) => b.span,
+        }
     }
 
     /// Rebuilds mapping every variable through `f`.

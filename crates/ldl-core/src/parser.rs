@@ -22,6 +22,7 @@ use crate::error::{LdlError, Result};
 use crate::literal::{Atom, BuiltinPred, CmpOp, Literal};
 use crate::program::{Program, Query};
 use crate::rule::Rule;
+use crate::span::Span;
 use crate::term::Term;
 
 /// A parsed compilation unit: the rule base plus any queries in the text.
@@ -49,12 +50,7 @@ pub fn parse_program(text: &str) -> Result<Program> {
 pub fn parse_query(text: &str) -> Result<Query> {
     let mut p = Parser::new(text)?;
     let lit = p.literal()?;
-    let atom = match lit {
-        Literal::Atom(a) if !a.negated => a,
-        other => {
-            return Err(p.err(format!("query goal must be a positive atom, got {other}")))
-        }
-    };
+    let atom = p.query_goal(lit)?;
     if p.peek_is(&Tok::Question) {
         p.bump();
     }
@@ -100,18 +96,32 @@ enum Tok {
     Eof,
 }
 
+/// One lexed token with its source extent: `[start, end)` in 1-based
+/// line/column coordinates.
+#[derive(Clone, Debug)]
+struct LexTok {
+    tok: Tok,
+    line: usize,
+    col: usize,
+    end_line: usize,
+    end_col: usize,
+}
+
 struct Parser {
-    toks: Vec<(Tok, usize, usize)>, // token, line, col
+    toks: Vec<LexTok>,
     pos: usize,
 }
 
 impl Parser {
     fn new(text: &str) -> Result<Parser> {
-        Ok(Parser { toks: lex(text)?, pos: 0 })
+        Ok(Parser {
+            toks: lex(text)?,
+            pos: 0,
+        })
     }
 
     fn peek(&self) -> &Tok {
-        &self.toks[self.pos].0
+        &self.toks[self.pos].tok
     }
 
     fn peek_is(&self, t: &Tok) -> bool {
@@ -119,7 +129,7 @@ impl Parser {
     }
 
     fn bump(&mut self) -> Tok {
-        let t = self.toks[self.pos].0.clone();
+        let t = self.toks[self.pos].tok.clone();
         if self.pos + 1 < self.toks.len() {
             self.pos += 1;
         }
@@ -127,13 +137,59 @@ impl Parser {
     }
 
     fn here(&self) -> (usize, usize) {
-        let (_, l, c) = self.toks[self.pos];
-        (l, c)
+        let t = &self.toks[self.pos];
+        (t.line, t.col)
+    }
+
+    /// Start position of the *next* token, as a `Span` anchor.
+    fn start(&self) -> (usize, usize) {
+        self.here()
+    }
+
+    /// End position of the most recently consumed token (falls back to
+    /// the current token's start at the very beginning of the input).
+    fn prev_end(&self) -> (usize, usize) {
+        if self.pos == 0 {
+            return self.here();
+        }
+        let t = &self.toks[self.pos - 1];
+        (t.end_line, t.end_col)
+    }
+
+    /// The span from a recorded `start()` to the end of the last
+    /// consumed token.
+    fn span_from(&self, start: (usize, usize)) -> Span {
+        let (el, ec) = self.prev_end();
+        Span::range(start.0 as u32, start.1 as u32, el as u32, ec as u32)
     }
 
     fn err(&self, msg: String) -> LdlError {
         let (line, col) = self.here();
         LdlError::Parse { line, col, msg }
+    }
+
+    fn err_at(&self, span: Span, msg: String) -> LdlError {
+        if span.is_none() {
+            return self.err(msg);
+        }
+        LdlError::Parse {
+            line: span.line as usize,
+            col: span.col as usize,
+            msg,
+        }
+    }
+
+    /// Shared goal validation for `goal?` statements and
+    /// [`parse_query`]: the goal must be a positive atom. Reports the
+    /// span of the offending goal, not the cursor position.
+    fn query_goal(&self, lit: Literal) -> Result<Atom> {
+        match lit {
+            Literal::Atom(a) if !a.negated => Ok(a),
+            other => Err(self.err_at(
+                other.span(),
+                format!("query goal must be a positive atom, got {other}"),
+            )),
+        }
     }
 
     fn expect(&mut self, t: Tok, what: &str) -> Result<()> {
@@ -163,22 +219,20 @@ impl Parser {
     }
 
     fn statement(&mut self, src: &mut Source) -> Result<()> {
+        let start = self.start();
         let first = self.literal()?;
         match self.peek() {
             Tok::Dot => {
                 self.bump();
                 let head = self.head_atom(first)?;
-                src.program.push(Rule::fact(head));
+                let span = self.span_from(start);
+                src.program.push(Rule::fact(head).at(span));
                 Ok(())
             }
             Tok::Question => {
                 self.bump();
-                match first {
-                    Literal::Atom(a) if !a.negated => src.queries.push(Query::new(a)),
-                    other => {
-                        return Err(self.err(format!("query goal must be a positive atom: {other}")))
-                    }
-                }
+                let goal = self.query_goal(first)?;
+                src.queries.push(Query::new(goal));
                 Ok(())
             }
             Tok::Arrow => {
@@ -190,7 +244,8 @@ impl Parser {
                     body.push(self.literal()?);
                 }
                 self.expect(Tok::Dot, "'.'")?;
-                src.program.push(Rule::new(head, body));
+                let span = self.span_from(start);
+                src.program.push(Rule::new(head, body).at(span));
                 Ok(())
             }
             other => Err(self.err(format!("expected '.', '?' or '<-', found {other:?}"))),
@@ -200,17 +255,22 @@ impl Parser {
     fn head_atom(&self, lit: Literal) -> Result<Atom> {
         match lit {
             Literal::Atom(a) if !a.negated => Ok(a),
-            other => Err(self.err(format!("rule head must be a positive atom, got {other}"))),
+            other => Err(self.err_at(
+                other.span(),
+                format!("rule head must be a positive atom, got {other}"),
+            )),
         }
     }
 
     /// literal := '~' atom | expr (cmpop expr)?
     fn literal(&mut self) -> Result<Literal> {
+        let start = self.start();
         if self.peek_is(&Tok::Tilde) {
             self.bump();
             let t = self.expr()?;
             let mut atom = self.term_to_atom(t)?;
             atom.negated = true;
+            atom.span = self.span_from(start);
             return Ok(Literal::Atom(atom));
         }
         let lhs = self.expr()?;
@@ -226,19 +286,30 @@ impl Parser {
         if let Some(op) = op {
             self.bump();
             let rhs = self.expr()?;
-            return Ok(Literal::Builtin(BuiltinPred::new(op, lhs, rhs)));
+            let b = BuiltinPred::new(op, lhs, rhs).at(self.span_from(start));
+            return Ok(Literal::Builtin(b));
         }
-        Ok(Literal::Atom(self.term_to_atom(lhs)?))
+        let atom = self.term_to_atom(lhs)?.at(self.span_from(start));
+        Ok(Literal::Atom(atom))
     }
 
     fn term_to_atom(&self, t: Term) -> Result<Atom> {
         match t {
-            Term::Compound(name, args) => {
-                Ok(Atom { pred: crate::literal::Pred { name, arity: args.len() }, args, negated: false })
-            }
-            Term::Const(crate::term::Value::Sym(name)) => {
-                Ok(Atom { pred: crate::literal::Pred { name, arity: 0 }, args: vec![], negated: false })
-            }
+            Term::Compound(name, args) => Ok(Atom {
+                pred: crate::literal::Pred {
+                    name,
+                    arity: args.len(),
+                },
+                args,
+                negated: false,
+                span: Span::NONE,
+            }),
+            Term::Const(crate::term::Value::Sym(name)) => Ok(Atom {
+                pred: crate::literal::Pred { name, arity: 0 },
+                args: vec![],
+                negated: false,
+                span: Span::NONE,
+            }),
             other => Err(self.err(format!("expected an atom, got term {other}"))),
         }
     }
@@ -282,7 +353,9 @@ impl Parser {
             Tok::Int(i) => Ok(Term::int(i)),
             Tok::Minus => match self.bump() {
                 Tok::Int(i) => Ok(Term::int(-i)),
-                other => Err(self.err(format!("expected integer after unary '-', found {other:?}"))),
+                other => {
+                    Err(self.err(format!("expected integer after unary '-', found {other:?}")))
+                }
             },
             Tok::Var(name) => Ok(Term::var(&name)),
             Tok::Ident(name) => {
@@ -358,15 +431,22 @@ impl Parser {
     }
 }
 
-fn lex(text: &str) -> Result<Vec<(Tok, usize, usize)>> {
-    let mut toks = Vec::new();
+fn lex(text: &str) -> Result<Vec<LexTok>> {
+    let mut toks: Vec<LexTok> = Vec::new();
     let chars: Vec<char> = text.chars().collect();
     let mut i = 0;
     let mut line = 1;
     let mut col = 1;
     macro_rules! push {
         ($t:expr, $l:expr, $c:expr) => {
-            toks.push(($t, $l, $c))
+            // End positions are patched after the match arm advances.
+            toks.push(LexTok {
+                tok: $t,
+                line: $l,
+                col: $c,
+                end_line: $l,
+                end_col: $c,
+            })
         };
     }
     fn advance_n(chars: &[char], i: &mut usize, line: &mut usize, col: &mut usize, n: usize) {
@@ -383,6 +463,7 @@ fn lex(text: &str) -> Result<Vec<(Tok, usize, usize)>> {
     while i < chars.len() {
         let c = chars[i];
         let (l0, c0) = (line, col);
+        let len_before = toks.len();
         let advance = |i: &mut usize, line: &mut usize, col: &mut usize, n: usize| {
             advance_n(&chars, i, line, col, n)
         };
@@ -462,7 +543,11 @@ fn lex(text: &str) -> Result<Vec<(Tok, usize, usize)>> {
                     push!(Tok::Ne, l0, c0);
                     advance(&mut i, &mut line, &mut col, 2);
                 } else {
-                    return Err(LdlError::Parse { line: l0, col: c0, msg: "lone '!'".into() });
+                    return Err(LdlError::Parse {
+                        line: l0,
+                        col: c0,
+                        msg: "lone '!'".into(),
+                    });
                 }
             }
             '<' => {
@@ -491,7 +576,11 @@ fn lex(text: &str) -> Result<Vec<(Tok, usize, usize)>> {
                     push!(Tok::Arrow, l0, c0);
                     advance(&mut i, &mut line, &mut col, 2);
                 } else {
-                    return Err(LdlError::Parse { line: l0, col: c0, msg: "lone ':'".into() });
+                    return Err(LdlError::Parse {
+                        line: l0,
+                        col: c0,
+                        msg: "lone ':'".into(),
+                    });
                 }
             }
             d if d.is_ascii_digit() => {
@@ -506,7 +595,10 @@ fn lex(text: &str) -> Result<Vec<(Tok, usize, usize)>> {
                     msg: format!("integer literal out of range: {s}"),
                 })?;
                 push!(Tok::Int(v), l0, c0);
-                { let n = j - i; advance(&mut i, &mut line, &mut col, n); }
+                {
+                    let n = j - i;
+                    advance(&mut i, &mut line, &mut col, n);
+                }
             }
             a if a.is_ascii_alphabetic() || a == '_' => {
                 let mut j = i;
@@ -520,7 +612,10 @@ fn lex(text: &str) -> Result<Vec<(Tok, usize, usize)>> {
                     Tok::Ident(s)
                 };
                 push!(tok, l0, c0);
-                { let n = j - i; advance(&mut i, &mut line, &mut col, n); }
+                {
+                    let n = j - i;
+                    advance(&mut i, &mut line, &mut col, n);
+                }
             }
             other => {
                 return Err(LdlError::Parse {
@@ -530,8 +625,21 @@ fn lex(text: &str) -> Result<Vec<(Tok, usize, usize)>> {
                 })
             }
         }
+        // Every arm that pushed a token also advanced past it, so the
+        // cursor now sits just after the token: that is its end.
+        if toks.len() > len_before {
+            let t = toks.last_mut().expect("token just pushed");
+            t.end_line = line;
+            t.end_col = col;
+        }
     }
-    toks.push((Tok::Eof, line, col));
+    toks.push(LexTok {
+        tok: Tok::Eof,
+        line,
+        col,
+        end_line: line,
+        end_col: col,
+    });
     Ok(toks)
 }
 
@@ -659,10 +767,7 @@ mod tests {
     #[test]
     fn compound_args_parse() {
         let p = parse_program("part(bike, wheel(front, spokes(32))).").unwrap();
-        assert_eq!(
-            p.facts[0].args[1].to_string(),
-            "wheel(front, spokes(32))"
-        );
+        assert_eq!(p.facts[0].args[1].to_string(), "wheel(front, spokes(32))");
     }
 
     #[test]

@@ -230,7 +230,10 @@ mod tests {
         let mut p = Program::new();
         p.push(Rule::new(
             Atom::new("sg", vec![Term::var("X"), Term::var("Y")]),
-            vec![Literal::Atom(Atom::new("flat", vec![Term::var("X"), Term::var("Y")]))],
+            vec![Literal::Atom(Atom::new(
+                "flat",
+                vec![Term::var("X"), Term::var("Y")],
+            ))],
         ));
         p.push(Rule::new(
             Atom::new("sg", vec![Term::var("X"), Term::var("Y")]),
@@ -240,7 +243,10 @@ mod tests {
                 Literal::Atom(Atom::new("dn", vec![Term::var("Y1"), Term::var("Y")])),
             ],
         ));
-        p.push(Rule::fact(Atom::new("up", vec![Term::int(1), Term::int(2)])));
+        p.push(Rule::fact(Atom::new(
+            "up",
+            vec![Term::int(1), Term::int(2)],
+        )));
         p
     }
 

@@ -1,6 +1,7 @@
 //! Rules.
 
 use crate::literal::{Atom, Literal};
+use crate::span::Span;
 use crate::symbol::Symbol;
 use std::fmt;
 
@@ -8,23 +9,50 @@ use std::fmt;
 ///
 /// A rule with an empty body and a ground head is a *fact*. Rules are
 /// identified positionally within their [`crate::program::Program`].
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, Debug)]
 pub struct Rule {
     /// The head atom (always positive).
     pub head: Atom,
     /// The conjunctive body, in source order.
     pub body: Vec<Literal>,
+    /// Source span of the whole clause (head through final `.`);
+    /// [`Span::NONE`] for programmatic rules. Excluded from equality.
+    pub span: Span,
 }
+
+/// Equality ignores [`Rule::span`] (and the spans inside head/body, see
+/// [`Atom`]): rewritten programs compare equal to span-free ones.
+impl PartialEq for Rule {
+    fn eq(&self, other: &Rule) -> bool {
+        self.head == other.head && self.body == other.body
+    }
+}
+
+impl Eq for Rule {}
 
 impl Rule {
     /// Builds a rule.
     pub fn new(head: Atom, body: Vec<Literal>) -> Rule {
-        Rule { head, body }
+        Rule {
+            head,
+            body,
+            span: Span::NONE,
+        }
     }
 
     /// Builds a fact (empty body).
     pub fn fact(head: Atom) -> Rule {
-        Rule { head, body: Vec::new() }
+        Rule {
+            head,
+            body: Vec::new(),
+            span: Span::NONE,
+        }
+    }
+
+    /// The same rule relocated to `span`.
+    pub fn at(mut self, span: Span) -> Rule {
+        self.span = span;
+        self
     }
 
     /// True if the rule is a ground fact.
@@ -65,15 +93,14 @@ impl Rule {
         Rule {
             head: self.head.map_vars(f),
             body: self.body.iter().map(|l| l.map_vars(f)).collect(),
+            span: self.span,
         }
     }
 
     /// Renames every variable with the suffix `_{n}` — standardization
     /// apart, so two rule instances never share variables.
     pub fn standardized(&self, n: usize) -> Rule {
-        self.map_vars(&mut |v| {
-            crate::term::Term::Var(Symbol::intern(&format!("{v}#{n}")))
-        })
+        self.map_vars(&mut |v| crate::term::Term::Var(Symbol::intern(&format!("{v}#{n}"))))
     }
 
     /// The positive derived/base atoms of the body, in order.
@@ -127,7 +154,10 @@ mod tests {
                 Literal::Atom(Atom::new("dn", vec![Term::var("Y1"), Term::var("Y")])),
             ],
         );
-        assert_eq!(r.to_string(), "sg(X, Y) <- up(X, X1), sg(Y1, X1), dn(Y1, Y).");
+        assert_eq!(
+            r.to_string(),
+            "sg(X, Y) <- up(X, X1), sg(Y1, X1), dn(Y1, Y)."
+        );
     }
 
     #[test]
@@ -158,7 +188,10 @@ mod tests {
     fn rule_vars_head_first() {
         let r = Rule::new(
             Atom::new("p", vec![Term::var("A")]),
-            vec![Literal::Atom(Atom::new("q", vec![Term::var("B"), Term::var("A")]))],
+            vec![Literal::Atom(Atom::new(
+                "q",
+                vec![Term::var("B"), Term::var("A")],
+            ))],
         );
         let names: Vec<&str> = r.vars().iter().map(|s| s.as_str()).collect();
         assert_eq!(names, vec!["A", "B"]);

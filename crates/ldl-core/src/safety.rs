@@ -22,9 +22,9 @@
 //! unprovable programs exist (its §8.3 example is reproduced in this
 //! module's tests).
 
-use ldl_core::binding::Adornment;
-use ldl_core::depgraph::Clique;
-use ldl_core::{Literal, Pred, Program, Rule, Symbol, Term};
+use crate::binding::Adornment;
+use crate::depgraph::Clique;
+use crate::{Literal, Pred, Program, Rule, Symbol, Term};
 use std::collections::HashSet;
 use std::fmt;
 
@@ -84,7 +84,9 @@ pub fn check_rule_order(
             }
             Literal::Atom(a) if a.negated => {
                 if !a.vars().iter().all(|v| bound.contains(v)) {
-                    return Err(UnsafeReason::UnboundNegation(format!("~{a} in rule {rule}")));
+                    return Err(UnsafeReason::UnboundNegation(format!(
+                        "~{a} in rule {rule}"
+                    )));
                 }
             }
             Literal::Atom(a) => {
@@ -188,9 +190,7 @@ pub fn is_datalog_finite(program: &Program, clique: &Clique) -> bool {
         // comparison does not).
         for lit in &rule.body {
             if let Literal::Builtin(b) = lit {
-                if b.op == ldl_core::CmpOp::Eq
-                    && (contains_arith(&b.lhs) || contains_arith(&b.rhs))
-                {
+                if b.op == crate::CmpOp::Eq && (contains_arith(&b.lhs) || contains_arith(&b.rhs)) {
                     return false;
                 }
             }
@@ -209,8 +209,7 @@ fn creates_structure(t: &Term) -> bool {
 fn contains_arith(t: &Term) -> bool {
     match t {
         Term::Compound(f, args) => {
-            matches!(f.as_str(), "+" | "-" | "*" | "/" | "mod")
-                || args.iter().any(contains_arith)
+            matches!(f.as_str(), "+" | "-" | "*" | "/" | "mod") || args.iter().any(contains_arith)
         }
         _ => false,
     }
@@ -271,9 +270,7 @@ pub fn is_base_driven(program: &Program, clique: &Clique) -> bool {
             .filter(|a| !a.negated && clique.preds.contains(&a.pred))
             .collect();
         rule.body_atoms()
-            .filter(|a| {
-                !a.negated && !clique.preds.contains(&a.pred) && !derived.contains(&a.pred)
-            })
+            .filter(|a| !a.negated && !clique.preds.contains(&a.pred) && !derived.contains(&a.pred))
             .any(|driver| {
                 let dvars = driver.vars();
                 clique_lits
@@ -325,8 +322,8 @@ pub fn clique_terminates(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ldl_core::depgraph::DependencyGraph;
-    use ldl_core::parser::parse_program;
+    use crate::depgraph::DependencyGraph;
+    use crate::parser::parse_program;
 
     fn ad(s: &str) -> Adornment {
         Adornment::parse(s).unwrap()
@@ -406,18 +403,14 @@ mod tests {
 
     #[test]
     fn datalog_clique_is_finite() {
-        let (p, c) = clique_of(
-            "tc(X, Y) <- e(X, Y).\ntc(X, Y) <- tc(X, Z), e(Z, Y).",
-        );
+        let (p, c) = clique_of("tc(X, Y) <- e(X, Y).\ntc(X, Y) <- tc(X, Z), e(Z, Y).");
         assert!(is_datalog_finite(&p, &c));
         assert!(clique_terminates(&p, &c, ad("ff"), false, false).is_ok());
     }
 
     #[test]
     fn arithmetic_recursion_is_not_datalog_finite() {
-        let (p, c) = clique_of(
-            "cnt(X) <- zero(X).\ncnt(Y) <- cnt(X), Y = X + 1.",
-        );
+        let (p, c) = clique_of("cnt(X) <- zero(X).\ncnt(Y) <- cnt(X), Y = X + 1.");
         assert!(!is_datalog_finite(&p, &c));
         assert!(clique_terminates(&p, &c, ad("f"), true, true).is_err());
     }
@@ -430,9 +423,7 @@ mod tests {
         // Mutual clique of len/len2 — multi-pred: sufficient condition
         // declines. Use the direct version instead:
         let _ = (p, c);
-        let (p2, c2) = clique_of(
-            "len([], 0).\nlen([H | T], N) <- len(T, M), N = M + 1.",
-        );
+        let (p2, c2) = clique_of("len([], 0).\nlen([H | T], N) <- len(T, M), N = M + 1.");
         assert_eq!(decreasing_argument(&p2, &c2), Some(0));
         assert!(clique_terminates(&p2, &c2, ad("bf"), true, false).is_ok());
         // Without the bound list argument the clique is unsafe.
@@ -444,7 +435,7 @@ mod tests {
 
     #[test]
     fn strict_subterm_checks() {
-        let list = ldl_core::parser::parse_term("[H | T]").unwrap();
+        let list = crate::parser::parse_term("[H | T]").unwrap();
         let t = Term::var("T");
         assert!(is_strict_subterm(&t, &list));
         assert!(!is_strict_subterm(&list, &list));

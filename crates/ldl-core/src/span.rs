@@ -1,0 +1,135 @@
+//! Source spans.
+//!
+//! A [`Span`] records where a syntactic element (rule, atom, builtin)
+//! came from in the concrete source text, as 1-based line/column
+//! half-open-in-columns positions. The lexer already tracks line/col per
+//! token; the parser threads those positions into every [`crate::Rule`]
+//! and [`crate::Literal`] it builds, so downstream analyses (the
+//! `ldl-analysis` crate, error reporting) can point at the offending
+//! source instead of describing it.
+//!
+//! Programs built programmatically (rewritings, tests, the API) carry
+//! [`Span::NONE`]; spans are deliberately **excluded** from equality and
+//! hashing of the carrying types, so a rewritten rule still compares
+//! equal to its span-free twin and dedup sets behave as before.
+
+use std::fmt;
+
+/// A region of source text: `[start, end)` in 1-based lines/columns.
+///
+/// The all-zero value ([`Span::NONE`]) means "no source location" and is
+/// used by every programmatic constructor.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Debug)]
+pub struct Span {
+    /// 1-based line of the first character (0 = unknown).
+    pub line: u32,
+    /// 1-based column of the first character (0 = unknown).
+    pub col: u32,
+    /// 1-based line of the position just past the element.
+    pub end_line: u32,
+    /// 1-based column of the position just past the element.
+    pub end_col: u32,
+}
+
+impl Span {
+    /// The absent span (all zeros).
+    pub const NONE: Span = Span {
+        line: 0,
+        col: 0,
+        end_line: 0,
+        end_col: 0,
+    };
+
+    /// A span covering a single point (zero width) at `line:col`.
+    pub fn point(line: u32, col: u32) -> Span {
+        Span {
+            line,
+            col,
+            end_line: line,
+            end_col: col,
+        }
+    }
+
+    /// A span from a start position to an end position.
+    pub fn range(line: u32, col: u32, end_line: u32, end_col: u32) -> Span {
+        Span {
+            line,
+            col,
+            end_line,
+            end_col,
+        }
+    }
+
+    /// True for [`Span::NONE`] — no location information.
+    pub fn is_none(&self) -> bool {
+        self.line == 0
+    }
+
+    /// The smallest span covering both `self` and `other`; `NONE`
+    /// operands are ignored.
+    pub fn to(&self, other: Span) -> Span {
+        if self.is_none() {
+            return other;
+        }
+        if other.is_none() {
+            return *self;
+        }
+        let (line, col) = if (self.line, self.col) <= (other.line, other.col) {
+            (self.line, self.col)
+        } else {
+            (other.line, other.col)
+        };
+        let (end_line, end_col) =
+            if (self.end_line, self.end_col) >= (other.end_line, other.end_col) {
+                (self.end_line, self.end_col)
+            } else {
+                (other.end_line, other.end_col)
+            };
+        Span {
+            line,
+            col,
+            end_line,
+            end_col,
+        }
+    }
+}
+
+/// `Display` writes `line:col` (or `?:?` for `NONE`) — the head position
+/// only, which is what diagnostics print next to the file name.
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_none() {
+            write!(f, "?:?")
+        } else {
+            write!(f, "{}:{}", self.line, self.col)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_default_and_detected() {
+        assert_eq!(Span::default(), Span::NONE);
+        assert!(Span::NONE.is_none());
+        assert!(!Span::point(1, 1).is_none());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Span::NONE.to_string(), "?:?");
+        assert_eq!(Span::range(3, 7, 3, 12).to_string(), "3:7");
+    }
+
+    #[test]
+    fn join_covers_both() {
+        let a = Span::range(1, 5, 1, 9);
+        let b = Span::range(2, 1, 2, 4);
+        assert_eq!(a.to(b), Span::range(1, 5, 2, 4));
+        assert_eq!(b.to(a), Span::range(1, 5, 2, 4));
+        assert_eq!(a.to(Span::NONE), a);
+        assert_eq!(Span::NONE.to(b), b);
+    }
+}

@@ -42,7 +42,10 @@ struct Interner {
 
 impl Interner {
     fn new() -> Self {
-        Interner { map: HashMap::new(), strings: Vec::new() }
+        Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        }
     }
 
     fn intern(&mut self, s: &str) -> u32 {

@@ -211,9 +211,7 @@ impl Term {
     pub fn depth(&self) -> usize {
         match self {
             Term::Var(_) | Term::Const(_) => 1,
-            Term::Compound(_, args) => {
-                1 + args.iter().map(Term::depth).max().unwrap_or(0)
-            }
+            Term::Compound(_, args) => 1 + args.iter().map(Term::depth).max().unwrap_or(0),
         }
     }
 
@@ -319,7 +317,10 @@ mod tests {
     fn vars_in_first_occurrence_order() {
         let t = Term::compound(
             "f",
-            vec![Term::var("Y"), Term::compound("g", vec![Term::var("X"), Term::var("Y")])],
+            vec![
+                Term::var("Y"),
+                Term::compound("g", vec![Term::var("X"), Term::var("Y")]),
+            ],
         );
         let names: Vec<&str> = t.vars().iter().map(|s| s.as_str()).collect();
         assert_eq!(names, vec!["Y", "X"]);
@@ -351,7 +352,10 @@ mod tests {
 
     #[test]
     fn size_and_depth() {
-        let t = Term::compound("f", vec![Term::compound("g", vec![Term::int(1)]), Term::var("X")]);
+        let t = Term::compound(
+            "f",
+            vec![Term::compound("g", vec![Term::int(1)]), Term::var("X")],
+        );
         assert_eq!(t.size(), 4);
         assert_eq!(t.depth(), 3);
         assert_eq!(Term::int(7).size(), 1);

@@ -27,14 +27,18 @@ fn apply_literal(s: &Subst, lit: &Literal) -> Literal {
             op: b.op,
             lhs: s.apply(&b.lhs),
             rhs: s.apply(&b.rhs),
+            span: b.span,
         }),
     }
 }
 
 /// One definition of a predicate: a rule, or a fact (empty body).
 fn definitions(program: &Program, pred: Pred) -> Vec<Rule> {
-    let mut defs: Vec<Rule> =
-        program.rules_for(pred).into_iter().map(|(_, r)| r.clone()).collect();
+    let mut defs: Vec<Rule> = program
+        .rules_for(pred)
+        .into_iter()
+        .map(|(_, r)| r.clone())
+        .collect();
     for f in &program.facts {
         if f.pred == pred {
             defs.push(Rule::fact(f.clone()));
@@ -76,7 +80,10 @@ pub fn unfold_pred(program: &Program, pred: Pred) -> Result<Program> {
         }
     }
     let defs = definitions(program, pred);
-    let mut out = Program { rules: Vec::new(), facts: program.facts.clone() };
+    let mut out = Program {
+        rules: Vec::new(),
+        facts: program.facts.clone(),
+    };
     let mut counter = 0usize;
     for rule in &program.rules {
         if rule.head.pred == pred {
@@ -97,7 +104,11 @@ fn unfold_rule(rule: &Rule, pred: Pred, defs: &[Rule], counter: &mut usize) -> V
         .body
         .iter()
         .enumerate()
-        .filter(|(_, l)| l.as_atom().map(|a| !a.negated && a.pred == pred).unwrap_or(false))
+        .filter(|(_, l)| {
+            l.as_atom()
+                .map(|a| !a.negated && a.pred == pred)
+                .unwrap_or(false)
+        })
         .map(|(i, _)| i)
         .collect();
     if positions.is_empty() {
@@ -107,11 +118,16 @@ fn unfold_rule(rule: &Rule, pred: Pred, defs: &[Rule], counter: &mut usize) -> V
     // positions never grow for a nonrecursive pred's definitions).
     let mut results = Vec::new();
     let occ = positions[0];
-    let call = rule.body[occ].as_atom().expect("occurrence is an atom").clone();
+    let call = rule.body[occ]
+        .as_atom()
+        .expect("occurrence is an atom")
+        .clone();
     for def in defs {
         *counter += 1;
         let fresh = def.standardized(*counter);
-        let Some(s) = mgu_atoms(&call, &fresh.head) else { continue };
+        let Some(s) = mgu_atoms(&call, &fresh.head) else {
+            continue;
+        };
         let mut body: Vec<Literal> = Vec::with_capacity(rule.body.len() - 1 + fresh.body.len());
         for (i, lit) in rule.body.iter().enumerate() {
             if i == occ {
@@ -171,10 +187,7 @@ mod tests {
         let r = &u.rules[0];
         assert_eq!(r.head.pred.name.as_str(), "q");
         assert_eq!(r.body.len(), 3); // c, d, b
-        let names: Vec<&str> = r
-            .body_atoms()
-            .map(|a| a.pred.name.as_str())
-            .collect();
+        let names: Vec<&str> = r.body_atoms().map(|a| a.pred.name.as_str()).collect();
         assert_eq!(names, vec!["c", "d", "b"]);
     }
 
@@ -222,7 +235,10 @@ mod tests {
         // The second definition's head p(9, z9) does not unify with
         // p(3, Y): only one unfolded rule survives.
         assert_eq!(u.rules.len(), 1);
-        assert_eq!(u.rules[0].body[0].as_atom().unwrap().args[0], crate::Term::int(3));
+        assert_eq!(
+            u.rules[0].body[0].as_atom().unwrap().args[0],
+            crate::Term::int(3)
+        );
     }
 
     #[test]
@@ -277,7 +293,10 @@ mod tests {
         .unwrap();
         let f = flatten(&p, Pred::new("top", 1)).unwrap();
         assert_eq!(f.rules.len(), 1);
-        let names: Vec<&str> = f.rules[0].body_atoms().map(|a| a.pred.name.as_str()).collect();
+        let names: Vec<&str> = f.rules[0]
+            .body_atoms()
+            .map(|a| a.pred.name.as_str())
+            .collect();
         assert_eq!(names, vec!["b3", "b2", "b1"]);
     }
 
@@ -294,10 +313,16 @@ mod tests {
         .unwrap();
         let f = flatten(&p, Pred::new("top", 1)).unwrap();
         // mid unfolded, tc untouched.
-        let top_rules: Vec<&Rule> =
-            f.rules.iter().filter(|r| r.head.pred.name.as_str() == "top").collect();
+        let top_rules: Vec<&Rule> = f
+            .rules
+            .iter()
+            .filter(|r| r.head.pred.name.as_str() == "top")
+            .collect();
         assert_eq!(top_rules.len(), 1);
-        assert_eq!(top_rules[0].body_atoms().next().unwrap().pred.name.as_str(), "tc");
+        assert_eq!(
+            top_rules[0].body_atoms().next().unwrap().pred.name.as_str(),
+            "tc"
+        );
         assert_eq!(f.rules.len(), 3);
     }
 

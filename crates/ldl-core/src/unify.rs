@@ -6,6 +6,7 @@
 //! reasoning about term norms.
 
 use crate::literal::Atom;
+use crate::span::Span;
 use crate::symbol::Symbol;
 use crate::term::Term;
 use std::collections::HashMap;
@@ -77,6 +78,7 @@ impl Subst {
             pred: a.pred,
             args: a.args.iter().map(|t| self.apply(t)).collect(),
             negated: a.negated,
+            span: a.span,
         }
     }
 
@@ -137,7 +139,10 @@ impl Default for Lgg {
 impl Lgg {
     /// Fresh generalization context (variable names `G1`, `G2`, ...).
     pub fn new() -> Lgg {
-        Lgg { table: HashMap::new(), counter: 0 }
+        Lgg {
+            table: HashMap::new(),
+            counter: 0,
+        }
     }
 
     /// The lgg of two terms under this context.
@@ -149,7 +154,11 @@ impl Lgg {
             if f1 == f2 && args1.len() == args2.len() {
                 return Term::Compound(
                     *f1,
-                    args1.iter().zip(args2).map(|(x, y)| self.terms(x, y)).collect(),
+                    args1
+                        .iter()
+                        .zip(args2)
+                        .map(|(x, y)| self.terms(x, y))
+                        .collect(),
                 );
             }
         }
@@ -170,8 +179,14 @@ impl Lgg {
         }
         Some(Atom {
             pred: a.pred,
-            args: a.args.iter().zip(&b.args).map(|(x, y)| self.terms(x, y)).collect(),
+            args: a
+                .args
+                .iter()
+                .zip(&b.args)
+                .map(|(x, y)| self.terms(x, y))
+                .collect(),
             negated: a.negated,
+            span: Span::NONE,
         })
     }
 }

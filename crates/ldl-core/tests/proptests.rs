@@ -60,11 +60,16 @@ fn ground_terms() -> Gen<Term> {
 /// (Lists and sets have sugar; compounds use functional notation.)
 #[test]
 fn ground_term_display_round_trips() {
-    check("ground_term_display_round_trips", &cfg(), &ground_terms(), |t| {
-        let text = t.to_string();
-        let parsed = parse_term(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
-        assert_eq!(&parsed, t);
-    });
+    check(
+        "ground_term_display_round_trips",
+        &cfg(),
+        &ground_terms(),
+        |t| {
+            let text = t.to_string();
+            let parsed = parse_term(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(&parsed, t);
+        },
+    );
 }
 
 /// Facts round-trip through a whole program.

@@ -17,7 +17,9 @@ use ldl_core::{BuiltinPred, CmpOp, LdlError, Result, Symbol, Term, Value};
 pub fn eval_arith(t: &Term) -> Result<Value> {
     match t {
         Term::Const(v) => Ok(*v),
-        Term::Var(v) => Err(LdlError::Eval(format!("unbound variable {v} in arithmetic"))),
+        Term::Var(v) => Err(LdlError::Eval(format!(
+            "unbound variable {v} in arithmetic"
+        ))),
         Term::Compound(f, args) => {
             let op = f.as_str();
             if args.len() != 2 || !matches!(op, "+" | "-" | "*" | "/" | "mod") {
@@ -177,10 +179,22 @@ mod tests {
 
     #[test]
     fn arith_evaluates() {
-        assert_eq!(eval_arith(&parse_term("1 + 2 * 3").unwrap()).unwrap(), Value::Int(7));
-        assert_eq!(eval_arith(&parse_term("10 / 3").unwrap()).unwrap(), Value::Int(3));
-        assert_eq!(eval_arith(&parse_term("10 mod 3").unwrap()).unwrap(), Value::Int(1));
-        assert_eq!(eval_arith(&parse_term("2 - 5").unwrap()).unwrap(), Value::Int(-3));
+        assert_eq!(
+            eval_arith(&parse_term("1 + 2 * 3").unwrap()).unwrap(),
+            Value::Int(7)
+        );
+        assert_eq!(
+            eval_arith(&parse_term("10 / 3").unwrap()).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            eval_arith(&parse_term("10 mod 3").unwrap()).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            eval_arith(&parse_term("2 - 5").unwrap()).unwrap(),
+            Value::Int(-3)
+        );
     }
 
     #[test]
@@ -227,10 +241,18 @@ mod tests {
 
     #[test]
     fn comparisons_filter() {
-        assert!(eval_builtin(&b(CmpOp::Lt, "1", "2"), &Subst::new()).unwrap().is_some());
-        assert!(eval_builtin(&b(CmpOp::Lt, "2", "2"), &Subst::new()).unwrap().is_none());
-        assert!(eval_builtin(&b(CmpOp::Ge, "2", "2"), &Subst::new()).unwrap().is_some());
-        assert!(eval_builtin(&b(CmpOp::Ne, "1", "2"), &Subst::new()).unwrap().is_some());
+        assert!(eval_builtin(&b(CmpOp::Lt, "1", "2"), &Subst::new())
+            .unwrap()
+            .is_some());
+        assert!(eval_builtin(&b(CmpOp::Lt, "2", "2"), &Subst::new())
+            .unwrap()
+            .is_none());
+        assert!(eval_builtin(&b(CmpOp::Ge, "2", "2"), &Subst::new())
+            .unwrap()
+            .is_some());
+        assert!(eval_builtin(&b(CmpOp::Ne, "1", "2"), &Subst::new())
+            .unwrap()
+            .is_some());
     }
 
     #[test]
@@ -240,12 +262,16 @@ mod tests {
 
     #[test]
     fn comparison_evaluates_expressions() {
-        assert!(eval_builtin(&b(CmpOp::Gt, "2 * 3", "5"), &Subst::new()).unwrap().is_some());
+        assert!(eval_builtin(&b(CmpOp::Gt, "2 * 3", "5"), &Subst::new())
+            .unwrap()
+            .is_some());
     }
 
     #[test]
     fn symbol_ordering_is_lexicographic() {
-        assert!(eval_builtin(&b(CmpOp::Lt, "abel", "cain"), &Subst::new()).unwrap().is_some());
+        assert!(eval_builtin(&b(CmpOp::Lt, "abel", "cain"), &Subst::new())
+            .unwrap()
+            .is_some());
     }
 
     #[test]

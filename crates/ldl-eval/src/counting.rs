@@ -28,7 +28,7 @@
 //! fixpoint iteration limit (the classic counting-method divergence).
 
 use ldl_core::adorn::{AdornedPred, AdornedProgram};
-use ldl_core::{Atom, LdlError, Literal, Pred, Program, Query, Result, Rule, Symbol, Term};
+use ldl_core::{Atom, LdlError, Literal, Pred, Program, Query, Result, Rule, Span, Symbol, Term};
 use ldl_storage::Tuple;
 use std::collections::BTreeSet;
 
@@ -105,8 +105,12 @@ pub fn counting_rewrite(
         let cnt_head_args: Vec<Term> = std::iter::once(counter())
             .chain(bound.iter().map(|&i| ar.head_atom.args[i].clone()))
             .collect();
-        let cnt_head_lit =
-            Literal::Atom(Atom { pred: cnt_pred(&head_ap), args: cnt_head_args, negated: false });
+        let cnt_head_lit = Literal::Atom(Atom {
+            pred: cnt_pred(&head_ap),
+            args: cnt_head_args,
+            negated: false,
+            span: Span::NONE,
+        });
 
         // Find the (single) derived literal, if any.
         let mut clique_pos: Option<(usize, &Atom, ldl_core::Adornment)> = None;
@@ -128,7 +132,12 @@ pub fn counting_rewrite(
         let ans_head_args: Vec<Term> = std::iter::once(counter())
             .chain(ar.head_atom.args.iter().cloned())
             .collect();
-        let ans_head = Atom { pred: ans_pred(&head_ap), args: ans_head_args, negated: false };
+        let ans_head = Atom {
+            pred: ans_pred(&head_ap),
+            args: ans_head_args,
+            negated: false,
+            span: Span::NONE,
+        };
 
         match clique_pos {
             None => {
@@ -149,8 +158,12 @@ pub fn counting_rewrite(
                 let cnt_rec_args: Vec<Term> = std::iter::once(counter1())
                     .chain(rbound.iter().map(|&i| ratom.args[i].clone()))
                     .collect();
-                let cnt_rec_head =
-                    Atom { pred: cnt_pred(&rec_ap), args: cnt_rec_args, negated: false };
+                let cnt_rec_head = Atom {
+                    pred: cnt_pred(&rec_ap),
+                    args: cnt_rec_args,
+                    negated: false,
+                    span: Span::NONE,
+                };
                 let mut cbody = vec![cnt_head_lit.clone()];
                 cbody.extend(ar.body[..j].iter().map(|(l, _)| l.clone()));
                 cbody.push(incr.clone());
@@ -165,6 +178,7 @@ pub fn counting_rewrite(
                     pred: ans_pred(&rec_ap),
                     args: ans_rec_args,
                     negated: false,
+                    span: Span::NONE,
                 });
                 let mut abody = vec![cnt_head_lit];
                 abody.extend(ar.body[..j].iter().map(|(l, _)| l.clone()));
@@ -180,17 +194,36 @@ pub fn counting_rewrite(
     // see the matching comment in `magic`):
     //   ans_p_a(I, x̄) <- cnt_p_a(I, x̄_bound), p(x̄).
     for ap in &adorned.adorned_preds {
-        let vars: Vec<Term> =
-            (0..ap.pred.arity).map(|i| Term::var(&format!("FI_{i}"))).collect();
+        let vars: Vec<Term> = (0..ap.pred.arity)
+            .map(|i| Term::var(&format!("FI_{i}")))
+            .collect();
         let bound = ap.adornment.bound_positions();
         let cargs: Vec<Term> = std::iter::once(counter())
             .chain(bound.iter().map(|&i| vars[i].clone()))
             .collect();
-        let guard = Atom { pred: cnt_pred(ap), args: cargs, negated: false };
-        let orig = Atom { pred: ap.pred, args: vars.clone(), negated: false };
+        let guard = Atom {
+            pred: cnt_pred(ap),
+            args: cargs,
+            negated: false,
+            span: Span::NONE,
+        };
+        let orig = Atom {
+            pred: ap.pred,
+            args: vars.clone(),
+            negated: false,
+            span: Span::NONE,
+        };
         let hargs: Vec<Term> = std::iter::once(counter()).chain(vars).collect();
-        let head = Atom { pred: ans_pred(ap), args: hargs, negated: false };
-        out.push(Rule::new(head, vec![Literal::Atom(guard), Literal::Atom(orig)]));
+        let head = Atom {
+            pred: ans_pred(ap),
+            args: hargs,
+            negated: false,
+            span: Span::NONE,
+        };
+        out.push(Rule::new(
+            head,
+            vec![Literal::Atom(guard), Literal::Atom(orig)],
+        ));
     }
 
     // Stratified negation: negated predicates' full rules, unrenamed.
@@ -243,9 +276,13 @@ mod tests {
         let adorned = adorn_program(&program, query.pred(), query.adornment(), &GreedySip);
         let counting = counting_rewrite(&adorned, &program, &query)?;
         let mut db = Database::from_program(&program);
-        db.relation_mut(counting.seed_pred).insert(counting.seed.clone());
-        let (derived, metrics) =
-            eval_program_seminaive(&counting.program, &db, &FixpointConfig::with_max_iterations(500))?;
+        db.relation_mut(counting.seed_pred)
+            .insert(counting.seed.clone());
+        let (derived, metrics) = eval_program_seminaive(
+            &counting.program,
+            &db,
+            &FixpointConfig::with_max_iterations(500),
+        )?;
         let ans = extract_answers(&derived[&counting.answer_pred], counting.query_arity);
         Ok((ans, metrics))
     }

@@ -13,7 +13,7 @@
 use crate::counting::{counting_rewrite, extract_answers};
 use crate::magic::magic_rewrite;
 use crate::metrics::Metrics;
-use crate::naive::{eval_program_naive, FixpointConfig};
+use crate::naive::{eval_program_naive, AnalysisPolicy, FixpointConfig};
 use crate::seminaive::eval_program_seminaive;
 use ldl_core::adorn::{adorn_program, AdornedProgram, GreedySip, SipStrategy};
 use ldl_core::unify::Subst;
@@ -36,7 +36,12 @@ pub enum Method {
 
 impl Method {
     /// Every method, for enumeration by the optimizer.
-    pub const ALL: [Method; 4] = [Method::Naive, Method::SemiNaive, Method::Magic, Method::Counting];
+    pub const ALL: [Method; 4] = [
+        Method::Naive,
+        Method::SemiNaive,
+        Method::Magic,
+        Method::Counting,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -64,7 +69,12 @@ pub fn filter_answers(rel: &Relation, goal: &Atom) -> Relation {
     let mut out = Relation::new(rel.arity());
     for row in rel.iter() {
         let mut s = Subst::new();
-        if goal.args.iter().zip(&row.0).all(|(pat, val)| s.unify(pat, val)) {
+        if goal
+            .args
+            .iter()
+            .zip(&row.0)
+            .all(|(pat, val)| s.unify(pat, val))
+        {
             out.insert(row.clone());
         }
     }
@@ -93,6 +103,7 @@ pub fn evaluate_query_sip(
     cfg: &FixpointConfig,
     sip: &dyn SipStrategy,
 ) -> Result<QueryAnswer> {
+    analysis_gate(program, query, cfg.analysis)?;
     match method {
         Method::Naive | Method::SemiNaive => {
             // Bottom-up evaluation runs rule bodies in their stored
@@ -109,7 +120,10 @@ pub fn evaluate_query_sip(
                 .cloned()
                 .or_else(|| db.relation(query.pred()).cloned())
                 .unwrap_or_else(|| Relation::new(query.pred().arity));
-            Ok(QueryAnswer { tuples: filter_answers(&rel, &query.goal), metrics })
+            Ok(QueryAnswer {
+                tuples: filter_answers(&rel, &query.goal),
+                metrics,
+            })
         }
         Method::Magic | Method::Counting => {
             // A query on a base predicate needs no rewriting at all:
@@ -130,12 +144,52 @@ pub fn evaluate_query_sip(
     }
 }
 
+/// The pre-planning static-analysis gate: runs `ldl-analysis` over the
+/// program + query form (lints off — only executability matters here).
+/// Under [`AnalysisPolicy::Deny`] error findings become
+/// [`ldl_core::LdlError::Unsafe`] carrying the witnesses; under
+/// [`AnalysisPolicy::Warn`] everything goes to stderr and evaluation
+/// proceeds.
+fn analysis_gate(program: &Program, query: &Query, policy: AnalysisPolicy) -> Result<()> {
+    if policy == AnalysisPolicy::Off {
+        return Ok(());
+    }
+    let opts = ldl_analysis::AnalysisOptions {
+        lints: false,
+        ..Default::default()
+    };
+    let report = ldl_analysis::analyze_query(program, query, &opts);
+    match policy {
+        AnalysisPolicy::Off => Ok(()),
+        AnalysisPolicy::Warn => {
+            if !report.diagnostics.is_empty() {
+                eprintln!("{}", report.render_text(None, "<query>"));
+            }
+            Ok(())
+        }
+        AnalysisPolicy::Deny => {
+            if report.has_errors() {
+                let msg = report
+                    .errors()
+                    .map(|d| format!("[{}] {}", d.code, d.message))
+                    .collect::<Vec<_>>()
+                    .join("; ");
+                return Err(ldl_core::LdlError::Unsafe(msg));
+            }
+            Ok(())
+        }
+    }
+}
+
 /// Rewrites every rule body into the order the SIP chooses for an
 /// all-free head — the binding situation bottom-up evaluation presents.
 /// Semantics are unchanged (conjunction is commutative); only the
 /// executability of builtins and negation depends on the order.
 pub fn permute_program(program: &Program, sip: &dyn SipStrategy) -> Program {
-    let mut out = Program { rules: Vec::with_capacity(program.rules.len()), facts: program.facts.clone() };
+    let mut out = Program {
+        rules: Vec::with_capacity(program.rules.len()),
+        facts: program.facts.clone(),
+    };
     for (ri, rule) in program.rules.iter().enumerate() {
         let ad = ldl_core::Adornment::all_free(rule.head.pred.arity);
         let perm = sip.permutation(ri, rule, ad);
@@ -166,23 +220,28 @@ pub fn evaluate_adorned(
                 .get(&magic.answer_pred)
                 .cloned()
                 .unwrap_or_else(|| Relation::new(query.pred().arity));
-            Ok(QueryAnswer { tuples: filter_answers(&rel, &query.goal), metrics })
+            Ok(QueryAnswer {
+                tuples: filter_answers(&rel, &query.goal),
+                metrics,
+            })
         }
         Method::Counting => {
             let counting = counting_rewrite(adorned, program, query)?;
             let mut cdb = db.clone();
-            cdb.relation_mut(counting.seed_pred).insert(counting.seed.clone());
+            cdb.relation_mut(counting.seed_pred)
+                .insert(counting.seed.clone());
             let (derived, metrics) = eval_program_seminaive(&counting.program, &cdb, cfg)?;
             let rel = derived
                 .get(&counting.answer_pred)
                 .cloned()
                 .unwrap_or_else(|| Relation::new(counting.answer_pred.arity));
             let ans = extract_answers(&rel, counting.query_arity);
-            Ok(QueryAnswer { tuples: filter_answers(&ans, &query.goal), metrics })
+            Ok(QueryAnswer {
+                tuples: filter_answers(&ans, &query.goal),
+                metrics,
+            })
         }
-        Method::Naive | Method::SemiNaive => {
-            evaluate_query(program, db, query, method, cfg)
-        }
+        Method::Naive | Method::SemiNaive => evaluate_query(program, db, query, method, cfg),
     }
 }
 

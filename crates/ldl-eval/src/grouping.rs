@@ -10,7 +10,7 @@
 
 use crate::rule_eval::{eval_rule_with, AccessPlan, FiringStats, RelSource};
 use ldl_core::unify::Subst;
-use ldl_core::{Atom, Result, Rule, Term};
+use ldl_core::{Atom, Result, Rule, Span, Term};
 use ldl_storage::Tuple;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -48,7 +48,12 @@ pub fn eval_grouping_rule_with(
         .iter()
         .map(|a| a.as_group().cloned().unwrap_or_else(|| a.clone()))
         .collect();
-    let inner_head = Atom { pred: rule.head.pred, args: inner_args, negated: false };
+    let inner_head = Atom {
+        pred: rule.head.pred,
+        args: inner_args,
+        negated: false,
+        span: Span::NONE,
+    };
     let inner = Rule::new(inner_head, rule.body.clone());
 
     let group_positions: Vec<usize> = rule
@@ -64,8 +69,9 @@ pub fn eval_grouping_rule_with(
         .collect();
 
     let mut rows: Vec<Tuple> = Vec::new();
-    let stats =
-        eval_rule_with(&inner, order, &Subst::new(), source, plan, &mut |t| rows.push(t))?;
+    let stats = eval_rule_with(&inner, order, &Subst::new(), source, plan, &mut |t| {
+        rows.push(t)
+    })?;
 
     // Group. Keys are kept sorted so the output tuple order is a
     // function of the solution set alone — not of a hash seed — keeping
@@ -81,6 +87,10 @@ pub fn eval_grouping_rule_with(
         }
     }
     let mut out = Vec::with_capacity(groups.len());
+    debug_assert!(
+        groups.keys().zip(groups.keys().skip(1)).all(|(a, b)| a < b),
+        "group keys must emit in strictly ascending order"
+    );
     for (key, sets) in groups {
         let mut args = vec![Term::int(0); rule.head.args.len()];
         for (ki, &pos) in key_positions.iter().enumerate() {
@@ -107,7 +117,11 @@ mod tests {
         let db = Database::from_program(&program);
         let rule = &program.rules[rule_idx];
         let order: Vec<usize> = (0..rule.body.len()).collect();
-        let source = OverlaySource { base: |p: Pred| db.relation(p), overlay: None, restrict: None };
+        let source = OverlaySource {
+            base: |p: Pred| db.relation(p),
+            overlay: None,
+            restrict: None,
+        };
         let (mut out, _) = eval_grouping_rule(rule, &order, &source).unwrap();
         out.sort_by_key(|t| t.to_string());
         out

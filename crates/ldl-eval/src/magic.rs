@@ -15,7 +15,7 @@
 //! unchanged.
 
 use ldl_core::adorn::{AdornedProgram, AdornedRule};
-use ldl_core::{Atom, LdlError, Literal, Pred, Program, Query, Result, Rule, Symbol, Term};
+use ldl_core::{Atom, LdlError, Literal, Pred, Program, Query, Result, Rule, Span, Symbol, Term};
 use ldl_storage::Tuple;
 
 /// Result of the magic rewriting.
@@ -33,14 +33,25 @@ pub struct MagicProgram {
 
 /// Name of the magic predicate for a renamed adorned predicate.
 fn magic_pred(renamed: Pred, bound_count: usize) -> Pred {
-    Pred { name: Symbol::intern(&format!("m_{}", renamed.name)), arity: bound_count }
+    Pred {
+        name: Symbol::intern(&format!("m_{}", renamed.name)),
+        arity: bound_count,
+    }
 }
 
 /// The magic guard atom for an adorned rule head: `m_p_a(bound args)`.
 fn magic_head_atom(ar: &AdornedRule) -> Atom {
     let bound = ar.head.adornment.bound_positions();
-    let args: Vec<Term> = bound.iter().map(|&i| ar.head_atom.args[i].clone()).collect();
-    Atom { pred: magic_pred(ar.head.renamed(), bound.len()), args, negated: false }
+    let args: Vec<Term> = bound
+        .iter()
+        .map(|&i| ar.head_atom.args[i].clone())
+        .collect();
+    Atom {
+        pred: magic_pred(ar.head.renamed(), bound.len()),
+        args,
+        negated: false,
+        span: Span::NONE,
+    }
 }
 
 /// Collects the full original rules of every derived predicate that is
@@ -49,10 +60,7 @@ fn magic_head_atom(ar: &AdornedRule) -> Atom {
 /// membership test against a completed lower stratum, so these
 /// predicates are evaluated in full (no magic restriction) under their
 /// original names — stratified-negation support for the rewritings.
-pub(crate) fn negated_derived_closure(
-    adorned: &AdornedProgram,
-    program: &Program,
-) -> Vec<Rule> {
+pub(crate) fn negated_derived_closure(adorned: &AdornedProgram, program: &Program) -> Vec<Rule> {
     use std::collections::BTreeSet;
     let derived = program.derived_preds();
     let mut queue: Vec<ldl_core::Pred> = adorned
@@ -130,12 +138,18 @@ pub fn magic_rewrite(
         // Magic rules: one per positive derived body literal.
         //   m_q_b(s̄_bound) <- m_p_a(t̄_bound), L1' .. L(j-1)' .
         for (j, (lit, ad)) in ar.body.iter().enumerate() {
-            let (Literal::Atom(a), Some(ad)) = (lit, ad) else { continue };
+            let (Literal::Atom(a), Some(ad)) = (lit, ad) else {
+                continue;
+            };
             let renamed = ldl_core::adorn::AdornedPred::new(a.pred, *ad).renamed();
             let bound = ad.bound_positions();
             let margs: Vec<Term> = bound.iter().map(|&i| a.args[i].clone()).collect();
-            let mhead =
-                Atom { pred: magic_pred(renamed, bound.len()), args: margs, negated: false };
+            let mhead = Atom {
+                pred: magic_pred(renamed, bound.len()),
+                args: margs,
+                negated: false,
+                span: Span::NONE,
+            };
             let mut mbody: Vec<Literal> = Vec::with_capacity(j + 1);
             mbody.push(Literal::Atom(magic_head_atom(ar)));
             for (lit2, ad2) in &ar.body[..j] {
@@ -158,14 +172,33 @@ pub fn magic_rewrite(
     //   p_a(x̄) <- m_p_a(x̄_bound), p(x̄).
     for ap in &adorned.adorned_preds {
         let renamed = ap.renamed();
-        let vars: Vec<Term> =
-            (0..ap.pred.arity).map(|i| Term::var(&format!("FI_{i}"))).collect();
+        let vars: Vec<Term> = (0..ap.pred.arity)
+            .map(|i| Term::var(&format!("FI_{i}")))
+            .collect();
         let bound = ap.adornment.bound_positions();
         let margs: Vec<Term> = bound.iter().map(|&i| vars[i].clone()).collect();
-        let guard = Atom { pred: magic_pred(renamed, bound.len()), args: margs, negated: false };
-        let orig = Atom { pred: ap.pred, args: vars.clone(), negated: false };
-        let head = Atom { pred: renamed, args: vars, negated: false };
-        out.push(Rule::new(head, vec![Literal::Atom(guard), Literal::Atom(orig)]));
+        let guard = Atom {
+            pred: magic_pred(renamed, bound.len()),
+            args: margs,
+            negated: false,
+            span: Span::NONE,
+        };
+        let orig = Atom {
+            pred: ap.pred,
+            args: vars.clone(),
+            negated: false,
+            span: Span::NONE,
+        };
+        let head = Atom {
+            pred: renamed,
+            args: vars,
+            negated: false,
+            span: Span::NONE,
+        };
+        out.push(Rule::new(
+            head,
+            vec![Literal::Atom(guard), Literal::Atom(orig)],
+        ));
     }
 
     // Stratified negation: append the full rules of negated predicates.
@@ -180,7 +213,12 @@ pub fn magic_rewrite(
     let seed_pred = magic_pred(qren, bound.len());
     let consts: Vec<Term> = bound.iter().map(|&i| query.goal.args[i].clone()).collect();
     debug_assert!(consts.iter().all(Term::is_ground));
-    Ok(MagicProgram { program: out, seed_pred, seed: Tuple::new(consts), answer_pred: qren })
+    Ok(MagicProgram {
+        program: out,
+        seed_pred,
+        seed: Tuple::new(consts),
+        answer_pred: qren,
+    })
 }
 
 /// The *supplementary* magic-set variant [BMSU 85]: instead of
@@ -298,6 +336,7 @@ pub fn magic_rewrite_supplementary(
                 pred: sup_pred(j, sup_vars[j].len()),
                 args: sup_vars[j].iter().map(|&v| Term::Var(v)).collect(),
                 negated: false,
+                span: Span::NONE,
             }
         };
 
@@ -321,12 +360,18 @@ pub fn magic_rewrite_supplementary(
 
         // Magic rules from the supplementaries.
         for (j, (lit, ad)) in ar.body.iter().enumerate() {
-            let (Literal::Atom(a), Some(ad)) = (lit, ad) else { continue };
+            let (Literal::Atom(a), Some(ad)) = (lit, ad) else {
+                continue;
+            };
             let renamed = ldl_core::adorn::AdornedPred::new(a.pred, *ad).renamed();
             let bpos = ad.bound_positions();
             let margs: Vec<Term> = bpos.iter().map(|&i| a.args[i].clone()).collect();
-            let mhead =
-                Atom { pred: magic_pred(renamed, bpos.len()), args: margs, negated: false };
+            let mhead = Atom {
+                pred: magic_pred(renamed, bpos.len()),
+                args: margs,
+                negated: false,
+                span: Span::NONE,
+            };
             let prev: Literal = if j == 0 {
                 Literal::Atom(magic_head_atom(ar))
             } else {
@@ -339,14 +384,33 @@ pub fn magic_rewrite_supplementary(
     // Fact imports and negated closure, as in the plain rewriting.
     for ap in &adorned.adorned_preds {
         let renamed = ap.renamed();
-        let vars: Vec<Term> =
-            (0..ap.pred.arity).map(|i| Term::var(&format!("FI_{i}"))).collect();
+        let vars: Vec<Term> = (0..ap.pred.arity)
+            .map(|i| Term::var(&format!("FI_{i}")))
+            .collect();
         let bound = ap.adornment.bound_positions();
         let margs: Vec<Term> = bound.iter().map(|&i| vars[i].clone()).collect();
-        let guard = Atom { pred: magic_pred(renamed, bound.len()), args: margs, negated: false };
-        let orig = Atom { pred: ap.pred, args: vars.clone(), negated: false };
-        let head = Atom { pred: renamed, args: vars, negated: false };
-        out.push(Rule::new(head, vec![Literal::Atom(guard), Literal::Atom(orig)]));
+        let guard = Atom {
+            pred: magic_pred(renamed, bound.len()),
+            args: margs,
+            negated: false,
+            span: Span::NONE,
+        };
+        let orig = Atom {
+            pred: ap.pred,
+            args: vars.clone(),
+            negated: false,
+            span: Span::NONE,
+        };
+        let head = Atom {
+            pred: renamed,
+            args: vars,
+            negated: false,
+            span: Span::NONE,
+        };
+        out.push(Rule::new(
+            head,
+            vec![Literal::Atom(guard), Literal::Atom(orig)],
+        ));
     }
     for r in negated_derived_closure(adorned, program) {
         out.push(r);
@@ -357,7 +421,12 @@ pub fn magic_rewrite_supplementary(
     let bound = adorned.query.adornment.bound_positions();
     let seed_pred = magic_pred(qren, bound.len());
     let consts: Vec<Term> = bound.iter().map(|&i| query.goal.args[i].clone()).collect();
-    Ok(MagicProgram { program: out, seed_pred, seed: Tuple::new(consts), answer_pred: qren })
+    Ok(MagicProgram {
+        program: out,
+        seed_pred,
+        seed: Tuple::new(consts),
+        answer_pred: qren,
+    })
 }
 
 #[cfg(test)]
@@ -387,7 +456,9 @@ mod tests {
     fn run_plain(text: &str) -> std::collections::HashMap<Pred, Relation> {
         let program = parse_program(text).unwrap();
         let db = Database::from_program(&program);
-        eval_program_seminaive(&program, &db, &FixpointConfig::default()).unwrap().0
+        eval_program_seminaive(&program, &db, &FixpointConfig::default())
+            .unwrap()
+            .0
     }
 
     const TC: &str = r#"

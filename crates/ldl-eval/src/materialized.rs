@@ -37,20 +37,25 @@ impl Intermediate {
 /// arguments and repeated variables are resolved by per-row unification
 /// (which also handles compound-term patterns), and each distinct
 /// variable becomes one column.
-fn materialize_atom(
-    atom: &ldl_core::Atom,
-    rel: &Relation,
-) -> Intermediate {
+fn materialize_atom(atom: &ldl_core::Atom, rel: &Relation) -> Intermediate {
     let vars = atom.vars();
     let mut out = Relation::new(vars.len());
     for row in rel.iter() {
         let mut s = Subst::new();
-        if atom.args.iter().zip(&row.0).all(|(pat, val)| s.unify(pat, val)) {
+        if atom
+            .args
+            .iter()
+            .zip(&row.0)
+            .all(|(pat, val)| s.unify(pat, val))
+        {
             let tuple: Vec<Term> = vars.iter().map(|&v| s.apply(&Term::Var(v))).collect();
             out.insert(Tuple::new(tuple));
         }
     }
-    Intermediate { rel: out, schema: vars }
+    Intermediate {
+        rel: out,
+        schema: vars,
+    }
 }
 
 /// A builtin comparison that can run as a relational selection: one
@@ -139,7 +144,10 @@ fn eval_rule_materialized_inner(
                     }
                 }
                 let projected = crate::ops::project(&joined, &keep);
-                acc = Intermediate { rel: projected, schema };
+                acc = Intermediate {
+                    rel: projected,
+                    schema,
+                };
             }
             Literal::Atom(a) => {
                 // Negation: anti-join on the (fully bound) argument tuple.
@@ -166,7 +174,10 @@ fn eval_rule_materialized_inner(
                         out.insert(row.clone());
                     }
                 }
-                acc = Intermediate { rel: out, schema: acc.schema };
+                acc = Intermediate {
+                    rel: out,
+                    schema: acc.schema,
+                };
             }
             Literal::Builtin(b) => {
                 // Column-vs-constant comparisons are relational
@@ -178,7 +189,10 @@ fn eval_rule_materialized_inner(
                     } else {
                         crate::ops::select(&acc.rel, preds)
                     };
-                    acc = Intermediate { rel: selected, schema: acc.schema };
+                    acc = Intermediate {
+                        rel: selected,
+                        schema: acc.schema,
+                    };
                     continue;
                 }
                 // Apply per row: filters drop rows, `=` may add a column.
@@ -210,7 +224,10 @@ fn eval_rule_materialized_inner(
                         out.insert(Tuple::new(tuple));
                     }
                 }
-                acc = Intermediate { rel: out, schema: out_schema };
+                acc = Intermediate {
+                    rel: out,
+                    schema: out_schema,
+                };
             }
         }
     }
@@ -251,7 +268,11 @@ mod tests {
         let program = parse_program(text).unwrap();
         let db = Database::from_program(&program);
         let rule = &program.rules[rule_idx];
-        let source = OverlaySource { base: |p: Pred| db.relation(p), overlay: None, restrict: None };
+        let source = OverlaySource {
+            base: |p: Pred| db.relation(p),
+            overlay: None,
+            restrict: None,
+        };
         let mat = eval_rule_materialized(rule, order, JoinMethod::Hash, &source).unwrap();
         let mut pipe = Relation::new(rule.head.args.len());
         eval_rule(rule, order, &Subst::new(), &source, &mut |t| {
@@ -327,7 +348,11 @@ mod tests {
         let program = parse_program(text).unwrap();
         let db = Database::from_program(&program);
         let rule = &program.rules[0];
-        let source = OverlaySource { base: |p: Pred| db.relation(p), overlay: None, restrict: None };
+        let source = OverlaySource {
+            base: |p: Pred| db.relation(p),
+            overlay: None,
+            restrict: None,
+        };
         let results: Vec<Relation> = JoinMethod::ALL
             .iter()
             .map(|&m| eval_rule_materialized(rule, &[0, 1], m, &source).unwrap())
@@ -361,7 +386,11 @@ mod tests {
         let program = parse_program(text).unwrap();
         let db = Database::from_program(&program);
         let rule = &program.rules[0];
-        let source = OverlaySource { base: |p: Pred| db.relation(p), overlay: None, restrict: None };
+        let source = OverlaySource {
+            base: |p: Pred| db.relation(p),
+            overlay: None,
+            restrict: None,
+        };
         let r1 = eval_rule_materialized(rule, &[0, 1, 2], JoinMethod::Hash, &source).unwrap();
         let r2 = eval_rule_materialized(rule, &[2, 1, 0], JoinMethod::Hash, &source).unwrap();
         let r3 = eval_rule_materialized(rule, &[1, 2, 0], JoinMethod::Index, &source).unwrap();
@@ -379,7 +408,11 @@ mod tests {
         let program = parse_program(text).unwrap();
         let db = Database::from_program(&program);
         let rule = &program.rules[0];
-        let source = OverlaySource { base: |p: Pred| db.relation(p), overlay: None, restrict: None };
+        let source = OverlaySource {
+            base: |p: Pred| db.relation(p),
+            overlay: None,
+            restrict: None,
+        };
         assert!(eval_rule_materialized(rule, &[1, 0], JoinMethod::Hash, &source).is_err());
     }
 

@@ -48,8 +48,18 @@ mod tests {
 
     #[test]
     fn absorb_sums() {
-        let mut a = Metrics { tuples_derived: 1, tuples_produced: 2, iterations: 3, rule_firings: 4 };
-        a.absorb(Metrics { tuples_derived: 10, tuples_produced: 20, iterations: 30, rule_firings: 40 });
+        let mut a = Metrics {
+            tuples_derived: 1,
+            tuples_produced: 2,
+            iterations: 3,
+            rule_firings: 4,
+        };
+        a.absorb(Metrics {
+            tuples_derived: 10,
+            tuples_produced: 20,
+            iterations: 30,
+            rule_firings: 40,
+        });
         assert_eq!(a.tuples_derived, 11);
         assert_eq!(a.iterations, 33);
     }

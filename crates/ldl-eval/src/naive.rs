@@ -55,6 +55,25 @@ pub struct FixpointConfig {
     /// instead of a silently dropped row. Default `false`: the lenient
     /// `ops::select` collapse is the documented materialized behavior.
     pub strict_select: bool,
+    /// Static-analysis gate run by the query entry points before
+    /// planning (see [`AnalysisPolicy`]).
+    pub analysis: AnalysisPolicy,
+}
+
+/// What the engine does with the `ldl-analysis` front end before
+/// planning a query ([`crate::engine::evaluate_query`] and friends).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum AnalysisPolicy {
+    /// Skip the analyzer entirely.
+    Off,
+    /// Run it and reject on error-severity diagnostics with
+    /// [`ldl_core::LdlError::Unsafe`] carrying the rendered findings;
+    /// warnings are discarded. The default: an unsafe query fails up
+    /// front with a witness instead of deep inside the optimizer.
+    #[default]
+    Deny,
+    /// Run it and print every finding to stderr, but never reject.
+    Warn,
 }
 
 impl Default for FixpointConfig {
@@ -64,6 +83,7 @@ impl Default for FixpointConfig {
             threads: ldl_support::par::default_threads(),
             access_paths: AccessPaths::default(),
             strict_select: false,
+            analysis: AnalysisPolicy::default(),
         }
     }
 }
@@ -71,7 +91,10 @@ impl Default for FixpointConfig {
 impl FixpointConfig {
     /// Default configuration with an explicit iteration bound.
     pub fn with_max_iterations(max_iterations: usize) -> FixpointConfig {
-        FixpointConfig { max_iterations, ..FixpointConfig::default() }
+        FixpointConfig {
+            max_iterations,
+            ..FixpointConfig::default()
+        }
     }
 
     /// Sets the worker-thread count (clamped to at least 1).
@@ -89,6 +112,12 @@ impl FixpointConfig {
     /// Sets the strict-selection flag (see [`FixpointConfig::strict_select`]).
     pub fn with_strict_select(mut self, strict: bool) -> FixpointConfig {
         self.strict_select = strict;
+        self
+    }
+
+    /// Sets the pre-planning analysis policy.
+    pub fn with_analysis(mut self, analysis: AnalysisPolicy) -> FixpointConfig {
+        self.analysis = analysis;
         self
     }
 
@@ -156,7 +185,10 @@ pub fn eval_program_naive(
         .derived_preds()
         .into_iter()
         .map(|p| {
-            let rel = db.relation(p).cloned().unwrap_or_else(|| Relation::new(p.arity));
+            let rel = db
+                .relation(p)
+                .cloned()
+                .unwrap_or_else(|| Relation::new(p.arity));
             (p, rel)
         })
         .collect();
@@ -174,8 +206,9 @@ pub fn eval_program_naive(
             .map(|(i, _)| i)
             .collect();
         if recursive {
-            if let Some(&ri) =
-                rules.iter().find(|&&ri| crate::grouping::has_grouping(&program.rules[ri]))
+            if let Some(&ri) = rules
+                .iter()
+                .find(|&&ri| crate::grouping::has_grouping(&program.rules[ri]))
             {
                 return Err(LdlError::Eval(format!(
                     "grouping head {} inside a recursive clique is not stratifiable",
@@ -183,8 +216,13 @@ pub fn eval_program_naive(
                 )));
             }
         }
-        let firings: Vec<Firing> =
-            rules.iter().map(|&ri| Firing { rule_index: ri, overlay: None }).collect();
+        let firings: Vec<Firing> = rules
+            .iter()
+            .map(|&ri| Firing {
+                rule_index: ri,
+                overlay: None,
+            })
+            .collect();
         let mut iters = 0usize;
         loop {
             iters += 1;
@@ -229,7 +267,9 @@ mod tests {
     fn eval(text: &str) -> HashMap<Pred, Relation> {
         let p = parse_program(text).unwrap();
         let db = Database::from_program(&p);
-        eval_program_naive(&p, &db, &FixpointConfig::default()).unwrap().0
+        eval_program_naive(&p, &db, &FixpointConfig::default())
+            .unwrap()
+            .0
     }
 
     #[test]

@@ -38,7 +38,12 @@ impl JoinMethod {
 
 /// Equi-join of `left` and `right` on `on` = pairs `(lcol, rcol)`.
 /// Output tuples are `left ++ right` column-wise.
-pub fn join(left: &Relation, right: &Relation, on: &[(usize, usize)], method: JoinMethod) -> Relation {
+pub fn join(
+    left: &Relation,
+    right: &Relation,
+    on: &[(usize, usize)],
+    method: JoinMethod,
+) -> Relation {
     let out_arity = left.arity() + right.arity();
     let mut out = Relation::new(out_arity);
     match method {
@@ -103,7 +108,11 @@ pub struct ColPredicate {
 impl ColPredicate {
     /// `col = value` shorthand.
     pub fn eq(col: usize, value: Term) -> ColPredicate {
-        ColPredicate { col, op: CmpOp::Eq, value }
+        ColPredicate {
+            col,
+            op: CmpOp::Eq,
+            value,
+        }
     }
 
     /// Does the tuple satisfy the predicate?
@@ -240,7 +249,14 @@ mod tests {
     #[test]
     fn select_filters() {
         let r = edges(&[(1, 10), (2, 20), (3, 30)]);
-        let s = select(&r, &[ColPredicate { col: 1, op: CmpOp::Gt, value: Term::int(15) }]);
+        let s = select(
+            &r,
+            &[ColPredicate {
+                col: 1,
+                op: CmpOp::Gt,
+                value: Term::int(15),
+            }],
+        );
         assert_eq!(s.len(), 2);
         let e = select(&r, &[ColPredicate::eq(0, Term::int(2))]);
         assert_eq!(e.len(), 1);
@@ -265,7 +281,14 @@ mod tests {
     #[test]
     fn select_ordering_on_symbols_is_false() {
         let r = Relation::from_tuples(1, [Tuple(vec![Term::sym("a")])]);
-        let s = select(&r, &[ColPredicate { col: 0, op: CmpOp::Lt, value: Term::int(5) }]);
+        let s = select(
+            &r,
+            &[ColPredicate {
+                col: 0,
+                op: CmpOp::Lt,
+                value: Term::int(5),
+            }],
+        );
         assert!(s.is_empty());
     }
 
@@ -274,7 +297,11 @@ mod tests {
     #[test]
     fn select_strict_errors_on_unordered_comparison() {
         let r = Relation::from_tuples(1, [Tuple(vec![Term::sym("a")])]);
-        let p = [ColPredicate { col: 0, op: CmpOp::Lt, value: Term::int(5) }];
+        let p = [ColPredicate {
+            col: 0,
+            op: CmpOp::Lt,
+            value: Term::int(5),
+        }];
         match select_strict(&r, &p) {
             Err(LdlError::Eval(msg)) => assert!(msg.contains("unordered"), "msg: {msg}"),
             other => panic!("expected Eval error, got {other:?}"),
@@ -284,7 +311,11 @@ mod tests {
         assert!(select_strict(&r, &eq).unwrap().is_empty());
         // On ordered data the strict path equals the lenient one.
         let ints = edges(&[(1, 10), (2, 20), (3, 30)]);
-        let gt = [ColPredicate { col: 1, op: CmpOp::Gt, value: Term::int(15) }];
+        let gt = [ColPredicate {
+            col: 1,
+            op: CmpOp::Gt,
+            value: Term::int(15),
+        }];
         assert_eq!(select_strict(&ints, &gt).unwrap(), select(&ints, &gt));
     }
 }

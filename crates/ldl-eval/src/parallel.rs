@@ -87,7 +87,12 @@ pub(crate) fn run_round<'a>(
         } else {
             None
         };
-        let whole = JobSpec { firing: fi, restrict: None, overlay_chunk: None, count_firing: true };
+        let whole = JobSpec {
+            firing: fi,
+            restrict: None,
+            overlay_chunk: None,
+            count_firing: true,
+        };
         match axis {
             Some((pos, rel)) => {
                 let n = rel.len();
@@ -117,36 +122,44 @@ pub(crate) fn run_round<'a>(
     }
 
     let chunks = &chunks;
-    let results = scoped_map(threads, specs.len(), |i| -> Result<(Vec<(Pred, Tuple)>, Metrics)> {
-        let spec = &specs[i];
-        let firing = &firings[spec.firing];
-        let rule = &program.rules[firing.rule_index];
-        let order: Vec<usize> = (0..rule.body.len()).collect();
-        let overlay = match (firing.overlay, spec.overlay_chunk) {
-            (Some((j, _)), Some(ci)) => Some((j, &chunks[ci])),
-            (other, _) => other,
-        };
-        let restrict = spec.restrict.map(|(pos, ci)| (pos, &chunks[ci]));
-        let source = OverlaySource { base: |p: Pred| base(p), overlay, restrict };
-        let head_pred = rule.head.pred;
-        let mut out: Vec<(Pred, Tuple)> = Vec::new();
-        let mut m = Metrics::default();
-        if crate::grouping::has_grouping(rule) {
-            let (tuples, st) =
-                crate::grouping::eval_grouping_rule_with(rule, &order, &source, plan)?;
-            m.tuples_produced = st.produced;
-            out.extend(tuples.into_iter().map(|t| (head_pred, t)));
-        } else {
-            let st = eval_rule_with(rule, &order, &Subst::new(), &source, plan, &mut |t| {
-                out.push((head_pred, t));
-            })?;
-            m.tuples_produced = st.produced;
-        }
-        if spec.count_firing {
-            m.rule_firings = 1;
-        }
-        Ok((out, m))
-    });
+    let results = scoped_map(
+        threads,
+        specs.len(),
+        |i| -> Result<(Vec<(Pred, Tuple)>, Metrics)> {
+            let spec = &specs[i];
+            let firing = &firings[spec.firing];
+            let rule = &program.rules[firing.rule_index];
+            let order: Vec<usize> = (0..rule.body.len()).collect();
+            let overlay = match (firing.overlay, spec.overlay_chunk) {
+                (Some((j, _)), Some(ci)) => Some((j, &chunks[ci])),
+                (other, _) => other,
+            };
+            let restrict = spec.restrict.map(|(pos, ci)| (pos, &chunks[ci]));
+            let source = OverlaySource {
+                base: |p: Pred| base(p),
+                overlay,
+                restrict,
+            };
+            let head_pred = rule.head.pred;
+            let mut out: Vec<(Pred, Tuple)> = Vec::new();
+            let mut m = Metrics::default();
+            if crate::grouping::has_grouping(rule) {
+                let (tuples, st) =
+                    crate::grouping::eval_grouping_rule_with(rule, &order, &source, plan)?;
+                m.tuples_produced = st.produced;
+                out.extend(tuples.into_iter().map(|t| (head_pred, t)));
+            } else {
+                let st = eval_rule_with(rule, &order, &Subst::new(), &source, plan, &mut |t| {
+                    out.push((head_pred, t));
+                })?;
+                m.tuples_produced = st.produced;
+            }
+            if spec.count_firing {
+                m.rule_firings = 1;
+            }
+            Ok((out, m))
+        },
+    );
 
     // Ordered merge: job order == (firing, chunk) order == serial order.
     let mut merged: Vec<(Pred, Tuple)> = Vec::new();
@@ -182,7 +195,9 @@ fn chunk_axis<'a>(
                     Some((j, d)) if j == i => Some(d),
                     _ => base(a.pred),
                 };
-                return rel.filter(|r| r.len() >= 2 * MIN_CHUNK_ROWS).map(|r| (i, r));
+                return rel
+                    .filter(|r| r.len() >= 2 * MIN_CHUNK_ROWS)
+                    .map(|r| (i, r));
             }
         }
     }

@@ -235,7 +235,9 @@ fn solve(
                     let oi = rel.ordered_index_on(order_cols);
                     let key: Vec<Term> = order_cols[..key_cols.len()]
                         .iter()
-                        .map(|c| key_vals[key_cols.binary_search(c).expect("prefix column")].clone())
+                        .map(|c| {
+                            key_vals[key_cols.binary_search(c).expect("prefix column")].clone()
+                        })
                         .collect();
                     for rid in oi.probe_prefix(rel.rows(), &key) {
                         try_row(rel.row(rid), &subst, source, emit, stats)?;
@@ -335,9 +337,15 @@ mod tests {
         )
         .unwrap();
         let db = Database::from_program(&src);
-        let source = OverlaySource { base: |p: Pred| db.relation(p), overlay: None, restrict: None };
+        let source = OverlaySource {
+            base: |p: Pred| db.relation(p),
+            overlay: None,
+            restrict: None,
+        };
         let mut out = Vec::new();
-        let r = eval_rule(&src.rules[0], &[1, 0], &Subst::new(), &source, &mut |t| out.push(t));
+        let r = eval_rule(&src.rules[0], &[1, 0], &Subst::new(), &source, &mut |t| {
+            out.push(t)
+        });
         assert!(r.is_err());
     }
 
@@ -390,7 +398,10 @@ mod tests {
             restrict: None,
         };
         let mut out = Vec::new();
-        eval_rule(&src.rules[0], &[0, 1], &Subst::new(), &source, &mut |t| out.push(t)).unwrap();
+        eval_rule(&src.rules[0], &[0, 1], &Subst::new(), &source, &mut |t| {
+            out.push(t)
+        })
+        .unwrap();
         assert_eq!(out, vec![Tuple::ints(&[1, 9])]);
     }
 
@@ -404,7 +415,11 @@ mod tests {
         )
         .unwrap();
         let db = Database::from_program(&src);
-        let source = OverlaySource { base: |p: Pred| db.relation(p), overlay: None, restrict: None };
+        let source = OverlaySource {
+            base: |p: Pred| db.relation(p),
+            overlay: None,
+            restrict: None,
+        };
         let mut seed = Subst::new();
         seed.bind(ldl_core::Symbol::intern("X"), Term::int(2));
         let mut out = Vec::new();

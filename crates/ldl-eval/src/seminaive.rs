@@ -29,7 +29,10 @@ pub fn eval_program_seminaive(
         .derived_preds()
         .into_iter()
         .map(|p| {
-            let rel = db.relation(p).cloned().unwrap_or_else(|| Relation::new(p.arity));
+            let rel = db
+                .relation(p)
+                .cloned()
+                .unwrap_or_else(|| Relation::new(p.arity));
             (p, rel)
         })
         .collect();
@@ -54,7 +57,10 @@ pub fn eval_program_seminaive(
             let (out, round_metrics) = {
                 let firings: Vec<Firing> = group_rules
                     .iter()
-                    .map(|&ri| Firing { rule_index: ri, overlay: None })
+                    .map(|&ri| Firing {
+                        rule_index: ri,
+                        overlay: None,
+                    })
                     .collect();
                 let base = |p: Pred| derived.get(&p).or_else(|| db.relation(p));
                 run_round(program, &firings, &base, cfg.threads, cfg.plan(&catalog))?
@@ -78,19 +84,22 @@ pub fn eval_program_seminaive(
                 )));
             }
         }
-        let (exit, rec): (Vec<usize>, Vec<usize>) = group_rules.iter().partition(|&&ri| {
-            !program.rules[ri]
-                .body_atoms()
-                .any(|a| in_group(a.pred))
-        });
+        let (exit, rec): (Vec<usize>, Vec<usize>) = group_rules
+            .iter()
+            .partition(|&&ri| !program.rules[ri].body_atoms().any(|a| in_group(a.pred)));
 
         // Round 0: asserted facts for the clique's predicates plus the
         // exit rules, both evaluated against completed strata.
         let mut delta: HashMap<Pred, Relation> =
             group.iter().map(|&p| (p, derived[&p].clone())).collect();
         let (out, round_metrics) = {
-            let firings: Vec<Firing> =
-                exit.iter().map(|&ri| Firing { rule_index: ri, overlay: None }).collect();
+            let firings: Vec<Firing> = exit
+                .iter()
+                .map(|&ri| Firing {
+                    rule_index: ri,
+                    overlay: None,
+                })
+                .collect();
             let base = |p: Pred| derived.get(&p).or_else(|| db.relation(p));
             run_round(program, &firings, &base, cfg.threads, cfg.plan(&catalog))?
         };
@@ -131,7 +140,10 @@ pub fn eval_program_seminaive(
                             .map(|a| &delta[&a.pred]);
                         match delta_occ {
                             Some(drel) if !drel.is_empty() => {
-                                firings.push(Firing { rule_index: ri, overlay: Some((j, drel)) });
+                                firings.push(Firing {
+                                    rule_index: ri,
+                                    overlay: Some((j, drel)),
+                                });
                             }
                             _ => {}
                         }
@@ -161,7 +173,14 @@ mod tests {
     use crate::naive::eval_program_naive;
     use ldl_core::parser::parse_program;
 
-    fn both(text: &str) -> (HashMap<Pred, Relation>, HashMap<Pred, Relation>, Metrics, Metrics) {
+    fn both(
+        text: &str,
+    ) -> (
+        HashMap<Pred, Relation>,
+        HashMap<Pred, Relation>,
+        Metrics,
+        Metrics,
+    ) {
         let p = parse_program(text).unwrap();
         let db = Database::from_program(&p);
         let (n, nm) = eval_program_naive(&p, &db, &FixpointConfig::default()).unwrap();
@@ -229,7 +248,7 @@ mod tests {
     }
 
     #[test]
-    fn seminaive_does_less_work_on_chains(){
+    fn seminaive_does_less_work_on_chains() {
         let mut text = String::new();
         for i in 0..60 {
             text.push_str(&format!("e({}, {}).\n", i, i + 1));

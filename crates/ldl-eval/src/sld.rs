@@ -35,7 +35,11 @@ pub struct SldConfig {
 
 impl Default for SldConfig {
     fn default() -> Self {
-        SldConfig { max_depth: 512, max_answers: None, max_resolutions: 5_000_000 }
+        SldConfig {
+            max_depth: 512,
+            max_answers: None,
+            max_resolutions: 5_000_000,
+        }
     }
 }
 
@@ -107,12 +111,18 @@ impl<'a> Solver<'a> {
                         "negation as failure on non-ground goal ~{ga}"
                     )));
                 }
-                let positive = Atom { negated: false, ..ga };
+                let positive = Atom {
+                    negated: false,
+                    ..ga
+                };
                 // Sub-search for one solution.
                 let mut sub = Solver {
                     program: self.program,
                     db: self.db,
-                    cfg: SldConfig { max_answers: Some(1), ..self.cfg },
+                    cfg: SldConfig {
+                        max_answers: Some(1),
+                        ..self.cfg
+                    },
                     stats: SldStats::default(),
                     answers: Relation::new(positive.pred.arity),
                     goal_atom: positive.clone(),
@@ -201,7 +211,10 @@ pub fn solve_sld(
     query: &Query,
     cfg: &SldConfig,
 ) -> Result<(Relation, SldStats)> {
-    let cfg = SldConfig { max_depth: cfg.max_depth.min(MAX_SUPPORTED_DEPTH), ..*cfg };
+    let cfg = SldConfig {
+        max_depth: cfg.max_depth.min(MAX_SUPPORTED_DEPTH),
+        ..*cfg
+    };
     std::thread::scope(|scope| {
         std::thread::Builder::new()
             .name("sld-search".into())
@@ -259,15 +272,21 @@ mod tests {
     #[test]
     fn left_recursive_tc_hits_depth_bound() {
         // Prolog's classic failure: tc(X,Y) <- tc(X,Z), e(Z,Y) loops.
-        let cfg = SldConfig { max_depth: 64, ..SldConfig::default() };
+        let cfg = SldConfig {
+            max_depth: 64,
+            ..SldConfig::default()
+        };
         let (_, stats) = run(LEFT_TC, "tc(1, Y)?", &cfg).unwrap();
-        assert!(stats.depth_exceeded, "left recursion must exhaust the depth bound");
+        assert!(
+            stats.depth_exceeded,
+            "left recursion must exhaust the depth bound"
+        );
         // The LDL engine evaluates the same program effortlessly.
         let program = parse_program(LEFT_TC).unwrap();
         let db = Database::from_program(&program);
         let q = parse_query("tc(1, Y)?").unwrap();
-        let fix = evaluate_query(&program, &db, &q, Method::Magic, &FixpointConfig::default())
-            .unwrap();
+        let fix =
+            evaluate_query(&program, &db, &q, Method::Magic, &FixpointConfig::default()).unwrap();
         assert_eq!(fix.tuples.len(), 3);
     }
 
@@ -289,9 +308,14 @@ mod tests {
         let program = parse_program(text).unwrap();
         let db = Database::from_program(&program);
         let q = parse_query("join2(X, Z)?").unwrap();
-        let fix =
-            evaluate_query(&program, &db, &q, Method::SemiNaive, &FixpointConfig::default())
-                .unwrap();
+        let fix = evaluate_query(
+            &program,
+            &db,
+            &q,
+            Method::SemiNaive,
+            &FixpointConfig::default(),
+        )
+        .unwrap();
         assert_eq!(ans, fix.tuples);
     }
 
@@ -315,7 +339,10 @@ mod tests {
 
     #[test]
     fn answer_budget_stops_early() {
-        let cfg = SldConfig { max_answers: Some(1), ..SldConfig::default() };
+        let cfg = SldConfig {
+            max_answers: Some(1),
+            ..SldConfig::default()
+        };
         let (ans, _) = run(RIGHT_TC, "tc(1, Y)?", &cfg).unwrap();
         assert_eq!(ans.len(), 1);
     }

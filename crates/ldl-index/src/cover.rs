@@ -107,9 +107,16 @@ fn hopcroft_karp(n_left: usize, n_right: usize, adj: &[Vec<usize>]) -> Vec<usize
 /// chains is minimal (Dilworth).
 pub fn min_chain_cover(sigs: &[Vec<usize>]) -> Vec<Vec<Vec<usize>>> {
     let n = sigs.len();
-    debug_assert!(sigs.iter().all(|s| s.windows(2).all(|w| w[0] < w[1])), "signatures must be sorted");
+    debug_assert!(
+        sigs.iter().all(|s| s.windows(2).all(|w| w[0] < w[1])),
+        "signatures must be sorted"
+    );
     let adj: Vec<Vec<usize>> = (0..n)
-        .map(|u| (0..n).filter(|&v| strict_subset(&sigs[u], &sigs[v])).collect())
+        .map(|u| {
+            (0..n)
+                .filter(|&v| strict_subset(&sigs[u], &sigs[v]))
+                .collect()
+        })
         .collect();
     let match_left = hopcroft_karp(n, n, &adj);
     let mut has_pred = vec![false; n];
@@ -205,7 +212,10 @@ mod tests {
                     p.sort_unstable();
                     p
                 };
-                assert_eq!(&prefix, sig, "signature {sig:?} is not a prefix of {order:?}");
+                assert_eq!(
+                    &prefix, sig,
+                    "signature {sig:?} is not a prefix of {order:?}"
+                );
             }
         }
     }
@@ -253,7 +263,14 @@ mod tests {
             vec![vec![0], vec![1]],
             vec![vec![0], vec![0, 1]],
             vec![vec![0], vec![1], vec![0, 1]],
-            vec![vec![0], vec![1], vec![2], vec![0, 1], vec![1, 2], vec![0, 1, 2]],
+            vec![
+                vec![0],
+                vec![1],
+                vec![2],
+                vec![0, 1],
+                vec![1, 2],
+                vec![0, 1, 2],
+            ],
             vec![vec![1], vec![0, 2], vec![0, 1, 2], vec![2]],
         ];
         for sigs in cases {
@@ -288,7 +305,11 @@ mod tests {
             let chains = min_chain_cover(&sigs);
             assert_covered(&chains);
             let total: usize = chains.iter().map(|c| c.len()).sum();
-            assert_eq!(total, sigs.len(), "mask {mask:b}: every signature covered once");
+            assert_eq!(
+                total,
+                sigs.len(),
+                "mask {mask:b}: every signature covered once"
+            );
             assert_eq!(
                 chains.len(),
                 minimal_cover_size_brute_force(&sigs),

@@ -107,7 +107,11 @@ impl PlanCost {
 
 impl fmt::Display for PlanCost {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "setup={:.2} probe={:.3} fanout={:.3}", self.setup, self.probe, self.fanout)
+        write!(
+            f,
+            "setup={:.2} probe={:.3} fanout={:.3}",
+            self.setup, self.probe, self.fanout
+        )
     }
 }
 
@@ -194,7 +198,12 @@ impl CostModel for DefaultCostModel {
         } else {
             fanout.max(1.0)
         };
-        PlanCost { setup: 0.0, probe, fanout, stats: stats.clone() }
+        PlanCost {
+            setup: 0.0,
+            probe,
+            fanout,
+            stats: stats.clone(),
+        }
     }
 
     fn indexed_access(&self, stats: &Stats, bound: &[usize], path: AccessPath) -> PlanCost {
@@ -216,12 +225,16 @@ impl CostModel for DefaultCostModel {
             // matter how many signatures probe it; the solver already
             // charged that build to the catalog, so a plan using it pays
             // only the binary search.
-            AccessPath::OrderedPrefix => {
-                (0.0, self.params.cpu_per_tuple * card.max(2.0).log2() + fanout.max(1.0))
-            }
+            AccessPath::OrderedPrefix => (
+                0.0,
+                self.params.cpu_per_tuple * card.max(2.0).log2() + fanout.max(1.0),
+            ),
             AccessPath::Range => {
                 let range_fanout = (fanout * self.params.ineq_selectivity).max(0.0);
-                (0.0, self.params.cpu_per_tuple * card.max(2.0).log2() + range_fanout.max(1.0))
+                (
+                    0.0,
+                    self.params.cpu_per_tuple * card.max(2.0).log2() + range_fanout.max(1.0),
+                )
             }
         };
         let fanout = if path == AccessPath::Range {
@@ -229,7 +242,12 @@ impl CostModel for DefaultCostModel {
         } else {
             fanout
         };
-        PlanCost { setup, probe, fanout, stats: stats.clone() }
+        PlanCost {
+            setup,
+            probe,
+            fanout,
+            stats: stats.clone(),
+        }
     }
 
     fn union_of(&self, parts: &[PlanCost], arity: usize) -> PlanCost {
@@ -245,7 +263,12 @@ impl CostModel for DefaultCostModel {
             .sum::<f64>()
             .min(self.params.cardinality_cap);
         let d = self.derived_distinct(card);
-        PlanCost { setup, probe, fanout, stats: Stats::uniform(card, arity, d) }
+        PlanCost {
+            setup,
+            probe,
+            fanout,
+            stats: Stats::uniform(card, arity, d),
+        }
     }
 
     fn params(&self) -> &CostParams {
@@ -296,7 +319,12 @@ mod tests {
 
     #[test]
     fn total_combines_setup_and_probes() {
-        let p = PlanCost { setup: 100.0, probe: 2.0, fanout: 1.0, stats: Stats::uniform(1.0, 1, 1.0) };
+        let p = PlanCost {
+            setup: 100.0,
+            probe: 2.0,
+            fanout: 1.0,
+            stats: Stats::uniform(1.0, 1, 1.0),
+        };
         assert_eq!(p.total(10.0), 120.0);
     }
 
@@ -351,7 +379,10 @@ mod tests {
             .sum();
         let ordered_total: f64 = [vec![0usize], vec![0, 1]]
             .iter()
-            .map(|cols| m.indexed_access(&s, cols, AccessPath::OrderedPrefix).total(n))
+            .map(|cols| {
+                m.indexed_access(&s, cols, AccessPath::OrderedPrefix)
+                    .total(n)
+            })
             .sum();
         assert!(
             ordered_total < hash_total,
@@ -383,10 +414,16 @@ mod tests {
     fn indexed_access_keeps_unsafe_stats_infectious() {
         let m = DefaultCostModel::default();
         let stats = PlanCost::unsafe_plan(2).stats;
-        for path in
-            [AccessPath::FullScan, AccessPath::HashProbe, AccessPath::OrderedPrefix, AccessPath::Range]
-        {
-            assert!(m.indexed_access(&stats, &[0], path).is_unsafe(), "{path:?} went finite");
+        for path in [
+            AccessPath::FullScan,
+            AccessPath::HashProbe,
+            AccessPath::OrderedPrefix,
+            AccessPath::Range,
+        ] {
+            assert!(
+                m.indexed_access(&stats, &[0], path).is_unsafe(),
+                "{path:?} went finite"
+            );
         }
     }
 

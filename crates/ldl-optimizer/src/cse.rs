@@ -13,7 +13,7 @@
 //! computation once, and the evaluator materializes it once.
 
 use ldl_core::unify::{mgu_atoms, Lgg};
-use ldl_core::{Atom, LdlError, Literal, Pred, Program, Result, Symbol, Term};
+use ldl_core::{Atom, LdlError, Literal, Pred, Program, Result, Span, Symbol, Term};
 use std::collections::BTreeSet;
 
 /// A detected sharing opportunity.
@@ -58,7 +58,9 @@ pub fn find_candidates(program: &Program) -> Vec<CseCandidate> {
             if (r1, l1) == (r2, l2) || a1.pred != a2.pred {
                 continue;
             }
-            let Some(g) = Lgg::new().atoms(a1, a2) else { continue };
+            let Some(g) = Lgg::new().atoms(a1, a2) else {
+                continue;
+            };
             let restricting = g.args.iter().filter(|t| !t.is_var()).count();
             if restricting == 0 {
                 continue; // all-free generalization shares nothing
@@ -97,8 +99,12 @@ pub fn apply(program: &Program, candidate: &CseCandidate, index: usize) -> Resul
         pred: shared_pred,
         args: vars.iter().map(|&v| Term::Var(v)).collect(),
         negated: false,
+        span: Span::NONE,
     };
-    out.rules.push(ldl_core::Rule::new(head, vec![Literal::Atom(candidate.generalized.clone())]));
+    out.rules.push(ldl_core::Rule::new(
+        head,
+        vec![Literal::Atom(candidate.generalized.clone())],
+    ));
 
     // Rewrite occurrences.
     let occs: BTreeSet<(usize, usize)> = candidate.occurrences.iter().copied().collect();
@@ -108,7 +114,9 @@ pub fn apply(program: &Program, candidate: &CseCandidate, index: usize) -> Resul
             .get_mut(ri)
             .ok_or_else(|| LdlError::Validation(format!("rule {ri} out of range")))?;
         let Literal::Atom(a) = &rule.body[li] else {
-            return Err(LdlError::Validation(format!("literal {ri}/{li} is not an atom")));
+            return Err(LdlError::Validation(format!(
+                "literal {ri}/{li} is not an atom"
+            )));
         };
         // occurrence = generalized · θ (match, not unify: the occurrence
         // must be an instance).
@@ -119,8 +127,12 @@ pub fn apply(program: &Program, candidate: &CseCandidate, index: usize) -> Resul
             ))
         })?;
         let new_args: Vec<Term> = vars.iter().map(|&v| theta.apply(&Term::Var(v))).collect();
-        rule.body[li] =
-            Literal::Atom(Atom { pred: shared_pred, args: new_args, negated: false });
+        rule.body[li] = Literal::Atom(Atom {
+            pred: shared_pred,
+            args: new_args,
+            negated: false,
+            span: Span::NONE,
+        });
     }
     Ok(out)
 }

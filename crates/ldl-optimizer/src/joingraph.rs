@@ -25,7 +25,10 @@ impl JoinGraph {
     pub fn new(cards: Vec<f64>) -> JoinGraph {
         assert!(!cards.is_empty());
         assert!(cards.iter().all(|&c| c.is_finite() && c >= 0.0));
-        JoinGraph { cards, sel: HashMap::new() }
+        JoinGraph {
+            cards,
+            sel: HashMap::new(),
+        }
     }
 
     /// Number of relations.

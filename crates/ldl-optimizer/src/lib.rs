@@ -25,7 +25,7 @@ pub mod cse;
 pub mod joingraph;
 pub mod opt;
 pub mod ptree;
-pub mod safety;
+pub use ldl_core::safety;
 pub mod search;
 
 pub use cost::{AccessPath, CostModel, CostParams, PlanCost};

@@ -210,20 +210,13 @@ impl OptimizedQuery {
         let sip = self.sip();
         let attempt = evaluate_query_sip(program, db, &self.query, self.method, cfg, &sip);
         match attempt {
-            Err(LdlError::Eval(_) | LdlError::Validation(_))
-                if self.method == Method::Counting =>
-            {
+            Err(LdlError::Eval(_) | LdlError::Validation(_)) if self.method == Method::Counting => {
                 // Divergence (cyclic data) or inapplicability: magic is
                 // the binding-propagating fallback.
                 match evaluate_query_sip(program, db, &self.query, Method::Magic, cfg, &sip) {
-                    Err(LdlError::Validation(_)) => evaluate_query_sip(
-                        program,
-                        db,
-                        &self.query,
-                        Method::SemiNaive,
-                        cfg,
-                        &sip,
-                    ),
+                    Err(LdlError::Validation(_)) => {
+                        evaluate_query_sip(program, db, &self.query, Method::SemiNaive, cfg, &sip)
+                    }
                     other => other,
                 }
             }
@@ -361,7 +354,12 @@ impl<'a> Optimizer<'a> {
         // breaks the size-estimation cycle.
         if let Some(&size) = self.overlay.borrow().get(&pred) {
             let cost = self.restricted_cost(size, pred.arity, ad);
-            return Rc::new(PredPlan { pred, adornment: ad, cost, kind: PredPlanKind::Base });
+            return Rc::new(PredPlan {
+                pred,
+                adornment: ad,
+                cost,
+                kind: PredPlanKind::Base,
+            });
         }
         if self.cfg.memo_enabled {
             if let Some(hit) = self.memo.borrow().get(&(pred, ad)) {
@@ -396,7 +394,12 @@ impl<'a> Optimizer<'a> {
                 }
                 None => self.model.base_access(&stats, &bound),
             };
-            return PredPlan { pred, adornment: ad, cost, kind: PredPlanKind::Base };
+            return PredPlan {
+                pred,
+                adornment: ad,
+                cost,
+                kind: PredPlanKind::Base,
+            };
         }
         if let Some(cid) = self.graph.clique_id_of(pred) {
             return self.optimize_clique(cid, pred, ad);
@@ -419,7 +422,12 @@ impl<'a> Optimizer<'a> {
             rule_plans.push(rp);
         }
         let cost = self.model.union_of(&parts, pred.arity);
-        PredPlan { pred, adornment: ad, cost, kind: PredPlanKind::Union(rule_plans) }
+        PredPlan {
+            pred,
+            adornment: ad,
+            cost,
+            kind: PredPlanKind::Union(rule_plans),
+        }
     }
 
     /// PlanCost of accessing an estimated relation of `size` tuples
@@ -530,8 +538,18 @@ impl<'a> Optimizer<'a> {
                     .enumerate()
                     .any(|(i, arg)| head_ad.is_bound(i) && arg.vars().contains(v))
             });
-            let (cost, fanout) = if safe { (0.0, 1.0) } else { (INFINITE_COST, INFINITE_COST) };
-            return RulePlan { rule_index, head_adornment: head_ad, order: vec![], cost, fanout };
+            let (cost, fanout) = if safe {
+                (0.0, 1.0)
+            } else {
+                (INFINITE_COST, INFINITE_COST)
+            };
+            return RulePlan {
+                rule_index,
+                head_adornment: head_ad,
+                order: vec![],
+                cost,
+                fanout,
+            };
         }
         let strategy = match self.cfg.strategy {
             Strategy::Exhaustive if n > self.cfg.max_exhaustive_literals => {
@@ -547,7 +565,13 @@ impl<'a> Optimizer<'a> {
                 .unwrap_or_else(|| self.search_dp(rule, head_ad)),
             Strategy::Annealing => self.search_anneal(rule, head_ad, rule_index as u64),
         };
-        RulePlan { rule_index, head_adornment: head_ad, order, cost, fanout }
+        RulePlan {
+            rule_index,
+            head_adornment: head_ad,
+            order,
+            cost,
+            fanout,
+        }
     }
 
     /// KBZ at the rule level: abstracts the body into a [`JoinGraph`]
@@ -671,7 +695,9 @@ impl<'a> Optimizer<'a> {
         let mut best: Vec<Option<(f64, Vec<usize>)>> = vec![None; full + 1];
         best[0] = Some((0.0, vec![]));
         for mask in 0..=full {
-            let Some((cost_so_far, order_so_far)) = best[mask].clone() else { continue };
+            let Some((cost_so_far, order_so_far)) = best[mask].clone() else {
+                continue;
+            };
             if !cost_so_far.is_finite() {
                 continue;
             }
@@ -771,8 +797,8 @@ impl<'a> Optimizer<'a> {
 
     fn search_anneal(&self, rule: &Rule, head_ad: Adornment, salt: u64) -> (Vec<usize>, f64, f64) {
         let n = rule.body.len();
-        let initial: Vec<usize> = safety::find_safe_order(rule, head_ad)
-            .unwrap_or_else(|| (0..n).collect());
+        let initial: Vec<usize> =
+            safety::find_safe_order(rule, head_ad).unwrap_or_else(|| (0..n).collect());
         let (order, cost, _) = anneal_generic(
             initial,
             |o, rng| {
@@ -867,8 +893,10 @@ impl<'a> Optimizer<'a> {
         full_size: f64,
     ) -> PredPlan {
         let rec_rules: Vec<usize> = clique.recursive_rules.clone();
-        let body_lens: Vec<usize> =
-            rec_rules.iter().map(|&ri| self.program.rules[ri].body.len()).collect();
+        let body_lens: Vec<usize> = rec_rules
+            .iter()
+            .map(|&ri| self.program.rules[ri].body.len())
+            .collect();
         let total: f64 = body_lens.iter().map(|&n| factorial(n)).product();
 
         let evaluate = |cperm: &[Vec<usize>]| -> CpermCost {
@@ -876,8 +904,7 @@ impl<'a> Optimizer<'a> {
             self.evaluate_cpermutation(clique, pred, ad, full_size, &rec_rules, cperm)
         };
 
-        let identity: Vec<Vec<usize>> =
-            body_lens.iter().map(|&n| (0..n).collect()).collect();
+        let identity: Vec<Vec<usize>> = body_lens.iter().map(|&n| (0..n).collect()).collect();
 
         let (best_cperm, best_cost, best_method, best_costs) =
             if total <= self.cfg.max_cpermutations as f64 {
@@ -893,7 +920,10 @@ impl<'a> Optimizer<'a> {
                         .map(|(r, &i)| all_perms[r][i].clone())
                         .collect();
                     let (cost, method, costs) = evaluate(&cperm);
-                    let better = best.as_ref().map(|(_, (bc, _, _))| cost < *bc).unwrap_or(true);
+                    let better = best
+                        .as_ref()
+                        .map(|(_, (bc, _, _))| cost < *bc)
+                        .unwrap_or(true);
                     if better {
                         best = Some((cperm, (cost, method, costs)));
                     }
@@ -939,7 +969,10 @@ impl<'a> Optimizer<'a> {
                             .filter(|(_, p)| p.len() >= 2)
                             .map(|(i, _)| i)
                             .collect();
-                        if let Some(&r) = candidates.get(rng.gen_range(0..candidates.len().max(1)).min(candidates.len().saturating_sub(1))) {
+                        if let Some(&r) = candidates.get(
+                            rng.gen_range(0..candidates.len().max(1))
+                                .min(candidates.len().saturating_sub(1)),
+                        ) {
                             let n = cp[r].len();
                             let i = rng.gen_range(0..n);
                             let mut j = rng.gen_range(0..n - 1);
@@ -959,8 +992,7 @@ impl<'a> Optimizer<'a> {
                 (best, c, m, costs)
             };
 
-        let sips: BTreeMap<usize, Vec<usize>> =
-            rec_rules.iter().copied().zip(best_cperm).collect();
+        let sips: BTreeMap<usize, Vec<usize>> = rec_rules.iter().copied().zip(best_cperm).collect();
         let fanout = {
             let d = self.model.derived_distinct(full_size);
             let mut f = full_size;
@@ -974,7 +1006,11 @@ impl<'a> Optimizer<'a> {
                 setup: best_cost,
                 probe: fanout.max(1.0),
                 fanout,
-                stats: Stats::uniform(full_size, pred.arity, self.model.derived_distinct(full_size)),
+                stats: Stats::uniform(
+                    full_size,
+                    pred.arity,
+                    self.model.derived_distinct(full_size),
+                ),
             }
         } else {
             PlanCost::unsafe_plan(pred.arity)
@@ -1024,8 +1060,7 @@ impl<'a> Optimizer<'a> {
             if !clique.preds.contains(&ar.head.pred) {
                 continue;
             }
-            let derived_lits =
-                ar.body.iter().filter(|(_, ad)| ad.is_some()).count();
+            let derived_lits = ar.body.iter().filter(|(_, ad)| ad.is_some()).count();
             if derived_lits > 1 {
                 counting_linear = false;
             }
@@ -1084,8 +1119,11 @@ impl<'a> Optimizer<'a> {
                             // binding re-join) only exists when there IS a
                             // binding to propagate; an all-free counting
                             // run just adds depth-indexed copies.
-                            let factor =
-                                if bound_query { p.counting_advantage } else { 1.1 };
+                            let factor = if bound_query {
+                                p.counting_advantage
+                            } else {
+                                1.1
+                            };
                             (full_size * rho * per_round * 1.2 + 1.0) * factor
                         } else {
                             INFINITE_COST
@@ -1176,7 +1214,9 @@ mod tests {
         let program = parse_program(SG).unwrap();
         let db = Database::from_program(&program);
         let query = parse_query("sg(1, Y)?").unwrap();
-        let plain = Optimizer::with_defaults(&program, &db).optimize(&query).unwrap();
+        let plain = Optimizer::with_defaults(&program, &db)
+            .optimize(&query)
+            .unwrap();
         let opt = Optimizer::with_defaults(&program, &db).with_selected_indexes();
         let indexed = opt.optimize(&query).unwrap();
         assert!(indexed.cost.is_finite());
@@ -1204,14 +1244,20 @@ mod tests {
 
     #[test]
     fn counting_chosen_when_acyclic_assumed() {
-        let cfg = OptConfig { assume_acyclic: true, ..OptConfig::default() };
+        let cfg = OptConfig {
+            assume_acyclic: true,
+            ..OptConfig::default()
+        };
         let o = optimize_cfg(SG, "sg(1, Y)?", cfg).unwrap();
         assert_eq!(o.method, Method::Counting);
     }
 
     #[test]
     fn free_query_avoids_counting_even_when_acyclic() {
-        let cfg = OptConfig { assume_acyclic: true, ..OptConfig::default() };
+        let cfg = OptConfig {
+            assume_acyclic: true,
+            ..OptConfig::default()
+        };
         let o = optimize_cfg(SG, "sg(X, Y)?", cfg).unwrap();
         assert_eq!(
             o.method,
@@ -1235,7 +1281,11 @@ mod tests {
         let o = opt.optimize(&parse_query("q(X, Z)?").unwrap()).unwrap();
         match &o.plan.kind {
             PredPlanKind::Union(rules) => {
-                assert_eq!(rules[0].order, vec![1, 0], "small relation should be scanned first");
+                assert_eq!(
+                    rules[0].order,
+                    vec![1, 0],
+                    "small relation should be scanned first"
+                );
             }
             other => panic!("expected union plan, got {other:?}"),
         }
@@ -1303,7 +1353,10 @@ mod tests {
     fn list_length_safe_only_when_bound() {
         let text = "len([], 0).\nlen([H | T], N) <- len(T, M), N = M + 1.";
         let free = optimize(text, "len(L, N)?");
-        assert!(matches!(free, Err(LdlError::Unsafe(_))), "free form must be unsafe");
+        assert!(
+            matches!(free, Err(LdlError::Unsafe(_))),
+            "free form must be unsafe"
+        );
         let bound = optimize(text, "len([1, 2, 3], N)?");
         let bound = bound.unwrap();
         assert!(matches!(bound.method, Method::Magic | Method::Counting));
@@ -1342,7 +1395,10 @@ mod tests {
         let without = Optimizer::new(
             &program,
             &db,
-            OptConfig { memo_enabled: false, ..OptConfig::default() },
+            OptConfig {
+                memo_enabled: false,
+                ..OptConfig::default()
+            },
         );
         without.optimize(&parse_query("top(Z)?").unwrap()).unwrap();
         assert!(
@@ -1360,7 +1416,9 @@ mod tests {
         let opt = Optimizer::with_defaults(&program, &db);
         let query = parse_query("sg(1, Y)?").unwrap();
         let o = opt.optimize(&query).unwrap();
-        let ans = o.execute(&program, &db, &FixpointConfig::default()).unwrap();
+        let ans = o
+            .execute(&program, &db, &FixpointConfig::default())
+            .unwrap();
         // Reference: plain semi-naive.
         let reference = ldl_eval::evaluate_query(
             &program,
@@ -1386,7 +1444,14 @@ mod tests {
         let query = parse_query("q(1)?").unwrap();
         let mut costs = Vec::new();
         for s in [Strategy::Exhaustive, Strategy::DynamicProgramming] {
-            let opt = Optimizer::new(&program, &db, OptConfig { strategy: s, ..OptConfig::default() });
+            let opt = Optimizer::new(
+                &program,
+                &db,
+                OptConfig {
+                    strategy: s,
+                    ..OptConfig::default()
+                },
+            );
             let o = opt.optimize(&query).unwrap();
             costs.push(o.cost);
         }
@@ -1412,14 +1477,20 @@ mod tests {
         let dp = Optimizer::new(
             &program,
             &db,
-            OptConfig { strategy: Strategy::DynamicProgramming, ..OptConfig::default() },
+            OptConfig {
+                strategy: Strategy::DynamicProgramming,
+                ..OptConfig::default()
+            },
         )
         .optimize(&query)
         .unwrap();
         let kbz = Optimizer::new(
             &program,
             &db,
-            OptConfig { strategy: Strategy::Kbz, ..OptConfig::default() },
+            OptConfig {
+                strategy: Strategy::Kbz,
+                ..OptConfig::default()
+            },
         )
         .optimize(&query)
         .unwrap();
@@ -1441,7 +1512,10 @@ mod tests {
         let o = optimize_cfg(
             "n(1). n(2).\nbig(X, Y) <- Y = X * 10, n(X).",
             "big(A, B)?",
-            OptConfig { strategy: Strategy::Kbz, ..OptConfig::default() },
+            OptConfig {
+                strategy: Strategy::Kbz,
+                ..OptConfig::default()
+            },
         )
         .unwrap();
         assert!(o.cost.is_finite());
@@ -1464,7 +1538,10 @@ mod tests {
         let opt = Optimizer::new(
             &program,
             &db,
-            OptConfig { strategy: Strategy::Annealing, ..OptConfig::default() },
+            OptConfig {
+                strategy: Strategy::Annealing,
+                ..OptConfig::default()
+            },
         );
         let o = opt.optimize(&parse_query("q(1)?").unwrap()).unwrap();
         assert!(o.cost.is_finite());
@@ -1476,12 +1553,29 @@ mod tests {
         match &o.plan.kind {
             PredPlanKind::Clique { method_costs, .. } => {
                 assert_eq!(method_costs.len(), Method::ALL.len());
-                let naive = method_costs.iter().find(|(m, _)| *m == Method::Naive).unwrap().1;
-                let semi =
-                    method_costs.iter().find(|(m, _)| *m == Method::SemiNaive).unwrap().1;
-                let magic = method_costs.iter().find(|(m, _)| *m == Method::Magic).unwrap().1;
-                assert!(naive > semi, "naive {naive} must cost more than semi-naive {semi}");
-                assert!(magic < semi, "magic {magic} must beat semi-naive {semi} when bound");
+                let naive = method_costs
+                    .iter()
+                    .find(|(m, _)| *m == Method::Naive)
+                    .unwrap()
+                    .1;
+                let semi = method_costs
+                    .iter()
+                    .find(|(m, _)| *m == Method::SemiNaive)
+                    .unwrap()
+                    .1;
+                let magic = method_costs
+                    .iter()
+                    .find(|(m, _)| *m == Method::Magic)
+                    .unwrap()
+                    .1;
+                assert!(
+                    naive > semi,
+                    "naive {naive} must cost more than semi-naive {semi}"
+                );
+                assert!(
+                    magic < semi,
+                    "magic {magic} must beat semi-naive {semi} when bound"
+                );
             }
             other => panic!("expected clique plan, got {other:?}"),
         }
@@ -1503,7 +1597,10 @@ mod tests {
         let opt = Optimizer::new(
             &program,
             &db,
-            OptConfig { assume_acyclic: true, ..OptConfig::default() },
+            OptConfig {
+                assume_acyclic: true,
+                ..OptConfig::default()
+            },
         );
         let query = parse_query("tc(1, Y)?").unwrap();
         let plan = opt.optimize(&query).unwrap();
@@ -1530,12 +1627,17 @@ mod tests {
         let opt = Optimizer::new(
             &program,
             &db,
-            OptConfig { assume_acyclic: true, ..OptConfig::default() },
+            OptConfig {
+                assume_acyclic: true,
+                ..OptConfig::default()
+            },
         );
         let query = parse_query("rev([1, 2, 3], R)?").unwrap();
         let plan = opt.optimize(&query).unwrap();
         assert_eq!(plan.method, Method::Magic, "got {:?}", plan.method);
-        let ans = plan.execute(&program, &db, &FixpointConfig::with_max_iterations(500)).unwrap();
+        let ans = plan
+            .execute(&program, &db, &FixpointConfig::with_max_iterations(500))
+            .unwrap();
         assert_eq!(ans.tuples.len(), 1);
         assert_eq!(ans.tuples.rows()[0].get(1).to_string(), "[3, 2, 1]");
     }

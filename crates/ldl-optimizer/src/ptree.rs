@@ -83,12 +83,21 @@ impl ProcessingTree {
 
     /// Number of nodes.
     pub fn size(&self) -> usize {
-        1 + self.children.iter().map(ProcessingTree::size).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(ProcessingTree::size)
+            .sum::<usize>()
     }
 
     /// Depth of the tree (a single node has depth 1).
     pub fn depth(&self) -> usize {
-        1 + self.children.iter().map(ProcessingTree::depth).max().unwrap_or(0)
+        1 + self
+            .children
+            .iter()
+            .map(ProcessingTree::depth)
+            .max()
+            .unwrap_or(0)
     }
 
     /// All CC nodes.
@@ -152,7 +161,11 @@ fn build_or(program: &Program, pred: Pred, path: &mut Vec<Pred>) -> ProcessingTr
     }
     let rules = program.rules_for(pred);
     if rules.is_empty() {
-        return ProcessingTree { kind: TreeKind::Leaf(pred), materialized: true, children: vec![] };
+        return ProcessingTree {
+            kind: TreeKind::Leaf(pred),
+            materialized: true,
+            children: vec![],
+        };
     }
     path.push(pred);
     let children = rules
@@ -163,14 +176,21 @@ fn build_or(program: &Program, pred: Pred, path: &mut Vec<Pred>) -> ProcessingTr
                 .map(|a| build_or(program, a.pred, path))
                 .collect();
             ProcessingTree {
-                kind: TreeKind::And { rule_index: ri, pred },
+                kind: TreeKind::And {
+                    rule_index: ri,
+                    pred,
+                },
                 materialized: true,
                 children: lits,
             }
         })
         .collect();
     path.pop();
-    ProcessingTree { kind: TreeKind::Or(pred), materialized: true, children }
+    ProcessingTree {
+        kind: TreeKind::Or(pred),
+        materialized: true,
+        children,
+    }
 }
 
 fn build_contracted_inner(
@@ -193,14 +213,21 @@ fn build_contracted_inner(
             .map(|p| build_contracted_inner(program, graph, p))
             .collect();
         return ProcessingTree {
-            kind: TreeKind::Cc { preds: clique.preds.clone(), method: None },
+            kind: TreeKind::Cc {
+                preds: clique.preds.clone(),
+                method: None,
+            },
             materialized: true,
             children,
         };
     }
     let rules = program.rules_for(pred);
     if rules.is_empty() {
-        return ProcessingTree { kind: TreeKind::Leaf(pred), materialized: true, children: vec![] };
+        return ProcessingTree {
+            kind: TreeKind::Leaf(pred),
+            materialized: true,
+            children: vec![],
+        };
     }
     let children = rules
         .into_iter()
@@ -210,13 +237,20 @@ fn build_contracted_inner(
                 .map(|a| build_contracted_inner(program, graph, a.pred))
                 .collect();
             ProcessingTree {
-                kind: TreeKind::And { rule_index: ri, pred },
+                kind: TreeKind::And {
+                    rule_index: ri,
+                    pred,
+                },
                 materialized: true,
                 children: lits,
             }
         })
         .collect();
-    ProcessingTree { kind: TreeKind::Or(pred), materialized: true, children }
+    ProcessingTree {
+        kind: TreeKind::Or(pred),
+        materialized: true,
+        children,
+    }
 }
 
 fn annotate(tree: &mut ProcessingTree, program: &Program, optimized: &OptimizedQuery) {

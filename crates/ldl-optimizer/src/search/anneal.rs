@@ -55,7 +55,11 @@ pub fn optimize_anneal(g: &JoinGraph, params: &AnnealParams, seed: u64) -> Searc
     let mut probes = 1usize;
 
     if n < 2 {
-        return SearchResult { order: current, cost: cur_cost, probes };
+        return SearchResult {
+            order: current,
+            cost: cur_cost,
+            probes,
+        };
     }
 
     // Fit the geometric schedule to the probe budget: reserve a quarter
@@ -128,7 +132,11 @@ pub fn optimize_anneal(g: &JoinGraph, params: &AnnealParams, seed: u64) -> Searc
         best_cost = cur_cost;
         best = current;
     }
-    SearchResult { order: best, cost: best_cost, probes }
+    SearchResult {
+        order: best,
+        cost: best_cost,
+        probes,
+    }
 }
 
 /// Generic simulated annealing over an arbitrary state space, used by
@@ -151,7 +159,11 @@ pub fn anneal_generic<S: Clone>(
     let mut best_cost = cur_cost;
     let mut probes = 1usize;
 
-    let scale = if cur_cost.is_finite() { cur_cost.max(1.0) } else { 1e9 };
+    let scale = if cur_cost.is_finite() {
+        cur_cost.max(1.0)
+    } else {
+        1e9
+    };
     let mut temp = scale * params.initial_temp_fraction;
     let floor = scale * params.final_temp_fraction;
     while temp > floor && probes < params.max_probes {
@@ -185,8 +197,9 @@ mod tests {
 
     fn random_graph(n: usize, seed: u64) -> JoinGraph {
         let mut rng = SplitMix64::seed_from_u64(seed);
-        let cards: Vec<f64> =
-            (0..n).map(|_| 10f64.powf(rng.gen_range(1.0..5.0)).round()).collect();
+        let cards: Vec<f64> = (0..n)
+            .map(|_| 10f64.powf(rng.gen_range(1.0..5.0)).round())
+            .collect();
         let mut g = JoinGraph::new(cards);
         // Random connected chain plus extra edges.
         for i in 1..n {
@@ -204,12 +217,18 @@ mod tests {
             let g = random_graph(6, seed);
             let ex = optimize_exhaustive(&g);
             let an = optimize_anneal(&g, &AnnealParams::default(), seed + 1000);
-            assert!(an.cost >= ex.cost * (1.0 - 1e-9), "annealing can't beat optimal");
+            assert!(
+                an.cost >= ex.cost * (1.0 - 1e-9),
+                "annealing can't beat optimal"
+            );
             if an.cost <= 2.0 * ex.cost {
                 within2 += 1;
             }
         }
-        assert!(within2 >= (total as usize * 9) / 10, "only {within2}/{total} within 2x");
+        assert!(
+            within2 >= (total as usize * 9) / 10,
+            "only {within2}/{total} within 2x"
+        );
     }
 
     #[test]
@@ -224,7 +243,10 @@ mod tests {
     #[test]
     fn probes_capped() {
         let g = random_graph(9, 3);
-        let p = AnnealParams { max_probes: 500, ..AnnealParams::default() };
+        let p = AnnealParams {
+            max_probes: 500,
+            ..AnnealParams::default()
+        };
         let r = optimize_anneal(&g, &p, 1);
         assert!(r.probes <= 500);
     }
@@ -252,7 +274,10 @@ mod tests {
             100i64,
             |x, rng| if rng.gen::<bool>() { x + 1 } else { x - 1 },
             |x| (x - 17).abs() as f64,
-            &AnnealParams { max_probes: 50_000, ..AnnealParams::default() },
+            &AnnealParams {
+                max_probes: 50_000,
+                ..AnnealParams::default()
+            },
             3,
         );
         assert_eq!(cost, 0.0, "best found: {best}");
@@ -265,7 +290,10 @@ mod tests {
             -5i64,
             |x, rng| if rng.gen::<bool>() { x + 1 } else { x - 1 },
             |x| if *x < 0 { f64::INFINITY } else { *x as f64 },
-            &AnnealParams { max_probes: 20_000, ..AnnealParams::default() },
+            &AnnealParams {
+                max_probes: 20_000,
+                ..AnnealParams::default()
+            },
             4,
         );
         assert!(cost.is_finite());

@@ -8,7 +8,10 @@ use crate::search::SearchResult;
 /// joins" under this strategy).
 pub fn optimize_exhaustive(g: &JoinGraph) -> SearchResult {
     let n = g.n();
-    assert!(n <= 11, "exhaustive enumeration beyond 11 relations is impractical");
+    assert!(
+        n <= 11,
+        "exhaustive enumeration beyond 11 relations is impractical"
+    );
     let mut perm: Vec<usize> = (0..n).collect();
     let mut best: Option<(f64, Vec<usize>)> = None;
     let mut probes = 0usize;
@@ -21,7 +24,11 @@ pub fn optimize_exhaustive(g: &JoinGraph) -> SearchResult {
         }
     });
     let (cost, order) = best.expect("n >= 1");
-    SearchResult { order, cost, probes }
+    SearchResult {
+        order,
+        cost,
+        probes,
+    }
 }
 
 /// Heap-style recursive permutation visitor.
@@ -45,7 +52,11 @@ fn permute(perm: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
 pub fn optimize_dp(g: &JoinGraph) -> SearchResult {
     let n = g.n();
     assert!(n <= 24, "DP beyond 24 relations exhausts memory");
-    let full: usize = if n == usize::BITS as usize { usize::MAX } else { (1 << n) - 1 };
+    let full: usize = if n == usize::BITS as usize {
+        usize::MAX
+    } else {
+        (1 << n) - 1
+    };
     // best[mask] = (cost, card, last) — reconstruct order via `last`.
     let mut best: Vec<Option<(f64, f64, usize)>> = vec![None; full + 1];
     let mut probes = 0usize;
@@ -55,7 +66,9 @@ pub fn optimize_dp(g: &JoinGraph) -> SearchResult {
         probes += 1;
     }
     for mask in 1..=full {
-        let Some((cost, card, _)) = best[mask] else { continue };
+        let Some((cost, card, _)) = best[mask] else {
+            continue;
+        };
         for next in 0..n {
             if mask & (1 << next) != 0 {
                 continue;
@@ -87,7 +100,11 @@ pub fn optimize_dp(g: &JoinGraph) -> SearchResult {
     }
     order.reverse();
     let (cost, _, _) = best[full].expect("full subset");
-    SearchResult { order, cost, probes }
+    SearchResult {
+        order,
+        cost,
+        probes,
+    }
 }
 
 /// Selinger DP restricted to *connected* prefixes (no cross products
@@ -109,7 +126,9 @@ pub fn optimize_dp_connected(g: &JoinGraph) -> SearchResult {
         (0..n).any(|p| mask & (1 << p) != 0 && g.selectivity(p, next) < 1.0)
     };
     for mask in 1..=full {
-        let Some((cost, card, _)) = best[mask] else { continue };
+        let Some((cost, card, _)) = best[mask] else {
+            continue;
+        };
         // Prefer connected extensions; fall back to any extension only if
         // none exists (disconnected graphs must still complete).
         let any_connected = (0..n).any(|x| mask & (1 << x) == 0 && connected(mask, x));
@@ -145,7 +164,11 @@ pub fn optimize_dp_connected(g: &JoinGraph) -> SearchResult {
     }
     order.reverse();
     let (cost, _, _) = best[full].expect("full subset");
-    SearchResult { order, cost, probes }
+    SearchResult {
+        order,
+        cost,
+        probes,
+    }
 }
 
 #[cfg(test)]
@@ -185,7 +208,12 @@ mod tests {
         let g = star(7); // 8 relations: 40320 permutations
         let ex = optimize_exhaustive(&g);
         let dp = optimize_dp(&g);
-        assert!(dp.probes < ex.probes / 10, "dp {} vs ex {}", dp.probes, ex.probes);
+        assert!(
+            dp.probes < ex.probes / 10,
+            "dp {} vs ex {}",
+            dp.probes,
+            ex.probes
+        );
         assert!((ex.cost - dp.cost).abs() < 1e-6 * ex.cost);
     }
 

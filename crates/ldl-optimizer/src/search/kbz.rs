@@ -72,7 +72,14 @@ fn merge_chains(mut chains: Vec<Vec<Module>>) -> Vec<Module> {
 fn normalize_front(mut chain: Vec<Module>) -> Vec<Module> {
     while chain.len() >= 2 && chain[0].rank() > chain[1].rank() {
         let second = chain.remove(1);
-        let first = std::mem::replace(&mut chain[0], Module { rels: vec![], t: 1.0, c: 0.0 });
+        let first = std::mem::replace(
+            &mut chain[0],
+            Module {
+                rels: vec![],
+                t: 1.0,
+                c: 0.0,
+            },
+        );
         chain[0] = first.then(second);
     }
     chain
@@ -88,7 +95,11 @@ fn subtree_chain(v: usize, children: &[Vec<usize>], t_of: &[f64]) -> Vec<Module>
         .collect();
     let merged = merge_chains(child_chains);
     let mut chain = Vec::with_capacity(merged.len() + 1);
-    chain.push(Module { rels: vec![v], t: t_of[v], c: t_of[v] });
+    chain.push(Module {
+        rels: vec![v],
+        t: t_of[v],
+        c: t_of[v],
+    });
     chain.extend(merged);
     normalize_front(chain)
 }
@@ -99,10 +110,17 @@ fn subtree_chain(v: usize, children: &[Vec<usize>], t_of: &[f64]) -> Vec<Module>
 pub fn optimize_kbz(g: &JoinGraph) -> SearchResult {
     let n = g.n();
     if n == 1 {
-        return SearchResult { order: vec![0], cost: g.sequence_cost(&[0]), probes: 1 };
+        return SearchResult {
+            order: vec![0],
+            cost: g.sequence_cost(&[0]),
+            probes: 1,
+        };
     }
-    let tree_edges: Vec<(usize, usize, f64)> =
-        if g.is_tree() { g.edges() } else { g.spanning_tree() };
+    let tree_edges: Vec<(usize, usize, f64)> = if g.is_tree() {
+        g.edges()
+    } else {
+        g.spanning_tree()
+    };
     let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
     for &(i, j, s) in &tree_edges {
         adj[i].push((j, s));
@@ -167,7 +185,11 @@ pub fn optimize_kbz(g: &JoinGraph) -> SearchResult {
             }
         }
     }
-    SearchResult { order, cost, probes }
+    SearchResult {
+        order,
+        cost,
+        probes,
+    }
 }
 
 #[cfg(test)]
@@ -223,7 +245,12 @@ mod tests {
         let kbz = optimize_kbz(&g);
         let ex = optimize_exhaustive(&g);
         // Heuristic: must be within 3x of optimal on this tiny query.
-        assert!(kbz.cost <= 3.0 * ex.cost, "kbz {} vs ex {}", kbz.cost, ex.cost);
+        assert!(
+            kbz.cost <= 3.0 * ex.cost,
+            "kbz {} vs ex {}",
+            kbz.cost,
+            ex.cost
+        );
     }
 
     #[test]
@@ -258,8 +285,9 @@ mod tests {
         for seed in 0..60u64 {
             let mut rng = SplitMix64::seed_from_u64(seed);
             let n = rng.gen_range(3usize..9);
-            let cards: Vec<f64> =
-                (0..n).map(|_| 10f64.powf(rng.gen_range(1.0..5.0)).round()).collect();
+            let cards: Vec<f64> = (0..n)
+                .map(|_| 10f64.powf(rng.gen_range(1.0..5.0)).round())
+                .collect();
             let mut g = JoinGraph::new(cards);
             // Random tree: attach each node to a random earlier one.
             for i in 1..n {

@@ -43,7 +43,11 @@ impl Database {
 
     /// Installs (or replaces) a relation.
     pub fn set_relation(&mut self, pred: Pred, rel: Relation) {
-        assert_eq!(pred.arity, rel.arity(), "relation arity must match predicate");
+        assert_eq!(
+            pred.arity,
+            rel.arity(),
+            "relation arity must match predicate"
+        );
         self.relations.insert(pred, rel);
     }
 
@@ -61,7 +65,9 @@ impl Database {
 
     /// Mutable access, creating an empty relation if absent.
     pub fn relation_mut(&mut self, pred: Pred) -> &mut Relation {
-        self.relations.entry(pred).or_insert_with(|| Relation::new(pred.arity))
+        self.relations
+            .entry(pred)
+            .or_insert_with(|| Relation::new(pred.arity))
     }
 
     /// Inserts one tuple into `pred`'s relation.
@@ -72,7 +78,11 @@ impl Database {
     /// Declares synthetic statistics for `pred` (used by optimizer-only
     /// experiments; takes precedence over measured statistics).
     pub fn set_stats(&mut self, pred: Pred, stats: Stats) {
-        assert_eq!(pred.arity, stats.arity(), "stats arity must match predicate");
+        assert_eq!(
+            pred.arity,
+            stats.arity(),
+            "stats arity must match predicate"
+        );
         self.stats_overrides.insert(pred, stats);
     }
 

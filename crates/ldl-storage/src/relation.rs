@@ -82,7 +82,11 @@ impl Index {
             let key: Vec<Term> = key_cols.iter().map(|&c| t.get(c).clone()).collect();
             map.entry(key).or_default().push(i as u32);
         }
-        Index { key_cols: key_cols.to_vec(), map, version }
+        Index {
+            key_cols: key_cols.to_vec(),
+            map,
+            version,
+        }
     }
 
     /// Row ids whose `key_cols` equal `key`, ascending (insertion order).
@@ -136,7 +140,11 @@ impl OrderedIndex {
             }
             a.cmp(&b)
         });
-        OrderedIndex { cols: cols.to_vec(), perm, version }
+        OrderedIndex {
+            cols: cols.to_vec(),
+            perm,
+            version,
+        }
     }
 
     /// The indexed column order.
@@ -178,6 +186,10 @@ impl OrderedIndex {
         let run = self.equal_run(rows, key);
         let mut out = self.perm[run].to_vec();
         out.sort_unstable();
+        debug_assert!(
+            out.windows(2).all(|w| w[0] < w[1]),
+            "probe_prefix must yield strictly ascending rids"
+        );
         out
     }
 
@@ -214,6 +226,10 @@ impl OrderedIndex {
         };
         let mut out = self.perm[lo..hi.max(lo)].to_vec();
         out.sort_unstable();
+        debug_assert!(
+            out.windows(2).all(|w| w[0] < w[1]),
+            "probe_range must yield strictly ascending rids"
+        );
         out
     }
 }
@@ -283,7 +299,10 @@ impl Relation {
 
     /// Inserts every tuple, returning how many were new.
     pub fn extend(&mut self, tuples: impl IntoIterator<Item = Tuple>) -> usize {
-        tuples.into_iter().filter(|t| self.insert(t.clone())).count()
+        tuples
+            .into_iter()
+            .filter(|t| self.insert(t.clone()))
+            .count()
     }
 
     /// Membership test.
@@ -325,7 +344,10 @@ impl Relation {
     /// Unlike [`Relation::index_on`], the cache key is an ordered
     /// *sequence*: `[0, 1]` and `[1, 0]` are different indexes.
     pub fn ordered_index_on(&self, cols: &[usize]) -> Arc<OrderedIndex> {
-        let mut cache = self.ordered_cache.lock().expect("ordered cache lock poisoned");
+        let mut cache = self
+            .ordered_cache
+            .lock()
+            .expect("ordered cache lock poisoned");
         match cache.get(cols) {
             Some(idx) if idx.version == self.version => idx.clone(),
             _ => {
@@ -354,8 +376,16 @@ impl Clone for Relation {
         // cached probes without rebuilding, and its own inserts bump
         // `version` which invalidates the shared entries for the clone
         // only (the original keeps serving them at its version).
-        let cache = self.index_cache.lock().expect("index cache lock poisoned").clone();
-        let ordered = self.ordered_cache.lock().expect("ordered cache lock poisoned").clone();
+        let cache = self
+            .index_cache
+            .lock()
+            .expect("index cache lock poisoned")
+            .clone();
+        let ordered = self
+            .ordered_cache
+            .lock()
+            .expect("ordered cache lock poisoned")
+            .clone();
         Relation {
             arity: self.arity,
             rows: self.rows.clone(),
@@ -390,7 +420,10 @@ impl FromIterator<Tuple> for Relation {
     /// prefer [`Relation::from_tuples`] when emptiness is possible.
     fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> Relation {
         let mut it = iter.into_iter().peekable();
-        let arity = it.peek().expect("cannot infer arity of empty relation").arity();
+        let arity = it
+            .peek()
+            .expect("cannot infer arity of empty relation")
+            .arity();
         Relation::from_tuples(arity, it)
     }
 }
@@ -470,7 +503,11 @@ mod tests {
     fn distinct_in_col() {
         let r = Relation::from_tuples(
             2,
-            [Tuple::ints(&[1, 1]), Tuple::ints(&[1, 2]), Tuple::ints(&[2, 2])],
+            [
+                Tuple::ints(&[1, 1]),
+                Tuple::ints(&[1, 2]),
+                Tuple::ints(&[2, 2]),
+            ],
         );
         assert_eq!(r.distinct_in_col(0), 2);
         assert_eq!(r.distinct_in_col(1), 2);
@@ -492,8 +529,14 @@ mod tests {
         r.insert(Tuple::ints(&[1, 2, 6]));
         let oi = r.ordered_index_on(&[0, 1]);
         // Full-key probe agrees with the hash index, rids ascending.
-        let hash: Vec<u32> = r.index_on(&[0, 1]).probe(&[Term::int(1), Term::int(2)]).to_vec();
-        assert_eq!(oi.probe_prefix(r.rows(), &[Term::int(1), Term::int(2)]), hash);
+        let hash: Vec<u32> = r
+            .index_on(&[0, 1])
+            .probe(&[Term::int(1), Term::int(2)])
+            .to_vec();
+        assert_eq!(
+            oi.probe_prefix(r.rows(), &[Term::int(1), Term::int(2)]),
+            hash
+        );
         assert_eq!(hash, vec![2, 3]);
         // Prefix probe: all three rows with first column 1, ascending.
         assert_eq!(oi.probe_prefix(r.rows(), &[Term::int(1)]), vec![1, 2, 3]);
@@ -513,9 +556,17 @@ mod tests {
             oi.probe_range(r.rows(), &[Term::int(1)], Some(&lo), Some(&hi)),
             vec![1, 2]
         );
-        assert_eq!(oi.probe_range(r.rows(), &[Term::int(1)], Some(&lo), None), vec![1, 2]);
-        assert_eq!(oi.probe_range(r.rows(), &[Term::int(1)], None, Some(&lo)), vec![0]);
-        assert!(oi.probe_range(r.rows(), &[Term::int(2)], Some(&lo), Some(&hi)).is_empty());
+        assert_eq!(
+            oi.probe_range(r.rows(), &[Term::int(1)], Some(&lo), None),
+            vec![1, 2]
+        );
+        assert_eq!(
+            oi.probe_range(r.rows(), &[Term::int(1)], None, Some(&lo)),
+            vec![0]
+        );
+        assert!(oi
+            .probe_range(r.rows(), &[Term::int(2)], Some(&lo), Some(&hi))
+            .is_empty());
     }
 
     #[test]

@@ -23,8 +23,13 @@ impl Stats {
     /// Measures exact statistics from a relation.
     pub fn measure(rel: &Relation) -> Stats {
         let n = rel.len() as f64;
-        let distinct = (0..rel.arity()).map(|c| rel.distinct_in_col(c) as f64).collect();
-        Stats { cardinality: n, distinct }
+        let distinct = (0..rel.arity())
+            .map(|c| rel.distinct_in_col(c) as f64)
+            .collect();
+        Stats {
+            cardinality: n,
+            distinct,
+        }
     }
 
     /// Synthetic statistics: `cardinality` tuples, each column with the
@@ -38,13 +43,19 @@ impl Stats {
     pub fn synthetic(cardinality: f64, distinct: Vec<f64>) -> Stats {
         if !cardinality.is_finite() || distinct.iter().any(|d| !d.is_finite()) {
             let n = distinct.len();
-            return Stats { cardinality: f64::INFINITY, distinct: vec![f64::INFINITY; n] };
+            return Stats {
+                cardinality: f64::INFINITY,
+                distinct: vec![f64::INFINITY; n],
+            };
         }
         let distinct = distinct
             .into_iter()
             .map(|d| d.min(cardinality).max(1.0))
             .collect();
-        Stats { cardinality: cardinality.max(0.0), distinct }
+        Stats {
+            cardinality: cardinality.max(0.0),
+            distinct,
+        }
     }
 
     /// Uniform synthetic statistics: every column has `d` distinct values.
@@ -93,7 +104,10 @@ impl Stats {
             .map(|&c| self.distinct.get(c).copied().unwrap_or(1.0))
             .collect();
         let prod: f64 = distinct.iter().product();
-        Stats { cardinality: self.cardinality.min(prod.max(1.0)), distinct }
+        Stats {
+            cardinality: self.cardinality.min(prod.max(1.0)),
+            distinct,
+        }
     }
 }
 
@@ -106,7 +120,11 @@ mod tests {
     fn measure_counts_distincts() {
         let r = Relation::from_tuples(
             2,
-            [Tuple::ints(&[1, 1]), Tuple::ints(&[1, 2]), Tuple::ints(&[2, 3])],
+            [
+                Tuple::ints(&[1, 1]),
+                Tuple::ints(&[1, 2]),
+                Tuple::ints(&[2, 3]),
+            ],
         );
         let s = Stats::measure(&r);
         assert_eq!(s.cardinality, 3.0);

@@ -12,7 +12,10 @@ pub struct Tuple(pub Vec<Term>);
 impl Tuple {
     /// Builds a tuple, debug-asserting groundness.
     pub fn new(items: Vec<Term>) -> Tuple {
-        debug_assert!(items.iter().all(Term::is_ground), "tuple components must be ground");
+        debug_assert!(
+            items.iter().all(Term::is_ground),
+            "tuple components must be ground"
+        );
         Tuple(items)
     }
 

@@ -50,10 +50,12 @@ fn index_agrees_with_scan() {
         let key = *key;
         let rel = Relation::from_tuples(2, rows.iter().map(|r| Tuple::ints(r)));
         let idx = rel.index_on(&[0]);
-        let via_index: Vec<&Tuple> =
-            idx.probe(&[Term::int(key)]).iter().map(|&i| rel.row(i)).collect();
-        let via_scan: Vec<&Tuple> =
-            rel.iter().filter(|t| t.get(0) == &Term::int(key)).collect();
+        let via_index: Vec<&Tuple> = idx
+            .probe(&[Term::int(key)])
+            .iter()
+            .map(|&i| rel.row(i))
+            .collect();
+        let via_scan: Vec<&Tuple> = rel.iter().filter(|t| t.get(0) == &Term::int(key)).collect();
         assert_eq!(via_index.len(), via_scan.len());
         for t in via_scan {
             assert!(via_index.contains(&t));
@@ -97,16 +99,21 @@ fn loader_round_trip() {
 /// indexes can rely on it for staleness detection.
 #[test]
 fn version_tracks_novel_inserts() {
-    check("version_tracks_novel_inserts", &cfg(), &tuple_lists(1), |rows| {
-        let mut rel = Relation::new(1);
-        let mut expected = 0u64;
-        let mut seen = std::collections::HashSet::new();
-        for r in rows {
-            if seen.insert(r.clone()) {
-                expected += 1;
+    check(
+        "version_tracks_novel_inserts",
+        &cfg(),
+        &tuple_lists(1),
+        |rows| {
+            let mut rel = Relation::new(1);
+            let mut expected = 0u64;
+            let mut seen = std::collections::HashSet::new();
+            for r in rows {
+                if seen.insert(r.clone()) {
+                    expected += 1;
+                }
+                rel.insert(Tuple::ints(r));
+                assert_eq!(rel.version(), expected);
             }
-            rel.insert(Tuple::ints(r));
-            assert_eq!(rel.version(), expected);
-        }
-    });
+        },
+    );
 }

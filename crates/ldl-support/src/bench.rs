@@ -55,7 +55,9 @@ pub struct Harness {
 impl Harness {
     /// New harness; `name` keys the JSON file (`BENCH_<name>.json`).
     pub fn new(name: &str) -> Harness {
-        let env_iters = std::env::var("LDL_BENCH_ITERS").ok().and_then(|v| v.parse().ok());
+        let env_iters = std::env::var("LDL_BENCH_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok());
         println!("bench {name}");
         Harness {
             name: name.to_string(),

@@ -26,7 +26,9 @@ pub fn default_threads() -> usize {
             }
         }
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Runs `f(0), f(1), …, f(jobs - 1)` on up to `threads` scoped workers
@@ -74,7 +76,10 @@ where
             slots[i] = Some(v);
         }
     }
-    slots.into_iter().map(|o| o.expect("every job index was claimed exactly once")).collect()
+    slots
+        .into_iter()
+        .map(|o| o.expect("every job index was claimed exactly once"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -87,7 +92,11 @@ mod tests {
     fn results_come_back_in_job_order() {
         for threads in [1, 2, 4, 8] {
             let out = scoped_map(threads, 100, |i| i * 3);
-            assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>(), "threads={threads}");
+            assert_eq!(
+                out,
+                (0..100).map(|i| i * 3).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
         }
     }
 

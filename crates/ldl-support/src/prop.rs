@@ -41,14 +41,21 @@ pub struct Config {
 
 impl Default for Config {
     fn default() -> Config {
-        Config { cases: 64, seed: 0x01D1_5EED_5EED_5EED, max_shrink_steps: 2048 }
+        Config {
+            cases: 64,
+            seed: 0x01D1_5EED_5EED_5EED,
+            max_shrink_steps: 2048,
+        }
     }
 }
 
 impl Config {
     /// Default config with the given case count.
     pub fn with_cases(cases: u32) -> Config {
-        Config { cases, ..Config::default() }
+        Config {
+            cases,
+            ..Config::default()
+        }
     }
 
     /// Same config with a different base seed.
@@ -71,20 +78,29 @@ type Shrinker<T> = Rc<dyn Fn(&T) -> Vec<T>>;
 
 impl<T> Clone for Gen<T> {
     fn clone(&self) -> Gen<T> {
-        Gen { gen: self.gen.clone(), shrink: self.shrink.clone() }
+        Gen {
+            gen: self.gen.clone(),
+            shrink: self.shrink.clone(),
+        }
     }
 }
 
 impl<T: 'static> Gen<T> {
     /// Generator from a sampling function, with no shrinking.
     pub fn new(f: impl Fn(&mut SplitMix64) -> T + 'static) -> Gen<T> {
-        Gen { gen: Rc::new(f), shrink: Rc::new(|_| Vec::new()) }
+        Gen {
+            gen: Rc::new(f),
+            shrink: Rc::new(|_| Vec::new()),
+        }
     }
 
     /// Attaches a shrinker: given a failing value, propose strictly
     /// "smaller" candidates to try (nearest-first).
     pub fn with_shrink(self, s: impl Fn(&T) -> Vec<T> + 'static) -> Gen<T> {
-        Gen { gen: self.gen, shrink: Rc::new(s) }
+        Gen {
+            gen: self.gen,
+            shrink: Rc::new(s),
+        }
     }
 
     /// Samples one value.
@@ -117,11 +133,7 @@ pub fn i64s(range: std::ops::Range<i64>) -> Gen<i64> {
     let (lo, hi) = (range.start, range.end);
     Gen::new(move |rng| rng.gen_range(lo..hi)).with_shrink(move |&v| {
         let target = 0.clamp(lo, hi - 1);
-        let mut out = vec![
-            target,
-            v - (v - target) / 2,
-            v - (v - target).signum(),
-        ];
+        let mut out = vec![target, v - (v - target) / 2, v - (v - target).signum()];
         out.dedup();
         out.retain(|c| (lo..hi).contains(c) && *c != v);
         out
@@ -169,8 +181,7 @@ pub fn f64s(range: std::ops::Range<f64>) -> Gen<f64> {
 
 /// Uniform `bool`, shrinking `true` to `false`.
 pub fn bools() -> Gen<bool> {
-    Gen::new(|rng| rng.gen::<bool>())
-        .with_shrink(|&v| if v { vec![false] } else { Vec::new() })
+    Gen::new(|rng| rng.gen::<bool>()).with_shrink(|&v| if v { vec![false] } else { Vec::new() })
 }
 
 /// Vector of `elem` with length drawn from `len` — shrinks by dropping
@@ -266,7 +277,13 @@ pub fn idents(extra: usize) -> Gen<String> {
         }
         s
     })
-    .with_shrink(|s: &String| if s.len() > 1 { vec![s[..1].to_string()] } else { Vec::new() })
+    .with_shrink(|s: &String| {
+        if s.len() > 1 {
+            vec![s[..1].to_string()]
+        } else {
+            Vec::new()
+        }
+    })
 }
 
 /// Runs `prop` over `cfg.cases` generated inputs. On a failure the
@@ -372,9 +389,14 @@ mod tests {
     #[test]
     fn failing_property_panics_with_seed() {
         let r = catch_unwind(AssertUnwindSafe(|| {
-            check("always-false", &Config::with_cases(10), &i64s(0..100), |_| {
-                panic!("nope");
-            });
+            check(
+                "always-false",
+                &Config::with_cases(10),
+                &i64s(0..100),
+                |_| {
+                    panic!("nope");
+                },
+            );
         }));
         let msg = panic_message(&r.unwrap_err());
         assert!(msg.contains("LDL_PROP_SEED="), "no replay seed in: {msg}");

@@ -53,11 +53,16 @@ fn main() {
     let optimizer = Optimizer::new(
         &program,
         &db,
-        OptConfig { assume_acyclic: true, ..OptConfig::default() },
+        OptConfig {
+            assume_acyclic: true,
+            ..OptConfig::default()
+        },
     );
     let optimized = optimizer.optimize(&query).unwrap();
     println!("plan for {query}: method {:?}\n", optimized.method);
-    let ans = optimized.execute(&program, &db, &FixpointConfig::default()).unwrap();
+    let ans = optimized
+        .execute(&program, &db, &FixpointConfig::default())
+        .unwrap();
     println!("bike explosion ({} part kinds):", ans.tuples.len());
     for t in ans.tuples.iter() {
         println!("  uses{t}");
@@ -67,7 +72,9 @@ fn main() {
     // spec(steel, W) selecting on the FIRST field of the description.
     let query2 = parse_query("bulk_steel(bike, P, Q)?").unwrap();
     let optimized2 = optimizer.optimize(&query2).unwrap();
-    let ans2 = optimized2.execute(&program, &db, &FixpointConfig::default()).unwrap();
+    let ans2 = optimized2
+        .execute(&program, &db, &FixpointConfig::default())
+        .unwrap();
     println!("\nbulk steel parts of bike:");
     for t in ans2.tuples.iter() {
         println!("  bulk_steel{t}");

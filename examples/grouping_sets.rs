@@ -55,8 +55,11 @@ fn main() {
     let q = parse_query("classmates(ann, B)?").unwrap();
     let ans = evaluate_query(&program, &db, &q, Method::SemiNaive, &cfg).unwrap();
     println!("\nann's classmates:");
-    let mut rows: Vec<String> =
-        ans.tuples.iter().map(|t| format!("  {}", t.get(1))).collect();
+    let mut rows: Vec<String> = ans
+        .tuples
+        .iter()
+        .map(|t| format!("  {}", t.get(1)))
+        .collect();
     rows.sort();
     rows.dedup();
     for r in rows {

@@ -63,5 +63,8 @@ fn main() {
         Err(e) => println!("  {e}"),
         Ok(_) => println!("  unexpectedly accepted"),
     }
-    println!("\n(each form above was compiled separately; {} compilations)", s.compilations());
+    println!(
+        "\n(each form above was compiled separately; {} compilations)",
+        s.compilations()
+    );
 }

@@ -29,9 +29,14 @@ fn main() {
     let o = optimizer.optimize(&query).unwrap();
     if let PredPlanKind::Union(rules) = &o.plan.kind {
         println!("rule written as:  B = S / 10, S > 90, salary(P, S)");
-        println!("optimizer chose order {:?} (salary first, then filter, then bonus)", rules[0].order);
+        println!(
+            "optimizer chose order {:?} (salary first, then filter, then bonus)",
+            rules[0].order
+        );
     }
-    let ans = o.execute(&program, &db, &FixpointConfig::default()).unwrap();
+    let ans = o
+        .execute(&program, &db, &FixpointConfig::default())
+        .unwrap();
     println!("answers:");
     for t in ans.tuples.iter() {
         println!("  rich_bonus{t}");
@@ -54,15 +59,15 @@ fn main() {
 
     // (c) Safety is query-form specific: list length.
     println!("\nlist length: len([], 0).  len([H|T], N) <- len(T, M), N = M + 1.");
-    let program3 = parse_program(
-        "len([], 0).\nlen([H | T], N) <- len(T, M), N = M + 1.",
-    )
-    .unwrap();
+    let program3 = parse_program("len([], 0).\nlen([H | T], N) <- len(T, M), N = M + 1.").unwrap();
     let db3 = Database::from_program(&program3);
     let opt3 = Optimizer::new(
         &program3,
         &db3,
-        OptConfig { assume_acyclic: true, ..OptConfig::default() },
+        OptConfig {
+            assume_acyclic: true,
+            ..OptConfig::default()
+        },
     );
     match opt3.optimize(&parse_query("len(L, N)?").unwrap()) {
         Err(e) => println!("  len(L, N)?          -> {e}"),
@@ -71,7 +76,9 @@ fn main() {
     let bound = parse_query("len([10, 20, 30, 40], N)?").unwrap();
     match opt3.optimize(&bound) {
         Ok(o) => {
-            let ans = o.execute(&program3, &db3, &FixpointConfig::default()).unwrap();
+            let ans = o
+                .execute(&program3, &db3, &FixpointConfig::default())
+                .unwrap();
             println!(
                 "  len([10,20,30,40], N)? -> safe via {:?}; answer rows: {:?}",
                 o.method,

@@ -33,25 +33,37 @@ fn main() {
     let program = ldl::core::parser::parse_program(&text).unwrap();
     let db = Database::from_program(&program);
     let leaf = level[0];
-    println!("tree: depth {depth}, {} nodes, querying sg({leaf}, Y)?\n", next);
+    println!(
+        "tree: depth {depth}, {} nodes, querying sg({leaf}, Y)?\n",
+        next
+    );
 
     // What does the optimizer decide for each query form?
     let optimizer = Optimizer::new(
         &program,
         &db,
-        OptConfig { assume_acyclic: true, ..OptConfig::default() },
+        OptConfig {
+            assume_acyclic: true,
+            ..OptConfig::default()
+        },
     );
     for q in [format!("sg({leaf}, Y)?"), "sg(X, Y)?".to_string()] {
         let query = parse_query(&q).unwrap();
         let o = optimizer.optimize(&query).unwrap();
-        println!("form {q:<16} -> method {:?}, est. cost {:.0}", o.method, o.cost);
+        println!(
+            "form {q:<16} -> method {:?}, est. cost {:.0}",
+            o.method, o.cost
+        );
     }
     println!();
 
     // Ground truth: run the bound query under every method.
     let query = parse_query(&format!("sg({leaf}, Y)?")).unwrap();
     let cfg = FixpointConfig::with_max_iterations(200_000);
-    println!("{:<12} {:>8} {:>16} {:>10}", "method", "answers", "tuples-derived", "ms");
+    println!(
+        "{:<12} {:>8} {:>16} {:>10}",
+        "method", "answers", "tuples-derived", "ms"
+    );
     for m in Method::ALL {
         let start = Instant::now();
         let ans = evaluate_query(&program, &db, &query, m, &cfg).unwrap();

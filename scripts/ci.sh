@@ -5,6 +5,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
 echo "==> cargo build --release (tier-1)"
 cargo build --release --offline
 
@@ -57,6 +60,21 @@ if [ "$unique" -ne "$workloads" ]; then
     exit 1
 fi
 echo "    digests identical: $workloads workload(s) × 3 access policies"
+
+# Golden-diagnostics gate: `ldl-shell --check --json` over every example
+# program must reproduce the checked-in diagnostics bit for bit (stable
+# codes, spans, messages). `--check` exits non-zero on files with
+# error-severity findings — that's expected for the unsafe examples, so
+# only the diff decides.
+echo "==> ldl-shell --check golden diagnostics over examples/*.ldl"
+cargo build -q --offline --bin ldl-shell
+for f in examples/*.ldl; do
+    b="$(basename "$f" .ldl)"
+    ./target/debug/ldl-shell --check --json "$f" > "$digest_dir/$b.json" || true
+    diff "examples/golden/$b.json" "$digest_dir/$b.json" \
+        || { echo "    FAIL: diagnostics for $f diverge from examples/golden/$b.json"; exit 1; }
+done
+echo "    $(ls examples/*.ldl | wc -l) example file(s) match their golden diagnostics"
 
 echo "==> cargo clippy --workspace --all-targets"
 cargo clippy --offline --workspace --all-targets -- -D warnings

@@ -13,11 +13,17 @@
 //! ...processing tree, method costs, chosen SIPs...
 //! ```
 //!
-//! Commands: `:help`, `:rules`, `:stats`, `:explain <goal>?`,
+//! Commands: `:help`, `:rules`, `:stats`, `:check`, `:explain <goal>?`,
 //! `:strategy <exhaustive|dp|kbz|annealing>`, `:acyclic <on|off>`,
 //! `:load <file>`, `:reset`, `:quit`.
+//!
+//! Batch mode: `ldl-shell --check [--json] file.ldl ...` analyzes each
+//! file without evaluating anything and exits non-zero if any file has
+//! error-severity findings (or fails to read/parse).
 
+use ldl::analysis::{self, AnalysisOptions};
 use ldl::core::parser::{parse_query, parse_source};
+use ldl::core::Span;
 use ldl::core::{Program, Query};
 use ldl::eval::FixpointConfig;
 use ldl::optimizer::opt::PredPlanKind;
@@ -34,7 +40,10 @@ struct Shell {
 
 impl Shell {
     fn new() -> Shell {
-        Shell { program: Program::new(), cfg: OptConfig::default() }
+        Shell {
+            program: Program::new(),
+            cfg: OptConfig::default(),
+        }
     }
 
     /// Handles one input line; returns the text to print.
@@ -84,6 +93,7 @@ impl Shell {
 commands:
   <fact>. / <rule>.        add to the knowledge base
   <goal>?                  optimize and run a query
+  :check                   run static analysis over the rule base
   :explain <goal>?         show the chosen plan without running it
   :prolog <goal>?          answer by Prolog-style SLD (textual order)
   :strategy <s>            exhaustive | dp | kbz | annealing
@@ -148,6 +158,14 @@ commands:
                 }
                 other => format!("expected on|off, got {other:?}"),
             },
+            "check" => {
+                let opts = AnalysisOptions {
+                    assume_acyclic: self.cfg.assume_acyclic,
+                    ..Default::default()
+                };
+                let report = analysis::analyze_program(&self.program, &opts);
+                report.render_text(None, "<repl>").trim_end().to_string()
+            }
             "explain" => match parse_query(arg) {
                 Ok(q) => self.run_query(&q, true),
                 Err(e) => format!("error: {e}"),
@@ -216,6 +234,19 @@ commands:
     }
 
     fn run_query(&self, query: &Query, explain_only: bool) -> String {
+        // Front-end gate: reject infeasible query forms with a witness
+        // (variable + literal) instead of a bare optimizer error.
+        let opts = AnalysisOptions {
+            assume_acyclic: self.cfg.assume_acyclic,
+            lints: false,
+        };
+        let report = analysis::analyze_query(&self.program, query, &opts);
+        if report.has_errors() {
+            return format!(
+                "unsafe query rejected:\n{}",
+                report.render_text(None, "<repl>").trim_end()
+            );
+        }
         let db = Database::from_program(&self.program);
         let optimizer = Optimizer::new(&self.program, &db, self.cfg.clone());
         let started = Instant::now();
@@ -236,7 +267,13 @@ commands:
                 "est. cost:    {:.1}   est. answers: {:.1}\n",
                 plan.cost, plan.estimated_answers
             ));
-            if let PredPlanKind::Clique { method_costs, sips, full_size, .. } = &plan.plan.kind {
+            if let PredPlanKind::Clique {
+                method_costs,
+                sips,
+                full_size,
+                ..
+            } = &plan.plan.kind
+            {
                 out.push_str(&format!("clique size estimate: {full_size:.0}\n"));
                 out.push_str("method costs:\n");
                 for (m, c) in method_costs {
@@ -288,9 +325,82 @@ commands:
     }
 }
 
+/// Batch analysis driver for `ldl-shell --check [--json] file...`.
+///
+/// Parses and analyzes each file (never evaluates). A parse failure is
+/// itself reported as an `LDL000` diagnostic so the output format is
+/// uniform. Returns the process exit code: 0 when no file has errors,
+/// 1 otherwise.
+/// Analyzes one source text; a parse failure becomes an `LDL000`
+/// diagnostic at the failure position.
+fn check_text(text: &str, opts: &AnalysisOptions) -> ldl::analysis::Report {
+    match parse_source(text) {
+        Ok(src) => analysis::analyze_source(&src, opts),
+        Err(e) => {
+            let span = match &e {
+                ldl::LdlError::Parse { line, col, .. } => Span::point(*line as u32, *col as u32),
+                _ => Span::NONE,
+            };
+            let mut r = ldl::analysis::Report::new();
+            r.push(ldl::analysis::Diagnostic::error(
+                analysis::PARSE_ERROR_CODE,
+                span,
+                e.to_string(),
+            ));
+            r.finish()
+        }
+    }
+}
+
+fn check_files(files: &[String], json: bool) -> i32 {
+    let opts = AnalysisOptions::default();
+    let mut failed = files.is_empty();
+    if files.is_empty() {
+        eprintln!("usage: ldl-shell --check [--json] file.ldl ...");
+    }
+    for file in files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {file}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let report = check_text(&text, &opts);
+        if json {
+            let j = report.render_json();
+            if !j.is_empty() {
+                println!("{j}");
+            }
+        } else {
+            print!("{file}: {}", report.render_text(Some(&text), file));
+        }
+        if report.has_errors() {
+            failed = true;
+        }
+    }
+    if failed {
+        1
+    } else {
+        0
+    }
+}
+
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--check") {
+        args.remove(pos);
+        let json = match args.iter().position(|a| a == "--json") {
+            Some(j) => {
+                args.remove(j);
+                true
+            }
+            None => false,
+        };
+        std::process::exit(check_files(&args, json));
+    }
     let mut shell = Shell::new();
-    let args: Vec<String> = std::env::args().skip(1).collect();
     for file in &args {
         let out = shell.command(&format!("load {file}"));
         println!("{out}");
@@ -343,7 +453,11 @@ mod tests {
         let mut s = Shell::new();
         feed(
             &mut s,
-            &["e(1, 2).", "tc(X, Y) <- e(X, Y).", "tc(X, Y) <- e(X, Z), tc(Z, Y)."],
+            &[
+                "e(1, 2).",
+                "tc(X, Y) <- e(X, Y).",
+                "tc(X, Y) <- e(X, Z), tc(Z, Y).",
+            ],
         );
         let out = s.handle(":explain tc(1, Y)?");
         assert!(out.contains("method:"), "{out}");
@@ -358,6 +472,58 @@ mod tests {
         s.handle("q(1).");
         let out = s.handle("p(A, B)?");
         assert!(out.contains("unsafe"), "{out}");
+        // Rejection goes through the diagnostics path: stable code plus
+        // a witness naming the unbound variable.
+        assert!(out.contains("LDL003"), "{out}");
+        assert!(out.contains('Y'), "{out}");
+    }
+
+    #[test]
+    fn check_command_reports_lints_and_errors() {
+        let mut s = Shell::new();
+        s.handle("big(X) <- n(X), X > Y.");
+        s.handle("n(1).");
+        let out = s.handle(":check");
+        assert!(out.contains("error[LDL001]"), "{out}");
+        assert!(out.contains("1 error(s)"), "{out}");
+        s.handle(":reset");
+        s.handle("p(X) <- q(X, Unused).");
+        s.handle("q(1, 1).");
+        let out = s.handle(":check");
+        assert!(out.contains("warning[LDL104]"), "{out}");
+        assert!(out.contains("0 error(s)"), "{out}");
+    }
+
+    #[test]
+    fn parse_failure_is_ldl000_with_position() {
+        let r = check_text("p(X <- q(X).\n", &AnalysisOptions::default());
+        assert_eq!(r.diagnostics.len(), 1);
+        let d = &r.diagnostics[0];
+        assert_eq!(d.code, ldl::analysis::PARSE_ERROR_CODE);
+        assert_eq!(d.code, "LDL000");
+        assert_eq!(d.severity, ldl::analysis::Severity::Error);
+        // Span points at the offending token (`<-` where `)` was due).
+        assert_eq!((d.span.line, d.span.col), (1, 5));
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn batch_check_exit_codes_and_json() {
+        let dir = std::env::temp_dir().join("ldl_shell_check_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let clean = dir.join("clean.ldl");
+        std::fs::write(&clean, "e(1, 2).\ntc(X, Y) <- e(X, Y).\ntc(1, A)?\n").unwrap();
+        let bad = dir.join("bad.ldl");
+        std::fs::write(&bad, "big(X) <- n(X), X > Y.\nn(1).\n").unwrap();
+        let broken = dir.join("broken.ldl");
+        std::fs::write(&broken, "p(X <- q(X).\n").unwrap();
+        let missing = dir.join("nosuch.ldl");
+        let s = |p: &std::path::Path| p.display().to_string();
+        assert_eq!(check_files(&[s(&clean)], false), 0);
+        assert_eq!(check_files(&[s(&clean), s(&bad)], false), 1);
+        assert_eq!(check_files(&[s(&broken)], true), 1);
+        assert_eq!(check_files(&[s(&missing)], false), 1);
+        assert_eq!(check_files(&[], false), 1);
     }
 
     #[test]
@@ -391,7 +557,11 @@ mod tests {
         let mut s = Shell::new();
         feed(
             &mut s,
-            &["e(1, 2). e(2, 3).", "tc(X, Y) <- e(X, Y).", "tc(X, Y) <- e(X, Z), tc(Z, Y)."],
+            &[
+                "e(1, 2). e(2, 3).",
+                "tc(X, Y) <- e(X, Y).",
+                "tc(X, Y) <- e(X, Z), tc(Z, Y).",
+            ],
         );
         let out = s.handle(":prolog tc(1, Y)?");
         assert!(out.contains("tc(1, 3)"), "{out}");
@@ -400,7 +570,11 @@ mod tests {
         s.handle(":reset");
         feed(
             &mut s,
-            &["e(1, 2).", "lt(X, Y) <- e(X, Y).", "lt(X, Y) <- lt(X, Z), e(Z, Y)."],
+            &[
+                "e(1, 2).",
+                "lt(X, Y) <- e(X, Y).",
+                "lt(X, Y) <- lt(X, Z), e(Z, Y).",
+            ],
         );
         let out = s.handle(":prolog lt(1, Y)?");
         assert!(out.contains("DEPTH BOUND"), "{out}");

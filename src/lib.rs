@@ -9,16 +9,22 @@
 //!   methods (naive, semi-naive, magic sets, counting);
 //! * [`optimizer`] — the paper's contribution: cost-based,
 //!   safety-aware optimization of recursive Horn-clause queries with
-//!   exhaustive / KBZ-quadratic / simulated-annealing search.
+//!   exhaustive / KBZ-quadratic / simulated-annealing search;
+//! * [`analysis`] — whole-program static analysis (`ldl check`):
+//!   safety and stratification front end plus a lint suite, reported as
+//!   span-carrying diagnostics with stable `LDLxxx` codes.
 //!
 //! See `examples/quickstart.rs` for the five-minute tour.
 
 pub mod session;
 
+pub use ldl_analysis as analysis;
 pub use ldl_core as core;
 pub use ldl_eval as eval;
 pub use ldl_optimizer as optimizer;
 pub use ldl_storage as storage;
 
-pub use ldl_core::{parser, Adornment, Atom, LdlError, Literal, Pred, Program, Query, Rule, Term, Value};
+pub use ldl_core::{
+    parser, Adornment, Atom, LdlError, Literal, Pred, Program, Query, Rule, Term, Value,
+};
 pub use session::Session;

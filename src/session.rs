@@ -64,7 +64,8 @@ impl Session {
             self.program.push(r);
         }
         for f in src.program.facts {
-            self.db.insert(f.pred, ldl_storage::Tuple::new(f.args.clone()));
+            self.db
+                .insert(f.pred, ldl_storage::Tuple::new(f.args.clone()));
             self.program.push(Rule::fact(f));
         }
         self.plans.clear();
@@ -235,7 +236,8 @@ mod tests {
     #[test]
     fn grouping_queries_work_through_session() {
         let mut s = Session::new();
-        s.load("e(a, 1). e(a, 2). e(b, 3).\ng(K, <V>) <- e(K, V).").unwrap();
+        s.load("e(a, 1). e(a, 2). e(b, 3).\ng(K, <V>) <- e(K, V).")
+            .unwrap();
         let ans = s.answers("g(a, S)?").unwrap();
         assert_eq!(ans.len(), 1);
         assert_eq!(ans.rows()[0].get(1).to_string(), "{1, 2}");

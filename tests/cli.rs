@@ -59,7 +59,12 @@ fn loads_file_from_argv() {
         .stdout(Stdio::piped())
         .spawn()
         .unwrap();
-    child.stdin.as_mut().unwrap().write_all(b"big(X)?\n:quit\n").unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"big(X)?\n:quit\n")
+        .unwrap();
     let out = String::from_utf8(child.wait_with_output().unwrap().stdout).unwrap();
     assert!(out.contains("big(20)"), "{out}");
     assert!(out.contains("1 answer(s)"), "{out}");

@@ -18,7 +18,9 @@ fn query_on_unknown_predicate_is_empty_not_an_error() {
     // The optimizer also plans it (base-relation access with default stats).
     let opt = Optimizer::with_defaults(&program, &db);
     let plan = opt.optimize(&q).unwrap();
-    let ans = plan.execute(&program, &db, &FixpointConfig::default()).unwrap();
+    let ans = plan
+        .execute(&program, &db, &FixpointConfig::default())
+        .unwrap();
     assert!(ans.tuples.is_empty());
 }
 
@@ -27,8 +29,14 @@ fn empty_program_evaluates() {
     let program = parse_program("").unwrap();
     let db = Database::from_program(&program);
     let q = parse_query("p(X)?").unwrap();
-    let ans =
-        evaluate_query(&program, &db, &q, Method::SemiNaive, &FixpointConfig::default()).unwrap();
+    let ans = evaluate_query(
+        &program,
+        &db,
+        &q,
+        Method::SemiNaive,
+        &FixpointConfig::default(),
+    )
+    .unwrap();
     assert!(ans.tuples.is_empty());
 }
 
@@ -38,12 +46,20 @@ fn zero_arity_predicates_end_to_end() {
     let program = parse_program(text).unwrap();
     let db = Database::from_program(&program);
     let q = parse_query("ready?").unwrap();
-    let ans =
-        evaluate_query(&program, &db, &q, Method::SemiNaive, &FixpointConfig::default()).unwrap();
+    let ans = evaluate_query(
+        &program,
+        &db,
+        &q,
+        Method::SemiNaive,
+        &FixpointConfig::default(),
+    )
+    .unwrap();
     assert_eq!(ans.tuples.len(), 1);
     let opt = Optimizer::with_defaults(&program, &db);
     let plan = opt.optimize(&q).unwrap();
-    let ans2 = plan.execute(&program, &db, &FixpointConfig::default()).unwrap();
+    let ans2 = plan
+        .execute(&program, &db, &FixpointConfig::default())
+        .unwrap();
     assert_eq!(ans2.tuples.len(), 1);
 }
 
@@ -57,8 +73,7 @@ fn compound_term_keys_join_and_index() {
     let program = parse_program(text).unwrap();
     let db = Database::from_program(&program);
     let q = parse_query("worth(ann, V)?").unwrap();
-    let ans =
-        evaluate_query(&program, &db, &q, Method::Magic, &FixpointConfig::default()).unwrap();
+    let ans = evaluate_query(&program, &db, &q, Method::Magic, &FixpointConfig::default()).unwrap();
     assert_eq!(ans.tuples.len(), 1);
     assert_eq!(ans.tuples.rows()[0].get(1), &ldl::Term::int(100));
 }
@@ -86,8 +101,14 @@ fn duplicate_body_literals_are_harmless() {
     let program = parse_program(text).unwrap();
     let db = Database::from_program(&program);
     let q = parse_query("p(X)?").unwrap();
-    let ans =
-        evaluate_query(&program, &db, &q, Method::SemiNaive, &FixpointConfig::default()).unwrap();
+    let ans = evaluate_query(
+        &program,
+        &db,
+        &q,
+        Method::SemiNaive,
+        &FixpointConfig::default(),
+    )
+    .unwrap();
     assert_eq!(ans.tuples.len(), 2);
 }
 
@@ -118,8 +139,7 @@ fn self_join_same_relation_different_bindings() {
     let program = parse_program(text).unwrap();
     let db = Database::from_program(&program);
     let q = parse_query("sibling(b, Y)?").unwrap();
-    let ans =
-        evaluate_query(&program, &db, &q, Method::Magic, &FixpointConfig::default()).unwrap();
+    let ans = evaluate_query(&program, &db, &q, Method::Magic, &FixpointConfig::default()).unwrap();
     assert_eq!(ans.tuples.len(), 1);
     assert_eq!(ans.tuples.rows()[0].get(1), &ldl::Term::sym("d"));
 }
@@ -135,8 +155,14 @@ fn large_fanout_dedup_stays_exact() {
     let program = parse_program(&text).unwrap();
     let db = Database::from_program(&program);
     let q = parse_query("p(0, Z)?").unwrap();
-    let ans =
-        evaluate_query(&program, &db, &q, Method::SemiNaive, &FixpointConfig::default()).unwrap();
+    let ans = evaluate_query(
+        &program,
+        &db,
+        &q,
+        Method::SemiNaive,
+        &FixpointConfig::default(),
+    )
+    .unwrap();
     assert_eq!(ans.tuples.len(), 1, "20 derivations, 1 distinct tuple");
 }
 
@@ -147,8 +173,14 @@ fn query_constants_with_arithmetic_goal_rejected() {
     let program = parse_program("p(5).").unwrap();
     let db = Database::from_program(&program);
     let q = parse_query("p(X + 1)?").unwrap();
-    let ans =
-        evaluate_query(&program, &db, &q, Method::SemiNaive, &FixpointConfig::default()).unwrap();
+    let ans = evaluate_query(
+        &program,
+        &db,
+        &q,
+        Method::SemiNaive,
+        &FixpointConfig::default(),
+    )
+    .unwrap();
     assert!(ans.tuples.is_empty());
 }
 

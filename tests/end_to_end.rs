@@ -11,9 +11,15 @@ fn reference(text: &str, q: &str) -> ldl::storage::Relation {
     let program = parse_program(text).unwrap();
     let db = Database::from_program(&program);
     let query = parse_query(q).unwrap();
-    evaluate_query(&program, &db, &query, Method::Naive, &FixpointConfig::default())
-        .unwrap()
-        .tuples
+    evaluate_query(
+        &program,
+        &db,
+        &query,
+        Method::Naive,
+        &FixpointConfig::default(),
+    )
+    .unwrap()
+    .tuples
 }
 
 fn optimized(text: &str, q: &str, acyclic: bool) -> ldl::storage::Relation {
@@ -23,10 +29,15 @@ fn optimized(text: &str, q: &str, acyclic: bool) -> ldl::storage::Relation {
     let opt = Optimizer::new(
         &program,
         &db,
-        OptConfig { assume_acyclic: acyclic, ..OptConfig::default() },
+        OptConfig {
+            assume_acyclic: acyclic,
+            ..OptConfig::default()
+        },
     );
     let plan = opt.optimize(&query).unwrap();
-    plan.execute(&program, &db, &FixpointConfig::default()).unwrap().tuples
+    plan.execute(&program, &db, &FixpointConfig::default())
+        .unwrap()
+        .tuples
 }
 
 const ANCESTOR: &str = r#"
@@ -72,10 +83,13 @@ fn every_method_agrees_on_every_binding_of_sg() {
     let cfg = FixpointConfig::default();
     for q in ["sg(1, Y)?", "sg(X, 2)?", "sg(1, 2)?", "sg(X, Y)?"] {
         let query = parse_query(q).unwrap();
-        let expect =
-            evaluate_query(&program, &db, &query, Method::Naive, &cfg).unwrap().tuples;
+        let expect = evaluate_query(&program, &db, &query, Method::Naive, &cfg)
+            .unwrap()
+            .tuples;
         for m in [Method::SemiNaive, Method::Magic, Method::Counting] {
-            let got = evaluate_query(&program, &db, &query, m, &cfg).unwrap().tuples;
+            let got = evaluate_query(&program, &db, &query, m, &cfg)
+                .unwrap()
+                .tuples;
             assert_eq!(got, expect, "{} on {}", m.name(), q);
         }
     }
@@ -127,7 +141,9 @@ fn optimizer_handles_multiple_queries_reusing_memo() {
     let db = Database::from_program(&program);
     let opt = Optimizer::with_defaults(&program, &db);
     let a = opt.optimize(&parse_query("anc(abe, Y)?").unwrap()).unwrap();
-    let b = opt.optimize(&parse_query("anc(X, lisa)?").unwrap()).unwrap();
+    let b = opt
+        .optimize(&parse_query("anc(X, lisa)?").unwrap())
+        .unwrap();
     let c = opt.optimize(&parse_query("anc(abe, Y)?").unwrap()).unwrap();
     assert!(a.cost.is_finite() && b.cost.is_finite());
     // The repeated form must be served from the memo (no new subtrees).

@@ -29,8 +29,14 @@ fn paper_adorned_clique_for_sg_bf() {
         &GreedySip,
     );
     let text = adorned.to_string();
-    assert!(text.contains("sg.bf(X, Y) <- up(X, X1), sg.fb(Y1, X1), dn(Y1, Y)"), "{text}");
-    assert!(text.contains("sg.fb(X, Y) <- dn(Y1, Y), sg.bf(Y1, X1), up(X, X1)"), "{text}");
+    assert!(
+        text.contains("sg.bf(X, Y) <- up(X, X1), sg.fb(Y1, X1), dn(Y1, Y)"),
+        "{text}"
+    );
+    assert!(
+        text.contains("sg.fb(X, Y) <- dn(Y1, Y), sg.bf(Y1, X1), up(X, X1)"),
+        "{text}"
+    );
     // Exactly the two adorned versions the paper lists.
     let sg_versions: Vec<&AdornedPred> = adorned
         .adorned_preds
@@ -51,7 +57,11 @@ fn paper_adorned_clique_for_sg_bb() {
         Adornment::parse("bb").unwrap(),
         &GreedySip,
     );
-    let names: Vec<String> = adorned.adorned_preds.iter().map(|a| a.to_string()).collect();
+    let names: Vec<String> = adorned
+        .adorned_preds
+        .iter()
+        .map(|a| a.to_string())
+        .collect();
     assert!(names.contains(&"sg.bb".to_string()), "{names:?}");
     // The recursive literal under a bb head sees one side bound through
     // up and the other through dn — the closure stays within the three
@@ -66,12 +76,27 @@ fn adorned_program_unique_per_permutation() {
     let program = parse_program(SG_RULES).unwrap();
     let mut sip = FixedSip::new();
     sip.set(1, vec![0, 1, 2]);
-    let a1 = adorn_program(&program, Pred::new("sg", 2), Adornment::parse("bf").unwrap(), &sip);
-    let a2 = adorn_program(&program, Pred::new("sg", 2), Adornment::parse("bf").unwrap(), &sip);
+    let a1 = adorn_program(
+        &program,
+        Pred::new("sg", 2),
+        Adornment::parse("bf").unwrap(),
+        &sip,
+    );
+    let a2 = adorn_program(
+        &program,
+        Pred::new("sg", 2),
+        Adornment::parse("bf").unwrap(),
+        &sip,
+    );
     assert_eq!(a1.to_string(), a2.to_string());
     let mut sip3 = FixedSip::new();
     sip3.set(1, vec![2, 1, 0]);
-    let a3 = adorn_program(&program, Pred::new("sg", 2), Adornment::parse("bf").unwrap(), &sip3);
+    let a3 = adorn_program(
+        &program,
+        Pred::new("sg", 2),
+        Adornment::parse("bf").unwrap(),
+        &sip3,
+    );
     assert_ne!(a1.to_string(), a3.to_string());
 }
 

@@ -32,7 +32,13 @@ fn raw_graphs(max_n: usize) -> Gen<RawGraph> {
         let cards: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..1e5)).collect();
         let n_edges = rng.gen_range(0usize..2 * n);
         let edges: Vec<(usize, usize, f64)> = (0..n_edges)
-            .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n), rng.gen_range(1e-4..1.0)))
+            .map(|_| {
+                (
+                    rng.gen_range(0..n),
+                    rng.gen_range(0..n),
+                    rng.gen_range(1e-4..1.0),
+                )
+            })
             .collect();
         (n, cards, edges)
     })
@@ -52,39 +58,56 @@ fn build_graph(raw: &RawGraph) -> JoinGraph {
 /// DP equals exhaustive enumeration (both exact over all orders).
 #[test]
 fn dp_equals_exhaustive() {
-    check("dp_equals_exhaustive", &Config::with_cases(64), &raw_graphs(6), |raw| {
-        let g = build_graph(raw);
-        let ex = optimize_exhaustive(&g);
-        let dp = optimize_dp(&g);
-        assert!(
-            (ex.cost - dp.cost).abs() <= 1e-9 * ex.cost.max(1.0),
-            "ex {} vs dp {}",
-            ex.cost,
-            dp.cost
-        );
-    });
+    check(
+        "dp_equals_exhaustive",
+        &Config::with_cases(64),
+        &raw_graphs(6),
+        |raw| {
+            let g = build_graph(raw);
+            let ex = optimize_exhaustive(&g);
+            let dp = optimize_dp(&g);
+            assert!(
+                (ex.cost - dp.cost).abs() <= 1e-9 * ex.cost.max(1.0),
+                "ex {} vs dp {}",
+                ex.cost,
+                dp.cost
+            );
+        },
+    );
 }
 
 /// No strategy returns a cost below the true optimum, and every
 /// strategy returns a valid permutation.
 #[test]
 fn strategies_dominate_optimum() {
-    check("strategies_dominate_optimum", &Config::with_cases(64), &raw_graphs(7), |raw| {
-        let g = build_graph(raw);
-        let opt = optimize_dp(&g).cost;
-        for r in [
-            optimize_kbz(&g),
-            optimize_dp_connected(&g),
-            optimize_anneal(&g, &AnnealParams { max_probes: 1500, ..AnnealParams::default() }, 1),
-        ] {
-            assert!(r.cost >= opt * (1.0 - 1e-9));
-            let mut o = r.order.clone();
-            o.sort_unstable();
-            assert_eq!(o, (0..g.n()).collect::<Vec<_>>());
-            // The reported cost matches re-evaluating the order.
-            assert!((g.sequence_cost(&r.order) - r.cost).abs() <= 1e-9 * r.cost.max(1.0));
-        }
-    });
+    check(
+        "strategies_dominate_optimum",
+        &Config::with_cases(64),
+        &raw_graphs(7),
+        |raw| {
+            let g = build_graph(raw);
+            let opt = optimize_dp(&g).cost;
+            for r in [
+                optimize_kbz(&g),
+                optimize_dp_connected(&g),
+                optimize_anneal(
+                    &g,
+                    &AnnealParams {
+                        max_probes: 1500,
+                        ..AnnealParams::default()
+                    },
+                    1,
+                ),
+            ] {
+                assert!(r.cost >= opt * (1.0 - 1e-9));
+                let mut o = r.order.clone();
+                o.sort_unstable();
+                assert_eq!(o, (0..g.n()).collect::<Vec<_>>());
+                // The reported cost matches re-evaluating the order.
+                assert!((g.sequence_cost(&r.order) - r.cost).abs() <= 1e-9 * r.cost.max(1.0));
+            }
+        },
+    );
 }
 
 /// Final cardinality is permutation-invariant (logical equivalence of
@@ -92,31 +115,41 @@ fn strategies_dominate_optimum() {
 #[test]
 fn final_cardinality_is_order_invariant() {
     let gen = pairs(raw_graphs(6), u64s(0..1000));
-    check("final_cardinality_is_order_invariant", &Config::with_cases(64), &gen, |(raw, seed)| {
-        let g = build_graph(raw);
-        let n = g.n();
-        let id: Vec<usize> = (0..n).collect();
-        let mut shuffled = id.clone();
-        shuffled.shuffle(&mut SplitMix64::seed_from_u64(*seed));
-        let (_, c1) = g.sequence_cost_card(&id);
-        let (_, c2) = g.sequence_cost_card(&shuffled);
-        assert!((c1 - c2).abs() <= 1e-6 * c1.max(1.0));
-    });
+    check(
+        "final_cardinality_is_order_invariant",
+        &Config::with_cases(64),
+        &gen,
+        |(raw, seed)| {
+            let g = build_graph(raw);
+            let n = g.n();
+            let id: Vec<usize> = (0..n).collect();
+            let mut shuffled = id.clone();
+            shuffled.shuffle(&mut SplitMix64::seed_from_u64(*seed));
+            let (_, c1) = g.sequence_cost_card(&id);
+            let (_, c2) = g.sequence_cost_card(&shuffled);
+            assert!((c1 - c2).abs() <= 1e-6 * c1.max(1.0));
+        },
+    );
 }
 
 /// Cost is monotone: scaling every cardinality up scales cost up.
 #[test]
 fn cost_monotone_in_cardinalities() {
-    check("cost_monotone_in_cardinalities", &Config::with_cases(64), &raw_graphs(5), |raw| {
-        let g = build_graph(raw);
-        let id: Vec<usize> = (0..g.n()).collect();
-        let base = g.sequence_cost(&id);
-        let mut bigger = JoinGraph::new((0..g.n()).map(|i| g.card(i) * 2.0).collect());
-        for (i, j, s) in g.edges() {
-            bigger.set_selectivity(i, j, s);
-        }
-        assert!(bigger.sequence_cost(&id) >= base);
-    });
+    check(
+        "cost_monotone_in_cardinalities",
+        &Config::with_cases(64),
+        &raw_graphs(5),
+        |raw| {
+            let g = build_graph(raw);
+            let id: Vec<usize> = (0..g.n()).collect();
+            let base = g.sequence_cost(&id);
+            let mut bigger = JoinGraph::new((0..g.n()).map(|i| g.card(i) * 2.0).collect());
+            for (i, j, s) in g.edges() {
+                bigger.set_selectivity(i, j, s);
+            }
+            assert!(bigger.sequence_cost(&id) >= base);
+        },
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -152,11 +185,16 @@ fn unify_cfg() -> Config {
 /// mgu(a, b) unifies: applying it to both sides yields equal terms.
 #[test]
 fn mgu_actually_unifies() {
-    check("mgu_actually_unifies", &unify_cfg(), &term_pairs(), |(a, b)| {
-        if let Some(s) = mgu(a, b) {
-            assert_eq!(s.apply(a), s.apply(b));
-        }
-    });
+    check(
+        "mgu_actually_unifies",
+        &unify_cfg(),
+        &term_pairs(),
+        |(a, b)| {
+            if let Some(s) = mgu(a, b) {
+                assert_eq!(s.apply(a), s.apply(b));
+            }
+        },
+    );
 }
 
 /// Unification is symmetric in success.
@@ -178,11 +216,16 @@ fn mgu_reflexive() {
 /// Ground terms unify iff equal.
 #[test]
 fn ground_unification_is_equality() {
-    check("ground_unification_is_equality", &unify_cfg(), &term_pairs(), |(a, b)| {
-        if a.is_ground() && b.is_ground() {
-            assert_eq!(mgu(a, b).is_some(), a == b);
-        }
-    });
+    check(
+        "ground_unification_is_equality",
+        &unify_cfg(),
+        &term_pairs(),
+        |(a, b)| {
+            if a.is_ground() && b.is_ground() {
+                assert_eq!(mgu(a, b).is_some(), a == b);
+            }
+        },
+    );
 }
 
 /// apply is idempotent once fully resolved.
@@ -220,16 +263,21 @@ fn eval_cfg() -> Config {
 /// Program display round-trips through the parser.
 #[test]
 fn program_display_round_trips() {
-    check("program_display_round_trips", &eval_cfg(), &edge_lists(20, 1..30), |edges| {
-        let mut text = String::new();
-        for (a, b) in edges {
-            text.push_str(&format!("e({a}, {b}).\n"));
-        }
-        text.push_str("tc(X, Y) <- e(X, Y).\ntc(X, Y) <- tc(X, Z), e(Z, Y).\n");
-        let p1 = parse_program(&text).unwrap();
-        let p2 = parse_program(&p1.to_string()).unwrap();
-        assert_eq!(p1, p2);
-    });
+    check(
+        "program_display_round_trips",
+        &eval_cfg(),
+        &edge_lists(20, 1..30),
+        |edges| {
+            let mut text = String::new();
+            for (a, b) in edges {
+                text.push_str(&format!("e({a}, {b}).\n"));
+            }
+            text.push_str("tc(X, Y) <- e(X, Y).\ntc(X, Y) <- tc(X, Z), e(Z, Y).\n");
+            let p1 = parse_program(&text).unwrap();
+            let p2 = parse_program(&p1.to_string()).unwrap();
+            assert_eq!(p1, p2);
+        },
+    );
 }
 
 /// All four fixpoint methods agree on random edge sets for bound tc
@@ -237,31 +285,40 @@ fn program_display_round_trips() {
 #[test]
 fn methods_agree_on_random_graphs() {
     let gen = pairs(edge_lists(12, 1..40), i64s(0..12));
-    check("methods_agree_on_random_graphs", &eval_cfg(), &gen, |(edges, start)| {
-        let mut text = String::new();
-        for (a, b) in edges {
-            text.push_str(&format!("e({a}, {b}).\n"));
-        }
-        text.push_str("tc(X, Y) <- e(X, Y).\ntc(X, Y) <- e(X, Z), tc(Z, Y).\n");
-        let program = parse_program(&text).unwrap();
-        let db = Database::from_program(&program);
-        let query = parse_query(&format!("tc({start}, Y)?")).unwrap();
-        let cfg = FixpointConfig::default();
-        let reference = evaluate_query(&program, &db, &query, Method::Naive, &cfg)
-            .unwrap()
-            .tuples;
-        // Magic must always agree. Counting diverges on cyclic data by
-        // design, so only compare when it terminates.
-        let magic = evaluate_query(&program, &db, &query, Method::Magic, &cfg).unwrap().tuples;
-        assert_eq!(&magic, &reference);
-        let counting_cfg = FixpointConfig::with_max_iterations(200);
-        if let Ok(ans) = evaluate_query(&program, &db, &query, Method::Counting, &counting_cfg) {
-            assert_eq!(&ans.tuples, &reference);
-        }
-        let semi =
-            evaluate_query(&program, &db, &query, Method::SemiNaive, &cfg).unwrap().tuples;
-        assert_eq!(&semi, &reference);
-    });
+    check(
+        "methods_agree_on_random_graphs",
+        &eval_cfg(),
+        &gen,
+        |(edges, start)| {
+            let mut text = String::new();
+            for (a, b) in edges {
+                text.push_str(&format!("e({a}, {b}).\n"));
+            }
+            text.push_str("tc(X, Y) <- e(X, Y).\ntc(X, Y) <- e(X, Z), tc(Z, Y).\n");
+            let program = parse_program(&text).unwrap();
+            let db = Database::from_program(&program);
+            let query = parse_query(&format!("tc({start}, Y)?")).unwrap();
+            let cfg = FixpointConfig::default();
+            let reference = evaluate_query(&program, &db, &query, Method::Naive, &cfg)
+                .unwrap()
+                .tuples;
+            // Magic must always agree. Counting diverges on cyclic data by
+            // design, so only compare when it terminates.
+            let magic = evaluate_query(&program, &db, &query, Method::Magic, &cfg)
+                .unwrap()
+                .tuples;
+            assert_eq!(&magic, &reference);
+            let counting_cfg = FixpointConfig::with_max_iterations(200);
+            if let Ok(ans) = evaluate_query(&program, &db, &query, Method::Counting, &counting_cfg)
+            {
+                assert_eq!(&ans.tuples, &reference);
+            }
+            let semi = evaluate_query(&program, &db, &query, Method::SemiNaive, &cfg)
+                .unwrap()
+                .tuples;
+            assert_eq!(&semi, &reference);
+        },
+    );
 }
 
 /// The optimizer never produces a plan whose execution disagrees with
@@ -269,24 +326,29 @@ fn methods_agree_on_random_graphs() {
 #[test]
 fn optimized_plans_are_sound() {
     let gen = pairs(edge_lists(10, 1..25), i64s(0..10));
-    check("optimized_plans_are_sound", &eval_cfg(), &gen, |(edges, qx)| {
-        let mut text = String::new();
-        for (a, b) in edges {
-            text.push_str(&format!("e({a}, {b}).\n"));
-        }
-        text.push_str("tc(X, Y) <- e(X, Y).\ntc(X, Y) <- e(X, Z), tc(Z, Y).\n");
-        let program = parse_program(&text).unwrap();
-        let db = Database::from_program(&program);
-        let cfg = FixpointConfig::default();
-        for q in [format!("tc({qx}, Y)?"), "tc(X, Y)?".to_string()] {
-            let query = parse_query(&q).unwrap();
-            let reference = evaluate_query(&program, &db, &query, Method::Naive, &cfg)
-                .unwrap()
-                .tuples;
-            let opt = ldl::optimizer::Optimizer::with_defaults(&program, &db);
-            let plan = opt.optimize(&query).unwrap();
-            let got = plan.execute(&program, &db, &cfg).unwrap().tuples;
-            assert_eq!(got, reference, "query {}", q);
-        }
-    });
+    check(
+        "optimized_plans_are_sound",
+        &eval_cfg(),
+        &gen,
+        |(edges, qx)| {
+            let mut text = String::new();
+            for (a, b) in edges {
+                text.push_str(&format!("e({a}, {b}).\n"));
+            }
+            text.push_str("tc(X, Y) <- e(X, Y).\ntc(X, Y) <- e(X, Z), tc(Z, Y).\n");
+            let program = parse_program(&text).unwrap();
+            let db = Database::from_program(&program);
+            let cfg = FixpointConfig::default();
+            for q in [format!("tc({qx}, Y)?"), "tc(X, Y)?".to_string()] {
+                let query = parse_query(&q).unwrap();
+                let reference = evaluate_query(&program, &db, &query, Method::Naive, &cfg)
+                    .unwrap()
+                    .tuples;
+                let opt = ldl::optimizer::Optimizer::with_defaults(&program, &db);
+                let plan = opt.optimize(&query).unwrap();
+                let got = plan.execute(&program, &db, &cfg).unwrap().tuples;
+                assert_eq!(got, reference, "query {}", q);
+            }
+        },
+    );
 }

@@ -77,7 +77,13 @@ fn grouping_in_recursion_is_rejected() {
     let program = parse_program(text).unwrap();
     let db = Database::from_program(&program);
     let q = parse_query("s(1, S)?").unwrap();
-    let r = evaluate_query(&program, &db, &q, Method::SemiNaive, &FixpointConfig::default());
+    let r = evaluate_query(
+        &program,
+        &db,
+        &q,
+        Method::SemiNaive,
+        &FixpointConfig::default(),
+    );
     assert!(r.is_err(), "got {r:?}");
 }
 
@@ -112,7 +118,9 @@ fn optimizer_plans_and_executes_grouping_programs() {
     let opt = Optimizer::with_defaults(&program, &db);
     let query = parse_query("big_assembly(A)?").unwrap();
     let plan = opt.optimize(&query).unwrap();
-    let ans = plan.execute(&program, &db, &FixpointConfig::default()).unwrap();
+    let ans = plan
+        .execute(&program, &db, &FixpointConfig::default())
+        .unwrap();
     assert_eq!(ans.tuples.len(), 2); // bike and car both contain wheel
 }
 

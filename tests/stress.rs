@@ -12,14 +12,21 @@ use std::time::Instant;
 
 #[test]
 fn tiny_iteration_bound_errors_cleanly() {
-    let text = "e(1, 2). e(2, 3). e(3, 4). e(4, 5).\ntc(X, Y) <- e(X, Y).\ntc(X, Y) <- e(X, Z), tc(Z, Y).";
+    let text =
+        "e(1, 2). e(2, 3). e(3, 4). e(4, 5).\ntc(X, Y) <- e(X, Y).\ntc(X, Y) <- e(X, Z), tc(Z, Y).";
     let program = parse_program(text).unwrap();
     let db = Database::from_program(&program);
     let q = parse_query("tc(1, Y)?").unwrap();
     // A bound of 1 iteration cannot complete the chain: must be an error,
     // not a wrong answer.
     for m in [Method::Naive, Method::SemiNaive] {
-        let r = evaluate_query(&program, &db, &q, m, &FixpointConfig::with_max_iterations(1));
+        let r = evaluate_query(
+            &program,
+            &db,
+            &q,
+            m,
+            &FixpointConfig::with_max_iterations(1),
+        );
         assert!(r.is_err(), "{} must report the bound", m.name());
     }
 }
@@ -42,7 +49,11 @@ fn sld_resolution_cap_errors_not_hangs() {
         &program,
         &db,
         &q,
-        &SldConfig { max_depth: 1 << 20, max_resolutions: 5_000, max_answers: None },
+        &SldConfig {
+            max_depth: 1 << 20,
+            max_resolutions: 5_000,
+            max_answers: None,
+        },
     );
     // Either the resolution cap fires (error) or the clamped depth bound
     // cuts the search (incomplete result) — both are graceful, neither
@@ -80,8 +91,13 @@ fn hundred_rule_program_optimizes_and_runs() {
     let q = parse_query("top0(X)?").unwrap();
     let started = Instant::now();
     let plan = opt.optimize(&q).unwrap();
-    assert!(started.elapsed().as_secs() < 30, "optimization must stay fast");
-    let ans = plan.execute(&program, &db, &FixpointConfig::default()).unwrap();
+    assert!(
+        started.elapsed().as_secs() < 30,
+        "optimization must stay fast"
+    );
+    let ans = plan
+        .execute(&program, &db, &FixpointConfig::default())
+        .unwrap();
     assert!(!ans.tuples.is_empty());
 }
 
@@ -102,13 +118,18 @@ fn wide_rule_falls_back_from_exhaustive() {
     let opt = Optimizer::new(
         &program,
         &db,
-        OptConfig { strategy: Strategy::Exhaustive, ..OptConfig::default() },
+        OptConfig {
+            strategy: Strategy::Exhaustive,
+            ..OptConfig::default()
+        },
     );
     let q = parse_query("wide(0, Z)?").unwrap();
     let started = Instant::now();
     let plan = opt.optimize(&q).unwrap();
     assert!(started.elapsed().as_secs() < 10);
-    let ans = plan.execute(&program, &db, &FixpointConfig::default()).unwrap();
+    let ans = plan
+        .execute(&program, &db, &FixpointConfig::default())
+        .unwrap();
     assert_eq!(ans.tuples.len(), 1);
 }
 
@@ -127,7 +148,10 @@ fn annealing_handles_wide_rules_too() {
     let opt = Optimizer::new(
         &program,
         &db,
-        OptConfig { strategy: Strategy::Annealing, ..OptConfig::default() },
+        OptConfig {
+            strategy: Strategy::Annealing,
+            ..OptConfig::default()
+        },
     );
     let q = parse_query("wide(0, Z)?").unwrap();
     let plan = opt.optimize(&q).unwrap();
@@ -153,9 +177,17 @@ fn deep_clique_c_permutation_space_switches_to_annealing() {
     assert!(plan.cost.is_finite());
     // Annealing was used: probes well below the exhaustive 14400 x2.
     assert!(plan.stats.cpermutations_probed < 14_400, "{:?}", plan.stats);
-    let ans = plan.execute(&program, &db, &FixpointConfig::default()).unwrap();
-    let reference =
-        evaluate_query(&program, &db, &q, Method::SemiNaive, &FixpointConfig::default()).unwrap();
+    let ans = plan
+        .execute(&program, &db, &FixpointConfig::default())
+        .unwrap();
+    let reference = evaluate_query(
+        &program,
+        &db,
+        &q,
+        Method::SemiNaive,
+        &FixpointConfig::default(),
+    )
+    .unwrap();
     assert_eq!(ans.tuples, reference.tuples);
 }
 
@@ -170,8 +202,7 @@ fn ten_thousand_facts_load_and_query() {
     let db = Database::from_program(&program);
     let q = parse_query("deg2(7, Z)?").unwrap();
     let started = Instant::now();
-    let ans =
-        evaluate_query(&program, &db, &q, Method::Magic, &FixpointConfig::default()).unwrap();
+    let ans = evaluate_query(&program, &db, &q, Method::Magic, &FixpointConfig::default()).unwrap();
     assert!(started.elapsed().as_secs() < 20);
     assert!(!ans.tuples.is_empty());
 }
