@@ -182,6 +182,26 @@ mod tests {
     }
 
     #[test]
+    fn invertible_arith_query_form_is_clean() {
+        // The evaluator solves the single unknown in X = 5 + W, so the
+        // analyzer must accept the all-free form too.
+        let r = run("p(X, W) <- X = 3, X = 5 + W.", "p(A, B)?");
+        assert!(!r.has_errors(), "{r:?}");
+    }
+
+    #[test]
+    fn non_invertible_arith_free_form_is_ldl003() {
+        // Division never inverts: the free form is rejected exactly
+        // where the evaluator would error, the W-bound form accepted.
+        let prog = "p(X, W) <- X = 8, X = W / 2.";
+        let free = run(prog, "p(A, B)?");
+        assert!(free.has_errors(), "{free:?}");
+        assert_eq!(free.errors().next().unwrap().code, "LDL003");
+        let bound = run(prog, "p(A, 16)?");
+        assert!(!bound.has_errors(), "{bound:?}");
+    }
+
+    #[test]
     fn undefined_query_pred_is_ldl102() {
         let r = run("q(1).", "nosuch(X)?");
         assert_eq!(r.diagnostics.len(), 1);

@@ -208,6 +208,24 @@ mod tests {
     }
 
     #[test]
+    fn invertible_arith_equality_is_clean() {
+        // X = 5 + W: with X bound, the single unknown W inverts — the
+        // rule executes under every head form, no diagnostic.
+        let r = run("p(X, W) <- X = 3, X = 5 + W.");
+        assert!(r.diagnostics.is_empty(), "{r:?}");
+    }
+
+    #[test]
+    fn non_invertible_arith_equality_warns_ldl110() {
+        // X = W / 2 never inverts (division discards information): W is
+        // bindable only by the query, so the all-free form is rejected
+        // but bound forms stay legal — a warning, not an error.
+        let r = run("p(X, W) <- X = 8, X = W / 2.");
+        assert!(!r.has_errors(), "{r:?}");
+        assert!(r.diagnostics.iter().any(|d| d.code == "LDL110"), "{r:?}");
+    }
+
+    #[test]
     fn never_bindable_builtin_var_is_ldl001() {
         // `Y` occurs only inside `X > Y`: unbindable under any order and
         // any head adornment (comparisons never generate bindings).

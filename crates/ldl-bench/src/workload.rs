@@ -186,6 +186,33 @@ pub fn bill_of_materials(roots: usize, branching: usize, depth: usize) -> (Progr
     (parse_program(&text).expect("generated BOM parses"), 0)
 }
 
+/// Selective-range workload (P3): `f(K, V)` holds `groups × per_group`
+/// facts (every key paired with every value), `m` two keys, and two
+/// range rules — an equality-prefix one (`K` bound through `m`, `V`
+/// windowed) and an empty-prefix one (`V` thresholded over the whole
+/// table). The windows select ~10% of each probed run, so ordered range
+/// probes enumerate a small slice where scans walk the full table.
+pub fn range_scan(groups: usize, per_group: usize) -> Program {
+    assert!(groups >= 2 && per_group >= 10);
+    let mut text = String::new();
+    for k in 0..groups {
+        for v in 0..per_group {
+            writeln!(text, "f({k}, {v}).").unwrap();
+        }
+    }
+    writeln!(text, "m(0). m({}).", groups - 1).unwrap();
+    let lo = per_group / 2;
+    let hi = lo + per_group / 10;
+    writeln!(text, "hit(K, V) <- m(K), f(K, V), V >= {lo}, V < {hi}.").unwrap();
+    writeln!(
+        text,
+        "top(V) <- f(K, V), V > {}.",
+        per_group - per_group / 10
+    )
+    .unwrap();
+    parse_program(&text).expect("generated range workload parses")
+}
+
 /// Layered nonrecursive rule base for the memoization experiment (E4):
 /// `width` predicates per layer, `depth` layers; every layer-`k`
 /// predicate references **all** layer-`k+1` predicates, so subtrees are
@@ -294,6 +321,23 @@ mod tests {
             .unwrap()
             .tuples;
         assert_eq!(ans.len(), 2 + 4 + 8);
+    }
+
+    #[test]
+    fn range_scan_windows_select_a_slice() {
+        let p = range_scan(4, 100);
+        let db = Database::from_program(&p);
+        let q = ldl_core::parser::parse_query("hit(K, V)?").unwrap();
+        let ans = evaluate_query(&p, &db, &q, Method::SemiNaive, &FixpointConfig::default())
+            .unwrap()
+            .tuples;
+        // Two m keys × the [50, 60) window.
+        assert_eq!(ans.len(), 2 * 10);
+        let q = ldl_core::parser::parse_query("top(V)?").unwrap();
+        let ans = evaluate_query(&p, &db, &q, Method::SemiNaive, &FixpointConfig::default())
+            .unwrap()
+            .tuples;
+        assert_eq!(ans.len(), 9); // V in 91..=99, deduplicated across keys
     }
 
     #[test]

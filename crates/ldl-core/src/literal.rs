@@ -277,12 +277,20 @@ impl BuiltinPred {
     /// variables, can this evaluable predicate be executed finitely?
     ///
     /// * comparisons other than `=`: every variable must be bound;
-    /// * `lhs = rhs`: EC as soon as one side is fully bound (the other side
-    ///   is then computed/unified); also EC when both sides are bound.
+    /// * `lhs = rhs`: EC when both sides are bound, or when one side is
+    ///   fully bound and the other is *solvable*: either free of
+    ///   arithmetic (plain unification binds it) or an invertible
+    ///   single-unknown chain of `+`/`-`/`*` (the evaluator solves
+    ///   `5 = 3 + W` for `W`; `/` and `mod` lose information and never
+    ///   invert, so they are only EC in the forward direction).
     pub fn is_ec(&self, bound: &std::collections::HashSet<Symbol>) -> bool {
         let all_bound = |t: &Term| t.vars().iter().all(|v| bound.contains(v));
         match self.op {
-            CmpOp::Eq => all_bound(&self.lhs) || all_bound(&self.rhs),
+            CmpOp::Eq => {
+                let (lb, rb) = (all_bound(&self.lhs), all_bound(&self.rhs));
+                (lb && (rb || solvable_unknown_side(&self.rhs, bound)))
+                    || (rb && solvable_unknown_side(&self.lhs, bound))
+            }
             _ => all_bound(&self.lhs) && all_bound(&self.rhs),
         }
     }
@@ -304,6 +312,47 @@ impl BuiltinPred {
         }
         out.retain(|v| !bound.contains(v));
         out
+    }
+}
+
+/// True when `t` contains an arithmetic compound (`+ - * / mod` of
+/// arity 2) anywhere.
+fn contains_arith(t: &Term) -> bool {
+    match t {
+        Term::Compound(f, args) => {
+            (args.len() == 2 && matches!(f.as_str(), "+" | "-" | "*" | "/" | "mod"))
+                || args.iter().any(contains_arith)
+        }
+        _ => false,
+    }
+}
+
+/// Can the evaluator execute `t = <ground value>` when `t` is not fully
+/// bound? True when `t` is free of arithmetic (plain unification binds
+/// its variables), or when it is an invertible arithmetic chain: at each
+/// `+`/`-`/`*` node exactly one operand holds unbound variables and that
+/// operand is itself invertible down to a bare variable. `/` and `mod`
+/// around the unknown never invert.
+fn solvable_unknown_side(t: &Term, bound: &std::collections::HashSet<Symbol>) -> bool {
+    if !contains_arith(t) {
+        return true;
+    }
+    invertible(t, bound)
+}
+
+fn invertible(t: &Term, bound: &std::collections::HashSet<Symbol>) -> bool {
+    let fully = |t: &Term| t.vars().iter().all(|v| bound.contains(v));
+    match t {
+        Term::Var(_) => true,
+        Term::Compound(f, args) if args.len() == 2 && matches!(f.as_str(), "+" | "-" | "*") => {
+            match (fully(&args[0]), fully(&args[1])) {
+                (true, false) => invertible(&args[1], bound),
+                (false, true) => invertible(&args[0], bound),
+                // Two unknown operands: underdetermined.
+                _ => false,
+            }
+        }
+        _ => false,
     }
 }
 
@@ -397,7 +446,9 @@ mod tests {
 
     #[test]
     fn equality_needs_one_side_bound() {
-        // Z = X + Y : EC once X and Y are bound, or once Z is bound.
+        // Z = X + Y : EC once X and Y are bound. With only Z bound the
+        // arithmetic side has *two* unknowns — the evaluator cannot
+        // solve it, so the EC model must not claim it either.
         let b = BuiltinPred::new(
             CmpOp::Eq,
             Term::var("Z"),
@@ -405,7 +456,70 @@ mod tests {
         );
         assert!(!b.is_ec(&bound(&["X"])));
         assert!(b.is_ec(&bound(&["X", "Y"])));
+        assert!(!b.is_ec(&bound(&["Z"])));
+    }
+
+    #[test]
+    fn equality_inverts_single_unknown_linear_forms() {
+        // Z = X + 3 with Z bound: solvable for X (X = Z - 3).
+        let b = BuiltinPred::new(
+            CmpOp::Eq,
+            Term::var("Z"),
+            Term::compound("+", vec![Term::var("X"), Term::int(3)]),
+        );
         assert!(b.is_ec(&bound(&["Z"])));
+        assert_eq!(b.binds(&bound(&["Z"])), vec![Symbol::intern("X")]);
+        // Nested chain: Z = 3 + 2 * W still has a single unknown leaf.
+        let c = BuiltinPred::new(
+            CmpOp::Eq,
+            Term::var("Z"),
+            Term::compound(
+                "+",
+                vec![
+                    Term::int(3),
+                    Term::compound("*", vec![Term::int(2), Term::var("W")]),
+                ],
+            ),
+        );
+        assert!(c.is_ec(&bound(&["Z"])));
+        assert_eq!(c.binds(&bound(&["Z"])), vec![Symbol::intern("W")]);
+    }
+
+    #[test]
+    fn equality_does_not_invert_division_or_mod() {
+        for f in ["/", "mod"] {
+            let b = BuiltinPred::new(
+                CmpOp::Eq,
+                Term::var("Z"),
+                Term::compound(f, vec![Term::var("X"), Term::int(2)]),
+            );
+            assert!(!b.is_ec(&bound(&["Z"])), "{f} must not invert");
+            assert!(b.binds(&bound(&["Z"])).is_empty());
+            // Forward direction is still EC.
+            assert!(b.is_ec(&bound(&["X"])));
+        }
+    }
+
+    #[test]
+    fn equality_unifies_structural_unbound_sides() {
+        // Z = f(X): plain unification binds X once Z is bound.
+        let b = BuiltinPred::new(
+            CmpOp::Eq,
+            Term::var("Z"),
+            Term::compound("f", vec![Term::var("X")]),
+        );
+        assert!(b.is_ec(&bound(&["Z"])));
+        assert_eq!(b.binds(&bound(&["Z"])), vec![Symbol::intern("X")]);
+        // But arithmetic buried inside a structural term does not invert.
+        let c = BuiltinPred::new(
+            CmpOp::Eq,
+            Term::var("Z"),
+            Term::compound(
+                "f",
+                vec![Term::compound("+", vec![Term::var("X"), Term::int(1)])],
+            ),
+        );
+        assert!(!c.is_ec(&bound(&["Z"])));
     }
 
     #[test]

@@ -96,12 +96,29 @@ pub fn eval_builtin(b: &BuiltinPred, subst: &Subst) -> Result<Option<Subst>> {
                     "equality {b} not effectively computable: neither side ground"
                 )));
             }
-            // One side ground: a ground arithmetic side is already reduced;
-            // a non-ground arithmetic side cannot be inverted.
-            if is_arith_expr(&l) || is_arith_expr(&r) {
-                return Err(LdlError::Eval(format!(
-                    "arithmetic expression with unbound variables in {b}"
-                )));
+            // One side ground: a ground arithmetic side is already
+            // reduced. A non-ground arithmetic side is *solved* for its
+            // single unknown when the chain is invertible (`5 = 3 + W`
+            // binds `W = 2`); non-invertible forms error, mirroring the
+            // EC model's `BuiltinPred::is_ec`.
+            let (ground, open) = if l.is_ground() { (&l, &r) } else { (&r, &l) };
+            if is_arith_expr(open) {
+                let target = match ground {
+                    Term::Const(Value::Int(i)) => *i,
+                    _ => {
+                        return Err(LdlError::Eval(format!(
+                            "cannot solve {b}: arithmetic against a non-integer value"
+                        )))
+                    }
+                };
+                return match solve_unknown(open, target, b)? {
+                    Some((v, val)) => {
+                        let mut s = subst.clone();
+                        s.bind(v, Term::int(val));
+                        Ok(Some(s))
+                    }
+                    None => Ok(None),
+                };
             }
             let mut s = subst.clone();
             Ok(if s.unify(&l, &r) { Some(s) } else { None })
@@ -120,9 +137,72 @@ pub fn eval_builtin(b: &BuiltinPred, subst: &Subst) -> Result<Option<Subst>> {
     }
 }
 
+/// Solves `expr = target` for the single unbound variable in `expr`.
+///
+/// `expr` is a non-ground arithmetic term. Inverts chains of `+`, `-`
+/// and `*` (exact division only); returns `Ok(Some((var, value)))` for
+/// a unique solution, `Ok(None)` when no integer solution exists (the
+/// equality fails as a filter, e.g. `5 = 2 * W`), and `Err` when the
+/// form is not invertible: two unknown operands, `/` or `mod` around
+/// the unknown (integer division loses information), a structural term
+/// inside the chain, an underdetermined `0 * W = 0`, or overflow while
+/// back-substituting.
+fn solve_unknown(expr: &Term, target: i64, b: &BuiltinPred) -> Result<Option<(Symbol, i64)>> {
+    let overflow = || LdlError::Eval(format!("integer overflow solving {b}"));
+    match expr {
+        Term::Var(v) => Ok(Some((*v, target))),
+        Term::Compound(f, args) if args.len() == 2 && matches!(f.as_str(), "+" | "-" | "*") => {
+            let (known, open, open_is_rhs) = if args[0].is_ground() && !args[1].is_ground() {
+                (&args[0], &args[1], true)
+            } else if args[1].is_ground() && !args[0].is_ground() {
+                (&args[1], &args[0], false)
+            } else {
+                return Err(LdlError::Eval(format!(
+                    "cannot solve {b}: more than one unknown operand"
+                )));
+            };
+            let k = int_of(eval_arith(known)?, expr)?;
+            match f.as_str() {
+                // k + W = t  or  W + k = t  →  W = t - k
+                "+" => solve_unknown(open, target.checked_sub(k).ok_or_else(overflow)?, b),
+                "-" if open_is_rhs => {
+                    // k - W = t  →  W = k - t
+                    solve_unknown(open, k.checked_sub(target).ok_or_else(overflow)?, b)
+                }
+                // W - k = t  →  W = t + k
+                "-" => solve_unknown(open, target.checked_add(k).ok_or_else(overflow)?, b),
+                "*" => {
+                    if k == 0 {
+                        return if target == 0 {
+                            // 0 * W = 0 holds for every W: underdetermined.
+                            Err(LdlError::Eval(format!(
+                                "cannot solve {b}: zero coefficient is underdetermined"
+                            )))
+                        } else {
+                            Ok(None)
+                        };
+                    }
+                    match (target.checked_rem(k), target.checked_div(k)) {
+                        (Some(0), Some(q)) => solve_unknown(open, q, b),
+                        // Inexact division: no integer solution.
+                        (Some(_), _) => Ok(None),
+                        // i64::MIN / -1 style overflow.
+                        _ => Err(overflow()),
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+        _ => Err(LdlError::Eval(format!(
+            "arithmetic expression with unbound variables in {b}"
+        ))),
+    }
+}
+
 /// Operand of a comparison: arithmetic expressions reduce, other ground
-/// terms stand for themselves.
-fn eval_cmp_operand(t: &Term) -> Result<Term> {
+/// terms stand for themselves. Also used by the rule evaluator's range
+/// folding to reduce the ground side of a bound comparison.
+pub(crate) fn eval_cmp_operand(t: &Term) -> Result<Term> {
     if is_arith_expr(t) {
         Ok(Term::Const(eval_arith(t)?))
     } else {
@@ -237,6 +317,71 @@ mod tests {
         // X = Y + 1 with neither bound.
         let lit = b(CmpOp::Eq, "X", "Y + 1");
         assert!(eval_builtin(&lit, &Subst::new()).is_err());
+    }
+
+    #[test]
+    fn eq_inverts_single_unknown_sum() {
+        // 5 = 3 + W binds W = 2 (the ROADMAP EC-model gap).
+        let lit = b(CmpOp::Eq, "5", "3 + W");
+        let s = eval_builtin(&lit, &Subst::new()).unwrap().unwrap();
+        assert_eq!(s.apply(&Term::var("W")), Term::int(2));
+        // Both subtraction orientations.
+        let s = eval_builtin(&b(CmpOp::Eq, "2", "10 - W"), &Subst::new())
+            .unwrap()
+            .unwrap();
+        assert_eq!(s.apply(&Term::var("W")), Term::int(8));
+        let s = eval_builtin(&b(CmpOp::Eq, "2", "W - 10"), &Subst::new())
+            .unwrap()
+            .unwrap();
+        assert_eq!(s.apply(&Term::var("W")), Term::int(12));
+        // Unknown on the left of the equality works too.
+        let s = eval_builtin(&b(CmpOp::Eq, "W + 1", "7"), &Subst::new())
+            .unwrap()
+            .unwrap();
+        assert_eq!(s.apply(&Term::var("W")), Term::int(6));
+    }
+
+    #[test]
+    fn eq_inverts_nested_chains() {
+        // 11 = 3 + 2 * W  →  W = 4.
+        let lit = b(CmpOp::Eq, "11", "3 + 2 * W");
+        let s = eval_builtin(&lit, &Subst::new()).unwrap().unwrap();
+        assert_eq!(s.apply(&Term::var("W")), Term::int(4));
+    }
+
+    #[test]
+    fn eq_inversion_inexact_division_filters() {
+        // 5 = 2 * W has no integer solution: filter failure, not error.
+        let lit = b(CmpOp::Eq, "5", "2 * W");
+        assert!(eval_builtin(&lit, &Subst::new()).unwrap().is_none());
+        // Exact division succeeds.
+        let s = eval_builtin(&b(CmpOp::Eq, "6", "2 * W"), &Subst::new())
+            .unwrap()
+            .unwrap();
+        assert_eq!(s.apply(&Term::var("W")), Term::int(3));
+    }
+
+    #[test]
+    fn eq_inversion_zero_coefficient() {
+        // 0 * W = 5: no W works — filter failure.
+        assert!(eval_builtin(&b(CmpOp::Eq, "5", "0 * W"), &Subst::new())
+            .unwrap()
+            .is_none());
+        // 0 * W = 0: every W works — underdetermined, an error.
+        assert!(eval_builtin(&b(CmpOp::Eq, "0", "0 * W"), &Subst::new()).is_err());
+    }
+
+    #[test]
+    fn eq_inversion_rejects_div_mod_and_two_unknowns() {
+        assert!(eval_builtin(&b(CmpOp::Eq, "5", "W / 2"), &Subst::new()).is_err());
+        assert!(eval_builtin(&b(CmpOp::Eq, "5", "W mod 2"), &Subst::new()).is_err());
+        assert!(eval_builtin(&b(CmpOp::Eq, "5", "W + U"), &Subst::new()).is_err());
+    }
+
+    #[test]
+    fn eq_inversion_rejects_non_integer_target() {
+        // tom = W + 1: no symbolic arithmetic.
+        assert!(eval_builtin(&b(CmpOp::Eq, "tom", "W + 1"), &Subst::new()).is_err());
     }
 
     #[test]

@@ -33,6 +33,31 @@ pub enum AccessPaths {
     ForceScan,
 }
 
+impl AccessPaths {
+    /// The policy named by the `LDL_ACCESS_PATHS` environment variable
+    /// (`selected` / `hash` / `scan`), or `Selected` when unset or
+    /// unrecognized. [`FixpointConfig::default`] reads this, so every
+    /// entry point — shell, session, benches — honors the override.
+    pub fn from_env() -> AccessPaths {
+        match std::env::var("LDL_ACCESS_PATHS").as_deref() {
+            Ok("hash") => AccessPaths::HashOnDemand,
+            Ok("scan") => AccessPaths::ForceScan,
+            _ => AccessPaths::Selected,
+        }
+    }
+
+    /// Parses a policy name as accepted by `LDL_ACCESS_PATHS` and the
+    /// shell's `--access-paths` flag.
+    pub fn parse(name: &str) -> Option<AccessPaths> {
+        match name {
+            "selected" => Some(AccessPaths::Selected),
+            "hash" => Some(AccessPaths::HashOnDemand),
+            "scan" => Some(AccessPaths::ForceScan),
+            _ => None,
+        }
+    }
+}
+
 /// Runtime knobs of the fixpoint evaluators: the iteration bound
 /// guarding non-terminating fixpoints (an unsafe execution shows up as
 /// an iteration-bound overflow at run time), the worker-thread count
@@ -49,6 +74,8 @@ pub struct FixpointConfig {
     /// Defaults to `LDL_EVAL_THREADS` or the machine's parallelism.
     pub threads: usize,
     /// Access-path policy for probe sites (see [`AccessPaths`]).
+    /// Defaults to `LDL_ACCESS_PATHS` (`selected` / `hash` / `scan`) or
+    /// [`AccessPaths::Selected`].
     pub access_paths: AccessPaths,
     /// Route materialized selections through `ops::select_strict`, so an
     /// ordering comparison over unordered values is a typed error
@@ -81,7 +108,7 @@ impl Default for FixpointConfig {
         FixpointConfig {
             max_iterations: 100_000,
             threads: ldl_support::par::default_threads(),
-            access_paths: AccessPaths::default(),
+            access_paths: AccessPaths::from_env(),
             strict_select: false,
             analysis: AnalysisPolicy::default(),
         }

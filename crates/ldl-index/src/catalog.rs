@@ -8,10 +8,12 @@
 //! (over-approximation holes are possible in principle, not observed)
 //! falls back to a prefix scan over the predicate's orders.
 
-use crate::collect::{collect_signatures, SignatureMap};
+use crate::collect::{
+    collect_range_signatures, collect_signatures, RangeSignatureMap, SignatureMap,
+};
 use crate::cover::{chain_to_order, min_chain_cover};
 use ldl_core::{Pred, Program};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// The selected ordered indexes of one program.
 #[derive(Clone, Debug, Default)]
@@ -20,28 +22,86 @@ pub struct IndexCatalog {
     orders: HashMap<Pred, Vec<Vec<usize>>>,
     /// Collected signature → index into `orders[pred]`.
     by_signature: HashMap<(Pred, Vec<usize>), usize>,
+    /// Collected `(equality prefix, range column)` → index into
+    /// `orders[pred]` of an order serving it (prefix columns first,
+    /// range column immediately after).
+    by_range: HashMap<(Pred, Vec<usize>, usize), usize>,
+}
+
+/// Does order `o` serve a range probe on `range_col` after the equality
+/// prefix `eq_cols` (sorted)? The first `eq_cols.len()` columns must be
+/// exactly that set and the *next* column must be the range column.
+fn order_serves_range(o: &[usize], eq_cols: &[usize], range_col: usize) -> bool {
+    o.len() > eq_cols.len() && o[eq_cols.len()] == range_col && {
+        let mut prefix = o[..eq_cols.len()].to_vec();
+        prefix.sort_unstable();
+        prefix == eq_cols
+    }
 }
 
 impl IndexCatalog {
-    /// Collects the program's search signatures and solves the minimum
-    /// chain cover per predicate.
+    /// Collects the program's search signatures (equality and range)
+    /// and solves the minimum chain cover per predicate.
     pub fn build(program: &Program) -> IndexCatalog {
-        IndexCatalog::from_signatures(&collect_signatures(program))
+        IndexCatalog::from_signature_maps(
+            &collect_signatures(program),
+            &collect_range_signatures(program),
+        )
     }
 
     /// Catalog from an explicit signature map (exposed for tests and
     /// for callers that collect from an adorned program).
     pub fn from_signatures(map: &SignatureMap) -> IndexCatalog {
+        IndexCatalog::from_signature_maps(map, &RangeSignatureMap::new())
+    }
+
+    /// Catalog from explicit equality and range signature maps. Range
+    /// demands feed the chain cover as synthetic `E ∪ {r}` signatures —
+    /// so `p` probed on `{0}` equality and ranged on column 1 after
+    /// prefix `{0}` still shares one order `[0, 1]` — but only real
+    /// equality signatures register in the O(1) lookup table (the
+    /// synthetic sets are not key sets the executor probes by
+    /// equality). Any demand the cover happens to lower with the range
+    /// column *not* directly after its prefix gets a dedicated
+    /// appended order, so every collected demand is served.
+    pub fn from_signature_maps(map: &SignatureMap, ranges: &RangeSignatureMap) -> IndexCatalog {
         let mut catalog = IndexCatalog::default();
-        for (&pred, sig_set) in map {
-            let sigs: Vec<Vec<usize>> = sig_set.iter().cloned().collect();
+        let preds: BTreeSet<Pred> = map.keys().chain(ranges.keys()).copied().collect();
+        for pred in preds {
+            let real: BTreeSet<Vec<usize>> = map.get(&pred).cloned().unwrap_or_default();
+            let mut all = real.clone();
+            if let Some(demands) = ranges.get(&pred) {
+                for (e, r) in demands {
+                    let mut sig = e.clone();
+                    sig.push(*r);
+                    sig.sort_unstable();
+                    all.insert(sig);
+                }
+            }
+            let sigs: Vec<Vec<usize>> = all.iter().cloned().collect();
             let chains = min_chain_cover(&sigs);
             let mut orders = Vec::with_capacity(chains.len());
             for chain in &chains {
                 let oi = orders.len();
                 orders.push(chain_to_order(chain));
                 for sig in chain {
-                    catalog.by_signature.insert((pred, sig.clone()), oi);
+                    if real.contains(sig) {
+                        catalog.by_signature.insert((pred, sig.clone()), oi);
+                    }
+                }
+            }
+            if let Some(demands) = ranges.get(&pred) {
+                for (e, r) in demands {
+                    let oi = match orders.iter().position(|o| order_serves_range(o, e, *r)) {
+                        Some(oi) => oi,
+                        None => {
+                            let mut o = e.clone();
+                            o.push(*r);
+                            orders.push(o);
+                            orders.len() - 1
+                        }
+                    };
+                    catalog.by_range.insert((pred, e.clone(), *r), oi);
                 }
             }
             catalog.orders.insert(pred, orders);
@@ -72,6 +132,28 @@ impl IndexCatalog {
                         prefix == key_cols
                     }
                 })
+                .map(|o| o.as_slice())
+        })
+    }
+
+    /// The order serving a range probe on `range_col` after the
+    /// equality prefix `eq_cols` (sorted ascending), if any: the order
+    /// starts with exactly the prefix columns and lists `range_col`
+    /// next, so the probe is one `equal_run` plus two binary searches.
+    pub fn lookup_range(
+        &self,
+        pred: Pred,
+        eq_cols: &[usize],
+        range_col: usize,
+    ) -> Option<&[usize]> {
+        if let Some(&oi) = self.by_range.get(&(pred, eq_cols.to_vec(), range_col)) {
+            return Some(&self.orders[&pred][oi]);
+        }
+        // Uncollected demand: scan for any order that serves it.
+        self.orders.get(&pred).and_then(|orders| {
+            orders
+                .iter()
+                .find(|o| order_serves_range(o, eq_cols, range_col))
                 .map(|o| o.as_slice())
         })
     }
@@ -138,6 +220,54 @@ mod tests {
         let c = IndexCatalog::default();
         assert!(c.orders(Pred::new("nope", 3)).is_empty());
         assert!(c.lookup(Pred::new("nope", 3), &[0]).is_none());
+        assert!(c.lookup_range(Pred::new("nope", 3), &[], 0).is_none());
         assert_eq!(c.total_orders(), 0);
+    }
+
+    #[test]
+    fn range_demand_shares_the_equality_chain() {
+        // f probed on {0} equality in one rule, ranged on column 1
+        // after prefix {0} in another: one order [0, 1] serves both.
+        let text = "a(K, V) <- m(K), f(K, V).\n\
+                    b(K, V) <- m(K), f(K, V), V > 3.";
+        let prog = parse_program(text).unwrap();
+        let c = IndexCatalog::build(&prog);
+        let f = Pred::new("f", 2);
+        assert_eq!(c.orders(f), &[vec![0, 1]]);
+        assert_eq!(c.lookup(f, &[0]), Some(&[0usize, 1][..]));
+        assert_eq!(c.lookup_range(f, &[0], 1), Some(&[0usize, 1][..]));
+        // Only f:{0} is a collected equality signature; the synthetic
+        // {0,1} set from the range demand does not register.
+        assert_eq!(c.total_signatures(), 1);
+    }
+
+    #[test]
+    fn empty_prefix_range_demand_gets_an_order() {
+        let prog = parse_program("big(X) <- n(X), X > 5.").unwrap();
+        let c = IndexCatalog::build(&prog);
+        let n = Pred::new("n", 1);
+        assert_eq!(c.lookup_range(n, &[], 0), Some(&[0usize][..]));
+        // No equality signature was collected for n (the order exists
+        // purely for the range demand).
+        assert_eq!(c.total_signatures(), 0);
+    }
+
+    #[test]
+    fn unserved_demand_gets_a_dedicated_appended_order() {
+        use crate::collect::RangeSignatureMap;
+        use std::collections::BTreeSet;
+        // Force a cover that lowers {0,1} with 1 first: equality sigs
+        // {1} ⊂ {0,1} chain to order [1, 0], which cannot serve a range
+        // on column 1 after prefix {0}.
+        let p = Pred::new("p", 2);
+        let mut eq = SignatureMap::new();
+        eq.insert(p, BTreeSet::from([vec![1], vec![0, 1]]));
+        let mut ranges = RangeSignatureMap::new();
+        ranges.insert(p, BTreeSet::from([(vec![0], 1)]));
+        let c = IndexCatalog::from_signature_maps(&eq, &ranges);
+        assert_eq!(c.lookup_range(p, &[0], 1), Some(&[0usize, 1][..]));
+        // Both equality signatures still hit the chain order.
+        assert_eq!(c.lookup(p, &[1]), Some(&[1usize, 0][..]));
+        assert_eq!(c.lookup(p, &[0, 1]), Some(&[1usize, 0][..]));
     }
 }

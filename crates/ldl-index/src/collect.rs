@@ -24,12 +24,153 @@
 //! probing tiny relations), never a miss.
 
 use ldl_core::adorn::AdornedProgram;
-use ldl_core::{Literal, Pred, Program, Symbol};
+use ldl_core::{CmpOp, Literal, Pred, Program, Symbol, Term};
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 /// The signatures of one program: per predicate, every bound-column set
 /// (each sorted ascending, nonempty) some rule occurrence will search.
 pub type SignatureMap = BTreeMap<Pred, BTreeSet<Vec<usize>>>;
+
+/// Range signatures of one program: per predicate, every
+/// `(equality prefix, range column)` pair some rule occurrence can fold
+/// bound inequalities into. Unlike [`SignatureMap`] entries, the
+/// equality prefix may be empty (`big(X) <- n(X), X > 5` ranges over
+/// the whole relation).
+pub type RangeSignatureMap = BTreeMap<Pred, BTreeSet<(Vec<usize>, usize)>>;
+
+/// One positive-atom occurrence whose trailing comparisons can become a
+/// range probe: the executor probes `eq_cols` by equality and scans the
+/// ordered run of `range_col`, consuming the builtins at `consumed`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RangeDemand {
+    /// Ground argument positions at the occurrence (sorted ascending).
+    pub eq_cols: Vec<usize>,
+    /// The argument position the folded inequalities constrain.
+    pub range_col: usize,
+    /// Indices into the evaluation `order` of the consumed builtins
+    /// (the contiguous run directly after the atom).
+    pub consumed: Vec<usize>,
+}
+
+/// Detects a foldable range demand at `order[at]` (which must hold a
+/// positive, non-`member` atom) given the variables bound beforehand.
+///
+/// This is the *static* mirror of the executor's runtime folding rule,
+/// shared by signature collection (identity order) and the optimizer
+/// (permuted orders). Only the contiguous run of builtins directly
+/// after the atom in `order` is eligible — stopping at the first
+/// non-consumable literal preserves error order. A builtin is
+/// consumable when it is a `<,<=,>,>=` comparison with one side a bare
+/// unbound variable occurring top-level in the atom and the other side
+/// fully bound. The first such builtin fixes the range column; further
+/// comparisons on the same variable keep folding. The runtime adds
+/// checks a static pass cannot (the bound evaluates to a scalar, the
+/// column population is homogeneous), so a static hit is necessary but
+/// not sufficient for an actual range probe — the fallback is the
+/// residual filter, never a wrong answer.
+pub fn range_demand(
+    body: &[Literal],
+    order: &[usize],
+    at: usize,
+    bound: &HashSet<Symbol>,
+) -> Option<RangeDemand> {
+    let atom = match &body[order[at]] {
+        Literal::Atom(a) if !a.negated && a.pred != Pred::new("member", 2) => a,
+        _ => return None,
+    };
+    let eq_cols: Vec<usize> = atom
+        .args
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.vars().iter().all(|v| bound.contains(v)))
+        .map(|(i, _)| i)
+        .collect();
+    // The unbound top-level variables of the atom, by position.
+    let var_at = |v: Symbol| {
+        atom.args
+            .iter()
+            .position(|t| matches!(t, Term::Var(u) if *u == v))
+    };
+    let mut range_var: Option<Symbol> = None;
+    let mut range_col = 0usize;
+    let mut consumed = Vec::new();
+    for (j, &pos) in order.iter().enumerate().skip(at + 1) {
+        let b = match &body[pos] {
+            Literal::Builtin(b) => b,
+            _ => break,
+        };
+        if !matches!(b.op, CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge) {
+            break;
+        }
+        let ground = |t: &Term| t.vars().iter().all(|v| bound.contains(v));
+        // Which side is the probe variable?
+        let var_side = match (&b.lhs, &b.rhs) {
+            (Term::Var(v), other) if !bound.contains(v) && ground(other) => Some(*v),
+            (other, Term::Var(v)) if !bound.contains(v) && ground(other) => Some(*v),
+            _ => None,
+        };
+        let v = match var_side {
+            Some(v) if range_var.is_none() || range_var == Some(v) => v,
+            _ => break,
+        };
+        if range_var.is_none() {
+            match var_at(v) {
+                Some(p) => {
+                    range_var = Some(v);
+                    range_col = p;
+                }
+                None => break,
+            }
+        }
+        consumed.push(j);
+    }
+    if consumed.is_empty() {
+        return None;
+    }
+    Some(RangeDemand {
+        eq_cols,
+        range_col,
+        consumed,
+    })
+}
+
+/// Collects the range signatures of every positive atom occurrence in
+/// `program`'s rule bodies: the `(equality prefix, range column)` pairs
+/// [`range_demand`] detects when bodies are walked in stored order.
+pub fn collect_range_signatures(program: &Program) -> RangeSignatureMap {
+    let mut map = RangeSignatureMap::new();
+    let member = Pred::new("member", 2);
+    for rule in &program.rules {
+        let order: Vec<usize> = (0..rule.body.len()).collect();
+        let mut bound: HashSet<Symbol> = HashSet::new();
+        for (at, lit) in rule.body.iter().enumerate() {
+            match lit {
+                Literal::Builtin(b) => {
+                    for v in b.binds(&bound) {
+                        bound.insert(v);
+                    }
+                }
+                Literal::Atom(a) if a.negated => {}
+                Literal::Atom(a) if a.pred == member => {
+                    for v in a.vars() {
+                        bound.insert(v);
+                    }
+                }
+                Literal::Atom(a) => {
+                    if let Some(d) = range_demand(&rule.body, &order, at, &bound) {
+                        map.entry(a.pred)
+                            .or_default()
+                            .insert((d.eq_cols, d.range_col));
+                    }
+                    for v in a.vars() {
+                        bound.insert(v);
+                    }
+                }
+            }
+        }
+    }
+    map
+}
 
 /// Collects the search signatures of every positive atom occurrence in
 /// `program`'s rule bodies, walking bodies in stored order.
@@ -161,5 +302,81 @@ mod tests {
         // wheel(S, N) at position 1 is ground only once S and N are.
         let text = "p(B) <- size(N), style(S), part(B, wheel(S, N)).";
         assert_eq!(sigs(text, "part", 2), vec![vec![1]]);
+    }
+
+    fn rsigs(text: &str, pred: &str, arity: usize) -> Vec<(Vec<usize>, usize)> {
+        let p = parse_program(text).unwrap();
+        collect_range_signatures(&p)
+            .get(&Pred::new(pred, arity))
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn range_after_equality_prefix() {
+        // f reached with K bound; V constrained by two bounds.
+        let text = "hit(K, V) <- m(K), f(K, V), V >= 3, V < 9.";
+        assert_eq!(rsigs(text, "f", 2), vec![(vec![0], 1)]);
+        assert!(rsigs(text, "m", 1).is_empty());
+    }
+
+    #[test]
+    fn range_with_empty_prefix() {
+        let text = "big(X) <- n(X), X > 5.";
+        assert_eq!(rsigs(text, "n", 1), vec![(vec![], 0)]);
+    }
+
+    #[test]
+    fn range_stops_at_first_non_consumable() {
+        let p = parse_program("q(X, Y) <- f(X, Y), X > 1, Y = 2, X < 9.").unwrap();
+        let order: Vec<usize> = (0..p.rules[0].body.len()).collect();
+        let d = range_demand(&p.rules[0].body, &order, 0, &HashSet::new()).unwrap();
+        // Only `X > 1` folds: the equality breaks the run before `X < 9`.
+        assert_eq!(d.range_col, 0);
+        assert_eq!(d.consumed, vec![1]);
+    }
+
+    #[test]
+    fn range_requires_bound_other_side() {
+        // Y is unbound when `X > Y` is reached: nothing to fold.
+        let text = "q(X) <- f(X), X > Y, g(Y).";
+        assert!(rsigs(text, "f", 1).is_empty());
+    }
+
+    #[test]
+    fn range_variable_must_be_top_level_in_atom() {
+        // X occurs only inside a compound argument: no probe column.
+        let text = "q(X) <- f(w(X)), X > 1.";
+        assert!(rsigs(text, "f", 1).is_empty());
+    }
+
+    #[test]
+    fn comparisons_on_two_different_vars_fold_only_the_first() {
+        let p = parse_program("q(X, Y) <- f(X, Y), X > 1, Y > 2.").unwrap();
+        let order: Vec<usize> = (0..p.rules[0].body.len()).collect();
+        let d = range_demand(&p.rules[0].body, &order, 0, &HashSet::new()).unwrap();
+        assert_eq!(d.range_col, 0);
+        assert_eq!(d.consumed, vec![1]);
+    }
+
+    #[test]
+    fn bound_comparison_is_not_a_range_demand() {
+        // Both sides bound: it's a pure filter, not a probe refinement.
+        let p = parse_program("q(X) <- f(X), X > 1.").unwrap();
+        let order: Vec<usize> = (0..p.rules[0].body.len()).collect();
+        let bound: HashSet<Symbol> = [Symbol::intern("X")].into_iter().collect();
+        assert!(range_demand(&p.rules[0].body, &order, 0, &bound).is_none());
+    }
+
+    #[test]
+    fn range_demand_follows_the_given_order() {
+        // Permuted order [1, 0] puts the builtin right after the atom.
+        let p = parse_program("q(X) <- X > 5, n(X).").unwrap();
+        let ident: Vec<usize> = vec![0, 1];
+        assert!(range_demand(&p.rules[0].body, &ident, 1, &HashSet::new()).is_none());
+        let perm = vec![1, 0];
+        let d = range_demand(&p.rules[0].body, &perm, 0, &HashSet::new()).unwrap();
+        assert_eq!(d.range_col, 0);
+        assert_eq!(d.consumed, vec![1]);
     }
 }

@@ -33,5 +33,8 @@ pub mod collect;
 pub mod cover;
 
 pub use catalog::IndexCatalog;
-pub use collect::{collect_adorned_signatures, collect_signatures};
+pub use collect::{
+    collect_adorned_signatures, collect_range_signatures, collect_signatures, range_demand,
+    RangeDemand, RangeSignatureMap,
+};
 pub use cover::{chain_to_order, min_chain_cover, minimal_cover_size_brute_force};

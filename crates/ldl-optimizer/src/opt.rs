@@ -32,10 +32,10 @@ use ldl_core::{LdlError, Literal, Pred, Program, Query, Result, Rule, Symbol};
 use ldl_eval::engine::{evaluate_query_sip, QueryAnswer};
 use ldl_eval::naive::FixpointConfig;
 use ldl_eval::Method;
-use ldl_index::IndexCatalog;
+use ldl_index::{range_demand, IndexCatalog};
 use ldl_storage::{Database, Stats};
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::rc::Rc;
 
 /// Optimizer configuration.
@@ -243,6 +243,9 @@ pub struct Optimizer<'a> {
     /// Selected-index catalog, when the caller wants base accesses
     /// priced per physical path ([`AccessPath`]) instead of uniformly.
     index_catalog: Option<IndexCatalog>,
+    /// Derived predicates (range-fold pricing applies to base atoms
+    /// only — derived atoms are priced by their own plans).
+    derived: BTreeSet<Pred>,
 }
 
 impl<'a> Optimizer<'a> {
@@ -250,6 +253,7 @@ impl<'a> Optimizer<'a> {
     pub fn new(program: &'a Program, db: &'a Database, cfg: OptConfig) -> Optimizer<'a> {
         let graph = DependencyGraph::build(program);
         let model = DefaultCostModel::new(cfg.cost_params.clone());
+        let derived = program.derived_preds();
         Optimizer {
             program,
             db,
@@ -260,6 +264,7 @@ impl<'a> Optimizer<'a> {
             overlay: RefCell::new(HashMap::new()),
             stats: RefCell::new(OptStats::default()),
             index_catalog: None,
+            derived,
         }
     }
 
@@ -377,8 +382,7 @@ impl<'a> Optimizer<'a> {
     }
 
     fn compute_pred_plan(&self, pred: Pred, ad: Adornment) -> PredPlan {
-        let derived = self.program.derived_preds();
-        if !derived.contains(&pred) {
+        if !self.derived.contains(&pred) {
             let stats = self.db.stats(pred);
             let bound = ad.bound_positions();
             let cost = match &self.index_catalog {
@@ -457,6 +461,28 @@ impl<'a> Optimizer<'a> {
     /// `(cost, fanout)`; infinite cost marks unsafe orders.
     pub fn order_cost(&self, rule: &Rule, head_ad: Adornment, order: &[usize]) -> (f64, f64) {
         self.stats.borrow_mut().orders_probed += 1;
+        let (cost, card, bound) = self.walk_cost(rule, head_ad, order);
+        if !cost.is_finite() || !rule.head.vars().iter().all(|v| bound.contains(v)) {
+            return (INFINITE_COST, INFINITE_COST); // unsafe or infinite answer
+        }
+        (cost, card)
+    }
+
+    /// The shared pipelined walk behind [`Optimizer::order_cost`] and
+    /// the DP's partial-prefix costing: returns `(cost, card, bound)`,
+    /// with infinite cost marking an unsafe prefix.
+    ///
+    /// When an index catalog is attached, a base atom followed (in the
+    /// order) by bound comparisons forming a collected range demand the
+    /// catalog serves is priced as one [`AccessPath::Range`] probe and
+    /// the folded comparisons are skipped — the model prices a range
+    /// probe exactly where the executor will issue one.
+    fn walk_cost(
+        &self,
+        rule: &Rule,
+        head_ad: Adornment,
+        prefix: &[usize],
+    ) -> (f64, f64, HashSet<Symbol>) {
         let p = self.model.params().clone();
         let mut bound: HashSet<Symbol> = HashSet::new();
         for (i, arg) in rule.head.args.iter().enumerate() {
@@ -466,13 +492,17 @@ impl<'a> Optimizer<'a> {
                 }
             }
         }
+        let mut consumed: HashSet<usize> = HashSet::new();
         let mut cost = 0.0f64;
         let mut card = 1.0f64;
-        for &li in order {
+        for (at, &li) in prefix.iter().enumerate() {
             match &rule.body[li] {
                 Literal::Builtin(b) => {
+                    if consumed.contains(&at) {
+                        continue; // folded into the preceding range probe
+                    }
                     if !b.is_ec(&bound) {
-                        return (INFINITE_COST, INFINITE_COST);
+                        return (INFINITE_COST, INFINITE_COST, bound);
                     }
                     cost += card * p.cpu_per_tuple;
                     let binds = b.binds(&bound);
@@ -488,7 +518,7 @@ impl<'a> Optimizer<'a> {
                 }
                 Literal::Atom(a) if a.negated => {
                     if !a.vars().iter().all(|v| bound.contains(v)) {
-                        return (INFINITE_COST, INFINITE_COST);
+                        return (INFINITE_COST, INFINITE_COST, bound);
                     }
                     cost += card * p.cpu_per_tuple;
                     card *= p.neg_selectivity;
@@ -498,7 +528,7 @@ impl<'a> Optimizer<'a> {
                     // bound, enumerates a handful of elements.
                     if a.pred == Pred::new("member", 2) {
                         if !a.args[1].vars().iter().all(|v| bound.contains(v)) {
-                            return (INFINITE_COST, INFINITE_COST);
+                            return (INFINITE_COST, INFINITE_COST, bound);
                         }
                         cost += card * p.cpu_per_tuple;
                         card = (card * 4.0).min(p.cardinality_cap);
@@ -507,10 +537,40 @@ impl<'a> Optimizer<'a> {
                         }
                         continue;
                     }
+                    if let Some(cat) = &self.index_catalog {
+                        if !self.derived.contains(&a.pred) {
+                            if let Some(d) = range_demand(&rule.body, prefix, at, &bound) {
+                                if cat.lookup_range(a.pred, &d.eq_cols, d.range_col).is_some() {
+                                    let stats = self.db.stats(a.pred);
+                                    let pc = self.model.indexed_access(
+                                        &stats,
+                                        &d.eq_cols,
+                                        AccessPath::Range,
+                                    );
+                                    if pc.is_unsafe() {
+                                        return (INFINITE_COST, INFINITE_COST, bound);
+                                    }
+                                    cost += pc.setup + card * pc.probe;
+                                    card = (card * pc.fanout).min(p.cardinality_cap);
+                                    // The first folded comparison's selectivity
+                                    // is inside the range fanout; every further
+                                    // folded bound tightens it like a filter.
+                                    for _ in 1..d.consumed.len() {
+                                        card *= p.ineq_selectivity;
+                                    }
+                                    for v in a.vars() {
+                                        bound.insert(v);
+                                    }
+                                    consumed.extend(d.consumed.iter().copied());
+                                    continue;
+                                }
+                            }
+                        }
+                    }
                     let sub_ad = adorn_atom(a, &bound);
                     let sub = self.optimize_pred(a.pred, sub_ad);
                     if sub.cost.is_unsafe() {
-                        return (INFINITE_COST, INFINITE_COST);
+                        return (INFINITE_COST, INFINITE_COST, bound);
                     }
                     cost += sub.cost.setup + card * sub.cost.probe;
                     card = (card * sub.cost.fanout).min(p.cardinality_cap);
@@ -520,10 +580,7 @@ impl<'a> Optimizer<'a> {
                 }
             }
         }
-        if !rule.head.vars().iter().all(|v| bound.contains(v)) {
-            return (INFINITE_COST, INFINITE_COST); // infinite answer
-        }
-        (cost, card)
+        (cost, card, bound)
     }
 
     /// Searches for the best body order of one rule under `head_ad`
@@ -727,71 +784,10 @@ impl<'a> Optimizer<'a> {
     }
 
     /// Cost of a (possibly partial) prefix — used by the subset DP.
+    /// Same walk as [`Optimizer::order_cost`] (including range-fold
+    /// pricing) but without the head-variable check.
     fn prefix_cost(&self, rule: &Rule, head_ad: Adornment, prefix: &[usize]) -> (f64, f64) {
-        // Same walk as order_cost but without the head-variable check.
-        let p = self.model.params().clone();
-        let mut bound: HashSet<Symbol> = HashSet::new();
-        for (i, arg) in rule.head.args.iter().enumerate() {
-            if head_ad.is_bound(i) {
-                for v in arg.vars() {
-                    bound.insert(v);
-                }
-            }
-        }
-        let mut cost = 0.0f64;
-        let mut card = 1.0f64;
-        for &li in prefix {
-            match &rule.body[li] {
-                Literal::Builtin(b) => {
-                    if !b.is_ec(&bound) {
-                        return (INFINITE_COST, INFINITE_COST);
-                    }
-                    cost += card * p.cpu_per_tuple;
-                    let binds = b.binds(&bound);
-                    if binds.is_empty() {
-                        card *= match b.op {
-                            ldl_core::CmpOp::Eq => p.eq_selectivity,
-                            _ => p.ineq_selectivity,
-                        };
-                    }
-                    for v in binds {
-                        bound.insert(v);
-                    }
-                }
-                Literal::Atom(a) if a.negated => {
-                    if !a.vars().iter().all(|v| bound.contains(v)) {
-                        return (INFINITE_COST, INFINITE_COST);
-                    }
-                    cost += card * p.cpu_per_tuple;
-                    card *= p.neg_selectivity;
-                }
-                Literal::Atom(a) => {
-                    // member/2: evaluable set predicate — needs its set
-                    // bound, enumerates a handful of elements.
-                    if a.pred == Pred::new("member", 2) {
-                        if !a.args[1].vars().iter().all(|v| bound.contains(v)) {
-                            return (INFINITE_COST, INFINITE_COST);
-                        }
-                        cost += card * p.cpu_per_tuple;
-                        card = (card * 4.0).min(p.cardinality_cap);
-                        for v in a.vars() {
-                            bound.insert(v);
-                        }
-                        continue;
-                    }
-                    let sub_ad = adorn_atom(a, &bound);
-                    let sub = self.optimize_pred(a.pred, sub_ad);
-                    if sub.cost.is_unsafe() {
-                        return (INFINITE_COST, INFINITE_COST);
-                    }
-                    cost += sub.cost.setup + card * sub.cost.probe;
-                    card = (card * sub.cost.fanout).min(p.cardinality_cap);
-                    for v in a.vars() {
-                        bound.insert(v);
-                    }
-                }
-            }
-        }
+        let (cost, card, _) = self.walk_cost(rule, head_ad, prefix);
         (cost, card)
     }
 
@@ -1230,6 +1226,50 @@ mod tests {
         // predicate is probed on column 0 in the recursive rule.
         let dn = opt.optimize_pred(Pred::new("dn", 2), Adornment::parse("bf").unwrap());
         assert_eq!(dn.cost.setup, 0.0);
+    }
+
+    /// A base atom followed by a bound comparison the catalog serves is
+    /// priced as one `AccessPath::Range` probe — strictly cheaper than
+    /// the catalog-less scan-then-filter pricing of the same order.
+    #[test]
+    fn range_demand_is_priced_as_a_range_probe() {
+        let text = "big(X) <- n(X), X > 5, X < 90.";
+        let program = parse_program(text).unwrap();
+        let mut db = Database::new();
+        db.set_stats(Pred::new("n", 1), Stats::uniform(10_000.0, 1, 10_000.0));
+        let ad = Adornment::all_free(1);
+        let plain = Optimizer::with_defaults(&program, &db);
+        let (scan_cost, _) = plain.order_cost(&program.rules[0], ad, &[0, 1, 2]);
+        let indexed = Optimizer::with_defaults(&program, &db).with_selected_indexes();
+        let (range_cost, _) = indexed.order_cost(&program.rules[0], ad, &[0, 1, 2]);
+        assert!(range_cost.is_finite());
+        assert!(
+            range_cost < scan_cost,
+            "range probe {range_cost} must beat scan-then-filter {scan_cost}"
+        );
+    }
+
+    /// The range-priced plan still executes to the same answers as the
+    /// plain one — pricing never changes semantics.
+    #[test]
+    fn range_priced_plan_executes_identically() {
+        let text = "n(4). n(9). n(1). n(7). n(2). n(8).\n\
+                    big(X) <- n(X), X > 2, X <= 7.";
+        let program = parse_program(text).unwrap();
+        let db = Database::from_program(&program);
+        let query = parse_query("big(A)?").unwrap();
+        let plain = Optimizer::with_defaults(&program, &db)
+            .optimize(&query)
+            .unwrap();
+        let indexed = Optimizer::with_defaults(&program, &db)
+            .with_selected_indexes()
+            .optimize(&query)
+            .unwrap();
+        assert!(indexed.cost.is_finite());
+        let cfg = FixpointConfig::default();
+        let a = plain.execute(&program, &db, &cfg).unwrap();
+        let b = indexed.execute(&program, &db, &cfg).unwrap();
+        assert_eq!(a.tuples, b.tuples);
     }
 
     #[test]

@@ -22,6 +22,17 @@ pub mod counters {
     pub(super) static ORDERED_BUILDS: AtomicU64 = AtomicU64::new(0);
     pub(super) static HASH_PROBES: AtomicU64 = AtomicU64::new(0);
     pub(super) static ORDERED_PROBES: AtomicU64 = AtomicU64::new(0);
+    pub(super) static RANGE_PROBES: AtomicU64 = AtomicU64::new(0);
+    pub(super) static ROWS_ENUMERATED: AtomicU64 = AtomicU64::new(0);
+
+    /// Records `n` tuples handed to the evaluator's unification loop by
+    /// one access (scan, probe, or range probe). Bumped by the rule
+    /// executor at every positive-atom access site — not by the index
+    /// structures themselves — so the counter has one crisp meaning:
+    /// rows *enumerated* before residual filtering.
+    pub fn note_rows_enumerated(n: u64) {
+        ROWS_ENUMERATED.fetch_add(n, AtomicOrdering::Relaxed);
+    }
 
     /// A snapshot of the index work counters.
     #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -32,8 +43,14 @@ pub mod counters {
         pub ordered_builds: u64,
         /// Probes served by hash indexes.
         pub hash_probes: u64,
-        /// Prefix/range probes served by ordered indexes.
+        /// Equality-prefix probes served by ordered indexes.
         pub ordered_probes: u64,
+        /// Range probes (bound inequality folded into the access) served
+        /// by ordered indexes.
+        pub range_probes: u64,
+        /// Tuples enumerated by the rule executor across all access
+        /// paths (see [`note_rows_enumerated`]).
+        pub rows_enumerated: u64,
     }
 
     impl IndexCounters {
@@ -44,6 +61,8 @@ pub mod counters {
                 ordered_builds: ORDERED_BUILDS.load(AtomicOrdering::Relaxed),
                 hash_probes: HASH_PROBES.load(AtomicOrdering::Relaxed),
                 ordered_probes: ORDERED_PROBES.load(AtomicOrdering::Relaxed),
+                range_probes: RANGE_PROBES.load(AtomicOrdering::Relaxed),
+                rows_enumerated: ROWS_ENUMERATED.load(AtomicOrdering::Relaxed),
             }
         }
 
@@ -55,6 +74,8 @@ pub mod counters {
                 ordered_builds: now.ordered_builds - self.ordered_builds,
                 hash_probes: now.hash_probes - self.hash_probes,
                 ordered_probes: now.ordered_probes - self.ordered_probes,
+                range_probes: now.range_probes - self.range_probes,
+                rows_enumerated: now.rows_enumerated - self.rows_enumerated,
             }
         }
     }
@@ -107,6 +128,26 @@ impl Index {
     }
 }
 
+/// The value-type population of one indexed column, computed when an
+/// [`OrderedIndex`] is built. Range folding consults this before turning
+/// a bound inequality into a range probe: a probe over a homogeneous
+/// `Ints`/`Syms` column with a same-typed constant bound enumerates
+/// exactly the rows a post-enumeration filter would keep, and — because
+/// no enumerated row can raise an undefined-ordering error — preserves
+/// the error behavior of the scan-and-filter path under strict select.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColClass {
+    /// No rows: any fold is trivially sound.
+    Empty,
+    /// Every value is `Const(Int)`.
+    Ints,
+    /// Every value is `Const(Sym)`.
+    Syms,
+    /// Mixed types or structured terms: never fold (the residual filter
+    /// must run so undefined orderings surface exactly as on a scan).
+    Other,
+}
+
 /// An ordered index over a snapshot of a relation: a permutation of the
 /// row ids sorted lexicographically by the values at `cols` (ties broken
 /// by row id). One ordered index serves *every* bound-column set that is
@@ -122,6 +163,8 @@ pub struct OrderedIndex {
     cols: Vec<usize>,
     /// Row ids sorted by (values at `cols`, row id).
     perm: Vec<u32>,
+    /// Per-indexed-column value-type population (same length as `cols`).
+    classes: Vec<ColClass>,
     /// Relation version this index was built against.
     version: u64,
 }
@@ -140,9 +183,29 @@ impl OrderedIndex {
             }
             a.cmp(&b)
         });
+        let classes = cols
+            .iter()
+            .map(|&c| {
+                let mut class = ColClass::Empty;
+                for t in rows {
+                    let this = match t.get(c) {
+                        Term::Const(ldl_core::Value::Int(_)) => ColClass::Ints,
+                        Term::Const(ldl_core::Value::Sym(_)) => ColClass::Syms,
+                        _ => ColClass::Other,
+                    };
+                    class = match (class, this) {
+                        (ColClass::Empty, x) => x,
+                        (x, y) if x == y => x,
+                        _ => return ColClass::Other,
+                    };
+                }
+                class
+            })
+            .collect();
         OrderedIndex {
             cols: cols.to_vec(),
             perm,
+            classes,
             version,
         }
     }
@@ -150,6 +213,12 @@ impl OrderedIndex {
     /// The indexed column order.
     pub fn cols(&self) -> &[usize] {
         &self.cols
+    }
+
+    /// The value-type population of the column at index `depth` of
+    /// [`OrderedIndex::cols`].
+    pub fn col_class(&self, depth: usize) -> ColClass {
+        self.classes[depth]
     }
 
     /// Compares the first `key.len()` indexed columns of `row` against
@@ -193,10 +262,10 @@ impl OrderedIndex {
         out
     }
 
-    /// Range probe: row ids whose first `prefix.len()` indexed columns
-    /// equal `prefix` and whose *next* indexed column lies in
-    /// `[low, high]` (each bound optional, inclusive). Returned
-    /// ascending, like [`OrderedIndex::probe_prefix`].
+    /// Range probe with inclusive bounds: row ids whose first
+    /// `prefix.len()` indexed columns equal `prefix` and whose *next*
+    /// indexed column lies in `[low, high]` (each bound optional).
+    /// Returned ascending, like [`OrderedIndex::probe_prefix`].
     pub fn probe_range(
         &self,
         rows: &[Tuple],
@@ -204,25 +273,53 @@ impl OrderedIndex {
         low: Option<&Term>,
         high: Option<&Term>,
     ) -> Vec<u32> {
-        counters::ORDERED_PROBES.fetch_add(1, AtomicOrdering::Relaxed);
+        use std::ops::Bound;
+        let lo = low.map_or(Bound::Unbounded, Bound::Included);
+        let hi = high.map_or(Bound::Unbounded, Bound::Included);
+        self.probe_range_bounds(rows, prefix, lo, hi)
+    }
+
+    /// Range probe with explicit open/closed/unbounded ends — the form
+    /// the rule executor issues when it folds bound `<,<=,>,>=` builtins
+    /// into the access. Row ids come back **ascending** (insertion
+    /// order), so the folded stream equals the scan-and-filter stream.
+    pub fn probe_range_bounds(
+        &self,
+        rows: &[Tuple],
+        prefix: &[Term],
+        low: std::ops::Bound<&Term>,
+        high: std::ops::Bound<&Term>,
+    ) -> Vec<u32> {
+        use std::ops::Bound;
+        counters::RANGE_PROBES.fetch_add(1, AtomicOrdering::Relaxed);
         debug_assert!(prefix.len() < self.cols.len());
         let run = self.equal_run(rows, prefix);
         let next_col = self.cols[prefix.len()];
         let lo = match low {
-            Some(l) => {
+            Bound::Included(l) => {
                 run.start
                     + self.perm[run.clone()]
                         .partition_point(|&rid| rows[rid as usize].get(next_col) < l)
             }
-            None => run.start,
+            Bound::Excluded(l) => {
+                run.start
+                    + self.perm[run.clone()]
+                        .partition_point(|&rid| rows[rid as usize].get(next_col) <= l)
+            }
+            Bound::Unbounded => run.start,
         };
         let hi = match high {
-            Some(h) => {
+            Bound::Included(h) => {
                 run.start
                     + self.perm[run.clone()]
                         .partition_point(|&rid| rows[rid as usize].get(next_col) <= h)
             }
-            None => run.end,
+            Bound::Excluded(h) => {
+                run.start
+                    + self.perm[run.clone()]
+                        .partition_point(|&rid| rows[rid as usize].get(next_col) < h)
+            }
+            Bound::Unbounded => run.end,
         };
         let mut out = self.perm[lo..hi.max(lo)].to_vec();
         out.sort_unstable();
@@ -567,6 +664,133 @@ mod tests {
         assert!(oi
             .probe_range(r.rows(), &[Term::int(2)], Some(&lo), Some(&hi))
             .is_empty());
+    }
+
+    #[test]
+    fn range_probe_open_closed_and_half_open_bounds() {
+        use std::ops::Bound::{Excluded, Included, Unbounded};
+        let mut r = Relation::new(2);
+        for (a, b) in [(1, 10), (1, 20), (1, 30), (2, 5)] {
+            r.insert(Tuple::ints(&[a, b]));
+        }
+        let oi = r.ordered_index_on(&[0, 1]);
+        let p = [Term::int(1)];
+        let (t10, t20, t30) = (Term::int(10), Term::int(20), Term::int(30));
+        // Closed [10, 30] keeps all three; open (10, 30) drops both ends.
+        assert_eq!(
+            oi.probe_range_bounds(r.rows(), &p, Included(&t10), Included(&t30)),
+            vec![0, 1, 2]
+        );
+        assert_eq!(
+            oi.probe_range_bounds(r.rows(), &p, Excluded(&t10), Excluded(&t30)),
+            vec![1]
+        );
+        // Half-open both ways.
+        assert_eq!(
+            oi.probe_range_bounds(r.rows(), &p, Included(&t10), Excluded(&t30)),
+            vec![0, 1]
+        );
+        assert_eq!(
+            oi.probe_range_bounds(r.rows(), &p, Excluded(&t10), Included(&t30)),
+            vec![1, 2]
+        );
+        // One-sided.
+        assert_eq!(
+            oi.probe_range_bounds(r.rows(), &p, Excluded(&t20), Unbounded),
+            vec![2]
+        );
+        assert_eq!(
+            oi.probe_range_bounds(r.rows(), &p, Unbounded, Excluded(&t20)),
+            vec![0]
+        );
+    }
+
+    #[test]
+    fn range_probe_empty_and_inverted_ranges() {
+        use std::ops::Bound::{Excluded, Included};
+        let mut r = Relation::new(2);
+        for (a, b) in [(1, 10), (1, 20)] {
+            r.insert(Tuple::ints(&[a, b]));
+        }
+        let oi = r.ordered_index_on(&[0, 1]);
+        let p = [Term::int(1)];
+        let (t10, t15, t20) = (Term::int(10), Term::int(15), Term::int(20));
+        // Open interval with nothing inside.
+        assert!(oi
+            .probe_range_bounds(r.rows(), &p, Excluded(&t10), Excluded(&t15))
+            .is_empty());
+        // Inverted bounds: lo > hi must yield empty, not panic.
+        assert!(oi
+            .probe_range_bounds(r.rows(), &p, Included(&t20), Included(&t10))
+            .is_empty());
+        // Point range at an absent value.
+        assert!(oi
+            .probe_range_bounds(r.rows(), &p, Included(&t15), Included(&t15))
+            .is_empty());
+        // Missing prefix.
+        assert!(oi
+            .probe_range_bounds(r.rows(), &[Term::int(9)], Included(&t10), Included(&t20))
+            .is_empty());
+    }
+
+    #[test]
+    fn range_probe_bound_colliding_with_equality_prefix() {
+        use std::ops::Bound::{Excluded, Included};
+        // Prefix value 5 also appears in the range column; the range
+        // must constrain only the *next* column within the prefix run.
+        let mut r = Relation::new(2);
+        for (a, b) in [(5, 5), (5, 6), (6, 5)] {
+            r.insert(Tuple::ints(&[a, b]));
+        }
+        let oi = r.ordered_index_on(&[0, 1]);
+        let t5 = Term::int(5);
+        assert_eq!(
+            oi.probe_range_bounds(
+                r.rows(),
+                std::slice::from_ref(&t5),
+                Included(&t5),
+                Included(&t5)
+            ),
+            vec![0]
+        );
+        assert_eq!(
+            oi.probe_range_bounds(
+                r.rows(),
+                std::slice::from_ref(&t5),
+                Excluded(&t5),
+                Excluded(&Term::int(7))
+            ),
+            vec![1]
+        );
+    }
+
+    #[test]
+    fn col_class_reflects_column_population() {
+        let mut r = Relation::new(3);
+        r.insert(Tuple::new(vec![Term::int(1), Term::sym("a"), Term::int(9)]));
+        r.insert(Tuple::new(vec![
+            Term::int(2),
+            Term::sym("b"),
+            Term::sym("mixed"),
+        ]));
+        let oi = r.ordered_index_on(&[0, 1, 2]);
+        assert_eq!(oi.col_class(0), ColClass::Ints);
+        assert_eq!(oi.col_class(1), ColClass::Syms);
+        assert_eq!(oi.col_class(2), ColClass::Other);
+        let empty = Relation::new(1);
+        assert_eq!(empty.ordered_index_on(&[0]).col_class(0), ColClass::Empty);
+    }
+
+    #[test]
+    fn range_probe_counts_separately_from_prefix_probes() {
+        let before = counters::IndexCounters::snapshot();
+        let mut r = Relation::new(1);
+        r.insert(Tuple::ints(&[1]));
+        r.insert(Tuple::ints(&[2]));
+        let oi = r.ordered_index_on(&[0]);
+        oi.probe_range(r.rows(), &[], Some(&Term::int(1)), None);
+        let d = before.delta_since();
+        assert!(d.range_probes >= 1);
     }
 
     #[test]

@@ -61,6 +61,24 @@ if [ "$unique" -ne "$workloads" ]; then
 fi
 echo "    digests identical: $workloads workload(s) × 3 access policies"
 
+# Range-probe determinism: the range bench runs the selective-range
+# workload under all three access-path policies and embeds the answer
+# digest in every record label; one digest per workload means folding
+# bound inequalities into ordered range probes changed nothing but the
+# rows enumerated (the bench itself asserts the row-count win).
+echo "==> range probes answer-digest diff (selected vs hash vs scan)"
+LDL_BENCH_ITERS=1 LDL_BENCH_JSON_DIR="$digest_dir/range" \
+    cargo bench -q --offline -p ldl-bench --bench range_probes >/dev/null
+workloads=$(grep -o '"group": *"[^"]*"' "$digest_dir/range/BENCH_range_probes.json" \
+    | sort -u | wc -l)
+unique=$(grep -o 'digest=[0-9a-f]*' "$digest_dir/range/BENCH_range_probes.json" \
+    | sort -u | wc -l)
+if [ "$unique" -ne "$workloads" ]; then
+    echo "    FAIL: $unique distinct digests across $workloads workload(s)"
+    exit 1
+fi
+echo "    digests identical: $workloads workload(s) × 3 access policies"
+
 # Golden-diagnostics gate: `ldl-shell --check --json` over every example
 # program must reproduce the checked-in diagnostics bit for bit (stable
 # codes, spans, messages). `--check` exits non-zero on files with

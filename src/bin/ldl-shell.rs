@@ -25,7 +25,7 @@ use ldl::analysis::{self, AnalysisOptions};
 use ldl::core::parser::{parse_query, parse_source};
 use ldl::core::Span;
 use ldl::core::{Program, Query};
-use ldl::eval::FixpointConfig;
+use ldl::eval::{AccessPaths, FixpointConfig};
 use ldl::optimizer::opt::PredPlanKind;
 use ldl::optimizer::{OptConfig, Optimizer, ProcessingTree, Strategy};
 use ldl::storage::Database;
@@ -36,6 +36,7 @@ use std::time::Instant;
 struct Shell {
     program: Program,
     cfg: OptConfig,
+    fixpoint: FixpointConfig,
 }
 
 impl Shell {
@@ -43,6 +44,8 @@ impl Shell {
         Shell {
             program: Program::new(),
             cfg: OptConfig::default(),
+            // Honors LDL_ACCESS_PATHS / LDL_EVAL_THREADS.
+            fixpoint: FixpointConfig::default(),
         }
     }
 
@@ -97,6 +100,7 @@ commands:
   :explain <goal>?         show the chosen plan without running it
   :prolog <goal>?          answer by Prolog-style SLD (textual order)
   :strategy <s>            exhaustive | dp | kbz | annealing
+  :paths <p>               selected | hash | scan (probe access paths)
   :acyclic <on|off>        assume base data acyclic (enables counting)
   :rules                   list the current rule base
   :stats                   per-relation cardinalities
@@ -146,6 +150,13 @@ commands:
                     "strategy = annealing".into()
                 }
                 other => format!("unknown strategy {other:?} (exhaustive|dp|kbz|annealing)"),
+            },
+            "paths" => match AccessPaths::parse(arg) {
+                Some(p) => {
+                    self.fixpoint = self.fixpoint.with_access_paths(p);
+                    format!("access paths = {arg}")
+                }
+                None => format!("unknown access-path policy {arg:?} (selected|hash|scan)"),
             },
             "acyclic" => match arg {
                 "on" => {
@@ -297,7 +308,7 @@ commands:
             return out;
         }
         let run_started = Instant::now();
-        match plan.execute(&self.program, &db, &FixpointConfig::default()) {
+        match plan.execute(&self.program, &db, &self.fixpoint) {
             Ok(ans) => {
                 let run_ms = run_started.elapsed().as_secs_f64() * 1000.0;
                 let mut rows: Vec<String> = ans
@@ -533,6 +544,31 @@ mod tests {
         assert!(s.handle(":strategy bogus").contains("unknown strategy"));
         assert!(s.handle(":acyclic on").contains("counting"));
         assert!(s.handle(":bogus").contains("unknown command"));
+    }
+
+    #[test]
+    fn paths_command_switches_policy_without_changing_answers() {
+        let mut s = Shell::new();
+        feed(
+            &mut s,
+            &[
+                "e(1, 2). e(2, 3). e(3, 4).",
+                "tc(X, Y) <- e(X, Y).",
+                "tc(X, Y) <- e(X, Z), tc(Z, Y).",
+            ],
+        );
+        let selected = s.handle("tc(1, Y)?");
+        assert!(s.handle(":paths scan").contains("access paths = scan"));
+        let scanned = s.handle("tc(1, Y)?");
+        // Same rows under either policy (timings differ; compare rows).
+        let rows = |out: &str| {
+            out.lines()
+                .filter(|l| l.starts_with("tc("))
+                .map(String::from)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(rows(&selected), rows(&scanned));
+        assert!(s.handle(":paths bogus").contains("unknown access-path"));
     }
 
     #[test]

@@ -210,6 +210,28 @@ mod tests {
     }
 
     #[test]
+    fn invertible_arith_evaluates_under_every_policy() {
+        // X = 3 + W has one unknown once X is bound: the evaluator
+        // inverts it, the analyzer accepts even the all-free form, and
+        // every access-path policy agrees on the answer.
+        use ldl_eval::AccessPaths;
+        let mut s = Session::new();
+        s.load("inv(X, W) <- X = 10, X = 3 + W.").unwrap();
+        let free = s.answers("inv(A, B)?").unwrap();
+        assert_eq!(free.rows()[0].to_string(), "(10, 7)");
+        for paths in [
+            AccessPaths::Selected,
+            AccessPaths::HashOnDemand,
+            AccessPaths::ForceScan,
+        ] {
+            s.set_fixpoint_config(FixpointConfig::default().with_access_paths(paths));
+            let ans = s.answers("inv(A, 7)?").unwrap();
+            assert_eq!(ans.len(), 1);
+            assert_eq!(ans.rows()[0].to_string(), "(10, 7)");
+        }
+    }
+
+    #[test]
     fn load_rejects_inline_queries() {
         let mut s = Session::new();
         assert!(s.load("p(1). p(X)?").is_err());
