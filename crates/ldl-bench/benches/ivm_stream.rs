@@ -1,0 +1,134 @@
+//! Sustained update stream against a maintained engine (P4).
+//!
+//! Builds the chain transitive-closure workload, evaluates it once into
+//! a maintained [`Engine`], then drives a state-restoring update cycle
+//! — retract one mid-chain edge, re-insert it — through `apply_delta`
+//! and compares the cost against from-scratch re-evaluation of the same
+//! EDB. Every label embeds a digest of the derived relations (canonical
+//! order on both sides), so the JSON records that maintenance and
+//! re-evaluation produce bit-for-bit identical results; the `rows=`
+//! figures record the `rows_enumerated` counter for one update under
+//! each mode, and the bench asserts maintenance enumerates an integer
+//! factor fewer rows. Timed records yield updates/sec directly: each
+//! measured iteration is one retract + one insert (two updates).
+//!
+//! Knobs: `LDL_IVM_SCALE=full` for the larger workload,
+//! `LDL_BENCH_ITERS`, `LDL_BENCH_JSON_DIR` as usual.
+
+use ldl_bench::workload::transitive_closure_chains;
+use ldl_core::{Pred, Term};
+use ldl_eval::{EdbDelta, Engine, FixpointConfig};
+use ldl_storage::{Database, IndexCounters, Relation, Tuple};
+use ldl_support::bench::Harness;
+
+/// FNV-1a over the derived relations (predicates sorted for a canonical
+/// traversal, rows in stored order — canonical on both sides, so any
+/// divergence between maintained and from-scratch state shows up).
+fn digest(derived: &std::collections::HashMap<Pred, Relation>) -> u64 {
+    let mut preds: Vec<Pred> = derived.keys().copied().collect();
+    preds.sort_by_key(|p| (p.to_string(), p.arity));
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut eat = |s: &str| {
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    for p in preds {
+        eat(&format!("{p}:"));
+        for row in derived[&p].rows() {
+            eat(&format!("{row};"));
+        }
+    }
+    h
+}
+
+/// One state-restoring update cycle: retract the edge, repair, insert
+/// it back, repair. Returns the delta-side derived churn for sanity.
+fn cycle(engine: &mut Engine, edge: &Tuple) -> usize {
+    let e = Pred::new("e", 2);
+    let mut out = EdbDelta::new();
+    out.retract(e, edge.clone());
+    let r1 = engine.apply_delta(&out).unwrap();
+    let mut back = EdbDelta::new();
+    back.insert(e, edge.clone());
+    let r2 = engine.apply_delta(&back).unwrap();
+    r1.derived_retracted + r2.derived_inserted
+}
+
+fn main() {
+    let full = std::env::var("LDL_IVM_SCALE").as_deref() == Ok("full");
+    let (chain_len, components) = if full { (96, 6) } else { (48, 4) };
+
+    let mut h = Harness::new("ivm_stream");
+    h.set_iters(1, 5);
+
+    let name = format!("tc_chain/{chain_len}x{components}");
+    let (program, _) = transitive_closure_chains(chain_len, components);
+    let db = Database::from_program(&program);
+    let cfg = FixpointConfig::serial();
+
+    let mut engine = Engine::evaluate(&program, &db, &cfg).unwrap();
+    // A mid-chain edge of the first component: retracting it splits the
+    // longest chain, touching a quadratic slice of the closure.
+    let mid = (chain_len / 2) as i64;
+    let edge = Tuple(vec![Term::int(mid), Term::int(mid + 1)]);
+
+    // Counted work: one full cycle under maintenance vs one from-scratch
+    // evaluation of the same EDB.
+    let ((), maintain_work) = IndexCounters::scoped(|| {
+        cycle(&mut engine, &edge);
+    });
+    let (scratch, scratch_work) =
+        IndexCounters::scoped(|| Engine::evaluate(&program, &db, &cfg).unwrap());
+
+    let d_maintain = digest(engine.derived());
+    let d_scratch = digest(scratch.derived());
+    assert_eq!(
+        d_maintain, d_scratch,
+        "{name}: maintained state diverged from from-scratch evaluation"
+    );
+
+    let maintain_rows = maintain_work.rows_enumerated.max(1);
+    let scratch_rows = scratch_work.rows_enumerated;
+    // One cycle is two updates; from-scratch pays full price per update.
+    let factor = (2 * scratch_rows) / maintain_rows;
+    assert!(
+        factor >= 2,
+        "{name}: maintenance must enumerate an integer factor fewer rows \
+         (maintain {maintain_rows} vs 2×scratch {scratch_rows})"
+    );
+
+    // Sustained-stream throughput: updates applied per second, measured
+    // over a short pre-run so it can ride in the record label.
+    let t0 = std::time::Instant::now();
+    let warm_cycles = 4u32;
+    for _ in 0..warm_cycles {
+        cycle(&mut engine, &edge);
+    }
+    let ups = f64::from(2 * warm_cycles) / t0.elapsed().as_secs_f64();
+
+    h.bench(
+        &name,
+        &format!(
+            "mode=maintain rows={maintain_rows} factor={factor} ups={ups:.0} \
+             digest={d_maintain:016x}"
+        ),
+        || cycle(&mut engine, &edge),
+    );
+    h.bench(
+        &name,
+        &format!(
+            "mode=scratch rows={} digest={d_scratch:016x}",
+            2 * scratch_rows
+        ),
+        || {
+            // The from-scratch answer to the same two updates: two full
+            // re-evaluations.
+            let a = Engine::evaluate(&program, &db, &cfg).unwrap();
+            let b = Engine::evaluate(&program, &db, &cfg).unwrap();
+            (a.derived().len(), b.derived().len())
+        },
+    );
+    h.finish();
+}

@@ -1,9 +1,9 @@
 //! Acceptance test for the automatic index-selection subsystem.
 //!
-//! One `#[test]` function on purpose: the index work counters
-//! (`ldl_storage::relation::counters`) are process-global, and exact
-//! delta assertions only hold when nothing else runs concurrently —
-//! a single-test integration binary is its own process.
+//! Counter deltas are read through [`IndexCounters::scoped`], which
+//! tracks only the work of the enclosed evaluation (workers re-enter
+//! the caller's scope), so this test coexists with any other test in
+//! the same process.
 //!
 //! Checks, on the recursive benchmark workloads (A2 same-generation,
 //! E5-style transitive closure) and a nested-signature program:
@@ -57,15 +57,12 @@ fn index_selection_acceptance() {
 
     // --- 2. Build counts: selected mode shares, hash mode cannot. ---
     let db = Database::from_program(&nested_prog);
-    let before = IndexCounters::snapshot();
-    let (hash_rel, hash_m) =
-        eval_program_seminaive(&nested_prog, &db, &fixpoint_cfg(AccessPaths::HashOnDemand))
-            .unwrap();
-    let hash_work = before.delta_since();
-    let before = IndexCounters::snapshot();
-    let (sel_rel, sel_m) =
-        eval_program_seminaive(&nested_prog, &db, &fixpoint_cfg(AccessPaths::Selected)).unwrap();
-    let sel_work = before.delta_since();
+    let ((hash_rel, hash_m), hash_work) = IndexCounters::scoped(|| {
+        eval_program_seminaive(&nested_prog, &db, &fixpoint_cfg(AccessPaths::HashOnDemand)).unwrap()
+    });
+    let ((sel_rel, sel_m), sel_work) = IndexCounters::scoped(|| {
+        eval_program_seminaive(&nested_prog, &db, &fixpoint_cfg(AccessPaths::Selected)).unwrap()
+    });
     assert_eq!(sel_rel.len(), hash_rel.len());
     for (pred, rel) in &hash_rel {
         assert_eq!(
@@ -99,10 +96,9 @@ fn index_selection_acceptance() {
     let (tc, _) = transitive_closure_chains(64, 4);
     for (program, what) in [(&sg, "sg"), (&tc, "tc")] {
         let db = Database::from_program(program);
-        let before = IndexCounters::snapshot();
-        let (ref_rel, ref_m) =
-            eval_program_seminaive(program, &db, &fixpoint_cfg(AccessPaths::Selected)).unwrap();
-        let sel_work = before.delta_since();
+        let ((ref_rel, ref_m), sel_work) = IndexCounters::scoped(|| {
+            eval_program_seminaive(program, &db, &fixpoint_cfg(AccessPaths::Selected)).unwrap()
+        });
         assert!(
             sel_work.ordered_builds > 0,
             "{what}: no ordered builds: {sel_work:?}"

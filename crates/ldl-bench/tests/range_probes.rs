@@ -1,9 +1,9 @@
 //! Acceptance test for end-to-end range probes.
 //!
-//! One `#[test]` function on purpose: the index work counters
-//! (`ldl_storage::relation::counters`) are process-global, and exact
-//! delta assertions only hold when nothing else runs concurrently —
-//! a single-test integration binary is its own process.
+//! Counter deltas are read through [`IndexCounters::scoped`], which
+//! tracks only the work of the enclosed evaluation (workers re-enter
+//! the caller's scope), so this test coexists with any other test in
+//! the same process.
 //!
 //! Checks, on the P3 selective-range workload:
 //!
@@ -31,18 +31,16 @@ fn range_probes_acceptance() {
     let db = Database::from_program(&program);
 
     // --- 1. Range probes fire, and they enumerate fewer rows. ---
-    let before = IndexCounters::snapshot();
-    let (sel_rel, sel_m) =
-        eval_program_seminaive(&program, &db, &serial(AccessPaths::Selected)).unwrap();
-    let sel_work = before.delta_since();
+    let ((sel_rel, sel_m), sel_work) = IndexCounters::scoped(|| {
+        eval_program_seminaive(&program, &db, &serial(AccessPaths::Selected)).unwrap()
+    });
     assert!(
         sel_work.range_probes >= 1,
         "selected mode must issue range probes: {sel_work:?}"
     );
-    let before = IndexCounters::snapshot();
-    let (scan_rel, scan_m) =
-        eval_program_seminaive(&program, &db, &serial(AccessPaths::ForceScan)).unwrap();
-    let scan_work = before.delta_since();
+    let ((scan_rel, scan_m), scan_work) = IndexCounters::scoped(|| {
+        eval_program_seminaive(&program, &db, &serial(AccessPaths::ForceScan)).unwrap()
+    });
     assert_eq!(scan_work.range_probes, 0, "scans never range-probe");
     assert!(
         sel_work.rows_enumerated < scan_work.rows_enumerated,
@@ -92,20 +90,20 @@ fn range_probes_acceptance() {
     )
     .unwrap();
     assert!(!reference.tuples.is_empty());
-    let before = IndexCounters::snapshot();
-    for paths in [AccessPaths::Selected, AccessPaths::HashOnDemand] {
-        let got = evaluate_query(&program, &db, &query, Method::Magic, &serial(paths)).unwrap();
-        assert_eq!(
-            got.tuples.rows(),
-            reference.tuples.rows(),
-            "answers diverge under {paths:?}"
-        );
-        assert_eq!(
-            got.metrics, reference.metrics,
-            "metrics diverge under {paths:?}"
-        );
-    }
-    let magic_work = before.delta_since();
+    let (_, magic_work) = IndexCounters::scoped(|| {
+        for paths in [AccessPaths::Selected, AccessPaths::HashOnDemand] {
+            let got = evaluate_query(&program, &db, &query, Method::Magic, &serial(paths)).unwrap();
+            assert_eq!(
+                got.tuples.rows(),
+                reference.tuples.rows(),
+                "answers diverge under {paths:?}"
+            );
+            assert_eq!(
+                got.metrics, reference.metrics,
+                "metrics diverge under {paths:?}"
+            );
+        }
+    });
     assert!(
         magic_work.range_probes >= 1,
         "magic + Selected must range-probe the rewritten rule: {magic_work:?}"

@@ -25,13 +25,18 @@
 //! * [`sld`] — a Prolog-style SLD resolver, the §1 baseline the
 //!   optimizer is contrasted with;
 //! * [`engine`] — one entry point tying program + database + query +
-//!   method together, with derivation metrics for the experiments.
+//!   method together, with derivation metrics for the experiments;
+//! * [`maintain`] — incremental view maintenance: an [`Engine`] that
+//!   repairs derived relations on [`EdbDelta`] batches (counting for
+//!   non-recursive strata, DRed for recursive cliques) with work
+//!   proportional to the change.
 
 pub mod builtins;
 pub mod counting;
 pub mod engine;
 pub mod grouping;
 pub mod magic;
+pub mod maintain;
 pub mod materialized;
 pub mod metrics;
 pub mod naive;
@@ -42,6 +47,7 @@ pub mod seminaive;
 pub mod sld;
 
 pub use engine::{evaluate_query, Method, QueryAnswer};
+pub use maintain::{EdbDelta, Engine, MaintenanceReport};
 pub use metrics::Metrics;
 pub use naive::{AccessPaths, FixpointConfig};
 pub use rule_eval::AccessPlan;

@@ -121,11 +121,15 @@ pub(crate) fn run_round<'a>(
         }
     }
 
+    // Workers re-enter the caller's counter scopes so scoped index-work
+    // measurements (IndexCounters::scoped) see parallel rounds too.
+    let scope = ldl_storage::scope_handle();
     let chunks = &chunks;
     let results = scoped_map(
         threads,
         specs.len(),
         |i| -> Result<(Vec<(Pred, Tuple)>, Metrics)> {
+            let _counters = scope.enter();
             let spec = &specs[i];
             let firing = &firings[spec.firing];
             let rule = &program.rules[firing.rule_index];

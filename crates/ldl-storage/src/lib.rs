@@ -21,7 +21,7 @@ pub mod stats;
 pub mod tuple;
 
 pub use catalog::Database;
-pub use relation::counters::{note_rows_enumerated, IndexCounters};
-pub use relation::{ColClass, Index, OrderedIndex, Relation};
+pub use relation::counters::{note_rows_enumerated, scope_handle, IndexCounters, ScopeHandle};
+pub use relation::{ColClass, Index, OrderedIndex, Relation, SupportCounts};
 pub use stats::Stats;
 pub use tuple::Tuple;

@@ -11,19 +11,90 @@ use std::sync::{Arc, Mutex};
 /// Process-wide index work counters, the observable the index-selection
 /// experiments measure: how many index structures were built (per kind)
 /// and how many probes they served. Monotone; relative measurement uses
-/// [`IndexCounters::snapshot`] + [`IndexCounters::delta_since`].
-/// Counters are global — tests asserting exact deltas must run in their
-/// own process (a single-test integration binary), since concurrently
-/// running tests share them.
+/// [`IndexCounters::scoped`] (isolated from concurrent work) or, for
+/// whole-process views, [`IndexCounters::snapshot`] +
+/// [`IndexCounters::delta_since`].
 pub mod counters {
     use super::{AtomicOrdering, AtomicU64};
+    use std::cell::RefCell;
+    use std::sync::Arc;
 
-    pub(super) static HASH_BUILDS: AtomicU64 = AtomicU64::new(0);
-    pub(super) static ORDERED_BUILDS: AtomicU64 = AtomicU64::new(0);
-    pub(super) static HASH_PROBES: AtomicU64 = AtomicU64::new(0);
-    pub(super) static ORDERED_PROBES: AtomicU64 = AtomicU64::new(0);
-    pub(super) static RANGE_PROBES: AtomicU64 = AtomicU64::new(0);
-    pub(super) static ROWS_ENUMERATED: AtomicU64 = AtomicU64::new(0);
+    static HASH_BUILDS: AtomicU64 = AtomicU64::new(0);
+    static ORDERED_BUILDS: AtomicU64 = AtomicU64::new(0);
+    static HASH_PROBES: AtomicU64 = AtomicU64::new(0);
+    static ORDERED_PROBES: AtomicU64 = AtomicU64::new(0);
+    static RANGE_PROBES: AtomicU64 = AtomicU64::new(0);
+    static ROWS_ENUMERATED: AtomicU64 = AtomicU64::new(0);
+
+    /// Private accumulator of one live [`IndexCounters::scoped`] call.
+    /// Atomic because evaluator worker threads enter the scope (via
+    /// [`ScopeHandle`]) and bump it concurrently.
+    #[derive(Debug, Default)]
+    struct ScopeCells {
+        hash_builds: AtomicU64,
+        ordered_builds: AtomicU64,
+        hash_probes: AtomicU64,
+        ordered_probes: AtomicU64,
+        range_probes: AtomicU64,
+        rows_enumerated: AtomicU64,
+    }
+
+    thread_local! {
+        /// Scopes active on this thread, innermost last.
+        static SCOPES: RefCell<Vec<Arc<ScopeCells>>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Which counter a call site bumps.
+    #[derive(Clone, Copy)]
+    enum Counter {
+        HashBuilds,
+        OrderedBuilds,
+        HashProbes,
+        OrderedProbes,
+        RangeProbes,
+        RowsEnumerated,
+    }
+
+    fn bump(which: Counter, n: u64) {
+        let global = match which {
+            Counter::HashBuilds => &HASH_BUILDS,
+            Counter::OrderedBuilds => &ORDERED_BUILDS,
+            Counter::HashProbes => &HASH_PROBES,
+            Counter::OrderedProbes => &ORDERED_PROBES,
+            Counter::RangeProbes => &RANGE_PROBES,
+            Counter::RowsEnumerated => &ROWS_ENUMERATED,
+        };
+        global.fetch_add(n, AtomicOrdering::Relaxed);
+        SCOPES.with(|s| {
+            for scope in s.borrow().iter() {
+                let cell = match which {
+                    Counter::HashBuilds => &scope.hash_builds,
+                    Counter::OrderedBuilds => &scope.ordered_builds,
+                    Counter::HashProbes => &scope.hash_probes,
+                    Counter::OrderedProbes => &scope.ordered_probes,
+                    Counter::RangeProbes => &scope.range_probes,
+                    Counter::RowsEnumerated => &scope.rows_enumerated,
+                };
+                cell.fetch_add(n, AtomicOrdering::Relaxed);
+            }
+        });
+    }
+
+    pub(super) fn note_hash_build() {
+        bump(Counter::HashBuilds, 1);
+    }
+    pub(super) fn note_ordered_build() {
+        bump(Counter::OrderedBuilds, 1);
+    }
+    pub(super) fn note_hash_probe() {
+        bump(Counter::HashProbes, 1);
+    }
+    pub(super) fn note_ordered_probe() {
+        bump(Counter::OrderedProbes, 1);
+    }
+    pub(super) fn note_range_probe() {
+        bump(Counter::RangeProbes, 1);
+    }
 
     /// Records `n` tuples handed to the evaluator's unification loop by
     /// one access (scan, probe, or range probe). Bumped by the rule
@@ -31,7 +102,56 @@ pub mod counters {
     /// structures themselves — so the counter has one crisp meaning:
     /// rows *enumerated* before residual filtering.
     pub fn note_rows_enumerated(n: u64) {
-        ROWS_ENUMERATED.fetch_add(n, AtomicOrdering::Relaxed);
+        bump(Counter::RowsEnumerated, n);
+    }
+
+    /// The scopes active on the calling thread, packaged so a worker
+    /// thread can attribute its counter bumps to the same scopes. The
+    /// parallel round executor captures a handle before fanning a round
+    /// out and re-enters it inside each job; anyone else spawning
+    /// threads under a scope should do the same.
+    #[derive(Clone, Debug, Default)]
+    pub struct ScopeHandle(Vec<Arc<ScopeCells>>);
+
+    /// Captures the calling thread's active scopes (cheap: `Arc` clones).
+    pub fn scope_handle() -> ScopeHandle {
+        SCOPES.with(|s| ScopeHandle(s.borrow().clone()))
+    }
+
+    impl ScopeHandle {
+        /// Makes the handle's scopes active on the current thread until
+        /// the guard drops. Scopes already active here are not entered
+        /// twice, so re-entering on the capturing thread itself (the
+        /// serial path of a worker pool) never double-counts.
+        pub fn enter(&self) -> ScopeGuard {
+            SCOPES.with(|s| {
+                let mut active = s.borrow_mut();
+                let mut added = 0;
+                for scope in &self.0 {
+                    if !active.iter().any(|a| Arc::ptr_eq(a, scope)) {
+                        active.push(scope.clone());
+                        added += 1;
+                    }
+                }
+                ScopeGuard { added }
+            })
+        }
+    }
+
+    /// RAII guard of [`ScopeHandle::enter`]: leaves the entered scopes
+    /// on drop.
+    pub struct ScopeGuard {
+        added: usize,
+    }
+
+    impl Drop for ScopeGuard {
+        fn drop(&mut self) {
+            SCOPES.with(|s| {
+                let mut active = s.borrow_mut();
+                let keep = active.len() - self.added;
+                active.truncate(keep);
+            });
+        }
     }
 
     /// A snapshot of the index work counters.
@@ -78,6 +198,41 @@ pub mod counters {
                 rows_enumerated: now.rows_enumerated - self.rows_enumerated,
             }
         }
+
+        /// Runs `f` inside a fresh measurement scope and returns its
+        /// result together with exactly the index work `f` performed —
+        /// on the calling thread and on any evaluator worker threads
+        /// (the round executors re-enter the caller's scopes via
+        /// [`scope_handle`]). Unlike snapshot/delta pairs, concurrent
+        /// work elsewhere in the process (e.g. other tests in the same
+        /// binary) cannot pollute the measurement, so exact-delta
+        /// assertions no longer need single-process runs. Scopes nest.
+        pub fn scoped<R>(f: impl FnOnce() -> R) -> (R, IndexCounters) {
+            struct PopOnDrop;
+            impl Drop for PopOnDrop {
+                fn drop(&mut self) {
+                    SCOPES.with(|s| {
+                        s.borrow_mut().pop();
+                    });
+                }
+            }
+            let cells = Arc::new(ScopeCells::default());
+            SCOPES.with(|s| s.borrow_mut().push(cells.clone()));
+            let out = {
+                let _pop = PopOnDrop;
+                f()
+            };
+            let load = |c: &AtomicU64| c.load(AtomicOrdering::Relaxed);
+            let counters = IndexCounters {
+                hash_builds: load(&cells.hash_builds),
+                ordered_builds: load(&cells.ordered_builds),
+                hash_probes: load(&cells.hash_probes),
+                ordered_probes: load(&cells.ordered_probes),
+                range_probes: load(&cells.range_probes),
+                rows_enumerated: load(&cells.rows_enumerated),
+            };
+            (out, counters)
+        }
     }
 }
 
@@ -97,7 +252,7 @@ pub struct Index {
 
 impl Index {
     fn build(rows: &[Tuple], key_cols: &[usize], version: u64) -> Index {
-        counters::HASH_BUILDS.fetch_add(1, AtomicOrdering::Relaxed);
+        counters::note_hash_build();
         let mut map: HashMap<Vec<Term>, Vec<u32>> = HashMap::new();
         for (i, t) in rows.iter().enumerate() {
             let key: Vec<Term> = key_cols.iter().map(|&c| t.get(c).clone()).collect();
@@ -113,7 +268,7 @@ impl Index {
     /// Row ids whose `key_cols` equal `key`, ascending (insertion order).
     pub fn probe(&self, key: &[Term]) -> &[u32] {
         debug_assert_eq!(key.len(), self.key_cols.len());
-        counters::HASH_PROBES.fetch_add(1, AtomicOrdering::Relaxed);
+        counters::note_hash_probe();
         self.map.get(key).map(|v| v.as_slice()).unwrap_or(&[])
     }
 
@@ -171,7 +326,7 @@ pub struct OrderedIndex {
 
 impl OrderedIndex {
     fn build(rows: &[Tuple], cols: &[usize], version: u64) -> OrderedIndex {
-        counters::ORDERED_BUILDS.fetch_add(1, AtomicOrdering::Relaxed);
+        counters::note_ordered_build();
         let mut perm: Vec<u32> = (0..rows.len() as u32).collect();
         perm.sort_unstable_by(|&a, &b| {
             let (ra, rb) = (&rows[a as usize], &rows[b as usize]);
@@ -251,7 +406,7 @@ impl OrderedIndex {
     /// probe or a full scan yields, which is what keeps the evaluator's
     /// bit-for-bit determinism contract access-path independent.
     pub fn probe_prefix(&self, rows: &[Tuple], key: &[Term]) -> Vec<u32> {
-        counters::ORDERED_PROBES.fetch_add(1, AtomicOrdering::Relaxed);
+        counters::note_ordered_probe();
         let run = self.equal_run(rows, key);
         let mut out = self.perm[run].to_vec();
         out.sort_unstable();
@@ -291,7 +446,7 @@ impl OrderedIndex {
         high: std::ops::Bound<&Term>,
     ) -> Vec<u32> {
         use std::ops::Bound;
-        counters::RANGE_PROBES.fetch_add(1, AtomicOrdering::Relaxed);
+        counters::note_range_probe();
         debug_assert!(prefix.len() < self.cols.len());
         let run = self.equal_run(rows, prefix);
         let next_col = self.cols[prefix.len()];
@@ -460,9 +615,129 @@ impl Relation {
         self.index_on(&[c]).distinct_keys()
     }
 
-    /// Monotone version counter (bumped on every successful insert).
+    /// Removes `t` if present, returning `true`. Surviving rows keep
+    /// their relative (insertion) order; row ids shift, so the version
+    /// bump invalidates every cached index snapshot.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        self.remove_batch(std::iter::once(t)) == 1
+    }
+
+    /// Removes every tuple of `tuples` that is present, in one pass,
+    /// returning how many were removed. Surviving rows keep their
+    /// relative order and get fresh row ids; the version bump is
+    /// monotone (versions are never reused), so version-keyed index
+    /// caches — including snapshots shared with clones — stay correct.
+    pub fn remove_batch<'b>(&mut self, tuples: impl IntoIterator<Item = &'b Tuple>) -> usize {
+        let mut removed = 0usize;
+        for t in tuples {
+            debug_assert_eq!(t.arity(), self.arity, "tuple arity mismatch");
+            if self.seen.remove(t).is_some() {
+                removed += 1;
+            }
+        }
+        if removed == 0 {
+            return 0;
+        }
+        let seen = &self.seen;
+        self.rows.retain(|r| seen.contains_key(r));
+        for (i, row) in self.rows.iter().enumerate() {
+            *self.seen.get_mut(row).expect("surviving row is in seen") = i as u32;
+        }
+        self.version += 1;
+        removed
+    }
+
+    /// Reorders the rows into the *canonical* order — ascending by
+    /// `Term`'s total order, column by column — rebuilding row ids and
+    /// bumping the version when anything actually moves. The incremental
+    /// maintenance engine (`ldl-eval::maintain`) keeps derived relations
+    /// canonical so that any sequence of updates arriving at the same
+    /// set state yields bit-for-bit identical rows, insertion order
+    /// included.
+    pub fn canonicalize(&mut self) {
+        if self.rows.windows(2).all(|w| w[0].0 <= w[1].0) {
+            return;
+        }
+        self.rows.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        for (i, row) in self.rows.iter().enumerate() {
+            *self.seen.get_mut(row).expect("row is in seen") = i as u32;
+        }
+        self.version += 1;
+    }
+
+    /// Monotone version counter (bumped on every mutation: insert,
+    /// removal, or canonical reorder).
     pub fn version(&self) -> u64 {
         self.version
+    }
+}
+
+/// Per-tuple derivation counts for one derived relation — the side
+/// structure counting-based incremental maintenance keeps next to each
+/// non-recursive stratum's relation (see `ldl-eval::maintain`). The
+/// maintained invariant: a tuple is in the relation iff its count is
+/// positive, where the count is the number of distinct rule derivations
+/// (plus one per asserted fact seed). `synced_version` records the
+/// relation version the counts were last reconciled with, so the
+/// maintenance layer can assert it is not applying a delta against
+/// stale counts.
+#[derive(Clone, Debug, Default)]
+pub struct SupportCounts {
+    counts: HashMap<Tuple, u64>,
+    synced_version: u64,
+}
+
+impl SupportCounts {
+    /// Empty support table.
+    pub fn new() -> SupportCounts {
+        SupportCounts::default()
+    }
+
+    /// The derivation count of `t` (0 when unsupported).
+    pub fn get(&self, t: &Tuple) -> u64 {
+        self.counts.get(t).copied().unwrap_or(0)
+    }
+
+    /// Adds `n` derivations for `t`, returning the new count.
+    pub fn add(&mut self, t: &Tuple, n: u64) -> u64 {
+        if n == 0 {
+            return self.get(t);
+        }
+        let c = self.counts.entry(t.clone()).or_insert(0);
+        *c += n;
+        *c
+    }
+
+    /// Sets the derivation count of `t` outright (0 drops the entry),
+    /// returning the new count. Used by maintenance to commit the net
+    /// `old + gained - lost` count per affected tuple.
+    pub fn set(&mut self, t: &Tuple, n: u64) -> u64 {
+        if n == 0 {
+            self.counts.remove(t);
+        } else {
+            self.counts.insert(t.clone(), n);
+        }
+        n
+    }
+
+    /// How many tuples have a positive count.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when no tuple has support.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// The relation version these counts were last reconciled with.
+    pub fn synced_version(&self) -> u64 {
+        self.synced_version
+    }
+
+    /// Records the relation version these counts now agree with.
+    pub fn set_synced(&mut self, version: u64) {
+        self.synced_version = version;
     }
 }
 
@@ -816,6 +1091,102 @@ mod tests {
         // The clone answers from the same snapshot, not a rebuild.
         assert!(Arc::ptr_eq(&idx, &c.index_on(&[0])));
         assert_eq!(c.index_on(&[0]).probe(&[Term::int(2)]).len(), 1);
+    }
+
+    #[test]
+    fn remove_preserves_survivor_order_and_reindexes() {
+        let mut r = Relation::new(2);
+        for (a, b) in [(3, 30), (1, 10), (2, 20), (4, 40)] {
+            r.insert(Tuple::ints(&[a, b]));
+        }
+        let v0 = r.version();
+        assert!(r.remove(&Tuple::ints(&[1, 10])));
+        assert!(!r.remove(&Tuple::ints(&[1, 10])), "already gone");
+        assert!(r.version() > v0, "removal must bump the version");
+        let got: Vec<String> = r.iter().map(|t| t.to_string()).collect();
+        assert_eq!(got, ["(3, 30)", "(2, 20)", "(4, 40)"]);
+        // Probes see the renumbered row ids, not stale ones.
+        let idx = r.index_on(&[0]);
+        assert_eq!(idx.probe(&[Term::int(4)]), &[2]);
+        assert_eq!(idx.probe(&[Term::int(1)]), &[] as &[u32]);
+    }
+
+    #[test]
+    fn remove_batch_counts_only_present_tuples() {
+        let mut r = Relation::new(1);
+        for i in 0..5 {
+            r.insert(Tuple::ints(&[i]));
+        }
+        let doomed = [Tuple::ints(&[1]), Tuple::ints(&[99]), Tuple::ints(&[3])];
+        assert_eq!(r.remove_batch(doomed.iter()), 2);
+        assert_eq!(r.len(), 3);
+        // Absent-only batch is a no-op and does not bump the version.
+        let v = r.version();
+        assert_eq!(r.remove_batch([Tuple::ints(&[42])].iter()), 0);
+        assert_eq!(r.version(), v);
+    }
+
+    #[test]
+    fn canonicalize_sorts_rows_and_rebuilds_ids() {
+        let mut r = Relation::new(2);
+        for (a, b) in [(2, 1), (1, 2), (1, 1)] {
+            r.insert(Tuple::ints(&[a, b]));
+        }
+        r.canonicalize();
+        let got: Vec<String> = r.iter().map(|t| t.to_string()).collect();
+        assert_eq!(got, ["(1, 1)", "(1, 2)", "(2, 1)"]);
+        assert_eq!(r.index_on(&[0]).probe(&[Term::int(1)]), &[0, 1]);
+        // Already-canonical input: no version churn.
+        let v = r.version();
+        r.canonicalize();
+        assert_eq!(r.version(), v);
+    }
+
+    #[test]
+    fn support_counts_track_and_sync() {
+        let mut s = SupportCounts::new();
+        let t = Tuple::ints(&[1]);
+        assert_eq!(s.get(&t), 0);
+        assert_eq!(s.add(&t, 2), 2);
+        assert_eq!(s.add(&t, 1), 3);
+        assert_eq!(s.set(&t, 1), 1);
+        assert_eq!(s.set(&t, 0), 0);
+        assert!(s.is_empty());
+        s.set_synced(7);
+        assert_eq!(s.synced_version(), 7);
+    }
+
+    #[test]
+    fn scoped_counters_isolate_and_nest() {
+        let mut r = Relation::new(1);
+        r.insert(Tuple::ints(&[1]));
+        let (_, outer) = counters::IndexCounters::scoped(|| {
+            r.index_on(&[0]).probe(&[Term::int(1)]);
+            let ((), inner) = counters::IndexCounters::scoped(|| {
+                counters::note_rows_enumerated(5);
+            });
+            assert_eq!(inner.rows_enumerated, 5);
+            assert_eq!(inner.hash_probes, 0, "inner scope misses outer work");
+        });
+        assert_eq!(outer.hash_probes, 1);
+        assert_eq!(outer.rows_enumerated, 5, "outer scope sees nested work");
+    }
+
+    #[test]
+    fn scope_handle_attributes_worker_thread_bumps() {
+        let ((), c) = counters::IndexCounters::scoped(|| {
+            let handle = counters::scope_handle();
+            // Re-entering on the same thread must not double-count.
+            let _same = handle.enter();
+            counters::note_rows_enumerated(1);
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    let _g = handle.enter();
+                    counters::note_rows_enumerated(10);
+                });
+            });
+        });
+        assert_eq!(c.rows_enumerated, 11);
     }
 
     #[test]

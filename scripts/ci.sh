@@ -79,6 +79,26 @@ if [ "$unique" -ne "$workloads" ]; then
 fi
 echo "    digests identical: $workloads workload(s) × 3 access policies"
 
+# Incremental-maintenance determinism: the update-stream bench drives a
+# state-restoring retract/insert cycle through Engine::apply_delta and
+# embeds a digest of the derived relations in both the maintained and
+# the from-scratch record labels; one digest per workload means
+# maintenance repaired the state bit-for-bit (the bench itself asserts
+# the rows_enumerated win). The IVM differential tests also run under
+# the LDL_EVAL_THREADS=1 and =4 workspace passes above.
+echo "==> ivm stream answer-digest diff (maintained vs from-scratch)"
+LDL_BENCH_ITERS=1 LDL_BENCH_JSON_DIR="$digest_dir/ivm" \
+    cargo bench -q --offline -p ldl-bench --bench ivm_stream >/dev/null
+workloads=$(grep -o '"group": *"[^"]*"' "$digest_dir/ivm/BENCH_ivm_stream.json" \
+    | sort -u | wc -l)
+unique=$(grep -o 'digest=[0-9a-f]*' "$digest_dir/ivm/BENCH_ivm_stream.json" \
+    | sort -u | wc -l)
+if [ "$unique" -ne "$workloads" ]; then
+    echo "    FAIL: $unique distinct digests across $workloads workload(s)"
+    exit 1
+fi
+echo "    digests identical: $workloads workload(s) × {maintained, from-scratch}"
+
 # Golden-diagnostics gate: `ldl-shell --check --json` over every example
 # program must reproduce the checked-in diagnostics bit for bit (stable
 # codes, spans, messages). `--check` exits non-zero on files with

@@ -15,7 +15,9 @@
 //!
 //! Commands: `:help`, `:rules`, `:stats`, `:check`, `:explain <goal>?`,
 //! `:strategy <exhaustive|dp|kbz|annealing>`, `:acyclic <on|off>`,
-//! `:load <file>`, `:reset`, `:quit`.
+//! `:insert <fact>.` / `:retract <fact>.` / `:commit` (incremental
+//! updates through the maintenance engine), `:load <file>`, `:reset`,
+//! `:quit`.
 //!
 //! Batch mode: `ldl-shell --check [--json] file.ldl ...` analyzes each
 //! file without evaluating anything and exits non-zero if any file has
@@ -24,11 +26,12 @@
 use ldl::analysis::{self, AnalysisOptions};
 use ldl::core::parser::{parse_query, parse_source};
 use ldl::core::Span;
-use ldl::core::{Program, Query};
-use ldl::eval::{AccessPaths, FixpointConfig};
+use ldl::core::{Program, Query, Term};
+use ldl::eval::{AccessPaths, EdbDelta, Engine, FixpointConfig};
 use ldl::optimizer::opt::PredPlanKind;
 use ldl::optimizer::{OptConfig, Optimizer, ProcessingTree, Strategy};
 use ldl::storage::Database;
+use ldl::storage::Tuple;
 use std::io::{BufRead, Write};
 use std::time::Instant;
 
@@ -37,6 +40,14 @@ struct Shell {
     program: Program,
     cfg: OptConfig,
     fixpoint: FixpointConfig,
+    /// The current EDB: program facts plus every committed delta.
+    /// Queries and `:stats` read this, not the program's fact list.
+    db: Database,
+    /// Updates staged by `:insert` / `:retract`, applied on `:commit`.
+    pending: EdbDelta,
+    /// The maintenance engine; dropped whenever the rule base changes
+    /// and rebuilt lazily on the next `:commit`.
+    engine: Option<Engine>,
 }
 
 impl Shell {
@@ -46,6 +57,9 @@ impl Shell {
             cfg: OptConfig::default(),
             // Honors LDL_ACCESS_PATHS / LDL_EVAL_THREADS.
             fixpoint: FixpointConfig::default(),
+            db: Database::new(),
+            pending: EdbDelta::new(),
+            engine: None,
         }
     }
 
@@ -70,6 +84,8 @@ impl Shell {
             Ok(src) => {
                 let nr = src.program.rules.len();
                 let nf = src.program.facts.len();
+                self.db.load_facts(&src.program);
+                self.engine = None; // rebuilt on the next :commit
                 for r in src.program.rules {
                     self.program.push(r);
                 }
@@ -104,6 +120,9 @@ commands:
   :acyclic <on|off>        assume base data acyclic (enables counting)
   :rules                   list the current rule base
   :stats                   per-relation cardinalities
+  :insert <fact>.          stage a base-fact insert
+  :retract <fact>.         stage a base-fact retract
+  :commit                  apply staged updates incrementally
   :load <file>             load a .ldl file
   :reset                   drop everything
   :quit                    exit"
@@ -116,7 +135,7 @@ commands:
                 }
             }
             "stats" => {
-                let db = Database::from_program(&self.program);
+                let db = &self.db;
                 let mut lines: Vec<String> = db
                     .preds()
                     .into_iter()
@@ -183,9 +202,8 @@ commands:
             },
             "prolog" => match parse_query(arg) {
                 Ok(q) => {
-                    let db = Database::from_program(&self.program);
                     let cfg = ldl::eval::sld::SldConfig::default();
-                    match ldl::eval::sld::solve_sld(&self.program, &db, &q, &cfg) {
+                    match ldl::eval::sld::solve_sld(&self.program, &self.db, &q, &cfg) {
                         Ok((ans, stats)) => {
                             let mut rows: Vec<String> = ans
                                 .iter()
@@ -213,11 +231,16 @@ commands:
                 }
                 Err(e) => format!("error: {e}"),
             },
+            "insert" => self.stage(arg, true),
+            "retract" => self.stage(arg, false),
+            "commit" => self.commit(),
             "load" => match std::fs::read_to_string(arg) {
                 Ok(text) => match parse_source(&text) {
                     Ok(src) => {
                         let nr = src.program.rules.len();
                         let nf = src.program.facts.len();
+                        self.db.load_facts(&src.program);
+                        self.engine = None;
                         for r in src.program.rules {
                             self.program.push(r);
                         }
@@ -237,10 +260,80 @@ commands:
             },
             "reset" => {
                 self.program = Program::new();
+                self.db = Database::new();
+                self.pending = EdbDelta::new();
+                self.engine = None;
                 "knowledge base cleared".into()
             }
             "quit" | "q" | "exit" => "bye".into(),
             other => format!("unknown command :{other} (try :help)"),
+        }
+    }
+
+    /// Stages ground facts from `arg` into the pending update batch.
+    fn stage(&mut self, arg: &str, insert: bool) -> String {
+        let verb = if insert { "insert" } else { "retract" };
+        let src = match parse_source(arg) {
+            Ok(src) => src,
+            Err(e) => return format!("error: {e}"),
+        };
+        if !src.program.rules.is_empty() || !src.queries.is_empty() {
+            return format!("only ground facts can be staged (:{verb} e(1, 2).)");
+        }
+        if src.program.facts.is_empty() {
+            return format!("nothing to stage (:{verb} e(1, 2).)");
+        }
+        let mut n = 0usize;
+        for f in &src.program.facts {
+            if !f.args.iter().all(Term::is_ground) {
+                return format!("error: {f} is not ground");
+            }
+            let t = Tuple::new(f.args.clone());
+            if insert {
+                self.pending.insert(f.pred, t);
+            } else {
+                self.pending.retract(f.pred, t);
+            }
+            n += 1;
+        }
+        format!(
+            "staged {n} {verb}(s); {} operation(s) pending (:commit to apply)",
+            self.pending.len()
+        )
+    }
+
+    /// Applies the pending batch through the maintenance engine,
+    /// repairing derived relations incrementally.
+    fn commit(&mut self) -> String {
+        if self.pending.is_empty() {
+            return "nothing to commit".into();
+        }
+        if self.engine.is_none() {
+            match Engine::evaluate(&self.program, &self.db, &self.fixpoint) {
+                Ok(engine) => self.engine = Some(engine),
+                Err(e) => return format!("error: {e}"),
+            }
+        }
+        let engine = self.engine.as_mut().expect("engine just built");
+        let delta = std::mem::take(&mut self.pending);
+        match engine.apply_delta(&delta) {
+            Ok(report) => {
+                self.db = engine.database().clone();
+                let mut out = format!(
+                    "committed: base +{}/-{}, derived +{}/-{} ({} stratum(s) repaired, {} skipped)",
+                    report.base_inserted,
+                    report.base_retracted,
+                    report.derived_inserted,
+                    report.derived_retracted,
+                    report.groups_touched,
+                    report.groups_skipped
+                );
+                for (p, plus, minus) in &report.changes {
+                    out.push_str(&format!("\n  {p}: +{plus}/-{minus}"));
+                }
+                out
+            }
+            Err(e) => format!("commit failed: {e} (staged batch discarded)"),
         }
     }
 
@@ -258,8 +351,8 @@ commands:
                 report.render_text(None, "<repl>").trim_end()
             );
         }
-        let db = Database::from_program(&self.program);
-        let optimizer = Optimizer::new(&self.program, &db, self.cfg.clone());
+        let db = &self.db;
+        let optimizer = Optimizer::new(&self.program, db, self.cfg.clone());
         let started = Instant::now();
         let plan = match optimizer.optimize(query) {
             Ok(p) => p,
@@ -308,7 +401,7 @@ commands:
             return out;
         }
         let run_started = Instant::now();
-        match plan.execute(&self.program, &db, &self.fixpoint) {
+        match plan.execute(&self.program, db, &self.fixpoint) {
             Ok(ans) => {
                 let run_ms = run_started.elapsed().as_secs_f64() * 1000.0;
                 let mut rows: Vec<String> = ans
@@ -625,6 +718,77 @@ mod tests {
         let mut s = Shell::new();
         let out = s.command(&format!("load {}", file.display()));
         assert!(out.contains("2 fact(s)"), "{out}");
+    }
+
+    #[test]
+    fn insert_retract_commit_maintains_queries() {
+        let mut s = Shell::new();
+        feed(
+            &mut s,
+            &[
+                "e(1, 2). e(2, 3).",
+                "tc(X, Y) <- e(X, Y).",
+                "tc(X, Y) <- e(X, Z), tc(Z, Y).",
+            ],
+        );
+        assert!(s.handle("tc(1, Y)?").contains("2 answer(s)"));
+        // Stage + commit an edge extending the chain.
+        assert!(s
+            .handle(":insert e(3, 4).")
+            .contains("1 operation(s) pending"));
+        let out = s.handle(":commit");
+        assert!(out.contains("base +1/-0"), "{out}");
+        assert!(out.contains("tc/2: +3/-0"), "{out}");
+        assert!(s.handle("tc(1, Y)?").contains("3 answer(s)"));
+        assert!(s.handle(":stats").contains("e/2: 3 tuples"));
+        // A present tuple retracted and re-inserted in one batch
+        // cancels: no base change, every stratum skipped.
+        s.handle(":retract e(3, 4).");
+        s.handle(":insert e(3, 4).");
+        let out = s.handle(":commit");
+        assert!(out.contains("base +0/-0"), "{out}");
+        assert!(out.contains("0 stratum(s) repaired"), "{out}");
+        // Retract the middle edge: downstream closure tuples fall out.
+        s.handle(":retract e(2, 3).");
+        let out = s.handle(":commit");
+        assert!(out.contains("base +0/-1"), "{out}");
+        assert!(out.contains("tc/2: +0/-4"), "{out}");
+        assert!(s.handle("tc(1, Y)?").contains("1 answer(s)"));
+        assert_eq!(s.handle(":commit"), "nothing to commit");
+    }
+
+    #[test]
+    fn stage_rejects_non_facts() {
+        let mut s = Shell::new();
+        s.handle("e(1, 2).");
+        s.handle("p(X) <- e(X, Y).");
+        assert!(s
+            .handle(":insert p(X) <- e(X, Y).")
+            .contains("only ground facts"));
+        // A non-ground head with an empty body parses as a rule, not a
+        // fact, so it lands in the same rejection.
+        assert!(s.handle(":insert e(X, 2).").contains("only ground facts"));
+        assert!(s.handle(":insert").contains("nothing to stage"));
+        // Deltas on derived predicates are rejected at commit time.
+        s.handle(":insert p(1).");
+        assert!(s.handle(":commit").contains("commit failed"));
+        assert_eq!(s.handle(":commit"), "nothing to commit");
+    }
+
+    #[test]
+    fn rule_added_after_commit_rebuilds_engine() {
+        let mut s = Shell::new();
+        s.handle("e(1, 2).");
+        s.handle("tc(X, Y) <- e(X, Y).");
+        s.handle(":insert e(2, 3).");
+        s.handle(":commit");
+        // New recursive rule after a commit: engine must rebuild and
+        // see both committed facts.
+        s.handle("tc(X, Y) <- e(X, Z), tc(Z, Y).");
+        s.handle(":insert e(3, 4).");
+        let out = s.handle(":commit");
+        assert!(out.contains("base +1/-0"), "{out}");
+        assert!(s.handle("tc(1, Y)?").contains("3 answer(s)"));
     }
 
     #[test]
