@@ -1,0 +1,99 @@
+//! Commit/query throughput of the `ldl-serve` service layer.
+//!
+//! Stands up an in-process [`Server`] on a loopback socket, connects a
+//! wire [`Client`], and measures the two paths a served application
+//! exercises: the transactional commit path (stage one state-restoring
+//! retract+insert cycle, WAL-fsync, repair, publish) and the pinned-
+//! snapshot query path. Every record label embeds the service digest so
+//! the JSON pins that streamed commits leave the state bit-for-bit
+//! where it started; the `cps=`/`qps=` figures give commits and queries
+//! per second from a short calibrated pre-run.
+//!
+//! Knobs: `LDL_BENCH_ITERS`, `LDL_BENCH_JSON_DIR` as usual.
+
+use ldl_serve::{Client, FixpointConfig, Listener, Server, Service};
+use ldl_support::bench::Harness;
+use std::sync::Arc;
+use std::time::Instant;
+
+const RULES: &str = "tc(X, Y) <- e(X, Y).\ntc(X, Y) <- e(X, Z), tc(Z, Y).";
+
+/// One state-restoring commit cycle: retract a mid-chain edge, commit,
+/// insert it back, commit. Two commits, no net state change.
+fn cycle(c: &mut Client, mid: i64) {
+    c.retract(&format!("e({mid}, {}).", mid + 1)).unwrap();
+    c.commit().unwrap();
+    c.insert(&format!("e({mid}, {}).", mid + 1)).unwrap();
+    c.commit().unwrap();
+}
+
+fn main() {
+    let chain = 48i64;
+    let mid = chain / 2;
+
+    let dir = std::env::temp_dir().join(format!("ldl-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let service =
+        Arc::new(Service::open(&dir, &FixpointConfig::serial(), 0).expect("service open"));
+    let listener = Listener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener
+        .describe()
+        .strip_prefix("tcp://")
+        .expect("tcp addr")
+        .to_string();
+    let server = Server::new(service, listener);
+    let server_thread = std::thread::spawn(move || server.run().expect("server run"));
+
+    let mut c = Client::connect(&addr).expect("connect");
+    c.load(RULES).expect("load rules");
+    let facts: String = (1..chain)
+        .map(|i| format!("e({i}, {}).\n", i + 1))
+        .collect();
+    c.insert(&facts).expect("stage chain");
+    c.commit().expect("commit chain");
+
+    let mut h = Harness::new("serve_stream");
+    h.set_iters(1, 5);
+    let name = format!("serve_chain/{chain}");
+
+    // Calibration pre-runs for the throughput figures in the labels.
+    let t0 = Instant::now();
+    let warm_cycles = 4u32;
+    for _ in 0..warm_cycles {
+        cycle(&mut c, mid);
+    }
+    let cps = f64::from(2 * warm_cycles) / t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let warm_queries = 64u32;
+    for _ in 0..warm_queries {
+        c.query("tc(1, Y)?").expect("query");
+    }
+    let qps = f64::from(warm_queries) / t0.elapsed().as_secs_f64();
+
+    // The digest before measuring: the state-restoring cycles must
+    // bring the service back here every time.
+    let (_, digest0) = c.digest().expect("digest");
+
+    h.bench(
+        &name,
+        &format!("mode=commit cps={cps:.0} digest={digest0}"),
+        || cycle(&mut c, mid),
+    );
+
+    let (_, digest1) = c.digest().expect("digest");
+    assert_eq!(
+        digest0, digest1,
+        "{name}: streamed commits did not restore the starting state"
+    );
+
+    h.bench(
+        &name,
+        &format!("mode=query qps={qps:.0} digest={digest1}"),
+        || c.query("tc(1, Y)?").expect("query").len(),
+    );
+
+    h.finish();
+    c.shutdown().expect("shutdown");
+    server_thread.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

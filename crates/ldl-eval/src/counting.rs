@@ -29,8 +29,55 @@
 
 use ldl_core::adorn::{AdornedPred, AdornedProgram};
 use ldl_core::{Atom, LdlError, Literal, Pred, Program, Query, Result, Rule, Span, Symbol, Term};
-use ldl_storage::Tuple;
+use ldl_storage::{Database, Tuple};
 use std::collections::BTreeSet;
+
+/// An upper bound on the recursion depth the counting method can reach
+/// on *acyclic* data: every level of the counter consumes at least one
+/// fresh piece of the stored data, so the depth can never exceed the
+/// total structural size of the active domain. We charge one unit per
+/// term node of every stored tuple (so a list of length n contributes
+/// ~2n, covering list-walking recursions), plus one per rule and a
+/// small constant for the rewriting's seed/projection rounds. A
+/// semi-naive evaluation of the counting program that runs past this
+/// bound can only be the counter spinning on a data cycle.
+pub fn active_domain_iteration_bound(program: &Program, db: &Database) -> usize {
+    let domain: usize = db
+        .preds()
+        .iter()
+        .filter_map(|&p| db.relation(p))
+        .map(|r| {
+            r.rows()
+                .iter()
+                .map(|t| t.0.iter().map(Term::size).sum::<usize>())
+                .sum::<usize>()
+        })
+        .sum();
+    domain + program.rules.len() + 8
+}
+
+/// Rewrites the generic fixpoint-limit error produced when the counting
+/// program's `cnt_*`/`ans_*` relations spin past the active-domain
+/// bound into a dedicated diagnostic naming the counting method's
+/// cyclic-data limitation and the way out (magic sets terminates on
+/// cycles because its binding-passing predicate carries no counter).
+/// Any other error passes through unchanged.
+pub fn map_divergence_error(e: LdlError, query: &Query, bound: usize) -> LdlError {
+    match &e {
+        LdlError::Eval(msg)
+            if msg.contains("exceeded") && (msg.contains("cnt_") || msg.contains("ans_")) =>
+        {
+            LdlError::Eval(format!(
+                "counting method diverged on query {}: the derivation counter passed the \
+                 active-domain bound of {bound} iterations, so the data reachable from the \
+                 query is cyclic and the counting rewriting [SZ 86] cannot terminate on it; \
+                 re-run this query with the magic-sets method, which handles cyclic data",
+                query.goal
+            ))
+        }
+        _ => e,
+    }
+}
 
 /// Result of the counting rewriting.
 #[derive(Clone, Debug)]

@@ -10,7 +10,9 @@
 //! [`FixpointConfig::threads`] applies to all four methods, with
 //! answers and [`Metrics`] identical at any thread count.
 
-use crate::counting::{counting_rewrite, extract_answers};
+use crate::counting::{
+    active_domain_iteration_bound, counting_rewrite, extract_answers, map_divergence_error,
+};
 use crate::magic::magic_rewrite;
 use crate::metrics::Metrics;
 use crate::naive::{eval_program_naive, AnalysisPolicy, FixpointConfig};
@@ -230,7 +232,15 @@ pub fn evaluate_adorned(
             let mut cdb = db.clone();
             cdb.relation_mut(counting.seed_pred)
                 .insert(counting.seed.clone());
-            let (derived, metrics) = eval_program_seminaive(&counting.program, &cdb, cfg)?;
+            // Cap the fixpoint at the active-domain bound: on acyclic
+            // data the counter can never climb past it, so exceeding it
+            // is cyclic-data divergence — reported as such instead of
+            // burning iterations to the generic limit.
+            let bound = active_domain_iteration_bound(program, db);
+            let mut ccfg = *cfg;
+            ccfg.max_iterations = ccfg.max_iterations.min(bound);
+            let (derived, metrics) = eval_program_seminaive(&counting.program, &cdb, &ccfg)
+                .map_err(|e| map_divergence_error(e, query, bound))?;
             let rel = derived
                 .get(&counting.answer_pred)
                 .cloned()
@@ -290,6 +300,36 @@ mod tests {
         for m in [Method::SemiNaive, Method::Magic, Method::Counting] {
             assert_eq!(answers(tc, "tc(1, Y)?", m), reference, "{}", m.name());
         }
+    }
+
+    #[test]
+    fn counting_on_cyclic_data_reports_dedicated_error() {
+        // A 3-cycle: the counting counter spins, the active-domain cap
+        // trips, and the error names the limitation and the way out.
+        let cyc = r#"
+            e(1, 2). e(2, 3). e(3, 1).
+            tc(X, Y) <- e(X, Y).
+            tc(X, Y) <- e(X, Z), tc(Z, Y).
+        "#;
+        let program = parse_program(cyc).unwrap();
+        let db = Database::from_program(&program);
+        let query = parse_query("tc(1, Y)?").unwrap();
+        let err = evaluate_query(
+            &program,
+            &db,
+            &query,
+            Method::Counting,
+            &FixpointConfig::default(),
+        )
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("counting method diverged"), "{msg}");
+        assert!(msg.contains("cyclic"), "{msg}");
+        assert!(msg.contains("magic"), "{msg}");
+        // The suggested path works on the same query.
+        let via_magic = answers(cyc, "tc(1, Y)?", Method::Magic);
+        assert_eq!(via_magic, answers(cyc, "tc(1, Y)?", Method::SemiNaive));
+        assert_eq!(via_magic.len(), 3);
     }
 
     #[test]

@@ -66,7 +66,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 /// both retracted and inserted is a no-op. Retracting an absent tuple
 /// and inserting a present one are no-ops too (set semantics), dropped
 /// during normalization so they cost nothing downstream.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct EdbDelta {
     inserts: BTreeMap<Pred, Vec<Tuple>>,
     retracts: BTreeMap<Pred, Vec<Tuple>>,
@@ -357,12 +357,11 @@ impl Engine {
         Ok(())
     }
 
-    /// Applies one update batch: mutates the base relations, then
-    /// repairs every affected stratum bottom-up. Untouched strata cost
-    /// nothing. Derived relations come out canonical, bit-for-bit
-    /// identical to a fresh [`Engine::evaluate`] over the updated EDB.
-    pub fn apply_delta(&mut self, delta: &EdbDelta) -> Result<MaintenanceReport> {
-        let mut report = MaintenanceReport::default();
+    /// Checks that a staged batch is applicable without mutating
+    /// anything: no derived or reserved predicates, arities match.
+    /// `apply_delta` runs the same checks first; services can call this
+    /// on stage so a bad fact is rejected before it reaches a commit.
+    pub fn validate_delta(&self, delta: &EdbDelta) -> Result<()> {
         let derived_preds = self.program.derived_preds();
         let member = Pred::new("member", 2);
         for (p, ts) in delta.retracts.iter().chain(delta.inserts.iter()) {
@@ -386,6 +385,23 @@ impl Engine {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Applies one update batch: mutates the base relations, then
+    /// repairs every affected stratum bottom-up. Untouched strata cost
+    /// nothing. Derived relations come out canonical, bit-for-bit
+    /// identical to a fresh [`Engine::evaluate`] over the updated EDB.
+    ///
+    /// **Atomicity:** on `Err` the engine is exactly as it was — the
+    /// batch is validated before any mutation, and if a maintenance
+    /// stratum fails mid-repair the touched base relations are restored
+    /// and the derived state rebuilt by a deterministic from-scratch
+    /// pass over the restored EDB, which reproduces the pre-delta state
+    /// bit-for-bit (the canonical-order contract).
+    pub fn apply_delta(&mut self, delta: &EdbDelta) -> Result<MaintenanceReport> {
+        let mut report = MaintenanceReport::default();
+        self.validate_delta(delta)?;
 
         // Normalize to net per-predicate deltas against the current EDB:
         // retracts of present tuples (unless re-inserted in the same
@@ -429,7 +445,10 @@ impl Engine {
             return Ok(report);
         }
 
-        // Snapshot old states, then commit to the base relations.
+        // Snapshot old states, then commit to the base relations. The
+        // maintainers extend `old` with derived-relation snapshots as
+        // they go, so keep a separate copy of just the base pre-images
+        // for rollback.
         let mut old: HashMap<Pred, Relation> = HashMap::new();
         for &p in &touched {
             let rel = self.db.relation_mut(p);
@@ -441,9 +460,37 @@ impl Engine {
                 report.base_inserted += rel.extend(d.rows().iter().cloned());
             }
         }
+        let base_backup = old.clone();
 
-        // Repair strata bottom-up; a stratum none of whose body
-        // predicates changed is skipped outright.
+        match self.repair_groups(&mut deltas, &mut old, &mut report) {
+            Ok(()) => Ok(report),
+            Err(e) => {
+                // Roll back: restore the touched base relations, then
+                // rebuild derived relations and support counts from
+                // scratch over the restored EDB. Evaluation is
+                // deterministic, so this reproduces the pre-delta
+                // state bit-for-bit.
+                for (p, rel) in base_backup {
+                    self.db.set_relation(p, rel);
+                }
+                self.full_eval().map_err(|re| {
+                    LdlError::Eval(format!(
+                        "rollback re-evaluation failed after maintenance error ({e}): {re}"
+                    ))
+                })?;
+                Err(e)
+            }
+        }
+    }
+
+    /// The repair loop of [`Engine::apply_delta`]: walks strata
+    /// bottom-up, skipping any whose body predicates are untouched.
+    fn repair_groups(
+        &mut self,
+        deltas: &mut DeltaState,
+        old: &mut HashMap<Pred, Relation>,
+        report: &mut MaintenanceReport,
+    ) -> Result<()> {
         let groups = self.groups.clone();
         let cfg = self.cfg;
         let catalog = cfg.catalog(&self.program);
@@ -469,9 +516,9 @@ impl Engine {
                     group,
                     &mut self.derived,
                     &mut self.support,
-                    &mut deltas,
-                    &mut old,
-                    &mut report,
+                    deltas,
+                    old,
+                    report,
                 )?,
                 Strategy::Recompute => maintain_recompute(
                     &self.program,
@@ -480,9 +527,9 @@ impl Engine {
                     &catalog,
                     group,
                     &mut self.derived,
-                    &mut deltas,
-                    &mut old,
-                    &mut report,
+                    deltas,
+                    old,
+                    report,
                 )?,
                 Strategy::DRed => maintain_dred(
                     &self.program,
@@ -491,13 +538,13 @@ impl Engine {
                     &catalog,
                     group,
                     &mut self.derived,
-                    &mut deltas,
-                    &mut old,
-                    &mut report,
+                    deltas,
+                    old,
+                    report,
                 )?,
             }
         }
-        Ok(report)
+        Ok(())
     }
 }
 
@@ -1491,5 +1538,114 @@ mod tests {
             via_eval.canonicalize();
             assert_eq!(via_engine, via_eval);
         }
+    }
+
+    /// A batch that fails validation leaves engine, database, and the
+    /// caller's staged delta untouched (nothing was consumed).
+    #[test]
+    fn failed_validation_mutates_nothing() {
+        let mut e = engine(
+            "e(1, 2). e(2, 3).\ntc(X, Y) <- e(X, Y).\ntc(X, Y) <- e(X, Z), tc(Z, Y).",
+            &FixpointConfig::serial(),
+        );
+        let tc = Pred::new("tc", 2);
+        let ep = Pred::new("e", 2);
+        let base_before = e.database().relation(ep).unwrap().rows().to_vec();
+        let derived_before = e.relation(tc).unwrap().rows().to_vec();
+
+        // Valid insert + invalid write to a derived predicate, staged in
+        // one batch: validation must reject the whole batch up front.
+        let mut d = EdbDelta::new();
+        d.insert(ep, t(&[3, 4]));
+        d.insert(tc, t(&[9, 9]));
+        let err = e.apply_delta(&d).unwrap_err();
+        assert!(err.to_string().contains("derived predicate"), "{err}");
+
+        assert_eq!(e.database().relation(ep).unwrap().rows(), &base_before[..]);
+        assert_eq!(e.relation(tc).unwrap().rows(), &derived_before[..]);
+        // The staged batch still holds both facts; nothing was drained.
+        assert_eq!(d.len(), 2);
+    }
+
+    /// A maintenance failure *mid-apply* — after an earlier stratum has
+    /// already been repaired — rolls the engine back bit-for-bit: base
+    /// relations, derived relations, and support counts all match the
+    /// pre-delta state, and a later valid commit behaves normally.
+    #[test]
+    fn mid_apply_failure_rolls_back_bit_for_bit() {
+        // Stratum 1 (counting): a <- e. Stratum 2 (DRed): p over g,
+        // gated on a so it is repaired strictly after the counting
+        // stratum. A tight iteration budget lets the initial chain
+        // evaluate but makes the delta's much longer chain diverge in
+        // DRed insertion propagation — after `a` was already mutated.
+        let cfg = FixpointConfig::with_max_iterations(8);
+        let mut e = engine(
+            "e(1). e(2). e(3).\n\
+             g(1, 2). g(2, 3).\n\
+             a(X) <- e(X).\n\
+             p(X, Y) <- g(X, Y), a(X).\n\
+             p(X, Y) <- g(X, Z), p(Z, Y).",
+            &cfg,
+        );
+        let (ep, gp) = (Pred::new("e", 1), Pred::new("g", 2));
+        let (ap, pp) = (Pred::new("a", 1), Pred::new("p", 2));
+        let base_e = e.database().relation(ep).unwrap().rows().to_vec();
+        let base_g = e.database().relation(gp).unwrap().rows().to_vec();
+        let derived_a = e.relation(ap).unwrap().rows().to_vec();
+        let derived_p = e.relation(pp).unwrap().rows().to_vec();
+        let support_a: Vec<_> = derived_a
+            .iter()
+            .map(|row| e.support_count(ap, row))
+            .collect();
+
+        let mut d = EdbDelta::new();
+        for i in 4..40 {
+            d.insert(ep, t(&[i]));
+            d.insert(gp, t(&[i - 1, i]));
+        }
+        let err = e.apply_delta(&d).unwrap_err();
+        assert!(err.to_string().contains("exceeded"), "{err}");
+
+        assert_eq!(e.database().relation(ep).unwrap().rows(), &base_e[..]);
+        assert_eq!(e.database().relation(gp).unwrap().rows(), &base_g[..]);
+        assert_eq!(e.relation(ap).unwrap().rows(), &derived_a[..]);
+        assert_eq!(e.relation(pp).unwrap().rows(), &derived_p[..]);
+        let support_after: Vec<_> = derived_a
+            .iter()
+            .map(|row| e.support_count(ap, row))
+            .collect();
+        assert_eq!(support_after, support_a);
+
+        // The engine is fully usable: a small valid commit still agrees
+        // with from-scratch evaluation.
+        let mut ok = EdbDelta::new();
+        ok.insert(ep, t(&[4]));
+        ok.insert(gp, t(&[3, 4]));
+        e.apply_delta(&ok).unwrap();
+        assert_eq!(
+            e.relation(pp).unwrap().rows().to_vec(),
+            scratch_rows(&e, "p", 2)
+        );
+        assert_eq!(
+            e.relation(ap).unwrap().rows().to_vec(),
+            scratch_rows(&e, "a", 1)
+        );
+    }
+
+    /// `validate_delta` is the same gate `apply_delta` runs, usable
+    /// without an `&mut` engine.
+    #[test]
+    fn validate_delta_rejects_without_mutating() {
+        let e = engine("e(1, 2).\nq(X) <- e(X, _).", &FixpointConfig::serial());
+        let mut bad = EdbDelta::new();
+        bad.insert(Pred::new("e", 2), Tuple::ints(&[1]));
+        let err = e.validate_delta(&bad).unwrap_err();
+        assert!(err.to_string().contains("arity"), "{err}");
+        let mut reserved = EdbDelta::new();
+        reserved.insert(Pred::new("member", 2), t(&[1, 2]));
+        assert!(e.validate_delta(&reserved).is_err());
+        let mut good = EdbDelta::new();
+        good.insert(Pred::new("e", 2), t(&[5, 6]));
+        assert!(e.validate_delta(&good).is_ok());
     }
 }

@@ -202,6 +202,65 @@ fn ivm_sixty_step_stream() {
     }
 }
 
+/// The magic-rewritten query path sees committed deltas: answering a
+/// goal through `Method::Magic`, then committing a batch through the
+/// maintenance engine and re-asking the *same* goal, must agree with a
+/// from-scratch evaluation of the updated EDB. The magic path carries
+/// no state between calls — it re-runs its rewriting against the
+/// engine's current database — so a stale answer here would mean the
+/// maintenance commit failed to publish the updated EDB. This pins the
+/// contract the `ldl-serve` commit/query cycle relies on.
+#[test]
+fn magic_query_after_delta_agrees_with_scratch() {
+    let text = program_text(&[(1, 2), (2, 3)], &[1, 2, 3]);
+    let program = parse_program(&text).unwrap();
+    let db = ldl_storage::Database::from_program(&program);
+    let cfg = FixpointConfig::serial();
+    let mut engine = Engine::evaluate(&program, &db, &cfg).unwrap();
+    let query = parse_query("tc(1, Y)?").unwrap();
+
+    let ask_magic = |engine: &Engine| {
+        let mut t = evaluate_query(
+            engine.program(),
+            engine.database(),
+            &query,
+            Method::Magic,
+            &cfg,
+        )
+        .unwrap()
+        .tuples;
+        t.canonicalize();
+        t
+    };
+    let before = ask_magic(&engine);
+    assert_eq!(before, engine.answers(&query));
+    assert_eq!(before.len(), 2);
+
+    // Commit a batch extending the chain and retracting a node.
+    let mut delta = EdbDelta::new();
+    delta
+        .insert(Pred::new("e", 2), Tuple(vec![Term::int(3), Term::int(4)]))
+        .retract(Pred::new("n", 1), Tuple(vec![Term::int(2)]));
+    engine.apply_delta(&delta).unwrap();
+
+    // The re-asked magic query reflects the commit...
+    let after = ask_magic(&engine);
+    assert_eq!(after.len(), 3);
+    assert_eq!(after, engine.answers(&query));
+    // ...and agrees bit-for-bit with a from-scratch evaluation of the
+    // same EDB, on this goal and on every compared relation.
+    let scratch = Engine::evaluate(engine.program(), engine.database(), &cfg).unwrap();
+    assert_eq!(after, scratch.answers(&query));
+    for &(name, arity) in COMPARED {
+        let p = Pred::new(name, arity);
+        assert_eq!(
+            engine.relation(p).map(|r| r.rows()),
+            scratch.relation(p).map(|r| r.rows()),
+            "{name}/{arity} diverged after the post-query delta"
+        );
+    }
+}
+
 /// Folds two staged batches into one (retracts of both apply before
 /// inserts of both — the same batch semantics `apply_delta` defines).
 fn merge(mut a: EdbDelta, b: EdbDelta) -> EdbDelta {

@@ -1,0 +1,164 @@
+//! A blocking client for the `ldl-serve` wire protocol, used by
+//! `ldl-shell --connect`, the integration tests, and the stream bench.
+
+use crate::json::{self, Json};
+use crate::server::{is_tcp_target, Conn};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+
+/// One connected session.
+pub struct Client {
+    reader: BufReader<Box<dyn Conn>>,
+    writer: Box<dyn Conn>,
+}
+
+fn proto_err(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+impl Client {
+    /// Connects to `target`: `host:port` (TCP) or a Unix socket path.
+    pub fn connect(target: &str) -> io::Result<Client> {
+        let conn: Box<dyn Conn> = if is_tcp_target(target) {
+            let s = TcpStream::connect(target)?;
+            // Request/response in single-line frames; don't let Nagle
+            // hold the frame back for a delayed ACK.
+            s.set_nodelay(true)?;
+            Box::new(s)
+        } else {
+            #[cfg(unix)]
+            {
+                Box::new(UnixStream::connect(target)?)
+            }
+            #[cfg(not(unix))]
+            {
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "unix sockets are not available on this platform",
+                ));
+            }
+        };
+        let reader = BufReader::new(conn.try_clone_conn()?);
+        Ok(Client {
+            reader,
+            writer: conn,
+        })
+    }
+
+    /// Sends one request object and reads one response line.
+    pub fn request(&mut self, v: &Json) -> io::Result<Json> {
+        writeln!(self.writer, "{v}")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(proto_err("server closed the connection"));
+        }
+        json::parse(line.trim_end()).map_err(|e| proto_err(format!("bad response: {e}")))
+    }
+
+    /// Sends a request and fails with the server's error message when
+    /// the response carries `"ok": false`.
+    pub fn request_ok(&mut self, v: &Json) -> io::Result<Json> {
+        let resp = self.request(v)?;
+        match resp.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(resp),
+            Some(false) => Err(proto_err(
+                resp.get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown server error")
+                    .to_string(),
+            )),
+            None => Err(proto_err("response without 'ok' member")),
+        }
+    }
+
+    fn op(name: &str) -> Json {
+        Json::obj(vec![("op", Json::str(name))])
+    }
+
+    fn op_with(name: &str, key: &str, value: &str) -> Json {
+        Json::obj(vec![("op", Json::str(name)), (key, Json::str(value))])
+    }
+
+    /// `hello` handshake; returns the pinned version.
+    pub fn hello(&mut self) -> io::Result<u64> {
+        let r = self.request_ok(&Self::op("hello"))?;
+        Ok(r.get("version").and_then(Json::as_int).unwrap_or(0) as u64)
+    }
+
+    /// Loads a rule base; returns the new version.
+    pub fn load(&mut self, text: &str) -> io::Result<u64> {
+        let r = self.request_ok(&Self::op_with("load", "text", text))?;
+        Ok(r.get("version").and_then(Json::as_int).unwrap_or(0) as u64)
+    }
+
+    /// Stages inserts from a facts-only source text; returns the staged
+    /// operation count.
+    pub fn insert(&mut self, facts: &str) -> io::Result<u64> {
+        let r = self.request_ok(&Self::op_with("insert", "facts", facts))?;
+        Ok(r.get("staged").and_then(Json::as_int).unwrap_or(0) as u64)
+    }
+
+    /// Stages retracts; returns the staged operation count.
+    pub fn retract(&mut self, facts: &str) -> io::Result<u64> {
+        let r = self.request_ok(&Self::op_with("retract", "facts", facts))?;
+        Ok(r.get("staged").and_then(Json::as_int).unwrap_or(0) as u64)
+    }
+
+    /// Commits the staged batch; returns the full response object
+    /// (version + maintenance counters). On `Err` the staged batch is
+    /// still intact server-side.
+    pub fn commit(&mut self) -> io::Result<Json> {
+        self.request_ok(&Self::op("commit"))
+    }
+
+    /// Discards the staged batch.
+    pub fn abort(&mut self) -> io::Result<()> {
+        self.request_ok(&Self::op("abort")).map(|_| ())
+    }
+
+    /// Runs a query against the session's pinned view; returns the
+    /// answer rows as display strings.
+    pub fn query(&mut self, goal: &str) -> io::Result<Vec<String>> {
+        let r = self.request_ok(&Self::op_with("query", "goal", goal))?;
+        Ok(r.get("rows")
+            .and_then(Json::as_arr)
+            .map(|rows| {
+                rows.iter()
+                    .filter_map(Json::as_str)
+                    .map(str::to_string)
+                    .collect()
+            })
+            .unwrap_or_default())
+    }
+
+    /// Re-pins the session to the latest committed version.
+    pub fn refresh(&mut self) -> io::Result<u64> {
+        let r = self.request_ok(&Self::op("refresh"))?;
+        Ok(r.get("version").and_then(Json::as_int).unwrap_or(0) as u64)
+    }
+
+    /// Digest of the pinned view, as `(version, hex digest)`.
+    pub fn digest(&mut self) -> io::Result<(u64, String)> {
+        let r = self.request_ok(&Self::op("digest"))?;
+        let version = r.get("version").and_then(Json::as_int).unwrap_or(0) as u64;
+        let digest = r
+            .get("digest")
+            .and_then(Json::as_str)
+            .ok_or_else(|| proto_err("digest response without digest"))?
+            .to_string();
+        Ok((version, digest))
+    }
+
+    /// Forces a server-side snapshot.
+    pub fn snapshot(&mut self) -> io::Result<()> {
+        self.request_ok(&Self::op("snapshot")).map(|_| ())
+    }
+
+    /// Asks the server to exit its accept loop.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        self.request_ok(&Self::op("shutdown")).map(|_| ())
+    }
+}

@@ -1,0 +1,41 @@
+//! # ldl-serve — the transactional persistent EDB service
+//!
+//! The 1988 paper targets "knowledge and data intensive applications":
+//! a shared base of facts serving many queries. This crate turns the
+//! batch engine into that service — a resident [`Engine`] behind a
+//! commit lock, durable across restarts, shared by concurrent sessions:
+//!
+//! * [`service`] — the core: [`service::Service`] owns the engine, a
+//!   write-ahead log, and periodic snapshots; every commit publishes an
+//!   immutable [`service::StateView`] that sessions pin for
+//!   snapshot-isolated reads;
+//! * [`wal`] — the log of committed records (rule loads and
+//!   [`EdbDelta`] batches) in checksummed frames, fsynced before apply,
+//!   truncated over records the engine refused;
+//! * [`snapshot`] — atomic snapshot images (tmp + rename + dir fsync)
+//!   that bound WAL replay;
+//! * [`server`] — the wire layer: line-delimited JSON over TCP or Unix
+//!   sockets, one thread per connection, per-session staged batches;
+//! * [`client`] — a blocking client for the same protocol (used by
+//!   `ldl-shell --connect` and the benches);
+//! * [`json`] — the minimal JSON value keeping the workspace hermetic.
+//!
+//! See DESIGN.md §14 for the wire protocol and the durability /
+//! isolation contracts.
+
+pub mod client;
+pub mod json;
+pub mod server;
+pub mod service;
+pub mod snapshot;
+pub mod wal;
+
+pub use client::Client;
+pub use json::Json;
+pub use server::{Listener, Server};
+pub use service::{Service, StateView};
+pub use wal::{Wal, WalRecord};
+
+// Re-exported so binaries depending on this crate alone can stage
+// batches and configure the engine.
+pub use ldl_eval::{EdbDelta, Engine, FixpointConfig};

@@ -1,0 +1,389 @@
+//! The wire layer: line-delimited JSON over TCP or Unix-domain
+//! sockets, one thread per connection.
+//!
+//! Every request is one JSON object on one line with an `"op"` member;
+//! every response is one JSON object with `"ok": true/false`. A
+//! session holds two pieces of state: a **pinned** [`StateView`]
+//! (snapshot isolation — reads never see later commits until the
+//! session `refresh`es or commits itself) and a **staged**
+//! [`EdbDelta`] batch built by `insert`/`retract` and applied by
+//! `commit`. A failed commit keeps the staged batch intact.
+//!
+//! | op        | request members        | response members                        |
+//! |-----------|------------------------|-----------------------------------------|
+//! | `hello`   |                        | `server`, `version` (pinned)            |
+//! | `load`    | `text` (rules source)  | `version`                               |
+//! | `insert`  | `facts` (ground facts) | `staged`                                |
+//! | `retract` | `facts`                | `staged`                                |
+//! | `pending` |                        | `staged`, `preds`                       |
+//! | `abort`   |                        | `staged` (0)                            |
+//! | `commit`  |                        | `version`, `base_inserted`, ...         |
+//! | `query`   | `goal` (e.g. `p(1,X)?`)| `version`, `count`, `rows` (strings)    |
+//! | `refresh` |                        | `version`                               |
+//! | `digest`  |                        | `version`, `digest` (hex, pinned view)  |
+//! | `stats`   |                        | `version`, `preds`, `tuples`            |
+//! | `snapshot`|                        |                                         |
+//! | `ping`    |                        |                                         |
+//! | `shutdown`|                        | (server exits its accept loop)          |
+
+use crate::json::{self, Json};
+use crate::service::Service;
+use ldl_core::parser::{parse_program, parse_query};
+use ldl_core::Term;
+use ldl_eval::EdbDelta;
+use ldl_storage::Tuple;
+use std::fs;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+/// A bidirectional byte stream the server or client can split into a
+/// buffered reader plus a writer.
+pub trait Conn: Read + Write + Send {
+    /// An independently owned handle to the same stream.
+    fn try_clone_conn(&self) -> io::Result<Box<dyn Conn>>;
+}
+
+impl Conn for TcpStream {
+    fn try_clone_conn(&self) -> io::Result<Box<dyn Conn>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+}
+
+#[cfg(unix)]
+impl Conn for UnixStream {
+    fn try_clone_conn(&self) -> io::Result<Box<dyn Conn>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+}
+
+/// Where a target string routes: `host:port` when it contains a colon
+/// and no path separator, otherwise a Unix socket path.
+pub fn is_tcp_target(target: &str) -> bool {
+    target.contains(':') && !target.contains('/')
+}
+
+/// A bound listening socket.
+pub enum Listener {
+    /// A TCP listener.
+    Tcp(TcpListener),
+    /// A Unix-domain listener plus its socket path (unlinked on drop).
+    #[cfg(unix)]
+    Unix(UnixListener, PathBuf),
+}
+
+impl Listener {
+    /// Binds `target`: `host:port` (TCP) or a filesystem path (Unix
+    /// socket; a stale socket file is removed first).
+    pub fn bind(target: &str) -> io::Result<Listener> {
+        if is_tcp_target(target) {
+            return Ok(Listener::Tcp(TcpListener::bind(target)?));
+        }
+        #[cfg(unix)]
+        {
+            let path = PathBuf::from(target);
+            if path.exists() {
+                let _ = fs::remove_file(&path);
+            }
+            Ok(Listener::Unix(UnixListener::bind(&path)?, path))
+        }
+        #[cfg(not(unix))]
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "unix sockets are not available on this platform",
+        ))
+    }
+
+    /// Human-readable description of the bound address.
+    pub fn describe(&self) -> String {
+        match self {
+            Listener::Tcp(l) => l
+                .local_addr()
+                .map(|a| format!("tcp://{a}"))
+                .unwrap_or_else(|_| "tcp://?".into()),
+            #[cfg(unix)]
+            Listener::Unix(_, path) => format!("unix://{}", path.display()),
+        }
+    }
+
+    fn accept(&self) -> io::Result<Box<dyn Conn>> {
+        match self {
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                // One-line request/response traffic: Nagle + delayed
+                // ACK would add ~40ms per round trip.
+                s.set_nodelay(true)?;
+                Ok(Box::new(s))
+            }
+            #[cfg(unix)]
+            Listener::Unix(l, _) => {
+                let (s, _) = l.accept()?;
+                Ok(Box::new(s))
+            }
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Listener::Unix(_, path) = self {
+            let _ = fs::remove_file(path);
+        }
+    }
+}
+
+/// The accept loop: owns a [`Service`] handle and a bound listener.
+pub struct Server {
+    service: Arc<Service>,
+    listener: Listener,
+}
+
+impl Server {
+    /// Couples a service with a bound listener.
+    pub fn new(service: Arc<Service>, listener: Listener) -> Server {
+        Server { service, listener }
+    }
+
+    /// The bound address, for logging.
+    pub fn describe(&self) -> String {
+        self.listener.describe()
+    }
+
+    /// Runs until a session sends `shutdown`. Each connection gets its
+    /// own thread; commits serialize inside the service.
+    pub fn run(self) -> io::Result<()> {
+        let stop = Arc::new(AtomicBool::new(false));
+        loop {
+            let conn = self.listener.accept();
+            if stop.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            match conn {
+                Ok(conn) => {
+                    let service = self.service.clone();
+                    let stop = stop.clone();
+                    let poke = match &self.listener {
+                        Listener::Tcp(l) => Poke::Tcp(l.local_addr().ok()),
+                        #[cfg(unix)]
+                        Listener::Unix(_, path) => Poke::Unix(path.clone()),
+                    };
+                    thread::spawn(move || {
+                        let _ = handle_conn(service, conn, stop, poke);
+                    });
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+enum Poke {
+    Tcp(Option<std::net::SocketAddr>),
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+impl Poke {
+    fn poke(&self) {
+        match self {
+            Poke::Tcp(Some(addr)) => {
+                let _ = TcpStream::connect(addr);
+            }
+            Poke::Tcp(None) => {}
+            #[cfg(unix)]
+            Poke::Unix(path) => {
+                let _ = UnixStream::connect(path);
+            }
+        }
+    }
+}
+
+fn ok(pairs: Vec<(&str, Json)>) -> Json {
+    let mut all = vec![("ok", Json::Bool(true))];
+    all.extend(pairs);
+    Json::obj(all)
+}
+
+fn err(msg: impl Into<String>) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(msg.into())),
+    ])
+}
+
+/// Parses a facts-only source text into `(pred, tuple)` pairs.
+fn parse_facts(text: &str) -> Result<Vec<(ldl_core::Pred, Tuple)>, String> {
+    let program = parse_program(text).map_err(|e| e.to_string())?;
+    if !program.rules.is_empty() {
+        return Err("only ground facts may be staged (rules go through 'load')".into());
+    }
+    let mut out = Vec::with_capacity(program.facts.len());
+    for a in &program.facts {
+        if !a.args.iter().all(Term::is_ground) {
+            return Err(format!("fact {a} is not ground"));
+        }
+        out.push((a.pred, Tuple::new(a.args.clone())));
+    }
+    if out.is_empty() {
+        return Err("no facts in input".into());
+    }
+    Ok(out)
+}
+
+fn handle_conn(
+    service: Arc<Service>,
+    conn: Box<dyn Conn>,
+    stop: Arc<AtomicBool>,
+    poke: Poke,
+) -> io::Result<()> {
+    let reader = BufReader::new(conn.try_clone_conn()?);
+    let mut writer = conn;
+    let mut pinned = service.current();
+    let mut pending = EdbDelta::new();
+
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match json::parse(&line) {
+            Ok(v) => v,
+            Err(e) => {
+                respond(&mut writer, &err(format!("bad request: {e}")))?;
+                continue;
+            }
+        };
+        let op = request.get("op").and_then(Json::as_str).unwrap_or("");
+        let mut shutdown = false;
+        let response = match op {
+            "hello" => ok(vec![
+                ("server", Json::str("ldl-serve")),
+                ("version", Json::int(pinned.version as i64)),
+            ]),
+            "ping" => ok(vec![]),
+            "load" => match request.get("text").and_then(Json::as_str) {
+                None => err("'load' needs a 'text' member"),
+                Some(text) => match service.load_rules(text) {
+                    Ok(view) => {
+                        pinned = view;
+                        ok(vec![("version", Json::int(pinned.version as i64))])
+                    }
+                    Err(e) => err(e.to_string()),
+                },
+            },
+            "insert" | "retract" => match request.get("facts").and_then(Json::as_str) {
+                None => err(format!("'{op}' needs a 'facts' member")),
+                Some(text) => match parse_facts(text) {
+                    Ok(facts) => {
+                        for (p, t) in facts {
+                            if op == "insert" {
+                                pending.insert(p, t);
+                            } else {
+                                pending.retract(p, t);
+                            }
+                        }
+                        ok(vec![("staged", Json::int(pending.len() as i64))])
+                    }
+                    Err(e) => err(e),
+                },
+            },
+            "pending" => ok(vec![
+                ("staged", Json::int(pending.len() as i64)),
+                (
+                    "preds",
+                    Json::Arr(
+                        pending
+                            .preds()
+                            .iter()
+                            .map(|p| Json::str(p.to_string()))
+                            .collect(),
+                    ),
+                ),
+            ]),
+            "abort" => {
+                pending = EdbDelta::new();
+                ok(vec![("staged", Json::int(0))])
+            }
+            "commit" => match service.commit(&pending) {
+                Ok((view, report)) => {
+                    pending = EdbDelta::new();
+                    pinned = view;
+                    ok(vec![
+                        ("version", Json::int(pinned.version as i64)),
+                        ("base_inserted", Json::int(report.base_inserted as i64)),
+                        ("base_retracted", Json::int(report.base_retracted as i64)),
+                        (
+                            "derived_inserted",
+                            Json::int(report.derived_inserted as i64),
+                        ),
+                        (
+                            "derived_retracted",
+                            Json::int(report.derived_retracted as i64),
+                        ),
+                    ])
+                }
+                // The staged batch survives a refused commit.
+                Err(e) => err(format!("{e} (staged batch preserved)")),
+            },
+            "query" => match request.get("goal").and_then(Json::as_str) {
+                None => err("'query' needs a 'goal' member"),
+                Some(goal) => match parse_query(goal) {
+                    Err(e) => err(e.to_string()),
+                    Ok(query) => {
+                        let answers = pinned.answers(&query);
+                        ok(vec![
+                            ("version", Json::int(pinned.version as i64)),
+                            ("count", Json::int(answers.len() as i64)),
+                            (
+                                "rows",
+                                Json::Arr(
+                                    answers.iter().map(|t| Json::str(t.to_string())).collect(),
+                                ),
+                            ),
+                        ])
+                    }
+                },
+            },
+            "refresh" => {
+                pinned = service.current();
+                ok(vec![("version", Json::int(pinned.version as i64))])
+            }
+            "digest" => ok(vec![
+                ("version", Json::int(pinned.version as i64)),
+                ("digest", Json::str(format!("{:016x}", pinned.digest()))),
+            ]),
+            "stats" => ok(vec![
+                ("version", Json::int(pinned.version as i64)),
+                ("preds", Json::int(pinned.db.preds().len() as i64)),
+                ("tuples", Json::int(pinned.total_tuples() as i64)),
+            ]),
+            "snapshot" => match service.snapshot_now() {
+                Ok(()) => ok(vec![]),
+                Err(e) => err(e.to_string()),
+            },
+            "shutdown" => {
+                shutdown = true;
+                ok(vec![])
+            }
+            other => err(format!("unknown op '{other}'")),
+        };
+        respond(&mut writer, &response)?;
+        if shutdown {
+            stop.store(true, Ordering::SeqCst);
+            poke.poke();
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn respond(w: &mut Box<dyn Conn>, v: &Json) -> io::Result<()> {
+    writeln!(w, "{v}")?;
+    w.flush()
+}

@@ -1,0 +1,487 @@
+//! The transactional service: one resident [`Engine`] behind a commit
+//! lock, a WAL + snapshot pair for durability, and an immutable
+//! published [`StateView`] per committed version for snapshot-isolated
+//! reads.
+//!
+//! ## Commit protocol (atomic at every layer)
+//!
+//! 1. validate the batch against the engine (no mutation);
+//! 2. append the record to the WAL and **fsync** it;
+//! 3. apply it to the engine — `Engine::apply_delta` itself rolls back
+//!    to the exact pre-state on failure, and the service then truncates
+//!    the WAL over the record so recovery never replays it;
+//! 4. publish a fresh `Arc<StateView>`; readers pinned to older views
+//!    are unaffected (the version-keyed `Arc<Index>` caches on
+//!    `Relation` make held versions cheap).
+//!
+//! Recovery loads the latest snapshot and replays the WAL tail over it;
+//! a torn trailing frame (crash mid-append) is truncated — that commit
+//! was never acknowledged. Because evaluation and maintenance are
+//! deterministic with a canonical-order contract, a recovered state is
+//! bit-for-bit identical to the uninterrupted one.
+
+use crate::snapshot::{self, Snapshot};
+use crate::wal::{Wal, WalRecord};
+use ldl_core::parser::parse_program;
+use ldl_core::{LdlError, Pred, Program, Query, Result};
+use ldl_eval::engine::filter_answers;
+use ldl_eval::{EdbDelta, Engine, FixpointConfig, MaintenanceReport};
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// An immutable image of one committed version. Sessions pin one at
+/// start (or on `refresh`) and read from it without taking the commit
+/// lock — snapshot isolation by construction.
+#[derive(Clone, Debug)]
+pub struct StateView {
+    /// Monotonic commit sequence number (0 = empty service).
+    pub version: u64,
+    /// The rule base, as last-loaded source text.
+    pub program_text: String,
+    /// The parsed rule base.
+    pub program: Program,
+    /// Base relations at this version.
+    pub db: ldl_storage::Database,
+    /// Derived relations at this version (canonical order).
+    pub derived: HashMap<Pred, ldl_storage::Relation>,
+}
+
+impl StateView {
+    /// The relation backing `p`: derived if `p` has rules, else base.
+    pub fn relation(&self, p: Pred) -> Option<&ldl_storage::Relation> {
+        self.derived.get(&p).or_else(|| self.db.relation(p))
+    }
+
+    /// Query answers against this view (goal's relation filtered by the
+    /// goal's ground arguments) — same semantics as `Engine::answers`.
+    pub fn answers(&self, query: &Query) -> ldl_storage::Relation {
+        match self.relation(query.pred()) {
+            Some(rel) => filter_answers(rel, &query.goal),
+            None => ldl_storage::Relation::new(query.pred().arity),
+        }
+    }
+
+    /// FNV-1a digest over every relation (base and derived), predicates
+    /// in sorted order, rows in stored (canonical) order. Two views
+    /// with the same digest hold bit-for-bit identical data — the
+    /// comparison CI uses across restarts.
+    pub fn digest(&self) -> u64 {
+        let mut preds: Vec<Pred> = self.db.preds();
+        for p in self.derived.keys() {
+            if !preds.contains(p) {
+                preds.push(*p);
+            }
+        }
+        preds.sort();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        for p in preds {
+            eat(p.name.as_str().as_bytes());
+            eat(&(p.arity as u64).to_le_bytes());
+            if let Some(rel) = self.relation(p) {
+                for row in rel.rows() {
+                    eat(row.to_string().as_bytes());
+                    eat(b"\n");
+                }
+            }
+        }
+        h
+    }
+
+    /// Total stored tuples (base + derived).
+    pub fn total_tuples(&self) -> usize {
+        self.db.total_tuples()
+            + self
+                .derived
+                .values()
+                .map(ldl_storage::Relation::len)
+                .sum::<usize>()
+    }
+}
+
+struct Inner {
+    engine: Engine,
+    cfg: FixpointConfig,
+    program_text: String,
+    wal: Wal,
+    dir: PathBuf,
+    /// Take a snapshot (and reset the WAL) after this many committed
+    /// records; `0` disables periodic snapshots.
+    snapshot_every: u64,
+    records_since_snapshot: u64,
+    version: u64,
+    current: Arc<StateView>,
+}
+
+/// The shared service handle. Clone the `Arc` per connection; commits
+/// serialize on the internal lock, reads go through pinned views and
+/// never block.
+pub struct Service {
+    inner: Mutex<Inner>,
+}
+
+impl Service {
+    /// Opens (or creates) the service state in `dir`: loads the latest
+    /// snapshot, replays the WAL tail over it, and publishes the
+    /// recovered view. `snapshot_every` = records between snapshots
+    /// (`0` = only on [`Service::snapshot_now`]).
+    pub fn open(dir: &Path, cfg: &FixpointConfig, snapshot_every: u64) -> Result<Service> {
+        fs::create_dir_all(dir).map_err(|e| {
+            LdlError::Eval(format!("service: cannot create {}: {e}", dir.display()))
+        })?;
+        let (snap_seq, program_text, db) = match snapshot::load_snapshot(dir)? {
+            Some(Snapshot {
+                seq,
+                program_text,
+                db,
+            }) => (seq, program_text, db),
+            None => (0, String::new(), ldl_storage::Database::new()),
+        };
+        let program = parse_program(&program_text)
+            .map_err(|e| LdlError::Eval(format!("service: snapshot program text: {e}")))?;
+        let mut engine = Engine::evaluate(&program, &db, cfg)?;
+        let mut program_text = program_text;
+
+        let (mut wal, records) = Wal::open(&dir.join("wal.bin"))?;
+        let mut version = snap_seq;
+        let mut replayed = 0u64;
+        let total = records.len();
+        for (i, (seq, rec)) in records.into_iter().enumerate() {
+            if seq <= snap_seq {
+                // Already folded into the snapshot.
+                continue;
+            }
+            let apply = match &rec {
+                WalRecord::Rules(text) => {
+                    Self::install_rules(&mut engine, &mut program_text, text, cfg)
+                }
+                WalRecord::Delta(delta) => engine.apply_delta(delta).map(|_| ()),
+            };
+            match apply {
+                Ok(()) => {
+                    version = seq;
+                    replayed += 1;
+                }
+                Err(_) if i + 1 == total => {
+                    // The record was durable but its apply failed — the
+                    // live server truncates exactly this way; a crash
+                    // between the fsync and the truncate lands here.
+                    wal.truncate_last()?;
+                    break;
+                }
+                Err(e) => {
+                    return Err(LdlError::Eval(format!(
+                        "service: WAL record {seq} failed to replay mid-log: {e}"
+                    )));
+                }
+            }
+        }
+
+        let current = Arc::new(Self::view(version, &program_text, &engine));
+        let mut service = Inner {
+            engine,
+            cfg: *cfg,
+            program_text,
+            wal,
+            dir: dir.to_path_buf(),
+            snapshot_every,
+            records_since_snapshot: replayed,
+            version,
+            current,
+        };
+        if snapshot_every > 0 && service.records_since_snapshot >= snapshot_every {
+            service.snapshot_now()?;
+        }
+        Ok(Service {
+            inner: Mutex::new(service),
+        })
+    }
+
+    /// Installs a new rule base over the engine's current EDB: the
+    /// text's ground facts merge into the EDB, its rules replace the
+    /// program. Fails (engine untouched) if the text does not parse,
+    /// does not stratify, or does not evaluate.
+    fn install_rules(
+        engine: &mut Engine,
+        program_text: &mut String,
+        text: &str,
+        cfg: &FixpointConfig,
+    ) -> Result<()> {
+        let program = parse_program(text)?;
+        let mut db = engine.database().clone();
+        db.load_facts(&program);
+        *engine = Engine::evaluate(&program, &db, cfg)?;
+        *program_text = text.to_string();
+        Ok(())
+    }
+
+    fn view(version: u64, program_text: &str, engine: &Engine) -> StateView {
+        StateView {
+            version,
+            program_text: program_text.to_string(),
+            program: engine.program().clone(),
+            db: engine.database().clone(),
+            derived: engine.derived().clone(),
+        }
+    }
+
+    /// The latest committed view.
+    pub fn current(&self) -> Arc<StateView> {
+        self.inner.lock().expect("service lock").current.clone()
+    }
+
+    /// Loads a rule base (replacing the program, merging its facts)
+    /// transactionally: evaluated on a candidate first, WAL-logged and
+    /// fsynced, then installed and published. On `Err` nothing changed.
+    pub fn load_rules(&self, text: &str) -> Result<Arc<StateView>> {
+        let mut inner = self.inner.lock().expect("service lock");
+        // Dry-run on a candidate so the WAL never records a load the
+        // engine would refuse.
+        {
+            let program = parse_program(text)?;
+            let mut db = inner.engine.database().clone();
+            db.load_facts(&program);
+            Engine::evaluate(&program, &db, &inner.cfg)?;
+        }
+        let seq = inner.version + 1;
+        inner.wal.append(seq, &WalRecord::Rules(text.to_string()))?;
+        let cfg = inner.cfg;
+        let Inner {
+            engine,
+            program_text,
+            ..
+        } = &mut *inner;
+        Self::install_rules(engine, program_text, text, &cfg)
+            .expect("validated rule load cannot fail");
+        inner.version = seq;
+        inner.publish();
+        inner.after_commit()?;
+        Ok(inner.current.clone())
+    }
+
+    /// Commits one EDB batch transactionally. On `Ok` the new view is
+    /// published and durable (WAL fsynced before apply). On `Err` the
+    /// engine, database, and WAL are exactly as they were — the caller
+    /// keeps the staged batch.
+    pub fn commit(&self, delta: &EdbDelta) -> Result<(Arc<StateView>, MaintenanceReport)> {
+        let mut inner = self.inner.lock().expect("service lock");
+        if delta.is_empty() {
+            let view = inner.current.clone();
+            return Ok((view, MaintenanceReport::default()));
+        }
+        inner.engine.validate_delta(delta)?;
+        let seq = inner.version + 1;
+        inner.wal.append(seq, &WalRecord::Delta(delta.clone()))?;
+        match inner.engine.apply_delta(delta) {
+            Ok(report) => {
+                inner.version = seq;
+                inner.publish();
+                inner.after_commit()?;
+                Ok((inner.current.clone(), report))
+            }
+            Err(e) => {
+                // The engine rolled itself back; erase the record so
+                // recovery agrees with the live refusal.
+                inner.wal.truncate_last()?;
+                Err(e)
+            }
+        }
+    }
+
+    /// Forces a snapshot of the current version and resets the WAL.
+    pub fn snapshot_now(&self) -> Result<()> {
+        self.inner.lock().expect("service lock").snapshot_now()
+    }
+
+    /// The current commit sequence number.
+    pub fn version(&self) -> u64 {
+        self.inner.lock().expect("service lock").version
+    }
+}
+
+impl Inner {
+    fn publish(&mut self) {
+        self.current = Arc::new(Service::view(
+            self.version,
+            &self.program_text,
+            &self.engine,
+        ));
+    }
+
+    fn after_commit(&mut self) -> Result<()> {
+        self.records_since_snapshot += 1;
+        if self.snapshot_every > 0 && self.records_since_snapshot >= self.snapshot_every {
+            self.snapshot_now()?;
+        }
+        Ok(())
+    }
+
+    fn snapshot_now(&mut self) -> Result<()> {
+        snapshot::write_snapshot(
+            &self.dir,
+            self.version,
+            &self.program_text,
+            self.engine.database(),
+        )?;
+        // Only reset the log once the image is durably in place.
+        self.wal.reset()?;
+        self.records_since_snapshot = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldl_core::parser::parse_query;
+    use ldl_storage::Tuple;
+
+    const RULES: &str = "tc(X, Y) <- e(X, Y).\ntc(X, Y) <- e(X, Z), tc(Z, Y).";
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("ldl-serve-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn edge(delta: &mut EdbDelta, a: i64, b: i64) {
+        delta.insert(Pred::new("e", 2), Tuple::ints(&[a, b]));
+    }
+
+    #[test]
+    fn load_commit_query_and_recover() {
+        let dir = tmpdir("basic");
+        let cfg = FixpointConfig::serial();
+        let digest_before;
+        {
+            let svc = Service::open(&dir, &cfg, 0).unwrap();
+            svc.load_rules(RULES).unwrap();
+            let mut d = EdbDelta::new();
+            edge(&mut d, 1, 2);
+            edge(&mut d, 2, 3);
+            let (view, report) = svc.commit(&d).unwrap();
+            assert_eq!(report.base_inserted, 2);
+            assert_eq!(view.version, 2);
+            let q = parse_query("tc(1, Y)?").unwrap();
+            assert_eq!(view.answers(&q).len(), 2);
+            digest_before = view.digest();
+        }
+        // Recovery from WAL only (no snapshot was taken).
+        let svc = Service::open(&dir, &cfg, 0).unwrap();
+        let view = svc.current();
+        assert_eq!(view.version, 2);
+        assert_eq!(view.digest(), digest_before);
+        let q = parse_query("tc(X, 3)?").unwrap();
+        assert_eq!(view.answers(&q).len(), 2);
+    }
+
+    #[test]
+    fn snapshot_bounds_replay_and_matches_uninterrupted() {
+        let dir = tmpdir("snapshot");
+        let cfg = FixpointConfig::serial();
+        // Reference: same sequence on an engine that never restarts.
+        let digest_ref;
+        {
+            let rdir = tmpdir("snapshot-ref");
+            let svc = Service::open(&rdir, &cfg, 0).unwrap();
+            svc.load_rules(RULES).unwrap();
+            for i in 1..=6 {
+                let mut d = EdbDelta::new();
+                edge(&mut d, i, i + 1);
+                svc.commit(&d).unwrap();
+            }
+            digest_ref = svc.current().digest();
+        }
+        {
+            // Snapshot every 2 records: the log is reset mid-stream
+            // several times.
+            let svc = Service::open(&dir, &cfg, 2).unwrap();
+            svc.load_rules(RULES).unwrap();
+            for i in 1..=6 {
+                let mut d = EdbDelta::new();
+                edge(&mut d, i, i + 1);
+                svc.commit(&d).unwrap();
+            }
+        }
+        let svc = Service::open(&dir, &cfg, 2).unwrap();
+        assert_eq!(svc.current().version, 7);
+        assert_eq!(svc.current().digest(), digest_ref);
+    }
+
+    #[test]
+    fn failed_commit_leaves_wal_engine_and_views_untouched() {
+        let dir = tmpdir("failed-commit");
+        let cfg = FixpointConfig::serial();
+        let svc = Service::open(&dir, &cfg, 0).unwrap();
+        svc.load_rules(RULES).unwrap();
+        let mut ok = EdbDelta::new();
+        edge(&mut ok, 1, 2);
+        svc.commit(&ok).unwrap();
+        let before = svc.current();
+
+        // Arity mismatch: validation refuses before the WAL is touched.
+        let mut bad = EdbDelta::new();
+        bad.insert(Pred::new("e", 2), Tuple::ints(&[9]));
+        assert!(svc.commit(&bad).is_err());
+        // Writing to a derived predicate: also refused.
+        let mut bad2 = EdbDelta::new();
+        bad2.insert(Pred::new("tc", 2), Tuple::ints(&[9, 9]));
+        assert!(svc.commit(&bad2).is_err());
+
+        let after = svc.current();
+        assert_eq!(after.version, before.version);
+        assert_eq!(after.digest(), before.digest());
+
+        // Restart: the refused commits left no trace in the WAL.
+        drop(svc);
+        let svc = Service::open(&dir, &cfg, 0).unwrap();
+        assert_eq!(svc.current().version, before.version);
+        assert_eq!(svc.current().digest(), before.digest());
+    }
+
+    #[test]
+    fn pinned_views_are_snapshot_isolated() {
+        let dir = tmpdir("isolation");
+        let cfg = FixpointConfig::serial();
+        let svc = Service::open(&dir, &cfg, 0).unwrap();
+        svc.load_rules(RULES).unwrap();
+        let mut d = EdbDelta::new();
+        edge(&mut d, 1, 2);
+        svc.commit(&d).unwrap();
+
+        let pinned = svc.current();
+        let q = parse_query("tc(1, Y)?").unwrap();
+        assert_eq!(pinned.answers(&q).len(), 1);
+
+        let mut d2 = EdbDelta::new();
+        edge(&mut d2, 2, 3);
+        svc.commit(&d2).unwrap();
+
+        // The pinned view still answers from its version; the new view
+        // sees the commit.
+        assert_eq!(pinned.answers(&q).len(), 1);
+        assert_eq!(svc.current().answers(&q).len(), 2);
+        assert!(svc.current().version > pinned.version);
+    }
+
+    #[test]
+    fn bad_rule_load_changes_nothing() {
+        let dir = tmpdir("bad-load");
+        let cfg = FixpointConfig::serial();
+        let svc = Service::open(&dir, &cfg, 0).unwrap();
+        svc.load_rules(RULES).unwrap();
+        let before = svc.current();
+        assert!(svc.load_rules("p(X) <- q(X").is_err()); // parse error
+        assert!(svc.load_rules("p(X) <- ~p(X).").is_err()); // unstratified
+        let after = svc.current();
+        assert_eq!(after.version, before.version);
+        assert_eq!(after.digest(), before.digest());
+    }
+}

@@ -1,0 +1,159 @@
+//! Snapshot files: a durable image of the service state (sequence
+//! number, program text, EDB) that bounds WAL replay on restart.
+//!
+//! File layout: an 8-byte magic (`LDLSNAP1`) followed by one
+//! checksummed frame whose payload is `[seq u64][program text
+//! string][database]`. Writes are atomic: the image goes to a `.tmp`
+//! sibling, is fsynced, renamed over the real name, and the directory
+//! is fsynced — a crash at any point leaves either the previous
+//! complete snapshot or the new complete snapshot, never a mix. The
+//! WAL is only reset *after* the rename is durable.
+
+use ldl_core::{LdlError, Result};
+use ldl_storage::codec::{self, Decoder, Frame};
+use ldl_storage::Database;
+use std::fs::{self, File, OpenOptions};
+use std::io;
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 8] = b"LDLSNAP1";
+
+/// The snapshot file name inside a service data directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.bin";
+
+fn snap_io(e: io::Error) -> LdlError {
+    LdlError::Eval(format!("snapshot: i/o error: {e}"))
+}
+
+/// A decoded snapshot image.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// Sequence number of the last WAL record folded into this image.
+    pub seq: u64,
+    /// The rule base at snapshot time, as source text.
+    pub program_text: String,
+    /// The EDB at snapshot time.
+    pub db: Database,
+}
+
+/// Path of the snapshot inside `dir`.
+pub fn snapshot_path(dir: &Path) -> PathBuf {
+    dir.join(SNAPSHOT_FILE)
+}
+
+/// Atomically writes a snapshot image into `dir`.
+pub fn write_snapshot(dir: &Path, seq: u64, program_text: &str, db: &Database) -> Result<()> {
+    let mut payload = Vec::new();
+    codec::put_u64(&mut payload, seq);
+    codec::put_str(&mut payload, program_text);
+    payload.extend_from_slice(&codec::encode_database(db));
+
+    let tmp = dir.join(format!("{SNAPSHOT_FILE}.tmp"));
+    let mut f = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&tmp)
+        .map_err(snap_io)?;
+    io::Write::write_all(&mut f, MAGIC).map_err(snap_io)?;
+    codec::write_frame(&mut f, &payload).map_err(snap_io)?;
+    f.sync_all().map_err(snap_io)?;
+    drop(f);
+    fs::rename(&tmp, snapshot_path(dir)).map_err(snap_io)?;
+    // Make the rename itself durable.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Loads the snapshot from `dir`, if one exists. A missing file is
+/// `Ok(None)` (fresh service); a present-but-corrupt file is an error —
+/// the WAL was truncated against this image, so silently ignoring it
+/// would lose acknowledged commits.
+pub fn load_snapshot(dir: &Path) -> Result<Option<Snapshot>> {
+    let path = snapshot_path(dir);
+    let mut f = match File::open(&path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(snap_io(e)),
+    };
+    let mut magic = [0u8; 8];
+    io::Read::read_exact(&mut f, &mut magic)
+        .map_err(|_| LdlError::Eval(format!("snapshot: {} is truncated", path.display())))?;
+    if &magic != MAGIC {
+        return Err(LdlError::Eval(format!(
+            "snapshot: {} is not a snapshot file (bad magic)",
+            path.display()
+        )));
+    }
+    let payload = match codec::read_frame(&mut f).map_err(snap_io)? {
+        Frame::Payload(p) => p,
+        _ => {
+            return Err(LdlError::Eval(format!(
+                "snapshot: {} is torn or corrupt",
+                path.display()
+            )))
+        }
+    };
+    let mut d = Decoder::new(&payload);
+    let seq = d.u64()?;
+    let program_text = d.str()?;
+    let db = codec::get_database(&mut d)?;
+    if !d.is_at_end() {
+        return Err(LdlError::Eval(
+            "snapshot: trailing bytes after image".into(),
+        ));
+    }
+    Ok(Some(Snapshot {
+        seq,
+        program_text,
+        db,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldl_core::parser::parse_program;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("ldl-snap-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn roundtrip_and_missing() {
+        let dir = tmpdir("roundtrip");
+        assert!(load_snapshot(&dir).unwrap().is_none());
+
+        let text = "tc(X, Y) <- e(X, Y).\ntc(X, Y) <- e(X, Z), tc(Z, Y).";
+        let db = Database::from_program(&parse_program("e(1, 2). e(2, 3).").unwrap());
+        write_snapshot(&dir, 17, text, &db).unwrap();
+
+        let snap = load_snapshot(&dir).unwrap().unwrap();
+        assert_eq!(snap.seq, 17);
+        assert_eq!(snap.program_text, text);
+        assert_eq!(
+            codec::encode_database(&snap.db),
+            codec::encode_database(&db)
+        );
+        // No .tmp residue after a clean write.
+        assert!(!dir.join(format!("{SNAPSHOT_FILE}.tmp")).exists());
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_an_error_not_an_empty_db() {
+        let dir = tmpdir("corrupt");
+        let db = Database::from_program(&parse_program("e(1, 2).").unwrap());
+        write_snapshot(&dir, 3, "", &db).unwrap();
+        let path = snapshot_path(&dir);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x10;
+        fs::write(&path, bytes).unwrap();
+        assert!(load_snapshot(&dir).is_err());
+    }
+}

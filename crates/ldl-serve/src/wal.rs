@@ -1,0 +1,347 @@
+//! The write-ahead log: committed rule loads and EDB deltas, one
+//! checksummed frame per record, fsynced before the engine applies
+//! anything.
+//!
+//! File layout: an 8-byte magic (`LDLWAL01`), then frames (see
+//! `ldl_storage::codec`). Each frame's payload is
+//! `[seq u64][kind u8][body]` — kind `0` is a rule load carrying the
+//! program text, kind `1` an [`EdbDelta`] carrying per-predicate
+//! insert and retract tuple sets.
+//!
+//! A torn tail (partial frame or failed checksum — what a crash
+//! mid-append leaves behind) is truncated on open and replay stops
+//! there: the corresponding commit was never acknowledged. Likewise,
+//! [`Wal::truncate_last`] rolls the file back over the most recent
+//! record when its apply failed after the append was already durable.
+
+use ldl_core::{LdlError, Pred};
+use ldl_eval::EdbDelta;
+use ldl_storage::codec::{self, Decoder, Frame};
+use ldl_storage::Tuple;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 8] = b"LDLWAL01";
+const KIND_RULES: u8 = 0;
+const KIND_DELTA: u8 = 1;
+
+/// One durable record.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WalRecord {
+    /// A program (rule base) load, stored as source text; replay
+    /// re-parses it, which is deterministic.
+    Rules(String),
+    /// A committed EDB update batch.
+    Delta(EdbDelta),
+}
+
+fn encode_record(seq: u64, rec: &WalRecord) -> Vec<u8> {
+    let mut buf = Vec::new();
+    codec::put_u64(&mut buf, seq);
+    match rec {
+        WalRecord::Rules(text) => {
+            buf.push(KIND_RULES);
+            codec::put_str(&mut buf, text);
+        }
+        WalRecord::Delta(delta) => {
+            buf.push(KIND_DELTA);
+            let inserts: Vec<(Pred, &[Tuple])> = delta.staged_inserts().collect();
+            let retracts: Vec<(Pred, &[Tuple])> = delta.staged_retracts().collect();
+            for group in [&inserts, &retracts] {
+                codec::put_u32(&mut buf, group.len() as u32);
+                for (p, ts) in group {
+                    codec::put_str(&mut buf, p.name.as_str());
+                    codec::put_u32(&mut buf, p.arity as u32);
+                    codec::put_u32(&mut buf, ts.len() as u32);
+                    for t in *ts {
+                        codec::put_tuple(&mut buf, t);
+                    }
+                }
+            }
+        }
+    }
+    buf
+}
+
+fn decode_record(payload: &[u8]) -> Result<(u64, WalRecord), LdlError> {
+    let mut d = Decoder::new(payload);
+    let seq = d.u64()?;
+    let kind = d.u8()?;
+    let rec = match kind {
+        KIND_RULES => WalRecord::Rules(d.str()?),
+        KIND_DELTA => {
+            let mut delta = EdbDelta::new();
+            for side in 0..2u8 {
+                let n = d.u32()? as usize;
+                for _ in 0..n {
+                    let name = d.str()?;
+                    let arity = d.u32()? as usize;
+                    let count = d.u32()? as usize;
+                    let pred = Pred::new(&name, arity);
+                    for _ in 0..count {
+                        let t = codec::get_tuple(&mut d)?;
+                        if side == 0 {
+                            delta.insert(pred, t);
+                        } else {
+                            delta.retract(pred, t);
+                        }
+                    }
+                }
+            }
+            WalRecord::Delta(delta)
+        }
+        other => {
+            return Err(LdlError::Eval(format!("wal: unknown record kind {other}")));
+        }
+    };
+    if !d.is_at_end() {
+        return Err(LdlError::Eval("wal: trailing bytes in record".into()));
+    }
+    Ok((seq, rec))
+}
+
+/// An open write-ahead log positioned for appends.
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    /// Byte offset where the most recent record's frame begins (for
+    /// [`Wal::truncate_last`]).
+    last_record_start: Option<u64>,
+    /// Current file length.
+    len: u64,
+}
+
+impl Wal {
+    /// Opens (or creates) the log at `path`, scans every complete
+    /// frame, truncates any torn tail, and returns the decoded records
+    /// in order. A record that is framed correctly (checksum passes)
+    /// but fails to decode is corruption beyond what a crash can
+    /// produce and is reported as an error rather than dropped.
+    pub fn open(path: &Path) -> Result<(Wal, Vec<(u64, WalRecord)>), LdlError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(wal_io)?;
+        let file_len = file.metadata().map_err(wal_io)?.len();
+
+        // Fresh or torn-before-magic files are (re)initialized.
+        let mut magic = [0u8; 8];
+        let got = read_at_most(&mut file, &mut magic).map_err(wal_io)?;
+        if got < 8 {
+            file.set_len(0).map_err(wal_io)?;
+            file.seek(SeekFrom::Start(0)).map_err(wal_io)?;
+            file.write_all(MAGIC).map_err(wal_io)?;
+            file.sync_all().map_err(wal_io)?;
+            return Ok((
+                Wal {
+                    file,
+                    path: path.to_path_buf(),
+                    last_record_start: None,
+                    len: 8,
+                },
+                Vec::new(),
+            ));
+        }
+        if &magic != MAGIC {
+            return Err(LdlError::Eval(format!(
+                "wal: {} is not a WAL file (bad magic)",
+                path.display()
+            )));
+        }
+
+        let mut records = Vec::new();
+        let mut offset = 8u64;
+        let mut last_start = None;
+        loop {
+            match codec::read_frame(&mut file).map_err(wal_io)? {
+                Frame::Eof => break,
+                Frame::Torn => {
+                    // A crash mid-append: the commit was never
+                    // acknowledged. Truncate and stop.
+                    file.set_len(offset).map_err(wal_io)?;
+                    file.sync_all().map_err(wal_io)?;
+                    break;
+                }
+                Frame::Payload(payload) => {
+                    let (seq, rec) = decode_record(&payload)?;
+                    last_start = Some(offset);
+                    offset += 8 + payload.len() as u64;
+                    records.push((seq, rec));
+                }
+            }
+        }
+        let len = offset.min(file_len.max(8));
+        file.seek(SeekFrom::Start(len)).map_err(wal_io)?;
+        Ok((
+            Wal {
+                file,
+                path: path.to_path_buf(),
+                last_record_start: last_start,
+                len,
+            },
+            records,
+        ))
+    }
+
+    /// Appends one record and syncs it to disk. Returns only after the
+    /// frame is durable — callers apply the record to the engine
+    /// strictly afterwards.
+    pub fn append(&mut self, seq: u64, rec: &WalRecord) -> Result<(), LdlError> {
+        let payload = encode_record(seq, rec);
+        let start = self.len;
+        codec::write_frame(&mut self.file, &payload).map_err(wal_io)?;
+        self.file.sync_all().map_err(wal_io)?;
+        self.last_record_start = Some(start);
+        self.len = start + 8 + payload.len() as u64;
+        Ok(())
+    }
+
+    /// Rolls back the most recent append (used when the engine refused
+    /// the already-durable record): truncates the file over it, so a
+    /// recovery never replays a record the live engine rejected.
+    pub fn truncate_last(&mut self) -> Result<(), LdlError> {
+        let Some(start) = self.last_record_start.take() else {
+            return Err(LdlError::Eval("wal: no record to truncate".into()));
+        };
+        self.file.set_len(start).map_err(wal_io)?;
+        self.file.sync_all().map_err(wal_io)?;
+        self.file.seek(SeekFrom::Start(start)).map_err(wal_io)?;
+        self.len = start;
+        Ok(())
+    }
+
+    /// Empties the log (after its contents were folded into a durable
+    /// snapshot).
+    pub fn reset(&mut self) -> Result<(), LdlError> {
+        self.file.set_len(8).map_err(wal_io)?;
+        self.file.seek(SeekFrom::Start(8)).map_err(wal_io)?;
+        self.file.sync_all().map_err(wal_io)?;
+        self.last_record_start = None;
+        self.len = 8;
+        Ok(())
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+fn wal_io(e: io::Error) -> LdlError {
+    LdlError::Eval(format!("wal: i/o error: {e}"))
+}
+
+fn read_at_most(r: &mut impl Read, buf: &mut [u8]) -> io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldl_core::Pred;
+    use ldl_storage::Tuple;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("ldl-wal-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn sample_delta() -> EdbDelta {
+        let mut d = EdbDelta::new();
+        d.insert(Pred::new("e", 2), Tuple::ints(&[1, 2]));
+        d.insert(Pred::new("e", 2), Tuple::ints(&[2, 3]));
+        d.retract(Pred::new("g", 1), Tuple::ints(&[7]));
+        d
+    }
+
+    #[test]
+    fn append_and_replay_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let path = dir.join("wal.bin");
+        {
+            let (mut wal, recs) = Wal::open(&path).unwrap();
+            assert!(recs.is_empty());
+            wal.append(1, &WalRecord::Rules("p(X) <- e(X, _).".into()))
+                .unwrap();
+            wal.append(2, &WalRecord::Delta(sample_delta())).unwrap();
+        }
+        let (_, recs) = Wal::open(&path).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0], (1, WalRecord::Rules("p(X) <- e(X, _).".into())));
+        match &recs[1].1 {
+            WalRecord::Delta(d) => assert_eq!(d.len(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_replay_stops() {
+        let dir = tmpdir("torn");
+        let path = dir.join("wal.bin");
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            wal.append(1, &WalRecord::Delta(sample_delta())).unwrap();
+            wal.append(2, &WalRecord::Delta(sample_delta())).unwrap();
+        }
+        let full = std::fs::metadata(&path).unwrap().len();
+        // Tear the second record mid-frame, as a crash during append
+        // would.
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(full - 5).unwrap();
+        drop(f);
+
+        let (mut wal, recs) = Wal::open(&path).unwrap();
+        assert_eq!(recs.len(), 1, "torn record must not replay");
+        // The file is truncated at the tear; appending continues
+        // cleanly with a new record.
+        wal.append(2, &WalRecord::Rules("q(X) <- e(X, _).".into()))
+            .unwrap();
+        drop(wal);
+        let (_, recs) = Wal::open(&path).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1].0, 2);
+    }
+
+    #[test]
+    fn truncate_last_rolls_back_failed_apply() {
+        let dir = tmpdir("rollback");
+        let path = dir.join("wal.bin");
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        wal.append(1, &WalRecord::Delta(sample_delta())).unwrap();
+        wal.append(2, &WalRecord::Delta(sample_delta())).unwrap();
+        wal.truncate_last().unwrap();
+        wal.append(2, &WalRecord::Rules("r(X) <- e(X, _).".into()))
+            .unwrap();
+        drop(wal);
+        let (_, recs) = Wal::open(&path).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert!(matches!(recs[1].1, WalRecord::Rules(_)));
+    }
+
+    #[test]
+    fn reset_empties_the_log() {
+        let dir = tmpdir("reset");
+        let path = dir.join("wal.bin");
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        wal.append(1, &WalRecord::Delta(sample_delta())).unwrap();
+        wal.reset().unwrap();
+        drop(wal);
+        let (_, recs) = Wal::open(&path).unwrap();
+        assert!(recs.is_empty());
+    }
+}

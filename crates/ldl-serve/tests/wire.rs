@@ -1,0 +1,189 @@
+//! End-to-end wire tests: a real `Server` on a loopback socket, driven
+//! by `Client` sessions.
+
+use ldl_serve::{Client, FixpointConfig, Json, Listener, Server, Service};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::thread;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("ldl-wire-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Starts a server on an ephemeral TCP port; returns its address and
+/// the join handle (the server exits on `shutdown`).
+fn start(dir: &Path) -> (String, thread::JoinHandle<()>) {
+    let service = Arc::new(Service::open(dir, &FixpointConfig::serial(), 0).expect("service open"));
+    let listener = Listener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener
+        .describe()
+        .strip_prefix("tcp://")
+        .expect("tcp addr")
+        .to_string();
+    let server = Server::new(service, listener);
+    let handle = thread::spawn(move || {
+        server.run().expect("server run");
+    });
+    (addr, handle)
+}
+
+const RULES: &str = "tc(X, Y) <- e(X, Y).\ntc(X, Y) <- e(X, Z), tc(Z, Y).";
+
+#[test]
+fn full_session_and_restart_preserves_digest() {
+    let dir = tmpdir("session");
+    let (addr, handle) = start(&dir);
+
+    let mut c = Client::connect(&addr).unwrap();
+    assert_eq!(c.hello().unwrap(), 0);
+    c.load(RULES).unwrap();
+    c.insert("e(1, 2). e(2, 3).").unwrap();
+    let commit = c.commit().unwrap();
+    assert_eq!(commit.get("base_inserted").and_then(Json::as_int), Some(2));
+    let rows = c.query("tc(1, Y)?").unwrap();
+    assert_eq!(rows, vec!["(1, 2)", "(1, 3)"]);
+    let (v1, digest1) = c.digest().unwrap();
+    assert_eq!(v1, 2);
+    c.shutdown().unwrap();
+    handle.join().unwrap();
+
+    // Restart over the same data directory: recovery replays the WAL.
+    let (addr, handle) = start(&dir);
+    let mut c = Client::connect(&addr).unwrap();
+    assert_eq!(c.hello().unwrap(), 2);
+    let (v2, digest2) = c.digest().unwrap();
+    assert_eq!((v2, digest2), (v1, digest1));
+    assert_eq!(c.query("tc(1, Y)?").unwrap(), vec!["(1, 2)", "(1, 3)"]);
+    c.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn sessions_are_snapshot_isolated_until_refresh() {
+    let dir = tmpdir("isolation");
+    let (addr, handle) = start(&dir);
+
+    let mut writer = Client::connect(&addr).unwrap();
+    writer.load(RULES).unwrap();
+    writer.insert("e(1, 2).").unwrap();
+    writer.commit().unwrap();
+
+    // The reader pins the version at its first interaction.
+    let mut reader = Client::connect(&addr).unwrap();
+    reader.hello().unwrap();
+    assert_eq!(reader.query("tc(1, Y)?").unwrap().len(), 1);
+
+    writer.insert("e(2, 3).").unwrap();
+    writer.commit().unwrap();
+
+    // Still the pinned view...
+    assert_eq!(reader.query("tc(1, Y)?").unwrap().len(), 1);
+    // ...until an explicit refresh.
+    reader.refresh().unwrap();
+    assert_eq!(reader.query("tc(1, Y)?").unwrap().len(), 2);
+
+    writer.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn failed_commit_preserves_staged_batch_on_server() {
+    let dir = tmpdir("failed-commit");
+    let (addr, handle) = start(&dir);
+
+    let mut c = Client::connect(&addr).unwrap();
+    c.load(RULES).unwrap();
+    // Stage a good fact and a write to a derived predicate: the commit
+    // must be refused as a whole and the batch kept.
+    c.insert("e(1, 2).").unwrap();
+    c.insert("tc(5, 6).").unwrap();
+    let e = c.commit().unwrap_err();
+    assert!(e.to_string().contains("derived predicate"), "{e}");
+    assert!(e.to_string().contains("staged batch preserved"), "{e}");
+
+    let pending = c
+        .request_ok(&Json::obj(vec![("op", Json::str("pending"))]))
+        .unwrap();
+    assert_eq!(pending.get("staged").and_then(Json::as_int), Some(2));
+
+    // Nothing was committed.
+    assert_eq!(c.query("tc(1, Y)?").unwrap().len(), 0);
+
+    // Abort, restage only the good fact, and commit cleanly.
+    c.abort().unwrap();
+    c.insert("e(1, 2).").unwrap();
+    c.commit().unwrap();
+    c.refresh().unwrap();
+    assert_eq!(c.query("tc(1, Y)?").unwrap().len(), 1);
+
+    c.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn concurrent_commit_storm_serializes() {
+    let dir = tmpdir("storm");
+    let (addr, handle) = start(&dir);
+
+    let mut setup = Client::connect(&addr).unwrap();
+    setup.load(RULES).unwrap();
+
+    let workers: Vec<_> = (0..4)
+        .map(|w| {
+            let addr = addr.clone();
+            thread::spawn(move || {
+                let mut c = Client::connect(&addr).expect("connect");
+                for i in 0..5 {
+                    let a = 10 * w + i;
+                    c.insert(&format!("e({a}, {}).", a + 1)).expect("insert");
+                    c.commit().expect("commit");
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+
+    setup.refresh().unwrap();
+    // 1 load + 20 commits, every one acknowledged exactly once.
+    assert_eq!(setup.hello().unwrap(), 21);
+    assert_eq!(setup.query("e(X, Y)?").unwrap().len(), 20);
+    let (_, digest_live) = setup.digest().unwrap();
+    setup.shutdown().unwrap();
+    handle.join().unwrap();
+
+    // Recovery agrees bit-for-bit with the live state.
+    let (addr, handle) = start(&dir);
+    let mut c = Client::connect(&addr).unwrap();
+    let (v, digest) = c.digest().unwrap();
+    assert_eq!(v, 21);
+    assert_eq!(digest, digest_live);
+    c.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn unix_socket_transport_works() {
+    let dir = tmpdir("unix");
+    std::fs::create_dir_all(&dir).unwrap();
+    let sock = dir.join("ldl.sock");
+    let service = Arc::new(
+        Service::open(&dir.join("data"), &FixpointConfig::serial(), 0).expect("service open"),
+    );
+    let listener = Listener::bind(sock.to_str().unwrap()).expect("bind unix");
+    let server = Server::new(service, listener);
+    let handle = thread::spawn(move || server.run().expect("server run"));
+
+    let mut c = Client::connect(sock.to_str().unwrap()).unwrap();
+    c.load("p(X) <- e(X).").unwrap();
+    c.insert("e(7).").unwrap();
+    c.commit().unwrap();
+    assert_eq!(c.query("p(X)?").unwrap(), vec!["(7)"]);
+    c.shutdown().unwrap();
+    handle.join().unwrap();
+    // The socket file is unlinked when the listener drops.
+    assert!(!sock.exists());
+}

@@ -1,0 +1,492 @@
+//! Binary codec for durable storage: terms, tuples, relations, and whole
+//! databases, plus the length+checksum *frame* format shared by the WAL
+//! and snapshot files of `ldl-serve`.
+//!
+//! Layout conventions (all integers little-endian):
+//!
+//! * string  = `u32` byte length, then UTF-8 bytes;
+//! * term    = tag byte — `0` Int(`i64`), `1` Sym(string),
+//!   `2` Compound(string functor, `u32` argc, args), `3` Var(string);
+//! * tuple   = `u32` arity, then terms;
+//! * relation = `u32` arity, `u64` row count, then tuples in insertion
+//!   order (so a decode reproduces the canonical order bit-for-bit);
+//! * database = `u32` relation count, then per relation: name string,
+//!   `u32` arity, relation payload. Relations are emitted in sorted
+//!   predicate order; synthetic stats overrides are *not* persisted.
+//! * frame   = `u32` payload length, `u32` CRC-32 of the payload, then
+//!   the payload bytes. A torn tail (short header, short payload, or a
+//!   checksum mismatch) is reported as [`Frame::Torn`], never as data.
+
+use crate::catalog::Database;
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use ldl_core::{LdlError, Pred, Result, Symbol, Term, Value};
+use std::io::{self, Read, Write};
+
+/// Upper bound on a single frame payload (1 GiB). A length field above
+/// this is treated as corruption (torn/garbage tail), not an allocation
+/// request.
+pub const MAX_FRAME_LEN: u32 = 1 << 30;
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3 polynomial, reflected: 0xEDB88320)
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 checksum of `bytes` (IEEE, as used by zip/png).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Primitive encoders / decoders
+// ---------------------------------------------------------------------------
+
+/// Appends a `u32` in little-endian order.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` in little-endian order.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `i64` in little-endian order.
+pub fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// A cursor over an encoded byte slice. Every read checks bounds and
+/// reports overruns as [`LdlError::Eval`] ("codec: ...") rather than
+/// panicking, so corrupt files surface as errors.
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Decoder<'a> {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let s = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(LdlError::Eval(format!(
+                "codec: truncated input (wanted {n} bytes at offset {}, have {})",
+                self.pos,
+                self.buf.len() - self.pos
+            ))),
+        }
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64> {
+        let b = self.take(8)?;
+        Ok(i64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String> {
+        let n = self.u32()? as usize;
+        let b = self.take(n)?;
+        String::from_utf8(b.to_vec())
+            .map_err(|_| LdlError::Eval("codec: invalid UTF-8 in string".into()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Term / Tuple / Relation / Database
+// ---------------------------------------------------------------------------
+
+const TAG_INT: u8 = 0;
+const TAG_SYM: u8 = 1;
+const TAG_COMPOUND: u8 = 2;
+const TAG_VAR: u8 = 3;
+
+/// Encodes one term.
+pub fn put_term(buf: &mut Vec<u8>, t: &Term) {
+    match t {
+        Term::Const(Value::Int(i)) => {
+            buf.push(TAG_INT);
+            put_i64(buf, *i);
+        }
+        Term::Const(Value::Sym(s)) => {
+            buf.push(TAG_SYM);
+            put_str(buf, s.as_str());
+        }
+        Term::Compound(f, args) => {
+            buf.push(TAG_COMPOUND);
+            put_str(buf, f.as_str());
+            put_u32(buf, args.len() as u32);
+            for a in args {
+                put_term(buf, a);
+            }
+        }
+        Term::Var(v) => {
+            buf.push(TAG_VAR);
+            put_str(buf, v.as_str());
+        }
+    }
+}
+
+/// Decodes one term.
+pub fn get_term(d: &mut Decoder<'_>) -> Result<Term> {
+    let tag = d.take(1)?[0];
+    match tag {
+        TAG_INT => Ok(Term::Const(Value::Int(d.i64()?))),
+        TAG_SYM => Ok(Term::Const(Value::Sym(Symbol::intern(&d.str()?)))),
+        TAG_COMPOUND => {
+            let f = Symbol::intern(&d.str()?);
+            let n = d.u32()? as usize;
+            let mut args = Vec::with_capacity(n.min(64));
+            for _ in 0..n {
+                args.push(get_term(d)?);
+            }
+            Ok(Term::Compound(f, args))
+        }
+        TAG_VAR => Ok(Term::Var(Symbol::intern(&d.str()?))),
+        other => Err(LdlError::Eval(format!("codec: unknown term tag {other}"))),
+    }
+}
+
+/// Encodes one tuple.
+pub fn put_tuple(buf: &mut Vec<u8>, t: &Tuple) {
+    put_u32(buf, t.arity() as u32);
+    for c in &t.0 {
+        put_term(buf, c);
+    }
+}
+
+/// Decodes one tuple.
+pub fn get_tuple(d: &mut Decoder<'_>) -> Result<Tuple> {
+    let n = d.u32()? as usize;
+    let mut items = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        items.push(get_term(d)?);
+    }
+    Ok(Tuple(items))
+}
+
+/// Encodes a relation (arity, row count, rows in insertion order).
+pub fn put_relation(buf: &mut Vec<u8>, r: &Relation) {
+    put_u32(buf, r.arity() as u32);
+    put_u64(buf, r.len() as u64);
+    for t in r.rows() {
+        put_tuple(buf, t);
+    }
+}
+
+/// Decodes a relation, preserving row order.
+pub fn get_relation(d: &mut Decoder<'_>) -> Result<Relation> {
+    let arity = d.u32()? as usize;
+    let len = d.u64()? as usize;
+    let mut r = Relation::new(arity);
+    for _ in 0..len {
+        let t = get_tuple(d)?;
+        if t.arity() != arity {
+            return Err(LdlError::Eval(format!(
+                "codec: tuple arity {} in relation of arity {arity}",
+                t.arity()
+            )));
+        }
+        r.insert(t);
+    }
+    Ok(r)
+}
+
+/// Encodes a database: its base relations in sorted predicate order.
+/// Synthetic stats overrides are in-memory experiment scaffolding and
+/// are not persisted.
+pub fn encode_database(db: &Database) -> Vec<u8> {
+    let mut preds: Vec<Pred> = db
+        .preds()
+        .into_iter()
+        .filter(|p| db.relation(*p).is_some())
+        .collect();
+    preds.sort();
+    let mut buf = Vec::new();
+    put_u32(&mut buf, preds.len() as u32);
+    for p in preds {
+        put_str(&mut buf, p.name.as_str());
+        put_u32(&mut buf, p.arity as u32);
+        put_relation(&mut buf, db.relation(p).expect("filtered above"));
+    }
+    buf
+}
+
+/// Decodes a database produced by [`encode_database`].
+pub fn decode_database(buf: &[u8]) -> Result<Database> {
+    let mut d = Decoder::new(buf);
+    let db = get_database(&mut d)?;
+    if !d.is_at_end() {
+        return Err(LdlError::Eval(
+            "codec: trailing bytes after database payload".into(),
+        ));
+    }
+    Ok(db)
+}
+
+/// Decodes a database from a cursor (for embedding in larger payloads).
+pub fn get_database(d: &mut Decoder<'_>) -> Result<Database> {
+    let n = d.u32()? as usize;
+    let mut db = Database::new();
+    for _ in 0..n {
+        let name = d.str()?;
+        let arity = d.u32()? as usize;
+        let rel = get_relation(d)?;
+        if rel.arity() != arity {
+            return Err(LdlError::Eval(format!(
+                "codec: relation arity {} under predicate {name}/{arity}",
+                rel.arity()
+            )));
+        }
+        db.set_relation(Pred::new(&name, arity), rel);
+    }
+    Ok(db)
+}
+
+// ---------------------------------------------------------------------------
+// Frames
+// ---------------------------------------------------------------------------
+
+/// Result of reading one frame from a stream.
+#[derive(Debug)]
+pub enum Frame {
+    /// A complete frame whose checksum verified.
+    Payload(Vec<u8>),
+    /// Clean end of stream: zero bytes remained.
+    Eof,
+    /// A torn or corrupt tail: a partial header, a payload shorter than
+    /// its declared length, an implausible length, or a checksum
+    /// mismatch. Recovery should truncate the file here and stop.
+    Torn,
+}
+
+/// Writes one `[len][crc32][payload]` frame. Does not flush or sync;
+/// the caller owns durability.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let mut header = [0u8; 8];
+    header[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[4..].copy_from_slice(&crc32(payload).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)
+}
+
+/// Reads as many bytes as the stream will give, returning the count
+/// (short only at end of stream).
+fn read_fully(r: &mut impl Read, buf: &mut [u8]) -> io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+/// Reads the next frame, distinguishing clean EOF from a torn tail.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Frame> {
+    let mut header = [0u8; 8];
+    let got = read_fully(r, &mut header)?;
+    if got == 0 {
+        return Ok(Frame::Eof);
+    }
+    if got < 8 {
+        return Ok(Frame::Torn);
+    }
+    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+    let want_crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+    if len > MAX_FRAME_LEN {
+        return Ok(Frame::Torn);
+    }
+    let mut payload = vec![0u8; len as usize];
+    if read_fully(r, &mut payload)? < payload.len() {
+        return Ok(Frame::Torn);
+    }
+    if crc32(&payload) != want_crc {
+        return Ok(Frame::Torn);
+    }
+    Ok(Frame::Payload(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_term(t: Term) {
+        let mut buf = Vec::new();
+        put_term(&mut buf, &t);
+        let mut d = Decoder::new(&buf);
+        assert_eq!(get_term(&mut d).unwrap(), t);
+        assert!(d.is_at_end());
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // "123456789" -> 0xCBF43926 is the canonical CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn terms_roundtrip() {
+        roundtrip_term(Term::int(-42));
+        roundtrip_term(Term::sym("tom"));
+        roundtrip_term(Term::var("X"));
+        roundtrip_term(Term::compound(
+            "wheel",
+            vec![
+                Term::int(32),
+                Term::list(vec![Term::sym("a"), Term::int(7)]),
+            ],
+        ));
+    }
+
+    #[test]
+    fn database_roundtrips_bit_for_bit() {
+        let p = ldl_core::parser::parse_program(
+            r#"
+            e(1, 2). e(2, 3). e(3, 1).
+            part(bike, wheel(front)). part(bike, wheel(rear)).
+            tag(x, [1, 2, 3]).
+            "#,
+        )
+        .unwrap();
+        let db = Database::from_program(&p);
+        let bytes = encode_database(&db);
+        let back = decode_database(&bytes).unwrap();
+        assert_eq!(db.preds(), back.preds());
+        for pred in db.preds() {
+            let a = db.relation(pred).unwrap();
+            let b = back.relation(pred).unwrap();
+            assert_eq!(a.rows(), b.rows(), "rows differ for {pred}");
+        }
+        // Deterministic encoding: re-encoding the decoded database is
+        // byte-identical.
+        assert_eq!(bytes, encode_database(&back));
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_bad_tags() {
+        let mut buf = Vec::new();
+        put_term(&mut buf, &Term::compound("f", vec![Term::int(1)]));
+        for cut in 0..buf.len() {
+            assert!(
+                get_term(&mut Decoder::new(&buf[..cut])).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+        let bad = [9u8, 0, 0, 0];
+        assert!(get_term(&mut Decoder::new(&bad)).is_err());
+    }
+
+    #[test]
+    fn frames_roundtrip_and_detect_torn_tails() {
+        let mut file = Vec::new();
+        write_frame(&mut file, b"alpha").unwrap();
+        write_frame(&mut file, b"").unwrap();
+        write_frame(&mut file, b"beta-beta").unwrap();
+
+        let mut r = io::Cursor::new(&file);
+        for want in [&b"alpha"[..], &b""[..], &b"beta-beta"[..]] {
+            match read_frame(&mut r).unwrap() {
+                Frame::Payload(p) => assert_eq!(p, want),
+                other => panic!("expected payload, got {other:?}"),
+            }
+        }
+        assert!(matches!(read_frame(&mut r).unwrap(), Frame::Eof));
+
+        // Torn payload: cut the last frame mid-body.
+        let torn = &file[..file.len() - 3];
+        let mut r = io::Cursor::new(torn);
+        assert!(matches!(read_frame(&mut r).unwrap(), Frame::Payload(_)));
+        assert!(matches!(read_frame(&mut r).unwrap(), Frame::Payload(_)));
+        assert!(matches!(read_frame(&mut r).unwrap(), Frame::Torn));
+
+        // Torn header: only 3 bytes of the next header present.
+        let mut torn2 = file.clone();
+        torn2.extend_from_slice(&[1, 0, 0]);
+        let mut r = io::Cursor::new(&torn2);
+        for _ in 0..3 {
+            assert!(matches!(read_frame(&mut r).unwrap(), Frame::Payload(_)));
+        }
+        assert!(matches!(read_frame(&mut r).unwrap(), Frame::Torn));
+
+        // Bit flip in a payload: checksum catches it.
+        let mut flipped = file.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        let mut r = io::Cursor::new(&flipped);
+        assert!(matches!(read_frame(&mut r).unwrap(), Frame::Payload(_)));
+        assert!(matches!(read_frame(&mut r).unwrap(), Frame::Payload(_)));
+        assert!(matches!(read_frame(&mut r).unwrap(), Frame::Torn));
+    }
+}

@@ -15,6 +15,7 @@
 //!   evaluator and optimizer share.
 
 pub mod catalog;
+pub mod codec;
 pub mod loader;
 pub mod relation;
 pub mod stats;

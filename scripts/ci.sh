@@ -99,6 +99,68 @@ if [ "$unique" -ne "$workloads" ]; then
 fi
 echo "    digests identical: $workloads workload(s) × {maintained, from-scratch}"
 
+# Service durability smoke: start ldl-serve on a scratch Unix socket,
+# drive a full session from ldl-shell client mode (load rules, commit a
+# batch, query, digest), kill the daemon without ceremony, restart it
+# over the same data directory, and require the recovered digest to be
+# bit-for-bit the one the live session reported. The commit/query
+# throughput bench embeds the same digest before and after its streamed
+# commits, so its single-digest check rides the same gate.
+echo "==> ldl-serve durability smoke (commit, kill, recover, digest diff)"
+cargo build -q --offline --bin ldl-serve --bin ldl-shell
+serve_dir="$digest_dir/serve"
+serve_sock="$serve_dir/ldl.sock"
+mkdir -p "$serve_dir"
+./target/debug/ldl-serve --data "$serve_dir/data" --socket "$serve_sock" \
+    --snapshot-every 2 > "$serve_dir/serve.log" &
+serve_pid=$!
+for _ in $(seq 50); do [ -S "$serve_sock" ] && break; sleep 0.1; done
+[ -S "$serve_sock" ] || { echo "    FAIL: daemon never bound $serve_sock"; exit 1; }
+./target/debug/ldl-shell --connect "$serve_sock" > "$serve_dir/session1.log" <<'EOF'
+tc(X, Y) <- e(X, Y). tc(X, Y) <- e(X, Z), tc(Z, Y).
+:insert e(1, 2). e(2, 3). e(3, 4).
+:commit
+tc(1, Y)?
+:digest
+:quit
+EOF
+grep -q "3 answer(s)" "$serve_dir/session1.log" \
+    || { echo "    FAIL: live query wrong"; cat "$serve_dir/session1.log"; exit 1; }
+kill -9 "$serve_pid"; wait "$serve_pid" 2>/dev/null || true
+# The socket file survives the SIGKILL; drop it so the bind wait below
+# sees the restarted daemon, not the corpse's socket.
+rm -f "$serve_sock"
+./target/debug/ldl-serve --data "$serve_dir/data" --socket "$serve_sock" \
+    --snapshot-every 2 >> "$serve_dir/serve.log" &
+serve_pid=$!
+for _ in $(seq 50); do [ -S "$serve_sock" ] && break; sleep 0.1; done
+./target/debug/ldl-shell --connect "$serve_sock" > "$serve_dir/session2.log" <<'EOF'
+tc(1, Y)?
+:digest
+:shutdown
+EOF
+wait "$serve_pid" 2>/dev/null || true
+grep -q "3 answer(s)" "$serve_dir/session2.log" \
+    || { echo "    FAIL: recovered query wrong"; cat "$serve_dir/session2.log"; exit 1; }
+for s in 1 2; do
+    grep -o 'digest [0-9a-f]*' "$serve_dir/session$s.log" > "$serve_dir/digest$s" \
+        || { echo "    FAIL: no digest in session $s"; exit 1; }
+done
+diff "$serve_dir/digest1" "$serve_dir/digest2" \
+    || { echo "    FAIL: recovered digest differs from the live session"; exit 1; }
+echo "    recovered digest matches: $(cat "$serve_dir/digest1")"
+
+echo "==> serve stream commit/query digest diff (before vs after streamed commits)"
+LDL_BENCH_ITERS=1 LDL_BENCH_JSON_DIR="$digest_dir/serve-bench" \
+    cargo bench -q --offline -p ldl-bench --bench serve_stream >/dev/null
+unique=$(grep -o 'digest=[0-9a-f]*' "$digest_dir/serve-bench/BENCH_serve_stream.json" \
+    | sort -u | wc -l)
+if [ "$unique" -ne 1 ]; then
+    echo "    FAIL: $unique distinct digests across the streamed-commit bench"
+    exit 1
+fi
+echo "    digests identical: streamed commits restore the starting state"
+
 # Golden-diagnostics gate: `ldl-shell --check --json` over every example
 # program must reproduce the checked-in diagnostics bit for bit (stable
 # codes, spans, messages). `--check` exits non-zero on files with

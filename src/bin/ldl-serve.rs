@@ -1,0 +1,170 @@
+//! `ldl-serve` — the transactional persistent EDB daemon.
+//!
+//! ```text
+//! $ ldl-serve --data /var/lib/ldl --listen 127.0.0.1:7979
+//! ldl-serve: recovered version 42 (17 predicate(s))
+//! ldl-serve: listening on tcp://127.0.0.1:7979
+//! ```
+//!
+//! Options:
+//!
+//! * `--data <dir>` — data directory holding `wal.bin` and
+//!   `snapshot.bin` (created if missing; default `./ldl-data`);
+//! * `--listen <host:port>` — TCP listen address;
+//! * `--socket <path>` — Unix-domain socket path (alternative to
+//!   `--listen`; default `<data>/ldl.sock` when neither is given);
+//! * `--snapshot-every <n>` — write a snapshot and reset the WAL after
+//!   every `n` committed records (0 = only on explicit `snapshot`
+//!   requests; default 64);
+//! * `--threads <n>` — evaluation threads (default: serial).
+//!
+//! Connect with `ldl-shell --connect <host:port|socket-path>` or any
+//! line-delimited-JSON client. The server runs until a session sends
+//! `shutdown` (or the process is killed — recovery replays the WAL on
+//! the next start).
+
+use ldl::eval::FixpointConfig;
+use ldl::serve::{Listener, Server, Service};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct Options {
+    data: PathBuf,
+    target: Option<String>,
+    snapshot_every: u64,
+    threads: usize,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        data: PathBuf::from("ldl-data"),
+        target: None,
+        snapshot_every: 64,
+        threads: 1,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--data" => opts.data = PathBuf::from(value("--data")?),
+            "--listen" => opts.target = Some(value("--listen")?),
+            "--socket" => opts.target = Some(value("--socket")?),
+            "--snapshot-every" => {
+                let v = value("--snapshot-every")?;
+                opts.snapshot_every = v
+                    .parse()
+                    .map_err(|_| format!("--snapshot-every: not a number: {v}"))?;
+            }
+            "--threads" => {
+                let v = value("--threads")?;
+                opts.threads = v
+                    .parse()
+                    .map_err(|_| format!("--threads: not a number: {v}"))?;
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: ldl-serve [--data DIR] [--listen HOST:PORT | --socket PATH] \
+                     [--snapshot-every N] [--threads N]"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown option {other} (try --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let cfg = if opts.threads > 1 {
+        FixpointConfig {
+            threads: opts.threads,
+            ..FixpointConfig::default()
+        }
+    } else {
+        FixpointConfig::serial()
+    };
+    let service = match Service::open(&opts.data, &cfg, opts.snapshot_every) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ldl-serve: cannot open {}: {e}", opts.data.display());
+            std::process::exit(1);
+        }
+    };
+    let view = service.current();
+    println!(
+        "ldl-serve: recovered version {} ({} predicate(s))",
+        view.version,
+        view.db.preds().len()
+    );
+    let target = opts
+        .target
+        .unwrap_or_else(|| opts.data.join("ldl.sock").display().to_string());
+    let listener = match Listener::bind(&target) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("ldl-serve: cannot bind {target}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let server = Server::new(Arc::new(service), listener);
+    println!("ldl-serve: listening on {}", server.describe());
+    if let Err(e) = server.run() {
+        eprintln!("ldl-serve: {e}");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_args_covers_all_options() {
+        let o = parse_args(&args(&[
+            "--data",
+            "/tmp/d",
+            "--listen",
+            "127.0.0.1:7979",
+            "--snapshot-every",
+            "8",
+            "--threads",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(o.data, PathBuf::from("/tmp/d"));
+        assert_eq!(o.target.as_deref(), Some("127.0.0.1:7979"));
+        assert_eq!(o.snapshot_every, 8);
+        assert_eq!(o.threads, 4);
+    }
+
+    #[test]
+    fn parse_args_defaults_and_errors() {
+        let o = parse_args(&[]).unwrap();
+        assert_eq!(o.data, PathBuf::from("ldl-data"));
+        assert!(o.target.is_none());
+        assert_eq!(o.snapshot_every, 64);
+        assert!(parse_args(&args(&["--listen"])).is_err());
+        assert!(parse_args(&args(&["--bogus"])).is_err());
+        assert!(parse_args(&args(&["--snapshot-every", "x"])).is_err());
+        assert!(parse_args(&args(&["--help"]))
+            .unwrap_err()
+            .contains("usage"));
+    }
+}

@@ -22,6 +22,12 @@
 //! Batch mode: `ldl-shell --check [--json] file.ldl ...` analyzes each
 //! file without evaluating anything and exits non-zero if any file has
 //! error-severity findings (or fails to read/parse).
+//!
+//! Client mode: `ldl-shell --connect <host:port|socket-path>` attaches
+//! the same REPL surface to a running `ldl-serve` daemon. Rules and
+//! facts typed at the prompt go through the server's transactional
+//! `load`/`commit` path; queries run against the session's pinned
+//! snapshot (`:refresh` to re-pin).
 
 use ldl::analysis::{self, AnalysisOptions};
 use ldl::core::parser::{parse_query, parse_source};
@@ -123,6 +129,8 @@ commands:
   :insert <fact>.          stage a base-fact insert
   :retract <fact>.         stage a base-fact retract
   :commit                  apply staged updates incrementally
+  :pending                 list staged updates
+  :abort                   discard staged updates
   :load <file>             load a .ldl file
   :reset                   drop everything
   :quit                    exit"
@@ -234,6 +242,33 @@ commands:
             "insert" => self.stage(arg, true),
             "retract" => self.stage(arg, false),
             "commit" => self.commit(),
+            "pending" => {
+                if self.pending.is_empty() {
+                    "nothing staged".to_string()
+                } else {
+                    let mut lines = Vec::new();
+                    for (p, ts) in self.pending.staged_inserts() {
+                        for t in ts {
+                            lines.push(format!("  +{}{t}", p.name));
+                        }
+                    }
+                    for (p, ts) in self.pending.staged_retracts() {
+                        for t in ts {
+                            lines.push(format!("  -{}{t}", p.name));
+                        }
+                    }
+                    format!(
+                        "{} operation(s) staged:\n{}",
+                        self.pending.len(),
+                        lines.join("\n")
+                    )
+                }
+            }
+            "abort" => {
+                let n = self.pending.len();
+                self.pending = EdbDelta::new();
+                format!("discarded {n} staged operation(s)")
+            }
             "load" => match std::fs::read_to_string(arg) {
                 Ok(text) => match parse_source(&text) {
                     Ok(src) => {
@@ -304,6 +339,11 @@ commands:
 
     /// Applies the pending batch through the maintenance engine,
     /// repairing derived relations incrementally.
+    ///
+    /// Failure is atomic: the staged batch stays pending (fix it with
+    /// further `:insert`/`:retract` or drop it with `:abort`) and the
+    /// engine keeps its pre-commit state — `Engine::apply_delta` rolls
+    /// itself back on error.
     fn commit(&mut self) -> String {
         if self.pending.is_empty() {
             return "nothing to commit".into();
@@ -315,9 +355,9 @@ commands:
             }
         }
         let engine = self.engine.as_mut().expect("engine just built");
-        let delta = std::mem::take(&mut self.pending);
-        match engine.apply_delta(&delta) {
+        match engine.apply_delta(&self.pending) {
             Ok(report) => {
+                self.pending = EdbDelta::new();
                 self.db = engine.database().clone();
                 let mut out = format!(
                     "committed: base +{}/-{}, derived +{}/-{} ({} stratum(s) repaired, {} skipped)",
@@ -333,7 +373,7 @@ commands:
                 }
                 out
             }
-            Err(e) => format!("commit failed: {e} (staged batch discarded)"),
+            Err(e) => format!("commit failed: {e} (staged batch preserved; :abort to discard)"),
         }
     }
 
@@ -491,8 +531,172 @@ fn check_files(files: &[String], json: bool) -> i32 {
     }
 }
 
+/// Translates one REPL line into `ldl-serve` protocol calls. Returns
+/// the text to print; `"bye"` ends the session (mirroring the local
+/// shell's quit convention).
+fn remote_command(client: &mut ldl::serve::Client, line: &str) -> String {
+    use ldl::serve::Json;
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('%') {
+        return String::new();
+    }
+    let fmt_err = |e: std::io::Error| format!("error: {e}");
+    if let Some(cmd) = line.strip_prefix(':') {
+        let mut parts = cmd.splitn(2, ' ');
+        let name = parts.next().unwrap_or("");
+        let arg = parts.next().unwrap_or("").trim();
+        return match name {
+            "help" => "\
+remote commands:
+  <fact>. / <rule>.        load into the server's rule base
+  <goal>?                  query the session's pinned snapshot
+  :insert <fact>.          stage a base-fact insert (server-side)
+  :retract <fact>.         stage a base-fact retract
+  :commit                  apply the staged batch transactionally
+  :pending                 count staged updates
+  :abort                   discard staged updates
+  :refresh                 re-pin the session to the latest commit
+  :digest                  version + state digest of the pinned view
+  :stats                   predicate/tuple counts of the pinned view
+  :load <file>             load a local .ldl file into the server
+  :snapshot                force a server-side snapshot
+  :shutdown                stop the server
+  :quit                    close this session"
+                .to_string(),
+            "load" => match std::fs::read_to_string(arg) {
+                Ok(text) => match client.load(&text) {
+                    Ok(v) => format!("loaded {arg} (version {v})"),
+                    Err(e) => fmt_err(e),
+                },
+                Err(e) => format!("cannot read {arg}: {e}"),
+            },
+            "insert" => match client.insert(arg) {
+                Ok(n) => format!("staged; {n} operation(s) pending (:commit to apply)"),
+                Err(e) => fmt_err(e),
+            },
+            "retract" => match client.retract(arg) {
+                Ok(n) => format!("staged; {n} operation(s) pending (:commit to apply)"),
+                Err(e) => fmt_err(e),
+            },
+            "commit" => match client.commit() {
+                Ok(r) => {
+                    let count = |k: &str| r.get(k).and_then(Json::as_int).unwrap_or(0);
+                    format!(
+                        "committed version {}: base +{}/-{}, derived +{}/-{}",
+                        count("version"),
+                        count("base_inserted"),
+                        count("base_retracted"),
+                        count("derived_inserted"),
+                        count("derived_retracted")
+                    )
+                }
+                Err(e) => format!("commit failed: {e}"),
+            },
+            "pending" => match client.request_ok(&Json::obj(vec![("op", Json::str("pending"))])) {
+                Ok(r) => format!(
+                    "{} operation(s) staged",
+                    r.get("staged").and_then(Json::as_int).unwrap_or(0)
+                ),
+                Err(e) => fmt_err(e),
+            },
+            "abort" => match client.abort() {
+                Ok(()) => "staged batch discarded".to_string(),
+                Err(e) => fmt_err(e),
+            },
+            "refresh" => match client.refresh() {
+                Ok(v) => format!("pinned at version {v}"),
+                Err(e) => fmt_err(e),
+            },
+            "digest" => match client.digest() {
+                Ok((v, d)) => format!("version {v}, digest {d}"),
+                Err(e) => fmt_err(e),
+            },
+            "stats" => match client.request_ok(&Json::obj(vec![("op", Json::str("stats"))])) {
+                Ok(r) => format!(
+                    "version {}: {} predicate(s), {} tuple(s)",
+                    r.get("version").and_then(Json::as_int).unwrap_or(0),
+                    r.get("preds").and_then(Json::as_int).unwrap_or(0),
+                    r.get("tuples").and_then(Json::as_int).unwrap_or(0)
+                ),
+                Err(e) => fmt_err(e),
+            },
+            "snapshot" => match client.snapshot() {
+                Ok(()) => "snapshot written".to_string(),
+                Err(e) => fmt_err(e),
+            },
+            "shutdown" => match client.shutdown() {
+                Ok(()) => "server stopped".to_string(),
+                Err(e) => fmt_err(e),
+            },
+            "quit" | "q" | "exit" => "bye".to_string(),
+            other => format!("unknown remote command :{other} (try :help)"),
+        };
+    }
+    if line.ends_with('?') {
+        return match client.query(line) {
+            Ok(rows) => {
+                let goal = line.trim_end_matches('?').trim();
+                let pred = goal.split('(').next().unwrap_or(goal).trim();
+                let mut out = String::new();
+                for r in &rows {
+                    out.push_str(&format!("{pred}{r}\n"));
+                }
+                out.push_str(&format!("{} answer(s)", rows.len()));
+                out
+            }
+            Err(e) => format!("error: {e}"),
+        };
+    }
+    // Program text: rules and facts both travel through the server's
+    // transactional load path.
+    match client.load(line) {
+        Ok(v) => format!("loaded (version {v})"),
+        Err(e) => fmt_err(e),
+    }
+}
+
+fn remote_repl(target: &str) -> i32 {
+    let mut client = match ldl::serve::Client::connect(target) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {target}: {e}");
+            return 1;
+        }
+    };
+    match client.hello() {
+        Ok(v) => println!("connected to {target} (version {v})"),
+        Err(e) => {
+            eprintln!("handshake with {target} failed: {e}");
+            return 1;
+        }
+    }
+    let stdin = std::io::stdin();
+    print!("ldl> ");
+    std::io::stdout().flush().ok();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let out = remote_command(&mut client, &line);
+        if !out.is_empty() {
+            println!("{out}");
+        }
+        if out == "bye" || out == "server stopped" {
+            break;
+        }
+        print!("ldl> ");
+        std::io::stdout().flush().ok();
+    }
+    0
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--connect") {
+        if pos + 1 >= args.len() {
+            eprintln!("usage: ldl-shell --connect <host:port|socket-path>");
+            std::process::exit(1);
+        }
+        std::process::exit(remote_repl(&args[pos + 1]));
+    }
     if let Some(pos) = args.iter().position(|a| a == "--check") {
         args.remove(pos);
         let json = match args.iter().position(|a| a == "--json") {
@@ -769,10 +973,49 @@ mod tests {
         // fact, so it lands in the same rejection.
         assert!(s.handle(":insert e(X, 2).").contains("only ground facts"));
         assert!(s.handle(":insert").contains("nothing to stage"));
-        // Deltas on derived predicates are rejected at commit time.
+        // Deltas on derived predicates are rejected at commit time —
+        // and the refused batch stays staged until :abort.
         s.handle(":insert p(1).");
         assert!(s.handle(":commit").contains("commit failed"));
+        assert!(s.handle(":commit").contains("staged batch preserved"));
+        assert!(s.handle(":abort").contains("discarded 1"));
         assert_eq!(s.handle(":commit"), "nothing to commit");
+    }
+
+    #[test]
+    fn failed_commit_preserves_staged_batch_and_state() {
+        let mut s = Shell::new();
+        feed(
+            &mut s,
+            &[
+                "e(1, 2).",
+                "tc(X, Y) <- e(X, Y).",
+                "tc(X, Y) <- e(X, Z), tc(Z, Y).",
+            ],
+        );
+        // One good fact and one write to a derived predicate: the
+        // commit must be refused as a whole, with nothing applied.
+        s.handle(":insert e(2, 3).");
+        s.handle(":insert tc(9, 9).");
+        let out = s.handle(":commit");
+        assert!(out.contains("commit failed"), "{out}");
+        assert!(out.contains("staged batch preserved"), "{out}");
+        // Both operations are still staged and inspectable...
+        let pending = s.handle(":pending");
+        assert!(pending.contains("2 operation(s) staged"), "{pending}");
+        assert!(pending.contains("+e(2, 3)"), "{pending}");
+        assert!(pending.contains("+tc(9, 9)"), "{pending}");
+        // ...and neither touched the engine or the database.
+        assert!(s.handle("tc(1, Y)?").contains("1 answer(s)"));
+        assert!(s.handle(":stats").contains("e/2: 1 tuples"));
+        // Drop only the bad half by aborting and restaging the good
+        // fact; the commit then applies exactly once.
+        assert!(s.handle(":abort").contains("discarded 2"));
+        s.handle(":insert e(2, 3).");
+        let out = s.handle(":commit");
+        assert!(out.contains("base +1/-0"), "{out}");
+        assert!(s.handle("tc(1, Y)?").contains("2 answer(s)"));
+        assert_eq!(s.handle(":pending"), "nothing staged");
     }
 
     #[test]
@@ -789,6 +1032,55 @@ mod tests {
         let out = s.handle(":commit");
         assert!(out.contains("base +1/-0"), "{out}");
         assert!(s.handle("tc(1, Y)?").contains("3 answer(s)"));
+    }
+
+    #[test]
+    fn remote_mode_drives_a_server_session() {
+        use ldl::serve::{Client, Listener, Server, Service};
+        use std::sync::Arc;
+        let dir = std::env::temp_dir().join(format!("ldl-shell-remote-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let service =
+            Arc::new(Service::open(&dir, &FixpointConfig::serial(), 0).expect("service open"));
+        let listener = Listener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener
+            .describe()
+            .strip_prefix("tcp://")
+            .expect("tcp addr")
+            .to_string();
+        let server = Server::new(service, listener);
+        let handle = std::thread::spawn(move || server.run().expect("server run"));
+
+        let mut c = Client::connect(&addr).unwrap();
+        let out = remote_command(
+            &mut c,
+            "tc(X, Y) <- e(X, Y). tc(X, Y) <- e(X, Z), tc(Z, Y).",
+        );
+        assert!(out.contains("loaded (version 1)"), "{out}");
+        assert!(
+            remote_command(&mut c, ":insert e(1, 2). e(2, 3).").contains("2 operation(s) pending")
+        );
+        let out = remote_command(&mut c, ":commit");
+        assert!(out.contains("committed version 2"), "{out}");
+        assert!(out.contains("base +2/-0"), "{out}");
+        let out = remote_command(&mut c, "tc(1, Y)?");
+        assert!(out.contains("tc(1, 2)"), "{out}");
+        assert!(out.contains("tc(1, 3)"), "{out}");
+        assert!(out.contains("2 answer(s)"), "{out}");
+        // A refused commit reports the server's atomicity promise and
+        // keeps the batch staged server-side.
+        remote_command(&mut c, ":insert tc(9, 9).");
+        let out = remote_command(&mut c, ":commit");
+        assert!(out.contains("commit failed"), "{out}");
+        assert!(out.contains("staged batch preserved"), "{out}");
+        assert!(remote_command(&mut c, ":pending").contains("1 operation(s) staged"));
+        assert_eq!(remote_command(&mut c, ":abort"), "staged batch discarded");
+        let out = remote_command(&mut c, ":digest");
+        assert!(out.contains("version 2, digest "), "{out}");
+        assert!(remote_command(&mut c, ":stats").contains("tuple(s)"));
+        assert_eq!(remote_command(&mut c, ":quit"), "bye");
+        assert_eq!(remote_command(&mut c, ":shutdown"), "server stopped");
+        handle.join().unwrap();
     }
 
     #[test]

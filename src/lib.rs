@@ -12,7 +12,10 @@
 //!   exhaustive / KBZ-quadratic / simulated-annealing search;
 //! * [`analysis`] — whole-program static analysis (`ldl check`):
 //!   safety and stratification front end plus a lint suite, reported as
-//!   span-carrying diagnostics with stable `LDLxxx` codes.
+//!   span-carrying diagnostics with stable `LDLxxx` codes;
+//! * [`serve`] — the transactional persistent EDB service (`ldl-serve`
+//!   daemon): resident maintenance engine, WAL + snapshot durability,
+//!   snapshot-isolated sessions over a line-delimited JSON protocol.
 //!
 //! See `examples/quickstart.rs` for the five-minute tour.
 
@@ -22,6 +25,7 @@ pub use ldl_analysis as analysis;
 pub use ldl_core as core;
 pub use ldl_eval as eval;
 pub use ldl_optimizer as optimizer;
+pub use ldl_serve as serve;
 pub use ldl_storage as storage;
 
 pub use ldl_core::{
