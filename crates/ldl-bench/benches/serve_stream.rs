@@ -1,99 +1,286 @@
-//! Commit/query throughput of the `ldl-serve` service layer.
+//! p99-focused latency workload for the `ldl-serve` service layer.
 //!
-//! Stands up an in-process [`Server`] on a loopback socket, connects a
-//! wire [`Client`], and measures the two paths a served application
-//! exercises: the transactional commit path (stage one state-restoring
-//! retract+insert cycle, WAL-fsync, repair, publish) and the pinned-
-//! snapshot query path. Every record label embeds the service digest so
-//! the JSON pins that streamed commits leave the state bit-for-bit
-//! where it started; the `cps=`/`qps=` figures give commits and queries
-//! per second from a short calibrated pre-run.
+//! Stands up an in-process primary [`Server`] on a loopback socket and
+//! measures per-operation latency distributions — p50/p95/p99, not
+//! just throughput — for the two paths a served application exercises:
+//! the transactional commit path (state-restoring retract+insert
+//! cycles: WAL append, group fsync, incremental repair, publish) and
+//! the pinned-snapshot query path. Each commit scenario runs with 1
+//! and 4 concurrent writers; the writers=4 figures show the
+//! group-commit batcher coalescing fsyncs (`fsyncs=` vs `commits=` in
+//! the labels) and overlapping round trips. Every scenario then
+//! repeats **with a live read replica attached** (real `replicate`
+//! runner over the wire), and replica-served query latency gets its
+//! own record.
+//!
+//! Every record label embeds the service digest: the workload is
+//! state-restoring, so a single digest across the whole JSON means the
+//! streamed commits left the state bit-for-bit where it started — and
+//! the replica-tagged records embed the **replica's** digest at the
+//! same version, pinning exact convergence.
 //!
 //! Knobs: `LDL_BENCH_ITERS`, `LDL_BENCH_JSON_DIR` as usual.
 
+use ldl_serve::replicate;
+use ldl_serve::service::ServiceOptions;
 use ldl_serve::{Client, FixpointConfig, Listener, Server, Service};
 use ldl_support::bench::Harness;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const RULES: &str = "tc(X, Y) <- e(X, Y).\ntc(X, Y) <- e(X, Z), tc(Z, Y).";
+const CHAIN: i64 = 48;
 
-/// One state-restoring commit cycle: retract a mid-chain edge, commit,
-/// insert it back, commit. Two commits, no net state change.
-fn cycle(c: &mut Client, mid: i64) {
-    c.retract(&format!("e({mid}, {}).", mid + 1)).unwrap();
-    c.commit().unwrap();
-    c.insert(&format!("e({mid}, {}).", mid + 1)).unwrap();
-    c.commit().unwrap();
+/// One state-restoring commit cycle on writer `w`'s private edge: two
+/// commits, no net state change. Distinct writers touch distinct edges
+/// so concurrent cycles commute.
+fn cycle(c: &mut Client, w: usize, samples: &mut Vec<u128>) {
+    let mid = 8 + 8 * w as i64;
+    for fact in [
+        format!("e({mid}, {}).", mid + 1),
+        format!("e({mid}, {}).", mid + 1),
+    ] {
+        let retract = samples.len().is_multiple_of(2);
+        if retract {
+            c.retract(&fact).expect("retract");
+        } else {
+            c.insert(&fact).expect("insert");
+        }
+        let t0 = Instant::now();
+        c.commit().expect("commit");
+        samples.push(t0.elapsed().as_nanos());
+    }
 }
 
-fn main() {
-    let chain = 48i64;
-    let mid = chain / 2;
+/// Nearest-rank percentile of an unsorted sample set, in microseconds.
+fn pctl_us(samples: &mut [u128], p: usize) -> f64 {
+    samples.sort_unstable();
+    let n = samples.len();
+    let rank = ((n * p).div_ceil(100)).clamp(1, n) - 1;
+    samples[rank] as f64 / 1_000.0
+}
 
-    let dir = std::env::temp_dir().join(format!("ldl-bench-serve-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    let service =
-        Arc::new(Service::open(&dir, &FixpointConfig::serial(), 0).expect("service open"));
+/// Runs `writers` concurrent committers, `cycles` state-restoring
+/// cycles each; returns all per-commit latencies plus wall time.
+fn commit_workload(addr: &str, writers: usize, cycles: usize) -> (Vec<u128>, f64) {
+    let t0 = Instant::now();
+    let mut joins = Vec::new();
+    for w in 0..writers {
+        let addr = addr.to_string();
+        joins.push(std::thread::spawn(move || {
+            let mut c = Client::connect(&addr).expect("writer connect");
+            let mut samples = Vec::with_capacity(cycles * 2);
+            for _ in 0..cycles {
+                cycle(&mut c, w, &mut samples);
+            }
+            samples
+        }));
+    }
+    let mut all = Vec::new();
+    for j in joins {
+        all.extend(j.join().expect("writer thread"));
+    }
+    (all, t0.elapsed().as_secs_f64())
+}
+
+/// `n` queries on one session; per-query latencies.
+fn query_workload(addr: &str, n: usize) -> Vec<u128> {
+    let mut c = Client::connect(addr).expect("reader connect");
+    let mut samples = Vec::with_capacity(n);
+    for _ in 0..n {
+        let t0 = Instant::now();
+        let rows = c.query("tc(1, Y)?").expect("query");
+        samples.push(t0.elapsed().as_nanos());
+        assert_eq!(rows.len() as i64, CHAIN - 1, "chain closure wrong");
+    }
+    samples
+}
+
+/// Starts a server for `service` on an ephemeral loopback port.
+fn serve(service: Arc<Service>) -> (String, std::thread::JoinHandle<()>) {
     let listener = Listener::bind("127.0.0.1:0").expect("bind");
     let addr = listener
         .describe()
         .strip_prefix("tcp://")
         .expect("tcp addr")
         .to_string();
-    let server = Server::new(service, listener);
-    let server_thread = std::thread::spawn(move || server.run().expect("server run"));
+    let server = Server::new(service, listener).with_admin(true);
+    (addr, std::thread::spawn(move || server.run().expect("run")))
+}
 
-    let mut c = Client::connect(&addr).expect("connect");
-    c.load(RULES).expect("load rules");
-    let facts: String = (1..chain)
+fn scratch(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("ldl-bench-serve-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[allow(clippy::too_many_arguments)]
+fn commit_scenario(
+    h: &mut Harness,
+    primary: &Service,
+    addr: &str,
+    writers: usize,
+    cycles: usize,
+    replica: Option<&Service>,
+    setup_client: &mut Client,
+    digest0: &str,
+) {
+    let before = primary.counters();
+    let (mut samples, wall) = commit_workload(addr, writers, cycles);
+    let after = primary.counters();
+    let commits = after.commits - before.commits;
+    let fsyncs = after.fsyncs - before.fsyncs;
+    let cps = samples.len() as f64 / wall;
+    let (p50, p95, p99) = (
+        pctl_us(&mut samples, 50),
+        pctl_us(&mut samples, 95),
+        pctl_us(&mut samples, 99),
+    );
+
+    // The cycles restore the state: the digest must be back at the
+    // baseline, on the primary and (once caught up) on the replica.
+    setup_client.refresh().expect("refresh");
+    let (version, digest) = setup_client.digest().expect("digest");
+    assert_eq!(digest, digest0, "writers={writers}: state not restored");
+    let tag = match replica {
+        None => "off".to_string(),
+        Some(r) => {
+            await_replica(r, version);
+            let rdigest = format!("{:016x}", r.current().digest());
+            assert_eq!(rdigest, digest, "replica diverged at version {version}");
+            "on".to_string()
+        }
+    };
+    if writers >= 4 {
+        assert!(
+            fsyncs < commits,
+            "group commit never coalesced: {fsyncs} fsyncs for {commits} commits"
+        );
+    }
+    let label = format!(
+        "writers={writers} replica={tag} p50us={p50:.0} p95us={p95:.0} p99us={p99:.0} \
+         cps={cps:.0} commits={commits} fsyncs={fsyncs} digest={digest}"
+    );
+    let mut c = Client::connect(addr).expect("record connect");
+    let mut sink = Vec::new();
+    h.bench(&format!("serve_commit/writers={writers}"), &label, || {
+        sink.clear();
+        cycle(&mut c, 0, &mut sink)
+    });
+}
+
+fn await_replica(replica: &Service, version: u64) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while replica.version() < version {
+        assert!(
+            Instant::now() < deadline,
+            "replica stuck at {} wanting {version} (status {:?})",
+            replica.version(),
+            replica.replication_status()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn query_scenario(h: &mut Harness, group: &str, addr: &str, n: usize, digest: &str) {
+    let mut samples = query_workload(addr, n);
+    let qps =
+        samples.len() as f64 / (samples.iter().sum::<u128>() as f64 / 1e9).max(f64::MIN_POSITIVE);
+    let (p50, p95, p99) = (
+        pctl_us(&mut samples, 50),
+        pctl_us(&mut samples, 95),
+        pctl_us(&mut samples, 99),
+    );
+    let label =
+        format!("p50us={p50:.0} p95us={p95:.0} p99us={p99:.0} qps={qps:.0} digest={digest}");
+    let mut c = Client::connect(addr).expect("query connect");
+    h.bench(group, &label, || c.query("tc(1, Y)?").expect("query").len());
+}
+
+fn main() {
+    let primary_dir = scratch("primary");
+    let replica_dir = scratch("replica");
+    let primary =
+        Arc::new(Service::open(&primary_dir, &FixpointConfig::serial(), 0).expect("primary open"));
+    let (addr, _primary_thread) = serve(primary.clone());
+
+    let mut setup = Client::connect(&addr).expect("connect");
+    setup.load(RULES).expect("load rules");
+    let facts: String = (1..CHAIN)
         .map(|i| format!("e({i}, {}).\n", i + 1))
         .collect();
-    c.insert(&facts).expect("stage chain");
-    c.commit().expect("commit chain");
+    setup.insert(&facts).expect("stage chain");
+    setup.commit().expect("commit chain");
+    let (_, digest0) = setup.digest().expect("digest");
 
     let mut h = Harness::new("serve_stream");
     h.set_iters(1, 5);
-    let name = format!("serve_chain/{chain}");
+    let cycles = 50;
 
-    // Calibration pre-runs for the throughput figures in the labels.
-    let t0 = Instant::now();
-    let warm_cycles = 4u32;
-    for _ in 0..warm_cycles {
-        cycle(&mut c, mid);
-    }
-    let cps = f64::from(2 * warm_cycles) / t0.elapsed().as_secs_f64();
-    let t0 = Instant::now();
-    let warm_queries = 64u32;
-    for _ in 0..warm_queries {
-        c.query("tc(1, Y)?").expect("query");
-    }
-    let qps = f64::from(warm_queries) / t0.elapsed().as_secs_f64();
+    // Primary alone: serial baseline, then 4 concurrent writers whose
+    // fsyncs the group-commit batcher coalesces.
+    commit_scenario(
+        &mut h, &primary, &addr, 1, cycles, None, &mut setup, &digest0,
+    );
+    commit_scenario(
+        &mut h, &primary, &addr, 4, cycles, None, &mut setup, &digest0,
+    );
+    query_scenario(&mut h, "serve_query/primary", &addr, 200, &digest0);
 
-    // The digest before measuring: the state-restoring cycles must
-    // bring the service back here every time.
-    let (_, digest0) = c.digest().expect("digest");
+    // Attach a live replica over the wire and repeat.
+    let replica = Arc::new(
+        Service::open_with(
+            &replica_dir,
+            &FixpointConfig::serial(),
+            ServiceOptions::replica(0, addr.clone()),
+        )
+        .expect("replica open"),
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+    let runner = replicate::spawn(replica.clone(), stop.clone());
+    await_replica(&replica, primary.version());
 
-    h.bench(
-        &name,
-        &format!("mode=commit cps={cps:.0} digest={digest0}"),
-        || cycle(&mut c, mid),
+    commit_scenario(
+        &mut h,
+        &primary,
+        &addr,
+        1,
+        cycles,
+        Some(&replica),
+        &mut setup,
+        &digest0,
+    );
+    commit_scenario(
+        &mut h,
+        &primary,
+        &addr,
+        4,
+        cycles,
+        Some(&replica),
+        &mut setup,
+        &digest0,
     );
 
-    let (_, digest1) = c.digest().expect("digest");
+    // Queries served by the replica itself, over its own socket. The
+    // record-timing cycles above committed a few more deltas; wait for
+    // the stream to drain so the replica pins the restored state.
+    await_replica(&replica, primary.version());
     assert_eq!(
-        digest0, digest1,
-        "{name}: streamed commits did not restore the starting state"
+        format!("{:016x}", replica.current().digest()),
+        digest0,
+        "replica not at the restored state before query workload"
     );
-
-    h.bench(
-        &name,
-        &format!("mode=query qps={qps:.0} digest={digest1}"),
-        || c.query("tc(1, Y)?").expect("query").len(),
-    );
+    let (raddr, _replica_thread) = serve(replica.clone());
+    query_scenario(&mut h, "serve_query/replica", &raddr, 200, &digest0);
 
     h.finish();
-    c.shutdown().expect("shutdown");
-    server_thread.join().unwrap();
-    let _ = std::fs::remove_dir_all(&dir);
+    stop.store(true, Ordering::Relaxed);
+    runner.join().expect("runner");
+    Client::connect(&raddr)
+        .and_then(|mut c| c.shutdown())
+        .expect("replica shutdown");
+    setup.shutdown().expect("primary shutdown");
+    let _ = std::fs::remove_dir_all(&primary_dir);
+    let _ = std::fs::remove_dir_all(&replica_dir);
 }

@@ -152,6 +152,42 @@ impl Client {
         Ok((version, digest))
     }
 
+    /// Server statistics (version, counters, role, replication lag on
+    /// replicas), as the raw response object.
+    pub fn stats(&mut self) -> io::Result<Json> {
+        self.request_ok(&Self::op("stats"))
+    }
+
+    /// Fetches the replication feed from `(epoch, since)` without
+    /// waiting (the `wal_since` op); returns the raw feed object for
+    /// [`crate::replicate::feed_from_json`].
+    pub fn wal_since(&mut self, epoch: &str, since: u64, max: u64) -> io::Result<Json> {
+        self.request_ok(&Json::obj(vec![
+            ("op", Json::str("wal_since")),
+            ("epoch", Json::str(epoch)),
+            ("since", Json::int(since as i64)),
+            ("max", Json::int(max as i64)),
+        ]))
+    }
+
+    /// Long-polls the replication feed: the server holds the request
+    /// open up to `wait_ms` for a commit past `since`.
+    pub fn subscribe(
+        &mut self,
+        epoch: &str,
+        since: u64,
+        max: u64,
+        wait_ms: u64,
+    ) -> io::Result<Json> {
+        self.request_ok(&Json::obj(vec![
+            ("op", Json::str("subscribe")),
+            ("epoch", Json::str(epoch)),
+            ("since", Json::int(since as i64)),
+            ("max", Json::int(max as i64)),
+            ("wait_ms", Json::int(wait_ms as i64)),
+        ]))
+    }
+
     /// Forces a server-side snapshot.
     pub fn snapshot(&mut self) -> io::Result<()> {
         self.request_ok(&Self::op("snapshot")).map(|_| ())

@@ -18,13 +18,18 @@
 //!   sockets, one thread per connection, per-session staged batches;
 //! * [`client`] — a blocking client for the same protocol (used by
 //!   `ldl-shell --connect` and the benches);
+//! * [`replicate`] — WAL-shipping replication: the replica-side runner
+//!   (bootstrap, catch-up, reconnect with backoff) and the feed's wire
+//!   encoding; primaries group-commit concurrent writers into shared
+//!   fsyncs and serve committed frames to replicas;
 //! * [`json`] — the minimal JSON value keeping the workspace hermetic.
 //!
 //! See DESIGN.md §14 for the wire protocol and the durability /
-//! isolation contracts.
+//! isolation contracts, and §15 for replication.
 
 pub mod client;
 pub mod json;
+pub mod replicate;
 pub mod server;
 pub mod service;
 pub mod snapshot;
@@ -33,7 +38,7 @@ pub mod wal;
 pub use client::Client;
 pub use json::Json;
 pub use server::{Listener, Server};
-pub use service::{Service, StateView};
+pub use service::{ReplicationStatus, Service, ServiceOptions, StateView};
 pub use wal::{Wal, WalRecord};
 
 // Re-exported so binaries depending on this crate alone can stage

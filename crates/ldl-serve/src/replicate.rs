@@ -1,0 +1,409 @@
+//! WAL-shipping replication: the replica-side runner and the feed's
+//! wire encoding.
+//!
+//! A replica is an ordinary [`Service`] opened with
+//! [`crate::service::ServiceOptions::replica`] plus one background
+//! thread ([`spawn`]) that long-polls the primary's `subscribe` op with
+//! the replica's local `(epoch, version)` position. The primary
+//! answers with one of three shapes (see [`feed_to_json`]): records to
+//! apply, "up to date", or a full bootstrap image when the position is
+//! no longer servable. Shipped records are the **exact WAL frame
+//! payloads** the primary committed — the replica appends the same
+//! bytes to its own WAL and applies them through the same engine path,
+//! so by the canonical-order determinism contract its state (and
+//! digest) is bit-for-bit the primary's at the same version.
+//!
+//! The runner owns all failure handling: reconnect with capped
+//! exponential backoff, torn streams (a half-written response line is
+//! just an I/O error → reconnect; the position survives locally),
+//! primary restarts (the new primary either still covers the position
+//! or answers with a bootstrap), and divergence (epoch mismatch →
+//! bootstrap). Progress and errors are published into the service's
+//! [`ReplicationStatus`], surfaced through the `stats` op.
+
+use crate::client::Client;
+use crate::json::Json;
+use crate::service::{Feed, Service};
+use ldl_core::{LdlError, Result};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Lowercase hex encoding of arbitrary bytes (WAL frame payloads and
+/// bootstrap images travel as hex strings inside JSON).
+pub fn encode_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// Inverse of [`encode_hex`].
+pub fn decode_hex(s: &str) -> Result<Vec<u8>> {
+    if !s.len().is_multiple_of(2) || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(LdlError::Eval(format!(
+            "replication: bad hex payload ({} chars)",
+            s.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for i in (0..s.len()).step_by(2) {
+        out.push(u8::from_str_radix(&s[i..i + 2], 16).expect("checked hexdigits"));
+    }
+    Ok(out)
+}
+
+/// Epochs travel as 16-digit hex strings: they are full-range `u64`s
+/// and the wire's numbers are `f64` (exact only to 2^53).
+pub fn encode_epoch(epoch: u64) -> String {
+    format!("{epoch:016x}")
+}
+
+/// Parses an epoch member; `0` (matching no minted epoch) when absent
+/// or malformed, which makes the primary answer with a bootstrap.
+pub fn decode_epoch(v: Option<&Json>) -> u64 {
+    v.and_then(Json::as_str)
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .unwrap_or(0)
+}
+
+/// Serializes a [`Feed`] reply (plus the serving node's own epoch) into
+/// the wire object for `wal_since` / `subscribe` responses.
+pub fn feed_to_json(epoch: u64, feed: &Feed) -> Vec<(&'static str, Json)> {
+    let e = ("epoch", Json::str(encode_epoch(epoch)));
+    match feed {
+        Feed::UpToDate { head } => vec![
+            ("status", Json::str("up_to_date")),
+            e,
+            ("head", Json::int(*head as i64)),
+        ],
+        Feed::Records {
+            head,
+            records,
+            behind_bytes,
+        } => vec![
+            ("status", Json::str("records")),
+            e,
+            ("head", Json::int(*head as i64)),
+            ("behind_bytes", Json::int(*behind_bytes as i64)),
+            (
+                "records",
+                Json::Arr(
+                    records
+                        .iter()
+                        .map(|(seq, payload)| {
+                            Json::Arr(vec![Json::int(*seq as i64), Json::str(encode_hex(payload))])
+                        })
+                        .collect(),
+                ),
+            ),
+        ],
+        Feed::Bootstrap {
+            seq,
+            program_text,
+            db,
+        } => vec![
+            ("status", Json::str("bootstrap")),
+            e,
+            ("seq", Json::int(*seq as i64)),
+            ("program", Json::str(program_text.clone())),
+            ("db", Json::str(encode_hex(db))),
+        ],
+    }
+}
+
+/// A feed reply parsed off the wire — the client-side mirror of
+/// [`Feed`], tagged with the primary's epoch.
+#[derive(Debug)]
+pub enum FeedResponse {
+    /// The replica is at the primary's head.
+    UpToDate {
+        /// Primary's epoch.
+        epoch: u64,
+        /// Primary's published head.
+        head: u64,
+    },
+    /// Records to append and apply, oldest first.
+    Records {
+        /// Primary's epoch.
+        epoch: u64,
+        /// Primary's published head.
+        head: u64,
+        /// `(seq, frame payload)` pairs.
+        records: Vec<(u64, Vec<u8>)>,
+        /// Retained bytes beyond this reply.
+        behind_bytes: u64,
+    },
+    /// A full image to install.
+    Bootstrap {
+        /// Primary's epoch (the replica adopts it).
+        epoch: u64,
+        /// Version of the image.
+        seq: u64,
+        /// Rule base source text.
+        program_text: String,
+        /// Codec-encoded EDB.
+        db: Vec<u8>,
+    },
+}
+
+/// Parses a `wal_since` / `subscribe` response object.
+pub fn feed_from_json(resp: &Json) -> Result<FeedResponse> {
+    let epoch = decode_epoch(resp.get("epoch"));
+    let int = |key: &str| resp.get(key).and_then(Json::as_int).unwrap_or(0) as u64;
+    match resp.get("status").and_then(Json::as_str) {
+        Some("up_to_date") => Ok(FeedResponse::UpToDate {
+            epoch,
+            head: int("head"),
+        }),
+        Some("records") => {
+            let mut records = Vec::new();
+            for item in resp
+                .get("records")
+                .and_then(Json::as_arr)
+                .unwrap_or_default()
+            {
+                let pair = item.as_arr().unwrap_or_default();
+                let (Some(seq), Some(hex)) = (
+                    pair.first().and_then(Json::as_int),
+                    pair.get(1).and_then(Json::as_str),
+                ) else {
+                    return Err(LdlError::Eval(
+                        "replication: malformed record entry in feed response".into(),
+                    ));
+                };
+                records.push((seq as u64, decode_hex(hex)?));
+            }
+            Ok(FeedResponse::Records {
+                epoch,
+                head: int("head"),
+                records,
+                behind_bytes: int("behind_bytes"),
+            })
+        }
+        Some("bootstrap") => Ok(FeedResponse::Bootstrap {
+            epoch,
+            seq: int("seq"),
+            program_text: resp
+                .get("program")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+            db: decode_hex(resp.get("db").and_then(Json::as_str).unwrap_or(""))?,
+        }),
+        other => Err(LdlError::Eval(format!(
+            "replication: feed response with unknown status {other:?}"
+        ))),
+    }
+}
+
+/// Records fetched per reply — small enough to keep apply batches (and
+/// their single fsync) snappy, large enough to catch up quickly.
+const MAX_RECORDS: u64 = 64;
+/// Long-poll window: how long the primary may hold `subscribe` open
+/// waiting for a commit past our position.
+const WAIT_MS: u64 = 500;
+const BACKOFF_BASE: Duration = Duration::from_millis(100);
+const BACKOFF_CAP: Duration = Duration::from_secs(5);
+
+/// Spawns the replication runner thread for a replica-role service.
+/// The thread exits promptly once `stop` is set (it polls it between
+/// requests and while backing off).
+pub fn spawn(service: Arc<Service>, stop: Arc<AtomicBool>) -> thread::JoinHandle<()> {
+    thread::Builder::new()
+        .name("ldl-replicate".into())
+        .spawn(move || run(&service, &stop))
+        .expect("spawn replication runner")
+}
+
+/// The runner loop (public so tests can drive it on the current
+/// thread). Requires `service` to have been opened in replica role.
+pub fn run(service: &Service, stop: &AtomicBool) {
+    let primary = service
+        .primary_target()
+        .expect("replication runner needs a replica-role service")
+        .to_string();
+    let mut backoff = BACKOFF_BASE;
+    let mut connected_once = false;
+    while !stop.load(Ordering::Relaxed) {
+        match Client::connect(&primary) {
+            Ok(mut client) => {
+                if connected_once {
+                    service.update_replication_status(|s| s.reconnects += 1);
+                }
+                connected_once = true;
+                service.update_replication_status(|s| {
+                    s.connected = true;
+                    s.last_error = None;
+                });
+                match drive(service, &mut client, stop) {
+                    Ok(()) => return, // stop requested
+                    Err(e) => {
+                        service.update_replication_status(|s| {
+                            s.connected = false;
+                            s.last_error = Some(e.to_string());
+                        });
+                    }
+                }
+                // A successful session resets the backoff.
+                backoff = BACKOFF_BASE;
+            }
+            Err(e) => {
+                if connected_once {
+                    service.update_replication_status(|s| s.reconnects += 1);
+                }
+                service.update_replication_status(|s| {
+                    s.connected = false;
+                    s.last_error = Some(e.to_string());
+                });
+            }
+        }
+        sleep_unless_stopped(stop, backoff);
+        backoff = (backoff * 2).min(BACKOFF_CAP);
+    }
+}
+
+/// One connected session: poll, apply, repeat until an error or `stop`.
+fn drive(service: &Service, client: &mut Client, stop: &AtomicBool) -> Result<()> {
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let (epoch, since) = service.position();
+        let resp = client
+            .subscribe(&encode_epoch(epoch), since, MAX_RECORDS, WAIT_MS)
+            .map_err(|e| LdlError::Eval(format!("replication: {e}")))?;
+        match feed_from_json(&resp)? {
+            FeedResponse::UpToDate { head, .. } => {
+                service.update_replication_status(|s| {
+                    s.primary_head = head;
+                    s.behind_bytes = 0;
+                });
+            }
+            FeedResponse::Records {
+                head,
+                records,
+                behind_bytes,
+                ..
+            } => {
+                service.apply_replicated(&records)?;
+                service.update_replication_status(|s| {
+                    s.primary_head = head;
+                    s.behind_bytes = behind_bytes;
+                });
+            }
+            FeedResponse::Bootstrap {
+                epoch,
+                seq,
+                program_text,
+                db,
+            } => {
+                service.install_bootstrap(epoch, seq, &program_text, &db)?;
+                service.update_replication_status(|s| {
+                    s.primary_head = seq;
+                    s.behind_bytes = 0;
+                    s.bootstraps += 1;
+                });
+            }
+        }
+    }
+}
+
+fn sleep_unless_stopped(stop: &AtomicBool, total: Duration) {
+    let step = Duration::from_millis(25);
+    let mut slept = Duration::ZERO;
+    while slept < total && !stop.load(Ordering::Relaxed) {
+        thread::sleep(step);
+        slept += step;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip_and_rejects() {
+        let bytes: Vec<u8> = (0u8..=255).collect();
+        assert_eq!(decode_hex(&encode_hex(&bytes)).unwrap(), bytes);
+        assert_eq!(encode_hex(&[0x00, 0xff]), "00ff");
+        assert!(decode_hex("abc").is_err()); // odd length
+        assert!(decode_hex("zz").is_err()); // not hex
+        assert_eq!(decode_hex("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn epoch_roundtrip_full_range() {
+        // Epochs exercise all 64 bits — the f64 wire number would lose
+        // them, the hex string must not.
+        for e in [0u64, 1, (1 << 53) + 1, u64::MAX] {
+            let j = Json::str(encode_epoch(e));
+            assert_eq!(decode_epoch(Some(&j)), e);
+        }
+        assert_eq!(decode_epoch(None), 0);
+        assert_eq!(decode_epoch(Some(&Json::str("not hex"))), 0);
+    }
+
+    #[test]
+    fn feed_shapes_roundtrip_the_wire() {
+        let epoch = u64::MAX - 17;
+        for feed in [
+            Feed::UpToDate { head: 12 },
+            Feed::Records {
+                head: 12,
+                records: vec![(11, vec![1, 2, 3]), (12, vec![0xff, 0x00])],
+                behind_bytes: 99,
+            },
+            Feed::Bootstrap {
+                seq: 7,
+                program_text: "p(X) <- q(X).".into(),
+                db: vec![4, 5, 6],
+            },
+        ] {
+            let wire = Json::obj(feed_to_json(epoch, &feed));
+            let text = wire.to_string();
+            let parsed = feed_from_json(&crate::json::parse(&text).unwrap()).unwrap();
+            match (&feed, &parsed) {
+                (Feed::UpToDate { head }, FeedResponse::UpToDate { epoch: e, head: h }) => {
+                    assert_eq!((*e, *h), (epoch, *head));
+                }
+                (
+                    Feed::Records {
+                        head,
+                        records,
+                        behind_bytes,
+                    },
+                    FeedResponse::Records {
+                        epoch: e,
+                        head: h,
+                        records: r,
+                        behind_bytes: b,
+                    },
+                ) => {
+                    assert_eq!((*e, *h, *b), (epoch, *head, *behind_bytes));
+                    assert_eq!(r, records);
+                }
+                (
+                    Feed::Bootstrap {
+                        seq,
+                        program_text,
+                        db,
+                    },
+                    FeedResponse::Bootstrap {
+                        epoch: e,
+                        seq: s,
+                        program_text: p,
+                        db: d,
+                    },
+                ) => {
+                    assert_eq!((*e, *s), (epoch, *seq));
+                    assert_eq!(p, program_text);
+                    assert_eq!(d, db);
+                }
+                (f, p) => panic!("shape changed across the wire: {f:?} -> {p:?}"),
+            }
+        }
+    }
+}

@@ -21,12 +21,22 @@
 //! | `query`   | `goal` (e.g. `p(1,X)?`)| `version`, `count`, `rows` (strings)    |
 //! | `refresh` |                        | `version`                               |
 //! | `digest`  |                        | `version`, `digest` (hex, pinned view)  |
-//! | `stats`   |                        | `version`, `preds`, `tuples`            |
-//! | `snapshot`|                        |                                         |
+//! | `stats`   |                        | `version`, `preds`, `tuples`, `role`, `epoch`, `commits`, `fsyncs`, replication fields on replicas |
+//! | `snapshot`|                        | (admin-gated)                           |
 //! | `ping`    |                        |                                         |
-//! | `shutdown`|                        | (server exits its accept loop)          |
+//! | `shutdown`|                        | (admin-gated; server exits accept loop) |
+//! | `wal_since`| `epoch` (hex), `since`, `max` | feed reply: `status` = `records` / `up_to_date` / `bootstrap` (see [`crate::replicate`]) |
+//! | `subscribe`| `epoch`, `since`, `max`, `wait_ms` | like `wal_since`, but long-polls up to `wait_ms` for a commit past `since` |
+//!
+//! `snapshot` and `shutdown` are **admin ops**: they are refused unless
+//! the listener allows remote administration — on by default for Unix
+//! sockets (local, filesystem-permissioned), off by default for TCP
+//! (`--allow-remote-admin` opts in). This keeps a replica's outbound
+//! connection — or any remote read session — from shutting down the
+//! primary.
 
 use crate::json::{self, Json};
+use crate::replicate;
 use crate::service::Service;
 use ldl_core::parser::{parse_program, parse_query};
 use ldl_core::Term;
@@ -142,12 +152,31 @@ impl Drop for Listener {
 pub struct Server {
     service: Arc<Service>,
     listener: Listener,
+    allow_admin: bool,
 }
 
 impl Server {
-    /// Couples a service with a bound listener.
+    /// Couples a service with a bound listener. Remote admin
+    /// (`shutdown` / `snapshot`) defaults by listener type: allowed on
+    /// Unix sockets, refused on TCP.
     pub fn new(service: Arc<Service>, listener: Listener) -> Server {
-        Server { service, listener }
+        let allow_admin = match &listener {
+            Listener::Tcp(_) => false,
+            #[cfg(unix)]
+            Listener::Unix(..) => true,
+        };
+        Server {
+            service,
+            listener,
+            allow_admin,
+        }
+    }
+
+    /// Overrides the admin-op default (the `--allow-remote-admin`
+    /// flag).
+    pub fn with_admin(mut self, allow: bool) -> Server {
+        self.allow_admin = allow;
+        self
     }
 
     /// The bound address, for logging.
@@ -168,13 +197,14 @@ impl Server {
                 Ok(conn) => {
                     let service = self.service.clone();
                     let stop = stop.clone();
+                    let allow_admin = self.allow_admin;
                     let poke = match &self.listener {
                         Listener::Tcp(l) => Poke::Tcp(l.local_addr().ok()),
                         #[cfg(unix)]
                         Listener::Unix(_, path) => Poke::Unix(path.clone()),
                     };
                     thread::spawn(move || {
-                        let _ = handle_conn(service, conn, stop, poke);
+                        let _ = handle_conn(service, conn, stop, poke, allow_admin);
                     });
                 }
                 Err(e) => return Err(e),
@@ -217,6 +247,13 @@ fn err(msg: impl Into<String>) -> Json {
     ])
 }
 
+fn admin_refused(op: &str) -> String {
+    format!(
+        "admin op '{op}' is not allowed on this listener \
+         (start the server with --allow-remote-admin to enable it)"
+    )
+}
+
 /// Parses a facts-only source text into `(pred, tuple)` pairs.
 fn parse_facts(text: &str) -> Result<Vec<(ldl_core::Pred, Tuple)>, String> {
     let program = parse_program(text).map_err(|e| e.to_string())?;
@@ -241,6 +278,7 @@ fn handle_conn(
     conn: Box<dyn Conn>,
     stop: Arc<AtomicBool>,
     poke: Poke,
+    allow_admin: bool,
 ) -> io::Result<()> {
     let reader = BufReader::new(conn.try_clone_conn()?);
     let mut writer = conn;
@@ -265,6 +303,14 @@ fn handle_conn(
             "hello" => ok(vec![
                 ("server", Json::str("ldl-serve")),
                 ("version", Json::int(pinned.version as i64)),
+                (
+                    "role",
+                    Json::str(if service.primary_target().is_some() {
+                        "replica"
+                    } else {
+                        "primary"
+                    }),
+                ),
             ]),
             "ping" => ok(vec![]),
             "load" => match request.get("text").and_then(Json::as_str) {
@@ -358,18 +404,81 @@ fn handle_conn(
                 ("version", Json::int(pinned.version as i64)),
                 ("digest", Json::str(format!("{:016x}", pinned.digest()))),
             ]),
-            "stats" => ok(vec![
-                ("version", Json::int(pinned.version as i64)),
-                ("preds", Json::int(pinned.db.preds().len() as i64)),
-                ("tuples", Json::int(pinned.total_tuples() as i64)),
-            ]),
+            "stats" => {
+                let counters = service.counters();
+                let mut pairs = vec![
+                    ("version", Json::int(pinned.version as i64)),
+                    ("preds", Json::int(pinned.db.preds().len() as i64)),
+                    ("tuples", Json::int(pinned.total_tuples() as i64)),
+                    ("epoch", Json::str(replicate::encode_epoch(service.epoch()))),
+                    ("commits", Json::int(counters.commits as i64)),
+                    ("fsyncs", Json::int(counters.fsyncs as i64)),
+                ];
+                match service.primary_target() {
+                    None => pairs.push(("role", Json::str("primary"))),
+                    Some(primary) => {
+                        let r = service.replication_status();
+                        // Lag against the freshest applied version, not
+                        // the session's pin.
+                        let applied = service.version();
+                        pairs.extend([
+                            ("role", Json::str("replica")),
+                            ("primary", Json::str(primary)),
+                            ("connected", Json::Bool(r.connected)),
+                            ("primary_head", Json::int(r.primary_head as i64)),
+                            (
+                                "lag_versions",
+                                Json::int(r.primary_head.saturating_sub(applied) as i64),
+                            ),
+                            ("behind_bytes", Json::int(r.behind_bytes as i64)),
+                            ("reconnects", Json::int(r.reconnects as i64)),
+                            ("bootstraps", Json::int(r.bootstraps as i64)),
+                            (
+                                "last_error",
+                                r.last_error.map(Json::str).unwrap_or(Json::Null),
+                            ),
+                        ]);
+                    }
+                }
+                ok(pairs)
+            }
+            "snapshot" if !allow_admin => err(admin_refused("snapshot")),
             "snapshot" => match service.snapshot_now() {
                 Ok(()) => ok(vec![]),
                 Err(e) => err(e.to_string()),
             },
+            "shutdown" if !allow_admin => err(admin_refused("shutdown")),
             "shutdown" => {
                 shutdown = true;
                 ok(vec![])
+            }
+            "wal_since" | "subscribe" => {
+                let epoch = replicate::decode_epoch(request.get("epoch"));
+                let since = request
+                    .get("since")
+                    .and_then(Json::as_int)
+                    .unwrap_or(0)
+                    .max(0) as u64;
+                let max = request
+                    .get("max")
+                    .and_then(Json::as_int)
+                    .unwrap_or(64)
+                    .clamp(1, 4096) as usize;
+                if op == "subscribe" {
+                    // Long-poll: hold the request open until a commit
+                    // moves past the follower's position (or time out
+                    // and answer with whatever is current).
+                    let wait_ms = request
+                        .get("wait_ms")
+                        .and_then(Json::as_int)
+                        .unwrap_or(1000)
+                        .clamp(0, 30_000) as u64;
+                    service.wait_for_version(since, std::time::Duration::from_millis(wait_ms));
+                }
+                ok(replicate::feed_to_json(
+                    service.epoch(),
+                    &service.feed_since(epoch, since, max),
+                ))
             }
             other => err(format!("unknown op '{other}'")),
         };

@@ -17,9 +17,18 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 8] = b"LDLSNAP1";
+const META_MAGIC: &[u8; 8] = b"LDLMETA1";
 
 /// The snapshot file name inside a service data directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.bin";
+
+/// The meta file name inside a service data directory: one checksummed
+/// frame holding the history **epoch** — a random identifier minted
+/// when a primary creates a fresh data directory and copied to every
+/// replica that bootstraps from it. Two directories with the same epoch
+/// hold prefixes of the same commit history, which is what makes a
+/// `(epoch, version)` replication position meaningful across restarts.
+pub const META_FILE: &str = "meta.bin";
 
 fn snap_io(e: io::Error) -> LdlError {
     LdlError::Eval(format!("snapshot: i/o error: {e}"))
@@ -112,6 +121,53 @@ pub fn load_snapshot(dir: &Path) -> Result<Option<Snapshot>> {
     }))
 }
 
+/// Atomically writes the epoch meta file into `dir` (tmp + rename +
+/// dir fsync, like snapshots).
+pub fn write_meta(dir: &Path, epoch: u64) -> Result<()> {
+    let mut payload = Vec::new();
+    codec::put_u64(&mut payload, epoch);
+    let tmp = dir.join(format!("{META_FILE}.tmp"));
+    let mut f = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&tmp)
+        .map_err(snap_io)?;
+    io::Write::write_all(&mut f, META_MAGIC).map_err(snap_io)?;
+    codec::write_frame(&mut f, &payload).map_err(snap_io)?;
+    f.sync_all().map_err(snap_io)?;
+    drop(f);
+    fs::rename(&tmp, dir.join(META_FILE)).map_err(snap_io)?;
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Reads the epoch from `dir`'s meta file; `Ok(None)` when the file is
+/// missing (fresh directory). A torn meta (crash mid-first-write) also
+/// reads as `None` — the epoch is re-minted, which is safe because no
+/// commit could have been acknowledged before the meta existed.
+pub fn read_meta(dir: &Path) -> Result<Option<u64>> {
+    let path = dir.join(META_FILE);
+    let mut f = match File::open(&path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(snap_io(e)),
+    };
+    let mut magic = [0u8; 8];
+    if io::Read::read_exact(&mut f, &mut magic).is_err() || &magic != META_MAGIC {
+        return Ok(None);
+    }
+    match codec::read_frame(&mut f).map_err(snap_io)? {
+        Frame::Payload(p) => {
+            let mut d = Decoder::new(&p);
+            Ok(Some(d.u64()?))
+        }
+        _ => Ok(None),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,6 +198,19 @@ mod tests {
         );
         // No .tmp residue after a clean write.
         assert!(!dir.join(format!("{SNAPSHOT_FILE}.tmp")).exists());
+    }
+
+    #[test]
+    fn meta_roundtrip_missing_and_torn() {
+        let dir = tmpdir("meta");
+        assert_eq!(read_meta(&dir).unwrap(), None);
+        write_meta(&dir, 0xDEAD_BEEF_CAFE_F00D).unwrap();
+        assert_eq!(read_meta(&dir).unwrap(), Some(0xDEAD_BEEF_CAFE_F00D));
+        // A torn meta reads as None (re-mint), never panics.
+        let path = dir.join(META_FILE);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert_eq!(read_meta(&dir).unwrap(), None);
     }
 
     #[test]

@@ -36,7 +36,10 @@ pub enum WalRecord {
     Delta(EdbDelta),
 }
 
-fn encode_record(seq: u64, rec: &WalRecord) -> Vec<u8> {
+/// Encodes one record into the frame payload shipped over the wire by
+/// replication and written to the log by [`Wal::append`]:
+/// `[seq u64][kind u8][body]`.
+pub fn encode_record(seq: u64, rec: &WalRecord) -> Vec<u8> {
     let mut buf = Vec::new();
     codec::put_u64(&mut buf, seq);
     match rec {
@@ -64,7 +67,9 @@ fn encode_record(seq: u64, rec: &WalRecord) -> Vec<u8> {
     buf
 }
 
-fn decode_record(payload: &[u8]) -> Result<(u64, WalRecord), LdlError> {
+/// Decodes one frame payload produced by [`encode_record`]. Every read
+/// is bounds-checked; corrupt payloads surface as errors, never panics.
+pub fn decode_record(payload: &[u8]) -> Result<(u64, WalRecord), LdlError> {
     let mut d = Decoder::new(payload);
     let seq = d.u64()?;
     let kind = d.u8()?;
@@ -191,13 +196,46 @@ impl Wal {
     /// frame is durable — callers apply the record to the engine
     /// strictly afterwards.
     pub fn append(&mut self, seq: u64, rec: &WalRecord) -> Result<(), LdlError> {
+        self.append_nosync(seq, rec)?;
+        self.sync()
+    }
+
+    /// Appends one record **without** syncing and returns its encoded
+    /// payload (the bytes replication ships). The caller owns
+    /// durability: either [`Wal::sync`] on this handle or an `fsync` on
+    /// a [`Wal::sync_handle`] — the group-commit batcher coalesces many
+    /// appends into one such sync.
+    pub fn append_nosync(&mut self, seq: u64, rec: &WalRecord) -> Result<Vec<u8>, LdlError> {
         let payload = encode_record(seq, rec);
+        self.append_payload_nosync(&payload)?;
+        Ok(payload)
+    }
+
+    /// Appends an already-encoded frame payload without syncing — the
+    /// replica apply path writes the exact bytes the primary shipped.
+    pub fn append_payload_nosync(&mut self, payload: &[u8]) -> Result<(), LdlError> {
         let start = self.len;
-        codec::write_frame(&mut self.file, &payload).map_err(wal_io)?;
-        self.file.sync_all().map_err(wal_io)?;
+        codec::write_frame(&mut self.file, payload).map_err(wal_io)?;
         self.last_record_start = Some(start);
         self.len = start + 8 + payload.len() as u64;
         Ok(())
+    }
+
+    /// Syncs every appended frame to disk.
+    pub fn sync(&self) -> Result<(), LdlError> {
+        self.file.sync_all().map_err(wal_io)
+    }
+
+    /// An independently owned handle to the log file for out-of-lock
+    /// fsyncs (same inode; `sync_all` on it covers every append,
+    /// including after [`Wal::reset`], which truncates in place).
+    pub fn sync_handle(&self) -> Result<File, LdlError> {
+        self.file.try_clone().map_err(wal_io)
+    }
+
+    /// Current file length in bytes (header + complete frames).
+    pub fn len_bytes(&self) -> u64 {
+        self.len
     }
 
     /// Rolls back the most recent append (used when the engine refused
@@ -331,6 +369,37 @@ mod tests {
         let (_, recs) = Wal::open(&path).unwrap();
         assert_eq!(recs.len(), 2);
         assert!(matches!(recs[1].1, WalRecord::Rules(_)));
+    }
+
+    #[test]
+    fn corrupted_wal_bytes_never_panic() {
+        // Flip one bit at every byte position, and truncate at every
+        // length: `Wal::open` must come back `Ok` (dropping records from
+        // the damage onward — CRC-32 catches every single-bit flip) or a
+        // clean `Err` (damaged magic), never panic.
+        let dir = tmpdir("fuzz");
+        let path = dir.join("wal.bin");
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            wal.append(1, &WalRecord::Rules("p(X) <- e(X, _).".into()))
+                .unwrap();
+            wal.append(2, &WalRecord::Delta(sample_delta())).unwrap();
+        }
+        let pristine = std::fs::read(&path).unwrap();
+        let scratch = dir.join("scratch.bin");
+        for pos in 0..pristine.len() {
+            let mut bytes = pristine.clone();
+            bytes[pos] ^= 1 << (pos % 8);
+            std::fs::write(&scratch, &bytes).unwrap();
+            if let Ok((_, recs)) = Wal::open(&scratch) {
+                assert!(recs.len() <= 2, "flip at {pos} invented records");
+            }
+        }
+        for cut in 0..pristine.len() {
+            std::fs::write(&scratch, &pristine[..cut]).unwrap();
+            let (_, recs) = Wal::open(&scratch).expect("truncation is always recoverable");
+            assert!(recs.len() <= 2, "cut at {cut} invented records");
+        }
     }
 
     #[test]

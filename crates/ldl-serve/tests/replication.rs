@@ -1,0 +1,227 @@
+//! End-to-end replication tests, in-process: a primary `Server` on a
+//! loopback socket, a replica `Service` driven by the real
+//! `replicate::run` loop over the real wire protocol.
+
+use ldl_serve::replicate;
+use ldl_serve::service::ServiceOptions;
+use ldl_serve::{Client, FixpointConfig, Json, Listener, Server, Service};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+const RULES: &str = "tc(X, Y) <- e(X, Y).\ntc(X, Y) <- e(X, Z), tc(Z, Y).";
+
+fn tmpdir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("ldl-repl-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Starts a primary server over loopback TCP with the given options;
+/// returns its service handle, its address, and the join handle.
+fn start_primary(
+    dir: &Path,
+    opts: ServiceOptions,
+) -> (Arc<Service>, String, thread::JoinHandle<()>) {
+    let service =
+        Arc::new(Service::open_with(dir, &FixpointConfig::serial(), opts).expect("primary open"));
+    let listener = Listener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener
+        .describe()
+        .strip_prefix("tcp://")
+        .expect("tcp addr")
+        .to_string();
+    let server = Server::new(service.clone(), listener).with_admin(true);
+    let handle = thread::spawn(move || server.run().expect("server run"));
+    (service, addr, handle)
+}
+
+/// Opens a replica of `addr` in `dir` and spawns its runner thread.
+fn start_replica(
+    dir: &Path,
+    addr: &str,
+    stop: &Arc<AtomicBool>,
+) -> (Arc<Service>, thread::JoinHandle<()>) {
+    let service = Arc::new(
+        Service::open_with(
+            dir,
+            &FixpointConfig::serial(),
+            ServiceOptions::replica(0, addr),
+        )
+        .expect("replica open"),
+    );
+    let runner = replicate::spawn(service.clone(), stop.clone());
+    (service, runner)
+}
+
+fn await_version(service: &Service, version: u64, why: &str) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while service.version() != version {
+        assert!(
+            Instant::now() < deadline,
+            "{why}: stuck at {} wanting {version}",
+            service.version()
+        );
+        thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn replica_bootstraps_catches_up_and_redirects_writes() {
+    let stop = Arc::new(AtomicBool::new(false));
+    let (primary, addr, _server) = start_primary(&tmpdir("track-p"), ServiceOptions::new(0));
+    // Commits landed before the replica exists force the bootstrap path
+    // for some, the records path for the rest.
+    let mut c = Client::connect(&addr).unwrap();
+    c.load(RULES).unwrap();
+    c.insert("e(1, 2). e(2, 3).").unwrap();
+    c.commit().unwrap();
+
+    let (replica, runner) = start_replica(&tmpdir("track-r"), &addr, &stop);
+    await_version(&replica, primary.version(), "initial catch-up");
+    assert_eq!(replica.position(), primary.position(), "epoch adopted");
+    assert_eq!(replica.current().digest(), primary.current().digest());
+    let status = replica.replication_status();
+    assert!(status.connected);
+    assert_eq!(status.bootstraps, 1, "fresh replica bootstraps once");
+
+    // Live commits stream through subscribe and apply bit-for-bit.
+    for i in 3..=12u64 {
+        c.insert(&format!("e({i}, {}).", i + 1)).unwrap();
+        c.commit().unwrap();
+    }
+    await_version(&replica, primary.version(), "live streaming");
+    assert_eq!(replica.current().digest(), primary.current().digest());
+    let status = replica.replication_status();
+    assert_eq!(status.primary_head, primary.version());
+    assert_eq!(status.behind_bytes, 0);
+
+    // The replica's own sessions read at full fidelity...
+    let q = ldl_core::parser::parse_query("tc(1, Y)?").unwrap();
+    assert_eq!(
+        replica.current().answers(&q).len(),
+        primary.current().answers(&q).len()
+    );
+    // ...but its writes are refused with a redirect to the primary.
+    let mut d = ldl_serve::EdbDelta::new();
+    d.insert(
+        ldl_core::Pred::new("e", 2),
+        ldl_storage::Tuple::ints(&[99, 100]),
+    );
+    let err = replica.commit(&d).unwrap_err().to_string();
+    assert!(err.contains("read-only replica"), "{err}");
+    assert!(err.contains(&addr), "{err}");
+
+    stop.store(true, Ordering::Relaxed);
+    runner.join().unwrap();
+}
+
+#[test]
+fn replica_rebootstraps_when_the_feed_window_evicted_its_position() {
+    let stop = Arc::new(AtomicBool::new(false));
+    // A tiny retention window: anything more than 2 commits behind can
+    // only be served a bootstrap image.
+    let (primary, addr, _server) = start_primary(
+        &tmpdir("evict-p"),
+        ServiceOptions {
+            feed_retain: 2,
+            ..ServiceOptions::new(0)
+        },
+    );
+    let mut c = Client::connect(&addr).unwrap();
+    c.load(RULES).unwrap();
+
+    let (replica, runner) = start_replica(&tmpdir("evict-r"), &addr, &stop);
+    await_version(&replica, primary.version(), "first bootstrap");
+    assert_eq!(replica.replication_status().bootstraps, 1);
+
+    // Stop the runner, let the primary race far past the window, then
+    // reconnect: the replica's position is evicted → second bootstrap.
+    stop.store(true, Ordering::Relaxed);
+    runner.join().unwrap();
+    for i in 1..=10u64 {
+        c.insert(&format!("e({i}, {}).", i + 1)).unwrap();
+        c.commit().unwrap();
+    }
+    stop.store(false, Ordering::Relaxed);
+    let runner = replicate::spawn(replica.clone(), stop.clone());
+    await_version(&replica, primary.version(), "re-bootstrap");
+    assert_eq!(replica.current().digest(), primary.current().digest());
+    assert_eq!(
+        replica.replication_status().bootstraps,
+        2,
+        "an evicted position must be served a fresh image"
+    );
+
+    stop.store(true, Ordering::Relaxed);
+    runner.join().unwrap();
+}
+
+#[test]
+fn subscribe_long_polls_until_a_commit_lands() {
+    let (primary, addr, _server) = start_primary(&tmpdir("longpoll-p"), ServiceOptions::new(0));
+    let mut c = Client::connect(&addr).unwrap();
+    c.load(RULES).unwrap();
+    let head = primary.version();
+    let epoch = replicate::encode_epoch(primary.epoch());
+
+    // At the head with nothing coming: the poll times out up_to_date.
+    let mut poller = Client::connect(&addr).unwrap();
+    let resp = poller.subscribe(&epoch, head, 16, 50).unwrap();
+    assert_eq!(
+        resp.get("status").and_then(Json::as_str),
+        Some("up_to_date")
+    );
+
+    // A commit lands while the poll is parked: it returns the record
+    // well before the 10s window expires.
+    let committer = thread::spawn(move || {
+        thread::sleep(Duration::from_millis(100));
+        c.insert("e(1, 2).").unwrap();
+        c.commit().unwrap();
+    });
+    let started = Instant::now();
+    let resp = poller.subscribe(&epoch, head, 16, 10_000).unwrap();
+    committer.join().unwrap();
+    assert_eq!(resp.get("status").and_then(Json::as_str), Some("records"));
+    assert!(
+        started.elapsed() < Duration::from_secs(8),
+        "long-poll should wake on publish, not sleep out its window"
+    );
+    match replicate::feed_from_json(&resp).unwrap() {
+        replicate::FeedResponse::Records { records, .. } => {
+            assert_eq!(records.len(), 1);
+            assert_eq!(records[0].0, head + 1);
+        }
+        other => panic!("expected records, got {other:?}"),
+    }
+}
+
+#[test]
+fn feed_survives_primary_snapshots_within_the_window() {
+    let stop = Arc::new(AtomicBool::new(false));
+    // Snapshot every 3 records: the primary's WAL file is reset
+    // mid-stream, but the in-memory feed keeps shipping.
+    let (primary, addr, _server) = start_primary(&tmpdir("snapfeed-p"), ServiceOptions::new(3));
+    let mut c = Client::connect(&addr).unwrap();
+    c.load(RULES).unwrap();
+
+    let (replica, runner) = start_replica(&tmpdir("snapfeed-r"), &addr, &stop);
+    await_version(&replica, primary.version(), "bootstrap");
+    for i in 1..=10u64 {
+        c.insert(&format!("e({i}, {}).", i + 1)).unwrap();
+        c.commit().unwrap();
+    }
+    await_version(&replica, primary.version(), "streaming across snapshots");
+    assert_eq!(replica.current().digest(), primary.current().digest());
+    assert_eq!(
+        replica.replication_status().bootstraps,
+        1,
+        "snapshot-triggered WAL resets must not force re-bootstraps"
+    );
+
+    stop.store(true, Ordering::Relaxed);
+    runner.join().unwrap();
+}

@@ -13,7 +13,8 @@ fn tmpdir(name: &str) -> PathBuf {
 }
 
 /// Starts a server on an ephemeral TCP port; returns its address and
-/// the join handle (the server exits on `shutdown`).
+/// the join handle (the server exits on `shutdown` — these tests opt
+/// in to remote admin; the TCP default refuses it).
 fn start(dir: &Path) -> (String, thread::JoinHandle<()>) {
     let service = Arc::new(Service::open(dir, &FixpointConfig::serial(), 0).expect("service open"));
     let listener = Listener::bind("127.0.0.1:0").expect("bind");
@@ -22,7 +23,7 @@ fn start(dir: &Path) -> (String, thread::JoinHandle<()>) {
         .strip_prefix("tcp://")
         .expect("tcp addr")
         .to_string();
-    let server = Server::new(service, listener);
+    let server = Server::new(service, listener).with_admin(true);
     let handle = thread::spawn(move || {
         server.run().expect("server run");
     });
@@ -186,4 +187,40 @@ fn unix_socket_transport_works() {
     handle.join().unwrap();
     // The socket file is unlinked when the listener drops.
     assert!(!sock.exists());
+}
+
+#[test]
+fn tcp_refuses_admin_ops_by_default() {
+    let dir = tmpdir("admin-default");
+    let service =
+        Arc::new(Service::open(&dir, &FixpointConfig::serial(), 0).expect("service open"));
+    let listener = Listener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener
+        .describe()
+        .strip_prefix("tcp://")
+        .expect("tcp addr")
+        .to_string();
+    // Plain Server::new: the TCP default keeps admin ops off.
+    let server = Server::new(service, listener);
+    let _handle = thread::spawn(move || server.run());
+
+    let mut c = Client::connect(&addr).unwrap();
+    // Ordinary traffic is unaffected...
+    c.load("p(X) <- e(X).").unwrap();
+    c.insert("e(7).").unwrap();
+    c.commit().unwrap();
+    assert_eq!(c.query("p(X)?").unwrap(), vec!["(7)"]);
+    // ...but shutdown and snapshot are refused with a pointer to the
+    // flag, and the server keeps serving afterwards.
+    for op in ["shutdown", "snapshot"] {
+        let e = c
+            .request_ok(&Json::obj(vec![("op", Json::str(op))]))
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("not allowed"), "{op}: {e}");
+        assert!(e.contains("--allow-remote-admin"), "{op}: {e}");
+    }
+    assert_eq!(c.query("p(X)?").unwrap(), vec!["(7)"]);
+    // The accept-loop thread leaks by design here: refusing shutdown is
+    // exactly what this test asserts.
 }

@@ -367,9 +367,21 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Frame> {
     if len > MAX_FRAME_LEN {
         return Ok(Frame::Torn);
     }
-    let mut payload = vec![0u8; len as usize];
-    if read_fully(r, &mut payload)? < payload.len() {
-        return Ok(Frame::Torn);
+    // The length field is untrusted until the checksum verifies: read in
+    // bounded chunks so a corrupt header claiming a huge payload over a
+    // short (torn) tail never allocates the claimed size up front.
+    const CHUNK: usize = 64 * 1024;
+    let mut payload = Vec::with_capacity((len as usize).min(CHUNK));
+    let mut chunk = [0u8; CHUNK];
+    let mut remaining = len as usize;
+    while remaining > 0 {
+        let want = remaining.min(CHUNK);
+        let got = read_fully(r, &mut chunk[..want])?;
+        payload.extend_from_slice(&chunk[..got]);
+        if got < want {
+            return Ok(Frame::Torn);
+        }
+        remaining -= got;
     }
     if crc32(&payload) != want_crc {
         return Ok(Frame::Torn);
@@ -488,5 +500,24 @@ mod tests {
         assert!(matches!(read_frame(&mut r).unwrap(), Frame::Payload(_)));
         assert!(matches!(read_frame(&mut r).unwrap(), Frame::Payload(_)));
         assert!(matches!(read_frame(&mut r).unwrap(), Frame::Torn));
+    }
+
+    #[test]
+    fn oversized_length_header_is_torn_without_huge_alloc() {
+        // A corrupt header declaring a near-maximal payload over a short
+        // tail must come back Torn after reading only the bytes that
+        // exist — the declared length is never allocated up front.
+        let mut file = Vec::new();
+        file.extend_from_slice(&(MAX_FRAME_LEN - 1).to_le_bytes());
+        file.extend_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
+        file.extend_from_slice(b"short tail");
+        let mut r = io::Cursor::new(&file);
+        assert!(matches!(read_frame(&mut r).unwrap(), Frame::Torn));
+        // Above the hard cap: rejected before any payload read.
+        let mut file2 = Vec::new();
+        file2.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        file2.extend_from_slice(&0u32.to_le_bytes());
+        let mut r2 = io::Cursor::new(&file2);
+        assert!(matches!(read_frame(&mut r2).unwrap(), Frame::Torn));
     }
 }

@@ -161,6 +161,77 @@ if [ "$unique" -ne 1 ]; then
 fi
 echo "    digests identical: streamed commits restore the starting state"
 
+# Replication smoke: a primary and a --replica-of daemon on scratch
+# Unix sockets. Commits land on the primary (some before the replica
+# exists — the bootstrap path; some after — the streaming path), the
+# replica's :stats line is polled to zero lag, and the two :digest
+# outputs must match bit for bit. Then the primary dies by SIGKILL and
+# the replica must keep answering reads.
+echo "==> ldl-serve replication smoke (bootstrap, stream, lag 0, primary death)"
+repl_dir="$digest_dir/repl"
+prim_sock="$repl_dir/primary.sock"
+repl_sock="$repl_dir/replica.sock"
+mkdir -p "$repl_dir"
+./target/debug/ldl-serve --data "$repl_dir/primary" --socket "$prim_sock" \
+    > "$repl_dir/primary.log" &
+prim_pid=$!
+for _ in $(seq 50); do [ -S "$prim_sock" ] && break; sleep 0.1; done
+[ -S "$prim_sock" ] || { echo "    FAIL: primary never bound $prim_sock"; exit 1; }
+./target/debug/ldl-shell --connect "$prim_sock" > "$repl_dir/seed.log" <<'EOF'
+tc(X, Y) <- e(X, Y). tc(X, Y) <- e(X, Z), tc(Z, Y).
+:insert e(1, 2). e(2, 3).
+:commit
+:quit
+EOF
+./target/debug/ldl-serve --data "$repl_dir/replica" --socket "$repl_sock" \
+    --replica-of "$prim_sock" > "$repl_dir/replica.log" &
+repl_pid=$!
+for _ in $(seq 50); do [ -S "$repl_sock" ] && break; sleep 0.1; done
+[ -S "$repl_sock" ] || { echo "    FAIL: replica never bound $repl_sock"; exit 1; }
+./target/debug/ldl-shell --connect "$prim_sock" > "$repl_dir/primary2.log" <<'EOF'
+:insert e(3, 4). e(4, 5). e(5, 6).
+:commit
+:digest
+:quit
+EOF
+for _ in $(seq 100); do
+    ./target/debug/ldl-shell --connect "$repl_sock" > "$repl_dir/stats.log" <<'EOF'
+:stats
+:quit
+EOF
+    grep -q "lag 0 version" "$repl_dir/stats.log" && break
+    sleep 0.1
+done
+grep -q "lag 0 version" "$repl_dir/stats.log" \
+    || { echo "    FAIL: replica never reached zero lag"; cat "$repl_dir/stats.log"; exit 1; }
+./target/debug/ldl-shell --connect "$repl_sock" > "$repl_dir/replica-read.log" <<'EOF'
+tc(1, Y)?
+:digest
+:insert e(99, 100).
+:commit
+:quit
+EOF
+grep -q "5 answer(s)" "$repl_dir/replica-read.log" \
+    || { echo "    FAIL: replica query wrong"; cat "$repl_dir/replica-read.log"; exit 1; }
+grep -q "read-only replica" "$repl_dir/replica-read.log" \
+    || { echo "    FAIL: replica accepted a write"; cat "$repl_dir/replica-read.log"; exit 1; }
+grep -o 'digest [0-9a-f]*' "$repl_dir/primary2.log" > "$repl_dir/digest-primary" \
+    || { echo "    FAIL: no digest from the primary"; exit 1; }
+grep -o 'digest [0-9a-f]*' "$repl_dir/replica-read.log" > "$repl_dir/digest-replica" \
+    || { echo "    FAIL: no digest from the replica"; exit 1; }
+diff "$repl_dir/digest-primary" "$repl_dir/digest-replica" \
+    || { echo "    FAIL: replica digest differs from the primary"; exit 1; }
+kill -9 "$prim_pid"; wait "$prim_pid" 2>/dev/null || true
+./target/debug/ldl-shell --connect "$repl_sock" > "$repl_dir/replica-orphan.log" <<'EOF'
+tc(1, Y)?
+:shutdown
+EOF
+wait "$repl_pid" 2>/dev/null || true
+grep -q "5 answer(s)" "$repl_dir/replica-orphan.log" \
+    || { echo "    FAIL: replica stopped serving after the primary died"; \
+         cat "$repl_dir/replica-orphan.log"; exit 1; }
+echo "    replica converged: $(cat "$repl_dir/digest-replica"); reads survive primary death"
+
 # Golden-diagnostics gate: `ldl-shell --check --json` over every example
 # program must reproduce the checked-in diagnostics bit for bit (stable
 # codes, spans, messages). `--check` exits non-zero on files with

@@ -16,7 +16,14 @@
 //! * `--snapshot-every <n>` — write a snapshot and reset the WAL after
 //!   every `n` committed records (0 = only on explicit `snapshot`
 //!   requests; default 64);
-//! * `--threads <n>` — evaluation threads (default: serial).
+//! * `--threads <n>` — evaluation threads (default: serial);
+//! * `--replica-of <addr>` — run as a **read replica** of the primary
+//!   at `addr` (`host:port` or socket path): bootstrap from its
+//!   snapshot, stream committed WAL frames, serve reads, refuse writes
+//!   with a redirect;
+//! * `--allow-remote-admin` — allow `shutdown`/`snapshot` over TCP
+//!   (they are always allowed on Unix sockets, never on TCP without
+//!   this flag).
 //!
 //! Connect with `ldl-shell --connect <host:port|socket-path>` or any
 //! line-delimited-JSON client. The server runs until a session sends
@@ -24,8 +31,9 @@
 //! the next start).
 
 use ldl::eval::FixpointConfig;
-use ldl::serve::{Listener, Server, Service};
+use ldl::serve::{replicate, Listener, Server, Service, ServiceOptions};
 use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
 #[derive(Debug)]
@@ -34,6 +42,8 @@ struct Options {
     target: Option<String>,
     snapshot_every: u64,
     threads: usize,
+    replica_of: Option<String>,
+    allow_remote_admin: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -42,6 +52,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         target: None,
         snapshot_every: 64,
         threads: 1,
+        replica_of: None,
+        allow_remote_admin: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -66,10 +78,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| format!("--threads: not a number: {v}"))?;
             }
+            "--replica-of" => opts.replica_of = Some(value("--replica-of")?),
+            "--allow-remote-admin" => opts.allow_remote_admin = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: ldl-serve [--data DIR] [--listen HOST:PORT | --socket PATH] \
-                     [--snapshot-every N] [--threads N]"
+                     [--snapshot-every N] [--threads N] [--replica-of ADDR] \
+                     [--allow-remote-admin]"
                         .into(),
                 )
             }
@@ -96,8 +111,12 @@ fn main() {
     } else {
         FixpointConfig::serial()
     };
-    let service = match Service::open(&opts.data, &cfg, opts.snapshot_every) {
-        Ok(s) => s,
+    let service_opts = ServiceOptions {
+        replica_of: opts.replica_of.clone(),
+        ..ServiceOptions::new(opts.snapshot_every)
+    };
+    let service = match Service::open_with(&opts.data, &cfg, service_opts) {
+        Ok(s) => Arc::new(s),
         Err(e) => {
             eprintln!("ldl-serve: cannot open {}: {e}", opts.data.display());
             std::process::exit(1);
@@ -109,6 +128,11 @@ fn main() {
         view.version,
         view.db.preds().len()
     );
+    if let Some(primary) = &opts.replica_of {
+        println!("ldl-serve: replicating from {primary}");
+        // Runs until process exit; reconnects with capped backoff.
+        let _runner = replicate::spawn(service.clone(), Arc::new(AtomicBool::new(false)));
+    }
     let target = opts
         .target
         .unwrap_or_else(|| opts.data.join("ldl.sock").display().to_string());
@@ -119,7 +143,10 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let server = Server::new(Arc::new(service), listener);
+    let mut server = Server::new(service, listener);
+    if opts.allow_remote_admin {
+        server = server.with_admin(true);
+    }
     println!("ldl-serve: listening on {}", server.describe());
     if let Err(e) = server.run() {
         eprintln!("ldl-serve: {e}");
@@ -146,12 +173,17 @@ mod tests {
             "8",
             "--threads",
             "4",
+            "--replica-of",
+            "127.0.0.1:7000",
+            "--allow-remote-admin",
         ]))
         .unwrap();
         assert_eq!(o.data, PathBuf::from("/tmp/d"));
         assert_eq!(o.target.as_deref(), Some("127.0.0.1:7979"));
         assert_eq!(o.snapshot_every, 8);
         assert_eq!(o.threads, 4);
+        assert_eq!(o.replica_of.as_deref(), Some("127.0.0.1:7000"));
+        assert!(o.allow_remote_admin);
     }
 
     #[test]
@@ -160,7 +192,10 @@ mod tests {
         assert_eq!(o.data, PathBuf::from("ldl-data"));
         assert!(o.target.is_none());
         assert_eq!(o.snapshot_every, 64);
+        assert!(o.replica_of.is_none());
+        assert!(!o.allow_remote_admin);
         assert!(parse_args(&args(&["--listen"])).is_err());
+        assert!(parse_args(&args(&["--replica-of"])).is_err());
         assert!(parse_args(&args(&["--bogus"])).is_err());
         assert!(parse_args(&args(&["--snapshot-every", "x"])).is_err());
         assert!(parse_args(&args(&["--help"]))

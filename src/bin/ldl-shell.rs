@@ -612,12 +612,30 @@ remote commands:
                 Err(e) => fmt_err(e),
             },
             "stats" => match client.request_ok(&Json::obj(vec![("op", Json::str("stats"))])) {
-                Ok(r) => format!(
-                    "version {}: {} predicate(s), {} tuple(s)",
-                    r.get("version").and_then(Json::as_int).unwrap_or(0),
-                    r.get("preds").and_then(Json::as_int).unwrap_or(0),
-                    r.get("tuples").and_then(Json::as_int).unwrap_or(0)
-                ),
+                Ok(r) => {
+                    let mut out = format!(
+                        "version {}: {} predicate(s), {} tuple(s)",
+                        r.get("version").and_then(Json::as_int).unwrap_or(0),
+                        r.get("preds").and_then(Json::as_int).unwrap_or(0),
+                        r.get("tuples").and_then(Json::as_int).unwrap_or(0)
+                    );
+                    if r.get("role").and_then(Json::as_str) == Some("replica") {
+                        out.push_str(&format!(
+                            "\nreplica of {}: connected {}, lag {} version(s), \
+                             {} byte(s) behind, {} reconnect(s), {} bootstrap(s)",
+                            r.get("primary").and_then(Json::as_str).unwrap_or("?"),
+                            r.get("connected").and_then(Json::as_bool).unwrap_or(false),
+                            r.get("lag_versions").and_then(Json::as_int).unwrap_or(-1),
+                            r.get("behind_bytes").and_then(Json::as_int).unwrap_or(0),
+                            r.get("reconnects").and_then(Json::as_int).unwrap_or(0),
+                            r.get("bootstraps").and_then(Json::as_int).unwrap_or(0),
+                        ));
+                        if let Some(e) = r.get("last_error").and_then(Json::as_str) {
+                            out.push_str(&format!("\nlast error: {e}"));
+                        }
+                    }
+                    out
+                }
                 Err(e) => fmt_err(e),
             },
             "snapshot" => match client.snapshot() {
@@ -1048,7 +1066,8 @@ mod tests {
             .strip_prefix("tcp://")
             .expect("tcp addr")
             .to_string();
-        let server = Server::new(service, listener);
+        // The test session ends with :shutdown over TCP — opt in.
+        let server = Server::new(service, listener).with_admin(true);
         let handle = std::thread::spawn(move || server.run().expect("server run"));
 
         let mut c = Client::connect(&addr).unwrap();

@@ -29,16 +29,30 @@ struct Daemon {
 
 impl Daemon {
     /// Starts `ldl-serve --data dir` on an ephemeral TCP port and reads
-    /// the bound address from its stdout banner.
+    /// the bound address from its stdout banner. Remote admin is
+    /// enabled so the tests can `shutdown` cleanly over TCP.
     fn start(dir: &Path, snapshot_every: u64) -> Daemon {
+        Self::start_with(dir, snapshot_every, &[])
+    }
+
+    /// Like [`Daemon::start`] with extra CLI arguments (replica role).
+    fn start_with(dir: &Path, snapshot_every: u64, extra: &[&str]) -> Daemon {
+        Self::start_at(dir, snapshot_every, "127.0.0.1:0", extra)
+    }
+
+    /// Full control: explicit listen address (a primary that must come
+    /// back on the same port after a kill) plus extra arguments.
+    fn start_at(dir: &Path, snapshot_every: u64, listen: &str, extra: &[&str]) -> Daemon {
         let exe = env!("CARGO_BIN_EXE_ldl-serve");
         let mut child = Command::new(exe)
             .arg("--data")
             .arg(dir)
             .arg("--listen")
-            .arg("127.0.0.1:0")
+            .arg(listen)
             .arg("--snapshot-every")
             .arg(snapshot_every.to_string())
+            .arg("--allow-remote-admin")
+            .args(extra)
             .stdout(Stdio::piped())
             .stderr(Stdio::piped())
             .spawn()
@@ -240,4 +254,143 @@ fn kill9_between_snapshot_and_wal_tail_recovers() {
 
     let (_, ref_digest) = reference_digest("snap-ref", 7);
     assert_eq!(digest, ref_digest);
+}
+
+/// An ephemeral port the OS just handed out — free to bind again
+/// immediately. Lets a killed primary restart on the address its
+/// replica is configured to chase.
+fn free_addr() -> String {
+    let l = std::net::TcpListener::bind("127.0.0.1:0").expect("probe bind");
+    let addr = l.local_addr().expect("probe addr").to_string();
+    drop(l);
+    addr
+}
+
+/// Polls the replica until its pinned view reaches `version` with a
+/// zero reported lag; returns its digest at that version.
+fn await_replica_at(replica: &Daemon, version: u64, why: &str) -> String {
+    let mut c = replica.connect();
+    for _ in 0..600 {
+        c.refresh().expect("refresh replica");
+        let (v, digest) = c.digest().expect("replica digest");
+        if v == version {
+            let stats = c.stats().expect("replica stats");
+            let lag = stats
+                .get("lag_versions")
+                .and_then(ldl::serve::Json::as_int)
+                .unwrap_or(-1);
+            if lag == 0 {
+                return digest;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    panic!("replica never reached version {version} with zero lag ({why})");
+}
+
+/// Kill -9 the primary mid-commit-storm with a replica attached: after
+/// the primary recovers, the replica must converge to the recovered
+/// state bit-for-bit (same version, same digest, zero lag).
+#[test]
+fn kill9_primary_mid_storm_replica_converges_bit_for_bit() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    let pdir = tmpdir("repl-storm-p");
+    let rdir = tmpdir("repl-storm-r");
+    let paddr = free_addr();
+    let mut primary = Daemon::start_at(&pdir, 0, &paddr, &[]);
+    let replica = Daemon::start_with(&rdir, 0, &["--replica-of", &paddr]);
+
+    let mut c = primary.connect();
+    c.load(RULES).expect("load");
+    let committed = Arc::new(AtomicU64::new(0));
+    let pid = primary.child.id();
+    let killer = {
+        let seen = committed.clone();
+        std::thread::spawn(move || {
+            while seen.load(Ordering::SeqCst) < 5 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let _ = Command::new("kill").args(["-9", &pid.to_string()]).status();
+        })
+    };
+    for i in 1..=10_000u64 {
+        if c.insert(&format!("e({i}, {}).", i + 1)).is_err() || c.commit().is_err() {
+            break;
+        }
+        committed.store(i, Ordering::SeqCst);
+    }
+    killer.join().unwrap();
+    primary.child.wait().expect("reap killed primary");
+    assert!(committed.load(Ordering::SeqCst) >= 5, "kill window missed");
+
+    // The primary comes back on the same address; the replica's capped
+    // backoff finds it and streams the rest.
+    let primary = Daemon::start_at(&pdir, 0, &paddr, &[]);
+    let mut pc = primary.connect();
+    let (pversion, pdigest) = pc.digest().expect("recovered primary digest");
+    let rdigest = await_replica_at(&replica, pversion, "after primary kill -9");
+    assert_eq!(
+        rdigest, pdigest,
+        "replica diverged from the recovered primary at version {pversion}"
+    );
+}
+
+/// A restarted replica resumes from its local WAL position (records
+/// path) instead of re-bootstrapping the full snapshot.
+#[test]
+fn replica_restart_resumes_without_rebootstrapping() {
+    let pdir = tmpdir("repl-resume-p");
+    let rdir = tmpdir("repl-resume-r");
+    let paddr = free_addr();
+    let _primary = Daemon::start_at(&pdir, 0, &paddr, &[]);
+    let mut replica = Daemon::start_with(&rdir, 0, &["--replica-of", &paddr]);
+
+    let mut c = Client::connect(&paddr).expect("connect primary");
+    c.load(RULES).expect("load");
+    for i in 1..=5u64 {
+        c.insert(&format!("e({i}, {}).", i + 1)).expect("insert");
+        c.commit().expect("commit");
+    }
+    await_replica_at(&replica, 6, "initial catch-up");
+    {
+        // A fresh replica has a foreign epoch: its first contact must
+        // have been a full bootstrap.
+        let mut rc = replica.connect();
+        let stats = rc.stats().expect("stats");
+        assert_eq!(
+            stats
+                .get("bootstraps")
+                .and_then(ldl::serve::Json::as_int)
+                .unwrap_or(-1),
+            1,
+            "fresh replica should bootstrap exactly once"
+        );
+    }
+    replica.shutdown();
+
+    // More commits land while the replica is down.
+    for i in 6..=9u64 {
+        c.insert(&format!("e({i}, {}).", i + 1)).expect("insert");
+        c.commit().expect("commit");
+    }
+
+    // Same data directory: the replica's (epoch, version) position
+    // survives, so catch-up ships records — zero bootstraps this run.
+    let replica = Daemon::start_with(&rdir, 0, &["--replica-of", &paddr]);
+    let rdigest = await_replica_at(&replica, 10, "catch-up after restart");
+    let (pv, pdigest) = c.digest().expect("primary digest");
+    assert_eq!(pv, 10);
+    assert_eq!(rdigest, pdigest);
+    let mut rc = replica.connect();
+    let stats = rc.stats().expect("stats");
+    assert_eq!(
+        stats
+            .get("bootstraps")
+            .and_then(ldl::serve::Json::as_int)
+            .unwrap_or(-1),
+        0,
+        "restarted replica must resume from its local WAL, not re-bootstrap"
+    );
 }
