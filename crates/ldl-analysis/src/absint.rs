@@ -1,0 +1,1737 @@
+//! Bottom-up abstract interpretation over the stratified program
+//! (LDL201–LDL204, and the estimates behind `ldl-optimizer`'s
+//! `EstimateCatalog`).
+//!
+//! For every predicate argument the interpreter computes three abstract
+//! values, joined over all rules and facts that can derive the
+//! predicate, in dependency order (base relations first, then each
+//! clique of the dependency graph bottom-up):
+//!
+//! * a **type lattice** value — ⊥ / `Int` / `Sym` / compound / mixed-⊤
+//!   ([`AbsType`]);
+//! * a **bounded constant set** — the exact value set while it stays
+//!   under [`CONST_LIMIT`] elements, widening to ⊤ beyond
+//!   ([`ConstSet`]);
+//! * a **cardinality interval** per predicate — `[lo, hi]` with
+//!   `hi = ∞` allowed, seeded from actual EDB relation sizes when a
+//!   [`Database`] is supplied and propagated through joins,
+//!   projections, negation, and grouping.
+//!
+//! Recursive cliques are widened instead of iterated to a (possibly
+//! infinite) concrete fixpoint: constant sets are k-limited, and
+//! cardinalities come from a *value-flow bound* — each clique argument
+//! position can only hold values flowing in from outside the clique
+//! (finite, already summarized), explicit constants, or arithmetic
+//! generators; a generator fed from inside the clique makes the bound
+//! `∞` (and, with no bounding filter, LDL204). The per-argument flow
+//! bounds multiply into a sound cardinality upper bound for each clique
+//! predicate — the same bound a `Datalog` active-domain argument gives,
+//! but per argument rather than per program.
+//!
+//! The diagnostics ([`check`]) carry witness chains like the safety
+//! pass's: every LDL2xx note names the rule, the literal, and the
+//! abstract values that force the conclusion.
+
+use crate::diag::{Diagnostic, Report, Severity};
+use ldl_core::depgraph::DependencyGraph;
+use ldl_core::{Atom, CmpOp, Literal, Pred, Program, Rule, Span, Symbol, Term, Value};
+use ldl_storage::Database;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Constant sets wider than this widen to ⊤.
+pub const CONST_LIMIT: usize = 8;
+
+/// Bound on type/constant Kleene rounds per recursive clique before the
+/// remaining constant sets are widened to ⊤ (the type lattice alone
+/// converges in ≤ 3 rounds per argument; the k-limit bounds the
+/// constant rounds, so this guard is belt-and-braces).
+const MAX_ROUNDS: usize = 32;
+
+/// Abstract type of one predicate argument (a flat lattice with ⊥ and
+/// mixed-⊤; `Comp` covers every complex term).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AbsType {
+    /// No value reaches this position.
+    Bot,
+    /// Every value is an integer.
+    Int,
+    /// Every value is a symbolic constant.
+    Sym,
+    /// Every value is a complex term (list, functor, collected set).
+    Comp,
+    /// Mixed.
+    Top,
+}
+
+impl AbsType {
+    /// Least upper bound.
+    pub fn join(self, other: AbsType) -> AbsType {
+        match (self, other) {
+            (AbsType::Bot, t) | (t, AbsType::Bot) => t,
+            (a, b) if a == b => a,
+            _ => AbsType::Top,
+        }
+    }
+
+    /// Greatest lower bound; `None` when the meet is empty (disjoint
+    /// concrete types — the literal can never hold).
+    pub fn meet(self, other: AbsType) -> Option<AbsType> {
+        match (self, other) {
+            (AbsType::Top, t) | (t, AbsType::Top) => Some(t),
+            (AbsType::Bot, _) | (_, AbsType::Bot) => Some(AbsType::Bot),
+            (a, b) if a == b => Some(a),
+            _ => None,
+        }
+    }
+
+    fn of_value(v: &Value) -> AbsType {
+        match v {
+            Value::Int(_) => AbsType::Int,
+            Value::Sym(_) => AbsType::Sym,
+        }
+    }
+}
+
+impl std::fmt::Display for AbsType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AbsType::Bot => write!(f, "⊥"),
+            AbsType::Int => write!(f, "Int"),
+            AbsType::Sym => write!(f, "Sym"),
+            AbsType::Comp => write!(f, "complex"),
+            AbsType::Top => write!(f, "mixed"),
+        }
+    }
+}
+
+/// k-limited scalar constant set. `Fin` is exact (an empty `Fin` means
+/// no scalar value can reach the position); `Top` is unknown/widened —
+/// also used whenever complex terms flow in, which the set cannot
+/// represent.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ConstSet {
+    /// Exactly these scalar values.
+    Fin(BTreeSet<Value>),
+    /// Unknown / widened.
+    Top,
+}
+
+impl ConstSet {
+    /// The empty set (⊥).
+    pub fn empty() -> ConstSet {
+        ConstSet::Fin(BTreeSet::new())
+    }
+
+    fn singleton(v: Value) -> ConstSet {
+        ConstSet::Fin(std::iter::once(v).collect())
+    }
+
+    /// Union, widening to ⊤ past [`CONST_LIMIT`].
+    pub fn join(&self, other: &ConstSet) -> ConstSet {
+        match (self, other) {
+            (ConstSet::Fin(a), ConstSet::Fin(b)) => {
+                let mut s = a.clone();
+                s.extend(b.iter().copied());
+                if s.len() > CONST_LIMIT {
+                    ConstSet::Top
+                } else {
+                    ConstSet::Fin(s)
+                }
+            }
+            _ => ConstSet::Top,
+        }
+    }
+
+    /// Intersection (no widening — meets only shrink).
+    pub fn meet(&self, other: &ConstSet) -> ConstSet {
+        match (self, other) {
+            (ConstSet::Top, s) | (s, ConstSet::Top) => s.clone(),
+            (ConstSet::Fin(a), ConstSet::Fin(b)) => {
+                ConstSet::Fin(a.intersection(b).copied().collect())
+            }
+        }
+    }
+
+    /// True when the set is provably empty.
+    pub fn is_empty_fin(&self) -> bool {
+        matches!(self, ConstSet::Fin(s) if s.is_empty())
+    }
+
+    fn render(&self) -> String {
+        match self {
+            ConstSet::Top => "⊤".to_string(),
+            ConstSet::Fin(s) => {
+                let vals: Vec<String> = s.iter().map(|v| format!("{v}")).collect();
+                format!("{{{}}}", vals.join(", "))
+            }
+        }
+    }
+}
+
+/// Abstract value of one predicate argument.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ArgAbs {
+    /// Type lattice value.
+    pub ty: AbsType,
+    /// k-limited constant set.
+    pub consts: ConstSet,
+    /// Upper bound on the number of distinct values at this position
+    /// (`f64::INFINITY` when unbounded).
+    pub distinct: f64,
+}
+
+impl ArgAbs {
+    fn bot() -> ArgAbs {
+        ArgAbs {
+            ty: AbsType::Bot,
+            consts: ConstSet::empty(),
+            distinct: 0.0,
+        }
+    }
+
+    fn join(&self, other: &ArgAbs) -> ArgAbs {
+        let consts = self.consts.join(&other.consts);
+        let mut distinct = self.distinct + other.distinct;
+        if let ConstSet::Fin(s) = &consts {
+            distinct = distinct.min(s.len() as f64);
+        }
+        ArgAbs {
+            ty: self.ty.join(other.ty),
+            consts,
+            distinct,
+        }
+    }
+}
+
+/// Abstract summary of one predicate.
+#[derive(Clone, PartialEq, Debug)]
+pub struct PredAbs {
+    /// Cardinality interval lower bound (distinct facts are always
+    /// derived, so this is sound under any consistent database).
+    pub card_lo: f64,
+    /// Cardinality interval upper bound (`f64::INFINITY` allowed).
+    pub card_hi: f64,
+    /// Per-argument abstractions.
+    pub args: Vec<ArgAbs>,
+}
+
+impl PredAbs {
+    fn empty(arity: usize) -> PredAbs {
+        PredAbs {
+            card_lo: 0.0,
+            card_hi: 0.0,
+            args: vec![ArgAbs::bot(); arity],
+        }
+    }
+}
+
+/// Why a rule derives nothing — the seed of an LDL201/202/203 witness.
+#[derive(Clone, Debug)]
+enum DeadReason {
+    /// A positive body atom refers to a provably empty predicate.
+    EmptyAtom { atom: String, pred: Pred },
+    /// A literal is always false by constant/interval evaluation, and
+    /// the constants involved flowed out of predicate arguments (so the
+    /// purely syntactic LDL108 cannot see it).
+    FalseConst {
+        lit: String,
+        span: Span,
+        notes: Vec<String>,
+    },
+    /// A literal is always false for reasons LDL108 already reports
+    /// (contradictory equalities over explicit constants).
+    FalseSyntactic { lit: String, span: Span },
+    /// A literal meets two disjoint concrete types (Int vs Sym).
+    TypeClash {
+        lit: String,
+        span: Span,
+        notes: Vec<String>,
+    },
+}
+
+impl DeadReason {
+    fn describe(&self) -> String {
+        match self {
+            DeadReason::EmptyAtom { atom, pred } => {
+                format!("body atom `{atom}` refers to always-empty {pred}")
+            }
+            DeadReason::FalseConst { lit, span, .. } => {
+                format!("literal `{lit}` at {span} is always false")
+            }
+            DeadReason::FalseSyntactic { lit, span } => {
+                format!("literal `{lit}` at {span} is always false")
+            }
+            DeadReason::TypeClash { lit, span, .. } => {
+                format!("literal `{lit}` at {span} compares disjoint types")
+            }
+        }
+    }
+}
+
+/// Per-rule result of the final abstract pass.
+#[derive(Clone, Debug)]
+struct RuleInfo {
+    dead: Option<DeadReason>,
+}
+
+/// One argument-type contribution, for the LDL202 witness chain.
+#[derive(Clone, Debug)]
+struct TypeSource {
+    ty: AbsType,
+    span: Span,
+    what: String,
+}
+
+/// The interpreter's result: per-predicate abstractions plus the
+/// bookkeeping the diagnostics need.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    /// Summaries for every predicate mentioned by the program (base and
+    /// derived).
+    pub preds: BTreeMap<Pred, PredAbs>,
+    /// Predicates inside recursive cliques.
+    pub recursive: BTreeSet<Pred>,
+    rules: Vec<RuleInfo>,
+    /// Scalar head-argument type contributions, per (pred, position).
+    type_sources: BTreeMap<(Pred, usize), Vec<TypeSource>>,
+    /// Unbounded arithmetic recursion witnesses: (rule index, builtin
+    /// span, notes).
+    unbounded: Vec<(usize, Span, Vec<String>)>,
+}
+
+impl Analysis {
+    /// The summary for `pred`, if the program mentions it.
+    pub fn pred(&self, pred: Pred) -> Option<&PredAbs> {
+        self.preds.get(&pred)
+    }
+}
+
+/// True for the virtual `member/2` set predicate — not a stored
+/// relation, so it never counts as an empty base predicate.
+fn is_member(pred: Pred) -> bool {
+    pred.name.as_str() == "member" && pred.arity == 2
+}
+
+fn scalar_of(term: &Term) -> Option<Value> {
+    match term {
+        Term::Const(v) => Some(*v),
+        _ => None,
+    }
+}
+
+/// True when `t` contains an arithmetic compound anywhere.
+fn has_arith(t: &Term) -> bool {
+    match t {
+        Term::Compound(f, args) => {
+            (args.len() == 2 && matches!(f.as_str(), "+" | "-" | "*" | "/" | "mod"))
+                || args.iter().any(has_arith)
+        }
+        _ => false,
+    }
+}
+
+/// Abstract state of one rule variable during a body walk.
+#[derive(Clone, Debug)]
+struct VarAbs {
+    ty: AbsType,
+    /// Constant set including narrowing from predicate arguments.
+    consts: ConstSet,
+    /// Constant set from builtins only (predicate atoms treated as ⊤):
+    /// when this alone is empty the contradiction is syntactic and
+    /// LDL108's territory, not LDL203's.
+    bltn_consts: ConstSet,
+    distinct: f64,
+    /// Where the current `consts` narrowing came from (capped).
+    provenance: Vec<String>,
+    /// Some narrowing step involved an order comparison.
+    cmp_involved: bool,
+}
+
+impl VarAbs {
+    fn top() -> VarAbs {
+        VarAbs {
+            ty: AbsType::Top,
+            consts: ConstSet::Top,
+            bltn_consts: ConstSet::Top,
+            distinct: f64::INFINITY,
+            provenance: Vec::new(),
+            cmp_involved: false,
+        }
+    }
+
+    fn note(&mut self, s: String) {
+        if self.provenance.len() < 3 {
+            self.provenance.push(s);
+        }
+    }
+}
+
+/// Result of abstractly evaluating one rule body + head.
+struct RuleEval {
+    dead: Option<DeadReason>,
+    card_hi: f64,
+    /// Head argument abstractions (empty when dead).
+    head: Vec<ArgAbs>,
+    /// True for head arguments that are grouping terms (`<X>`).
+    grouped: Vec<bool>,
+}
+
+struct Interp {
+    env: BTreeMap<Pred, PredAbs>,
+    /// Predicates whose summaries are not yet final (current clique);
+    /// empty-atom deadness must not be concluded from them mid-round.
+    provisional: BTreeSet<Pred>,
+}
+
+impl Interp {
+    fn pred_abs(&self, pred: Pred) -> PredAbs {
+        self.env
+            .get(&pred)
+            .cloned()
+            .unwrap_or_else(|| PredAbs::empty(pred.arity))
+    }
+
+    /// Narrows `var` by the abstract value of a predicate argument (a
+    /// use site). Returns a dead reason when the meet is empty.
+    fn narrow_by_arg(
+        &self,
+        vars: &mut BTreeMap<Symbol, VarAbs>,
+        v: Symbol,
+        arg: &ArgAbs,
+        lit: &Literal,
+    ) -> Option<DeadReason> {
+        let entry = vars.entry(v).or_insert_with(VarAbs::top);
+        match entry.ty.meet(arg.ty) {
+            Some(ty) => entry.ty = ty,
+            None => {
+                return Some(DeadReason::TypeClash {
+                    lit: lit.to_string(),
+                    span: lit.span(),
+                    notes: vec![
+                        format!("{v} is {} here but {} where it was bound", arg.ty, entry.ty),
+                        format!("{v} bound earlier: {}", entry.provenance.join("; ")),
+                    ],
+                });
+            }
+        }
+        let met = entry.consts.meet(&arg.consts);
+        if met.is_empty_fin() && !entry.consts.is_empty_fin() {
+            return Some(DeadReason::FalseConst {
+                lit: lit.to_string(),
+                span: lit.span(),
+                notes: vec![
+                    format!(
+                        "{v} ∈ {} here, but {v} ∈ {} from earlier literals",
+                        arg.consts.render(),
+                        entry.consts.render()
+                    ),
+                    format!("{v} bound earlier: {}", entry.provenance.join("; ")),
+                ],
+            });
+        }
+        entry.consts = met;
+        entry.distinct = entry.distinct.min(arg.distinct);
+        entry.note(format!("from `{lit}` at {}", lit.span()));
+        None
+    }
+
+    /// Evaluates all scalar values an arithmetic (or plain) term can
+    /// take, given the current variable constant sets. `None` = ⊤.
+    fn eval_term_consts(
+        &self,
+        t: &Term,
+        vars: &BTreeMap<Symbol, VarAbs>,
+    ) -> Option<BTreeSet<Value>> {
+        match t {
+            Term::Const(v) => Some(std::iter::once(*v).collect()),
+            Term::Var(v) => match vars.get(v).map(|a| &a.consts) {
+                Some(ConstSet::Fin(s)) => Some(s.clone()),
+                _ => None,
+            },
+            Term::Compound(f, args)
+                if args.len() == 2 && matches!(f.as_str(), "+" | "-" | "*" | "/" | "mod") =>
+            {
+                let l = self.eval_term_consts(&args[0], vars)?;
+                let r = self.eval_term_consts(&args[1], vars)?;
+                if l.len() * r.len() > CONST_LIMIT * CONST_LIMIT {
+                    return None;
+                }
+                let mut out = BTreeSet::new();
+                for a in &l {
+                    for b in &r {
+                        let (Value::Int(a), Value::Int(b)) = (a, b) else {
+                            return None;
+                        };
+                        let v = match f.as_str() {
+                            "+" => a.checked_add(*b),
+                            "-" => a.checked_sub(*b),
+                            "*" => a.checked_mul(*b),
+                            "/" => (*b != 0).then(|| a / b),
+                            _ => (*b != 0).then(|| a.rem_euclid(*b)),
+                        };
+                        out.insert(Value::Int(v?));
+                    }
+                }
+                Some(out)
+            }
+            Term::Compound(..) => None,
+        }
+    }
+
+    /// One abstract pass over `rule`: walks the body left to right,
+    /// narrowing variable abstractions, detecting provably false
+    /// literals, and producing the head contribution.
+    fn eval_rule(&self, rule: &Rule) -> RuleEval {
+        let mut vars: BTreeMap<Symbol, VarAbs> = BTreeMap::new();
+        let mut card_hi = 1.0_f64;
+        let mut dead: Option<DeadReason> = None;
+
+        'body: for lit in &rule.body {
+            match lit {
+                Literal::Atom(a) if !a.negated => {
+                    if is_member(a.pred) {
+                        // Virtual set predicate: `member(X, [v1, ...])`
+                        // with a ground scalar list narrows X.
+                        if let (Term::Var(v), Some((items, None))) =
+                            (&a.args[0], a.args[1].as_list())
+                        {
+                            let scalars: Option<BTreeSet<Value>> =
+                                items.iter().map(|t| scalar_of(t)).collect();
+                            if let Some(s) = scalars {
+                                let set = ConstSet::Fin(s.clone());
+                                let arg = ArgAbs {
+                                    ty: AbsType::Top,
+                                    consts: set,
+                                    distinct: s.len() as f64,
+                                };
+                                if let Some(r) = self.narrow_by_arg(&mut vars, *v, &arg, lit) {
+                                    dead = Some(r);
+                                    break 'body;
+                                }
+                            }
+                        }
+                        continue;
+                    }
+                    let pa = self.pred_abs(a.pred);
+                    if pa.card_hi == 0.0 && !self.provisional.contains(&a.pred) {
+                        dead = Some(DeadReason::EmptyAtom {
+                            atom: a.to_string(),
+                            pred: a.pred,
+                        });
+                        break 'body;
+                    }
+                    card_hi *= pa.card_hi;
+                    for (i, t) in a.args.iter().enumerate() {
+                        let arg = &pa.args[i];
+                        match t {
+                            Term::Var(v) => {
+                                if let Some(r) = self.narrow_by_arg(&mut vars, *v, arg, lit) {
+                                    dead = Some(r);
+                                    break 'body;
+                                }
+                            }
+                            Term::Const(c) => {
+                                if self.provisional.contains(&a.pred) {
+                                    continue;
+                                }
+                                if arg.ty.meet(AbsType::of_value(c)).is_none() {
+                                    dead = Some(DeadReason::TypeClash {
+                                        lit: lit.to_string(),
+                                        span: lit.span(),
+                                        notes: vec![format!(
+                                            "argument {} of {} only holds {} values, \
+                                             but `{c}` is {}",
+                                            i + 1,
+                                            a.pred,
+                                            arg.ty,
+                                            AbsType::of_value(c)
+                                        )],
+                                    });
+                                    break 'body;
+                                }
+                                if let ConstSet::Fin(s) = &arg.consts {
+                                    if !s.contains(c) {
+                                        dead = Some(DeadReason::FalseConst {
+                                            lit: lit.to_string(),
+                                            span: lit.span(),
+                                            notes: vec![format!(
+                                                "argument {} of {} only takes values in {}, \
+                                                 which excludes `{c}`",
+                                                i + 1,
+                                                a.pred,
+                                                arg.consts.render()
+                                            )],
+                                        });
+                                        break 'body;
+                                    }
+                                }
+                            }
+                            Term::Compound(..) => {
+                                // A complex pattern cannot match a
+                                // position that provably holds scalars
+                                // only.
+                                if !self.provisional.contains(&a.pred)
+                                    && matches!(&arg.consts, ConstSet::Fin(s) if !s.is_empty())
+                                    && !has_arith(t)
+                                {
+                                    dead = Some(DeadReason::FalseConst {
+                                        lit: lit.to_string(),
+                                        span: lit.span(),
+                                        notes: vec![format!(
+                                            "argument {} of {} only takes scalar values in {}, \
+                                             which no complex term matches",
+                                            i + 1,
+                                            a.pred,
+                                            arg.consts.render()
+                                        )],
+                                    });
+                                    break 'body;
+                                }
+                                for v in t.vars() {
+                                    vars.entry(v).or_insert_with(VarAbs::top);
+                                }
+                            }
+                        }
+                    }
+                }
+                Literal::Atom(_) => {
+                    // Negation filters; it binds nothing and can only
+                    // shrink the result.
+                }
+                Literal::Builtin(b) => {
+                    if let Some(r) = self.eval_builtin(b, lit, &mut vars) {
+                        dead = Some(r);
+                        break 'body;
+                    }
+                }
+            }
+        }
+
+        if dead.is_some() {
+            return RuleEval {
+                dead,
+                card_hi: 0.0,
+                head: Vec::new(),
+                grouped: Vec::new(),
+            };
+        }
+
+        // Head contribution.
+        let mut head = Vec::with_capacity(rule.head.args.len());
+        let mut grouped = Vec::with_capacity(rule.head.args.len());
+        let mut dedup_cap = 1.0_f64;
+        for t in &rule.head.args {
+            let is_group = t.as_group().is_some();
+            grouped.push(is_group);
+            let arg = if is_group {
+                ArgAbs {
+                    ty: AbsType::Comp,
+                    consts: ConstSet::Top,
+                    distinct: f64::INFINITY,
+                }
+            } else {
+                match t {
+                    Term::Const(c) => ArgAbs {
+                        ty: AbsType::of_value(c),
+                        consts: ConstSet::singleton(*c),
+                        distinct: 1.0,
+                    },
+                    Term::Var(v) => {
+                        let va = vars.get(v).cloned().unwrap_or_else(VarAbs::top);
+                        ArgAbs {
+                            ty: va.ty,
+                            consts: va.consts,
+                            distinct: va.distinct,
+                        }
+                    }
+                    Term::Compound(..) => {
+                        let mut d = 1.0_f64;
+                        for v in t.vars() {
+                            d *= vars.get(&v).map(|a| a.distinct).unwrap_or(f64::INFINITY);
+                        }
+                        ArgAbs {
+                            ty: AbsType::Comp,
+                            consts: ConstSet::Top,
+                            distinct: d,
+                        }
+                    }
+                }
+            };
+            if !is_group {
+                dedup_cap *= arg.distinct;
+            }
+            head.push(arg);
+        }
+        // A rule derives at most one tuple per distinct head-value
+        // combination (grouping heads emit one row per key combination,
+        // so grouped arguments are excluded from the product).
+        card_hi = card_hi.min(dedup_cap);
+        RuleEval {
+            dead: None,
+            card_hi,
+            head,
+            grouped,
+        }
+    }
+
+    /// Abstract evaluation of one builtin; returns a dead reason when
+    /// the literal is provably false.
+    fn eval_builtin(
+        &self,
+        b: &ldl_core::BuiltinPred,
+        lit: &Literal,
+        vars: &mut BTreeMap<Symbol, VarAbs>,
+    ) -> Option<DeadReason> {
+        let span = lit.span();
+        // `syntactic`: the contradiction already follows with every
+        // predicate-atom and comparison contribution replaced by ⊤ — it
+        // is LDL108's (pure equality chain), and stays silent here.
+        let false_for = |vars: &BTreeMap<Symbol, VarAbs>, involved: &[Symbol], syntactic: bool| {
+            if syntactic {
+                DeadReason::FalseSyntactic {
+                    lit: lit.to_string(),
+                    span,
+                }
+            } else {
+                let notes = involved
+                    .iter()
+                    .filter_map(|v| {
+                        vars.get(v).map(|a| {
+                            format!("{v} ∈ {} ({})", a.consts.render(), a.provenance.join("; "))
+                        })
+                    })
+                    .collect();
+                DeadReason::FalseConst {
+                    lit: lit.to_string(),
+                    span,
+                    notes,
+                }
+            }
+        };
+        match b.op {
+            CmpOp::Eq => {
+                match (&b.lhs, &b.rhs) {
+                    (Term::Var(v), t) | (t, Term::Var(v)) if !t.is_var() => {
+                        let vals = self.eval_term_consts(t, vars);
+                        let is_arith = has_arith(t);
+                        let entry = vars.entry(*v).or_insert_with(VarAbs::top);
+                        let tty = match (&vals, t) {
+                            (_, Term::Const(c)) => AbsType::of_value(c),
+                            _ if is_arith => AbsType::Int,
+                            (_, Term::Compound(..)) => AbsType::Comp,
+                            _ => AbsType::Top,
+                        };
+                        match entry.ty.meet(tty) {
+                            Some(ty) => entry.ty = ty,
+                            None => {
+                                let prov = entry.provenance.join("; ");
+                                let ety = entry.ty;
+                                return Some(DeadReason::TypeClash {
+                                    lit: lit.to_string(),
+                                    span,
+                                    notes: vec![
+                                        format!("`{t}` is {tty} but {v} is {ety}"),
+                                        format!("{v} bound earlier: {prov}"),
+                                    ],
+                                });
+                            }
+                        }
+                        if let Some(vs) = vals {
+                            let set = ConstSet::Fin(vs);
+                            let met = entry.consts.meet(&set);
+                            if met.is_empty_fin() && !entry.consts.is_empty_fin() {
+                                let syn = entry.bltn_consts.meet(&set).is_empty_fin();
+                                let involved = [*v];
+                                return Some(false_for(vars, &involved, syn));
+                            }
+                            entry.consts = met;
+                            entry.bltn_consts = entry.bltn_consts.meet(&set);
+                            if let ConstSet::Fin(s) = &entry.consts {
+                                entry.distinct = entry.distinct.min(s.len() as f64);
+                            }
+                            entry.note(format!("from `{b}` at {span}"));
+                        } else if is_arith {
+                            // Forward arithmetic with unbounded inputs:
+                            // the result stays an unknown Int.
+                            entry.consts = ConstSet::Top;
+                        } else {
+                            for w in t.vars() {
+                                vars.entry(w).or_insert_with(VarAbs::top);
+                            }
+                        }
+                    }
+                    (Term::Var(a), Term::Var(c)) => {
+                        let aa = vars.get(a).cloned().unwrap_or_else(VarAbs::top);
+                        let cc = vars.get(c).cloned().unwrap_or_else(VarAbs::top);
+                        let ty = match aa.ty.meet(cc.ty) {
+                            Some(ty) => ty,
+                            None => {
+                                return Some(DeadReason::TypeClash {
+                                    lit: lit.to_string(),
+                                    span,
+                                    notes: vec![
+                                        format!("{a} is {} but {c} is {}", aa.ty, cc.ty),
+                                        format!("{a}: {}", aa.provenance.join("; ")),
+                                        format!("{c}: {}", cc.provenance.join("; ")),
+                                    ],
+                                });
+                            }
+                        };
+                        let met = aa.consts.meet(&cc.consts);
+                        if met.is_empty_fin()
+                            && !aa.consts.is_empty_fin()
+                            && !cc.consts.is_empty_fin()
+                        {
+                            let syn = aa.bltn_consts.meet(&cc.bltn_consts).is_empty_fin();
+                            let involved = [*a, *c];
+                            return Some(false_for(vars, &involved, syn));
+                        }
+                        let bltn = aa.bltn_consts.meet(&cc.bltn_consts);
+                        let distinct = aa.distinct.min(cc.distinct);
+                        let cmp = aa.cmp_involved || cc.cmp_involved;
+                        for (v, other) in [(*a, &cc), (*c, &aa)] {
+                            let entry = vars.entry(v).or_insert_with(VarAbs::top);
+                            entry.ty = ty;
+                            entry.consts = met.clone();
+                            entry.bltn_consts = bltn.clone();
+                            entry.distinct = distinct;
+                            entry.cmp_involved = cmp;
+                            if !other.provenance.is_empty() {
+                                entry.note(format!("unified with the other side at {span}"));
+                            }
+                        }
+                    }
+                    (l, r) => {
+                        // Ground = ground (or complex patterns): only
+                        // the arith-free structural case is decidable.
+                        if l.is_ground()
+                            && r.is_ground()
+                            && !has_arith(l)
+                            && !has_arith(r)
+                            && l != r
+                        {
+                            return Some(DeadReason::FalseSyntactic {
+                                lit: lit.to_string(),
+                                span,
+                            });
+                        }
+                    }
+                }
+            }
+            CmpOp::Ne => {
+                if b.lhs == b.rhs {
+                    return Some(DeadReason::FalseSyntactic {
+                        lit: lit.to_string(),
+                        span,
+                    });
+                }
+                if let (Term::Var(v), t) | (t, Term::Var(v)) = (&b.lhs, &b.rhs) {
+                    if let Some(c) = scalar_of(t) {
+                        if let Some(entry) = vars.get_mut(v) {
+                            if let ConstSet::Fin(s) = &mut entry.consts {
+                                if s.len() == 1 && s.contains(&c) {
+                                    let syn = matches!(
+                                        &entry.bltn_consts,
+                                        ConstSet::Fin(b) if b.len() == 1 && b.contains(&c)
+                                    );
+                                    let involved = [*v];
+                                    return Some(false_for(vars, &involved, syn));
+                                }
+                                s.remove(&c);
+                            }
+                            if let ConstSet::Fin(s) = &mut entry.bltn_consts {
+                                s.remove(&c);
+                            }
+                        }
+                    }
+                }
+            }
+            CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+                let sat = |op: CmpOp, a: &Value, b: &Value| -> bool {
+                    match (a, b) {
+                        (Value::Int(x), Value::Int(y)) => match op {
+                            CmpOp::Lt => x < y,
+                            CmpOp::Le => x <= y,
+                            CmpOp::Gt => x > y,
+                            CmpOp::Ge => x >= y,
+                            _ => true,
+                        },
+                        // Order over symbols is runtime-defined
+                        // (lenient select drops, strict errors): never
+                        // conclude anything.
+                        _ => true,
+                    }
+                };
+                let lvals = self.eval_term_consts(&b.lhs, vars);
+                let rvals = self.eval_term_consts(&b.rhs, vars);
+                if let (Some(ls), Some(rs)) = (&lvals, &rvals) {
+                    if !ls.is_empty() && !rs.is_empty() {
+                        let lkeep: BTreeSet<Value> = ls
+                            .iter()
+                            .filter(|a| rs.iter().any(|b2| sat(b.op, a, b2)))
+                            .copied()
+                            .collect();
+                        let rkeep: BTreeSet<Value> = rs
+                            .iter()
+                            .filter(|b2| ls.iter().any(|a| sat(b.op, a, b2)))
+                            .copied()
+                            .collect();
+                        if lkeep.is_empty() || rkeep.is_empty() {
+                            let mut involved = Vec::new();
+                            involved.extend(b.lhs.vars());
+                            involved.extend(b.rhs.vars());
+                            return Some(false_for(vars, &involved, false));
+                        }
+                        for (side, keep) in [(&b.lhs, lkeep), (&b.rhs, rkeep)] {
+                            if let Term::Var(v) = side {
+                                if let Some(entry) = vars.get_mut(v) {
+                                    entry.consts = ConstSet::Fin(keep.clone());
+                                    entry.distinct = entry.distinct.min(keep.len() as f64);
+                                    entry.cmp_involved = true;
+                                    entry.note(format!("narrowed by `{b}` at {span}"));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+/// The value-flow cardinality bound for one recursive clique: for each
+/// (pred, position) node, resolve the set of outside sources whose
+/// values can flow there; an arithmetic generator fed from inside the
+/// clique makes the node unbounded (and is the LDL204 witness when no
+/// comparison or non-clique atom bounds the generated variable).
+struct FlowBound {
+    /// Per-node distinct-value upper bound.
+    distinct: BTreeMap<(Pred, usize), f64>,
+    /// (rule index, builtin span, notes) for unbounded generators with
+    /// no bounding filter.
+    unbounded_witnesses: Vec<(usize, Span, Vec<String>)>,
+}
+
+fn clique_flow_bound(
+    program: &Program,
+    clique: &BTreeSet<Pred>,
+    env: &BTreeMap<Pred, PredAbs>,
+) -> FlowBound {
+    #[derive(Clone, Default, PartialEq)]
+    struct Sources {
+        outside: BTreeSet<(Pred, usize)>,
+        consts: BTreeSet<Value>,
+        /// Finite pseudo-sources (arith over outside-only inputs).
+        extra: f64,
+        inside: BTreeSet<(Pred, usize)>,
+        unbounded: bool,
+    }
+
+    let mut nodes: BTreeMap<(Pred, usize), Sources> = BTreeMap::new();
+    for p in clique {
+        for i in 0..p.arity {
+            nodes.insert((*p, i), Sources::default());
+        }
+    }
+    let mut witnesses: Vec<(usize, Span, Vec<String>)> = Vec::new();
+
+    for (ri, rule) in program.rules.iter().enumerate() {
+        if !clique.contains(&rule.head.pred) {
+            continue;
+        }
+        // Where can each variable of this rule get its values? Prefer
+        // an outside source (already finite); otherwise an inside
+        // (clique) position; otherwise an arithmetic binding.
+        let mut outside_src: BTreeMap<Symbol, (Pred, usize)> = BTreeMap::new();
+        let mut inside_src: BTreeMap<Symbol, (Pred, usize)> = BTreeMap::new();
+        for lit in &rule.body {
+            let Literal::Atom(a) = lit else { continue };
+            if a.negated || is_member(a.pred) {
+                continue;
+            }
+            for (i, t) in a.args.iter().enumerate() {
+                for v in t.vars() {
+                    if clique.contains(&a.pred) {
+                        inside_src.entry(v).or_insert((a.pred, i));
+                    } else {
+                        outside_src.entry(v).or_insert((a.pred, i));
+                    }
+                }
+            }
+        }
+        // Arithmetic bindings `V = expr` whose expression mentions a
+        // clique-sourced variable are generators.
+        let mut arith_bound: BTreeMap<Symbol, (&ldl_core::BuiltinPred, bool)> = BTreeMap::new();
+        for lit in &rule.body {
+            let Literal::Builtin(b) = lit else { continue };
+            if b.op != CmpOp::Eq {
+                continue;
+            }
+            if let (Term::Var(v), t) | (t, Term::Var(v)) = (&b.lhs, &b.rhs) {
+                if has_arith(t) {
+                    let from_inside = t
+                        .vars()
+                        .iter()
+                        .any(|w| inside_src.contains_key(w) && !outside_src.contains_key(w));
+                    arith_bound.entry(*v).or_insert((b, from_inside));
+                }
+            }
+        }
+        // Does any comparison (or positive non-clique atom) bound `v`?
+        let bounded_elsewhere = |v: Symbol| -> bool {
+            outside_src.contains_key(&v)
+                || rule.body.iter().any(|lit| match lit {
+                    Literal::Builtin(b) if b.op != CmpOp::Eq && b.op != CmpOp::Ne => {
+                        b.vars().contains(&v)
+                    }
+                    _ => false,
+                })
+        };
+
+        for (i, t) in rule.head.args.iter().enumerate() {
+            let node = (rule.head.pred, i);
+            let entry = nodes.get_mut(&node).expect("clique node");
+            if t.as_group().is_some() {
+                entry.unbounded = true;
+                continue;
+            }
+            match t {
+                Term::Const(c) => {
+                    entry.consts.insert(*c);
+                }
+                _ => {
+                    for v in t.vars() {
+                        if let Some(src) = outside_src.get(&v) {
+                            entry.outside.insert(*src);
+                        } else if let Some((b, from_inside)) = arith_bound.get(&v) {
+                            if *from_inside {
+                                entry.unbounded = true;
+                                if !bounded_elsewhere(v) {
+                                    witnesses.push((
+                                        ri,
+                                        b.span,
+                                        vec![
+                                            format!("in rule: {rule}"),
+                                            format!(
+                                                "`{b}` computes new values of {v} from \
+                                                 recursive argument values on every iteration"
+                                            ),
+                                            format!(
+                                                "{v} flows into argument {} of {}, which feeds \
+                                                 the recursion; no comparison or non-recursive \
+                                                 literal bounds it",
+                                                i + 1,
+                                                rule.head.pred
+                                            ),
+                                        ],
+                                    ));
+                                }
+                            } else {
+                                // Finite: product of outside operand
+                                // distincts.
+                                let mut d = 1.0_f64;
+                                for w in b.vars() {
+                                    if w == v {
+                                        continue;
+                                    }
+                                    d *= outside_src
+                                        .get(&w)
+                                        .and_then(|(p, j)| {
+                                            env.get(p).map(|pa| pa.args[*j].distinct)
+                                        })
+                                        .unwrap_or(f64::INFINITY);
+                                }
+                                if d.is_finite() {
+                                    entry.extra += d;
+                                } else {
+                                    entry.unbounded = true;
+                                }
+                            }
+                        } else if let Some(src) = inside_src.get(&v) {
+                            entry.inside.insert(*src);
+                        } else {
+                            // No positive source at all (head-only or
+                            // negation-bound): unknown.
+                            entry.unbounded = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Transitive closure over inside references.
+    for _ in 0..nodes.len().max(1) {
+        let snapshot = nodes.clone();
+        let mut changed = false;
+        for srcs in nodes.values_mut() {
+            let inside: Vec<(Pred, usize)> = srcs.inside.iter().copied().collect();
+            for node in inside {
+                let Some(other) = snapshot.get(&node) else {
+                    continue;
+                };
+                let before = srcs.clone();
+                srcs.outside.extend(other.outside.iter().copied());
+                srcs.consts.extend(other.consts.iter().copied());
+                srcs.unbounded |= other.unbounded;
+                srcs.extra = srcs.extra.max(other.extra);
+                if *srcs != before {
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let distinct = nodes
+        .iter()
+        .map(|(node, srcs)| {
+            let d = if srcs.unbounded {
+                f64::INFINITY
+            } else {
+                let outside: f64 = srcs
+                    .outside
+                    .iter()
+                    .map(|(p, i)| {
+                        env.get(p)
+                            .map(|pa| pa.args[*i].distinct)
+                            .unwrap_or(f64::INFINITY)
+                    })
+                    .sum();
+                outside + srcs.consts.len() as f64 + srcs.extra
+            };
+            (*node, d)
+        })
+        .collect();
+    FlowBound {
+        distinct,
+        unbounded_witnesses: witnesses,
+    }
+}
+
+/// Runs the abstract interpreter over `program`, seeding base
+/// predicates from `db` when supplied (the database is then treated as
+/// the complete extensional world, exactly like the rest of the
+/// analyzer treats the source text). Without a database, facts in the
+/// program text play that role.
+pub fn interpret(program: &Program, db: Option<&Database>) -> Analysis {
+    let graph = DependencyGraph::build(program);
+    let mut env: BTreeMap<Pred, PredAbs> = BTreeMap::new();
+    let mut type_sources: BTreeMap<(Pred, usize), Vec<TypeSource>> = BTreeMap::new();
+
+    // Seed every mentioned predicate from its extensional contents.
+    let facts = program.facts_by_pred();
+    let derived = program.derived_preds();
+    for pred in program.all_preds() {
+        if is_member(pred) {
+            continue;
+        }
+        let mut pa = PredAbs::empty(pred.arity);
+        let mut seen: std::collections::HashSet<&Atom> = std::collections::HashSet::new();
+        let db_rel = db.and_then(|d| d.relation(pred));
+        if let Some(rel) = db_rel {
+            pa.card_lo = rel.len() as f64;
+            pa.card_hi = rel.len() as f64;
+            for row in rel.iter() {
+                for (i, t) in row.0.iter().enumerate() {
+                    join_ground_term(&mut pa.args[i], t);
+                }
+            }
+            for (i, arg) in pa.args.iter_mut().enumerate() {
+                if let ConstSet::Fin(s) = &arg.consts {
+                    arg.distinct = s.len() as f64;
+                } else {
+                    arg.distinct = ldl_storage::Stats::measure(rel).distinct[i];
+                }
+            }
+        }
+        if let Some(atoms) = facts.get(&pred) {
+            for a in atoms {
+                if db_rel.is_none() && seen.insert(a) {
+                    pa.card_lo += 1.0;
+                    pa.card_hi += 1.0;
+                }
+                for (i, t) in a.args.iter().enumerate() {
+                    if db_rel.is_none() {
+                        join_ground_term(&mut pa.args[i], t);
+                    }
+                    if let Some(v) = scalar_of(t) {
+                        type_sources.entry((pred, i)).or_default().push(TypeSource {
+                            ty: AbsType::of_value(&v),
+                            span: a.span,
+                            what: format!("fact `{a}`"),
+                        });
+                    }
+                }
+            }
+            if db_rel.is_none() {
+                for arg in pa.args.iter_mut() {
+                    if let ConstSet::Fin(s) = &arg.consts {
+                        arg.distinct = s.len() as f64;
+                    } else {
+                        arg.distinct = pa.card_hi;
+                    }
+                }
+            }
+        }
+        // Derived predicates get their rule contributions below; base
+        // predicates are final here. A base predicate with no facts and
+        // no stored relation is empty — the same "the source is the
+        // world" stance LDL102 takes.
+        env.insert(pred, pa);
+    }
+
+    // Group the derived predicates into cliques, bottom-up.
+    let mut groups: Vec<BTreeSet<Pred>> = Vec::new();
+    let mut seen_cliques: BTreeSet<usize> = BTreeSet::new();
+    for p in graph.bottom_up_order() {
+        if !derived.contains(p) {
+            continue;
+        }
+        match graph.clique_id_of(*p) {
+            Some(id)
+                if graph
+                    .clique_of(*p)
+                    .map(|c| c.preds.len() > 1)
+                    .unwrap_or(false)
+                    || graph.is_recursive(*p) =>
+            {
+                if seen_cliques.insert(id) {
+                    let c = graph.clique_of(*p).expect("clique");
+                    groups.push(c.preds.iter().copied().collect());
+                }
+            }
+            _ => {
+                groups.push(std::iter::once(*p).collect());
+            }
+        }
+    }
+
+    let mut recursive: BTreeSet<Pred> = BTreeSet::new();
+    let mut rule_infos: Vec<RuleInfo> = vec![RuleInfo { dead: None }; program.rules.len()];
+    let mut unbounded: Vec<(usize, Span, Vec<String>)> = Vec::new();
+
+    for group in &groups {
+        let is_rec = group.iter().any(|p| graph.is_recursive(*p)) || group.len() > 1;
+        if is_rec {
+            recursive.extend(group.iter().copied());
+        }
+
+        // Cardinality/distinct bounds first: non-recursive predicates
+        // get them from a single rule pass at the end; recursive ones
+        // from the value-flow bound (the widening operator).
+        let flow = is_rec.then(|| clique_flow_bound(program, group, &env));
+        if let Some(flow) = &flow {
+            unbounded.extend(flow.unbounded_witnesses.iter().cloned());
+        }
+
+        // Kleene rounds for types + constant sets (k-limited, so this
+        // converges; MAX_ROUNDS widens any residue to ⊤).
+        let mut rounds = 0usize;
+        loop {
+            rounds += 1;
+            let interp = Interp {
+                env: env.clone(),
+                // Group members stay provisional for every round: their
+                // cardinalities are assigned only after the fixpoint, so
+                // emptiness/membership checks against them are
+                // meaningless here. The final pass below re-judges each
+                // rule on the settled environment.
+                provisional: group.clone(),
+            };
+            let mut changed = false;
+            for p in group {
+                let seed = seed_of(&env, *p, program, db);
+                let mut next = seed;
+                for (_, rule) in program.rules_for(*p) {
+                    let re = interp.eval_rule(rule);
+                    if re.dead.is_some() {
+                        continue;
+                    }
+                    for (i, arg) in re.head.iter().enumerate() {
+                        next.args[i] = next.args[i].join(arg);
+                    }
+                    next.card_hi += re.card_hi;
+                }
+                let cur = env.get_mut(p).expect("derived pred seeded");
+                for (i, arg) in next.args.iter().enumerate() {
+                    let joined = cur.args[i].join(arg);
+                    if joined != cur.args[i] {
+                        cur.args[i] = joined;
+                        changed = true;
+                    }
+                }
+                if !is_rec && next.card_hi != cur.card_hi {
+                    cur.card_hi = next.card_hi;
+                    changed = true;
+                }
+            }
+            if !changed || rounds >= MAX_ROUNDS {
+                if rounds >= MAX_ROUNDS {
+                    for p in group {
+                        let cur = env.get_mut(p).expect("pred");
+                        for arg in cur.args.iter_mut() {
+                            arg.consts = ConstSet::Top;
+                        }
+                    }
+                }
+                break;
+            }
+        }
+
+        // Recursive cardinalities: flow bound, tightened by the final
+        // constant sets.
+        if let Some(flow) = &flow {
+            for p in group {
+                let cur = env.get_mut(p).expect("pred");
+                let mut hi = 1.0_f64;
+                for (i, arg) in cur.args.iter_mut().enumerate() {
+                    let mut d = flow
+                        .distinct
+                        .get(&(*p, i))
+                        .copied()
+                        .unwrap_or(f64::INFINITY);
+                    if let ConstSet::Fin(s) = &arg.consts {
+                        d = d.min(s.len() as f64);
+                    }
+                    arg.distinct = d;
+                    hi *= d;
+                }
+                cur.card_hi = hi.max(cur.card_lo);
+            }
+        }
+
+        // Final pass: pin per-rule deadness/cardinality on the settled
+        // environment, and collect head type sources for LDL202.
+        let interp = Interp {
+            env: env.clone(),
+            provisional: BTreeSet::new(),
+        };
+        for p in group {
+            for (ri, rule) in program.rules_for(*p) {
+                let re = interp.eval_rule(rule);
+                for (i, arg) in re.head.iter().enumerate() {
+                    if matches!(arg.ty, AbsType::Int | AbsType::Sym)
+                        && !re.grouped.get(i).copied().unwrap_or(false)
+                    {
+                        type_sources.entry((*p, i)).or_default().push(TypeSource {
+                            ty: arg.ty,
+                            span: rule.head.span,
+                            what: format!("rule `{rule}`"),
+                        });
+                    }
+                }
+                rule_infos[ri] = RuleInfo { dead: re.dead };
+            }
+        }
+
+        // Emptiness: a derived predicate with no facts whose every rule
+        // is dead derives nothing. Within a recursive clique a rule
+        // whose only support is the clique itself also derives nothing;
+        // compute the "possibly nonempty" least fixpoint.
+        let mut nonempty: BTreeSet<Pred> = group
+            .iter()
+            .filter(|p| env.get(p).map(|pa| pa.card_lo > 0.0).unwrap_or(false))
+            .copied()
+            .collect();
+        loop {
+            let mut changed = false;
+            for p in group {
+                if nonempty.contains(p) {
+                    continue;
+                }
+                let supported = program.rules_for(*p).into_iter().any(|(ri, rule)| {
+                    rule_infos[ri].dead.is_none()
+                        && rule.body.iter().all(|lit| match lit {
+                            Literal::Atom(a) if !a.negated && !is_member(a.pred) => {
+                                if group.contains(&a.pred) {
+                                    nonempty.contains(&a.pred)
+                                } else {
+                                    env.get(&a.pred).map(|pa| pa.card_hi > 0.0).unwrap_or(true)
+                                }
+                            }
+                            _ => true,
+                        })
+                });
+                if supported {
+                    nonempty.insert(*p);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        for p in group {
+            if !nonempty.contains(p) {
+                let cur = env.get_mut(p).expect("pred");
+                cur.card_hi = 0.0;
+                for arg in cur.args.iter_mut() {
+                    *arg = ArgAbs::bot();
+                }
+            }
+        }
+    }
+
+    Analysis {
+        preds: env,
+        recursive,
+        rules: rule_infos,
+        type_sources,
+        unbounded,
+    }
+}
+
+/// The extensional seed of `pred` (facts / stored relation only).
+fn seed_of(
+    env: &BTreeMap<Pred, PredAbs>,
+    pred: Pred,
+    _program: &Program,
+    _db: Option<&Database>,
+) -> PredAbs {
+    // `interpret` seeded `env[pred]` with the extensional contribution
+    // before any rule ran; rebuild a fresh copy with the same card_lo
+    // (facts) but no rule contributions. Since rule contributions only
+    // ever join *into* env, the original seed is card_lo with ⊥ args
+    // joined with facts — we reconstruct conservatively by keeping
+    // card_lo and resetting card_hi to it.
+    let cur = env
+        .get(&pred)
+        .cloned()
+        .unwrap_or_else(|| PredAbs::empty(pred.arity));
+    PredAbs {
+        card_lo: cur.card_lo,
+        card_hi: cur.card_lo,
+        args: vec![ArgAbs::bot(); pred.arity],
+    }
+}
+
+fn join_ground_term(arg: &mut ArgAbs, t: &Term) {
+    match t {
+        Term::Const(v) => {
+            arg.ty = arg.ty.join(AbsType::of_value(v));
+            arg.consts = arg.consts.join(&ConstSet::singleton(*v));
+        }
+        Term::Compound(..) => {
+            arg.ty = arg.ty.join(AbsType::Comp);
+            arg.consts = ConstSet::Top;
+        }
+        Term::Var(_) => {
+            arg.ty = AbsType::Top;
+            arg.consts = ConstSet::Top;
+        }
+    }
+}
+
+/// Runs [`interpret`] and renders the LDL2xx diagnostics.
+pub fn check(program: &Program, db: Option<&Database>) -> Report {
+    let analysis = interpret(program, db);
+    let mut report = Report::new();
+    let derived = program.derived_preds();
+
+    // LDL201 — always-empty derived predicate, with a witness chain
+    // explaining why each rule derives nothing.
+    for pred in &derived {
+        let Some(pa) = analysis.preds.get(pred) else {
+            continue;
+        };
+        if pa.card_hi != 0.0 {
+            continue;
+        }
+        let rules = program.rules_for(*pred);
+        let span = rules
+            .first()
+            .map(|(_, r)| r.head.span)
+            .unwrap_or(Span::NONE);
+        let mut d = Diagnostic {
+            code: "LDL201",
+            severity: Severity::Warning,
+            message: format!("derived predicate {pred} is always empty"),
+            span,
+            notes: Vec::new(),
+        };
+        for (ri, rule) in rules.iter().take(4) {
+            let reason = match &analysis.rules[*ri].dead {
+                Some(r) => r.describe(),
+                None => "every body literal depends on the empty recursion itself".to_string(),
+            };
+            d.notes.push(format!("rule at {}: {reason}", rule.span));
+            if let Some(DeadReason::EmptyAtom { pred: inner, .. }) = &analysis.rules[*ri].dead {
+                if !derived.contains(inner) {
+                    d.notes
+                        .push(format!("{inner} has no facts and no rules (see LDL102)"));
+                }
+            }
+        }
+        report.push(d);
+    }
+
+    // LDL202 — one argument position derived with two disjoint scalar
+    // types across rules/facts.
+    for ((pred, i), sources) in &analysis.type_sources {
+        let has_int = sources.iter().any(|s| s.ty == AbsType::Int);
+        let has_sym = sources.iter().any(|s| s.ty == AbsType::Sym);
+        if !(has_int && has_sym) {
+            continue;
+        }
+        let last = sources.last().expect("nonempty");
+        let mut d = Diagnostic {
+            code: "LDL202",
+            severity: Severity::Warning,
+            message: format!(
+                "argument {} of {pred} is Int in some derivations and Sym in others",
+                i + 1
+            ),
+            span: last.span,
+            notes: Vec::new(),
+        };
+        for s in sources.iter().take(4) {
+            d.notes
+                .push(format!("{} at {} makes it {}", s.what, s.span, s.ty));
+        }
+        d.notes
+            .push("comparisons and joins on this argument will silently miss rows".to_string());
+        report.push(d);
+    }
+
+    // LDL203 / LDL202-at-use — always-false body literals found by
+    // constant/interval evaluation (the purely syntactic cases are
+    // LDL108's and stay silent here), and use-site type clashes.
+    for (ri, info) in analysis.rules.iter().enumerate() {
+        let rule = &program.rules[ri];
+        match &info.dead {
+            Some(DeadReason::FalseConst { lit, span, notes }) => {
+                let mut d = Diagnostic {
+                    code: "LDL203",
+                    severity: Severity::Warning,
+                    message: format!(
+                        "literal `{lit}` can never hold: constant evaluation proves it false"
+                    ),
+                    span: *span,
+                    notes: vec![format!("in rule: {rule}")],
+                };
+                d.notes.extend(notes.iter().cloned());
+                report.push(d);
+            }
+            Some(DeadReason::TypeClash { lit, span, notes }) => {
+                let mut d = Diagnostic {
+                    code: "LDL202",
+                    severity: Severity::Warning,
+                    message: format!("literal `{lit}` compares values of disjoint types"),
+                    span: *span,
+                    notes: vec![format!("in rule: {rule}")],
+                };
+                d.notes.extend(notes.iter().cloned());
+                report.push(d);
+            }
+            _ => {}
+        }
+    }
+
+    // LDL204 — provably-unbounded arithmetic recursion: an arithmetic
+    // generator inside a recursive cycle, nothing bounding it, and the
+    // clique not provably empty.
+    for (ri, span, notes) in &analysis.unbounded {
+        let head = program.rules[*ri].head.pred;
+        let empty = analysis
+            .preds
+            .get(&head)
+            .map(|pa| pa.card_hi == 0.0)
+            .unwrap_or(false);
+        if empty {
+            continue;
+        }
+        let mut d = Diagnostic {
+            code: "LDL204",
+            severity: Severity::Warning,
+            message: format!(
+                "recursive clique of {head} grows an argument arithmetically without bound: \
+                 the fixpoint cannot terminate"
+            ),
+            span: *span,
+            notes: Vec::new(),
+        };
+        d.notes.extend(notes.iter().cloned());
+        report.push(d);
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldl_core::parser::parse_program;
+
+    fn run(text: &str) -> Report {
+        check(&parse_program(text).unwrap(), None).finish()
+    }
+
+    fn analyze(text: &str) -> Analysis {
+        interpret(&parse_program(text).unwrap(), None)
+    }
+
+    #[test]
+    fn base_seeding_and_projection() {
+        let a = analyze("p(X) <- e(X, Y), q(Y).\ne(1, 2). e(3, 4). q(2).");
+        let e = a.pred(Pred::new("e", 2)).unwrap();
+        assert_eq!(e.card_lo, 2.0);
+        assert_eq!(e.card_hi, 2.0);
+        assert_eq!(e.args[0].ty, AbsType::Int);
+        assert_eq!(
+            e.args[0].consts,
+            ConstSet::Fin([Value::Int(1), Value::Int(3)].into())
+        );
+        let p = a.pred(Pred::new("p", 1)).unwrap();
+        assert!(p.card_hi >= 1.0 && p.card_hi.is_finite(), "{p:?}");
+        assert_eq!(p.args[0].ty, AbsType::Int);
+    }
+
+    #[test]
+    fn recursive_clique_gets_finite_flow_bound() {
+        let a = analyze(
+            "tc(X, Y) <- e(X, Y).\ntc(X, Y) <- e(X, Z), tc(Z, Y).\n\
+             e(1, 2). e(2, 3). e(3, 4).",
+        );
+        let tc = a.pred(Pred::new("tc", 2)).unwrap();
+        assert!(a.recursive.contains(&Pred::new("tc", 2)));
+        // Each argument can only hold values flowing from e's columns:
+        // distinct ≤ 3 each, cardinality ≤ 9.
+        assert!(tc.args[0].distinct <= 3.0, "{tc:?}");
+        assert!(tc.card_hi <= 9.0, "{tc:?}");
+        assert!(
+            tc.card_hi >= 6.0,
+            "true tc size is 6; hi must bracket it: {tc:?}"
+        );
+    }
+
+    #[test]
+    fn arithmetic_recursion_is_unbounded_and_ldl204() {
+        let r = run("up(X) <- base(X).\nup(Y) <- up(X), Y = X + 1.\nbase(1).");
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "LDL204")
+            .expect("LDL204");
+        assert_eq!(d.severity, Severity::Warning);
+        assert_eq!((d.span.line, d.span.col), (2, 17));
+        assert!(
+            d.notes
+                .iter()
+                .any(|n| n.contains("computes new values of Y")),
+            "{:?}",
+            d.notes
+        );
+        // A bounding comparison suppresses the diagnostic (the bound is
+        // still ∞, but termination is plausible).
+        let ok = run("up(X) <- base(X).\nup(Y) <- up(X), Y = X + 1, Y < 100.\nbase(1).");
+        assert!(!ok.diagnostics.iter().any(|d| d.code == "LDL204"), "{ok:?}");
+    }
+
+    #[test]
+    fn always_empty_predicate_is_ldl201_with_witness_chain() {
+        let r = run("p(X) <- q(X).\nr(X) <- p(X), s(X).\ns(1).");
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "LDL201" && d.message.contains("p/1"))
+            .expect("LDL201 for p");
+        assert_eq!(d.severity, Severity::Warning);
+        assert_eq!((d.span.line, d.span.col), (1, 1));
+        assert!(d.notes.iter().any(|n| n.contains("q/1")), "{:?}", d.notes);
+        assert!(
+            r.diagnostics
+                .iter()
+                .any(|d| d.code == "LDL201" && d.message.contains("r/1")),
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn always_false_literal_via_constants_is_ldl203() {
+        let r = run("p(X) <- q(X), X = 3.\nq(1). q(2).");
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "LDL203")
+            .expect("LDL203");
+        assert_eq!(d.severity, Severity::Warning);
+        assert_eq!((d.span.line, d.span.col), (1, 15));
+        assert!(
+            d.notes.iter().any(|n| n.contains("{1, 2}")),
+            "{:?}",
+            d.notes
+        );
+        // The purely syntactic contradiction stays LDL108's: no LDL203.
+        let syn = run("p(X) <- q(X), X = 1, X = 2.\nq(1).");
+        assert!(
+            !syn.diagnostics.iter().any(|d| d.code == "LDL203"),
+            "{syn:?}"
+        );
+        // Interval evaluation through comparisons.
+        let cmp = run("p(X) <- q(X), X > 5.\nq(1). q(2).");
+        assert!(
+            cmp.diagnostics.iter().any(|d| d.code == "LDL203"),
+            "{cmp:?}"
+        );
+    }
+
+    #[test]
+    fn type_clash_across_rules_is_ldl202() {
+        let r = run("p(X) <- a(X).\np(X) <- b(X).\na(1). b(tom).");
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "LDL202")
+            .expect("LDL202");
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("argument 1 of p/1"), "{}", d.message);
+        assert!(d.notes.len() >= 2, "{:?}", d.notes);
+        // Use-site clash: an Int-only argument compared to a Sym.
+        let use_site = run("p(X) <- a(X), X = tom.\na(1). a(2).");
+        assert!(
+            use_site.diagnostics.iter().any(|d| d.code == "LDL202"),
+            "{use_site:?}"
+        );
+    }
+
+    #[test]
+    fn member_narrows_and_is_not_a_relation() {
+        let r = run("p(X) <- q(X), member(X, [5, 6]).\nq(1). q(2).");
+        assert!(r.diagnostics.iter().any(|d| d.code == "LDL203"), "{r:?}");
+        let ok = run("p(X) <- q(X), member(X, [1, 6]).\nq(1). q(2).");
+        assert!(!ok.diagnostics.iter().any(|d| d.code == "LDL201"), "{ok:?}");
+    }
+
+    #[test]
+    fn db_seeding_matches_relation_sizes() {
+        use ldl_storage::{Database, Relation, Tuple};
+        let program = parse_program("p(X) <- e(X, Y), Y > 1.").unwrap();
+        let mut db = Database::new();
+        let mut rel = Relation::new(2);
+        for i in 0..10 {
+            rel.insert(Tuple(vec![Term::int(i), Term::int(i + 1)]));
+        }
+        db.set_relation(Pred::new("e", 2), rel);
+        let a = interpret(&program, Some(&db));
+        let e = a.pred(Pred::new("e", 2)).unwrap();
+        assert_eq!(e.card_lo, 10.0);
+        assert_eq!(e.card_hi, 10.0);
+        // 10 > CONST_LIMIT values: widened to ⊤ but distinct is exact.
+        assert_eq!(e.args[0].consts, ConstSet::Top);
+        assert_eq!(e.args[0].distinct, 10.0);
+        let p = a.pred(Pred::new("p", 1)).unwrap();
+        assert!(p.card_hi <= 10.0 && p.card_hi > 0.0, "{p:?}");
+    }
+
+    #[test]
+    fn grouping_head_caps_by_key_distincts() {
+        let a = analyze("s(X, <Y>) <- e(X, Y).\ne(1, 2). e(1, 3). e(2, 4).");
+        let s = a.pred(Pred::new("s", 2)).unwrap();
+        // One row per distinct key: at most 2 (keys 1 and 2).
+        assert!(s.card_hi <= 2.0, "{s:?}");
+    }
+}

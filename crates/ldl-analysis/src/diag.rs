@@ -1,7 +1,7 @@
 //! Diagnostics: stable codes, severities, spans, and rendering.
 //!
 //! Every finding of the analyzer is a [`Diagnostic`] with a stable
-//! `LDL`-prefixed code (`LDL0xx` = error, `LDL1xx` = warning), a
+//! `LDL`-prefixed code (`LDL0xx` = error, `LDL1xx`/`LDL2xx` = warning), a
 //! human-readable message, the [`Span`] of the offending construct, and
 //! optional notes. A [`Report`] collects the diagnostics of one analysis
 //! run and renders them either as human-readable text with a source
@@ -66,8 +66,8 @@ impl Diagnostic {
     /// Builds a warning diagnostic.
     pub fn warning(code: &'static str, span: Span, message: impl Into<String>) -> Diagnostic {
         debug_assert!(
-            code.starts_with("LDL1"),
-            "warning codes are LDL1xx, got {code}"
+            code.starts_with("LDL1") || code.starts_with("LDL2"),
+            "warning codes are LDL1xx/LDL2xx, got {code}"
         );
         Diagnostic {
             code,

@@ -35,6 +35,17 @@
 //! | LDL110 | rule safe only under query forms that bind certain arguments |
 //! | LDL111 | no termination proof for a recursive clique |
 //!
+//! Semantic warnings (`LDL2xx`) come from the abstract interpreter
+//! ([`absint`]) — type lattices, k-limited constant sets, and
+//! cardinality intervals per predicate argument:
+//!
+//! | code   | meaning |
+//! |--------|---------|
+//! | LDL201 | derived predicate is always empty (with per-rule witness chain) |
+//! | LDL202 | argument typed Int in some derivations and Sym in others, or a use site meets disjoint types |
+//! | LDL203 | body literal always false by constant/interval evaluation |
+//! | LDL204 | recursive clique grows an argument arithmetically without bound |
+//!
 //! ## Entry points
 //!
 //! * [`analyze_program`] — program-level passes only.
@@ -53,6 +64,7 @@
 //! assert_eq!(report.errors().next().unwrap().code, "LDL001");
 //! ```
 
+pub mod absint;
 mod bindability;
 mod defuse;
 pub mod diag;
@@ -60,12 +72,14 @@ mod lints;
 mod query;
 mod safety_pass;
 mod strat;
+pub mod transform;
 
 pub use diag::{Diagnostic, Report, Severity};
 
 use ldl_core::depgraph::DependencyGraph;
 use ldl_core::parser::Source;
 use ldl_core::{Program, Query};
+use ldl_storage::Database;
 
 /// Code for parse failures, reserved here so every LDL diagnostic code
 /// lives in one crate; the parser itself reports `LdlError::Parse`.
@@ -83,6 +97,9 @@ pub struct AnalysisOptions {
     /// evaluation engine turns them off — only executability matters
     /// there.
     pub lints: bool,
+    /// Run the semantic abstract-interpretation pass (LDL201–LDL204).
+    /// On by default.
+    pub semantic: bool,
 }
 
 impl Default for AnalysisOptions {
@@ -90,17 +107,26 @@ impl Default for AnalysisOptions {
         AnalysisOptions {
             assume_acyclic: true,
             lints: true,
+            semantic: true,
         }
     }
 }
 
-fn run_all(program: &Program, queries: &[Query], opts: &AnalysisOptions) -> Report {
+fn run_all(
+    program: &Program,
+    queries: &[Query],
+    db: Option<&Database>,
+    opts: &AnalysisOptions,
+) -> Report {
     let graph = DependencyGraph::build(program);
     let mut report = safety_pass::check(program, &graph, opts.assume_acyclic);
     report.merge(strat::check(program, &graph));
     report.merge(defuse::check(program, &graph, queries));
     if opts.lints {
         report.merge(lints::check(program));
+    }
+    if opts.semantic {
+        report.merge(absint::check(program, db));
     }
     for q in queries {
         report.merge(query::check(program, &graph, q, opts.assume_acyclic));
@@ -109,15 +135,24 @@ fn run_all(program: &Program, queries: &[Query], opts: &AnalysisOptions) -> Repo
 }
 
 /// Program-level analysis: safety, stratification, definition/usage,
-/// lints. No query context (LDL003/LDL103 stay silent).
+/// lints, abstract interpretation. No query context (LDL003/LDL103 stay
+/// silent) and no database (cardinality seeds come from program facts).
 pub fn analyze_program(program: &Program, opts: &AnalysisOptions) -> Report {
-    run_all(program, &[], opts)
+    run_all(program, &[], None, opts)
+}
+
+/// Program-level analysis with the stored EDB as the extensional world:
+/// the abstract interpreter seeds cardinality intervals from actual
+/// relation sizes, so LDL201/LDL203 reflect the data actually loaded.
+/// This is what `ldl-serve` runs on rule-bearing `load` requests.
+pub fn analyze_program_db(program: &Program, db: &Database, opts: &AnalysisOptions) -> Report {
+    run_all(program, &[], Some(db), opts)
 }
 
 /// Full analysis of a parsed source: program passes plus per-query
 /// adornment feasibility and reachability-from-query.
 pub fn analyze_source(source: &Source, opts: &AnalysisOptions) -> Report {
-    run_all(&source.program, &source.queries, opts)
+    run_all(&source.program, &source.queries, None, opts)
 }
 
 /// Program passes plus feasibility of one query form. This is the
@@ -127,7 +162,7 @@ pub fn analyze_source(source: &Source, opts: &AnalysisOptions) -> Report {
 /// surface as a runtime evaluation error — the gate reports it up front
 /// with a witness instead.
 pub fn analyze_query(program: &Program, query: &Query, opts: &AnalysisOptions) -> Report {
-    run_all(program, std::slice::from_ref(query), opts)
+    run_all(program, std::slice::from_ref(query), None, opts)
 }
 
 #[cfg(test)]
@@ -152,10 +187,14 @@ mod tests {
         let full = analyze_source(&src, &AnalysisOptions::default());
         assert!(full.diagnostics.iter().any(|d| d.code == "LDL104"));
         assert!(full.diagnostics.iter().any(|d| d.code == "LDL108"));
+        // The semantic pass piles on: the contradictory body makes p
+        // always empty.
+        assert!(full.diagnostics.iter().any(|d| d.code == "LDL201"));
         let quiet = analyze_source(
             &src,
             &AnalysisOptions {
                 lints: false,
+                semantic: false,
                 ..Default::default()
             },
         );

@@ -91,19 +91,30 @@ fn negation_only_vars(rule: &Rule, report: &mut Report) {
     }
 }
 
-/// LDL106 — the same rule written twice (spans ignored by rule
-/// equality, so formatting differences do not mask the duplicate).
+/// LDL106 — the same rule written twice. Rules are compared after
+/// canonical variable renaming, so alpha-equivalent duplicates
+/// (`p(X) <- q(X)` vs `p(Y) <- q(Y)`) are flagged too; spans are
+/// ignored by rule equality, so formatting differences do not mask the
+/// duplicate either.
 fn duplicate_rules(program: &Program, report: &mut Report) {
+    let canon: Vec<Rule> = program
+        .rules
+        .iter()
+        .map(crate::transform::alpha_canonical)
+        .collect();
     for (i, rule) in program.rules.iter().enumerate() {
-        if let Some(first) = program.rules[..i].iter().find(|r| *r == rule) {
-            report.push(
-                Diagnostic::warning(
-                    "LDL106",
-                    rule.span,
-                    format!("duplicate rule: `{rule}` is already defined"),
-                )
-                .with_note(format!("first definition at {}", first.span)),
-            );
+        if let Some(j) = (0..i).find(|&j| canon[j] == canon[i]) {
+            let first = &program.rules[j];
+            let mut d = Diagnostic::warning(
+                "LDL106",
+                rule.span,
+                format!("duplicate rule: `{rule}` is already defined"),
+            )
+            .with_note(format!("first definition at {}", first.span));
+            if first != rule {
+                d = d.with_note(format!("`{first}` differs only in variable names"));
+            }
+            report.push(d);
         }
     }
 }
@@ -125,9 +136,24 @@ fn duplicate_literals(rule: &Rule, report: &mut Report) {
 }
 
 /// LDL108 — equalities that can never hold together: `X = 1, X = 2`,
-/// a ground `1 = 2`, or a reflexive `T ~= T`.
+/// a ground `1 = 2`, a reflexive `T ~= T`, and — through equality
+/// propagation over `Var = Var` links — chains like
+/// `X = 1, Y = X, Y = 2`. Variables connected by equalities form
+/// union-find classes carrying the first ground binding seen; a second,
+/// different binding anywhere in the class is the contradiction.
 fn contradictory_body(rule: &Rule, report: &mut Report) {
-    let mut bindings: BTreeMap<Symbol, (Term, ldl_core::Span)> = BTreeMap::new();
+    let mut parent: BTreeMap<Symbol, Symbol> = BTreeMap::new();
+    fn find(parent: &mut BTreeMap<Symbol, Symbol>, v: Symbol) -> Symbol {
+        let p = *parent.entry(v).or_insert(v);
+        if p == v {
+            return v;
+        }
+        let root = find(parent, p);
+        parent.insert(v, root);
+        root
+    }
+    // Class root → (variable the binding was written on, value, span).
+    let mut bindings: BTreeMap<Symbol, (Symbol, Term, ldl_core::Span)> = BTreeMap::new();
     for lit in &rule.body {
         let Literal::Builtin(b) = lit else { continue };
         match b.op {
@@ -143,29 +169,65 @@ fn contradictory_body(rule: &Rule, report: &mut Report) {
                     );
                     continue;
                 }
+                if let (Term::Var(x), Term::Var(y)) = (&b.lhs, &b.rhs) {
+                    let (rx, ry) = (find(&mut parent, *x), find(&mut parent, *y));
+                    if rx == ry {
+                        continue;
+                    }
+                    match (bindings.get(&rx).cloned(), bindings.get(&ry).cloned()) {
+                        (Some((xvar, xval, _)), Some((yvar, yval, prev_span))) if xval != yval => {
+                            report.push(
+                                Diagnostic::warning(
+                                    "LDL108",
+                                    lit.span(),
+                                    format!(
+                                        "body can never succeed: `{b}` equates {xvar} = {xval} \
+                                         with {yvar} = {yval}"
+                                    ),
+                                )
+                                .with_note(format!("first binding at {prev_span}"))
+                                .with_note(format!("in rule: {rule}")),
+                            );
+                        }
+                        (prev_x, prev_y) => {
+                            parent.insert(rx, ry);
+                            if let Some(binding) = prev_x.or(prev_y) {
+                                bindings.insert(ry, binding);
+                            }
+                        }
+                    }
+                    continue;
+                }
                 let (var, val) = match (&b.lhs, &b.rhs) {
                     (Term::Var(v), t) if t.is_ground() => (*v, t),
                     (t, Term::Var(v)) if t.is_ground() => (*v, t),
                     _ => continue,
                 };
-                match bindings.get(&var).cloned() {
-                    Some((prev, prev_span)) if prev != *val => {
-                        report.push(
-                            Diagnostic::warning(
-                                "LDL108",
-                                lit.span(),
+                let root = find(&mut parent, var);
+                match bindings.get(&root).cloned() {
+                    Some((prev_var, prev, prev_span)) if prev != *val => {
+                        let mut d = Diagnostic::warning(
+                            "LDL108",
+                            lit.span(),
+                            if prev_var == var {
                                 format!(
                                     "body can never succeed: {var} = {prev} and {var} = {val} \
                                      are contradictory"
-                                ),
-                            )
-                            .with_note(format!("first binding at {prev_span}"))
-                            .with_note(format!("in rule: {rule}")),
-                        );
+                                )
+                            } else {
+                                format!(
+                                    "body can never succeed: {var} = {val} contradicts \
+                                     {prev_var} = {prev} ({var} and {prev_var} are equated)"
+                                )
+                            },
+                        )
+                        .with_note(format!("first binding at {prev_span}"));
+                        d = d.with_note(format!("in rule: {rule}"));
+                        report.push(d);
                     }
                     Some(_) => {}
                     None => {
-                        bindings.insert(var, (val.clone(), lit.span()));
+                        bindings.insert(root, (var, val.clone(), lit.span()));
                     }
                 }
             }
@@ -178,6 +240,28 @@ fn contradictory_body(rule: &Rule, report: &mut Report) {
                     )
                     .with_note(format!("in rule: {rule}")),
                 );
+            }
+            CmpOp::Ne => {
+                // `X = 1, X ~= 1` (possibly through an equality chain).
+                let (var, val) = match (&b.lhs, &b.rhs) {
+                    (Term::Var(v), t) if t.is_ground() => (*v, t),
+                    (t, Term::Var(v)) if t.is_ground() => (*v, t),
+                    _ => continue,
+                };
+                let root = find(&mut parent, var);
+                if let Some((prev_var, prev, prev_span)) = bindings.get(&root).cloned() {
+                    if prev == *val {
+                        report.push(
+                            Diagnostic::warning(
+                                "LDL108",
+                                lit.span(),
+                                format!("body can never succeed: `{b}` but {prev_var} = {prev}"),
+                            )
+                            .with_note(format!("first binding at {prev_span}"))
+                            .with_note(format!("in rule: {rule}")),
+                        );
+                    }
+                }
             }
             _ => {}
         }
@@ -286,6 +370,28 @@ mod tests {
     }
 
     #[test]
+    fn alpha_equivalent_duplicate_rule_is_ldl106() {
+        // Same rule modulo variable names: flagged since the
+        // canonical-renaming fix; previously only textual duplicates
+        // were caught.
+        let r = run("p(X) <- q(X).\np(Y) <- q(Y).");
+        assert_eq!(codes(&r), vec!["LDL106"]);
+        let d = &r.diagnostics[0];
+        assert_eq!((d.span.line, d.span.col), (2, 1));
+        assert!(d.notes[0].contains("1:1"), "{:?}", d.notes);
+        assert!(
+            d.notes
+                .iter()
+                .any(|n| n.contains("differs only in variable names")),
+            "{:?}",
+            d.notes
+        );
+        // Different rules that merely share structure stay clean.
+        let ok = run("p(X) <- q(X).\np(Y) <- r(Y).");
+        assert!(ok.diagnostics.is_empty(), "{ok:?}");
+    }
+
+    #[test]
     fn duplicate_literal_is_ldl107() {
         let r = run("p(X) <- q(X), q(X).");
         assert_eq!(codes(&r), vec!["LDL107"]);
@@ -307,6 +413,30 @@ mod tests {
         let gf = run("p(X) <- q(X), 1 = 2.");
         assert_eq!(codes(&gf), vec!["LDL108"]);
         assert!(gf.diagnostics[0].message.contains("always false"));
+    }
+
+    #[test]
+    fn equality_propagated_contradiction_is_ldl108() {
+        // One level of propagation: X = 1, Y = X, Y = 2.
+        let r = run("p(X) <- q(X), X = 1, Y = X, Y = 2.");
+        assert_eq!(codes(&r), vec!["LDL108"]);
+        let d = &r.diagnostics[0];
+        assert_eq!((d.span.line, d.span.col), (1, 29));
+        assert!(d.message.contains("X = 1"), "{}", d.message);
+        assert!(
+            d.notes[0].contains("first binding at 1:15"),
+            "{:?}",
+            d.notes
+        );
+        // The var = var literal itself can close the contradiction.
+        let link = run("p(X) <- q(X, Y), X = 1, Y = 2, X = Y.");
+        assert!(codes(&link).contains(&"LDL108"), "{link:?}");
+        // Disequality against the propagated binding.
+        let ne = run("p(X) <- q(X, Y), X = 1, Y = X, Y != 1.");
+        assert!(codes(&ne).contains(&"LDL108"), "{ne:?}");
+        // Consistent chains stay clean.
+        let ok = run("p(X, Y) <- q(X, Y), X = 1, Y = X.");
+        assert!(!codes(&ok).contains(&"LDL108"), "{ok:?}");
     }
 
     #[test]

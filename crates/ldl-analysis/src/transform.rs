@@ -1,0 +1,362 @@
+//! Sound source-to-source rewrites justified by the abstract domains.
+//!
+//! [`rewrite`] simplifies a program without changing its answers under
+//! *any* extensional database — every transformation here is valid
+//! independent of the stored relations (data-dependent facts like
+//! "predicate q is empty in this database" deliberately do **not**
+//! license rewrites, because the engine evaluates one program against
+//! many database states):
+//!
+//! * **constant propagation** — `X = 3` (or any ground, arithmetic-free
+//!   binding) substitutes into the rest of the rule and disappears;
+//!   equality is symmetric, so replacing every occurrence of `X` by `3`
+//!   preserves the rule's ground instances exactly;
+//! * **ground builtin folding** — an arithmetic-free ground comparison
+//!   is decided structurally (`Int`-only for order comparisons: symbol
+//!   order is runtime-defined under strict select); a true literal is
+//!   dropped, a false one kills the rule, which is exactly the
+//!   contradiction LDL108/LDL203 report;
+//! * **duplicate-literal elimination** — conjunction is idempotent
+//!   (LDL107's observation, applied);
+//! * **alpha-canonical duplicate and subsumed rule removal** — rules
+//!   are renamed to canonical variable names (`$c0`, `$c1`, …, in first
+//!   occurrence order); an exact canonical duplicate is dropped
+//!   (LDL106's observation), and a rule whose canonical head equals an
+//!   earlier rule's while its body is a superset of the earlier body is
+//!   subsumed by it (the identity substitution on canonical names is
+//!   the homomorphism). Grouping heads are exempt from subsumption —
+//!   `<X>` collects one set per key from *its own* body, so a more
+//!   constrained body yields different rows, not a subset.
+//!
+//! The pass is gated behind `FixpointConfig::rewrite` in the engine and
+//! proven answer-preserving by the differential property test in
+//! `tests/differential.rs`.
+
+use ldl_core::{CmpOp, Literal, Program, Rule, Term, Value};
+use std::collections::BTreeMap;
+
+/// What [`rewrite`] did, for logs and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RewriteStats {
+    /// `Var = ground` bindings substituted into their rules.
+    pub consts_propagated: usize,
+    /// Ground builtins decided true and dropped.
+    pub literals_folded: usize,
+    /// Duplicate body literals removed.
+    pub literals_deduped: usize,
+    /// Rules removed because a literal folded to false.
+    pub rules_dropped_false: usize,
+    /// Alpha-equivalent duplicate rules removed.
+    pub rules_dropped_duplicate: usize,
+    /// Rules subsumed by a more general earlier rule.
+    pub rules_dropped_subsumed: usize,
+}
+
+impl RewriteStats {
+    /// Total number of changes.
+    pub fn total(&self) -> usize {
+        self.consts_propagated
+            + self.literals_folded
+            + self.literals_deduped
+            + self.rules_dropped_false
+            + self.rules_dropped_duplicate
+            + self.rules_dropped_subsumed
+    }
+}
+
+/// True when `t` contains an arithmetic compound anywhere (those are
+/// evaluated at runtime, so they must not be compared structurally or
+/// substituted into atom positions).
+fn has_arith(t: &Term) -> bool {
+    match t {
+        Term::Compound(f, args) => {
+            (args.len() == 2 && matches!(f.as_str(), "+" | "-" | "*" | "/" | "mod"))
+                || args.iter().any(has_arith)
+        }
+        _ => false,
+    }
+}
+
+/// Decides an arithmetic-free ground builtin. `None` = undecidable here
+/// (symbol order, complex-term order).
+fn decide_ground(op: CmpOp, l: &Term, r: &Term) -> Option<bool> {
+    match op {
+        CmpOp::Eq => Some(l == r),
+        CmpOp::Ne => Some(l != r),
+        _ => match (l, r) {
+            (Term::Const(Value::Int(a)), Term::Const(Value::Int(b))) => Some(match op {
+                CmpOp::Lt => a < b,
+                CmpOp::Le => a <= b,
+                CmpOp::Gt => a > b,
+                CmpOp::Ge => a >= b,
+                _ => unreachable!(),
+            }),
+            _ => None,
+        },
+    }
+}
+
+/// One simplification round over a single rule. Returns `None` when the
+/// rule can never fire (a literal folded to false).
+fn simplify_rule(rule: &Rule, stats: &mut RewriteStats) -> Option<Rule> {
+    let mut rule = rule.clone();
+    let grouped_head = rule.head.args.iter().any(|t| t.as_group().is_some());
+
+    loop {
+        // 1. Find one `Var = ground` (arithmetic-free) binding to
+        //    propagate. Grouping heads are left alone: `<Y>` positions
+        //    collect variables, and rewriting them buys nothing.
+        let binding = if grouped_head {
+            None
+        } else {
+            rule.body.iter().find_map(|lit| match lit {
+                Literal::Builtin(b) if b.op == CmpOp::Eq => match (&b.lhs, &b.rhs) {
+                    (Term::Var(v), t) | (t, Term::Var(v))
+                        if t.is_ground() && !has_arith(t) && !t.is_var() =>
+                    {
+                        Some((*v, t.clone()))
+                    }
+                    _ => None,
+                },
+                _ => None,
+            })
+        };
+        if let Some((v, t)) = &binding {
+            rule = rule.map_vars(&mut |w| {
+                if w == *v {
+                    t.clone()
+                } else {
+                    Term::Var(w)
+                }
+            });
+            stats.consts_propagated += 1;
+            // The binding itself is now `t = t`; the folding step below
+            // removes it.
+        }
+
+        // 2. Fold ground, arithmetic-free builtins.
+        let mut any_fold = false;
+        let mut kept: Vec<Literal> = Vec::with_capacity(rule.body.len());
+        for lit in &rule.body {
+            match lit {
+                Literal::Builtin(b)
+                    if b.lhs.is_ground()
+                        && b.rhs.is_ground()
+                        && !has_arith(&b.lhs)
+                        && !has_arith(&b.rhs) =>
+                {
+                    match decide_ground(b.op, &b.lhs, &b.rhs) {
+                        Some(true) => {
+                            any_fold = true;
+                            stats.literals_folded += 1;
+                        }
+                        Some(false) => {
+                            stats.rules_dropped_false += 1;
+                            return None;
+                        }
+                        None => kept.push(lit.clone()),
+                    }
+                }
+                _ => kept.push(lit.clone()),
+            }
+        }
+        if any_fold {
+            if kept.is_empty() {
+                // Never emit an empty body: keep one trivially-true
+                // guard so the rule stays a rule (it fires exactly
+                // once, as the original did).
+                stats.literals_folded -= 1;
+                kept.push(Literal::Builtin(ldl_core::BuiltinPred {
+                    op: CmpOp::Eq,
+                    lhs: Term::int(0),
+                    rhs: Term::int(0),
+                    span: rule.span,
+                }));
+            }
+            rule.body = kept;
+        }
+
+        // 3. Duplicate literals (conjunction is idempotent).
+        let mut deduped: Vec<Literal> = Vec::with_capacity(rule.body.len());
+        for lit in &rule.body {
+            if deduped.contains(lit) {
+                stats.literals_deduped += 1;
+            } else {
+                deduped.push(lit.clone());
+            }
+        }
+        if deduped.len() != rule.body.len() {
+            rule.body = deduped;
+        }
+
+        if binding.is_none() {
+            return Some(rule);
+        }
+    }
+}
+
+/// Renames a rule's variables to `$c0`, `$c1`, … in first-occurrence
+/// order (head, then body left to right), giving a canonical form under
+/// which alpha-equivalent rules compare equal.
+pub fn alpha_canonical(rule: &Rule) -> Rule {
+    let mut order: Vec<ldl_core::Symbol> = Vec::new();
+    for v in rule.head.vars() {
+        if !order.contains(&v) {
+            order.push(v);
+        }
+    }
+    for lit in &rule.body {
+        for v in lit.vars() {
+            if !order.contains(&v) {
+                order.push(v);
+            }
+        }
+    }
+    let renames: BTreeMap<ldl_core::Symbol, Term> = order
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (*v, Term::var(&format!("$c{i}"))))
+        .collect();
+    rule.map_vars(&mut |v| renames.get(&v).cloned().unwrap_or(Term::Var(v)))
+}
+
+/// Rewrites `program` into an answer-equivalent, usually smaller one.
+/// Sound under any extensional database; see the module docs for the
+/// per-transformation arguments.
+pub fn rewrite(program: &Program) -> (Program, RewriteStats) {
+    let mut stats = RewriteStats::default();
+    let mut rules: Vec<Rule> = Vec::with_capacity(program.rules.len());
+    for rule in &program.rules {
+        if let Some(r) = simplify_rule(rule, &mut stats) {
+            rules.push(r);
+        }
+    }
+
+    // Alpha-canonical duplicate + subsumption removal.
+    let canon: Vec<Rule> = rules.iter().map(alpha_canonical).collect();
+    let mut keep = vec![true; rules.len()];
+    for i in 0..rules.len() {
+        if !keep[i] {
+            continue;
+        }
+        for j in (i + 1)..rules.len() {
+            if !keep[j] || canon[i].head.pred != canon[j].head.pred {
+                continue;
+            }
+            if canon[i] == canon[j] {
+                keep[j] = false;
+                stats.rules_dropped_duplicate += 1;
+                continue;
+            }
+            // Subsumption: same canonical head, body(i) ⊆ body(j) with
+            // body(i) strictly smaller ⇒ j derives a subset of i's
+            // tuples. Grouping heads are exempt (set collection is not
+            // monotone in the body).
+            if canon[i].head == canon[j].head
+                && !canon[i].head.args.iter().any(|t| t.as_group().is_some())
+                && canon[i].body.len() < canon[j].body.len()
+                && canon[i].body.iter().all(|l| canon[j].body.contains(l))
+            {
+                keep[j] = false;
+                stats.rules_dropped_subsumed += 1;
+            }
+        }
+    }
+    let rules: Vec<Rule> = rules
+        .into_iter()
+        .zip(keep)
+        .filter_map(|(r, k)| k.then_some(r))
+        .collect();
+
+    (
+        Program {
+            rules,
+            facts: program.facts.clone(),
+        },
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldl_core::parser::parse_program;
+
+    fn rw(text: &str) -> (Program, RewriteStats) {
+        rewrite(&parse_program(text).unwrap())
+    }
+
+    #[test]
+    fn constant_propagation_substitutes_and_drops() {
+        let (p, s) = rw("p(X, Y) <- q(X), Y = 3.\nq(1).");
+        assert_eq!(s.consts_propagated, 1);
+        assert_eq!(p.rules.len(), 1);
+        assert_eq!(p.rules[0].to_string(), "p(X, 3) <- q(X).");
+    }
+
+    #[test]
+    fn chained_propagation_reaches_contradiction() {
+        // X = 1, Y = X, Y = 2 — the satellite-2 shape, killed here by
+        // substitution + folding rather than reported.
+        let (p, s) = rw("p(X) <- q(X), X = 1, Y = X, Y = 2.\nq(1).");
+        assert_eq!(p.rules.len(), 0, "{p:?}");
+        assert_eq!(s.rules_dropped_false, 1);
+    }
+
+    #[test]
+    fn ground_folding_keeps_symbol_order_undecided() {
+        let (p, s) = rw("p(X) <- q(X), 1 < 2.\nr(X) <- q(X), a < b.\nq(1).");
+        assert_eq!(s.literals_folded, 1);
+        assert_eq!(p.rules[0].to_string(), "p(X) <- q(X).");
+        // Symbol order is runtime-defined: left alone.
+        assert_eq!(p.rules[1].to_string(), "r(X) <- q(X), a < b.");
+    }
+
+    #[test]
+    fn body_never_becomes_empty() {
+        let (p, _) = rw("p(1) <- 2 > 1.");
+        assert_eq!(p.rules.len(), 1);
+        assert!(!p.rules[0].body.is_empty());
+    }
+
+    #[test]
+    fn duplicate_literals_dedup() {
+        let (p, s) = rw("p(X) <- q(X), q(X).\nq(1).");
+        assert_eq!(s.literals_deduped, 1);
+        assert_eq!(p.rules[0].body.len(), 1);
+    }
+
+    #[test]
+    fn alpha_equivalent_duplicates_drop() {
+        let (p, s) = rw("p(X) <- q(X).\np(Y) <- q(Y).\nq(1).");
+        assert_eq!(p.rules.len(), 1);
+        assert_eq!(s.rules_dropped_duplicate, 1);
+    }
+
+    #[test]
+    fn subsumed_rule_drops() {
+        let (p, s) = rw("p(X) <- q(X).\np(X) <- q(X), r(X).\nq(1). r(1).");
+        assert_eq!(p.rules.len(), 1);
+        assert_eq!(s.rules_dropped_subsumed, 1);
+        assert_eq!(p.rules[0].to_string(), "p(X) <- q(X).");
+    }
+
+    #[test]
+    fn grouping_heads_are_left_alone() {
+        let (p, s) = rw("s(X, <Y>) <- e(X, Y).\ns(X, <Y>) <- e(X, Y), f(Y).\n\
+             t(X, <Y>) <- e(X, Y), Z = 1, Z = 2.\ne(1, 2). f(2).");
+        // No subsumption between the two s-rules; no propagation into
+        // the t-rule body either (grouping head), so its contradiction
+        // survives the rewrite (and is LDL108's to report).
+        assert_eq!(p.rules.len(), 3, "{p:?}");
+        assert_eq!(s.rules_dropped_subsumed, 0);
+        assert_eq!(s.consts_propagated, 0);
+    }
+
+    #[test]
+    fn negation_blocks_nothing_but_matches_exactly() {
+        let (p, _) = rw("p(X) <- q(X), ~r(X), ~r(X).\nq(1).");
+        // Duplicate negated literals dedup too.
+        assert_eq!(p.rules[0].body.len(), 2);
+    }
+}

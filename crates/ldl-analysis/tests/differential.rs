@@ -1,0 +1,202 @@
+//! Differential soundness of the rewrite pass and sanity of the
+//! inferred cardinality intervals.
+//!
+//! * **Rewrite soundness** — for generated programs mixing every
+//!   rewrite trigger (constant chains, foldable ground builtins,
+//!   duplicate/alpha-duplicate rules, duplicate literals, subsumed
+//!   rules, recursion), answers with `FixpointConfig::with_rewrite(true)`
+//!   are bit-identical (canonical order) to the untransformed baseline
+//!   across {naive, semi-naive, magic} × {1, 4} threads ×
+//!   {Selected, ForceScan} access paths.
+//! * **Estimate sanity** — the abstract interpreter's cardinality
+//!   interval brackets the true relation size of every derived
+//!   predicate: `card_lo ≤ |p| ≤ card_hi`.
+//!
+//! Runs on `ldl_support::prop`; replay failures with the
+//! `LDL_PROP_SEED` value printed in the panic message.
+
+use ldl_analysis::absint;
+use ldl_core::parser::{parse_program, parse_query};
+use ldl_eval::naive::AnalysisPolicy;
+use ldl_eval::{evaluate_query, AccessPaths, FixpointConfig, Method};
+use ldl_storage::Database;
+use ldl_support::prop::{check, pairs, triples, usizes, vecs, Config};
+
+/// Rule blocks that each exercise one rewrite trigger, with all-free
+/// and (where the head allows) bound query forms.
+struct Block {
+    rules: &'static str,
+    queries: &'static [&'static str],
+}
+
+const BLOCKS: &[Block] = &[
+    // Constant propagation: the X = 2 binding folds into the atom.
+    Block {
+        rules: "p0(X) <- n(X), X = 2.\n",
+        queries: &["p0(A)?"],
+    },
+    // Alpha-equivalent duplicate rule: the second copy is dropped.
+    Block {
+        rules: "p1(X) <- e(X, _Y).\np1(A) <- e(A, _B).\n",
+        queries: &["p1(A)?"],
+    },
+    // Propagated contradiction: the whole rule is dropped as false.
+    Block {
+        rules: "p2(X) <- n(X), X = 1, Y = X, Y = 2.\np2(X) <- n(X), X = 0.\n",
+        queries: &["p2(A)?"],
+    },
+    // Ground builtin folding: `1 < 2` disappears.
+    Block {
+        rules: "p3(X) <- n(X), 1 < 2.\n",
+        queries: &["p3(A)?"],
+    },
+    // Duplicate literal in one body.
+    Block {
+        rules: "p4(X) <- n(X), n(X).\n",
+        queries: &["p4(A)?"],
+    },
+    // Subsumption: the longer body adds nothing over the shorter one.
+    Block {
+        rules: "p5(X) <- e(X, _Y).\np5(X) <- e(X, _Y), n(X).\n",
+        queries: &["p5(A)?"],
+    },
+    // Negation stays untouched but must survive the pass.
+    Block {
+        rules: "p6(X) <- n(X), ~e(X, X).\n",
+        queries: &["p6(A)?"],
+    },
+    // Recursion, with rewrite fodder in the exit rule.
+    Block {
+        rules: "tc(X, Y) <- e(X, Y), 0 = 0.\ntc(X, Y) <- e(X, Z), tc(Z, Y).\n",
+        queries: &["tc(A, B)?", "tc(1, B)?"],
+    },
+    // Arithmetic through a constant chain.
+    Block {
+        rules: "p8(Z) <- n(X), Y = 2, Z = X + Y.\n",
+        queries: &["p8(A)?"],
+    },
+];
+
+fn program_text(picks: &[usize], ns: &[usize], edges: &[(usize, usize)]) -> (String, Vec<usize>) {
+    let mut chosen: Vec<usize> = picks.to_vec();
+    chosen.sort_unstable();
+    chosen.dedup();
+    let mut text = String::new();
+    for n in ns {
+        text.push_str(&format!("n({n}).\n"));
+    }
+    for (a, b) in edges {
+        text.push_str(&format!("e({a}, {b}).\n"));
+    }
+    for &i in &chosen {
+        text.push_str(BLOCKS[i].rules);
+    }
+    (text, chosen)
+}
+
+#[test]
+fn rewrite_preserves_answers_across_methods_threads_and_access_paths() {
+    let gen = triples(
+        vecs(usizes(0..BLOCKS.len()), 1..4),
+        vecs(usizes(0..6), 1..5),
+        vecs(pairs(usizes(0..6), usizes(0..6)), 1..7),
+    );
+    check(
+        "rewrite_preserves_answers_across_methods_threads_and_access_paths",
+        &Config::with_cases(24),
+        &gen,
+        |(picks, ns, edges)| {
+            let (text, chosen) = program_text(picks, ns, edges);
+            let program = parse_program(&text).unwrap();
+            let db = Database::from_program(&program);
+            for &i in &chosen {
+                for qtext in BLOCKS[i].queries {
+                    let q = parse_query(qtext).unwrap();
+                    let base_cfg = FixpointConfig::default()
+                        .with_analysis(AnalysisPolicy::Off)
+                        .with_rewrite(false);
+                    let mut baseline =
+                        evaluate_query(&program, &db, &q, Method::SemiNaive, &base_cfg)
+                            .unwrap_or_else(|e| panic!("baseline failed for {qtext}: {e}\n{text}"))
+                            .tuples;
+                    baseline.canonicalize();
+                    for method in [Method::Naive, Method::SemiNaive, Method::Magic] {
+                        for threads in [1, 4] {
+                            for access in [AccessPaths::Selected, AccessPaths::ForceScan] {
+                                let cfg = FixpointConfig::default()
+                                    .with_analysis(AnalysisPolicy::Off)
+                                    .with_threads(threads)
+                                    .with_access_paths(access)
+                                    .with_rewrite(true);
+                                let mut got = evaluate_query(&program, &db, &q, method, &cfg)
+                                    .unwrap_or_else(|e| {
+                                        panic!(
+                                            "{} failed for {qtext} at {threads} thread(s), \
+                                                 {access:?}: {e}\n{text}",
+                                            method.name()
+                                        )
+                                    })
+                                    .tuples;
+                                got.canonicalize();
+                                assert_eq!(
+                                    got,
+                                    baseline,
+                                    "rewrite changed answers: {} / {threads} thread(s) / \
+                                     {access:?} / {qtext}\nprogram:\n{text}",
+                                    method.name()
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        },
+    );
+}
+
+#[test]
+fn inferred_cardinality_interval_brackets_true_size() {
+    let gen = triples(
+        vecs(usizes(0..BLOCKS.len()), 1..4),
+        vecs(usizes(0..6), 1..5),
+        vecs(pairs(usizes(0..6), usizes(0..6)), 1..7),
+    );
+    check(
+        "inferred_cardinality_interval_brackets_true_size",
+        &Config::with_cases(24),
+        &gen,
+        |(picks, ns, edges)| {
+            let (text, chosen) = program_text(picks, ns, edges);
+            let program = parse_program(&text).unwrap();
+            let db = Database::from_program(&program);
+            let analysis = absint::interpret(&program, Some(&db));
+            let cfg = FixpointConfig::default().with_analysis(AnalysisPolicy::Off);
+            for &i in &chosen {
+                for qtext in BLOCKS[i].queries {
+                    let q = parse_query(qtext).unwrap();
+                    // Only all-free forms measure the full relation.
+                    if !q.goal.args.iter().all(|t| !t.is_ground()) {
+                        continue;
+                    }
+                    let truth = evaluate_query(&program, &db, &q, Method::SemiNaive, &cfg)
+                        .unwrap_or_else(|e| panic!("evaluation failed for {qtext}: {e}\n{text}"))
+                        .tuples
+                        .len() as f64;
+                    let pa = analysis
+                        .pred(q.pred())
+                        .unwrap_or_else(|| panic!("no summary for {qtext}\n{text}"));
+                    assert!(
+                        pa.card_lo <= truth,
+                        "card_lo {} > true size {truth} for {qtext}\nprogram:\n{text}",
+                        pa.card_lo
+                    );
+                    assert!(
+                        truth <= pa.card_hi,
+                        "true size {truth} > card_hi {} for {qtext}\nprogram:\n{text}",
+                        pa.card_hi
+                    );
+                }
+            }
+        },
+    );
+}

@@ -1,0 +1,127 @@
+//! Estimate-quality bench: how close is the optimizer's predicted
+//! answer count to the truth, with and without the inferred
+//! [`EstimateCatalog`]?
+//!
+//! For each workload the bench runs the query once for ground truth,
+//! optimizes it twice — with the uniform defaults and with
+//! `with_inferred_estimates()` — and records the absolute log10 error
+//! of `estimated_answers` for both in the record label, along with an
+//! FNV digest of the canonical answer set (so the JSON doubles as a
+//! determinism witness for the digest-diff gate in `scripts/ci.sh`).
+//!
+//! The bench asserts the acceptance bar directly: the catalog error is
+//! never worse than the uniform error on any workload, and strictly
+//! better on at least one (the recursive ones — base-relation stats
+//! are measured either way, so non-recursive plans must not move).
+//!
+//! Run: `cargo bench -p ldl-bench --bench absint_estimates`
+
+use ldl_bench::workload::{range_scan, same_generation, transitive_closure_chains};
+use ldl_core::parser::parse_query;
+use ldl_core::Program;
+use ldl_eval::{evaluate_query, FixpointConfig, Method};
+use ldl_optimizer::Optimizer;
+use ldl_storage::Database;
+use ldl_support::bench::Harness;
+
+/// FNV-1a over the canonical answer rows.
+fn digest(rows: &ldl_storage::Relation) -> u64 {
+    let mut lines: Vec<String> = rows.rows().iter().map(|r| r.to_string()).collect();
+    lines.sort_unstable();
+    let mut h: u64 = 0xcbf29ce484222325;
+    for line in lines {
+        for b in line.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h ^= b'\n' as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// |log10((est + 1) / (true + 1))| — symmetric over/under-estimation
+/// error in orders of magnitude.
+fn log_error(est: f64, truth: f64) -> f64 {
+    ((est + 1.0).log10() - (truth + 1.0).log10()).abs()
+}
+
+fn main() {
+    let mut h = Harness::new("absint_estimates");
+    h.set_iters(1, 3);
+
+    let workloads: Vec<(String, Program, &str)> = vec![
+        (
+            "tc-chain/1x60".into(),
+            transitive_closure_chains(60, 1).0,
+            "tc(A, B)?",
+        ),
+        ("sg/2^6".into(), same_generation(2, 6).0, "sg(A, B)?"),
+        ("range/8x40 hit".into(), range_scan(8, 40), "hit(A, B)?"),
+        ("range/8x40 top".into(), range_scan(8, 40), "top(A)?"),
+    ];
+
+    let mut improved = 0usize;
+    for (name, program, qtext) in &workloads {
+        let db = Database::from_program(program);
+        let q = parse_query(qtext).unwrap();
+        let mut answers = evaluate_query(
+            &program.clone(),
+            &db,
+            &q,
+            Method::SemiNaive,
+            &FixpointConfig::serial(),
+        )
+        .expect("ground-truth evaluation")
+        .tuples;
+        answers.canonicalize();
+        let truth = answers.len() as f64;
+        let d = digest(&answers);
+
+        let uniform = Optimizer::with_defaults(program, &db)
+            .optimize(&q)
+            .expect("uniform optimize");
+        let catalog = Optimizer::with_defaults(program, &db)
+            .with_inferred_estimates()
+            .optimize(&q)
+            .expect("catalog optimize");
+        let err_u = log_error(uniform.estimated_answers, truth);
+        let err_c = log_error(catalog.estimated_answers, truth);
+        assert!(
+            err_c <= err_u + 1e-9,
+            "{name}: catalog error {err_c:.3} worse than uniform {err_u:.3} \
+             (est {:.1} vs {:.1}, truth {truth})",
+            catalog.estimated_answers,
+            uniform.estimated_answers
+        );
+        if err_c + 1e-9 < err_u {
+            improved += 1;
+        }
+
+        h.bench(
+            name,
+            &format!(
+                "answers={truth} est_uniform={:.1} est_catalog={:.1} \
+                 err_uniform={err_u:.3} err_catalog={err_c:.3} digest={d:016x}",
+                uniform.estimated_answers, catalog.estimated_answers
+            ),
+            || {
+                Optimizer::with_defaults(program, &db)
+                    .with_inferred_estimates()
+                    .optimize(&q)
+                    .unwrap()
+                    .estimated_answers
+            },
+        );
+    }
+    assert!(
+        improved >= 1,
+        "the inferred catalog improved the answer estimate on no workload"
+    );
+    h.bench(
+        "summary",
+        &format!("improved={improved}/{} no_worse=true", workloads.len()),
+        || improved,
+    );
+    h.finish();
+}

@@ -106,6 +106,17 @@ pub fn evaluate_query_sip(
     sip: &dyn SipStrategy,
 ) -> Result<QueryAnswer> {
     analysis_gate(program, query, cfg.analysis)?;
+    // The rewrite pass is sound under any database (constant
+    // propagation, ground folding, duplicate/subsumed-rule removal —
+    // see `ldl_analysis::transform`), so applying it after the gate
+    // changes no answers, only the work done to produce them.
+    let rewritten;
+    let program = if cfg.rewrite {
+        rewritten = ldl_analysis::transform::rewrite(program).0;
+        &rewritten
+    } else {
+        program
+    };
     match method {
         Method::Naive | Method::SemiNaive => {
             // Bottom-up evaluation runs rule bodies in their stored
@@ -156,8 +167,13 @@ fn analysis_gate(program: &Program, query: &Query, policy: AnalysisPolicy) -> Re
     if policy == AnalysisPolicy::Off {
         return Ok(());
     }
+    // Lints off — only executability matters here. The semantic pass
+    // (LDL2xx, warnings only) runs under `Warn`, where its findings are
+    // actually surfaced; under `Deny` warnings would be discarded, so
+    // the interpreter's work is skipped.
     let opts = ldl_analysis::AnalysisOptions {
         lints: false,
+        semantic: policy == AnalysisPolicy::Warn,
         ..Default::default()
     };
     let report = ldl_analysis::analyze_query(program, query, &opts);

@@ -85,6 +85,12 @@ pub struct FixpointConfig {
     /// Static-analysis gate run by the query entry points before
     /// planning (see [`AnalysisPolicy`]).
     pub analysis: AnalysisPolicy,
+    /// Apply the sound rewrite pass (`ldl_analysis::transform`) to the
+    /// program before planning: constant propagation, ground-builtin
+    /// folding, duplicate/subsumed-rule removal. Off by default;
+    /// answers are bit-identical either way (pinned by the differential
+    /// property tests).
+    pub rewrite: bool,
 }
 
 /// What the engine does with the `ldl-analysis` front end before
@@ -111,6 +117,7 @@ impl Default for FixpointConfig {
             access_paths: AccessPaths::from_env(),
             strict_select: false,
             analysis: AnalysisPolicy::default(),
+            rewrite: false,
         }
     }
 }
@@ -145,6 +152,13 @@ impl FixpointConfig {
     /// Sets the pre-planning analysis policy.
     pub fn with_analysis(mut self, analysis: AnalysisPolicy) -> FixpointConfig {
         self.analysis = analysis;
+        self
+    }
+
+    /// Enables or disables the pre-planning rewrite pass (see
+    /// [`FixpointConfig::rewrite`]).
+    pub fn with_rewrite(mut self, rewrite: bool) -> FixpointConfig {
+        self.rewrite = rewrite;
         self
     }
 

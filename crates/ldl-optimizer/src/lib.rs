@@ -22,6 +22,7 @@
 
 pub mod cost;
 pub mod cse;
+pub mod estimates;
 pub mod joingraph;
 pub mod opt;
 pub mod ptree;
@@ -29,6 +30,7 @@ pub use ldl_core::safety;
 pub mod search;
 
 pub use cost::{AccessPath, CostModel, CostParams, PlanCost};
+pub use estimates::EstimateCatalog;
 pub use joingraph::JoinGraph;
 pub use opt::{OptConfig, OptStats, OptimizedQuery, Optimizer};
 pub use ptree::ProcessingTree;

@@ -243,6 +243,10 @@ pub struct Optimizer<'a> {
     /// Selected-index catalog, when the caller wants base accesses
     /// priced per physical path ([`AccessPath`]) instead of uniformly.
     index_catalog: Option<IndexCatalog>,
+    /// Inferred statistics from the abstract interpreter, when the
+    /// caller wants cardinalities/selectivities from the program + data
+    /// instead of uniform defaults ([`crate::EstimateCatalog`]).
+    estimates: Option<crate::EstimateCatalog>,
     /// Derived predicates (range-fold pricing applies to base atoms
     /// only — derived atoms are priced by their own plans).
     derived: BTreeSet<Pred>,
@@ -264,6 +268,7 @@ impl<'a> Optimizer<'a> {
             overlay: RefCell::new(HashMap::new()),
             stats: RefCell::new(OptStats::default()),
             index_catalog: None,
+            estimates: None,
             derived,
         }
     }
@@ -287,6 +292,30 @@ impl<'a> Optimizer<'a> {
     pub fn with_selected_indexes(self) -> Optimizer<'a> {
         let catalog = IndexCatalog::build(self.program);
         self.with_index_catalog(catalog)
+    }
+
+    /// Attaches inferred statistics: base accesses and clique size
+    /// estimates then use the abstract interpreter's cardinality
+    /// bounds instead of uniform defaults.
+    pub fn with_estimates(mut self, estimates: crate::EstimateCatalog) -> Optimizer<'a> {
+        self.estimates = Some(estimates);
+        self
+    }
+
+    /// [`Optimizer::with_estimates`] with the catalog inferred from
+    /// this optimizer's own program and database.
+    pub fn with_inferred_estimates(self) -> Optimizer<'a> {
+        let cat = crate::EstimateCatalog::infer(self.program, self.db);
+        self.with_estimates(cat)
+    }
+
+    /// Statistics for a base predicate: the inferred catalog's bound
+    /// when available, else the database's (measured or default).
+    fn pred_stats(&self, pred: Pred) -> Stats {
+        if let Some(est) = self.estimates.as_ref().and_then(|e| e.stats(pred)) {
+            return est.clone();
+        }
+        self.db.stats(pred)
     }
 
     /// Work counters accumulated so far.
@@ -383,7 +412,7 @@ impl<'a> Optimizer<'a> {
 
     fn compute_pred_plan(&self, pred: Pred, ad: Adornment) -> PredPlan {
         if !self.derived.contains(&pred) {
-            let stats = self.db.stats(pred);
+            let stats = self.pred_stats(pred);
             let bound = ad.bound_positions();
             let cost = match &self.index_catalog {
                 Some(cat) => {
@@ -541,7 +570,7 @@ impl<'a> Optimizer<'a> {
                         if !self.derived.contains(&a.pred) {
                             if let Some(d) = range_demand(&rule.body, prefix, at, &bound) {
                                 if cat.lookup_range(a.pred, &d.eq_cols, d.range_col).is_some() {
-                                    let stats = self.db.stats(a.pred);
+                                    let stats = self.pred_stats(a.pred);
                                     let pc = self.model.indexed_access(
                                         &stats,
                                         &d.eq_cols,
@@ -878,7 +907,25 @@ impl<'a> Optimizer<'a> {
                 growth += fanout;
             }
         }
-        ((exit_total + growth) * p.fixpoint_depth).clamp(1.0, p.cardinality_cap)
+        let guess = (exit_total + growth) * p.fixpoint_depth;
+        // The interpreter's value-flow bound is a provable upper bound
+        // on the clique's distinct tuples, so capping the growth guess
+        // by it can only move the estimate toward the truth (and leaves
+        // it untouched when the heuristic is already below the bound).
+        let cap = self.estimates.as_ref().and_then(|est| {
+            clique
+                .preds
+                .iter()
+                .filter_map(|&cp| est.clique_size(cp))
+                .fold(None, |acc: Option<f64>, sz| {
+                    Some(acc.map_or(sz, |a| a.max(sz)))
+                })
+        });
+        let guess = match cap {
+            Some(bound) => guess.min(bound),
+            None => guess,
+        };
+        guess.clamp(1.0, p.cardinality_cap)
     }
 
     fn search_cpermutations(

@@ -12,7 +12,7 @@
 //! | op        | request members        | response members                        |
 //! |-----------|------------------------|-----------------------------------------|
 //! | `hello`   |                        | `server`, `version` (pinned)            |
-//! | `load`    | `text` (rules source)  | `version`                               |
+//! | `load`    | `text` (rules source)  | `version`, `diagnostics` (analyzer warnings; on rejection: errors) |
 //! | `insert`  | `facts` (ground facts) | `staged`                                |
 //! | `retract` | `facts`                | `staged`                                |
 //! | `pending` |                        | `staged`, `preds`                       |
@@ -38,8 +38,9 @@
 use crate::json::{self, Json};
 use crate::replicate;
 use crate::service::Service;
+use ldl_analysis::{AnalysisOptions, Diagnostic};
 use ldl_core::parser::{parse_program, parse_query};
-use ldl_core::Term;
+use ldl_core::{Span, Term};
 use ldl_eval::EdbDelta;
 use ldl_storage::Tuple;
 use std::fs;
@@ -247,6 +248,47 @@ fn err(msg: impl Into<String>) -> Json {
     ])
 }
 
+/// One analyzer diagnostic as a wire JSON object (same member names
+/// as `Diagnostic::to_json`, so `ldl-shell --check --json` output and
+/// wire responses agree).
+fn diag_json(d: &Diagnostic) -> Json {
+    Json::obj(vec![
+        ("code", Json::str(d.code)),
+        ("severity", Json::str(d.severity.to_string())),
+        ("message", Json::str(d.message.clone())),
+        ("line", Json::int(d.span.line as i64)),
+        ("col", Json::int(d.span.col as i64)),
+        (
+            "notes",
+            Json::Arr(d.notes.iter().map(|n| Json::str(n.clone())).collect()),
+        ),
+    ])
+}
+
+/// Analyzes a `load` text against the pinned view's base relations.
+/// A parse failure becomes a single `LDL000` diagnostic, mirroring
+/// `ldl-shell --check`.
+fn analyze_load(text: &str, db: &ldl_storage::Database) -> ldl_analysis::Report {
+    match parse_program(text) {
+        Ok(program) => ldl_analysis::analyze_program_db(&program, db, &AnalysisOptions::default()),
+        Err(e) => {
+            let span = match &e {
+                ldl_core::LdlError::Parse { line, col, .. } => {
+                    Span::point(*line as u32, *col as u32)
+                }
+                _ => Span::NONE,
+            };
+            let mut r = ldl_analysis::Report::new();
+            r.push(Diagnostic::error(
+                ldl_analysis::PARSE_ERROR_CODE,
+                span,
+                e.to_string(),
+            ));
+            r.finish()
+        }
+    }
+}
+
 fn admin_refused(op: &str) -> String {
     format!(
         "admin op '{op}' is not allowed on this listener \
@@ -315,13 +357,37 @@ fn handle_conn(
             "ping" => ok(vec![]),
             "load" => match request.get("text").and_then(Json::as_str) {
                 None => err("'load' needs a 'text' member"),
-                Some(text) => match service.load_rules(text) {
-                    Ok(view) => {
-                        pinned = view;
-                        ok(vec![("version", Json::int(pinned.version as i64))])
+                Some(text) => {
+                    // Static analysis against the pinned view's base
+                    // relations, before the rules reach the service:
+                    // errors reject the load with structured
+                    // diagnostics; warnings ride along on success.
+                    let report = analyze_load(text, &pinned.db);
+                    let diags: Vec<Json> = report.diagnostics.iter().map(diag_json).collect();
+                    if report.has_errors() {
+                        let first = report.errors().next().expect("has_errors");
+                        Json::obj(vec![
+                            ("ok", Json::Bool(false)),
+                            (
+                                "error",
+                                Json::str(format!("{}: {}", first.code, first.message)),
+                            ),
+                            ("diagnostics", Json::Arr(diags)),
+                        ])
+                    } else {
+                        match service.load_rules(text) {
+                            Ok(view) => {
+                                pinned = view;
+                                let mut pairs = vec![("version", Json::int(pinned.version as i64))];
+                                if !diags.is_empty() {
+                                    pairs.push(("diagnostics", Json::Arr(diags)));
+                                }
+                                ok(pairs)
+                            }
+                            Err(e) => err(e.to_string()),
+                        }
                     }
-                    Err(e) => err(e.to_string()),
-                },
+                }
             },
             "insert" | "retract" => match request.get("facts").and_then(Json::as_str) {
                 None => err(format!("'{op}' needs a 'facts' member")),

@@ -224,3 +224,76 @@ fn tcp_refuses_admin_ops_by_default() {
     // The accept-loop thread leaks by design here: refusing shutdown is
     // exactly what this test asserts.
 }
+
+#[test]
+fn load_returns_structured_diagnostics() {
+    let dir = tmpdir("diagnostics");
+    let (addr, handle) = start(&dir);
+    let mut c = Client::connect(&addr).unwrap();
+
+    // Commit base facts first so the analyzer sees the stored EDB.
+    c.load("tc(X, Y) <- e(X, Y).").unwrap();
+    c.insert("e(1, 2). e(2, 3).").unwrap();
+    c.commit().unwrap();
+
+    // An unstratified program is rejected before it reaches the
+    // service, with the analyzer's structured diagnostics on the wire.
+    let bad = Json::obj(vec![
+        ("op", Json::str("load")),
+        ("text", Json::str("p(X) <- e(X, _Y), ~p(X).")),
+    ]);
+    let resp = c.request(&bad).unwrap();
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+    let diags = resp
+        .get("diagnostics")
+        .and_then(Json::as_arr)
+        .expect("diagnostics array");
+    assert!(!diags.is_empty());
+    let codes: Vec<&str> = diags
+        .iter()
+        .filter_map(|d| d.get("code").and_then(Json::as_str))
+        .collect();
+    assert!(codes.iter().any(|c| c.starts_with("LDL0")), "{codes:?}");
+    let first = &diags[0];
+    assert!(first.get("severity").and_then(Json::as_str).is_some());
+    assert!(first.get("line").and_then(Json::as_int).is_some());
+    assert!(first.get("message").and_then(Json::as_str).is_some());
+    // The rule base is unchanged: the old rules still answer.
+    assert_eq!(c.query("tc(1, Y)?").unwrap(), vec!["(1, 2)"]);
+
+    // A parse failure surfaces as a single LDL000 diagnostic.
+    let unparsable = Json::obj(vec![
+        ("op", Json::str("load")),
+        ("text", Json::str("p(X <- q(X).")),
+    ]);
+    let resp = c.request(&unparsable).unwrap();
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+    let diags = resp.get("diagnostics").and_then(Json::as_arr).unwrap();
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].get("code").and_then(Json::as_str), Some("LDL000"));
+
+    // A semantically suspicious (but loadable) program carries its
+    // LDL2xx warnings on the success response: `never` joins `e`
+    // against a column value the stored relation cannot hold.
+    let warn = Json::obj(vec![
+        ("op", Json::str("load")),
+        (
+            "text",
+            Json::str("tc(X, Y) <- e(X, Y).\nnever(X) <- e(X, Y), Y = none."),
+        ),
+    ]);
+    let resp = c.request(&warn).unwrap();
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+    let diags = resp
+        .get("diagnostics")
+        .and_then(Json::as_arr)
+        .expect("warning diagnostics");
+    let codes: Vec<&str> = diags
+        .iter()
+        .filter_map(|d| d.get("code").and_then(Json::as_str))
+        .collect();
+    assert!(codes.iter().any(|c| c.starts_with("LDL2")), "{codes:?}");
+
+    c.shutdown().unwrap();
+    handle.join().unwrap();
+}

@@ -247,6 +247,15 @@ for f in examples/*.ldl; do
 done
 echo "    $(ls examples/*.ldl | wc -l) example file(s) match their golden diagnostics"
 
+# Estimate-quality gate: the absint_estimates bench asserts (in-process)
+# that the inferred catalog's answer-count error is never worse than the
+# uniform default on any workload and strictly better on at least one;
+# the record labels carry per-workload errors and answer digests.
+echo "==> inferred-estimate quality gate (absint_estimates)"
+LDL_BENCH_ITERS=1 LDL_BENCH_JSON_DIR="$digest_dir/absint" \
+    cargo bench -q --offline -p ldl-bench --bench absint_estimates >/dev/null
+echo "    $(grep -o 'improved=[0-9]*/[0-9]*' "$digest_dir/absint/BENCH_absint_estimates.json") workload(s) improved, rest unchanged"
+
 echo "==> cargo clippy --workspace --all-targets"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

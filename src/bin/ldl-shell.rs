@@ -13,7 +13,8 @@
 //! ...processing tree, method costs, chosen SIPs...
 //! ```
 //!
-//! Commands: `:help`, `:rules`, `:stats`, `:check`, `:explain <goal>?`,
+//! Commands: `:help`, `:rules`, `:stats`, `:check`, `:rewrite`,
+//! `:explain <goal>?`,
 //! `:strategy <exhaustive|dp|kbz|annealing>`, `:acyclic <on|off>`,
 //! `:insert <fact>.` / `:retract <fact>.` / `:commit` (incremental
 //! updates through the maintenance engine), `:load <file>`, `:reset`,
@@ -124,6 +125,7 @@ commands:
   :strategy <s>            exhaustive | dp | kbz | annealing
   :paths <p>               selected | hash | scan (probe access paths)
   :acyclic <on|off>        assume base data acyclic (enables counting)
+  :rewrite <on|off>        apply the sound rewrite pass before evaluation
   :rules                   list the current rule base
   :stats                   per-relation cardinalities
   :insert <fact>.          stage a base-fact insert
@@ -185,6 +187,18 @@ commands:
                 }
                 None => format!("unknown access-path policy {arg:?} (selected|hash|scan)"),
             },
+            "rewrite" => match arg {
+                "on" => {
+                    self.fixpoint = self.fixpoint.with_rewrite(true);
+                    "rewrite = on (constant propagation, folding, duplicate/subsumed-rule removal)"
+                        .into()
+                }
+                "off" => {
+                    self.fixpoint = self.fixpoint.with_rewrite(false);
+                    "rewrite = off".into()
+                }
+                other => format!("expected on|off, got {other:?}"),
+            },
             "acyclic" => match arg {
                 "on" => {
                     self.cfg.assume_acyclic = true;
@@ -201,7 +215,7 @@ commands:
                     assume_acyclic: self.cfg.assume_acyclic,
                     ..Default::default()
                 };
-                let report = analysis::analyze_program(&self.program, &opts);
+                let report = analysis::analyze_program_db(&self.program, &self.db, &opts);
                 report.render_text(None, "<repl>").trim_end().to_string()
             }
             "explain" => match parse_query(arg) {
@@ -380,9 +394,12 @@ commands:
     fn run_query(&self, query: &Query, explain_only: bool) -> String {
         // Front-end gate: reject infeasible query forms with a witness
         // (variable + literal) instead of a bare optimizer error.
+        // Lints and the semantic pass stay out of the query gate:
+        // only executability matters here; `:check` covers the rest.
         let opts = AnalysisOptions {
             assume_acyclic: self.cfg.assume_acyclic,
             lints: false,
+            semantic: false,
         };
         let report = analysis::analyze_query(&self.program, query, &opts);
         if report.has_errors() {
