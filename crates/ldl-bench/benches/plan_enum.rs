@@ -1,0 +1,67 @@
+//! E3 successor — the memoized plan enumerator on wide chain rules.
+//!
+//! Sweeps `n ∈ {6, 10, 14, 18}` body literals on [`wide_join_rule`]:
+//! wall-clock per full optimization plus the enumerator's explored
+//! prefix count against the `n!` complete orders exhaustive enumeration
+//! walks. Every label embeds the chosen plan's cost digest and a
+//! `pruned=yes|no` flag (explored < n!); at `n = 6` the exhaustive
+//! strategy runs too, so `scripts/ci.sh` can diff the memo digest
+//! against the brute-force one — the bench-level echo of the oracle
+//! test — and fail if pruning ever stops at `n ≥ 10`.
+//!
+//! Run: `cargo bench -p ldl-bench --bench plan_enum`
+//! (writes `BENCH_plan_enum.json`)
+
+use ldl_bench::workload::wide_join_rule;
+use ldl_core::parser::parse_query;
+use ldl_optimizer::{OptConfig, Optimizer, Strategy};
+use ldl_support::bench::Harness;
+
+fn factorial(n: usize) -> f64 {
+    (1..=n).map(|k| k as f64).product()
+}
+
+fn main() {
+    let mut h = Harness::new("plan_enum");
+    h.set_iters(0, 3);
+    for n in [6usize, 10, 14, 18] {
+        let (program, db) = wide_join_rule(n, (n as u64) << 4 | 1);
+        let query = parse_query("q(A, B)?").unwrap();
+        let cfg = |s: Strategy| OptConfig {
+            strategy: s,
+            ..OptConfig::default()
+        };
+        let memo = Optimizer::new(&program, &db, cfg(Strategy::Memo))
+            .optimize(&query)
+            .unwrap();
+        let pruned = (memo.stats.explored_plans as f64) < factorial(n);
+        let label = format!(
+            "n={n} explored={} memo_hits={} pruned={} digest={:016x}",
+            memo.stats.explored_plans,
+            memo.stats.enum_memo_hits,
+            if pruned { "yes" } else { "no" },
+            memo.cost.to_bits()
+        );
+        h.bench("plan-enum-memo", &label, || {
+            Optimizer::new(&program, &db, cfg(Strategy::Memo))
+                .optimize(&query)
+                .unwrap()
+        });
+        if n == 6 {
+            let exh = Optimizer::new(&program, &db, cfg(Strategy::Exhaustive))
+                .optimize(&query)
+                .unwrap();
+            let label = format!(
+                "n={n} probed={} digest={:016x}",
+                exh.stats.orders_probed,
+                exh.cost.to_bits()
+            );
+            h.bench("plan-enum-exhaustive", &label, || {
+                Optimizer::new(&program, &db, cfg(Strategy::Exhaustive))
+                    .optimize(&query)
+                    .unwrap()
+            });
+        }
+    }
+    h.finish();
+}

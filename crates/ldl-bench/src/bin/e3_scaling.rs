@@ -10,10 +10,12 @@
 //! Run: `cargo run --release -p ldl-bench --bin e3_scaling`
 
 use ldl_bench::table::{fnum, Table};
-use ldl_bench::workload::{random_join_graph, Shape};
+use ldl_bench::workload::{random_join_graph, wide_join_rule, Shape};
+use ldl_core::parser::parse_query;
 use ldl_optimizer::search::anneal::{optimize_anneal, AnnealParams};
 use ldl_optimizer::search::exhaustive::{optimize_dp, optimize_exhaustive};
 use ldl_optimizer::search::kbz::optimize_kbz;
+use ldl_optimizer::{OptConfig, Optimizer, Strategy};
 use std::time::Instant;
 
 fn main() {
@@ -100,5 +102,40 @@ fn main() {
         "Expected shape: exhaustive explodes factorially (infeasible past\n\
          ~10 relations), DP grows as n·2^n, KBZ stays polynomial, and\n\
          annealing's probe budget is flat by construction."
+    );
+
+    // E3 successor: the memoized enumerator on full rule bodies (the
+    // integrated optimizer, not the bare join-graph searchers), where
+    // the exact Pareto memo replaces the n! sweep.
+    println!("\nE3 successor: memoized rule enumeration (Strategy::Memo)\n");
+    let mut t = Table::new(&["n", "memo-us", "explored", "memo-hits", "n!"]);
+    for n in [4usize, 6, 8, 10, 12, 14] {
+        let (program, db) = wide_join_rule(n, (n as u64) << 4 | 1);
+        let query = parse_query("q(A, B)?").unwrap();
+        let start = Instant::now();
+        let plan = Optimizer::new(
+            &program,
+            &db,
+            OptConfig {
+                strategy: Strategy::Memo,
+                ..OptConfig::default()
+            },
+        )
+        .optimize(&query)
+        .unwrap();
+        let us = start.elapsed().as_micros() as f64;
+        t.row(&[
+            n.to_string(),
+            fnum(us),
+            fnum(plan.stats.explored_plans as f64),
+            fnum(plan.stats.enum_memo_hits as f64),
+            fnum((1..=n).map(|k| k as f64).product()),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "Expected shape: explored prefixes track the Pareto frontier sizes,\n\
+         orders of magnitude below n! while returning the same minimum\n\
+         (the oracle test pins the equality at n <= 6)."
     );
 }

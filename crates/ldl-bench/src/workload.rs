@@ -247,6 +247,38 @@ pub fn layered_rulebase(width: usize, depth: usize) -> (Program, Pred) {
     )
 }
 
+/// One wide chain rule `q(X0, Xn) <- a1(X0, X1), …, an(Xn-1, Xn)` with
+/// seeded synthetic statistics spanning three orders of magnitude per
+/// base predicate, so join order genuinely matters. The workload behind
+/// the `plan_enum` bench (E3 successor): the optimizer must order an
+/// `n`-literal body where exhaustive enumeration costs `n!`.
+pub fn wide_join_rule(n: usize, seed: u64) -> (Program, Database) {
+    assert!((1..=64).contains(&n), "chain length out of range");
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let mut text = String::new();
+    let body: Vec<String> = (1..=n).map(|i| format!("a{i}(X{}, X{i})", i - 1)).collect();
+    writeln!(text, "q(X0, X{n}) <- {}.", body.join(", ")).unwrap();
+    // A couple of facts per predicate keep the relations non-empty;
+    // the synthetic statistics drive the cost model.
+    for i in 1..=n {
+        for j in 0..3 {
+            writeln!(text, "a{i}({j}, {}).", j + 1).unwrap();
+        }
+    }
+    let program = parse_program(&text).expect("generated chain rule parses");
+    let mut db = Database::from_program(&program);
+    for i in 1..=n {
+        let card = 10f64.powf(rng.gen_range(1.0..4.0)).round();
+        let d0 = (card * rng.gen_range(0.1..1.0)).max(1.0);
+        let d1 = (card * rng.gen_range(0.1..1.0)).max(1.0);
+        db.set_stats(
+            Pred::new(&format!("a{i}"), 2),
+            ldl_storage::Stats::synthetic(card, vec![d0, d1]),
+        );
+    }
+    (program, db)
+}
+
 /// A database with synthetic statistics for every base predicate of a
 /// program (uniform cardinality/distincts drawn from the rng).
 pub fn synthetic_database(program: &Program, seed: u64) -> Database {

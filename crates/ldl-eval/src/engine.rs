@@ -253,7 +253,7 @@ pub fn evaluate_adorned(
             // is cyclic-data divergence — reported as such instead of
             // burning iterations to the generic limit.
             let bound = active_domain_iteration_bound(program, db);
-            let mut ccfg = *cfg;
+            let mut ccfg = cfg.clone();
             ccfg.max_iterations = ccfg.max_iterations.min(bound);
             let (derived, metrics) = eval_program_seminaive(&counting.program, &cdb, &ccfg)
                 .map_err(|e| map_divergence_error(e, query, bound))?;

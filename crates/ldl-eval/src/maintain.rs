@@ -231,7 +231,7 @@ impl Engine {
         let mut engine = Engine {
             program: program.clone(),
             db: db.clone(),
-            cfg: *cfg,
+            cfg: cfg.clone(),
             groups,
             derived: HashMap::new(),
             support: HashMap::new(),
@@ -492,7 +492,7 @@ impl Engine {
         report: &mut MaintenanceReport,
     ) -> Result<()> {
         let groups = self.groups.clone();
-        let cfg = self.cfg;
+        let cfg = self.cfg.clone();
         let catalog = cfg.catalog(&self.program);
         for group in &groups {
             let touched = group.rules.iter().any(|&ri| {

@@ -64,7 +64,7 @@ impl AccessPaths {
 /// for round-level parallelism, and the access-path / strictness
 /// policies. Answers and metrics are identical across every setting of
 /// `threads` and `access_paths`.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct FixpointConfig {
     /// Maximum iterations per recursive clique before the evaluation is
     /// declared divergent.
@@ -91,6 +91,17 @@ pub struct FixpointConfig {
     /// answers are bit-identical either way (pinned by the differential
     /// property tests).
     pub rewrite: bool,
+    /// Co-optimized index-set override. When set (and the policy is
+    /// [`AccessPaths::Selected`]), the executor still builds its own
+    /// catalog for the program it actually evaluates — which may be a
+    /// magic-rewritten program with adornment-renamed predicates — and
+    /// then takes this catalog's per-predicate decisions wholesale
+    /// where they exist ([`IndexCatalog::overridden_by`]). This is how
+    /// the optimizer's co-optimized (order, index-set) pair reaches the
+    /// probe sites: the executor builds exactly the indexes the
+    /// optimizer priced. Access paths never change answers or metrics,
+    /// so the override is a pure performance knob.
+    pub index_catalog: Option<std::sync::Arc<IndexCatalog>>,
 }
 
 /// What the engine does with the `ldl-analysis` front end before
@@ -118,6 +129,7 @@ impl Default for FixpointConfig {
             strict_select: false,
             analysis: AnalysisPolicy::default(),
             rewrite: false,
+            index_catalog: None,
         }
     }
 }
@@ -162,17 +174,32 @@ impl FixpointConfig {
         self
     }
 
+    /// Sets the co-optimized index-set override (see
+    /// [`FixpointConfig::index_catalog`]).
+    pub fn with_index_catalog(mut self, catalog: std::sync::Arc<IndexCatalog>) -> FixpointConfig {
+        self.index_catalog = Some(catalog);
+        self
+    }
+
     /// Default configuration forced to single-threaded execution.
     pub fn serial() -> FixpointConfig {
         FixpointConfig::default().with_threads(1)
     }
 
     /// The selected-index catalog for `program` under this policy:
-    /// `Some` only in [`AccessPaths::Selected`] mode. Callers hold the
+    /// `Some` only in [`AccessPaths::Selected`] mode, built from the
+    /// program actually being evaluated and overlaid with the
+    /// co-optimized override when one is attached. Callers hold the
     /// catalog and borrow it into an [`AccessPlan`] via
     /// [`FixpointConfig::plan`].
     pub(crate) fn catalog(&self, program: &Program) -> Option<IndexCatalog> {
-        (self.access_paths == AccessPaths::Selected).then(|| IndexCatalog::build(program))
+        (self.access_paths == AccessPaths::Selected).then(|| {
+            let built = IndexCatalog::build(program);
+            match &self.index_catalog {
+                Some(winner) => built.overridden_by(winner),
+                None => built,
+            }
+        })
     }
 
     /// The borrow-level access plan for a catalog built by

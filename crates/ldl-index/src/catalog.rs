@@ -13,7 +13,7 @@ use crate::collect::{
 };
 use crate::cover::{chain_to_order, min_chain_cover};
 use ldl_core::{Pred, Program};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// The selected ordered indexes of one program.
 #[derive(Clone, Debug, Default)]
@@ -158,6 +158,39 @@ impl IndexCatalog {
         })
     }
 
+    /// A catalog equal to `self` except that every predicate `winner`
+    /// has orders for takes its orders *and* lookup tables wholesale
+    /// from `winner`. This is how a co-optimized index set overlays the
+    /// executor's self-built catalog: the winner's per-predicate
+    /// decisions replace the defaults, while predicates the winner
+    /// never considered (magic-renamed adorned predicates of the
+    /// rewritten program, for instance) keep their built orders.
+    pub fn overridden_by(&self, winner: &IndexCatalog) -> IndexCatalog {
+        let mut out = self.clone();
+        for (&pred, orders) in &winner.orders {
+            out.orders.insert(pred, orders.clone());
+            out.by_signature.retain(|(p, _), _| *p != pred);
+            out.by_range.retain(|(p, _, _), _| *p != pred);
+        }
+        for ((p, sig), &oi) in &winner.by_signature {
+            out.by_signature.insert((*p, sig.clone()), oi);
+        }
+        for ((p, e, r), &oi) in &winner.by_range {
+            out.by_range.insert((*p, e.clone(), *r), oi);
+        }
+        out
+    }
+
+    /// Deterministic snapshot of the selected orders — per predicate
+    /// (sorted), the set of column orders — for display and for
+    /// comparing two catalogs' index sets.
+    pub fn orders_by_pred(&self) -> BTreeMap<Pred, BTreeSet<Vec<usize>>> {
+        self.orders
+            .iter()
+            .map(|(&p, os)| (p, os.iter().cloned().collect()))
+            .collect()
+    }
+
     /// Total number of selected orders across all predicates.
     pub fn total_orders(&self) -> usize {
         self.orders.values().map(|v| v.len()).sum()
@@ -269,5 +302,24 @@ mod tests {
         // Both equality signatures still hit the chain order.
         assert_eq!(c.lookup(p, &[1]), Some(&[1usize, 0][..]));
         assert_eq!(c.lookup(p, &[0, 1]), Some(&[1usize, 0][..]));
+    }
+
+    #[test]
+    fn override_replaces_per_pred_and_keeps_the_rest() {
+        // Base catalog: tc:{0} (from the recursive rule) and e free.
+        let p = parse_program("tc(X, Y) <- e(X, Y).\ntc(X, Y) <- e(X, Z), tc(Z, Y).").unwrap();
+        let base = IndexCatalog::build(&p);
+        // Winner: e probed on {1} (some permuted candidate's demand),
+        // silent about tc.
+        let e = Pred::new("e", 2);
+        let mut eq = SignatureMap::new();
+        eq.insert(e, BTreeSet::from([vec![1]]));
+        let winner = IndexCatalog::from_signatures(&eq);
+        let merged = base.overridden_by(&winner);
+        assert_eq!(merged.lookup(e, &[1]), Some(&[1usize][..]));
+        // tc keeps its built order; e's old (empty) entry is replaced.
+        assert_eq!(merged.lookup(Pred::new("tc", 2), &[0]), Some(&[0usize][..]));
+        let obp = merged.orders_by_pred();
+        assert_eq!(obp[&e], BTreeSet::from([vec![1]]));
     }
 }

@@ -24,7 +24,7 @@
 //! probing tiny relations), never a miss.
 
 use ldl_core::adorn::AdornedProgram;
-use ldl_core::{CmpOp, Literal, Pred, Program, Symbol, Term};
+use ldl_core::{CmpOp, Literal, Pred, Program, Rule, Symbol, Term};
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 /// The signatures of one program: per predicate, every bound-column set
@@ -134,53 +134,40 @@ pub fn range_demand(
     })
 }
 
-/// Collects the range signatures of every positive atom occurrence in
-/// `program`'s rule bodies: the `(equality prefix, range column)` pairs
-/// [`range_demand`] detects when bodies are walked in stored order.
-pub fn collect_range_signatures(program: &Program) -> RangeSignatureMap {
-    let mut map = RangeSignatureMap::new();
+/// Collects equality *and* range signatures, walking each rule body in
+/// the evaluation order `order_of` supplies (a permutation of
+/// `0..body.len()` given the rule's index and the rule) instead of the
+/// stored order. This is the re-collection API behind join-order ×
+/// index-set co-optimization: after the optimizer proposes candidate
+/// permutations, the demands of *those* orders — not the source
+/// program's — feed the chain cover. The binding discipline is the
+/// executor's, replayed over the permuted order, so for the identity
+/// permutation this agrees exactly with [`collect_signatures`] and
+/// [`collect_range_signatures`] (which are implemented through it).
+///
+/// An `order_of` result that is not a permutation of the body degrades
+/// to the stored order rather than panicking: re-collection must never
+/// be less robust than the identity walk.
+pub fn collect_signatures_in_orders(
+    program: &Program,
+    order_of: &mut dyn FnMut(usize, &Rule) -> Vec<usize>,
+) -> (SignatureMap, RangeSignatureMap) {
+    let mut eq = SignatureMap::new();
+    let mut ranges = RangeSignatureMap::new();
     let member = Pred::new("member", 2);
-    for rule in &program.rules {
-        let order: Vec<usize> = (0..rule.body.len()).collect();
-        let mut bound: HashSet<Symbol> = HashSet::new();
-        for (at, lit) in rule.body.iter().enumerate() {
-            match lit {
-                Literal::Builtin(b) => {
-                    for v in b.binds(&bound) {
-                        bound.insert(v);
-                    }
-                }
-                Literal::Atom(a) if a.negated => {}
-                Literal::Atom(a) if a.pred == member => {
-                    for v in a.vars() {
-                        bound.insert(v);
-                    }
-                }
-                Literal::Atom(a) => {
-                    if let Some(d) = range_demand(&rule.body, &order, at, &bound) {
-                        map.entry(a.pred)
-                            .or_default()
-                            .insert((d.eq_cols, d.range_col));
-                    }
-                    for v in a.vars() {
-                        bound.insert(v);
-                    }
-                }
+    for (ri, rule) in program.rules.iter().enumerate() {
+        let n = rule.body.len();
+        let mut order = order_of(ri, rule);
+        {
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            if sorted != (0..n).collect::<Vec<usize>>() {
+                order = (0..n).collect();
             }
         }
-    }
-    map
-}
-
-/// Collects the search signatures of every positive atom occurrence in
-/// `program`'s rule bodies, walking bodies in stored order.
-pub fn collect_signatures(program: &Program) -> SignatureMap {
-    let mut map = SignatureMap::new();
-    let member = Pred::new("member", 2);
-    for rule in &program.rules {
         let mut bound: HashSet<Symbol> = HashSet::new();
-        for lit in &rule.body {
-            match lit {
+        for (at, &li) in order.iter().enumerate() {
+            match &rule.body[li] {
                 Literal::Builtin(b) => {
                     for v in b.binds(&bound) {
                         bound.insert(v);
@@ -202,7 +189,13 @@ pub fn collect_signatures(program: &Program) -> SignatureMap {
                         .map(|(i, _)| i)
                         .collect();
                     if !sig.is_empty() {
-                        map.entry(a.pred).or_default().insert(sig);
+                        eq.entry(a.pred).or_default().insert(sig);
+                    }
+                    if let Some(d) = range_demand(&rule.body, &order, at, &bound) {
+                        ranges
+                            .entry(a.pred)
+                            .or_default()
+                            .insert((d.eq_cols, d.range_col));
                     }
                     for v in a.vars() {
                         bound.insert(v);
@@ -211,7 +204,20 @@ pub fn collect_signatures(program: &Program) -> SignatureMap {
             }
         }
     }
-    map
+    (eq, ranges)
+}
+
+/// Collects the range signatures of every positive atom occurrence in
+/// `program`'s rule bodies: the `(equality prefix, range column)` pairs
+/// [`range_demand`] detects when bodies are walked in stored order.
+pub fn collect_range_signatures(program: &Program) -> RangeSignatureMap {
+    collect_signatures_in_orders(program, &mut |_, r| (0..r.body.len()).collect()).1
+}
+
+/// Collects the search signatures of every positive atom occurrence in
+/// `program`'s rule bodies, walking bodies in stored order.
+pub fn collect_signatures(program: &Program) -> SignatureMap {
+    collect_signatures_in_orders(program, &mut |_, r| (0..r.body.len()).collect()).0
 }
 
 /// Collects signatures from an adorned program (the optimizer's view):
@@ -378,5 +384,46 @@ mod tests {
         let d = range_demand(&p.rules[0].body, &perm, 0, &HashSet::new()).unwrap();
         assert_eq!(d.range_col, 0);
         assert_eq!(d.consumed, vec![1]);
+    }
+
+    #[test]
+    fn collection_in_permuted_orders_sees_the_permuted_demands() {
+        // Stored order reaches g free then f with both columns of g
+        // bound; the reversed order probes g on column 0 instead.
+        let p = parse_program("q(X, Y) <- g(X, Y), f(X, Y).").unwrap();
+        let (eq, _) = collect_signatures_in_orders(&p, &mut |_, _| vec![1, 0]);
+        let f = Pred::new("f", 2);
+        let g = Pred::new("g", 2);
+        assert!(!eq.contains_key(&f));
+        assert_eq!(
+            eq.get(&g).cloned().unwrap_or_default(),
+            BTreeSet::from([vec![0, 1]])
+        );
+        // Range demands follow the permuted order too: the comparison
+        // placed directly after the atom folds only in order [1, 0, 2].
+        let p = parse_program("q(X) <- X > 5, n(X), m(X).").unwrap();
+        let (_, rg) = collect_signatures_in_orders(&p, &mut |_, _| vec![1, 0, 2]);
+        assert_eq!(
+            rg.get(&Pred::new("n", 1)).cloned().unwrap_or_default(),
+            BTreeSet::from([(vec![], 0)])
+        );
+    }
+
+    #[test]
+    fn identity_orders_agree_with_the_plain_collectors() {
+        let text = "hit(K, V) <- m(K), f(K, V), V >= 3, V < 9.\n\
+                    sg(X, Y) <- flat(X, Y).\n\
+                    sg(X, Y) <- up(X, X1), sg(Y1, X1), dn(Y1, Y).";
+        let p = parse_program(text).unwrap();
+        let (eq, rg) = collect_signatures_in_orders(&p, &mut |_, r| (0..r.body.len()).collect());
+        assert_eq!(eq, collect_signatures(&p));
+        assert_eq!(rg, collect_range_signatures(&p));
+    }
+
+    #[test]
+    fn malformed_order_degrades_to_stored_order() {
+        let p = parse_program("q(X) <- f(X), g(X).").unwrap();
+        let (eq, _) = collect_signatures_in_orders(&p, &mut |_, _| vec![0, 0]);
+        assert_eq!(eq, collect_signatures(&p));
     }
 }

@@ -34,7 +34,7 @@ pub mod cover;
 
 pub use catalog::IndexCatalog;
 pub use collect::{
-    collect_adorned_signatures, collect_range_signatures, collect_signatures, range_demand,
-    RangeDemand, RangeSignatureMap,
+    collect_adorned_signatures, collect_range_signatures, collect_signatures,
+    collect_signatures_in_orders, range_demand, RangeDemand, RangeSignatureMap, SignatureMap,
 };
 pub use cover::{chain_to_order, min_chain_cover, minimal_cover_size_brute_force};

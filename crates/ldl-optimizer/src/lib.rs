@@ -20,6 +20,7 @@
 //!   cost and are pruned; if nothing finite survives, the query is
 //!   reported unsafe ([`safety`]).
 
+pub mod co_opt;
 pub mod cost;
 pub mod cse;
 pub mod estimates;
@@ -29,9 +30,10 @@ pub mod ptree;
 pub use ldl_core::safety;
 pub mod search;
 
+pub use co_opt::{co_optimize, collect_plan_signatures, CoOptStats, CoOptimized};
 pub use cost::{AccessPath, CostModel, CostParams, PlanCost};
 pub use estimates::EstimateCatalog;
 pub use joingraph::JoinGraph;
-pub use opt::{OptConfig, OptStats, OptimizedQuery, Optimizer};
+pub use opt::{CliqueSearch, OptConfig, OptStats, OptimizedQuery, Optimizer};
 pub use ptree::ProcessingTree;
 pub use search::Strategy;

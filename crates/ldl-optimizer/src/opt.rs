@@ -38,11 +38,40 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::rc::Rc;
 
+/// How the CC-node search explores c-permutations (one body order per
+/// recursive rule).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CliqueSearch {
+    /// Iterative co-adornment fixpoint: start from the identity
+    /// c-permutation, re-adorn the clique under the current orders, let
+    /// the rule-level enumerator propose the best order per adorned
+    /// variant, accept the proposal only on a strict total-cost
+    /// improvement, and stop at a stable c-permutation or the round
+    /// cap. Work is O(rounds × Σ per-rule enumeration) instead of the
+    /// sweep's Π nᵢ! — this is what carries recursive rules past the
+    /// E3 n≈10 cliff. Terminates: each accepted round strictly
+    /// decreases the cost over the finite c-permutation space, and
+    /// [`CLIQUE_FIXPOINT_MAX_ROUNDS`] bounds the rounds regardless.
+    #[default]
+    Fixpoint,
+    /// The brute sweep: exhaustive cross-product of per-rule
+    /// permutations below `max_cpermutations`, simulated annealing
+    /// above. Kept as the oracle/ablation.
+    Sweep,
+}
+
+/// Round cap of [`CliqueSearch::Fixpoint`] — the proved termination
+/// bound is strict cost decrease over a finite space, this is the belt
+/// on top of it.
+pub const CLIQUE_FIXPOINT_MAX_ROUNDS: usize = 8;
+
 /// Optimizer configuration.
 #[derive(Clone, Debug)]
 pub struct OptConfig {
     /// Search strategy for conjunct (rule body) ordering.
     pub strategy: Strategy,
+    /// C-permutation search for recursive cliques.
+    pub clique_search: CliqueSearch,
     /// Recursive methods the optimizer may choose from.
     pub methods: Vec<Method>,
     /// Whether base data may be assumed acyclic (a prerequisite for the
@@ -50,8 +79,8 @@ pub struct OptConfig {
     pub assume_acyclic: bool,
     /// Above this many literals, `Strategy::Exhaustive` falls back to DP.
     pub max_exhaustive_literals: usize,
-    /// Above this many c-permutations, the clique search switches to
-    /// simulated annealing.
+    /// Above this many c-permutations, the clique sweep switches to
+    /// simulated annealing (and the fixpoint's unsafe-rescue gives up).
     pub max_cpermutations: usize,
     /// Annealing schedule for both rule orders and c-permutations.
     pub anneal: AnnealParams,
@@ -67,7 +96,8 @@ pub struct OptConfig {
 impl Default for OptConfig {
     fn default() -> Self {
         OptConfig {
-            strategy: Strategy::DynamicProgramming,
+            strategy: Strategy::Memo,
+            clique_search: CliqueSearch::default(),
             methods: Method::ALL.to_vec(),
             assume_acyclic: false,
             max_exhaustive_literals: 8,
@@ -91,6 +121,14 @@ pub struct OptStats {
     pub orders_probed: usize,
     /// Clique c-permutations costed.
     pub cpermutations_probed: usize,
+    /// Prefix extensions walked by the memoized enumerator
+    /// ([`Strategy::Memo`]) — the count the E3-successor gate compares
+    /// against n! (exhaustive walks every complete order).
+    pub explored_plans: usize,
+    /// Candidate prefixes the enumerator dropped because a memoized
+    /// state with the same (subset, fold-tail) key already dominated
+    /// them on both cost and cardinality.
+    pub enum_memo_hits: usize,
 }
 
 /// Plan for one rule under one head binding.
@@ -646,6 +684,7 @@ impl<'a> Optimizer<'a> {
         let (order, cost, fanout) = match strategy {
             Strategy::Exhaustive => self.search_exhaustive(rule, head_ad),
             Strategy::DynamicProgramming => self.search_dp(rule, head_ad),
+            Strategy::Memo => self.search_memo(rule, head_ad, rule_index as u64),
             Strategy::Kbz => self
                 .search_kbz(rule, head_ad)
                 .unwrap_or_else(|| self.search_dp(rule, head_ad)),
@@ -820,6 +859,122 @@ impl<'a> Optimizer<'a> {
         (cost, card)
     }
 
+    /// Memoized transformation-based enumeration: exact Pareto dynamic
+    /// programming over literal subsets (DESIGN.md §17).
+    ///
+    /// **Memo key** = (subset mask, fold-tail). The bound-variable set
+    /// after any *finite*-cost prefix is determined by the subset alone
+    /// (atoms and `member` bind all their variables; an EC builtin ends
+    /// with all of its variables bound — comparisons require them,
+    /// equalities bind the single unknown; negation requires them), and
+    /// every per-literal cost/cardinality step of [`walk_cost`] is
+    /// nondecreasing in the entry cardinality, so two prefixes with the
+    /// same key compare exactly by `(cost, card)` dominance: a
+    /// dominated prefix cannot complete into a strictly cheaper plan.
+    /// The fold-tail — the trailing `[base atom, comparison…]` run — is
+    /// the one piece of arrangement the subset does not capture: a
+    /// comparison appended behind such a run can fold into the atom's
+    /// range probe ([`range_demand`] scans the run), repricing the
+    /// prefix. The tail collapses to empty as soon as no fold-eligible
+    /// comparison remains unplaced (or no catalog is attached), so
+    /// pure-atom rules stay at exactly 2ⁿ states.
+    ///
+    /// Per key the frontier keeps every `(cost, card)`-minimal prefix;
+    /// the minimum over full-mask frontiers is provably the exhaustive
+    /// minimum — the brute-force oracle test pins this at n ≤ 6.
+    /// Extensions walked are counted in [`OptStats::explored_plans`],
+    /// dominance-pruned candidates in [`OptStats::enum_memo_hits`].
+    fn search_memo(&self, rule: &Rule, head_ad: Adornment, salt: u64) -> (Vec<usize>, f64, f64) {
+        let n = rule.body.len();
+        if n > 22 {
+            // 2^n states stop being "polynomial practice"; the anneal
+            // is the honest fallback out there.
+            return self.search_anneal(rule, head_ad, salt);
+        }
+        let member = Pred::new("member", 2);
+        let fold_op = |li: usize| {
+            matches!(&rule.body[li], Literal::Builtin(b) if matches!(
+                b.op,
+                ldl_core::CmpOp::Lt | ldl_core::CmpOp::Le | ldl_core::CmpOp::Gt | ldl_core::CmpOp::Ge
+            ))
+        };
+        let fold_mask: u64 = (0..n)
+            .filter(|&li| fold_op(li))
+            .fold(0, |m, li| m | (1 << li));
+        let folding = self.index_catalog.is_some() && fold_mask != 0;
+        let tail_anchor = |li: usize| {
+            matches!(&rule.body[li], Literal::Atom(a)
+                if !a.negated && a.pred != member && !self.derived.contains(&a.pred))
+        };
+        type Frontier = Vec<(f64, f64, Vec<usize>)>;
+        let mut memo: BTreeMap<(u64, Vec<usize>), Frontier> = BTreeMap::new();
+        memo.insert((0, Vec::new()), vec![(0.0, 1.0, Vec::new())]);
+        let full: u64 = (1u64 << n) - 1;
+        for mask in 0..full {
+            let states: Vec<(Vec<usize>, Frontier)> = memo
+                .range((mask, Vec::new())..(mask + 1, Vec::new()))
+                .map(|((_, tail), f)| (tail.clone(), f.clone()))
+                .collect();
+            for (tail, frontier) in states {
+                for (_, _, order) in &frontier {
+                    for li in 0..n {
+                        if mask & (1 << li) != 0 {
+                            continue;
+                        }
+                        let mut next = order.clone();
+                        next.push(li);
+                        self.stats.borrow_mut().explored_plans += 1;
+                        let (c, k) = self.prefix_cost(rule, head_ad, &next);
+                        if !c.is_finite() {
+                            continue;
+                        }
+                        let nmask = mask | (1 << li);
+                        let mut ntail: Vec<usize> = if !folding {
+                            Vec::new()
+                        } else if tail_anchor(li) {
+                            vec![li]
+                        } else if fold_op(li) && !tail.is_empty() {
+                            let mut t = tail.clone();
+                            t.push(li);
+                            t
+                        } else {
+                            Vec::new()
+                        };
+                        if fold_mask & !nmask == 0 {
+                            // No fold-eligible comparison left to place:
+                            // the arrangement can no longer matter.
+                            ntail.clear();
+                        }
+                        let slot = memo.entry((nmask, ntail)).or_default();
+                        if slot.iter().any(|&(ec, ek, _)| ec <= c && ek <= k) {
+                            self.stats.borrow_mut().enum_memo_hits += 1;
+                            continue;
+                        }
+                        slot.retain(|&(ec, ek, _)| !(c <= ec && k <= ek));
+                        let pos =
+                            slot.partition_point(|&(ec, ek, _)| ec < c || (ec == c && ek < k));
+                        slot.insert(pos, (c, k, next));
+                    }
+                }
+            }
+        }
+        let mut best: Option<(f64, f64, Vec<usize>)> = None;
+        for ((m, _), frontier) in memo.range((full, Vec::new())..) {
+            debug_assert_eq!(*m, full);
+            for (_, _, order) in frontier {
+                let (c, f) = self.order_cost(rule, head_ad, order);
+                match &best {
+                    Some((bc, _, _)) if *bc <= c => {}
+                    _ => best = Some((c, f, order.clone())),
+                }
+            }
+        }
+        match best {
+            Some((c, f, order)) => (order, c, f),
+            None => ((0..n).collect(), INFINITE_COST, INFINITE_COST),
+        }
+    }
+
     fn search_anneal(&self, rule: &Rule, head_ad: Adornment, salt: u64) -> (Vec<usize>, f64, f64) {
         let n = rule.body.len();
         let initial: Vec<usize> =
@@ -936,104 +1091,12 @@ impl<'a> Optimizer<'a> {
         full_size: f64,
     ) -> PredPlan {
         let rec_rules: Vec<usize> = clique.recursive_rules.clone();
-        let body_lens: Vec<usize> = rec_rules
-            .iter()
-            .map(|&ri| self.program.rules[ri].body.len())
-            .collect();
-        let total: f64 = body_lens.iter().map(|&n| factorial(n)).product();
-
-        let evaluate = |cperm: &[Vec<usize>]| -> CpermCost {
-            self.stats.borrow_mut().cpermutations_probed += 1;
-            self.evaluate_cpermutation(clique, pred, ad, full_size, &rec_rules, cperm)
+        let (best_cperm, (best_cost, best_method, best_costs)) = match self.cfg.clique_search {
+            CliqueSearch::Fixpoint => {
+                self.search_cperm_fixpoint(clique, pred, ad, full_size, &rec_rules)
+            }
+            CliqueSearch::Sweep => self.search_cperm_sweep(clique, pred, ad, full_size, &rec_rules),
         };
-
-        let identity: Vec<Vec<usize>> = body_lens.iter().map(|&n| (0..n).collect()).collect();
-
-        let (best_cperm, best_cost, best_method, best_costs) =
-            if total <= self.cfg.max_cpermutations as f64 {
-                // Exhaustive cross-product of per-rule permutations.
-                let mut best: Option<(Vec<Vec<usize>>, CpermCost)> = None;
-                let all_perms: Vec<Vec<Vec<usize>>> =
-                    body_lens.iter().map(|&n| all_permutations(n)).collect();
-                let mut idx = vec![0usize; rec_rules.len()];
-                loop {
-                    let cperm: Vec<Vec<usize>> = idx
-                        .iter()
-                        .enumerate()
-                        .map(|(r, &i)| all_perms[r][i].clone())
-                        .collect();
-                    let (cost, method, costs) = evaluate(&cperm);
-                    let better = best
-                        .as_ref()
-                        .map(|(_, (bc, _, _))| cost < *bc)
-                        .unwrap_or(true);
-                    if better {
-                        best = Some((cperm, (cost, method, costs)));
-                    }
-                    // Advance the mixed-radix counter.
-                    let mut k = 0;
-                    loop {
-                        if k == idx.len() {
-                            break;
-                        }
-                        idx[k] += 1;
-                        if idx[k] < all_perms[k].len() {
-                            break;
-                        }
-                        idx[k] = 0;
-                        k += 1;
-                    }
-                    if k == idx.len() {
-                        break;
-                    }
-                }
-                let (cp, (c, m, costs)) = best.expect("at least the identity c-permutation");
-                (cp, c, m, costs)
-            } else {
-                // Simulated annealing over c-permutations: the neighbor
-                // relation of §7.3 — swap two literals in ONE rule's
-                // permutation.
-                let cache = RefCell::new(HashMap::<Vec<Vec<usize>>, CpermCost>::new());
-                let eval_cached = |cp: &Vec<Vec<usize>>| -> CpermCost {
-                    if let Some(hit) = cache.borrow().get(cp) {
-                        return hit.clone();
-                    }
-                    let r = evaluate(cp);
-                    cache.borrow_mut().insert(cp.clone(), r.clone());
-                    r
-                };
-                let (best, cost, _) = anneal_generic(
-                    identity.clone(),
-                    |cp, rng| {
-                        let mut cp = cp.clone();
-                        let candidates: Vec<usize> = cp
-                            .iter()
-                            .enumerate()
-                            .filter(|(_, p)| p.len() >= 2)
-                            .map(|(i, _)| i)
-                            .collect();
-                        if let Some(&r) = candidates.get(
-                            rng.gen_range(0..candidates.len().max(1))
-                                .min(candidates.len().saturating_sub(1)),
-                        ) {
-                            let n = cp[r].len();
-                            let i = rng.gen_range(0..n);
-                            let mut j = rng.gen_range(0..n - 1);
-                            if j >= i {
-                                j += 1;
-                            }
-                            cp[r].swap(i, j);
-                        }
-                        cp
-                    },
-                    |cp| eval_cached(cp).0,
-                    &self.cfg.anneal,
-                    self.cfg.seed,
-                );
-                let (c, m, costs) = eval_cached(&best);
-                debug_assert_eq!(c, cost);
-                (best, c, m, costs)
-            };
 
         let sips: BTreeMap<usize, Vec<usize>> = rec_rules.iter().copied().zip(best_cperm).collect();
         let fanout = {
@@ -1068,6 +1131,209 @@ impl<'a> Optimizer<'a> {
                 full_size,
                 method_costs: best_costs,
             },
+        }
+    }
+
+    /// [`CliqueSearch::Fixpoint`]: iterative co-adornment. Starting
+    /// from the identity c-permutation, each round adorns the clique
+    /// under the current orders, asks the rule-level enumerator for the
+    /// best order of every adorned variant, and replaces a rule's order
+    /// with the candidate minimizing the summed per-variant body cost.
+    /// A changed proposal is accepted only when the full c-permutation
+    /// costing strictly improves — so the rounds walk a strictly
+    /// decreasing cost sequence over the finite c-permutation space and
+    /// must terminate; [`CLIQUE_FIXPOINT_MAX_ROUNDS`] caps them anyway.
+    /// An unsafe outcome (no finite cost found locally) falls back to
+    /// the sweep when the space is small enough to afford it: some
+    /// cliques have exactly one safe c-permutation that local proposals
+    /// never reach.
+    fn search_cperm_fixpoint(
+        &self,
+        clique: &Clique,
+        pred: Pred,
+        ad: Adornment,
+        full_size: f64,
+        rec_rules: &[usize],
+    ) -> (Vec<Vec<usize>>, CpermCost) {
+        let evaluate = |cperm: &[Vec<usize>]| -> CpermCost {
+            self.stats.borrow_mut().cpermutations_probed += 1;
+            self.evaluate_cpermutation(clique, pred, ad, full_size, rec_rules, cperm)
+        };
+        let mut cur: Vec<Vec<usize>> = rec_rules
+            .iter()
+            .map(|&ri| (0..self.program.rules[ri].body.len()).collect())
+            .collect();
+        let mut cur_cost = evaluate(&cur);
+        for _round in 0..CLIQUE_FIXPOINT_MAX_ROUNDS {
+            let mut sip = FixedSip::new();
+            for (k, &ri) in rec_rules.iter().enumerate() {
+                sip.set(ri, cur[k].clone());
+            }
+            let adorned = adorn_program(self.program, pred, ad, &sip);
+            let mut proposal = cur.clone();
+            for (k, &ri) in rec_rules.iter().enumerate() {
+                let rule = &self.program.rules[ri];
+                let ads: Vec<Adornment> = adorned
+                    .rules
+                    .iter()
+                    .filter(|ar| ar.rule_index == ri && clique.preds.contains(&ar.head.pred))
+                    .map(|ar| ar.head.adornment)
+                    .collect();
+                if ads.is_empty() {
+                    continue;
+                }
+                // Candidates: the incumbent, plus the enumerator's
+                // winner for each adorned variant of this rule. One
+                // rule serving several variants keeps a single order —
+                // the one minimizing the summed per-variant cost.
+                let mut cands: Vec<Vec<usize>> = vec![cur[k].clone()];
+                for &had in &ads {
+                    let rp = self.optimize_rule(ri, rule, had);
+                    if rp.cost.is_finite() && !cands.contains(&rp.order) {
+                        cands.push(rp.order);
+                    }
+                }
+                let score = |o: &[usize]| -> f64 {
+                    ads.iter().map(|&had| self.order_cost(rule, had, o).0).sum()
+                };
+                let mut best = (score(&cands[0]), 0usize);
+                for (ci, cand) in cands.iter().enumerate().skip(1) {
+                    let s = score(cand);
+                    if s < best.0 {
+                        best = (s, ci);
+                    }
+                }
+                proposal[k] = cands[best.1].clone();
+            }
+            if proposal == cur {
+                break; // stable: re-adorning reproduces the orders
+            }
+            let prop_cost = evaluate(&proposal);
+            if prop_cost.0 < cur_cost.0 {
+                cur = proposal;
+                cur_cost = prop_cost;
+            } else {
+                break; // no strict improvement: keep the incumbent
+            }
+        }
+        if !cur_cost.0.is_finite() {
+            let total: f64 = rec_rules
+                .iter()
+                .map(|&ri| factorial(self.program.rules[ri].body.len()))
+                .product();
+            if total <= self.cfg.max_cpermutations as f64 {
+                return self.search_cperm_sweep(clique, pred, ad, full_size, rec_rules);
+            }
+        }
+        (cur, cur_cost)
+    }
+
+    /// [`CliqueSearch::Sweep`]: the brute search the fixpoint replaced
+    /// as the default — exhaustive below `max_cpermutations`, annealing
+    /// above.
+    fn search_cperm_sweep(
+        &self,
+        clique: &Clique,
+        pred: Pred,
+        ad: Adornment,
+        full_size: f64,
+        rec_rules: &[usize],
+    ) -> (Vec<Vec<usize>>, CpermCost) {
+        let body_lens: Vec<usize> = rec_rules
+            .iter()
+            .map(|&ri| self.program.rules[ri].body.len())
+            .collect();
+        let total: f64 = body_lens.iter().map(|&n| factorial(n)).product();
+
+        let evaluate = |cperm: &[Vec<usize>]| -> CpermCost {
+            self.stats.borrow_mut().cpermutations_probed += 1;
+            self.evaluate_cpermutation(clique, pred, ad, full_size, rec_rules, cperm)
+        };
+
+        let identity: Vec<Vec<usize>> = body_lens.iter().map(|&n| (0..n).collect()).collect();
+
+        if total <= self.cfg.max_cpermutations as f64 {
+            // Exhaustive cross-product of per-rule permutations.
+            let mut best: Option<(Vec<Vec<usize>>, CpermCost)> = None;
+            let all_perms: Vec<Vec<Vec<usize>>> =
+                body_lens.iter().map(|&n| all_permutations(n)).collect();
+            let mut idx = vec![0usize; rec_rules.len()];
+            loop {
+                let cperm: Vec<Vec<usize>> = idx
+                    .iter()
+                    .enumerate()
+                    .map(|(r, &i)| all_perms[r][i].clone())
+                    .collect();
+                let (cost, method, costs) = evaluate(&cperm);
+                let better = best
+                    .as_ref()
+                    .map(|(_, (bc, _, _))| cost < *bc)
+                    .unwrap_or(true);
+                if better {
+                    best = Some((cperm, (cost, method, costs)));
+                }
+                // Advance the mixed-radix counter.
+                let mut k = 0;
+                loop {
+                    if k == idx.len() {
+                        break;
+                    }
+                    idx[k] += 1;
+                    if idx[k] < all_perms[k].len() {
+                        break;
+                    }
+                    idx[k] = 0;
+                    k += 1;
+                }
+                if k == idx.len() {
+                    break;
+                }
+            }
+            best.expect("at least the identity c-permutation")
+        } else {
+            // Simulated annealing over c-permutations: the neighbor
+            // relation of §7.3 — swap two literals in ONE rule's
+            // permutation.
+            let cache = RefCell::new(HashMap::<Vec<Vec<usize>>, CpermCost>::new());
+            let eval_cached = |cp: &Vec<Vec<usize>>| -> CpermCost {
+                if let Some(hit) = cache.borrow().get(cp) {
+                    return hit.clone();
+                }
+                let r = evaluate(cp);
+                cache.borrow_mut().insert(cp.clone(), r.clone());
+                r
+            };
+            let (best, cost, _) = anneal_generic(
+                identity.clone(),
+                |cp, rng| {
+                    let mut cp = cp.clone();
+                    let candidates: Vec<usize> = cp
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, p)| p.len() >= 2)
+                        .map(|(i, _)| i)
+                        .collect();
+                    if let Some(&r) = candidates.get(
+                        rng.gen_range(0..candidates.len().max(1))
+                            .min(candidates.len().saturating_sub(1)),
+                    ) {
+                        let n = cp[r].len();
+                        let i = rng.gen_range(0..n);
+                        let mut j = rng.gen_range(0..n - 1);
+                        if j >= i {
+                            j += 1;
+                        }
+                        cp[r].swap(i, j);
+                    }
+                    cp
+                },
+                |cp| eval_cached(cp).0,
+                &self.cfg.anneal,
+                self.cfg.seed,
+            );
+            let (c, m, costs) = eval_cached(&best);
+            debug_assert_eq!(c, cost);
+            (best, (c, m, costs))
         }
     }
 

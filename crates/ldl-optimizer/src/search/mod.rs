@@ -21,6 +21,12 @@ pub enum Strategy {
     Exhaustive,
     /// Selinger dynamic programming over subsets.
     DynamicProgramming,
+    /// Memoized transformation-based enumeration: an exact Pareto
+    /// frontier of `(cost, cardinality)` per memo key
+    /// (literal subset × fold-tail), so the chosen plan provably
+    /// matches exhaustive enumeration's minimum while exploring
+    /// polynomially fewer prefixes in practice. The default.
+    Memo,
     /// KBZ quadratic algorithm (falls back to DP when inapplicable).
     Kbz,
     /// Simulated annealing.
@@ -29,9 +35,10 @@ pub enum Strategy {
 
 impl Strategy {
     /// Every strategy, for sweeps.
-    pub const ALL: [Strategy; 4] = [
+    pub const ALL: [Strategy; 5] = [
         Strategy::Exhaustive,
         Strategy::DynamicProgramming,
+        Strategy::Memo,
         Strategy::Kbz,
         Strategy::Annealing,
     ];
@@ -41,6 +48,7 @@ impl Strategy {
         match self {
             Strategy::Exhaustive => "exhaustive",
             Strategy::DynamicProgramming => "dp",
+            Strategy::Memo => "memo",
             Strategy::Kbz => "kbz",
             Strategy::Annealing => "annealing",
         }

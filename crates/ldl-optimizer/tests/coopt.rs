@@ -1,0 +1,136 @@
+//! Monotonicity, termination, and pruning guarantees of the
+//! co-optimization fixpoint and the memoized enumerator.
+//!
+//! * the accepted-cost trajectory of [`co_optimize`] never increases —
+//!   it is strictly decreasing by the acceptance rule;
+//! * the fixpoint terminates within its proved bound
+//!   ([`MAX_CO_ITERATIONS`]), and the clique co-adornment fixpoint
+//!   prices at most `1 + CLIQUE_FIXPOINT_MAX_ROUNDS` c-permutations;
+//! * on chains of ≥ 8 literals the memoized enumerator explores
+//!   *strictly* fewer prefixes than the `n!` complete orders exhaustive
+//!   enumeration costs, while still landing on the same minimum;
+//! * an n = 14 chain — far beyond exhaustive reach — optimizes to
+//!   completion with a finite cost (the E3-successor acceptance bar).
+
+use ldl_core::parser::{parse_program, parse_query};
+use ldl_optimizer::co_opt::MAX_CO_ITERATIONS;
+use ldl_optimizer::opt::CLIQUE_FIXPOINT_MAX_ROUNDS;
+use ldl_optimizer::{co_optimize, OptConfig, Optimizer, Strategy};
+use ldl_storage::Database;
+
+/// `q(X0, Xn) <- a1(X0, X1), …, an(Xn-1, Xn).` plus a few facts per
+/// base predicate so every relation has statistics.
+fn chain(n: usize) -> (ldl_core::Program, Database) {
+    let mut text = String::new();
+    for i in 1..=n {
+        for j in 0..4 + (i % 3) {
+            text.push_str(&format!("a{i}({j}, {}).\n", j + 1));
+        }
+    }
+    let body: Vec<String> = (1..=n).map(|i| format!("a{i}(X{}, X{i})", i - 1)).collect();
+    text.push_str(&format!("q(X0, X{n}) <- {}.\n", body.join(", ")));
+    let program = parse_program(&text).unwrap();
+    let db = Database::from_program(&program);
+    (program, db)
+}
+
+fn factorial(n: usize) -> usize {
+    (1..=n).product()
+}
+
+#[test]
+fn memo_strictly_prunes_exhaustive_on_eight_literals() {
+    let (program, db) = chain(8);
+    let query = parse_query("q(A, B)?").unwrap();
+    let memo_cfg = OptConfig {
+        strategy: Strategy::Memo,
+        ..OptConfig::default()
+    };
+    let exh_cfg = OptConfig {
+        strategy: Strategy::Exhaustive,
+        ..OptConfig::default()
+    };
+    let memo = Optimizer::new(&program, &db, memo_cfg)
+        .optimize(&query)
+        .unwrap();
+    let exh = Optimizer::new(&program, &db, exh_cfg)
+        .optimize(&query)
+        .unwrap();
+    // Exhaustive walks every complete order; the memo walks strictly
+    // fewer prefix extensions and prunes dominated states on the way.
+    assert!(exh.stats.orders_probed >= factorial(8));
+    assert!(
+        memo.stats.explored_plans < factorial(8),
+        "memo explored {} prefixes, expected < 8! = {}",
+        memo.stats.explored_plans,
+        factorial(8)
+    );
+    assert!(
+        memo.stats.explored_plans < exh.stats.orders_probed,
+        "memo ({}) did not prune vs exhaustive ({})",
+        memo.stats.explored_plans,
+        exh.stats.orders_probed
+    );
+    assert!(
+        memo.stats.enum_memo_hits > 0,
+        "dominance pruning never fired"
+    );
+    // And pruning lost nothing: same minimum.
+    assert!((memo.cost - exh.cost).abs() <= 1e-9 * exh.cost.abs().max(1.0));
+}
+
+#[test]
+fn fourteen_literal_chain_optimizes_to_completion() {
+    let (program, db) = chain(14);
+    let query = parse_query("q(A, B)?").unwrap();
+    let co = co_optimize(&program, &db, &OptConfig::default(), &query, None).unwrap();
+    assert!(
+        co.plan.cost.is_finite(),
+        "n = 14 chain should co-optimize to a finite plan"
+    );
+    assert!(co.stats.iterations <= MAX_CO_ITERATIONS);
+    assert!(
+        co.plan.stats.explored_plans < factorial(10),
+        "explored {} prefixes — enumeration is not remotely factorial",
+        co.plan.stats.explored_plans
+    );
+}
+
+#[test]
+fn accepted_cost_trajectory_never_increases() {
+    for n in [2, 4, 8] {
+        let (program, db) = chain(n);
+        let query = parse_query("q(A, B)?").unwrap();
+        let co = co_optimize(&program, &db, &OptConfig::default(), &query, None).unwrap();
+        assert!(!co.stats.cost_trajectory.is_empty());
+        for w in co.stats.cost_trajectory.windows(2) {
+            assert!(
+                w[1] < w[0],
+                "accepted costs must strictly decrease, got {:?} at n = {n}",
+                co.stats.cost_trajectory
+            );
+        }
+        assert!(co.stats.iterations <= MAX_CO_ITERATIONS);
+    }
+}
+
+#[test]
+fn clique_fixpoint_prices_within_its_round_bound() {
+    let text = "tc(X, Y) <- e(X, Y).\ntc(X, Y) <- e(X, Z), tc(Z, Y).\n\
+                e(1, 2). e(2, 3). e(3, 4). e(4, 5).";
+    let program = parse_program(text).unwrap();
+    let db = Database::from_program(&program);
+    let query = parse_query("tc(1, B)?").unwrap();
+    let plan = Optimizer::new(&program, &db, OptConfig::default())
+        .optimize(&query)
+        .unwrap();
+    assert!(plan.cost.is_finite());
+    // The fixpoint prices the identity c-permutation once, then at most
+    // one proposal per round.
+    assert!(
+        plan.stats.cpermutations_probed <= 1 + CLIQUE_FIXPOINT_MAX_ROUNDS,
+        "{} c-permutations priced, bound is {}",
+        plan.stats.cpermutations_probed,
+        1 + CLIQUE_FIXPOINT_MAX_ROUNDS
+    );
+}

@@ -1,0 +1,138 @@
+//! Brute-force oracle for the memoized enumerator (`Strategy::Memo`).
+//!
+//! For seeded random rules of at most 6 body literals — base atoms,
+//! comparisons, EC equalities, and negation, with and without an index
+//! catalog (the catalog enables the range-fold paths the fold-tail memo
+//! key exists for) — the memoized enumerator's chosen cost must exactly
+//! equal the minimum of [`Optimizer::order_cost`] over *all* `n!`
+//! permutations under the same cost model and catalog. Runs on
+//! `ldl_support::prop`; replay failures with the `LDL_PROP_SEED` value
+//! printed in the panic message.
+
+use ldl_core::parser::parse_program;
+use ldl_core::Adornment;
+use ldl_index::IndexCatalog;
+use ldl_optimizer::{OptConfig, Optimizer, Strategy};
+use ldl_storage::Database;
+use ldl_support::prop::{bools, check, pairs, quads, usizes, vecs, Config};
+
+/// One body literal: `(kind, i, j, c)` over variables `X0..X3`.
+///
+/// * kind 0 — base atom `e(Xi, Xj)`
+/// * kind 1 — base atom `n(Xi)`
+/// * kind 2 — comparison `Xi > c`
+/// * kind 3 — EC equality `Xi = Xj + c` (j forced ≠ i)
+/// * kind 4 — negation `~e(Xi, Xj)`
+type Lit = (usize, usize, usize, usize);
+
+fn literal_text(&(kind, i, j, c): &Lit) -> String {
+    let j = if kind == 3 && j == i { (i + 1) % 4 } else { j };
+    match kind {
+        0 => format!("e(X{i}, X{j})"),
+        1 => format!("n(X{i})"),
+        2 => format!("X{i} > {c}"),
+        3 => format!("X{i} = X{j} + {c}"),
+        _ => format!("~e(X{i}, X{j})"),
+    }
+}
+
+/// Builds the program text: EDB facts plus one rule `q(X0, X1) <- body`
+/// with at most 6 literals and at least one positive base atom.
+fn program_text(lits: &[Lit], edges: &[(usize, usize)], ns: &[usize]) -> String {
+    let mut lits: Vec<Lit> = lits.iter().take(6).copied().collect();
+    if !lits.iter().any(|l| l.0 <= 1) {
+        lits[0] = (0, 0, 1, 0);
+    }
+    let body: Vec<String> = lits.iter().map(literal_text).collect();
+    let mut text = String::new();
+    for (a, b) in edges {
+        text.push_str(&format!("e({a}, {b}).\n"));
+    }
+    for n in ns {
+        text.push_str(&format!("n({n}).\n"));
+    }
+    text.push_str(&format!("q(X0, X1) <- {}.\n", body.join(", ")));
+    text
+}
+
+/// All permutations of `0..n` (n ≤ 6 → at most 720).
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    fn go(prefix: &mut Vec<usize>, rest: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if rest.is_empty() {
+            out.push(prefix.clone());
+            return;
+        }
+        for k in 0..rest.len() {
+            let v = rest.remove(k);
+            prefix.push(v);
+            go(prefix, rest, out);
+            prefix.pop();
+            rest.insert(k, v);
+        }
+    }
+    let mut out = Vec::new();
+    go(&mut Vec::new(), &mut (0..n).collect(), &mut out);
+    out
+}
+
+#[test]
+fn memo_cost_equals_exhaustive_minimum() {
+    let lit = quads(usizes(0..5), usizes(0..4), usizes(0..4), usizes(0..5));
+    let gen = quads(
+        vecs(lit, 1..7),
+        vecs(pairs(usizes(0..6), usizes(0..6)), 1..10),
+        vecs(usizes(0..6), 1..6),
+        bools(),
+    );
+    check(
+        "memo_cost_equals_exhaustive_minimum",
+        &Config::with_cases(48),
+        &gen,
+        |(lits, edges, ns, with_catalog)| {
+            let text = program_text(lits, edges, ns);
+            let program = parse_program(&text).unwrap();
+            let db = Database::from_program(&program);
+            let ri = program
+                .rules
+                .iter()
+                .position(|r| r.head.pred.name.as_str() == "q")
+                .unwrap();
+            let rule = &program.rules[ri];
+            let cfg = OptConfig {
+                strategy: Strategy::Memo,
+                ..OptConfig::default()
+            };
+            let mut opt = Optimizer::new(&program, &db, cfg);
+            if *with_catalog {
+                opt = opt.with_index_catalog(IndexCatalog::build(&program));
+            }
+            for head_ad in [
+                Adornment::all_free(2),
+                Adornment::parse("bf").unwrap(),
+                Adornment::all_bound(2),
+            ] {
+                let plan = opt.optimize_rule(ri, rule, head_ad);
+                let oracle = permutations(rule.body.len())
+                    .iter()
+                    .map(|order| opt.order_cost(rule, head_ad, order).0)
+                    .fold(f64::INFINITY, f64::min);
+                if oracle.is_infinite() {
+                    assert!(
+                        plan.cost.is_infinite(),
+                        "memo found a finite plan the oracle says cannot exist \
+                         under {head_ad}:\n{text}"
+                    );
+                } else {
+                    assert!(
+                        (plan.cost - oracle).abs() <= 1e-9 * oracle.abs().max(1.0),
+                        "memo cost {} != exhaustive minimum {} under {head_ad} \
+                         (catalog: {with_catalog}), order {:?}:\n{text}",
+                        plan.cost,
+                        oracle,
+                        plan.order
+                    );
+                }
+            }
+        },
+    );
+}

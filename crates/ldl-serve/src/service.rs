@@ -361,7 +361,7 @@ impl Service {
         let current = Arc::new(Self::view(version, &program_text, &engine));
         let mut inner = Inner {
             engine,
-            cfg: *cfg,
+            cfg: cfg.clone(),
             program_text,
             wal,
             dir: dir.to_path_buf(),
@@ -496,7 +496,7 @@ impl Service {
             let payload = inner
                 .wal
                 .append_nosync(seq, &WalRecord::Rules(text.to_string()))?;
-            let cfg = inner.cfg;
+            let cfg = inner.cfg.clone();
             let Inner {
                 engine,
                 program_text,
@@ -722,7 +722,7 @@ impl Service {
                     )));
                 }
                 inner.wal.append_payload_nosync(payload)?;
-                let cfg = inner.cfg;
+                let cfg = inner.cfg.clone();
                 let applied = match rec {
                     WalRecord::Rules(text) => {
                         let Inner {

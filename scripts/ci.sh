@@ -256,6 +256,29 @@ LDL_BENCH_ITERS=1 LDL_BENCH_JSON_DIR="$digest_dir/absint" \
     cargo bench -q --offline -p ldl-bench --bench absint_estimates >/dev/null
 echo "    $(grep -o 'improved=[0-9]*/[0-9]*' "$digest_dir/absint/BENCH_absint_estimates.json") workload(s) improved, rest unchanged"
 
+# Plan-enumeration gate: the E3-successor bench optimizes wide chain
+# rules with the memoized enumerator and embeds the chosen plan's cost
+# digest plus a pruned=yes|no flag (explored prefixes < n!) in every
+# label. At n=6 the exhaustive strategy runs too: the memo digest must
+# match brute force bit for bit (the bench-level echo of the oracle
+# test), and at n >= 10 the memo must explore strictly fewer plans
+# than n! — a pruned=no there means memoization stopped working.
+echo "==> plan enumeration gate (memo digest vs brute force; pruning at n >= 10)"
+LDL_BENCH_ITERS=1 LDL_BENCH_JSON_DIR="$digest_dir/planenum" \
+    cargo bench -q --offline -p ldl-bench --bench plan_enum >/dev/null
+planenum_json="$digest_dir/planenum/BENCH_plan_enum.json"
+memo6=$(grep '"group": "plan-enum-memo"' "$planenum_json" | grep '"label": "n=6 ' \
+    | grep -o 'digest=[0-9a-f]*')
+exh6=$(grep '"group": "plan-enum-exhaustive"' "$planenum_json" | grep -o 'digest=[0-9a-f]*')
+[ -n "$memo6" ] && [ "$memo6" = "$exh6" ] \
+    || { echo "    FAIL: memo digest $memo6 != exhaustive digest $exh6 at n=6"; exit 1; }
+if grep '"group": "plan-enum-memo"' "$planenum_json" | grep -E '"label": "n=(1[0-9]) ' \
+    | grep -q 'pruned=no'; then
+    echo "    FAIL: memo explored >= n! plans at n >= 10"
+    exit 1
+fi
+echo "    memo digest matches brute force at n=6; pruning holds at n >= 10"
+
 echo "==> cargo clippy --workspace --all-targets"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

@@ -36,7 +36,7 @@ use ldl::core::Span;
 use ldl::core::{Program, Query, Term};
 use ldl::eval::{AccessPaths, EdbDelta, Engine, FixpointConfig};
 use ldl::optimizer::opt::PredPlanKind;
-use ldl::optimizer::{OptConfig, Optimizer, ProcessingTree, Strategy};
+use ldl::optimizer::{co_optimize, OptConfig, ProcessingTree, Strategy};
 use ldl::storage::Database;
 use ldl::storage::Tuple;
 use std::io::{BufRead, Write};
@@ -121,8 +121,9 @@ commands:
   <goal>?                  optimize and run a query
   :check                   run static analysis over the rule base
   :explain <goal>?         show the chosen plan without running it
+  :plan <goal>?            co-optimized order + index set + memo counters
   :prolog <goal>?          answer by Prolog-style SLD (textual order)
-  :strategy <s>            exhaustive | dp | kbz | annealing
+  :strategy <s>            exhaustive | dp | memo | kbz | annealing
   :paths <p>               selected | hash | scan (probe access paths)
   :acyclic <on|off>        assume base data acyclic (enables counting)
   :rewrite <on|off>        apply the sound rewrite pass before evaluation
@@ -170,6 +171,10 @@ commands:
                     self.cfg.strategy = Strategy::DynamicProgramming;
                     "strategy = dp".into()
                 }
+                "memo" => {
+                    self.cfg.strategy = Strategy::Memo;
+                    "strategy = memo".into()
+                }
                 "kbz" => {
                     self.cfg.strategy = Strategy::Kbz;
                     "strategy = kbz".into()
@@ -178,23 +183,23 @@ commands:
                     self.cfg.strategy = Strategy::Annealing;
                     "strategy = annealing".into()
                 }
-                other => format!("unknown strategy {other:?} (exhaustive|dp|kbz|annealing)"),
+                other => format!("unknown strategy {other:?} (exhaustive|dp|memo|kbz|annealing)"),
             },
             "paths" => match AccessPaths::parse(arg) {
                 Some(p) => {
-                    self.fixpoint = self.fixpoint.with_access_paths(p);
+                    self.fixpoint = self.fixpoint.clone().with_access_paths(p);
                     format!("access paths = {arg}")
                 }
                 None => format!("unknown access-path policy {arg:?} (selected|hash|scan)"),
             },
             "rewrite" => match arg {
                 "on" => {
-                    self.fixpoint = self.fixpoint.with_rewrite(true);
+                    self.fixpoint = self.fixpoint.clone().with_rewrite(true);
                     "rewrite = on (constant propagation, folding, duplicate/subsumed-rule removal)"
                         .into()
                 }
                 "off" => {
-                    self.fixpoint = self.fixpoint.with_rewrite(false);
+                    self.fixpoint = self.fixpoint.clone().with_rewrite(false);
                     "rewrite = off".into()
                 }
                 other => format!("expected on|off, got {other:?}"),
@@ -220,6 +225,10 @@ commands:
             }
             "explain" => match parse_query(arg) {
                 Ok(q) => self.run_query(&q, true),
+                Err(e) => format!("error: {e}"),
+            },
+            "plan" => match parse_query(arg) {
+                Ok(q) => self.plan_query(&q),
                 Err(e) => format!("error: {e}"),
             },
             "prolog" => match parse_query(arg) {
@@ -409,12 +418,12 @@ commands:
             );
         }
         let db = &self.db;
-        let optimizer = Optimizer::new(&self.program, db, self.cfg.clone());
         let started = Instant::now();
-        let plan = match optimizer.optimize(query) {
-            Ok(p) => p,
+        let co = match co_optimize(&self.program, db, &self.cfg, query, None) {
+            Ok(c) => c,
             Err(e) => return format!("{e}"),
         };
+        let plan = &co.plan;
         let opt_ms = started.elapsed().as_secs_f64() * 1000.0;
         if explain_only {
             let mut out = String::new();
@@ -453,12 +462,12 @@ commands:
                 }
             }
             out.push_str("processing tree:\n");
-            out.push_str(&ProcessingTree::from_plan(&self.program, &plan).to_string());
+            out.push_str(&ProcessingTree::from_plan(&self.program, plan).to_string());
             out.push_str(&format!("(optimized in {opt_ms:.2} ms)"));
             return out;
         }
         let run_started = Instant::now();
-        match plan.execute(&self.program, db, &self.fixpoint) {
+        match co.execute(&self.program, db, &self.fixpoint) {
             Ok(ans) => {
                 let run_ms = run_started.elapsed().as_secs_f64() * 1000.0;
                 let mut rows: Vec<String> = ans
@@ -483,6 +492,78 @@ commands:
             }
             Err(e) => format!("execution error: {e}"),
         }
+    }
+
+    /// `:plan <goal>?` — run the join-order × index-set co-optimization
+    /// fixpoint and show what it settled on: the chosen body orders, the
+    /// co-optimized index set the executor will build, and the
+    /// enumerator/fixpoint counters.
+    fn plan_query(&self, query: &Query) -> String {
+        let started = Instant::now();
+        let co = match co_optimize(&self.program, &self.db, &self.cfg, query, None) {
+            Ok(c) => c,
+            Err(e) => return format!("{e}"),
+        };
+        let opt_ms = started.elapsed().as_secs_f64() * 1000.0;
+        let plan = &co.plan;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "query form:   {}.{}\n",
+            query.pred().name,
+            query.adornment()
+        ));
+        out.push_str(&format!(
+            "method:       {}   est. cost: {:.1}\n",
+            plan.method.name(),
+            plan.cost
+        ));
+        out.push_str(&format!(
+            "co-opt:       {} iteration(s), {}, accepted costs {:?}\n",
+            co.stats.iterations,
+            if co.stats.stable {
+                "stable fixpoint"
+            } else {
+                "stopped (no strict improvement)"
+            },
+            co.stats.cost_trajectory
+        ));
+        let mut orders: Vec<String> = plan
+            .orders
+            .iter()
+            .map(|((ri, ad), order)| format!("  rule {ri} under {ad}: {order:?}\n"))
+            .collect();
+        orders.extend(
+            plan.clique_orders
+                .iter()
+                .map(|(ri, order)| format!("  rule {ri} (clique SIP): {order:?}\n")),
+        );
+        orders.sort();
+        if !orders.is_empty() {
+            out.push_str("chosen orders:\n");
+            for line in orders {
+                out.push_str(&line);
+            }
+        }
+        out.push_str("index set:\n");
+        let by_pred = co.catalog.orders_by_pred();
+        if by_pred.is_empty() {
+            out.push_str("  (none)\n");
+        }
+        for (pred, pred_orders) in &by_pred {
+            for order in pred_orders {
+                out.push_str(&format!("  {pred} on columns {order:?}\n"));
+            }
+        }
+        out.push_str(&format!(
+            "enumerator:   {} prefix(es) explored, {} pruned by memo, \
+             {} subtree memo hit(s), {} full order(s) probed\n",
+            plan.stats.explored_plans,
+            plan.stats.enum_memo_hits,
+            plan.stats.memo_hits,
+            plan.stats.orders_probed
+        ));
+        out.push_str(&format!("(co-optimized in {opt_ms:.2} ms)"));
+        out
     }
 }
 
